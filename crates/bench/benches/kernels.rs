@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the hot kernels (real host execution —
+//! these measure this library's own performance, complementing the
+//! virtual-platform model that regenerates the paper's figures).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpusim::{DeviceSpec, Traffic};
+use mas_field::{Field, VecField};
+use mas_grid::{IndexSpace3, SphericalGrid, Stagger};
+use mas_mhd::ops::deriv::{CtGeom, DivGeom, LapStencil};
+use stdpar::{CodeVersion, Par};
+
+fn grid() -> SphericalGrid {
+    SphericalGrid::coronal(32, 24, 32, 15.0)
+}
+
+fn bench_stencils(c: &mut Criterion) {
+    let g = grid();
+    let mut f = Field::zeros("f", Stagger::CellCenter, &g);
+    f.init_with(&g, |r, t, p| (r + t).sin() * p.cos());
+    let lap = LapStencil::new(&g, Stagger::CellCenter);
+    let blk = IndexSpace3::interior_trimmed(Stagger::CellCenter, g.nr, g.nt, g.np, (1, 1, 0));
+
+    c.bench_function("laplacian_apply_24k_cells", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            blk.for_each(|i, j, k| acc += lap.apply(black_box(&f.data), i, j, k));
+            black_box(acc)
+        })
+    });
+
+    let mut v = VecField::zeros_faces("v", &g);
+    v.r.init_with(&g, |r, _, _| 1.0 / (r * r));
+    let dg = DivGeom::new(&g);
+    let cells = IndexSpace3::interior(Stagger::CellCenter, g.nr, g.nt, g.np);
+    c.bench_function("flux_divergence_24k_cells", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            cells.for_each(|i, j, k| {
+                acc += dg.div(black_box(&v.r.data), &v.t.data, &v.p.data, i, j, k)
+            });
+            black_box(acc)
+        })
+    });
+
+    let ct = CtGeom::new(&g);
+    let e = VecField::zeros_edges("e", &g);
+    let faces = IndexSpace3::interior_trimmed(Stagger::FaceR, g.nr, g.nt, g.np, (1, 1, 1));
+    c.bench_function("ct_circulation_r_faces", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            faces.for_each(|i, j, k| acc += ct.circ_r(black_box(&e.t.data), &e.p.data, i, j, k));
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_executor(c: &mut Criterion) {
+    // Overhead of the stdpar execution layer per launched kernel.
+    let mut spec = DeviceSpec::a100_40gb();
+    spec.jitter_sigma = 0.0;
+    let mut par = Par::new(spec, CodeVersion::Ad, 0, 1);
+    par.ctx.set_phase(gpusim::Phase::Compute);
+    let g = grid();
+    let mut f = Field::zeros("f", Stagger::CellCenter, &g);
+    let id = par.ctx.mem.register(f.data.bytes(), "f");
+    f.buf = Some(id);
+    par.ctx.enter_data(id);
+    let blk = f.interior();
+    static SITE: stdpar::Site = stdpar::Site::par3("bench_kernel");
+    c.bench_function("par_loop3_24k_points", |b| {
+        let d = &mut f.data;
+        b.iter(|| {
+            par.loop3(&SITE, blk, Traffic::new(1, 1, 1), &[id], &[id], |i, j, k| {
+                let v = d.get(i, j, k);
+                d.set(i, j, k, v + 1.0);
+            });
+        })
+    });
+
+    c.bench_function("halo_pack_unpack_roundtrip", |b| {
+        let mut a = mas_field::Array3::zeros(64, 64, 8);
+        let mut h = mas_field::PhiHalo::for_arrays(&[&a]);
+        b.iter(|| {
+            h.pack(&[&a]);
+            h.recv_low.copy_from_slice(&h.send_high);
+            h.recv_high.copy_from_slice(&h.send_low);
+            let mut arr = [&mut a];
+            h.unpack(&mut arr);
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stencils, bench_executor
+);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Ablation benchmarks of the performance-model design choices DESIGN.md
+//! calls out. Each benchmark measures the real cost of driving the model,
+//! and — more importantly — *prints* the virtual-time consequences of the
+//! ablated mechanism, so `cargo bench` output doubles as the ablation
+//! report:
+//!
+//! * kernel **fusion** on/off (paper §IV-B, "kernel fission"),
+//! * **async** launches on/off,
+//! * **manual vs unified** memory halo exchange (paper Fig. 4),
+//! * **atomic vs loop-flip** array reductions (paper Listings 3–5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpusim::{DataMode, DeviceSpec, LaunchMode, Traffic};
+use mas_field::Array3;
+use mas_grid::IndexSpace3;
+use mas_mhd::halo::HaloExchanger;
+use minimpi::World;
+use stdpar::{CodeVersion, Par, Site};
+
+fn ctx(mode: DataMode) -> gpusim::DeviceContext {
+    let mut spec = DeviceSpec::a100_40gb();
+    spec.jitter_sigma = 0.0;
+    let mut c = gpusim::DeviceContext::new(spec, mode, 0, 1);
+    c.set_phase(gpusim::Phase::Compute);
+    c
+}
+
+fn ablate_fusion(c: &mut Criterion) {
+    // Virtual-time report.
+    let cost = |fused: bool| {
+        let mut cx = ctx(DataMode::Manual);
+        let b = cx.mem.register(1 << 20, "x");
+        cx.enter_data(b);
+        let t0 = cx.clock.now_us();
+        if fused {
+            cx.begin_region();
+        }
+        for _ in 0..10 {
+            cx.launch("k", 10_000, Traffic::new(2, 1, 4), &[b], &[b]);
+        }
+        if fused {
+            cx.end_region();
+        }
+        cx.clock.now_us() - t0
+    };
+    println!(
+        "[ablation] 10 kernels, fused {:.1} µs vs fissioned {:.1} µs \
+         (DC costs {:.1} extra launch overheads)",
+        cost(true),
+        cost(false),
+        (cost(false) - cost(true)) / 13.0
+    );
+    c.bench_function("model_fused_region_10_kernels", |b| b.iter(|| cost(true)));
+    c.bench_function("model_fissioned_10_kernels", |b| b.iter(|| cost(false)));
+}
+
+fn ablate_async(c: &mut Criterion) {
+    let cost = |mode: LaunchMode| {
+        let mut cx = ctx(DataMode::Manual);
+        let b = cx.mem.register(1 << 20, "x");
+        cx.enter_data(b);
+        cx.set_launch_mode(mode);
+        let t0 = cx.clock.now_us();
+        for _ in 0..10 {
+            cx.launch("k", 10_000, Traffic::new(2, 1, 4), &[b], &[b]);
+        }
+        cx.clock.now_us() - t0
+    };
+    println!(
+        "[ablation] 10 kernels, async {:.1} µs vs sync {:.1} µs",
+        cost(LaunchMode::Async),
+        cost(LaunchMode::Sync)
+    );
+    c.bench_function("model_async_launches", |b| b.iter(|| cost(LaunchMode::Async)));
+    c.bench_function("model_sync_launches", |b| b.iter(|| cost(LaunchMode::Sync)));
+}
+
+fn ablate_memory_mode(c: &mut Criterion) {
+    let cost = |version: CodeVersion| {
+        World::run(2, move |comm| {
+            let mut spec = DeviceSpec::a100_40gb();
+            spec.jitter_sigma = 0.0;
+            let mut par = Par::new(spec, version, comm.rank(), 1);
+            par.ctx.set_phase(gpusim::Phase::Compute);
+            let mut a = Array3::zeros(32, 32, 8);
+            let buf = par.ctx.mem.register(a.bytes(), "a");
+            if version == CodeVersion::A {
+                par.ctx.enter_data(buf);
+            }
+            let mut hx = HaloExchanger::new(&mut par, &[&a], "bench_halo");
+            let t0 = par.ctx.clock.now_us();
+            for _ in 0..5 {
+                let mut arrays = [&mut a];
+                hx.exchange(&mut par, &comm, &mut arrays, &[buf]);
+            }
+            par.ctx.clock.now_us() - t0
+        })[0]
+    };
+    println!(
+        "[ablation] 5 halo exchanges, manual {:.1} µs vs unified {:.1} µs \
+         ({:.1}x — Fig. 4's mechanism)",
+        cost(CodeVersion::A),
+        cost(CodeVersion::Adu),
+        cost(CodeVersion::Adu) / cost(CodeVersion::A)
+    );
+    c.bench_function("model_halo_manual_p2p", |b| b.iter(|| cost(CodeVersion::A)));
+    c.bench_function("model_halo_unified_paging", |b| b.iter(|| cost(CodeVersion::Adu)));
+}
+
+fn ablate_array_reduction(c: &mut Criterion) {
+    static SITE: Site = Site::new("bench_ared", stdpar::LoopClass::ArrayReduction, 2);
+    let cost = |version: CodeVersion| {
+        let mut spec = DeviceSpec::a100_40gb();
+        spec.jitter_sigma = 0.0;
+        let mut par = Par::new(spec, version, 0, 1);
+        par.ctx.set_phase(gpusim::Phase::Compute);
+        let b = par.ctx.mem.register(8 * 4096, "x");
+        let o = par.ctx.mem.register(8 * 64, "out");
+        if par.policy.data_mode == DataMode::Manual {
+            par.ctx.enter_data(b);
+            par.ctx.enter_data(o);
+        }
+        let mut out = vec![0.0; 64];
+        let space = IndexSpace3 { i0: 0, i1: 64, j0: 0, j1: 64, k0: 0, k1: 1 };
+        let t0 = par.ctx.clock.now_us();
+        par.reduce_array(&SITE, space, Traffic::new(2, 1, 2), &[b], &[o], &mut out, |i, j, _| {
+            (i, (i * j) as f64)
+        });
+        (par.ctx.clock.now_us() - t0, out[7])
+    };
+    let (t_atomic, r1) = cost(CodeVersion::A);
+    let (t_flip, r2) = cost(CodeVersion::D2xad);
+    assert_eq!(r1, r2, "strategies must agree numerically");
+    println!(
+        "[ablation] array reduction: acc-atomic {:.2} µs vs loop-flip {:.2} µs",
+        t_atomic, t_flip
+    );
+    c.bench_function("model_array_reduce_atomic", |b| b.iter(|| cost(CodeVersion::A)));
+    c.bench_function("model_array_reduce_loopflip", |b| b.iter(|| cost(CodeVersion::D2xad)));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = ablate_fusion, ablate_async, ablate_memory_mode, ablate_array_reduction
+);
+criterion_main!(benches);

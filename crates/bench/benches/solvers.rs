@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the solver building blocks: a full PCG
+//! viscosity solve, an RKL2 conduction advance, and one complete MHD
+//! time step (real host execution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpusim::DeviceSpec;
+use mas_config::Deck;
+use mas_mhd::Simulation;
+use minimpi::World;
+use stdpar::CodeVersion;
+
+fn bench_step(c: &mut Criterion) {
+    let mut deck = Deck::preset_quickstart();
+    deck.grid = mas_config::GridCfg {
+        nr: 24,
+        nt: 20,
+        np: 24,
+        rmax: 10.0,
+    };
+    deck.time.n_steps = 1;
+    deck.output.hist_interval = 0;
+
+    c.bench_function("full_mhd_step_11k_cells", |b| {
+        b.iter(|| {
+            World::run(1, |comm| {
+                let mut sim = Simulation::new(
+                    &deck,
+                    CodeVersion::A,
+                    DeviceSpec::a100_40gb(),
+                    0,
+                    1,
+                    1,
+                );
+                sim.run(&comm);
+                sim.time
+            })
+        })
+    });
+}
+
+fn bench_versions(c: &mut Criterion) {
+    // Host-side cost of the six execution policies should be nearly
+    // identical (the policies differ in *model* charges, not real work) —
+    // this guards against accidental real-work divergence between
+    // versions.
+    let deck = Deck::preset_quickstart();
+    let mut group = c.benchmark_group("code_versions_real_cost");
+    group.sample_size(10);
+    for v in [CodeVersion::A, CodeVersion::D2xu] {
+        group.bench_function(v.tag(), |b| {
+            b.iter(|| mas_mhd::run_single_rank(&deck, v).wall_us)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_step, bench_versions
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation: explicit super-time-stepping vs implicit Krylov for the
+//! viscous operator — the study of the paper's ref.\[25\] (Caplan et al.
+//! 2017, "Advancing parabolic operators in thermodynamic MHD models:
+//! Explicit super time-stepping versus implicit schemes with Krylov
+//! solvers"), run on this reproduction's virtual platform.
+//!
+//! Run: `cargo run --release -p mas-bench --bin ablation_visc_solvers`
+
+use gpusim::DeviceSpec;
+use mas_bench::bench_deck;
+use mas_config::ViscSolver;
+use mas_io::Table;
+use mas_mhd::run_multi_rank;
+use stdpar::CodeVersion;
+
+fn main() {
+    let spec = DeviceSpec::a100_40gb();
+    let solvers = [ViscSolver::Pcg, ViscSolver::Sts, ViscSolver::Explicit];
+
+    let mut t = Table::new(
+        "ABLATION — viscous-operator advance: PCG (implicit) vs RKL2 STS vs plain explicit",
+    )
+    .header([
+        "solver", "GPUs", "wall (model s)", "MPI %", "solver work/step", "steps", "final E_kin",
+    ]);
+
+    for &nr in &[1usize, 8] {
+        for &vs in &solvers {
+            let mut deck = bench_deck();
+            deck.solver.visc_solver = vs;
+            deck.output.hist_interval = deck.time.n_steps;
+            // The explicit path needs the viscous CFL — with the bench
+            // viscosity it is mild, so the comparison stays step-for-step
+            // comparable; the table reports dt-forced step counts anyway.
+            let rep = run_multi_rank(&deck, CodeVersion::A, spec.clone(), nr, 1, false);
+            let r0 = &rep.ranks[0];
+            // Average solver work per step from the hist-free run: count
+            // the viscosity kernels in the registry.
+            let visc_launches: u64 = r0
+                .registry
+                .sites()
+                .filter(|s| s.site.name == "visc_apply")
+                .map(|s| s.invocations)
+                .sum();
+            t.row([
+                vs.name().to_string(),
+                nr.to_string(),
+                format!("{:.3}", rep.wall_us() / 1e6),
+                format!("{:.1}%", 100.0 * rep.mean_mpi_us() / rep.wall_us()),
+                format!("{:.1} ops", visc_launches as f64 / r0.steps as f64),
+                r0.steps.to_string(),
+                format!("{:.3e}", r0.hist.last().map(|h| h.diag.ekin).unwrap_or(f64::NAN)),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "PCG pays 2 allreduces + 1 halo per iteration; STS pays 1 halo per \
+         stage with no global reductions — the communication trade of \
+         ref. [25]. The explicit path is only viable while the advective \
+         CFL already satisfies the viscous limit."
+    );
+}

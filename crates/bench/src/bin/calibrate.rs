@@ -1,0 +1,47 @@
+//! Calibration report: the raw model outputs against every published
+//! number the constants were (or were not) tuned to — the transparency
+//! tool behind EXPERIMENTS.md §"Calibrated constants".
+//!
+//! Only ONE pairing is a fit: Code 1 (A) at 1 GPU ↔ 200.9 min. Everything
+//! else printed here is a prediction; this binary exists so a reader can
+//! re-check that claim at any time.
+//!
+//! Run: `cargo run --release -p mas-bench --bin calibrate`
+
+use gpusim::DeviceSpec;
+use mas_bench::{bench_deck, run_case, PAPER_FIG3_1GPU, PAPER_FIG3_8GPU};
+use stdpar::CodeVersion;
+
+fn main() {
+    let deck = bench_deck();
+    let spec = DeviceSpec::a100_40gb();
+    println!("calibration target: CODE 1 (A) @ 1 GPU == 200.9 paper minutes (the ONLY fit)\n");
+    for (nr, paper) in [(1usize, &PAPER_FIG3_1GPU), (8, &PAPER_FIG3_8GPU)] {
+        println!("== {} GPU ==", nr);
+        println!(
+            "{:<10} {:>10} {:>9} {:>7} | paper wall/MPI (min) | wall ratio model vs paper",
+            "version", "wall(s)", "mpi(s)", "mpi%"
+        );
+        let mut wall_a = 0.0;
+        for (i, &v) in CodeVersion::ALL.iter().enumerate() {
+            let c = run_case(&deck, v, &spec, nr, 1);
+            if i == 0 {
+                wall_a = c.wall_us;
+            }
+            let p = paper[i];
+            println!(
+                "{:<10} {:>10.3} {:>9.3} {:>6.1}% | {:>8.1} / {:>5.1}      | {:.3} vs {:.3}",
+                v.tag(),
+                c.wall_us / 1e6,
+                c.mpi_us / 1e6,
+                100.0 * c.mpi_us / c.wall_us,
+                p.wall_min,
+                p.mpi_min(),
+                c.wall_us / wall_a,
+                p.wall_min / paper[0].wall_min,
+            );
+        }
+        println!();
+    }
+    println!("device constants: {:#?}", DeviceSpec::a100_40gb());
+}

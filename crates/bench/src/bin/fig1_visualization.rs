@@ -1,0 +1,78 @@
+//! Reproduces **Figure 1**: a visualization of the solution for the test
+//! case — temperature cuts from the final step of the coronal relaxation.
+//!
+//! Produces PPM images (meridional r–θ cut and a spherical θ–φ shell map)
+//! plus an ASCII preview in the terminal.
+//!
+//! Run: `cargo run --release -p mas-bench --bin fig1_visualization`
+
+use gpusim::DeviceSpec;
+use mas_config::Deck;
+use mas_grid::NGHOST;
+use mas_io::{render_ascii, render_ppm, Colormap};
+use mas_mhd::Simulation;
+use minimpi::World;
+use stdpar::CodeVersion;
+
+fn main() {
+    let mut deck = Deck::preset_coronal_background();
+    deck.time.n_steps = 120;
+    deck.output.hist_interval = 30;
+    eprintln!(
+        "running the coronal background ({}x{}x{} cells, {} steps)...",
+        deck.grid.nr, deck.grid.nt, deck.grid.np, deck.time.n_steps
+    );
+
+    let (temp_rt, temp_tp, br_tp, hist) = World::run(1, |comm| {
+        let mut sim = Simulation::new(
+            &deck,
+            CodeVersion::A,
+            DeviceSpec::a100_40gb(),
+            0,
+            1,
+            1,
+        );
+        sim.run(&comm);
+        let g = &sim.grid;
+        let t = &sim.state.temp.data;
+        let br = &sim.state.b.r.data;
+        // Meridional cut: T(r, θ) at φ index 0 (rows = θ, cols = r).
+        let k0 = NGHOST;
+        let rt: Vec<Vec<f64>> = (NGHOST..NGHOST + g.nt)
+            .map(|j| (NGHOST..NGHOST + g.nr).map(|i| t.get(i, j, k0)).collect())
+            .collect();
+        // Shell map: T(θ, φ) at the 6th radial shell.
+        let i0 = NGHOST + 6.min(g.nr - 1);
+        let tp: Vec<Vec<f64>> = (NGHOST..NGHOST + g.nt)
+            .map(|j| (NGHOST..NGHOST + g.np).map(|k| t.get(i0, j, k)).collect())
+            .collect();
+        // B_r shell map at the surface (diverging colormap).
+        let brm: Vec<Vec<f64>> = (NGHOST..NGHOST + g.nt)
+            .map(|j| (NGHOST..NGHOST + g.np).map(|k| br.get(NGHOST, j, k)).collect())
+            .collect();
+        (rt, tp, brm, sim.hist.clone())
+    })
+    .pop()
+    .unwrap();
+
+    let (lo, hi) = render_ppm("out/fig1_temp_rtheta.ppm", &temp_rt, Colormap::Heat, 8).unwrap();
+    println!("FIGURE 1 — temperature cuts of the relaxed corona\n");
+    println!("meridional T(r,θ) cut  [T ∈ {lo:.3}..{hi:.3}]  → out/fig1_temp_rtheta.ppm");
+    println!("{}", render_ascii(&temp_rt));
+    let (lo, hi) = render_ppm("out/fig1_temp_shell.ppm", &temp_tp, Colormap::Heat, 6).unwrap();
+    println!("shell T(θ,φ) map at r ≈ mid-corona  [T ∈ {lo:.3}..{hi:.3}]  → out/fig1_temp_shell.ppm");
+    let (lo, hi) = render_ppm("out/fig1_br_surface.ppm", &br_tp, Colormap::BlueRed, 6).unwrap();
+    println!("surface B_r(θ,φ) map (dipole)        [B_r ∈ {lo:.3}..{hi:.3}] → out/fig1_br_surface.ppm");
+
+    println!("\nrelaxation history:");
+    println!(
+        "{:>6} {:>9} {:>12} {:>12} {:>12} {:>11}",
+        "step", "time", "E_kin", "E_mag", "E_therm", "max|divB|"
+    );
+    for h in &hist {
+        println!(
+            "{:>6} {:>9.4} {:>12.5e} {:>12.5e} {:>12.5e} {:>11.3e}",
+            h.step, h.time, h.diag.ekin, h.diag.emag, h.diag.etherm, h.diag.divb_max
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Reproduces **Figure 2**: wall-clock time of all six code versions on
+//! 1–8 virtual A100 GPUs, average of three seeded runs with min/max
+//! spread, plus the ideal-scaling reference.
+//!
+//! Model minutes are normalized once (Code 1/A at 1 GPU ↔ 200.9 min);
+//! every other point is a model prediction.
+//!
+//! Run: `cargo run --release -p mas-bench --bin fig2_scaling`
+
+use gpusim::{DeviceSpec, US_PER_MIN};
+use mas_bench::{bench_deck, sweep};
+use mas_io::{CsvWriter, Table};
+use stdpar::CodeVersion;
+
+fn main() {
+    let deck = bench_deck();
+    let spec = DeviceSpec::a100_40gb();
+    let counts = [1usize, 2, 4, 8];
+    let seeds = [1u64, 2, 3];
+
+    eprintln!(
+        "sweeping 6 versions x {:?} GPUs x {} seeds (scaled {}-cell problem, {} steps)...",
+        counts,
+        seeds.len(),
+        deck.n_cells(),
+        deck.time.n_steps
+    );
+    let points = sweep(&deck, &CodeVersion::ALL, &counts, &seeds, &spec);
+
+    // Normalize: A @ 1 GPU ↔ 200.9 paper minutes.
+    let a1 = points
+        .iter()
+        .find(|p| p.version == CodeVersion::A && p.n_ranks == 1)
+        .expect("A@1");
+    let norm = 200.9 * US_PER_MIN / a1.wall_mean_us;
+
+    let mut t = Table::new(
+        "FIGURE 2 — wall clock (model minutes, normalized at A/1-GPU) vs number of A100 GPUs",
+    )
+    .header(["Version", "1 GPU", "2 GPU", "4 GPU", "8 GPU", "8-GPU speedup", "ideal"]);
+    let mut csv = CsvWriter::create(
+        "out/fig2.csv",
+        &["version", "gpus", "wall_min_mean", "wall_min_lo", "wall_min_hi", "ideal_min"],
+    )
+    .expect("csv");
+    for &v in &CodeVersion::ALL {
+        let series: Vec<_> = points.iter().filter(|p| p.version == v).collect();
+        let base = series[0].wall_mean_us;
+        let mut row = vec![v.label().to_string()];
+        for p in &series {
+            row.push(format!("{:.1}", p.wall_mean_us * norm / US_PER_MIN));
+            csv.row(&[
+                v.tag().to_string(),
+                p.n_ranks.to_string(),
+                format!("{}", p.wall_mean_us * norm / US_PER_MIN),
+                format!("{}", p.wall_min_us * norm / US_PER_MIN),
+                format!("{}", p.wall_max_us * norm / US_PER_MIN),
+                format!("{}", base * norm / US_PER_MIN / p.n_ranks as f64),
+            ])
+            .unwrap();
+        }
+        let last = series.last().unwrap();
+        row.push(format!("{:.2}x", base / last.wall_mean_us));
+        row.push(format!("{}x", last.n_ranks));
+        t.row(row);
+    }
+    csv.flush().unwrap();
+    println!("{}", t.render());
+
+    // Log-log style summary of the scaling behaviour the paper describes.
+    println!("Shape checks (paper §V-C):");
+    let wall =
+        |v: CodeVersion, n: usize| points.iter().find(|p| p.version == v && p.n_ranks == n).unwrap().wall_mean_us;
+    let sup = wall(CodeVersion::A, 1) / wall(CodeVersion::A, 2);
+    println!(
+        "  Code 1 (A) 1→2 GPU speedup: {:.3}x {} ('super' scaling at first)",
+        sup,
+        if sup > 2.0 { "> 2 ✓" } else { "(paper sees > 2)" }
+    );
+    for v in [CodeVersion::Adu, CodeVersion::Ad2xu, CodeVersion::D2xu] {
+        let s8 = wall(v, 1) / wall(v, 8);
+        println!(
+            "  {} 8-GPU speedup: {:.2}x of 8 (UM versions scale poorly ✓)",
+            v.label(),
+            s8
+        );
+    }
+    let slow = wall(CodeVersion::D2xu, 8) / wall(CodeVersion::A, 8);
+    println!(
+        "  D2XU/A slowdown at 8 GPUs: {:.2}x (paper: 2.94x; 'between 1.25x and 3x')",
+        slow
+    );
+    println!("\nwrote out/fig2.csv");
+}

@@ -1,0 +1,90 @@
+//! Reproduces **Figure 3**: wall time split into MPI and non-MPI portions
+//! for all six code versions at 1 and 8 GPUs (average of three runs).
+//!
+//! Run: `cargo run --release -p mas-bench --bin fig3_mpi_breakdown`
+
+use gpusim::{DeviceSpec, US_PER_MIN};
+use mas_bench::{bench_deck, sweep, PAPER_FIG3_1GPU, PAPER_FIG3_8GPU};
+use mas_io::{CsvWriter, Table};
+use stdpar::CodeVersion;
+
+fn main() {
+    let deck = bench_deck();
+    let spec = DeviceSpec::a100_40gb();
+    let seeds = [1u64, 2, 3];
+
+    eprintln!("sweeping 6 versions x {{1,8}} GPUs x 3 seeds...");
+    let points = sweep(&deck, &CodeVersion::ALL, &[1, 8], &seeds, &spec);
+    let a1_wall = points
+        .iter()
+        .find(|p| p.version == CodeVersion::A && p.n_ranks == 1)
+        .unwrap()
+        .wall_mean_us;
+    let norm = 200.9 * US_PER_MIN / a1_wall;
+
+    let mut csv = CsvWriter::create(
+        "out/fig3.csv",
+        &["gpus", "version", "wall_min", "mpi_min", "nonmpi_min"],
+    )
+    .expect("csv");
+
+    for (gpus, paper) in [(1usize, &PAPER_FIG3_1GPU), (8, &PAPER_FIG3_8GPU)] {
+        let mut t = Table::new(format!(
+            "FIGURE 3 — run time split on {gpus} A100 GPU(s) (model minutes, normalized at A/1-GPU)"
+        ))
+        .header([
+            "Version", "Wall", "Wall-MPI", "MPI", "MPI %",
+            "paper wall", "paper wall-MPI", "paper MPI %",
+        ]);
+        for (i, &v) in CodeVersion::ALL.iter().enumerate() {
+            let p = points
+                .iter()
+                .find(|p| p.version == v && p.n_ranks == gpus)
+                .unwrap();
+            let wall = p.wall_mean_us * norm / US_PER_MIN;
+            let mpi = p.mpi_mean_us * norm / US_PER_MIN;
+            let pr = &paper[i];
+            t.row([
+                v.label().to_string(),
+                format!("{:.1}", wall),
+                format!("{:.1}", wall - mpi),
+                format!("{:.1}", mpi),
+                format!("{:.0}%", 100.0 * mpi / wall),
+                format!("{:.1}", pr.wall_min),
+                format!("{:.1}", pr.non_mpi_min),
+                format!("{:.0}%", 100.0 * pr.mpi_min() / pr.wall_min),
+            ]);
+            csv.row(&[
+                gpus.to_string(),
+                v.tag().to_string(),
+                format!("{wall}"),
+                format!("{mpi}"),
+                format!("{}", wall - mpi),
+            ])
+            .unwrap();
+        }
+        println!("{}", t.render());
+    }
+    csv.flush().unwrap();
+
+    // The paper's key mechanism check.
+    let mpi = |v: CodeVersion, n: usize| {
+        points
+            .iter()
+            .find(|p| p.version == v && p.n_ranks == n)
+            .unwrap()
+            .mpi_mean_us
+    };
+    println!("Mechanism checks (paper §V-C):");
+    println!(
+        "  UM/manual MPI-time ratio at 8 GPUs: {:.1}x (paper: ~20x) — UM \
+         loses the GPU peer-to-peer halo path",
+        mpi(CodeVersion::Adu, 8) / mpi(CodeVersion::A, 8)
+    );
+    println!(
+        "  UM MPI time 1 GPU → 8 GPUs: {:.2}x (paper: 41.4 → 39.9 min, ~flat) — \
+         the page-fault storm is size-independent",
+        mpi(CodeVersion::Adu, 8) / mpi(CodeVersion::Adu, 1)
+    );
+    println!("\nwrote out/fig3.csv");
+}

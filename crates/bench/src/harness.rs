@@ -1,0 +1,121 @@
+//! Shared sweep machinery for the table/figure binaries.
+
+use gpusim::DeviceSpec;
+use mas_config::Deck;
+use mas_mhd::{run_multi_rank, MultiRankReport};
+use stdpar::CodeVersion;
+
+/// The benchmark deck: the scaled coronal-background relaxation with the
+/// cost model extrapolating to the paper's 36M-cell problem.
+pub fn bench_deck() -> Deck {
+    let mut d = Deck::preset_coronal_background();
+    d.grid = mas_config::GridCfg {
+        nr: 48,
+        nt: 40,
+        np: 64,
+        rmax: 30.0,
+    };
+    d.time.n_steps = 12;
+    d.output.hist_interval = 0; // timing runs: no diagnostics cadence
+    d.paper_cells = crate::paper::PAPER_CELLS;
+    d
+}
+
+/// The CPU (Table III) deck — identical physics; the device spec differs.
+pub fn cpu_bench_deck() -> Deck {
+    bench_deck()
+}
+
+/// Result of one `(version, n_ranks, seed)` case.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    pub version: CodeVersion,
+    pub n_ranks: usize,
+    pub seed: u64,
+    /// Slowest-rank wall, µs (the run's wall clock).
+    pub wall_us: f64,
+    /// Mean MPI µs across ranks.
+    pub mpi_us: f64,
+    /// Mean non-MPI µs.
+    pub compute_us: f64,
+    /// Full per-rank reports.
+    pub report: MultiRankReport,
+}
+
+/// Run one case.
+pub fn run_case(
+    deck: &Deck,
+    version: CodeVersion,
+    spec: &DeviceSpec,
+    n_ranks: usize,
+    seed: u64,
+) -> CaseResult {
+    let report = run_multi_rank(deck, version, spec.clone(), n_ranks, seed, false);
+    CaseResult {
+        version,
+        n_ranks,
+        seed,
+        wall_us: report.wall_us(),
+        mpi_us: report.mean_mpi_us(),
+        compute_us: report.mean_compute_us(),
+        report,
+    }
+}
+
+/// Aggregated sweep point: mean/min/max wall over the seeds (the paper
+/// plots the average of three runs with min/max error bars).
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    pub version: CodeVersion,
+    pub n_ranks: usize,
+    pub wall_mean_us: f64,
+    pub wall_min_us: f64,
+    pub wall_max_us: f64,
+    pub mpi_mean_us: f64,
+    pub compute_mean_us: f64,
+}
+
+/// Sweep `versions × rank counts × seeds`.
+pub fn sweep(
+    deck: &Deck,
+    versions: &[CodeVersion],
+    rank_counts: &[usize],
+    seeds: &[u64],
+    spec: &DeviceSpec,
+) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &v in versions {
+        for &n in rank_counts {
+            let runs: Vec<CaseResult> = seeds
+                .iter()
+                .map(|&s| run_case(deck, v, spec, n, s))
+                .collect();
+            let walls: Vec<f64> = runs.iter().map(|r| r.wall_us).collect();
+            let mean = walls.iter().sum::<f64>() / walls.len() as f64;
+            out.push(SweepPoint {
+                version: v,
+                n_ranks: n,
+                wall_mean_us: mean,
+                wall_min_us: walls.iter().cloned().fold(f64::INFINITY, f64::min),
+                wall_max_us: walls.iter().cloned().fold(0.0, f64::max),
+                mpi_mean_us: runs.iter().map(|r| r.mpi_us).sum::<f64>() / runs.len() as f64,
+                compute_mean_us: runs.iter().map(|r| r.compute_us).sum::<f64>()
+                    / runs.len() as f64,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_deck_is_valid_and_scaled() {
+        let d = bench_deck();
+        assert!(d.validate().is_empty());
+        assert!(d.volume_scale() > 100.0, "scale {}", d.volume_scale());
+        assert!(d.area_scale() > 20.0);
+    }
+}

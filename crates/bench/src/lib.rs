@@ -1,0 +1,24 @@
+//! # mas-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper. Shared machinery lives here; each table/figure has its own
+//! binary under `src/bin/` (see DESIGN.md §5 for the experiment index):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1_versions`   | Table I — per-version total & `$acc` lines |
+//! | `table2_directives` | Table II — Code 1 directive census |
+//! | `table3_cpu`        | Table III — CPU node timings |
+//! | `fig1_visualization`| Fig. 1 — temperature-cut render |
+//! | `fig2_scaling`      | Fig. 2 — wall clock vs GPU count |
+//! | `fig3_mpi_breakdown`| Fig. 3 — MPI vs non-MPI split |
+//! | `fig4_timeline`     | Fig. 4 — viscosity-iteration timeline |
+//!
+//! Criterion micro-benchmarks of the design choices (fusion, async, UM vs
+//! manual halos, reduction strategies) live under `benches/`.
+
+pub mod harness;
+pub mod paper;
+
+pub use harness::{bench_deck, cpu_bench_deck, run_case, sweep, CaseResult, SweepPoint};
+pub use paper::{PaperFig3, PAPER_FIG3_1GPU, PAPER_FIG3_8GPU, PAPER_TABLE1, PAPER_TABLE3};

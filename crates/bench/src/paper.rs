@@ -1,0 +1,97 @@
+//! The paper's published numbers, for side-by-side comparison in the
+//! generated reports and in EXPERIMENTS.md.
+
+use stdpar::CodeVersion;
+
+/// Table I: `(label, total_lines, acc_lines)`.
+pub const PAPER_TABLE1: [(&str, usize, usize); 7] = [
+    ("0: CPU", 69874, 0),
+    ("1: A", 73865, 1458),
+    ("2: AD", 71661, 540),
+    ("3: ADU", 71269, 162),
+    ("4: AD2XU", 70868, 55),
+    ("5: D2XU", 68994, 0),
+    ("6: D2XAd", 71623, 277),
+];
+
+/// Table II: Code 1 directive-type distribution.
+pub const PAPER_TABLE2: [(&str, usize); 8] = [
+    ("parallel, loop", 997),
+    ("data management", 320),
+    ("atomic", 34),
+    ("routine", 12),
+    ("kernels", 6),
+    ("wait", 6),
+    ("set device_num", 1),
+    ("continuation (!$acc&)", 82),
+];
+
+/// Table III: CPU wall-clock minutes, `(nodes, code1_A, code2_AD)`.
+pub const PAPER_TABLE3: [(usize, f64, f64); 2] = [(1, 725.54, 725.53), (8, 79.58, 79.64)];
+
+/// One bar of the paper's Fig. 3: wall and non-MPI minutes.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperFig3 {
+    pub version: CodeVersion,
+    /// Total wall-clock minutes.
+    pub wall_min: f64,
+    /// Wall minus MPI minutes (the green bar).
+    pub non_mpi_min: f64,
+}
+
+impl PaperFig3 {
+    /// MPI minutes.
+    pub fn mpi_min(&self) -> f64 {
+        self.wall_min - self.non_mpi_min
+    }
+}
+
+/// Fig. 3 top panel: 1 × A100 (40 GB).
+pub const PAPER_FIG3_1GPU: [PaperFig3; 6] = [
+    PaperFig3 { version: CodeVersion::A, wall_min: 200.9, non_mpi_min: 171.9 },
+    PaperFig3 { version: CodeVersion::Ad, wall_min: 206.9, non_mpi_min: 177.8 },
+    PaperFig3 { version: CodeVersion::Adu, wall_min: 268.9, non_mpi_min: 227.5 },
+    PaperFig3 { version: CodeVersion::Ad2xu, wall_min: 270.7, non_mpi_min: 229.5 },
+    PaperFig3 { version: CodeVersion::D2xu, wall_min: 273.0, non_mpi_min: 230.9 },
+    PaperFig3 { version: CodeVersion::D2xad, wall_min: 213.0, non_mpi_min: 183.5 },
+];
+
+/// Fig. 3 bottom panel: 8 × A100 (40 GB).
+pub const PAPER_FIG3_8GPU: [PaperFig3; 6] = [
+    PaperFig3 { version: CodeVersion::A, wall_min: 23.0, non_mpi_min: 21.0 },
+    PaperFig3 { version: CodeVersion::Ad, wall_min: 25.3, non_mpi_min: 23.0 },
+    PaperFig3 { version: CodeVersion::Adu, wall_min: 69.6, non_mpi_min: 29.7 },
+    PaperFig3 { version: CodeVersion::Ad2xu, wall_min: 74.1, non_mpi_min: 32.5 },
+    PaperFig3 { version: CodeVersion::D2xu, wall_min: 67.6, non_mpi_min: 31.2 },
+    PaperFig3 { version: CodeVersion::D2xad, wall_min: 27.4, non_mpi_min: 23.9 },
+];
+
+/// The paper's test problem size (36 million cells).
+pub const PAPER_CELLS: usize = 36_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_sums_to_table1_code1() {
+        let total: usize = PAPER_TABLE2.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 1458);
+        assert_eq!(PAPER_TABLE1[1].2, 1458);
+    }
+
+    #[test]
+    fn fig3_mpi_positive_everywhere() {
+        for row in PAPER_FIG3_1GPU.iter().chain(&PAPER_FIG3_8GPU) {
+            assert!(row.mpi_min() > 0.0);
+        }
+    }
+
+    #[test]
+    fn um_versions_dominate_mpi_at_8_gpus() {
+        // The paper's headline: UM inflates MPI time ~20x at 8 GPUs.
+        let a = PAPER_FIG3_8GPU[0].mpi_min();
+        let adu = PAPER_FIG3_8GPU[2].mpi_min();
+        assert!(adu > 15.0 * a);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # mas-config
+//!
+//! Input decks for the `mas-rs` solver, in a Fortran-namelist-like format —
+//! the same configuration style MAS itself uses — plus the problem presets
+//! used by the examples, tests and the benchmark harness.
+//!
+//! A deck looks like:
+//!
+//! ```text
+//! ! Comment lines start with '!'
+//! &grid
+//!   nr = 48
+//!   nt = 48
+//!   np = 96
+//!   rmax = 20.0
+//! /
+//! &physics
+//!   gamma = 1.05
+//!   visc = 2.0e-3
+//! /
+//! ```
+//!
+//! See [`Deck::parse`] for the grammar and [`Deck::preset_quickstart`],
+//! [`Deck::preset_coronal_background`], [`Deck::preset_flux_rope`] for the
+//! shipped problems.
+
+pub mod deck;
+pub mod parse;
+
+pub use deck::{Deck, GridCfg, OutputCfg, PhysicsCfg, SolverCfg, TimeCfg, ViscSolver};
+pub use parse::ParseError;

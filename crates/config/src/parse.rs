@@ -1,0 +1,221 @@
+//! Minimal Fortran-namelist-style parser.
+//!
+//! Grammar (line oriented):
+//!
+//! ```text
+//! deck     := { section | comment | blank }
+//! section  := '&' name NEWLINE { entry } '/'
+//! entry    := key '=' value
+//! comment  := '!' …
+//! value    := int | float | bool | 'quoted string'
+//! bool     := .true. | .false. | T | F | true | false
+//! ```
+
+use std::fmt;
+
+/// Parse failure with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    msg: String,
+}
+
+impl ParseError {
+    /// New error.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deck parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed scalar value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal (Fortran `d` exponents accepted).
+    Float(f64),
+    /// Fortran logical (`.true.`/`.false.`/`T`/`F`).
+    Bool(bool),
+    /// Quoted string.
+    Str(String),
+}
+
+impl Value {
+    /// Interpret as f64 (ints promote).
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            _ => Err(format!("expected a number, got {self:?}")),
+        }
+    }
+
+    /// Interpret as usize.
+    pub fn as_usize(&self) -> Result<usize, String> {
+        match self {
+            Value::Int(i) if *i >= 0 => Ok(*i as usize),
+            _ => Err(format!("expected a non-negative integer, got {self:?}")),
+        }
+    }
+
+    /// Interpret as bool.
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(format!("expected a logical, got {self:?}")),
+        }
+    }
+
+    /// Interpret as string.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(format!("expected a string, got {self:?}")),
+        }
+    }
+}
+
+fn parse_value(raw: &str) -> Result<Value, ParseError> {
+    let s = raw.trim();
+    if s.is_empty() {
+        return Err(ParseError::new("empty value"));
+    }
+    // Quoted string.
+    if (s.starts_with('\'') && s.ends_with('\'') && s.len() >= 2)
+        || (s.starts_with('"') && s.ends_with('"') && s.len() >= 2)
+    {
+        return Ok(Value::Str(s[1..s.len() - 1].to_string()));
+    }
+    // Fortran logicals.
+    match s.to_ascii_lowercase().as_str() {
+        ".true." | "t" | "true" => return Ok(Value::Bool(true)),
+        ".false." | "f" | "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    // Fortran floats allow 'd' exponents.
+    let sf = s.replace(['d', 'D'], "e");
+    if let Ok(f) = sf.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(ParseError::new(format!("cannot parse value '{s}'")))
+}
+
+/// Parse a deck into `(section, [(key, value)])` groups, in order.
+pub fn parse_sections(text: &str) -> Result<Vec<(String, Vec<(String, Value)>)>, ParseError> {
+    let mut out: Vec<(String, Vec<(String, Value)>)> = Vec::new();
+    let mut current: Option<(String, Vec<(String, Value)>)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = match raw.find('!') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('&') {
+            if current.is_some() {
+                return Err(ParseError::new(format!(
+                    "line {}: nested section '&{}'",
+                    lineno + 1,
+                    name
+                )));
+            }
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(ParseError::new(format!("line {}: empty section name", lineno + 1)));
+            }
+            current = Some((name.to_string(), Vec::new()));
+        } else if line == "/" {
+            match current.take() {
+                Some(sec) => out.push(sec),
+                None => {
+                    return Err(ParseError::new(format!(
+                        "line {}: '/' outside a section",
+                        lineno + 1
+                    )))
+                }
+            }
+        } else if let Some((key, val)) = line.split_once('=') {
+            let key = key.trim().to_ascii_lowercase();
+            if key.is_empty() {
+                return Err(ParseError::new(format!("line {}: empty key", lineno + 1)));
+            }
+            match &mut current {
+                Some((_, entries)) => entries.push((key, parse_value(val)?)),
+                None => {
+                    return Err(ParseError::new(format!(
+                        "line {}: entry outside a section",
+                        lineno + 1
+                    )))
+                }
+            }
+        } else {
+            return Err(ParseError::new(format!(
+                "line {}: cannot parse '{}'",
+                lineno + 1,
+                line
+            )));
+        }
+    }
+    if let Some((name, _)) = current {
+        return Err(ParseError::new(format!("section '&{name}' not closed with '/'")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_types() {
+        let t = "! header comment\n&a\n x = 3\n y = 2.5\n z = .true.\n s = 'hi'\n/\n&b\n q = 1d3\n/\n";
+        let s = parse_sections(t).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].0, "a");
+        assert_eq!(s[0].1[0], ("x".into(), Value::Int(3)));
+        assert_eq!(s[0].1[1], ("y".into(), Value::Float(2.5)));
+        assert_eq!(s[0].1[2], ("z".into(), Value::Bool(true)));
+        assert_eq!(s[0].1[3], ("s".into(), Value::Str("hi".into())));
+        assert_eq!(s[1].1[0], ("q".into(), Value::Float(1000.0)));
+    }
+
+    #[test]
+    fn inline_comments_stripped() {
+        let s = parse_sections("&a\n x = 1 ! the x\n/\n").unwrap();
+        assert_eq!(s[0].1[0], ("x".into(), Value::Int(1)));
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let e = parse_sections("&a\n x = 1\n").unwrap_err();
+        assert!(e.to_string().contains("not closed"));
+        let e = parse_sections("x = 1\n").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+        let e = parse_sections("&a\n&b\n/\n").unwrap_err();
+        assert!(e.to_string().contains("nested"));
+        let e = parse_sections("/\n").unwrap_err();
+        assert!(e.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn value_coercions() {
+        assert_eq!(Value::Int(3).as_f64().unwrap(), 3.0);
+        assert!(Value::Str("x".into()).as_f64().is_err());
+        assert!(Value::Int(-1).as_usize().is_err());
+        assert_eq!(parse_value("F").unwrap(), Value::Bool(false));
+        assert!(parse_value("").is_err());
+        assert!(parse_value("1.2.3").is_err());
+    }
+}

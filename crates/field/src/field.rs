@@ -1,0 +1,170 @@
+//! Staggered fields: arrays bound to a grid location and a model buffer.
+
+use crate::Array3;
+use gpusim::BufferId;
+use mas_grid::{IndexSpace3, SphericalGrid, Stagger};
+
+/// A named physical field: an [`Array3`] plus its staggered location and
+/// (after registration) the `gpusim` buffer id used for memory-model
+/// accounting.
+#[derive(Clone, Debug)]
+pub struct Field {
+    /// Field name (kernel labels, dumps).
+    pub name: &'static str,
+    /// Staggered location on the mesh.
+    pub stagger: Stagger,
+    /// The data.
+    pub data: Array3,
+    /// Model buffer id (None until registered with a memory manager).
+    pub buf: Option<BufferId>,
+}
+
+impl Field {
+    /// Zero field with the staggering's dimensions on `grid`.
+    pub fn zeros(name: &'static str, stagger: Stagger, grid: &SphericalGrid) -> Self {
+        let (n1, n2, n3) = stagger.dims(grid.nr, grid.nt, grid.np);
+        Self {
+            name,
+            stagger,
+            data: Array3::zeros(n1, n2, n3),
+            buf: None,
+        }
+    }
+
+    /// Constant field.
+    pub fn constant(
+        name: &'static str,
+        stagger: Stagger,
+        grid: &SphericalGrid,
+        v: f64,
+    ) -> Self {
+        let mut f = Self::zeros(name, stagger, grid);
+        f.data.fill(v);
+        f
+    }
+
+    /// Interior index space.
+    pub fn interior(&self) -> IndexSpace3 {
+        self.data.interior()
+    }
+
+    /// Model buffer id; panics if the field was never registered —
+    /// launching a kernel on an unregistered field is a programming error
+    /// in the solver setup.
+    pub fn buf(&self) -> BufferId {
+        self.buf
+            .unwrap_or_else(|| panic!("field '{}' not registered with the device", self.name))
+    }
+
+    /// Initialize every storage point (ghosts included) from a function of
+    /// the physical coordinates of this field's staggered location.
+    pub fn init_with(&mut self, grid: &SphericalGrid, f: impl Fn(f64, f64, f64) -> f64) {
+        let (s1, s2, s3) = (self.data.s1, self.data.s2, self.data.s3);
+        for k in 0..s3 {
+            let p = grid.coord(self.stagger, 2, k);
+            for j in 0..s2 {
+                let t = grid.coord(self.stagger, 1, j);
+                for i in 0..s1 {
+                    let r = grid.coord(self.stagger, 0, i);
+                    self.data.set(i, j, k, f(r, t, p));
+                }
+            }
+        }
+    }
+}
+
+/// A staggered vector field: components on the faces normal to their
+/// direction (the MAC/Yee arrangement used for both `v` and `B`).
+#[derive(Clone, Debug)]
+pub struct VecField {
+    /// r-component on r-faces.
+    pub r: Field,
+    /// θ-component on θ-faces.
+    pub t: Field,
+    /// φ-component on φ-faces.
+    pub p: Field,
+}
+
+impl VecField {
+    /// Zero vector field on faces.
+    pub fn zeros_faces(name: &'static str, grid: &SphericalGrid) -> Self {
+        // Component names leak (once per field per run) so kernel labels
+        // can be 'static; the count is tiny and fixed.
+        let rn: &'static str = Box::leak(format!("{name}_r").into_boxed_str());
+        let tn: &'static str = Box::leak(format!("{name}_t").into_boxed_str());
+        let pn: &'static str = Box::leak(format!("{name}_p").into_boxed_str());
+        Self {
+            r: Field::zeros(rn, Stagger::FaceR, grid),
+            t: Field::zeros(tn, Stagger::FaceT, grid),
+            p: Field::zeros(pn, Stagger::FaceP, grid),
+        }
+    }
+
+    /// Zero vector field on edges (E, J live here).
+    pub fn zeros_edges(name: &'static str, grid: &SphericalGrid) -> Self {
+        let rn: &'static str = Box::leak(format!("{name}_r").into_boxed_str());
+        let tn: &'static str = Box::leak(format!("{name}_t").into_boxed_str());
+        let pn: &'static str = Box::leak(format!("{name}_p").into_boxed_str());
+        Self {
+            r: Field::zeros(rn, Stagger::EdgeR, grid),
+            t: Field::zeros(tn, Stagger::EdgeT, grid),
+            p: Field::zeros(pn, Stagger::EdgeP, grid),
+        }
+    }
+
+    /// Components as an array for iteration.
+    pub fn comps(&self) -> [&Field; 3] {
+        [&self.r, &self.t, &self.p]
+    }
+
+    /// Mutable components.
+    pub fn comps_mut(&mut self) -> [&mut Field; 3] {
+        [&mut self.r, &mut self.t, &mut self.p]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> SphericalGrid {
+        SphericalGrid::coronal(8, 6, 4, 5.0)
+    }
+
+    #[test]
+    fn field_dims_follow_stagger() {
+        let g = grid();
+        let f = Field::zeros("rho", Stagger::CellCenter, &g);
+        assert_eq!((f.data.n1, f.data.n2, f.data.n3), (8, 6, 4));
+        let f = Field::zeros("br", Stagger::FaceR, &g);
+        assert_eq!((f.data.n1, f.data.n2, f.data.n3), (9, 6, 4));
+    }
+
+    #[test]
+    fn init_with_uses_staggered_coords() {
+        let g = grid();
+        let mut f = Field::zeros("br", Stagger::FaceR, &g);
+        f.init_with(&g, |r, _, _| r);
+        // First interior r-face sits exactly at the surface r=1.
+        assert!((f.data.get(mas_grid::NGHOST, 2, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vecfield_staggering() {
+        let g = grid();
+        let v = VecField::zeros_faces("v", &g);
+        assert_eq!(v.r.stagger, Stagger::FaceR);
+        assert_eq!(v.t.stagger, Stagger::FaceT);
+        assert_eq!(v.p.stagger, Stagger::FaceP);
+        let e = VecField::zeros_edges("e", &g);
+        assert_eq!(e.r.stagger, Stagger::EdgeR);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_buffer_panics() {
+        let g = grid();
+        let f = Field::zeros("rho", Stagger::CellCenter, &g);
+        let _ = f.buf();
+    }
+}

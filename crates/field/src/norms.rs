@@ -1,0 +1,103 @@
+//! Norms and inner products over index blocks (serial reference versions).
+//!
+//! These are *host-side* reductions used by tests, diagnostics and the
+//! setup phase. The solver's own reductions go through `stdpar` so they are
+//! executed (and charged) under the active code-version policy.
+
+use crate::Array3;
+use mas_grid::IndexSpace3;
+
+/// Dot product `⟨a, b⟩` over a block.
+pub fn dot(a: &Array3, b: &Array3, blk: &IndexSpace3) -> f64 {
+    let mut s = 0.0;
+    blk.for_each(|i, j, k| s += a.get(i, j, k) * b.get(i, j, k));
+    s
+}
+
+/// `max |a|` over a block.
+pub fn linf_norm(a: &Array3, blk: &IndexSpace3) -> f64 {
+    a.max_abs(blk)
+}
+
+/// `max |a - b|` over a block.
+pub fn linf_diff(a: &Array3, b: &Array3, blk: &IndexSpace3) -> f64 {
+    let mut m = 0.0_f64;
+    blk.for_each(|i, j, k| m = m.max((a.get(i, j, k) - b.get(i, j, k)).abs()));
+    m
+}
+
+/// Relative L2 difference `‖a-b‖₂ / ‖b‖₂` over a block (0 if both zero).
+pub fn rel_l2_diff(a: &Array3, b: &Array3, blk: &IndexSpace3) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    blk.for_each(|i, j, k| {
+        let d = a.get(i, j, k) - b.get(i, j, k);
+        num += d * d;
+        den += b.get(i, j, k) * b.get(i, j, k);
+    });
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Volume-weighted L2 norm `sqrt(Σ w a²)` with a per-point weight closure.
+pub fn weighted_l2(a: &Array3, blk: &IndexSpace3, w: impl Fn(usize, usize, usize) -> f64) -> f64 {
+    let mut s = 0.0;
+    blk.for_each(|i, j, k| {
+        let v = a.get(i, j, k);
+        s += w(i, j, k) * v * v;
+    });
+    s.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk() -> IndexSpace3 {
+        Array3::zeros(2, 2, 2).interior()
+    }
+
+    #[test]
+    fn dot_of_constants() {
+        let a = Array3::constant(2, 2, 2, 2.0);
+        let b = Array3::constant(2, 2, 2, 3.0);
+        assert_eq!(dot(&a, &b, &blk()), 48.0);
+    }
+
+    #[test]
+    fn rel_l2_zero_for_identical() {
+        let a = Array3::constant(2, 2, 2, 1.5);
+        assert_eq!(rel_l2_diff(&a, &a, &blk()), 0.0);
+    }
+
+    #[test]
+    fn rel_l2_infinite_when_reference_zero() {
+        let a = Array3::constant(2, 2, 2, 1.0);
+        let z = Array3::zeros(2, 2, 2);
+        assert_eq!(rel_l2_diff(&a, &z, &blk()), f64::INFINITY);
+        assert_eq!(rel_l2_diff(&z, &z, &blk()), 0.0);
+    }
+
+    #[test]
+    fn linf_diff_picks_largest() {
+        let mut a = Array3::zeros(2, 2, 2);
+        let b = Array3::zeros(2, 2, 2);
+        a.set(1, 1, 1, 0.5);
+        a.set(2, 2, 2, -2.0);
+        assert_eq!(linf_diff(&a, &b, &blk()), 2.0);
+    }
+
+    #[test]
+    fn weighted_l2_matches_manual() {
+        let a = Array3::constant(2, 2, 2, 2.0);
+        let n = weighted_l2(&a, &blk(), |_, _, _| 0.25);
+        assert!((n - (8.0_f64 * 0.25 * 4.0).sqrt()).abs() < 1e-14);
+    }
+}

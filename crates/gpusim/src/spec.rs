@@ -1,0 +1,287 @@
+//! Device specifications — the calibrated constants of the performance model.
+//!
+//! Two hardware models matter for the paper:
+//!
+//! * the **NVIDIA A100 (40 GB)** GPUs of NCSA Delta (peak 1555 GB/s HBM;
+//!   NVLink-connected within the 8-GPU node), used for Figs. 2–4;
+//! * the **dual-socket AMD EPYC 7742** CPU nodes of SDSC Expanse
+//!   (409.5 GB/s peak per node), used for Table III.
+//!
+//! The GPU constants were calibrated once so that the Code 1 (A)
+//! single-GPU run of the scaled test problem extrapolates to the paper's
+//! published 200.9 min wall / 29.0 min MPI split; every other code version
+//! and GPU count is then a *prediction* of the model (see EXPERIMENTS.md).
+
+/// Per-point memory/compute traffic of a kernel, used to convert a loop's
+/// index-space size into model bytes and flops.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Traffic {
+    /// Array reads per grid point (8-byte words).
+    pub reads: u32,
+    /// Array writes per grid point (8-byte words).
+    pub writes: u32,
+    /// Floating-point operations per grid point.
+    pub flops: u32,
+}
+
+impl Traffic {
+    /// Convenience constructor.
+    pub const fn new(reads: u32, writes: u32, flops: u32) -> Self {
+        Self { reads, writes, flops }
+    }
+
+    /// Total bytes moved for `n` points.
+    pub fn bytes(&self, n: usize) -> f64 {
+        (self.reads + self.writes) as f64 * 8.0 * n as f64
+    }
+
+    /// Total flops for `n` points.
+    pub fn total_flops(&self, n: usize) -> f64 {
+        self.flops as f64 * n as f64
+    }
+}
+
+/// Calibrated hardware constants for one device (GPU or CPU node).
+#[derive(Clone, Debug)]
+pub struct DeviceSpec {
+    /// Human-readable device name (appears in reports).
+    pub name: &'static str,
+    /// Achievable device-memory bandwidth for stencil kernels, GB/s.
+    /// (A100 peak is 1555 GB/s; stencil codes achieve a fraction.)
+    pub mem_bw_gbs: f64,
+    /// Achievable f64 throughput, GFLOP/s (rarely binding for MAS).
+    pub flops_gflops: f64,
+    /// Kernel launch overhead for a synchronous launch, µs.
+    pub launch_overhead_us: f64,
+    /// Residual per-kernel overhead when launches are pipelined with
+    /// `async` queues, µs.
+    pub async_overhead_us: f64,
+    /// Host↔device copy bandwidth (PCIe / staged), GB/s.
+    pub h2d_bw_gbs: f64,
+    /// Host↔device copy latency per transfer, µs.
+    pub h2d_latency_us: f64,
+    /// GPU peer-to-peer (NVLink) bandwidth, GB/s.
+    pub p2p_bw_gbs: f64,
+    /// GPU peer-to-peer latency per transfer, µs.
+    pub p2p_latency_us: f64,
+    /// Unified-memory migration bandwidth, GB/s (fault-driven paging is far
+    /// slower than bulk memcpy).
+    pub um_bw_gbs: f64,
+    /// Service latency per migrated page group, µs.
+    pub um_fault_us: f64,
+    /// Unified-memory page-group granularity, bytes (2 MiB on NVIDIA).
+    pub um_page_bytes: usize,
+    /// Extra per-launch driver overhead when running under unified memory
+    /// (page-table bookkeeping — the "larger gaps between kernel launches"
+    /// the paper observes in the UM NSIGHT profile), µs.
+    pub um_launch_extra_us: f64,
+    /// Effective-bandwidth multiplier for kernels running under unified
+    /// memory (< 1): fault servicing and page-table pressure reduce the
+    /// achieved streaming bandwidth even when all pages are resident —
+    /// the paper's UM runs lose ~25% of non-MPI performance (Fig. 3).
+    pub um_bw_derate: f64,
+    /// Last-level cache per device, bytes (CPU model; 0 disables the bonus).
+    pub cache_bytes: f64,
+    /// Maximum bandwidth multiplier when the working set is cache-resident.
+    pub cache_bonus: f64,
+    /// Device memory capacity, bytes (0 disables the pressure derate).
+    pub mem_capacity_bytes: f64,
+    /// Bandwidth lost per unit memory-capacity fraction in use (TLB and
+    /// allocator pressure near capacity — the source of the mild
+    /// super-linear scaling the paper sees from 1 to 2 GPUs).
+    pub pressure_derate: f64,
+    /// Log-normal jitter sigma applied to launch overheads (run-to-run
+    /// variation; 0 = fully deterministic).
+    pub jitter_sigma: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA A100 (40 GB) as installed in an NCSA Delta 8-way NVLink node.
+    ///
+    /// `mem_bw_gbs` is the *achieved* stencil bandwidth (≈ 78% of the
+    /// 1555 GB/s peak), which is typical for finite-difference kernels and
+    /// is the number the calibration settled on.
+    pub fn a100_40gb() -> Self {
+        Self {
+            name: "NVIDIA A100-SXM4-40GB",
+            mem_bw_gbs: 1210.0,
+            flops_gflops: 9700.0,
+            launch_overhead_us: 13.0,
+            async_overhead_us: 1.8,
+            h2d_bw_gbs: 22.0,
+            h2d_latency_us: 10.0,
+            p2p_bw_gbs: 240.0,
+            p2p_latency_us: 4.0,
+            um_bw_gbs: 8.0,
+            um_fault_us: 45.0,
+            um_page_bytes: 2 << 20,
+            um_launch_extra_us: 2.8,
+            um_bw_derate: 0.745,
+            cache_bytes: 40.0e6,
+            cache_bonus: 0.0,
+            mem_capacity_bytes: 40.0e9,
+            pressure_derate: 0.30,
+            jitter_sigma: 0.015,
+        }
+    }
+
+    /// Hypothetical AMD MI250X (one GCD) — the paper's §VI outlook asks
+    /// whether a single `do concurrent` code base could run across
+    /// vendors; this spec lets the model *predict* the same six-version
+    /// study on AMD hardware (see the `fig_portability` harness).
+    ///
+    /// Constants from public MI250X data: 1.6 TB/s HBM2e per GCD with a
+    /// similar achieved fraction, higher ROCm launch latency, Infinity
+    /// Fabric instead of NVLink, and XNACK-based managed memory with
+    /// heavier fault costs.
+    pub fn mi250x_gcd() -> Self {
+        Self {
+            name: "AMD MI250X (1 GCD, modeled)",
+            mem_bw_gbs: 1270.0,
+            flops_gflops: 23900.0,
+            launch_overhead_us: 18.0,
+            async_overhead_us: 2.5,
+            h2d_bw_gbs: 28.0,
+            h2d_latency_us: 12.0,
+            p2p_bw_gbs: 100.0, // Infinity Fabric per-pair effective
+            p2p_latency_us: 6.0,
+            um_bw_gbs: 2.5,
+            um_fault_us: 70.0,
+            um_page_bytes: 2 << 20,
+            um_launch_extra_us: 4.0,
+            um_bw_derate: 0.70,
+            cache_bytes: 8.0e6,
+            cache_bonus: 0.0,
+            mem_capacity_bytes: 64.0e9,
+            pressure_derate: 0.25,
+            jitter_sigma: 0.02,
+        }
+    }
+
+    /// One dual-socket AMD EPYC 7742 node of SDSC Expanse (Table III).
+    ///
+    /// Peak node bandwidth is 409.5 GB/s; stencil codes achieve ≈ 70%.
+    /// The 2×256 MiB of L3 produces the super-linear node scaling of
+    /// Table III once per-node working sets start fitting.
+    pub fn epyc_7742_node() -> Self {
+        Self {
+            name: "2x AMD EPYC 7742 (Expanse node)",
+            mem_bw_gbs: 287.0,
+            flops_gflops: 2300.0,
+            // CPU "kernels" are OpenMP/MPI loops: no device launch cost.
+            launch_overhead_us: 0.0,
+            async_overhead_us: 0.0,
+            h2d_bw_gbs: f64::INFINITY,
+            h2d_latency_us: 0.0,
+            p2p_bw_gbs: 12.0, // inter-node InfiniBand HDR-100 effective
+            p2p_latency_us: 2.0,
+            um_bw_gbs: f64::INFINITY,
+            um_fault_us: 0.0,
+            um_page_bytes: 2 << 20,
+            um_launch_extra_us: 0.0,
+            um_bw_derate: 1.0,
+            cache_bytes: 512.0e6,
+            cache_bonus: 0.75,
+            mem_capacity_bytes: 256.0e9,
+            pressure_derate: 0.0,
+            jitter_sigma: 0.002,
+        }
+    }
+
+    /// Time (µs) for a bulk host↔device copy of `bytes`.
+    pub fn copy_time_us(&self, bytes: f64) -> f64 {
+        if self.h2d_bw_gbs.is_infinite() {
+            return 0.0;
+        }
+        self.h2d_latency_us + bytes / (self.h2d_bw_gbs * 1e3)
+    }
+
+    /// Time (µs) for a peer-to-peer transfer of `bytes`.
+    pub fn p2p_time_us(&self, bytes: f64) -> f64 {
+        self.p2p_latency_us + bytes / (self.p2p_bw_gbs * 1e3)
+    }
+
+    /// Time (µs) to migrate `bytes` through the unified-memory pager.
+    pub fn um_migration_time_us(&self, bytes: f64) -> f64 {
+        if self.um_bw_gbs.is_infinite() {
+            return 0.0;
+        }
+        let pages = (bytes / self.um_page_bytes as f64).ceil().max(1.0);
+        pages * self.um_fault_us + bytes / (self.um_bw_gbs * 1e3)
+    }
+
+    /// Execution time (µs) of a kernel moving `bytes` and doing `flops`,
+    /// excluding launch overhead. `resident_bytes` is the kernel's working
+    /// set, used for the CPU cache bonus.
+    pub fn exec_time_us(&self, bytes: f64, flops: f64, resident_bytes: f64) -> f64 {
+        let mut bw = self.mem_bw_gbs * 1e3; // bytes/µs
+        if self.cache_bonus > 0.0 && resident_bytes > 0.0 {
+            // Fraction of traffic served from cache grows as the working
+            // set shrinks below the LLC size.
+            let fit = (self.cache_bytes / resident_bytes).min(1.0);
+            bw *= 1.0 + self.cache_bonus * fit;
+        }
+        if self.pressure_derate > 0.0 && self.mem_capacity_bytes > 0.0 && resident_bytes > 0.0 {
+            let used = (resident_bytes / self.mem_capacity_bytes).min(1.0);
+            bw *= 1.0 - self.pressure_derate * used;
+        }
+        let mem_t = bytes / bw;
+        let flop_t = flops / (self.flops_gflops * 1e3);
+        mem_t.max(flop_t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_accounting() {
+        let t = Traffic::new(5, 2, 12);
+        assert_eq!(t.bytes(100), 7.0 * 8.0 * 100.0);
+        assert_eq!(t.total_flops(100), 1200.0);
+    }
+
+    #[test]
+    fn a100_memory_bound_kernel() {
+        let s = DeviceSpec::a100_40gb();
+        // 1 GB of traffic should take ~1/1.21 ms per GB*1000 => ~826 µs.
+        let t = s.exec_time_us(1.0e9, 0.0, 0.0);
+        assert!((t - 1.0e9 / (1210.0 * 1e3)).abs() < 1e-9);
+        // Flop-bound only when flops dominate enormously.
+        let t2 = s.exec_time_us(8.0, 1.0e9, 0.0);
+        assert!(t2 > t / 10.0);
+    }
+
+    #[test]
+    fn um_migration_slower_than_copy() {
+        let s = DeviceSpec::a100_40gb();
+        let bytes = 64.0 * (2 << 20) as f64;
+        assert!(s.um_migration_time_us(bytes) > 3.0 * s.copy_time_us(bytes));
+    }
+
+    #[test]
+    fn p2p_much_faster_than_host_staging() {
+        let s = DeviceSpec::a100_40gb();
+        let bytes = 8.0e6;
+        assert!(s.p2p_time_us(bytes) * 5.0 < 2.0 * s.copy_time_us(bytes) + s.um_migration_time_us(bytes));
+    }
+
+    #[test]
+    fn cpu_cache_bonus_speeds_small_working_sets() {
+        let s = DeviceSpec::epyc_7742_node();
+        let big = s.exec_time_us(1.0e9, 0.0, 8.0e9); // working set >> cache
+        let small = s.exec_time_us(1.0e9, 0.0, 0.4e9); // fits mostly in LLC
+        assert!(small < big, "cache-resident run must be faster");
+        let speedup = big / small;
+        assert!(speedup > 1.2 && speedup < 2.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn cpu_has_no_launch_overhead() {
+        let s = DeviceSpec::epyc_7742_node();
+        assert_eq!(s.launch_overhead_us, 0.0);
+        assert_eq!(s.copy_time_us(1e9), 0.0);
+        assert_eq!(s.um_migration_time_us(1e9), 0.0);
+    }
+}

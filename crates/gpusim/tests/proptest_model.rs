@@ -1,0 +1,148 @@
+//! Property-based tests of the virtual-device model: the memory-residency
+//! state machine, clock monotonicity, and cost-model scaling laws.
+
+use gpusim::{DataMode, DeviceContext, DeviceSpec, Phase, Residency, Traffic};
+use proptest::prelude::*;
+
+/// Operations the solver can perform against the memory model.
+#[derive(Clone, Debug)]
+enum Op {
+    EnterData(u8),
+    UpdateHost(u8),
+    UpdateDevice(u8),
+    KernelRead(u8),
+    KernelWrite(u8),
+    HostRead(u8),
+    HostWrite(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4).prop_map(Op::EnterData),
+        (0u8..4).prop_map(Op::UpdateHost),
+        (0u8..4).prop_map(Op::UpdateDevice),
+        (0u8..4).prop_map(Op::KernelRead),
+        (0u8..4).prop_map(Op::KernelWrite),
+        (0u8..4).prop_map(Op::HostRead),
+        (0u8..4).prop_map(Op::HostWrite),
+    ]
+}
+
+fn ctx(mode: DataMode) -> DeviceContext {
+    let mut spec = DeviceSpec::a100_40gb();
+    spec.jitter_sigma = 0.0;
+    let mut c = DeviceContext::new(spec, mode, 0, 1);
+    c.set_phase(Phase::Compute);
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under unified memory, any interleaving of kernel/host accesses is
+    /// legal, the clock never goes backwards, and a kernel access always
+    /// leaves the touched buffer device-visible.
+    #[test]
+    fn um_state_machine_total(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut c = ctx(DataMode::Unified);
+        let bufs: Vec<_> = (0..4).map(|i| {
+            c.mem.register(1 << 16, ["a", "b", "c", "d"][i])
+        }).collect();
+        let mut t_last = c.clock.now_us();
+        for op in ops {
+            match op {
+                Op::EnterData(i) => c.enter_data(bufs[i as usize]),
+                Op::UpdateHost(i) => c.update_host(bufs[i as usize]),
+                Op::UpdateDevice(i) => c.update_device(bufs[i as usize]),
+                Op::KernelRead(i) => {
+                    c.launch("k", 8, Traffic::new(1, 0, 0), &[bufs[i as usize]], &[]);
+                    prop_assert_ne!(c.mem.residency(bufs[i as usize]), Residency::Host);
+                }
+                Op::KernelWrite(i) => {
+                    c.launch("k", 8, Traffic::new(0, 1, 0), &[], &[bufs[i as usize]]);
+                    prop_assert_eq!(c.mem.residency(bufs[i as usize]), Residency::Device);
+                }
+                Op::HostRead(i) => {
+                    c.host_touch(bufs[i as usize], false);
+                    prop_assert_ne!(c.mem.residency(bufs[i as usize]), Residency::Device);
+                }
+                Op::HostWrite(i) => {
+                    c.host_touch(bufs[i as usize], true);
+                    prop_assert_eq!(c.mem.residency(bufs[i as usize]), Residency::Host);
+                }
+            }
+            let t = c.clock.now_us();
+            prop_assert!(t >= t_last, "clock went backwards");
+            t_last = t;
+        }
+    }
+
+    /// Manual mode: the enter→kernel→update-host→host-read discipline
+    /// never panics and charges copies exactly when state transitions
+    /// require them.
+    #[test]
+    fn manual_discipline_charges_copies(n_rounds in 1usize..10) {
+        let mut c = ctx(DataMode::Manual);
+        let b = c.mem.register(1 << 20, "x");
+        c.enter_data(b);
+        let mut copied = c.mem.copied_bytes;
+        prop_assert!(copied > 0.0, "enter_data must copy");
+        for _ in 0..n_rounds {
+            c.launch("k", 8, Traffic::new(1, 1, 0), &[b], &[b]);
+            c.update_host(b);
+            prop_assert!(c.mem.copied_bytes > copied, "kernel write + update must copy back");
+            copied = c.mem.copied_bytes;
+            c.host_touch(b, false);
+            // Reading on the host does not invalidate the device copy: the
+            // next kernel needs no new transfer.
+            let before = c.mem.copied_bytes;
+            c.launch("k", 8, Traffic::new(1, 0, 0), &[b], &[]);
+            prop_assert_eq!(c.mem.copied_bytes, before);
+        }
+    }
+
+    /// Kernel execution time is linear in the point count and decreasing
+    /// in bandwidth, for any traffic mix.
+    #[test]
+    fn exec_time_scaling(reads in 1u32..16, writes in 0u32..8, n in 1usize..100_000) {
+        let spec = DeviceSpec::a100_40gb();
+        let t = Traffic::new(reads, writes, 0);
+        let t1 = spec.exec_time_us(t.bytes(n), 0.0, 0.0);
+        let t2 = spec.exec_time_us(t.bytes(2 * n), 0.0, 0.0);
+        prop_assert!((t2 - 2.0 * t1).abs() < 1e-9 * t2.max(1e-30), "linear in points");
+        let mut faster = spec.clone();
+        faster.mem_bw_gbs *= 2.0;
+        let t3 = faster.exec_time_us(t.bytes(n), 0.0, 0.0);
+        prop_assert!(t3 < t1 || t1 == 0.0);
+    }
+
+    /// UM migration cost is monotone in bytes and dominated by the fault
+    /// term for small buffers.
+    #[test]
+    fn um_migration_monotone(b1 in 1usize..1_000_000, b2 in 1usize..1_000_000) {
+        let spec = DeviceSpec::a100_40gb();
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        prop_assert!(spec.um_migration_time_us(lo as f64) <= spec.um_migration_time_us(hi as f64));
+        prop_assert!(spec.um_migration_time_us(1.0) >= spec.um_fault_us);
+    }
+
+    /// Phase bookkeeping: compute + MPI + setup always equals the clock.
+    #[test]
+    fn phases_partition_the_clock(charges in prop::collection::vec((0.0f64..100.0, 0u8..3), 1..50)) {
+        let mut c = ctx(DataMode::Manual);
+        let t0 = c.clock.now_us();
+        for (us, phase) in charges {
+            let p = match phase {
+                0 => Phase::Setup,
+                1 => Phase::Compute,
+                _ => Phase::Mpi,
+            };
+            c.set_phase(p);
+            c.charge(us, gpusim::TimeCategory::Other, "x");
+        }
+        let total = c.prof.phase_total_us(Phase::Setup)
+            + c.prof.phase_total_us(Phase::Compute)
+            + c.prof.phase_total_us(Phase::Mpi);
+        prop_assert!((total - (c.clock.now_us() - t0)).abs() < 1e-9);
+    }
+}

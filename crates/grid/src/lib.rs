@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # mas-grid
+//!
+//! Logically-rectangular, non-uniform, staggered spherical grids for the
+//! `mas-rs` solar-MHD solver — the Rust reproduction of the grid machinery
+//! used by the MAS (Magnetohydrodynamic Algorithm outside a Sphere) code.
+//!
+//! MAS discretizes the solar corona on a spherical `(r, θ, φ)` product mesh:
+//!
+//! * each direction is an independent non-uniform 1-D mesh ([`Mesh1d`]),
+//!   built from stretched segments so resolution can be concentrated near
+//!   the photosphere and around active regions;
+//! * fields live at staggered locations (cell centers, face centers, edge
+//!   centers, vertices) following a Yee-style arrangement so that the
+//!   constrained-transport induction update preserves `∇·B = 0` to
+//!   round-off ([`Stagger`]);
+//! * all metric factors (radii, `sin θ`, cell volumes, face areas, inverse
+//!   spacings) are precomputed once ([`SphericalGrid`]).
+//!
+//! The grid is purely geometric: it knows nothing about MPI decomposition
+//! (see `minimpi`) or about which programming model executes the loops
+//! (see `stdpar`).
+
+pub mod index;
+pub mod mesh1d;
+pub mod spherical;
+pub mod stagger;
+
+pub use index::IndexSpace3;
+pub use mesh1d::{Mesh1d, Segment};
+pub use spherical::SphericalGrid;
+pub use stagger::Stagger;
+
+/// Number of ghost layers carried on every axis of every array.
+///
+/// The MAS discretization is second order with one-point upwinding, so a
+/// single ghost layer is sufficient for every stencil in the code.
+pub const NGHOST: usize = 1;

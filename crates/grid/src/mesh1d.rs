@@ -1,0 +1,386 @@
+//! Non-uniform 1-D meshes built from stretched segments.
+//!
+//! MAS meshes are specified (in its namelist input) as a list of segments,
+//! each covering part of the domain with a geometric stretching ratio.
+//! The mesh generator produces the *face* (half-mesh) positions; cell
+//! centers, widths and center-to-center spacings are derived from them.
+//!
+//! Conventions (for a mesh of `n` cells and `g` ghost layers):
+//!
+//! * `faces` has `n + 1 + 2g` entries; interior faces are `faces[g ..= n+g]`.
+//! * `centers` has `n + 2g` entries; interior cells are `centers[g .. n+g]`.
+//! * `dc[i] = faces[i+1] - faces[i]` is the width of cell `i`
+//!   (length `n + 2g`).
+//! * `df[i] = centers[i] - centers[i-1]` is the center-to-center spacing
+//!   *at face* `i` (length `n + 1 + 2g`, with one-sided values at the ends).
+//!
+//! Ghost geometry is extrapolated by mirroring the first/last interior cell
+//! widths, which is what a second-order boundary treatment needs.
+
+/// One stretched segment of a 1-D mesh specification.
+///
+/// A segment covers `[x0, x1]` (filled in by the builder from the previous
+/// segment's end) with `frac` of the total cell budget and a geometric
+/// ratio `ratio` between the last and first cell width inside the segment
+/// (`ratio > 1` ⇒ cells grow along the segment, `< 1` ⇒ shrink).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// End coordinate of this segment (the first segment starts at the
+    /// mesh's `x0`; each subsequent segment starts where the previous one
+    /// ended).
+    pub x_end: f64,
+    /// Fraction of the total number of cells allocated to this segment.
+    pub frac: f64,
+    /// Ratio of the last cell width to the first cell width in the segment.
+    pub ratio: f64,
+}
+
+impl Segment {
+    /// Convenience constructor.
+    pub fn new(x_end: f64, frac: f64, ratio: f64) -> Self {
+        Self { x_end, frac, ratio }
+    }
+}
+
+/// A fully-generated non-uniform 1-D mesh.
+#[derive(Clone, Debug)]
+pub struct Mesh1d {
+    /// Number of interior cells.
+    pub n: usize,
+    /// Ghost layers on each side.
+    pub ng: usize,
+    /// Domain start (first interior face).
+    pub x0: f64,
+    /// Domain end (last interior face).
+    pub x1: f64,
+    /// Face positions, `n + 1 + 2*ng` entries.
+    pub faces: Vec<f64>,
+    /// Cell-center positions, `n + 2*ng` entries.
+    pub centers: Vec<f64>,
+    /// Cell widths `faces[i+1]-faces[i]`, `n + 2*ng` entries.
+    pub dc: Vec<f64>,
+    /// Center-to-center spacings at faces, `n + 1 + 2*ng` entries.
+    pub df: Vec<f64>,
+    /// Reciprocal of `dc` (precomputed for the hot stencil loops).
+    pub dc_inv: Vec<f64>,
+    /// Reciprocal of `df`.
+    pub df_inv: Vec<f64>,
+    /// True if this axis is periodic (used for φ).
+    pub periodic: bool,
+}
+
+impl Mesh1d {
+    /// Build a uniform mesh of `n` cells over `[x0, x1]`.
+    pub fn uniform(n: usize, x0: f64, x1: f64, ng: usize, periodic: bool) -> Self {
+        assert!(n >= 1, "mesh must have at least one cell");
+        assert!(x1 > x0, "mesh domain must be non-degenerate");
+        let dx = (x1 - x0) / n as f64;
+        let nf = n + 1 + 2 * ng;
+        let faces: Vec<f64> = (0..nf)
+            .map(|i| x0 + (i as f64 - ng as f64) * dx)
+            .collect();
+        Self::from_faces(n, ng, faces, periodic)
+    }
+
+    /// Build a stretched mesh of `n` cells over `[x0, last segment end]`
+    /// from a list of [`Segment`]s.
+    ///
+    /// Segment cell counts are rounded from their fractions; any remainder
+    /// from rounding is assigned to the last segment so exactly `n` cells
+    /// are produced. Within each segment the cell widths follow a geometric
+    /// progression chosen so the widths sum to the segment length and the
+    /// last/first width ratio equals `Segment::ratio`.
+    pub fn stretched(n: usize, x0: f64, segments: &[Segment], ng: usize, periodic: bool) -> Self {
+        assert!(!segments.is_empty(), "need at least one segment");
+        let frac_sum: f64 = segments.iter().map(|s| s.frac).sum();
+        assert!(
+            (frac_sum - 1.0).abs() < 1e-9,
+            "segment fractions must sum to 1 (got {frac_sum})"
+        );
+        // Distribute cells.
+        let mut counts: Vec<usize> = segments
+            .iter()
+            .map(|s| ((s.frac * n as f64).round() as usize).max(1))
+            .collect();
+        let assigned: usize = counts.iter().sum();
+        let last = counts.len() - 1;
+        if assigned > n {
+            let excess = assigned - n;
+            assert!(
+                counts[last] > excess,
+                "cannot honor segment fractions for n={n}"
+            );
+            counts[last] -= excess;
+        } else {
+            counts[last] += n - assigned;
+        }
+
+        let mut faces = Vec::with_capacity(n + 1 + 2 * ng);
+        // Interior faces first; ghosts appended afterwards.
+        let mut x_start = x0;
+        let mut interior = vec![x0];
+        for (seg, &m) in segments.iter().zip(&counts) {
+            let len = seg.x_end - x_start;
+            assert!(len > 0.0, "segments must advance the coordinate");
+            let widths = geometric_widths(m, len, seg.ratio);
+            let mut x = x_start;
+            for w in widths {
+                x += w;
+                interior.push(x);
+            }
+            // Snap the segment end exactly to avoid drift.
+            *interior.last_mut().unwrap() = seg.x_end;
+            x_start = seg.x_end;
+        }
+        assert_eq!(interior.len(), n + 1);
+        // Ghost faces mirror the first/last interior widths.
+        for _ in 0..ng {
+            faces.push(0.0); // placeholders, fixed below
+        }
+        faces.extend_from_slice(&interior);
+        for _ in 0..ng {
+            faces.push(0.0);
+        }
+        for g in 0..ng {
+            let w = interior[g + 1] - interior[g];
+            faces[ng - 1 - g] = faces[ng - g] - w;
+            let m = interior.len();
+            let w = interior[m - 1 - g] - interior[m - 2 - g];
+            faces[ng + n + 1 + g] = faces[ng + n + g] + w;
+        }
+        Self::from_faces(n, ng, faces, periodic)
+    }
+
+    /// Construct the derived arrays from a complete face list
+    /// (including ghost faces).
+    pub fn from_faces(n: usize, ng: usize, faces: Vec<f64>, periodic: bool) -> Self {
+        assert_eq!(faces.len(), n + 1 + 2 * ng, "face array has wrong length");
+        for w in faces.windows(2) {
+            assert!(w[1] > w[0], "faces must be strictly increasing");
+        }
+        let x0 = faces[ng];
+        let x1 = faces[ng + n];
+        let nc = n + 2 * ng;
+        let centers: Vec<f64> = (0..nc).map(|i| 0.5 * (faces[i] + faces[i + 1])).collect();
+        let dc: Vec<f64> = (0..nc).map(|i| faces[i + 1] - faces[i]).collect();
+        let nf = n + 1 + 2 * ng;
+        let mut df = vec![0.0; nf];
+        for i in 0..nf {
+            if i == 0 {
+                df[i] = centers[0] - (faces[0] - 0.5 * dc[0]);
+            } else if i == nf - 1 {
+                df[i] = (faces[nf - 1] + 0.5 * dc[nc - 1]) - centers[nc - 1];
+            } else {
+                df[i] = centers[i] - centers[i - 1];
+            }
+        }
+        let dc_inv = dc.iter().map(|&d| 1.0 / d).collect();
+        let df_inv = df.iter().map(|&d| 1.0 / d).collect();
+        Self {
+            n,
+            ng,
+            x0,
+            x1,
+            faces,
+            centers,
+            dc,
+            df,
+            dc_inv,
+            df_inv,
+            periodic,
+        }
+    }
+
+    /// Total domain length.
+    pub fn length(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Smallest interior cell width (used by CFL estimates).
+    pub fn min_dc(&self) -> f64 {
+        self.dc[self.ng..self.ng + self.n]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest interior cell width.
+    pub fn max_dc(&self) -> f64 {
+        self.dc[self.ng..self.ng + self.n]
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
+    }
+
+    /// Extract the sub-mesh for cells `[c0, c0+len)` (interior cell indices,
+    /// 0-based without ghosts), keeping this mesh's ghost width.
+    ///
+    /// Used by the domain decomposition: each MPI rank owns a contiguous
+    /// slab of cells and needs a local mesh whose ghost geometry matches the
+    /// neighbouring rank's interior geometry.
+    pub fn submesh(&self, c0: usize, len: usize) -> Mesh1d {
+        assert!(len >= 1 && c0 + len <= self.n, "submesh out of range");
+        let ng = self.ng;
+        let nf = len + 1 + 2 * ng;
+        let mut faces = Vec::with_capacity(nf);
+        for i in 0..nf {
+            // Global face index of local face `i`: c0 + i, but shifted so
+            // that local ghost faces line up with global faces where they
+            // exist (they always do except at non-periodic global ends,
+            // where the global mesh's own extrapolated ghosts are reused).
+            let gi = c0 + i;
+            faces.push(self.face_wrapped(gi));
+        }
+        Mesh1d::from_faces(len, ng, faces, self.periodic)
+    }
+
+    /// Face position by "extended" index, wrapping periodically if needed.
+    ///
+    /// `gi` indexes the ghost-extended face array. For periodic meshes,
+    /// indices beyond the array are mapped by shifting whole periods, so a
+    /// rank at the φ seam sees geometrically-consistent ghost faces.
+    fn face_wrapped(&self, gi: usize) -> f64 {
+        if !self.periodic {
+            return self.faces[gi.min(self.faces.len() - 1)];
+        }
+        let period = self.length();
+        let nfi = self.n; // interior face count minus one
+        // Convert to a signed interior-relative index.
+        let rel = gi as isize - self.ng as isize;
+        let mut idx = rel;
+        let mut shift = 0.0;
+        while idx < 0 {
+            idx += nfi as isize;
+            shift -= period;
+        }
+        while idx > nfi as isize {
+            idx -= nfi as isize;
+            shift += period;
+        }
+        self.faces[self.ng + idx as usize] + shift
+    }
+}
+
+/// Widths of `m` cells in geometric progression summing to `len`, with
+/// `last/first = ratio`.
+fn geometric_widths(m: usize, len: f64, ratio: f64) -> Vec<f64> {
+    assert!(m >= 1);
+    assert!(ratio > 0.0, "stretch ratio must be positive");
+    if m == 1 || (ratio - 1.0).abs() < 1e-12 {
+        return vec![len / m as f64; m];
+    }
+    // widths w0 * q^i, q = ratio^(1/(m-1)); sum = w0 (q^m - 1)/(q - 1) = len
+    let q = ratio.powf(1.0 / (m as f64 - 1.0));
+    let w0 = len * (q - 1.0) / (q.powi(m as i32) - 1.0);
+    (0..m).map(|i| w0 * q.powi(i as i32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_mesh_geometry() {
+        let m = Mesh1d::uniform(10, 0.0, 1.0, 1, false);
+        assert_eq!(m.faces.len(), 13);
+        assert_eq!(m.centers.len(), 12);
+        assert!((m.faces[1] - 0.0).abs() < 1e-14);
+        assert!((m.faces[11] - 1.0).abs() < 1e-14);
+        assert!((m.dc[5] - 0.1).abs() < 1e-14);
+        assert!((m.centers[1] - 0.05).abs() < 1e-14);
+        // Ghost cells mirror interior widths.
+        assert!((m.dc[0] - 0.1).abs() < 1e-14);
+        assert!((m.dc[11] - 0.1).abs() < 1e-14);
+    }
+
+    #[test]
+    fn uniform_df_is_dx_in_interior() {
+        let m = Mesh1d::uniform(8, 0.0, 2.0, 1, false);
+        for i in 1..m.df.len() - 1 {
+            assert!((m.df[i] - 0.25).abs() < 1e-14, "df[{i}]={}", m.df[i]);
+        }
+    }
+
+    #[test]
+    fn stretched_mesh_covers_domain_and_ratio() {
+        let segs = [Segment::new(2.0, 0.5, 4.0), Segment::new(10.0, 0.5, 8.0)];
+        let m = Mesh1d::stretched(64, 1.0, &segs, 1, false);
+        assert_eq!(m.n, 64);
+        assert!((m.x0 - 1.0).abs() < 1e-12);
+        assert!((m.x1 - 10.0).abs() < 1e-12);
+        // Widths increase within the first segment with roughly the requested ratio.
+        let first = m.dc[m.ng];
+        let last_of_seg1 = m.dc[m.ng + 31];
+        let ratio = last_of_seg1 / first;
+        assert!(
+            (ratio - 4.0).abs() / 4.0 < 0.05,
+            "stretch ratio {ratio} too far from 4"
+        );
+    }
+
+    #[test]
+    fn stretched_faces_strictly_increasing() {
+        let segs = [
+            Segment::new(1.5, 0.25, 0.5),
+            Segment::new(3.0, 0.25, 1.0),
+            Segment::new(30.0, 0.5, 20.0),
+        ];
+        let m = Mesh1d::stretched(100, 1.0, &segs, 1, false);
+        for w in m.faces.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Sum of interior cell widths equals the domain length.
+        let sum: f64 = m.dc[m.ng..m.ng + m.n].iter().sum();
+        assert!((sum - m.length()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn geometric_widths_sum_and_ratio() {
+        let w = geometric_widths(10, 3.0, 5.0);
+        let s: f64 = w.iter().sum();
+        assert!((s - 3.0).abs() < 1e-12);
+        assert!((w[9] / w[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_mesh_wraps_ghosts() {
+        let m = Mesh1d::uniform(8, 0.0, std::f64::consts::TAU, 1, true);
+        // Ghost face left of 0 should be one cell before 0.
+        let dphi = std::f64::consts::TAU / 8.0;
+        assert!((m.faces[0] - (-dphi)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn submesh_matches_parent_geometry() {
+        let segs = [Segment::new(2.0, 0.5, 3.0), Segment::new(8.0, 0.5, 2.0)];
+        let m = Mesh1d::stretched(32, 1.0, &segs, 1, false);
+        let s = m.submesh(8, 8);
+        assert_eq!(s.n, 8);
+        // Local interior faces equal global faces 8..=16 (offset by ghosts).
+        for i in 0..=8 {
+            let g = m.faces[m.ng + 8 + i];
+            let l = s.faces[s.ng + i];
+            assert!((g - l).abs() < 1e-13, "face {i}: {g} vs {l}");
+        }
+        // Ghost face of the submesh equals the parent's neighbouring face
+        // (interior in the parent).
+        assert!((s.faces[0] - m.faces[m.ng + 7]).abs() < 1e-13);
+    }
+
+    #[test]
+    fn periodic_submesh_seam_ghosts_shift_by_period() {
+        let n = 16;
+        let m = Mesh1d::uniform(n, 0.0, std::f64::consts::TAU, 1, true);
+        // Slab starting at cell 0: its left ghost face lies one period below
+        // the face of the last interior cell.
+        let s = m.submesh(0, 4);
+        let expect = m.faces[m.ng + n - 1] - std::f64::consts::TAU;
+        assert!((s.faces[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_nonmonotone_faces() {
+        Mesh1d::from_faces(2, 0, vec![0.0, 1.0, 0.5], false);
+    }
+}

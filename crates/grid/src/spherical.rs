@@ -1,0 +1,386 @@
+//! The spherical product grid with precomputed metric factors.
+//!
+//! MAS runs on `(r, θ, φ)` with non-uniform meshes in `r` and `θ` and a
+//! (usually) uniform periodic mesh in `φ`. Because the metric of a
+//! spherical product grid is separable, all geometric factors are stored as
+//! 1-D arrays and combined inside the kernels — exactly what a
+//! memory-bandwidth-bound code wants, and what MAS itself does.
+//!
+//! Conventions:
+//! * `θ ∈ [0, π]` with the polar axis included; `sin θ` at the exact pole
+//!   faces is zero, which makes θ-fluxes through the axis vanish naturally.
+//! * `φ ∈ [0, 2π)` periodic.
+//! * All arrays are ghost-extended with [`crate::NGHOST`] layers.
+
+use crate::{Mesh1d, Segment, Stagger, NGHOST};
+
+/// A complete spherical grid: three 1-D meshes plus precomputed metric
+/// arrays (ghost-extended, center and face variants).
+#[derive(Clone, Debug)]
+pub struct SphericalGrid {
+    /// Radial mesh (cells: `nr`).
+    pub r: Mesh1d,
+    /// Colatitude mesh (cells: `nt`).
+    pub t: Mesh1d,
+    /// Longitude mesh (cells: `np`), periodic.
+    pub p: Mesh1d,
+    /// Radial cell count.
+    pub nr: usize,
+    /// Colatitude cell count.
+    pub nt: usize,
+    /// Longitude cell count (local slab).
+    pub np: usize,
+
+    // --- radial metric arrays ---
+    /// r at cell centers (len `nr + 2g`).
+    pub rc: Vec<f64>,
+    /// r at faces (len `nr + 1 + 2g`).
+    pub rf: Vec<f64>,
+    /// r² at centers.
+    pub rc2: Vec<f64>,
+    /// r² at faces.
+    pub rf2: Vec<f64>,
+    /// 1/r at centers.
+    pub rc_inv: Vec<f64>,
+    /// 1/r at faces (clamped away from zero; the solar grid never reaches
+    /// r = 0 but a test grid might get close).
+    pub rf_inv: Vec<f64>,
+
+    // --- colatitude metric arrays ---
+    /// sin θ at centers (len `nt + 2g`).
+    pub st_c: Vec<f64>,
+    /// sin θ at faces (len `nt + 1 + 2g`); exactly 0 on pole faces.
+    pub st_f: Vec<f64>,
+    /// cos θ at faces.
+    pub ct_f: Vec<f64>,
+    /// 1/sin θ at centers, clamped near the axis.
+    pub st_c_inv: Vec<f64>,
+    /// 1/sin θ at faces, clamped (pole faces get 0 — fluxes there are zero
+    /// anyway, and 0 avoids propagating infinities).
+    pub st_f_inv: Vec<f64>,
+    /// `cos θ_f[j] - cos θ_f[j+1]` per θ cell (the exact solid-angle weight).
+    pub dcos: Vec<f64>,
+
+    /// True if this grid spans the full sphere in θ (pole faces at 0 and π).
+    pub has_poles: bool,
+    /// Offset of this grid's first φ cell within a global grid
+    /// (0 for a standalone grid; set by [`SphericalGrid::subgrid_phi`]).
+    pub phi_offset: usize,
+    /// Global φ cell count (equals `np` for a standalone grid).
+    pub np_global: usize,
+}
+
+/// Threshold below which 1/sinθ is considered "on the axis" and clamped.
+const SIN_EPS: f64 = 1e-12;
+
+impl SphericalGrid {
+    /// Build a grid from three prepared meshes.
+    pub fn new(r: Mesh1d, t: Mesh1d, p: Mesh1d) -> Self {
+        assert_eq!(r.ng, NGHOST);
+        assert_eq!(t.ng, NGHOST);
+        assert_eq!(p.ng, NGHOST);
+        assert!(p.periodic, "φ mesh must be periodic");
+        assert!(
+            t.x0 >= -1e-12 && t.x1 <= std::f64::consts::PI + 1e-12,
+            "θ domain must lie in [0, π]"
+        );
+        let (nr, nt, np) = (r.n, t.n, p.n);
+
+        let rc = r.centers.clone();
+        let rf = r.faces.clone();
+        let rc2: Vec<f64> = rc.iter().map(|&x| x * x).collect();
+        let rf2: Vec<f64> = rf.iter().map(|&x| x * x).collect();
+        let rc_inv: Vec<f64> = rc.iter().map(|&x| 1.0 / x.max(SIN_EPS)).collect();
+        let rf_inv: Vec<f64> = rf.iter().map(|&x| 1.0 / x.max(SIN_EPS)).collect();
+
+        let has_poles =
+            t.x0.abs() < 1e-12 && (t.x1 - std::f64::consts::PI).abs() < 1e-12;
+        let st_c: Vec<f64> = t.centers.iter().map(|&x| x.sin()).collect();
+        // Snap pole-face sines to exactly zero so axis fluxes vanish.
+        let st_f: Vec<f64> = t
+            .faces
+            .iter()
+            .map(|&x| {
+                let s = x.sin();
+                if x.abs() < 1e-12 || (x - std::f64::consts::PI).abs() < 1e-12 {
+                    0.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        let ct_f: Vec<f64> = t.faces.iter().map(|&x| x.cos()).collect();
+        let st_c_inv: Vec<f64> = st_c
+            .iter()
+            .map(|&s| if s.abs() < SIN_EPS { 0.0 } else { 1.0 / s })
+            .collect();
+        let st_f_inv: Vec<f64> = st_f
+            .iter()
+            .map(|&s| if s.abs() < SIN_EPS { 0.0 } else { 1.0 / s })
+            .collect();
+        let dcos: Vec<f64> = (0..nt + 2 * NGHOST)
+            .map(|j| ct_f[j] - ct_f[j + 1])
+            .collect();
+
+        Self {
+            r,
+            t,
+            p,
+            nr,
+            nt,
+            np,
+            rc,
+            rf,
+            rc2,
+            rf2,
+            rc_inv,
+            rf_inv,
+            st_c,
+            st_f,
+            ct_f,
+            st_c_inv,
+            st_f_inv,
+            dcos,
+            has_poles,
+            phi_offset: 0,
+            np_global: np,
+        }
+    }
+
+    /// The MAS-style coronal grid: stretched radial mesh concentrated near
+    /// the photosphere (`r = 1 R_s`) out to `r_max`, mildly stretched θ, and
+    /// uniform φ. `(nr, nt, np)` are the cell counts.
+    pub fn coronal(nr: usize, nt: usize, np: usize, r_max: f64) -> Self {
+        assert!(r_max > 1.1, "outer boundary must be well above the surface");
+        // Radial: fine boundary layer near the surface, geometric growth outward.
+        let r_mid = 1.0 + 0.25 * (r_max - 1.0);
+        let rsegs = [
+            Segment::new(r_mid, 0.5, 6.0),
+            Segment::new(r_max, 0.5, 4.0),
+        ];
+        let r = Mesh1d::stretched(nr, 1.0, &rsegs, NGHOST, false);
+        // θ: mildly concentrated toward the equator (streamer belt).
+        let pi = std::f64::consts::PI;
+        let tsegs = [
+            Segment::new(0.5 * pi, 0.5, 0.6),
+            Segment::new(pi, 0.5, 1.0 / 0.6),
+        ];
+        let t = Mesh1d::stretched(nt, 0.0, &tsegs, NGHOST, false);
+        let p = Mesh1d::uniform(np, 0.0, std::f64::consts::TAU, NGHOST, true);
+        Self::new(r, t, p)
+    }
+
+    /// A fully uniform grid, mainly for operator unit tests.
+    pub fn uniform(nr: usize, nt: usize, np: usize, r0: f64, r1: f64) -> Self {
+        let r = Mesh1d::uniform(nr, r0, r1, NGHOST, false);
+        let t = Mesh1d::uniform(nt, 0.0, std::f64::consts::PI, NGHOST, false);
+        let p = Mesh1d::uniform(np, 0.0, std::f64::consts::TAU, NGHOST, true);
+        Self::new(r, t, p)
+    }
+
+    /// Volume of cell `(i, j, k)` (ghost-extended indices).
+    ///
+    /// `dV = (r_f³ difference)/3 · (cos θ_f difference) · Δφ` — exact for the
+    /// spherical metric, so summing interior volumes reproduces the shell
+    /// volume to round-off.
+    pub fn cell_volume(&self, i: usize, j: usize, k: usize) -> f64 {
+        let dr3 = (self.rf[i + 1].powi(3) - self.rf[i].powi(3)) / 3.0;
+        dr3 * self.dcos[j] * self.p.dc[k]
+    }
+
+    /// Area of the r-face at `(i, j, k)` (face index `i`).
+    pub fn area_r(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.rf2[i] * self.dcos[j] * self.p.dc[k]
+    }
+
+    /// Area of the θ-face at `(i, j, k)` (face index `j`).
+    pub fn area_t(&self, i: usize, j: usize, k: usize) -> f64 {
+        let dr2 = 0.5 * (self.rf2[i + 1] - self.rf2[i]);
+        dr2 * self.st_f[j] * self.p.dc[k]
+    }
+
+    /// Area of the φ-face at `(i, j, k)` (face index `k`).
+    pub fn area_p(&self, i: usize, j: usize, _k: usize) -> f64 {
+        let dr2 = 0.5 * (self.rf2[i + 1] - self.rf2[i]);
+        dr2 * self.t.dc[j]
+    }
+
+    /// Total interior volume.
+    pub fn total_volume(&self) -> f64 {
+        let g = NGHOST;
+        let mut v = 0.0;
+        for k in g..g + self.np {
+            for j in g..g + self.nt {
+                for i in g..g + self.nr {
+                    v += self.cell_volume(i, j, k);
+                }
+            }
+        }
+        v
+    }
+
+    /// Coordinate of index `idx` along `axis` for a field staggered as `s`
+    /// (ghost-extended index).
+    pub fn coord(&self, s: Stagger, axis: usize, idx: usize) -> f64 {
+        let mesh = match axis {
+            0 => &self.r,
+            1 => &self.t,
+            2 => &self.p,
+            _ => panic!("axis must be 0..3"),
+        };
+        if s.on_half_mesh(axis) {
+            mesh.faces[idx]
+        } else {
+            mesh.centers[idx]
+        }
+    }
+
+    /// Number of cells (interior).
+    pub fn n_cells(&self) -> usize {
+        self.nr * self.nt * self.np
+    }
+
+    /// Smallest cell extent anywhere on the grid — the length scale that
+    /// controls the explicit CFL limit.
+    pub fn min_extent(&self) -> f64 {
+        let g = NGHOST;
+        let mut m = f64::INFINITY;
+        for i in g..g + self.nr {
+            m = m.min(self.r.dc[i]);
+            for j in g..g + self.nt {
+                m = m.min(self.rc[i] * self.t.dc[j]);
+                let rs = self.rc[i] * self.st_c[j];
+                if rs > SIN_EPS {
+                    m = m.min(rs * self.p.min_dc());
+                }
+            }
+        }
+        m
+    }
+
+    /// Extract the φ-slab subgrid owning global φ cells `[k0, k0+len)`.
+    ///
+    /// The r and θ meshes are shared (cloned); the φ mesh is the
+    /// geometric sub-mesh with seam-aware ghost faces. `phi_offset` and
+    /// `np_global` record the slab's place in the global grid so boundary
+    /// code can distinguish "my edge" from "the global edge".
+    pub fn subgrid_phi(&self, k0: usize, len: usize) -> SphericalGrid {
+        let p_local = self.p.submesh(k0, len);
+        let mut g = SphericalGrid::new(self.r.clone(), self.t.clone(), p_local);
+        g.phi_offset = k0;
+        g.np_global = self.np;
+        g
+    }
+
+    /// Partition `np` φ-cells across `n_ranks` slabs as evenly as possible;
+    /// returns `(k0, len)` for `rank`.
+    pub fn phi_partition(np: usize, n_ranks: usize, rank: usize) -> (usize, usize) {
+        assert!(n_ranks >= 1 && rank < n_ranks);
+        assert!(np >= n_ranks, "fewer φ planes than ranks");
+        let base = np / n_ranks;
+        let extra = np % n_ranks;
+        let len = base + usize::from(rank < extra);
+        let k0 = rank * base + rank.min(extra);
+        (k0, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn small() -> SphericalGrid {
+        SphericalGrid::coronal(12, 10, 8, 10.0)
+    }
+
+    #[test]
+    fn volumes_sum_to_shell_volume() {
+        let g = small();
+        let exact = 4.0 / 3.0 * PI * (10.0_f64.powi(3) - 1.0);
+        let v = g.total_volume();
+        assert!(
+            (v - exact).abs() / exact < 1e-12,
+            "volume {v} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn pole_faces_have_zero_area() {
+        let g = small();
+        assert_eq!(g.st_f[NGHOST], 0.0);
+        assert_eq!(g.st_f[NGHOST + g.nt], 0.0);
+        assert_eq!(g.area_t(NGHOST, NGHOST, NGHOST), 0.0);
+    }
+
+    #[test]
+    fn face_areas_positive_in_interior() {
+        let g = small();
+        for i in NGHOST..NGHOST + g.nr {
+            for j in NGHOST + 1..NGHOST + g.nt {
+                assert!(g.area_r(i, j, NGHOST) > 0.0);
+                assert!(g.area_t(i, j, NGHOST) > 0.0);
+                assert!(g.area_p(i, j, NGHOST) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn coord_selects_half_vs_main_mesh() {
+        let g = small();
+        let c = g.coord(Stagger::CellCenter, 0, NGHOST);
+        let f = g.coord(Stagger::FaceR, 0, NGHOST);
+        assert!((f - 1.0).abs() < 1e-12, "first r-face at the surface");
+        assert!(c > f);
+    }
+
+    #[test]
+    fn phi_partition_covers_all_cells() {
+        for nranks in [1, 2, 3, 4, 7, 8] {
+            let mut total = 0;
+            let mut next = 0;
+            for rank in 0..nranks {
+                let (k0, len) = SphericalGrid::phi_partition(64, nranks, rank);
+                assert_eq!(k0, next, "slabs must be contiguous");
+                next = k0 + len;
+                total += len;
+            }
+            assert_eq!(total, 64);
+        }
+    }
+
+    #[test]
+    fn subgrid_phi_geometry_matches_parent() {
+        let g = small();
+        let sg = g.subgrid_phi(2, 4);
+        assert_eq!(sg.np, 4);
+        assert_eq!(sg.phi_offset, 2);
+        assert_eq!(sg.np_global, 8);
+        for k in 0..4 {
+            let gl = g.p.centers[NGHOST + 2 + k];
+            let lo = sg.p.centers[NGHOST + k];
+            assert!((gl - lo).abs() < 1e-13);
+        }
+        // Sum of slab volumes equals global volume.
+        let mut v = 0.0;
+        for rank in 0..3 {
+            let (k0, len) = SphericalGrid::phi_partition(g.np, 3, rank);
+            v += g.subgrid_phi(k0, len).total_volume();
+        }
+        assert!((v - g.total_volume()).abs() / g.total_volume() < 1e-12);
+    }
+
+    #[test]
+    fn min_extent_positive_and_small() {
+        let g = small();
+        let m = g.min_extent();
+        assert!(m > 0.0);
+        assert!(m < g.r.max_dc());
+    }
+
+    #[test]
+    fn has_poles_detected() {
+        let g = small();
+        assert!(g.has_poles);
+    }
+}

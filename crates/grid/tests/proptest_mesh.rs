@@ -1,0 +1,92 @@
+//! Property-based tests of the mesh generator and grid geometry.
+
+use mas_grid::{Mesh1d, Segment, SphericalGrid, Stagger, NGHOST};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Sub-meshes always reproduce the parent's interior faces exactly,
+    /// and their ghost faces line up with the parent's adjacent faces.
+    #[test]
+    fn submesh_inherits_parent_faces(
+        n in 8usize..64,
+        c0_frac in 0.0f64..0.8,
+        len_frac in 0.1f64..0.9,
+        ratio in 0.3f64..5.0,
+    ) {
+        let segs = [Segment::new(4.0, 1.0, ratio)];
+        let m = Mesh1d::stretched(n, 1.0, &segs, NGHOST, false);
+        let c0 = ((c0_frac * n as f64) as usize).min(n - 1);
+        let len = (((len_frac * (n - c0) as f64) as usize).max(1)).min(n - c0);
+        let s = m.submesh(c0, len);
+        for i in 0..=len {
+            prop_assert!((s.faces[NGHOST + i] - m.faces[NGHOST + c0 + i]).abs() < 1e-12);
+        }
+        if c0 > 0 {
+            prop_assert!((s.faces[0] - m.faces[NGHOST + c0 - 1]).abs() < 1e-12);
+        }
+    }
+
+    /// Periodic sub-meshes wrap their ghosts by whole periods.
+    #[test]
+    fn periodic_submesh_ghost_wraps(n in 8usize..64, len in 2usize..8) {
+        prop_assume!(len < n);
+        let m = Mesh1d::uniform(n, 0.0, std::f64::consts::TAU, NGHOST, true);
+        // Slab at the start: left ghost wraps to the far end minus 2π.
+        let s = m.submesh(0, len);
+        let expect = m.faces[NGHOST + n - 1] - std::f64::consts::TAU;
+        prop_assert!((s.faces[0] - expect).abs() < 1e-10);
+        // Slab at the end: right ghost wraps past 2π.
+        let s = m.submesh(n - len, len);
+        let expect = m.faces[NGHOST + 1] + std::f64::consts::TAU;
+        prop_assert!((s.faces[NGHOST + len + 1] - expect).abs() < 1e-10);
+    }
+
+    /// Face areas and cell volumes obey the divergence-theorem identity
+    /// for the unit radial field: `Σ(A_r(out) − A_r(in)) = Σ dV·div(r̂·r)…`
+    /// — concretely, the exact closed-surface identity
+    /// `A_r(outer shell) − A_r(inner shell) = Σ_cells (A_r(i+1) − A_r(i))`.
+    #[test]
+    fn face_area_telescoping(nr in 3usize..12, nt in 3usize..10, np in 3usize..8, rmax in 2.0f64..30.0) {
+        let g = SphericalGrid::coronal(nr, nt, np, rmax);
+        let gg = NGHOST;
+        let mut inner = 0.0;
+        let mut outer = 0.0;
+        let mut telescoped = 0.0;
+        for k in gg..gg + np {
+            for j in gg..gg + nt {
+                inner += g.area_r(gg, j, k);
+                outer += g.area_r(gg + nr, j, k);
+                for i in gg..gg + nr {
+                    telescoped += g.area_r(i + 1, j, k) - g.area_r(i, j, k);
+                }
+            }
+        }
+        prop_assert!((telescoped - (outer - inner)).abs() < 1e-9 * outer.max(1.0));
+        // Sphere areas: 4π r² at each boundary.
+        let exact_inner = 4.0 * std::f64::consts::PI;
+        prop_assert!((inner - exact_inner).abs() < 1e-9 * exact_inner);
+        let exact_outer = 4.0 * std::f64::consts::PI * rmax * rmax;
+        prop_assert!((outer - exact_outer).abs() < 1e-9 * exact_outer);
+    }
+
+    /// Staggered dims always differ from cell-centered dims by the
+    /// documented offsets, and coordinate lookup respects the staggering.
+    #[test]
+    fn stagger_coord_consistency(nr in 3usize..10, nt in 3usize..10, np in 3usize..10) {
+        let g = SphericalGrid::coronal(nr, nt, np, 5.0);
+        for s in Stagger::ALL {
+            let (n1, n2, n3) = s.dims(nr, nt, np);
+            let (o1, o2, o3) = s.offsets();
+            prop_assert_eq!((n1, n2, n3), (nr + o1, nt + o2, np + o3));
+            // Half-mesh coordinates sit on faces; main-mesh on centers.
+            let c = g.coord(s, 0, NGHOST);
+            if s.on_half_mesh(0) {
+                prop_assert!((c - g.rf[NGHOST]).abs() < 1e-14);
+            } else {
+                prop_assert!((c - g.rc[NGHOST]).abs() < 1e-14);
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Binary field dumps: the checkpoint/restart format.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   b"MASRSDMP"
+//! version u32
+//! step    u64
+//! time    f64
+//! nfields u32
+//! per field:
+//!   name_len u32, name bytes,
+//!   s1 u32, s2 u32, s3 u32,
+//!   s1*s2*s3 f64 values (full storage, ghosts included)
+//! ```
+
+use mas_field::Array3;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MASRSDMP";
+const VERSION: u32 = 1;
+
+/// Run metadata stored in a dump.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DumpHeader {
+    /// Step counter at dump time.
+    pub step: u64,
+    /// Physical time at dump time.
+    pub time: f64,
+}
+
+fn w_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn r_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn r_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn r_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Write `fields` (name, array) to `path`.
+pub fn write_fields(
+    path: impl AsRef<Path>,
+    header: DumpHeader,
+    fields: &[(&str, &Array3)],
+) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w_u32(&mut w, VERSION)?;
+    w_u64(&mut w, header.step)?;
+    w_f64(&mut w, header.time)?;
+    w_u32(&mut w, fields.len() as u32)?;
+    for (name, a) in fields {
+        w_u32(&mut w, name.len() as u32)?;
+        w.write_all(name.as_bytes())?;
+        w_u32(&mut w, a.s1 as u32)?;
+        w_u32(&mut w, a.s2 as u32)?;
+        w_u32(&mut w, a.s3 as u32)?;
+        for &v in a.as_slice() {
+            w_f64(&mut w, v)?;
+        }
+    }
+    w.flush()
+}
+
+/// Read a dump into the provided `(name, array)` pairs. Every requested
+/// field must be present with matching storage dimensions; extra fields
+/// in the file are an error (dumps and solvers must agree exactly).
+pub fn read_fields(
+    path: impl AsRef<Path>,
+    fields: &mut [(&str, &mut Array3)],
+) -> io::Result<DumpHeader> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a mas-rs dump file"));
+    }
+    let version = r_u32(&mut r)?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported dump version {version}")));
+    }
+    let header = DumpHeader {
+        step: r_u64(&mut r)?,
+        time: r_f64(&mut r)?,
+    };
+    let nfields = r_u32(&mut r)? as usize;
+    if nfields != fields.len() {
+        return Err(bad(format!(
+            "dump holds {nfields} fields, solver expects {}",
+            fields.len()
+        )));
+    }
+    for (expect_name, a) in fields.iter_mut() {
+        let name_len = r_u32(&mut r)? as usize;
+        if name_len > 256 {
+            return Err(bad("corrupt field name"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("non-UTF8 field name"))?;
+        if name != *expect_name {
+            return Err(bad(format!("field order mismatch: '{name}' vs '{expect_name}'")));
+        }
+        let (s1, s2, s3) = (r_u32(&mut r)? as usize, r_u32(&mut r)? as usize, r_u32(&mut r)? as usize);
+        if (s1, s2, s3) != (a.s1, a.s2, a.s3) {
+            return Err(bad(format!(
+                "field '{name}' dims {s1}x{s2}x{s3} vs expected {}x{}x{}",
+                a.s1, a.s2, a.s3
+            )));
+        }
+        for v in a.as_mut_slice() {
+            *v = r_f64(&mut r)?;
+        }
+    }
+    Ok(header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mas_io_dump_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut a = Array3::zeros(3, 4, 5);
+        let mut b = Array3::zeros(2, 2, 2);
+        for (idx, v) in a.as_mut_slice().iter_mut().enumerate() {
+            *v = idx as f64 * 0.5;
+        }
+        b.set(1, 1, 1, -7.25);
+        let p = temp_path("rt.dump");
+        write_fields(&p, DumpHeader { step: 42, time: 1.5 }, &[("rho", &a), ("temp", &b)])
+            .unwrap();
+        let mut a2 = Array3::zeros(3, 4, 5);
+        let mut b2 = Array3::zeros(2, 2, 2);
+        let h = read_fields(&p, &mut [("rho", &mut a2), ("temp", &mut b2)]).unwrap();
+        assert_eq!(h, DumpHeader { step: 42, time: 1.5 });
+        assert_eq!(a.as_slice(), a2.as_slice());
+        assert_eq!(b.as_slice(), b2.as_slice());
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let p = temp_path("bad.dump");
+        std::fs::write(&p, b"NOTADUMPxxxxxxxxxxxx").unwrap();
+        let mut a = Array3::zeros(2, 2, 2);
+        let err = read_fields(&p, &mut [("rho", &mut a)]).unwrap_err();
+        assert!(err.to_string().contains("not a mas-rs dump"));
+    }
+
+    #[test]
+    fn rejects_dim_mismatch() {
+        let a = Array3::zeros(3, 3, 3);
+        let p = temp_path("dims.dump");
+        write_fields(&p, DumpHeader { step: 0, time: 0.0 }, &[("rho", &a)]).unwrap();
+        let mut b = Array3::zeros(4, 3, 3);
+        let err = read_fields(&p, &mut [("rho", &mut b)]).unwrap_err();
+        assert!(err.to_string().contains("dims"));
+    }
+
+    #[test]
+    fn rejects_name_mismatch() {
+        let a = Array3::zeros(2, 2, 2);
+        let p = temp_path("names.dump");
+        write_fields(&p, DumpHeader { step: 0, time: 0.0 }, &[("rho", &a)]).unwrap();
+        let mut b = Array3::zeros(2, 2, 2);
+        let err = read_fields(&p, &mut [("temp", &mut b)]).unwrap_err();
+        assert!(err.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn rejects_field_count_mismatch() {
+        let a = Array3::zeros(2, 2, 2);
+        let p = temp_path("count.dump");
+        write_fields(&p, DumpHeader { step: 0, time: 0.0 }, &[("rho", &a)]).unwrap();
+        let mut b = Array3::zeros(2, 2, 2);
+        let mut c = Array3::zeros(2, 2, 2);
+        let err = read_fields(&p, &mut [("rho", &mut b), ("temp", &mut c)]).unwrap_err();
+        assert!(err.to_string().contains("expects 2"));
+    }
+}

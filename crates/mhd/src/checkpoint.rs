@@ -1,0 +1,187 @@
+//! Checkpoint / restart: dump and restore the primary state.
+//!
+//! Production MAS runs checkpoint regularly (its 48-hour simulations run
+//! across many job allocations). The model side is faithful too: saving
+//! issues `!$acc update host` for every dumped field (D2H copies under
+//! manual memory, page migrations under UM), and restoring issues
+//! `update device` — both recorded as update sites in the directive audit.
+
+use crate::sim::Simulation;
+use mas_io::{read_fields, write_fields, DumpHeader};
+use std::io;
+use std::path::Path;
+
+/// Names and order of the checkpointed fields (must stay stable — the
+/// reader validates against it).
+const FIELDS: [&str; 8] = ["rho", "temp", "v_r", "v_t", "v_p", "b_r", "b_t", "b_p"];
+
+/// Save the primary state of this rank to `path`.
+pub fn save(sim: &mut Simulation, path: impl AsRef<Path>) -> io::Result<()> {
+    // Bring the fields back to the host (model accounting).
+    let bufs = sim.state.state_buf_ids();
+    for &b in &bufs {
+        sim.par.update_host("checkpoint_save", b);
+        sim.par.host_access(b, false);
+    }
+    let st = &sim.state;
+    let fields: Vec<(&str, &mas_field::Array3)> = FIELDS
+        .iter()
+        .copied()
+        .zip([
+            &st.rho.data, &st.temp.data,
+            &st.v.r.data, &st.v.t.data, &st.v.p.data,
+            &st.b.r.data, &st.b.t.data, &st.b.p.data,
+        ])
+        .collect();
+    write_fields(
+        path,
+        DumpHeader {
+            step: sim.step as u64,
+            time: sim.time,
+        },
+        &fields,
+    )
+}
+
+/// Restore the primary state of this rank from `path`. Returns the dump
+/// header. The caller should re-apply boundaries (or just keep stepping —
+/// every step begins by using the exchanged ghosts saved in the dump).
+pub fn load(sim: &mut Simulation, path: impl AsRef<Path>) -> io::Result<DumpHeader> {
+    let header = {
+        let st = &mut sim.state;
+        let mut fields: Vec<(&str, &mut mas_field::Array3)> = Vec::with_capacity(8);
+        let arrays = [
+            &mut st.rho.data, &mut st.temp.data,
+            &mut st.v.r.data, &mut st.v.t.data, &mut st.v.p.data,
+            &mut st.b.r.data, &mut st.b.t.data, &mut st.b.p.data,
+        ];
+        for (name, a) in FIELDS.iter().copied().zip(arrays) {
+            fields.push((name, a));
+        }
+        read_fields(path, &mut fields)?
+    };
+    // Host wrote the arrays; push them back to the device (model).
+    let bufs = sim.state.state_buf_ids();
+    for &b in &bufs {
+        sim.par.host_access(b, true);
+        sim.par.update_device("checkpoint_load", b);
+    }
+    sim.step = header.step as usize;
+    sim.time = header.time;
+    Ok(header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::DeviceSpec;
+    use mas_config::Deck;
+    use minimpi::World;
+    use stdpar::CodeVersion;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mas_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn mk_sim(deck: &Deck, version: CodeVersion) -> Simulation {
+        Simulation::new(deck, version, DeviceSpec::a100_40gb(), 0, 1, 1)
+    }
+
+    #[test]
+    fn restart_reproduces_uninterrupted_run() {
+        // Run 6 steps straight vs 3 steps + checkpoint + restore + 3 steps:
+        // the physics must match exactly.
+        let mut deck = Deck::preset_quickstart();
+        deck.time.n_steps = 6;
+        deck.output.hist_interval = 0;
+        let path = temp_path("restart.dump");
+
+        let straight = World::run(1, |comm| {
+            let mut deck = deck.clone();
+            deck.time.n_steps = 6;
+            let mut sim = mk_sim(&deck, CodeVersion::A);
+            sim.run(&comm);
+            (sim.time, sim.state.rho.data.get(5, 5, 5), sim.state.temp.data.get(4, 4, 4))
+        })
+        .pop()
+        .unwrap();
+
+        let restarted = World::run(1, |comm| {
+            let mut d1 = deck.clone();
+            d1.time.n_steps = 3;
+            let mut sim = mk_sim(&d1, CodeVersion::A);
+            sim.run(&comm);
+            save(&mut sim, &path).unwrap();
+            drop(sim);
+
+            // Fresh simulation object, state restored from disk.
+            let mut d2 = deck.clone();
+            d2.time.n_steps = 3;
+            let mut sim2 = mk_sim(&d2, CodeVersion::A);
+            let h = load(&mut sim2, &path).unwrap();
+            assert_eq!(h.step, 3);
+            sim2.run(&comm);
+            (sim2.time, sim2.state.rho.data.get(5, 5, 5), sim2.state.temp.data.get(4, 4, 4))
+        })
+        .pop()
+        .unwrap();
+
+        // Restart re-applies boundary conditions before stepping; the
+        // polar φ-average is not bitwise idempotent (summing an already-
+        // uniform ring reorders roundings), so require agreement to a few
+        // ulps rather than bit equality — exactly what a production
+        // restart guarantees.
+        let rel = |a: f64, b: f64| ((a - b) / b.abs().max(1e-300)).abs();
+        assert!(rel(straight.0, restarted.0) < 1e-13, "time: {} vs {}", straight.0, restarted.0);
+        assert!(rel(straight.1, restarted.1) < 1e-12, "rho: {} vs {}", straight.1, restarted.1);
+        assert!(rel(straight.2, restarted.2) < 1e-12, "temp: {} vs {}", straight.2, restarted.2);
+    }
+
+    #[test]
+    fn checkpoint_registers_update_sites() {
+        let deck = Deck::preset_quickstart();
+        let path = temp_path("audit.dump");
+        World::run(1, |comm| {
+            let mut sim = mk_sim(&deck, CodeVersion::A);
+            sim.run(&comm);
+            save(&mut sim, &path).unwrap();
+            load(&mut sim, &path).unwrap();
+            // Both update directions appear as audit sites.
+            assert!(sim.par.registry.n_update_sites() >= 2);
+        });
+    }
+
+    #[test]
+    fn load_rejects_wrong_grid() {
+        let deck = Deck::preset_quickstart();
+        let path = temp_path("wronggrid.dump");
+        World::run(1, |comm| {
+            let mut sim = mk_sim(&deck, CodeVersion::A);
+            sim.run(&comm);
+            save(&mut sim, &path).unwrap();
+        });
+        let mut bigger = deck.clone();
+        bigger.grid.nr += 4;
+        let mut sim2 = mk_sim(&bigger, CodeVersion::A);
+        let err = load(&mut sim2, &path).unwrap_err();
+        assert!(err.to_string().contains("dims"));
+    }
+
+    #[test]
+    fn um_checkpoint_pays_page_migrations() {
+        let deck = Deck::preset_quickstart();
+        let path = temp_path("um.dump");
+        World::run(1, |comm| {
+            let mut sim = mk_sim(&deck, CodeVersion::Adu);
+            sim.run(&comm);
+            let before = sim.par.ctx.mem.um_migrated_bytes;
+            save(&mut sim, &path).unwrap();
+            assert!(
+                sim.par.ctx.mem.um_migrated_bytes > before,
+                "UM checkpoint must page fields back to the host"
+            );
+        });
+    }
+}

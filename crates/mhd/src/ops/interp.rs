@@ -1,0 +1,136 @@
+//! Pure "device routines": the small functions called inside kernel loops.
+//!
+//! In MAS these are Fortran `pure` functions declared with `!$acc routine`
+//! and — in the paper's Codes 5–6 — force-inlined with
+//! `-Minline=reshape,name:s2c,boost,interp,c2s,sv2cv` (Table I). Here they
+//! are `#[inline(always)]` free functions; the `stdpar` audit models the
+//! directive/inlining consequences.
+
+/// Two-point average (the core of the staggering moves).
+#[inline(always)]
+pub fn avg2(a: f64, b: f64) -> f64 {
+    0.5 * (a + b)
+}
+
+/// Four-point average (face↔edge moves across two axes).
+#[inline(always)]
+pub fn avg4(a: f64, b: f64, c: f64, d: f64) -> f64 {
+    0.25 * (a + b + c + d)
+}
+
+/// Scalar (cell-centered) to staggered (face) average — MAS's `s2c`
+/// naming follows the destination mesh ("main to half").
+#[inline(always)]
+pub fn s2c(lo: f64, hi: f64) -> f64 {
+    avg2(lo, hi)
+}
+
+/// Staggered (face) to cell-centered average.
+#[inline(always)]
+pub fn c2s(lo: f64, hi: f64) -> f64 {
+    avg2(lo, hi)
+}
+
+/// Staggered-vector component moved to another staggering (4-point).
+#[inline(always)]
+pub fn sv2cv(a: f64, b: f64, c: f64, d: f64) -> f64 {
+    avg4(a, b, c, d)
+}
+
+/// Linear interpolation with weight `w ∈ [0, 1]`.
+#[inline(always)]
+pub fn interp(a: f64, b: f64, w: f64) -> f64 {
+    a + w * (b - a)
+}
+
+/// Donor-cell upwind selection: take `lo` when the advecting velocity is
+/// positive, `hi` otherwise.
+#[inline(always)]
+pub fn upwind(vel: f64, lo: f64, hi: f64) -> f64 {
+    if vel >= 0.0 {
+        lo
+    } else {
+        hi
+    }
+}
+
+/// Smooth exponential ramp used by the coronal heating profile
+/// (`boost(r) = exp(-(r-1)/λ)`).
+#[inline(always)]
+pub fn boost(r: f64, lambda_inv: f64) -> f64 {
+    (-(r - 1.0) * lambda_inv).exp()
+}
+
+/// Optically-thin radiative-loss function Λ(T): a piecewise power-law fit
+/// in normalized units (shape follows the Rosner–Tucker–Vaiana style
+/// curves MAS uses; absolute scale is absorbed into the input-deck
+/// coefficient).
+///
+/// `t` is the normalized temperature (1 = coronal base temperature).
+#[inline(always)]
+pub fn radloss(t: f64) -> f64 {
+    // Rising branch below the peak, gentle decline above it, cut off hard
+    // at very low temperature so the chromospheric floor does not
+    // runaway-cool.
+    if t < 0.05 {
+        0.0
+    } else if t < 0.5 {
+        // steep rise ~ T^2 toward the peak
+        4.0 * t * t
+    } else if t < 2.0 {
+        // near-flat peak region ~ T^{-1/2}, continuous at t = 0.5
+        1.0 / (2.0 * t).sqrt()
+    } else {
+        // hot branch ~ T^{1/2}/(2·2^{1/2}) style slow growth, continuous at 2
+        0.5 * (t / 2.0).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages() {
+        assert_eq!(avg2(1.0, 3.0), 2.0);
+        assert_eq!(avg4(1.0, 2.0, 3.0, 6.0), 3.0);
+        assert_eq!(s2c(0.0, 1.0), 0.5);
+        assert_eq!(sv2cv(1.0, 1.0, 1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn interp_endpoints() {
+        assert_eq!(interp(2.0, 4.0, 0.0), 2.0);
+        assert_eq!(interp(2.0, 4.0, 1.0), 4.0);
+        assert_eq!(interp(2.0, 4.0, 0.5), 3.0);
+    }
+
+    #[test]
+    fn upwind_selects_donor_cell() {
+        assert_eq!(upwind(1.0, 5.0, 9.0), 5.0);
+        assert_eq!(upwind(-1.0, 5.0, 9.0), 9.0);
+        assert_eq!(upwind(0.0, 5.0, 9.0), 5.0);
+    }
+
+    #[test]
+    fn boost_decays_from_surface() {
+        assert!((boost(1.0, 2.0) - 1.0).abs() < 1e-14);
+        assert!(boost(2.0, 2.0) < boost(1.5, 2.0));
+    }
+
+    #[test]
+    fn radloss_continuous_at_breakpoints() {
+        for bp in [0.5, 2.0] {
+            let lo = radloss(bp - 1e-9);
+            let hi = radloss(bp + 1e-9);
+            assert!((lo - hi).abs() < 1e-6, "discontinuity at {bp}: {lo} vs {hi}");
+        }
+    }
+
+    #[test]
+    fn radloss_zero_below_floor_peaked_midrange() {
+        assert_eq!(radloss(0.01), 0.0);
+        assert!(radloss(1.0) > radloss(0.2));
+        assert!(radloss(1.0) > 0.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! The physics operators of the thermodynamic MHD model.
+//!
+//! Each sub-module owns one term of the MAS equation set and exposes
+//! kernel-launching functions that go through the [`stdpar::Par`]
+//! executor:
+//!
+//! * [`advect`] — upwind mass/temperature advection;
+//! * [`momentum`] — pressure gradient, Lorentz force, gravity, velocity
+//!   advection;
+//! * [`induction`] — EMF assembly and the constrained-transport update;
+//! * [`conduct`] — Spitzer-like conduction operator, radiative losses,
+//!   coronal heating and floors.
+
+pub mod advect;
+pub mod conduct;
+pub mod induction;
+pub mod momentum;

@@ -1,0 +1,434 @@
+//! The momentum equation: pressure gradient, Lorentz force `J×B`,
+//! gravity, and upwind advection of velocity.
+
+use crate::ops::interp::{avg2, s2c, sv2cv};
+use crate::sites;
+use gpusim::Traffic;
+use mas_field::{Field, VecField};
+use mas_grid::{IndexSpace3, SphericalGrid, Stagger};
+use stdpar::Par;
+
+/// Normalized solar gravitational parameter (`g(r) = −G₀/r²`).
+pub const G0: f64 = 2.0;
+
+/// Equation of state: `p = ρT` at cell centers, including the φ-ghost
+/// planes (ρ and T ghosts are current at this point, and the φ-face
+/// pressure gradient needs p in the ghosts — this saves a halo exchange,
+/// exactly as MAS computes EOS quantities over the extended mesh).
+pub fn pressure(par: &mut Par, grid: &SphericalGrid, pres: &mut Field, rho: &Field, temp: &Field) {
+    let mut space = IndexSpace3::interior(Stagger::CellCenter, grid.nr, grid.nt, grid.np);
+    space.k0 -= 1;
+    space.k1 += 1;
+    let reads = [rho.buf(), temp.buf()];
+    let writes = [pres.buf()];
+    let (pd, rd, td) = (&mut pres.data, &rho.data, &temp.data);
+    par.loop3(&sites::PRESSURE, space, Traffic::new(2, 1, 1), &reads, &writes, |i, j, k| {
+        pd.set(i, j, k, rd.get(i, j, k) * td.get(i, j, k));
+    });
+}
+
+/// Current density `J = ∇×B` on edges (differential form with metric
+/// factors; the CT *update* uses the exact circulation form instead).
+pub fn current(par: &mut Par, grid: &SphericalGrid, j_out: &mut VecField, b: &VecField) {
+    let (nr, nt, np) = (grid.nr, grid.nt, grid.np);
+    let (rc, rc_inv, rf_inv) = (&grid.rc, &grid.rc_inv, &grid.rf_inv);
+    let (st_c, st_f_inv, st_c_inv) = (&grid.st_c, &grid.st_f_inv, &grid.st_c_inv);
+    let (dtf_inv, dpf_inv, drf_inv) = (&grid.t.df_inv, &grid.p.df_inv, &grid.r.df_inv);
+    par.region(|par| {
+        // J_r on r-edges (r-cell i, θ-face j, φ-face k).
+        let space = IndexSpace3::interior_trimmed(Stagger::EdgeR, nr, nt, np, (0, 1, 0));
+        let reads = [b.t.buf(), b.p.buf()];
+        let writes = [j_out.r.buf()];
+        let (jr, bt, bp) = (&mut j_out.r.data, &b.t.data, &b.p.data);
+        par.loop3(&sites::CURL_B_R, space, Traffic::new(5, 1, 10), &reads, &writes, |i, j, k| {
+            let dsin_bp = (st_c[j] * bp.get(i, j, k) - st_c[j - 1] * bp.get(i, j - 1, k)) * dtf_inv[j];
+            let dbt = (bt.get(i, j, k) - bt.get(i, j, k - 1)) * dpf_inv[k];
+            jr.set(i, j, k, rc_inv[i] * st_f_inv[j] * (dsin_bp - dbt));
+        });
+
+        // J_θ on θ-edges (r-face i, θ-cell j, φ-face k).
+        let space = IndexSpace3::interior_trimmed(Stagger::EdgeT, nr, nt, np, (1, 0, 0));
+        let reads = [b.r.buf(), b.p.buf()];
+        let writes = [j_out.t.buf()];
+        let (jt, br, bp) = (&mut j_out.t.data, &b.r.data, &b.p.data);
+        par.loop3(&sites::CURL_B_T, space, Traffic::new(5, 1, 10), &reads, &writes, |i, j, k| {
+            let dbr = (br.get(i, j, k) - br.get(i, j, k - 1)) * dpf_inv[k];
+            let drbp = (rc[i] * bp.get(i, j, k) - rc[i - 1] * bp.get(i - 1, j, k)) * drf_inv[i];
+            jt.set(i, j, k, rf_inv[i] * (st_c_inv[j] * dbr - drbp));
+        });
+
+        // J_φ on φ-edges (r-face i, θ-face j, φ-cell k).
+        let space = IndexSpace3::interior_trimmed(Stagger::EdgeP, nr, nt, np, (1, 1, 0));
+        let reads = [b.r.buf(), b.t.buf()];
+        let writes = [j_out.p.buf()];
+        let (jp, br, bt) = (&mut j_out.p.data, &b.r.data, &b.t.data);
+        par.loop3(&sites::CURL_B_P, space, Traffic::new(5, 1, 10), &reads, &writes, |i, j, k| {
+            let drbt = (rc[i] * bt.get(i, j, k) - rc[i - 1] * bt.get(i - 1, j, k)) * drf_inv[i];
+            let dbr = (br.get(i, j, k) - br.get(i, j - 1, k)) * dtf_inv[j];
+            jp.set(i, j, k, rf_inv[i] * (drbt - dbr));
+        });
+    });
+}
+
+/// Density averaged to the three face families (`s2c` routine sites).
+pub fn rho_to_faces(par: &mut Par, grid: &SphericalGrid, rho_face: &mut VecField, rho: &Field) {
+    let (nr, nt, np) = (grid.nr, grid.nt, grid.np);
+    par.region(|par| {
+        let space = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
+        let reads = [rho.buf()];
+        let writes = [rho_face.r.buf()];
+        let (o, rd) = (&mut rho_face.r.data, &rho.data);
+        par.loop3(&sites::RHO_FACE_R, space, Traffic::new(2, 1, 2), &reads, &writes, |i, j, k| {
+            o.set(i, j, k, s2c(rd.get(i - 1, j, k), rd.get(i, j, k)));
+        });
+        let space = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, 1, 0));
+        let reads = [rho.buf()];
+        let writes = [rho_face.t.buf()];
+        let (o, rd) = (&mut rho_face.t.data, &rho.data);
+        par.loop3(&sites::RHO_FACE_T, space, Traffic::new(2, 1, 2), &reads, &writes, |i, j, k| {
+            o.set(i, j, k, s2c(rd.get(i, j - 1, k), rd.get(i, j, k)));
+        });
+        let space = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
+        let reads = [rho.buf()];
+        let writes = [rho_face.p.buf()];
+        let (o, rd) = (&mut rho_face.p.data, &rho.data);
+        par.loop3(&sites::RHO_FACE_P, space, Traffic::new(2, 1, 2), &reads, &writes, |i, j, k| {
+            o.set(i, j, k, s2c(rd.get(i, j, k - 1), rd.get(i, j, k)));
+        });
+    });
+}
+
+/// Upwind advective tendency `−(v·∇)v` per component, written into
+/// `force` (each component advected as a scalar on its own staggering —
+/// curvature cross-terms are absorbed by the documented simplification).
+pub fn advect_velocity(par: &mut Par, grid: &SphericalGrid, force: &mut VecField, v: &VecField) {
+    let (nr, nt, np) = (grid.nr, grid.nt, grid.np);
+    let (rf_inv, rc_inv) = (&grid.rf_inv, &grid.rc_inv);
+    let (st_c_inv, st_f_inv) = (&grid.st_c_inv, &grid.st_f_inv);
+    let (dcr, dfr) = (&grid.r.dc, &grid.r.df);
+    let (dct, dft) = (&grid.t.dc, &grid.t.df);
+    let (dcp, dfp) = (&grid.p.dc, &grid.p.df);
+    par.region(|par| {
+        // --- v_r on r-faces ---
+        let space = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
+        let reads = [v.r.buf(), v.t.buf(), v.p.buf()];
+        let writes = [force.r.buf()];
+        let (o, vr, vt, vp) = (&mut force.r.data, &v.r.data, &v.t.data, &v.p.data);
+        par.loop3(&sites::ADVECT_V_R, space, Traffic::new(12, 1, 30), &reads, &writes, |i, j, k| {
+            let f0 = vr.get(i, j, k);
+            // Advecting velocity at the r-face.
+            let ur = f0;
+            let ut = sv2cv(vt.get(i - 1, j, k), vt.get(i, j, k), vt.get(i - 1, j + 1, k), vt.get(i, j + 1, k));
+            let up = sv2cv(vp.get(i - 1, j, k), vp.get(i, j, k), vp.get(i - 1, j, k + 1), vp.get(i, j, k + 1));
+            // Upwind gradients on the r-face lattice (spacing between
+            // r-faces along r is the cell width).
+            let gr = if ur >= 0.0 {
+                (f0 - vr.get(i - 1, j, k)) / dcr[i - 1]
+            } else {
+                (vr.get(i + 1, j, k) - f0) / dcr[i]
+            };
+            let gt = rf_inv[i]
+                * if ut >= 0.0 {
+                    (f0 - vr.get(i, j - 1, k)) / dft[j]
+                } else {
+                    (vr.get(i, j + 1, k) - f0) / dft[j + 1]
+                };
+            let gp = rf_inv[i]
+                * st_c_inv[j]
+                * if up >= 0.0 {
+                    (f0 - vr.get(i, j, k - 1)) / dfp[k]
+                } else {
+                    (vr.get(i, j, k + 1) - f0) / dfp[k + 1]
+                };
+            o.set(i, j, k, -(ur * gr + ut * gt + up * gp));
+        });
+
+        // --- v_θ on θ-faces ---
+        let space = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, 1, 0));
+        let reads = [v.r.buf(), v.t.buf(), v.p.buf()];
+        let writes = [force.t.buf()];
+        let (o, vr, vt, vp) = (&mut force.t.data, &v.r.data, &v.t.data, &v.p.data);
+        par.loop3(&sites::ADVECT_V_T, space, Traffic::new(12, 1, 30), &reads, &writes, |i, j, k| {
+            let f0 = vt.get(i, j, k);
+            let ur = sv2cv(vr.get(i, j - 1, k), vr.get(i, j, k), vr.get(i + 1, j - 1, k), vr.get(i + 1, j, k));
+            let ut = f0;
+            let up = sv2cv(vp.get(i, j - 1, k), vp.get(i, j, k), vp.get(i, j - 1, k + 1), vp.get(i, j, k + 1));
+            let gr = if ur >= 0.0 {
+                (f0 - vt.get(i - 1, j, k)) / dfr[i]
+            } else {
+                (vt.get(i + 1, j, k) - f0) / dfr[i + 1]
+            };
+            let gt = rc_inv[i]
+                * if ut >= 0.0 {
+                    (f0 - vt.get(i, j - 1, k)) / dct[j - 1]
+                } else {
+                    (vt.get(i, j + 1, k) - f0) / dct[j]
+                };
+            let gp = rc_inv[i]
+                * st_f_inv[j]
+                * if up >= 0.0 {
+                    (f0 - vt.get(i, j, k - 1)) / dfp[k]
+                } else {
+                    (vt.get(i, j, k + 1) - f0) / dfp[k + 1]
+                };
+            o.set(i, j, k, -(ur * gr + ut * gt + up * gp));
+        });
+
+        // --- v_φ on φ-faces ---
+        let space = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
+        let reads = [v.r.buf(), v.t.buf(), v.p.buf()];
+        let writes = [force.p.buf()];
+        let (o, vr, vt, vp) = (&mut force.p.data, &v.r.data, &v.t.data, &v.p.data);
+        par.loop3(&sites::ADVECT_V_P, space, Traffic::new(12, 1, 30), &reads, &writes, |i, j, k| {
+            let f0 = vp.get(i, j, k);
+            let ur = sv2cv(vr.get(i, j, k - 1), vr.get(i, j, k), vr.get(i + 1, j, k - 1), vr.get(i + 1, j, k));
+            let ut = sv2cv(vt.get(i, j, k - 1), vt.get(i, j, k), vt.get(i, j + 1, k - 1), vt.get(i, j + 1, k));
+            let up = f0;
+            let gr = if ur >= 0.0 {
+                (f0 - vp.get(i - 1, j, k)) / dfr[i]
+            } else {
+                (vp.get(i + 1, j, k) - f0) / dfr[i + 1]
+            };
+            let gt = rc_inv[i]
+                * if ut >= 0.0 {
+                    (f0 - vp.get(i, j - 1, k)) / dft[j]
+                } else {
+                    (vp.get(i, j + 1, k) - f0) / dft[j + 1]
+                };
+            let gp = rc_inv[i]
+                * st_c_inv[j]
+                * if up >= 0.0 {
+                    (f0 - vp.get(i, j, k - 1)) / dcp[k - 1]
+                } else {
+                    (vp.get(i, j, k + 1) - f0) / dcp[k]
+                };
+            o.set(i, j, k, -(ur * gr + ut * gt + up * gp));
+        });
+    });
+}
+
+/// Momentum update:
+/// `v ← v + Δt [ (−∇p + J×B)/ρ_face + g + adv ]` where `adv` is the
+/// advective tendency prepared by [`advect_velocity`] (stored in `force`),
+/// `g` acts on the radial component only, and `J×B` is averaged from
+/// edges to faces (`sv2cv`/`interp` routine sites).
+#[allow(clippy::too_many_arguments)]
+pub fn momentum_update(
+    par: &mut Par,
+    grid: &SphericalGrid,
+    v: &mut VecField,
+    force: &VecField,
+    pres: &Field,
+    jf: &VecField,
+    b: &VecField,
+    rho_face: &VecField,
+    dt: f64,
+    gravity: bool,
+) {
+    let (nr, nt, np) = (grid.nr, grid.nt, grid.np);
+    let (rf, rc_inv) = (&grid.rf, &grid.rc_inv);
+    let st_c_inv = &grid.st_c_inv;
+    let (dfr_inv, dft_inv, dfp_inv) = (&grid.r.df_inv, &grid.t.df_inv, &grid.p.df_inv);
+    let g0 = if gravity { G0 } else { 0.0 };
+    par.region(|par| {
+        // --- r-component ---
+        let space = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
+        let reads = [
+            pres.buf(), jf.t.buf(), jf.p.buf(), b.t.buf(), b.p.buf(),
+            rho_face.r.buf(), force.r.buf(), v.r.buf(),
+        ];
+        let writes = [v.r.buf()];
+        let (vr, pd, jt, jp, bt, bp, rf_r, adv) = (
+            &mut v.r.data, &pres.data, &jf.t.data, &jf.p.data,
+            &b.t.data, &b.p.data, &rho_face.r.data, &force.r.data,
+        );
+        par.loop3(&sites::MOMENTUM_R, space, Traffic::new(16, 1, 36), &reads, &writes, |i, j, k| {
+            let gradp = (pd.get(i, j, k) - pd.get(i - 1, j, k)) * dfr_inv[i];
+            // J×B r-component on the r-face: J_θ B̄_φ − J_φ B̄_θ.
+            let jt_f = avg2(jt.get(i, j, k), jt.get(i, j, k + 1));
+            let jp_f = avg2(jp.get(i, j, k), jp.get(i, j + 1, k));
+            let bp_f = sv2cv(bp.get(i - 1, j, k), bp.get(i, j, k), bp.get(i - 1, j, k + 1), bp.get(i, j, k + 1));
+            let bt_f = sv2cv(bt.get(i - 1, j, k), bt.get(i, j, k), bt.get(i - 1, j + 1, k), bt.get(i, j + 1, k));
+            let lorentz = jt_f * bp_f - jp_f * bt_f;
+            let rho_f = rf_r.get(i, j, k).max(1e-10);
+            let grav = -g0 / (rf[i] * rf[i]);
+            let dv = dt * ((lorentz - gradp) / rho_f + grav + adv.get(i, j, k));
+            vr.add(i, j, k, dv);
+        });
+
+        // --- θ-component ---
+        let space = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, 1, 0));
+        let reads = [
+            pres.buf(), jf.r.buf(), jf.p.buf(), b.r.buf(), b.p.buf(),
+            rho_face.t.buf(), force.t.buf(), v.t.buf(),
+        ];
+        let writes = [v.t.buf()];
+        let (vt, pd, jr, jp, br, bp, rf_t, adv) = (
+            &mut v.t.data, &pres.data, &jf.r.data, &jf.p.data,
+            &b.r.data, &b.p.data, &rho_face.t.data, &force.t.data,
+        );
+        par.loop3(&sites::MOMENTUM_T, space, Traffic::new(16, 1, 36), &reads, &writes, |i, j, k| {
+            let gradp = rc_inv[i] * (pd.get(i, j, k) - pd.get(i, j - 1, k)) * dft_inv[j];
+            // (J×B)_θ = J_φ B̄_r − J_r B̄_φ on the θ-face.
+            let jp_f = avg2(jp.get(i, j, k), jp.get(i + 1, j, k));
+            let jr_f = avg2(jr.get(i, j, k), jr.get(i, j, k + 1));
+            let br_f = sv2cv(br.get(i, j - 1, k), br.get(i, j, k), br.get(i + 1, j - 1, k), br.get(i + 1, j, k));
+            let bp_f = sv2cv(bp.get(i, j - 1, k), bp.get(i, j, k), bp.get(i, j - 1, k + 1), bp.get(i, j, k + 1));
+            let lorentz = jp_f * br_f - jr_f * bp_f;
+            let rho_f = rf_t.get(i, j, k).max(1e-10);
+            let dv = dt * ((lorentz - gradp) / rho_f + adv.get(i, j, k));
+            vt.add(i, j, k, dv);
+        });
+
+        // --- φ-component ---
+        let space = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
+        let reads = [
+            pres.buf(), jf.r.buf(), jf.t.buf(), b.r.buf(), b.t.buf(),
+            rho_face.p.buf(), force.p.buf(), v.p.buf(),
+        ];
+        let writes = [v.p.buf()];
+        let (vp, pd, jr, jt, br, bt, rf_p, adv) = (
+            &mut v.p.data, &pres.data, &jf.r.data, &jf.t.data,
+            &b.r.data, &b.t.data, &rho_face.p.data, &force.p.data,
+        );
+        par.loop3(&sites::MOMENTUM_P, space, Traffic::new(16, 1, 36), &reads, &writes, |i, j, k| {
+            let gradp = rc_inv[i] * st_c_inv[j] * (pd.get(i, j, k) - pd.get(i, j, k - 1)) * dfp_inv[k];
+            // (J×B)_φ = J_r B̄_θ − J_θ B̄_r on the φ-face.
+            let jr_f = avg2(jr.get(i, j, k), jr.get(i, j + 1, k));
+            let jt_f = avg2(jt.get(i, j, k), jt.get(i + 1, j, k));
+            let bt_f = sv2cv(bt.get(i, j, k - 1), bt.get(i, j, k), bt.get(i, j + 1, k - 1), bt.get(i, j + 1, k));
+            let br_f = sv2cv(br.get(i, j, k - 1), br.get(i, j, k), br.get(i + 1, j, k - 1), br.get(i + 1, j, k));
+            let lorentz = jr_f * bt_f - jt_f * br_f;
+            let rho_f = rf_p.get(i, j, k).max(1e-10);
+            let dv = dt * ((lorentz - gradp) / rho_f + adv.get(i, j, k));
+            vp.add(i, j, k, dv);
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::DeviceSpec;
+    use stdpar::CodeVersion;
+
+    fn setup() -> (SphericalGrid, Par) {
+        let g = SphericalGrid::coronal(12, 10, 8, 8.0);
+        let mut p = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, 0, 1);
+        p.ctx.set_phase(gpusim::Phase::Compute);
+        (g, p)
+    }
+
+    fn reg(par: &mut Par, f: &mut Field) {
+        let id = par.ctx.mem.register(f.data.bytes(), f.name);
+        f.buf = Some(id);
+        par.ctx.enter_data(id);
+    }
+
+    fn reg_vec(par: &mut Par, v: &mut VecField) {
+        for c in v.comps_mut() {
+            reg(par, c);
+        }
+    }
+
+    #[test]
+    fn pressure_is_rho_t() {
+        let (g, mut par) = setup();
+        let mut rho = Field::constant("rho", Stagger::CellCenter, &g, 2.0);
+        let mut temp = Field::constant("temp", Stagger::CellCenter, &g, 3.0);
+        let mut pres = Field::zeros("pres", Stagger::CellCenter, &g);
+        reg(&mut par, &mut rho);
+        reg(&mut par, &mut temp);
+        reg(&mut par, &mut pres);
+        pressure(&mut par, &g, &mut pres, &rho, &temp);
+        assert_eq!(pres.data.get(4, 4, 4), 6.0);
+    }
+
+    #[test]
+    fn current_of_uniform_bz_like_field() {
+        // A curl-free field (dipole from a potential) gives small J; a
+        // toroidal Bφ ∝ 1/(r sinθ) gives J_r = J_θ = 0 analytically... use
+        // simplest smoke check: B = 0 => J = 0.
+        let (g, mut par) = setup();
+        let mut b = VecField::zeros_faces("b", &g);
+        let mut j = VecField::zeros_edges("j", &g);
+        reg_vec(&mut par, &mut b);
+        reg_vec(&mut par, &mut j);
+        current(&mut par, &g, &mut j, &b);
+        for c in j.comps() {
+            assert_eq!(c.data.max_abs(&c.interior()), 0.0);
+        }
+    }
+
+    #[test]
+    fn pressure_gradient_accelerates_toward_low_pressure() {
+        let (g, mut par) = setup();
+        let mut rho = Field::constant("rho", Stagger::CellCenter, &g, 1.0);
+        let mut temp = Field::zeros("temp", Stagger::CellCenter, &g);
+        // Pressure decreasing with radius: force should push outward.
+        temp.init_with(&g, |r, _, _| 2.0 / r);
+        let mut pres = Field::zeros("pres", Stagger::CellCenter, &g);
+        let mut v = VecField::zeros_faces("v", &g);
+        let mut force = VecField::zeros_faces("force", &g);
+        let mut jf = VecField::zeros_edges("j", &g);
+        let mut b = VecField::zeros_faces("b", &g);
+        let mut rho_face = VecField::zeros_faces("rho_face", &g);
+        reg(&mut par, &mut rho);
+        reg(&mut par, &mut temp);
+        reg(&mut par, &mut pres);
+        reg_vec(&mut par, &mut v);
+        reg_vec(&mut par, &mut force);
+        reg_vec(&mut par, &mut jf);
+        reg_vec(&mut par, &mut b);
+        reg_vec(&mut par, &mut rho_face);
+        pressure(&mut par, &g, &mut pres, &rho, &temp);
+        rho_to_faces(&mut par, &g, &mut rho_face, &rho);
+        momentum_update(
+            &mut par, &g, &mut v, &force, &pres, &jf, &b, &rho_face, 0.01, false,
+        );
+        // Interior r-face velocity must be positive (outward).
+        let val = v.r.data.get(5, 5, 4);
+        assert!(val > 0.0, "outward acceleration expected, got {val}");
+    }
+
+    #[test]
+    fn gravity_pulls_inward() {
+        let (g, mut par) = setup();
+        let mut rho = Field::constant("rho", Stagger::CellCenter, &g, 1.0);
+        let mut pres = Field::zeros("pres", Stagger::CellCenter, &g);
+        let mut v = VecField::zeros_faces("v", &g);
+        let mut force = VecField::zeros_faces("force", &g);
+        let mut jf = VecField::zeros_edges("j", &g);
+        let mut b = VecField::zeros_faces("b", &g);
+        let mut rho_face = VecField::zeros_faces("rho_face", &g);
+        reg(&mut par, &mut rho);
+        reg(&mut par, &mut pres);
+        reg_vec(&mut par, &mut v);
+        reg_vec(&mut par, &mut force);
+        reg_vec(&mut par, &mut jf);
+        reg_vec(&mut par, &mut b);
+        reg_vec(&mut par, &mut rho_face);
+        rho_to_faces(&mut par, &g, &mut rho_face, &rho);
+        momentum_update(
+            &mut par, &g, &mut v, &force, &pres, &jf, &b, &rho_face, 0.01, true,
+        );
+        assert!(v.r.data.get(5, 5, 4) < 0.0, "gravity must pull inward");
+    }
+
+    #[test]
+    fn advect_velocity_zero_for_uniform_flow() {
+        let (g, mut par) = setup();
+        let mut v = VecField::zeros_faces("v", &g);
+        // Uniform vr: advection of a constant field is zero.
+        v.r.data.fill(0.7);
+        let mut force = VecField::zeros_faces("force", &g);
+        reg_vec(&mut par, &mut v);
+        reg_vec(&mut par, &mut force);
+        advect_velocity(&mut par, &g, &mut force, &v);
+        let blk = IndexSpace3::interior_trimmed(Stagger::FaceR, g.nr, g.nt, g.np, (1, 1, 1));
+        blk.for_each(|i, j, k| {
+            let a = force.r.data.get(i, j, k);
+            assert!(a.abs() < 1e-12, "uniform flow advection at ({i},{j},{k}) = {a}");
+        });
+    }
+}

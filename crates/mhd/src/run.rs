@@ -1,0 +1,200 @@
+//! High-level run entry points and reports — what the examples, tests and
+//! the benchmark harness consume.
+
+use crate::diag::HistRecord;
+use crate::sim::Simulation;
+use gpusim::{DeviceSpec, Phase, Span, TimeCategory};
+use mas_config::Deck;
+use minimpi::World;
+use stdpar::{CodeVersion, SiteRegistry};
+
+/// Result of one rank's run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Code version executed.
+    pub version: CodeVersion,
+    /// This rank's id.
+    pub rank: usize,
+    /// World size.
+    pub n_ranks: usize,
+    /// Steps taken.
+    pub steps: usize,
+    /// Model wall time (compute + MPI), µs.
+    pub wall_us: f64,
+    /// Model MPI-phase time, µs.
+    pub mpi_us: f64,
+    /// Model compute-phase time, µs.
+    pub compute_us: f64,
+    /// Kernel launches (the census used by the paper-scale extrapolation).
+    pub kernel_launches: u64,
+    /// Model bytes moved by kernels.
+    pub kernel_bytes: f64,
+    /// Final global diagnostics history.
+    pub hist: Vec<HistRecord>,
+    /// Final physical time.
+    pub time: f64,
+    /// Site registry (feeds the directive audit).
+    pub registry: SiteRegistry,
+    /// Detailed profiler spans (only when span recording was requested).
+    pub spans: Vec<Span>,
+    /// Time per category, µs (Fig. 4 aggregation).
+    pub cat_us: Vec<(&'static str, f64)>,
+}
+
+impl RunReport {
+    /// Wall time in model seconds.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_us / 1e6
+    }
+
+    /// Wall time in model minutes (the paper's unit).
+    pub fn wall_minutes(&self) -> f64 {
+        self.wall_us / gpusim::US_PER_MIN
+    }
+
+    /// MPI share of wall time.
+    pub fn mpi_fraction(&self) -> f64 {
+        if self.wall_us > 0.0 {
+            self.mpi_us / self.wall_us
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Multi-rank result: per-rank reports plus world-level helpers.
+#[derive(Clone, Debug)]
+pub struct MultiRankReport {
+    /// Reports in rank order.
+    pub ranks: Vec<RunReport>,
+}
+
+impl MultiRankReport {
+    /// Wall time of the slowest rank (the run's wall clock), µs.
+    pub fn wall_us(&self) -> f64 {
+        self.ranks.iter().map(|r| r.wall_us).fold(0.0, f64::max)
+    }
+
+    /// Mean MPI time across ranks, µs.
+    pub fn mean_mpi_us(&self) -> f64 {
+        self.ranks.iter().map(|r| r.mpi_us).sum::<f64>() / self.ranks.len() as f64
+    }
+
+    /// Mean non-MPI time, µs.
+    pub fn mean_compute_us(&self) -> f64 {
+        self.ranks.iter().map(|r| r.compute_us).sum::<f64>() / self.ranks.len() as f64
+    }
+
+    /// World-total kernel launches.
+    pub fn total_launches(&self) -> u64 {
+        self.ranks.iter().map(|r| r.kernel_launches).sum()
+    }
+
+    /// The history from rank 0 (identical global reductions on all ranks).
+    pub fn hist(&self) -> &[HistRecord] {
+        &self.ranks[0].hist
+    }
+}
+
+fn report_from(sim: Simulation, n_ranks: usize) -> RunReport {
+    let prof = &sim.par.ctx.prof;
+    let cat_us = TimeCategory::ALL
+        .iter()
+        .map(|&c| (c.label(), prof.cat_total_us(c)))
+        .collect();
+    RunReport {
+        version: sim.par.version(),
+        rank: sim.par.ctx.rank,
+        n_ranks,
+        steps: sim.step,
+        wall_us: prof.wall_us(),
+        mpi_us: prof.phase_total_us(Phase::Mpi),
+        compute_us: prof.phase_total_us(Phase::Compute),
+        kernel_launches: prof.kernel_launches,
+        kernel_bytes: prof.kernel_bytes,
+        hist: sim.hist.clone(),
+        time: sim.time,
+        registry: sim.par.registry.clone(),
+        spans: prof.spans().to_vec(),
+        cat_us,
+    }
+}
+
+/// Run the deck on a single rank (one virtual A100) and return the report.
+pub fn run_single_rank(deck: &Deck, version: CodeVersion) -> RunReport {
+    run_multi_rank(deck, version, DeviceSpec::a100_40gb(), 1, 1, false)
+        .ranks
+        .pop()
+        .expect("one rank")
+}
+
+/// Run the deck on `n_ranks` thread-ranks with the given device spec.
+/// `seed` varies the launch-jitter stream (one seed = one "run" for the
+/// min/max error bars); `record_spans` enables the Fig. 4 timeline.
+pub fn run_multi_rank(
+    deck: &Deck,
+    version: CodeVersion,
+    spec: DeviceSpec,
+    n_ranks: usize,
+    seed: u64,
+    record_spans: bool,
+) -> MultiRankReport {
+    let deck = deck.clone();
+    let ranks = World::run(n_ranks, move |comm| {
+        let mut sim = Simulation::new(&deck, version, spec.clone(), comm.rank(), n_ranks, seed);
+        if record_spans {
+            sim.par.ctx.prof.set_record_spans(true);
+        }
+        sim.run(&comm);
+        report_from(sim, n_ranks)
+    });
+    MultiRankReport { ranks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_quickstart_report() {
+        let deck = Deck::preset_quickstart();
+        let r = run_single_rank(&deck, CodeVersion::A);
+        assert_eq!(r.steps, deck.time.n_steps);
+        assert!(r.wall_us > 0.0);
+        assert!(r.mpi_us > 0.0, "even 1 rank packs/exchanges halos");
+        assert!(r.kernel_launches > 100);
+        assert!(r.registry.n_sites() > 30, "sites: {}", r.registry.n_sites());
+    }
+
+    #[test]
+    fn two_ranks_match_one_rank_physics() {
+        let mut deck = Deck::preset_quickstart();
+        deck.output.hist_interval = deck.time.n_steps; // one record at the end
+        let one = run_single_rank(&deck, CodeVersion::A);
+        let two = run_multi_rank(&deck, CodeVersion::A, DeviceSpec::a100_40gb(), 2, 1, false);
+        let d1 = one.hist.last().unwrap().diag;
+        let d2 = two.hist().last().unwrap().diag;
+        assert!(
+            (d1.mass - d2.mass).abs() / d1.mass < 1e-11,
+            "mass {} vs {}",
+            d1.mass,
+            d2.mass
+        );
+        assert!(
+            (d1.etherm - d2.etherm).abs() / d1.etherm < 1e-11,
+            "etherm {} vs {}",
+            d1.etherm,
+            d2.etherm
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_wall_time() {
+        let deck = Deck::preset_quickstart();
+        let a = run_multi_rank(&deck, CodeVersion::Ad, DeviceSpec::a100_40gb(), 2, 9, false);
+        let b = run_multi_rank(&deck, CodeVersion::Ad, DeviceSpec::a100_40gb(), 2, 9, false);
+        assert_eq!(a.wall_us(), b.wall_us());
+        let c = run_multi_rank(&deck, CodeVersion::Ad, DeviceSpec::a100_40gb(), 2, 10, false);
+        assert_ne!(a.wall_us(), c.wall_us(), "different seed jitters differently");
+    }
+}

@@ -1,0 +1,13 @@
+//! Implicit and accelerated-explicit solvers.
+//!
+//! * [`pcg`] — matrix-free preconditioned conjugate gradients for the
+//!   implicit viscosity solve (the solver whose halo exchanges the paper
+//!   profiles in Fig. 4);
+//! * [`sts`] — RKL2 super-time-stepping for the stiff thermal-conduction
+//!   operator (the method of the paper's ref.\[25\]).
+
+pub mod pcg;
+pub mod sts;
+
+pub use pcg::{solve_viscosity, PcgResult};
+pub use sts::{advance_conduction, rkl2_stage_count};

@@ -1,0 +1,290 @@
+//! The per-rank communicator: point-to-point and collective operations.
+
+use crossbeam::channel::{Receiver, Sender};
+use gpusim::{DeviceContext, Phase, TimeCategory};
+use std::sync::Arc;
+
+/// Message tag (the solver uses a small fixed set; tags are asserted, not
+/// matched out of order — all communication patterns in MAS are
+/// deterministic per-pair FIFO).
+pub type Tag = u32;
+
+/// Reduction operator for [`Comm::allreduce`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Which hardware path a point-to-point transfer takes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetPath {
+    /// GPU peer-to-peer DMA (CUDA-aware MPI + manual data management).
+    DeviceP2P,
+    /// Through host memory (what unified memory forces; also the CPU-run
+    /// path, where it is simply the interconnect).
+    Host,
+}
+
+/// A message in flight: payload plus the virtual time at which the data
+/// becomes available at the destination.
+pub(crate) struct Msg {
+    pub tag: Tag,
+    pub data: Vec<f64>,
+    /// Sender's virtual send time, µs.
+    pub t_send: f64,
+    /// Payload bytes (for the receiver-side transfer-time computation).
+    pub bytes: f64,
+    /// Transfer path chosen by the sender.
+    pub path: NetPath,
+}
+
+/// One rank's handle into the world.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    /// `to[d]` sends to rank d (None at `d == rank` is avoided by using a
+    /// real channel to self — self-sends are how the periodic wrap works
+    /// on one rank).
+    to: Vec<Sender<Msg>>,
+    /// `from[s]` receives from rank s.
+    from: Vec<Receiver<Msg>>,
+    /// Shared collective scratchpad channels: every rank → root, root → every rank.
+    pub(crate) to_root: Sender<(usize, Vec<f64>, f64)>,
+    pub(crate) from_ranks: Option<Arc<Receiver<(usize, Vec<f64>, f64)>>>,
+    pub(crate) from_root: Receiver<(Vec<f64>, f64)>,
+    pub(crate) to_ranks: Vec<Sender<(Vec<f64>, f64)>>,
+    /// Collective latency per tree stage, µs.
+    pub coll_latency_us: f64,
+    /// Collective bandwidth, bytes/µs.
+    pub coll_bw: f64,
+}
+
+impl Comm {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        to: Vec<Sender<Msg>>,
+        from: Vec<Receiver<Msg>>,
+        to_root: Sender<(usize, Vec<f64>, f64)>,
+        from_ranks: Option<Arc<Receiver<(usize, Vec<f64>, f64)>>>,
+        from_root: Receiver<(Vec<f64>, f64)>,
+        to_ranks: Vec<Sender<(Vec<f64>, f64)>>,
+    ) -> Self {
+        Self {
+            rank,
+            size,
+            to,
+            from,
+            to_root,
+            from_ranks,
+            from_root,
+            to_ranks,
+            coll_latency_us: 6.0,
+            coll_bw: 20.0e3, // 20 GB/s effective for small collectives
+        }
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Neighbour ranks for the periodic 1-D φ decomposition:
+    /// `(low, high)` = `(rank-1 mod P, rank+1 mod P)`.
+    pub fn phi_neighbors(&self) -> (usize, usize) {
+        let p = self.size;
+        ((self.rank + p - 1) % p, (self.rank + 1) % p)
+    }
+
+    /// Non-blocking send of `data` to `dst`. The sender's current virtual
+    /// time stamps the message; P2P DMA costs the sender nothing (the
+    /// transfer time is accounted on the receive side, where it can
+    /// overlap the receiver's other work).
+    pub fn send(&self, dst: usize, tag: Tag, data: Vec<f64>, path: NetPath, ctx: &DeviceContext) {
+        let bytes = (data.len() * 8) as f64;
+        self.send_with_cost(dst, tag, data, path, ctx, bytes);
+    }
+
+    /// Like [`Comm::send`], but with an explicit model byte count for the
+    /// transfer cost — used by the paper-scale extrapolation, where the
+    /// payload is the scaled test problem but the wire cost must reflect
+    /// the production problem's halo size.
+    pub fn send_with_cost(
+        &self,
+        dst: usize,
+        tag: Tag,
+        data: Vec<f64>,
+        path: NetPath,
+        ctx: &DeviceContext,
+        cost_bytes: f64,
+    ) {
+        let msg = Msg {
+            tag,
+            data,
+            t_send: ctx.clock.now_us(),
+            bytes: cost_bytes,
+            path,
+        };
+        self.to[dst]
+            .send(msg)
+            .unwrap_or_else(|_| panic!("rank {} hung up", dst));
+    }
+
+    /// Blocking receive from `src`; reconciles the virtual clock and books
+    /// the wait + transfer into the MPI phase.
+    ///
+    /// Returns the payload.
+    pub fn recv(&self, src: usize, tag: Tag, ctx: &mut DeviceContext) -> Vec<f64> {
+        let msg = self.from[src]
+            .recv()
+            .unwrap_or_else(|_| panic!("rank {} hung up", src));
+        assert_eq!(
+            msg.tag, tag,
+            "tag mismatch on rank {} receiving from {}: got {}, want {}",
+            self.rank, src, msg.tag, tag
+        );
+        let transfer_us = match msg.path {
+            NetPath::DeviceP2P => ctx.spec.p2p_time_us(msg.bytes),
+            // Host path uses the same physical link but adds the staging
+            // copy latency on both ends; under UM the page-migration costs
+            // are charged separately by the memory manager.
+            NetPath::Host => ctx.spec.p2p_time_us(msg.bytes) + 2.0 * ctx.spec.h2d_latency_us,
+        };
+        let t_avail = msg.t_send + transfer_us;
+        let now = ctx.clock.now_us();
+        let prev = ctx.set_phase(Phase::Mpi);
+        if t_avail > now {
+            // Receiver idles until the data lands: split into the wire time
+            // (categorized by path) and pure waiting (sender imbalance).
+            let wire = transfer_us.min(t_avail - now);
+            let wait = (t_avail - now) - wire;
+            if wait > 0.0 {
+                ctx.charge(wait, TimeCategory::MpiWait, "recv_wait");
+            }
+            let cat = match msg.path {
+                NetPath::DeviceP2P => TimeCategory::P2P,
+                NetPath::Host => TimeCategory::MemcpyD2H,
+            };
+            ctx.charge(wire, cat, "recv_transfer");
+        }
+        ctx.set_phase(prev);
+        msg.data
+    }
+
+    /// Barrier: synchronize data-free; all clocks advance to the max plus
+    /// one collective latency.
+    pub fn barrier(&self, ctx: &mut DeviceContext) {
+        let mut none: [f64; 0] = [];
+        self.allreduce(ReduceOp::Max, &mut none, ctx);
+    }
+
+    /// In-place allreduce over `vals` (deterministic rank-order reduction
+    /// at rank 0, then broadcast). Clock rule: every rank ends at
+    /// `max_i(t_i) + cost(P, bytes)`.
+    pub fn allreduce(&self, op: ReduceOp, vals: &mut [f64], ctx: &mut DeviceContext) {
+        let t_now = ctx.clock.now_us();
+        self.to_root
+            .send((self.rank, vals.to_vec(), t_now))
+            .expect("root hung up");
+        if let Some(rx) = &self.from_ranks {
+            // I am root: collect all contributions in rank order.
+            let mut contribs: Vec<Option<(Vec<f64>, f64)>> = vec![None; self.size];
+            for _ in 0..self.size {
+                let (r, v, t) = rx.recv().expect("rank hung up");
+                contribs[r] = Some((v, t));
+            }
+            let mut acc: Option<Vec<f64>> = None;
+            let mut t_sync = 0.0_f64;
+            for c in contribs.into_iter() {
+                let (v, t) = c.expect("missing contribution");
+                t_sync = t_sync.max(t);
+                acc = Some(match acc {
+                    None => v,
+                    Some(mut a) => {
+                        for (ai, &vi) in a.iter_mut().zip(&v) {
+                            *ai = op.apply(*ai, vi);
+                        }
+                        a
+                    }
+                });
+            }
+            let result = acc.expect("size >= 1");
+            for s in &self.to_ranks {
+                s.send((result.clone(), t_sync)).expect("rank hung up");
+            }
+        }
+        let (result, t_sync) = self.from_root.recv().expect("root hung up");
+        vals.copy_from_slice(&result);
+
+        // Timing: wait to the sync point, then pay the tree cost.
+        let stages = (self.size as f64).log2().ceil().max(1.0);
+        let bytes = (vals.len() * 8) as f64;
+        let cost = stages * (self.coll_latency_us + bytes / self.coll_bw);
+        let now = ctx.clock.now_us();
+        let prev = ctx.set_phase(Phase::Mpi);
+        if t_sync > now {
+            ctx.charge(t_sync - now, TimeCategory::MpiWait, "allreduce_wait");
+        }
+        ctx.charge(cost, TimeCategory::Collective, "allreduce");
+        ctx.set_phase(prev);
+    }
+
+    /// Gather each rank's payload to rank 0 (no timing charges — used for
+    /// diagnostics/reporting only). Returns `Some(payloads)` on rank 0.
+    pub fn gather_to_root(&self, data: Vec<f64>, ctx: &DeviceContext) -> Option<Vec<Vec<f64>>> {
+        self.to_root
+            .send((self.rank, data, ctx.clock.now_us()))
+            .expect("root hung up");
+        if let Some(rx) = &self.from_ranks {
+            let mut out: Vec<Option<Vec<f64>>> = vec![None; self.size];
+            for _ in 0..self.size {
+                let (r, v, _) = rx.recv().expect("rank hung up");
+                out[r] = Some(v);
+            }
+            // Release the non-root ranks (they wait on from_root for sync).
+            for s in &self.to_ranks {
+                s.send((vec![], 0.0)).expect("rank hung up");
+            }
+            let res = out.into_iter().map(|o| o.expect("missing")).collect();
+            let _ = self.from_root.recv();
+            Some(res)
+        } else {
+            let _ = self.from_root.recv();
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Comm is only constructible through World; its behaviour is tested in
+    // `world.rs` where ranks exist.
+    #[test]
+    fn reduce_op_semantics() {
+        use super::ReduceOp::*;
+        assert_eq!(Sum.apply(1.0, 2.0), 3.0);
+        assert_eq!(Min.apply(1.0, 2.0), 1.0);
+        assert_eq!(Max.apply(1.0, 2.0), 2.0);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # minimpi — a thread-rank message-passing substrate with virtual time
+//!
+//! MAS is parallelized with MPI; the paper's multi-GPU runs place one MPI
+//! rank per GPU in a single NVLink-connected node. This crate reproduces
+//! that structure on threads:
+//!
+//! * [`World::run`] spawns one OS thread per rank and hands each a
+//!   [`Comm`] handle connected to every peer by lock-free channels;
+//! * messages carry the **sender's virtual timestamp**; a receive
+//!   reconciles the receiver's clock to
+//!   `max(t_local, t_send + transfer_time)` — the LogGP-style rule that
+//!   makes simulated multi-rank timings deterministic regardless of how
+//!   the OS actually schedules the threads;
+//! * collectives (barrier, allreduce, gather, bcast) synchronize all
+//!   virtual clocks and reduce **in rank order**, so results are bitwise
+//!   deterministic;
+//! * the transfer path is selectable per message: GPU peer-to-peer
+//!   (CUDA-aware MPI with manual data management) or host-staged (what
+//!   unified memory forces, Fig. 4 of the paper).
+//!
+//! The real data movement is a `Vec<f64>` through a channel — physics
+//! correctness and the timing model are decoupled by design.
+
+pub mod comm;
+pub mod world;
+
+pub use comm::{Comm, NetPath, ReduceOp, Tag};
+pub use world::World;

@@ -1,0 +1,237 @@
+//! World construction: spawn one thread per rank, wire up the channels.
+
+use crate::comm::{Comm, Msg};
+use crossbeam::channel::unbounded;
+use std::sync::Arc;
+
+/// Factory for rank teams.
+pub struct World;
+
+impl World {
+    /// Run `f(comm)` on `n_ranks` threads; returns the per-rank results in
+    /// rank order. Panics in any rank propagate (the whole world aborts),
+    /// which is the moral equivalent of `MPI_Abort`.
+    pub fn run<T, F>(n_ranks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        assert!(n_ranks >= 1, "need at least one rank");
+
+        // Point-to-point mesh: channel[src][dst].
+        let mut senders: Vec<Vec<crossbeam::channel::Sender<Msg>>> = Vec::with_capacity(n_ranks);
+        let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Msg>>>> =
+            (0..n_ranks).map(|_| (0..n_ranks).map(|_| None).collect()).collect();
+        for src in 0..n_ranks {
+            let mut row = Vec::with_capacity(n_ranks);
+            for dst in 0..n_ranks {
+                let (tx, rx) = unbounded();
+                row.push(tx);
+                receivers[dst][src] = Some(rx);
+            }
+            senders.push(row);
+        }
+
+        // Collective star: ranks → root, root → ranks.
+        let (to_root_tx, to_root_rx) = unbounded();
+        let to_root_rx = Arc::new(to_root_rx);
+        let mut root_to_rank_txs = Vec::with_capacity(n_ranks);
+        let mut root_to_rank_rxs = Vec::with_capacity(n_ranks);
+        for _ in 0..n_ranks {
+            let (tx, rx) = unbounded();
+            root_to_rank_txs.push(tx);
+            root_to_rank_rxs.push(rx);
+        }
+
+        let mut comms: Vec<Comm> = Vec::with_capacity(n_ranks);
+        for (rank, from_root) in root_to_rank_rxs.into_iter().enumerate() {
+            let to: Vec<_> = senders[rank].to_vec();
+            let from: Vec<_> = receivers[rank]
+                .iter_mut()
+                .map(|o| o.take().expect("receiver wired"))
+                .collect();
+            let comm = Comm::new(
+                rank,
+                n_ranks,
+                to,
+                from,
+                to_root_tx.clone(),
+                if rank == 0 {
+                    Some(to_root_rx.clone())
+                } else {
+                    None
+                },
+                from_root,
+                if rank == 0 {
+                    root_to_rank_txs.clone()
+                } else {
+                    Vec::new()
+                },
+            );
+            comms.push(comm);
+        }
+        // Drop the extra template handles so hang-ups are detectable.
+        drop(senders);
+        drop(to_root_tx);
+        drop(root_to_rank_txs);
+
+        let f = &f;
+        let mut results: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n_ranks);
+            for comm in comms.into_iter() {
+                handles.push(s.spawn(move |_| f(comm)));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                results[rank] = Some(h.join().expect("rank panicked"));
+            }
+        })
+        .expect("world scope panicked");
+        results.into_iter().map(|o| o.expect("rank result")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{NetPath, ReduceOp};
+    use gpusim::{DataMode, DeviceContext, DeviceSpec, Phase};
+
+    fn ctx(rank: usize) -> DeviceContext {
+        let mut spec = DeviceSpec::a100_40gb();
+        spec.jitter_sigma = 0.0;
+        let mut c = DeviceContext::new(spec, DataMode::Manual, rank, 1);
+        c.set_phase(Phase::Compute);
+        c
+    }
+
+    #[test]
+    fn ring_exchange_delivers_neighbor_data() {
+        let vals = World::run(4, |comm| {
+            let mut c = ctx(comm.rank());
+            let (lo, hi) = comm.phi_neighbors();
+            comm.send(hi, 7, vec![comm.rank() as f64], NetPath::DeviceP2P, &c);
+            let got = comm.recv(lo, 7, &mut c);
+            got[0]
+        });
+        assert_eq!(vals, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn self_send_works_on_one_rank() {
+        let vals = World::run(1, |comm| {
+            let mut c = ctx(0);
+            let (lo, hi) = comm.phi_neighbors();
+            assert_eq!((lo, hi), (0, 0));
+            comm.send(hi, 1, vec![42.0], NetPath::DeviceP2P, &c);
+            comm.recv(lo, 1, &mut c)[0]
+        });
+        assert_eq!(vals, vec![42.0]);
+    }
+
+    #[test]
+    fn allreduce_sum_min_max() {
+        let vals = World::run(3, |comm| {
+            let mut c = ctx(comm.rank());
+            let mut v = [comm.rank() as f64 + 1.0, -(comm.rank() as f64)];
+            comm.allreduce(ReduceOp::Sum, &mut v, &mut c);
+            let mut w = [comm.rank() as f64];
+            comm.allreduce(ReduceOp::Min, &mut w, &mut c);
+            let mut x = [comm.rank() as f64];
+            comm.allreduce(ReduceOp::Max, &mut x, &mut c);
+            (v[0], v[1], w[0], x[0])
+        });
+        for &(s, n, mn, mx) in &vals {
+            assert_eq!(s, 6.0);
+            assert_eq!(n, -3.0);
+            assert_eq!(mn, 0.0);
+            assert_eq!(mx, 2.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_synchronizes_clocks_and_books_mpi_time() {
+        let walls = World::run(2, |comm| {
+            let mut c = ctx(comm.rank());
+            // Rank 1 is "ahead" by 100 µs of compute.
+            if comm.rank() == 1 {
+                c.charge(100.0, gpusim::TimeCategory::Kernel, "imbalance");
+            }
+            let mut v = [1.0];
+            comm.allreduce(ReduceOp::Sum, &mut v, &mut c);
+            (
+                c.clock.now_us(),
+                c.prof.phase_total_us(Phase::Mpi),
+            )
+        });
+        // Both ranks end at the same virtual time.
+        assert!((walls[0].0 - walls[1].0).abs() < 1e-9);
+        // Rank 0 waited ~100 µs; rank 1 only paid the collective cost.
+        assert!(walls[0].1 > walls[1].1 + 90.0);
+    }
+
+    #[test]
+    fn recv_books_transfer_time_by_path() {
+        let res = World::run(2, |comm| {
+            let mut c = ctx(comm.rank());
+            let peer = 1 - comm.rank();
+            let data = vec![0.0; 1 << 16]; // 512 KiB
+            comm.send(peer, 3, data, NetPath::DeviceP2P, &c);
+            let _ = comm.recv(peer, 3, &mut c);
+            c.prof.cat_total_us(gpusim::TimeCategory::P2P)
+        });
+        let bytes = ((1 << 16) * 8) as f64;
+        let expect = DeviceSpec::a100_40gb().p2p_time_us(bytes);
+        for &p2p in &res {
+            assert!((p2p - expect).abs() < 1e-6, "p2p={p2p} expect={expect}");
+        }
+    }
+
+    #[test]
+    fn host_path_is_slower_than_p2p() {
+        let run = |path| {
+            World::run(2, move |comm| {
+                let mut c = ctx(comm.rank());
+                let peer = 1 - comm.rank();
+                comm.send(peer, 9, vec![0.0; 4096], path, &c);
+                let _ = comm.recv(peer, 9, &mut c);
+                c.prof.phase_total_us(Phase::Mpi)
+            })[0]
+        };
+        assert!(run(NetPath::Host) > run(NetPath::DeviceP2P));
+    }
+
+    #[test]
+    fn gather_to_root_collects_in_rank_order() {
+        let res = World::run(3, |comm| {
+            let c = ctx(comm.rank());
+            comm.gather_to_root(vec![comm.rank() as f64 * 2.0], &c)
+        });
+        let root = res[0].as_ref().expect("root gets data");
+        assert_eq!(root[0], vec![0.0]);
+        assert_eq!(root[1], vec![2.0]);
+        assert_eq!(root[2], vec![4.0]);
+        assert!(res[1].is_none());
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let n = World::run(4, |comm| {
+            let mut c = ctx(comm.rank());
+            comm.barrier(&mut c);
+            comm.barrier(&mut c);
+            1usize
+        });
+        assert_eq!(n.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tag_mismatch_panics() {
+        World::run(1, |comm| {
+            let mut c = ctx(0);
+            comm.send(0, 1, vec![1.0], NetPath::DeviceP2P, &c);
+            let _ = comm.recv(0, 2, &mut c);
+        });
+    }
+}

@@ -1,0 +1,418 @@
+//! The directive audit: regenerating the paper's Table I and Table II.
+//!
+//! The audit walks the [`SiteRegistry`] collected during a solver run and
+//! applies, per code version, the same porting rules the paper applies to
+//! MAS, producing
+//!
+//! * a **directive census by type** (Table II for Code 1, and the `$acc
+//!   Lines` column of Table I for every version), and
+//! * a modeled **total-lines** column: the measured base source size plus
+//!   the mechanical line effects of each port (directive lines added,
+//!   `do`/`enddo` pairs collapsed into `do concurrent` headers, duplicate
+//!   CPU-only routines kept or removed, wrapper routines and expanded
+//!   intrinsics added).
+//!
+//! The rules in Fortran-line terms:
+//!
+//! * an OpenACC loop nest costs 3 directive lines
+//!   (`!$acc parallel default(present)`, `!$acc loop collapse(n) [clauses]`,
+//!   `!$acc end parallel`), plus an `!$acc&` continuation line when the
+//!   clause list is long;
+//! * a `kernels` region costs 2 lines;
+//! * each `atomic update` costs 1 line;
+//! * each device routine costs 1 `!$acc routine seq` line;
+//! * a manual data region costs `enter`+`exit` lines plus continuation
+//!   lines for every ~3 arrays beyond the first 3 per direction;
+//! * converting a nest-`n` `do` loop to `do concurrent` saves `2n − 2`
+//!   source lines (the collapsed `do`/`enddo` pairs — visible in Table I,
+//!   where the AD total is *smaller* than the CPU version's).
+
+use crate::site::{LoopClass, SiteRegistry};
+use crate::version::{CodeVersion, LoopStyle};
+
+/// Modeled source lines of one duplicated CPU-only routine (setup-phase
+/// twins of GPU routines; removed in D2XU, restored in D2XAd — §IV-E/F).
+const DUP_LINES_PER_ROUTINE: usize = 55;
+/// Modeled source lines of the array-creation wrapper module (D2XAd).
+const WRAPPER_MODULE_LINES: usize = 60;
+/// Extra lines from expanding one `kernels` intrinsic into explicit DC
+/// reduction loops (§IV-E).
+const EXPAND_LINES_PER_KERNELS: usize = 7;
+/// Lines of the one routine that had to be manually inlined (§IV-E).
+const MANUAL_INLINE_LINES: usize = 18;
+
+/// Directive-line census by type (one row of Table II / one version).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VersionLines {
+    /// `parallel`, `loop`, `end parallel`.
+    pub parallel_loop: usize,
+    /// `enter/exit/update/host_data/declare` data management.
+    pub data: usize,
+    /// `atomic`.
+    pub atomic: usize,
+    /// `routine`.
+    pub routine: usize,
+    /// `kernels` / `end kernels`.
+    pub kernels: usize,
+    /// `wait`.
+    pub wait: usize,
+    /// `set device_num`.
+    pub set_device: usize,
+    /// `!$acc&` continuation lines.
+    pub continuation: usize,
+}
+
+impl VersionLines {
+    /// Total `!$acc` lines.
+    pub fn total(&self) -> usize {
+        self.parallel_loop
+            + self.data
+            + self.atomic
+            + self.routine
+            + self.kernels
+            + self.wait
+            + self.set_device
+            + self.continuation
+    }
+}
+
+/// One row of the Table I analogue.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Version tag (`"0: CPU"`, `"1: A"`, …).
+    pub label: String,
+    /// Modeled total source lines.
+    pub total_lines: usize,
+    /// `!$acc` directive lines (0 for CPU and D2XU).
+    pub acc_lines: usize,
+}
+
+/// Full census over all versions.
+#[derive(Clone, Debug)]
+pub struct DirectiveCensus {
+    /// Per-version directive breakdown, in `CodeVersion::ALL` order.
+    pub per_version: Vec<(CodeVersion, VersionLines)>,
+}
+
+/// The audit engine.
+pub struct DirectiveAudit<'r> {
+    reg: &'r SiteRegistry,
+}
+
+impl<'r> DirectiveAudit<'r> {
+    /// Audit over a populated registry.
+    pub fn new(reg: &'r SiteRegistry) -> Self {
+        Self { reg }
+    }
+
+    /// Data-management lines for a *full* manual-data version (A, AD):
+    /// one `enter data`/`exit data` line per ~3 arrays in every region
+    /// (the granularity MAS-style module code uses), plus updates,
+    /// declares, derived-type placement and `host_data` sites.
+    fn data_lines_manual(&self) -> usize {
+        let mut lines = 0;
+        for &(_, n_arrays) in self.reg.data_regions() {
+            lines += 2 * n_arrays.div_ceil(3); // enter + exit
+        }
+        lines += self.reg.n_update_sites();
+        lines += self.reg.n_declares();
+        lines += 2 * self.reg.n_derived_types();
+        lines += self.reg.n_host_data_sites();
+        lines
+    }
+
+    /// Directive census for one version.
+    pub fn census(&self, v: CodeVersion) -> VersionLines {
+        let p = v.policy();
+        let mut out = VersionLines::default();
+
+        // --- loop directives ---
+        for s in self.reg.sites() {
+            let class = s.site.class;
+            let style = p.loop_style(class);
+            match class {
+                LoopClass::KernelsIntrinsic => {
+                    if style == LoopStyle::Acc {
+                        out.kernels += 2;
+                    }
+                }
+                _ => {
+                    if style == LoopStyle::Acc {
+                        out.parallel_loop += 3;
+                        if s.site.clause_heavy {
+                            out.continuation += 1;
+                        }
+                    }
+                }
+            }
+            // Atomic lines survive as long as the strategy uses atomics.
+            match class {
+                LoopClass::ArrayReduction => {
+                    if p.array_reduce != crate::version::ArrayReduceStrategy::LoopFlip {
+                        out.atomic += 1;
+                    }
+                }
+                LoopClass::AtomicUpdate => {
+                    // Converted to atomic-free forms only in Codes 5–6
+                    // ("small code modifications", §IV-E).
+                    if !p.inline_routines {
+                        out.atomic += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // --- routine declarations ---
+        if !p.inline_routines {
+            out.routine += self.reg.routines().len();
+        }
+
+        // --- data management ---
+        match (p.data_mode, v) {
+            (gpusim::DataMode::Manual, CodeVersion::D2xad) => {
+                // The wrapper routines absorb the `enter data` (creation)
+                // lines; `exit data`, updates, derived-type placement and
+                // `host_data` remain (paper §IV-F: the wrappers *reduce*,
+                // not eliminate, the data directives).
+                for &(_, n_arrays) in self.reg.data_regions() {
+                    out.data += n_arrays.div_ceil(3); // exit only
+                }
+                out.data += self.reg.n_update_sites();
+                out.data += 2 * self.reg.n_derived_types();
+                out.data += self.reg.n_host_data_sites();
+            }
+            (gpusim::DataMode::Manual, _) => {
+                out.data += self.data_lines_manual();
+            }
+            (gpusim::DataMode::Unified, CodeVersion::Ad2xu) => {
+                // declare + its update survive; derived-type enter/exit
+                // no longer needed (all derived-type loops are DC).
+                out.data += self.reg.n_declares();
+                out.data += self.reg.n_declares().min(self.reg.n_update_sites());
+            }
+            (gpusim::DataMode::Unified, _) => {
+                if v == CodeVersion::Adu {
+                    // declare (+update) and derived-type enter/exit remain
+                    // (paper §IV-C).
+                    out.data += self.reg.n_declares();
+                    out.data += self.reg.n_declares().min(self.reg.n_update_sites());
+                    out.data += 2 * self.reg.n_derived_types();
+                }
+                // D2XU: zero.
+            }
+        }
+
+        // --- wait / set device ---
+        if p.async_parallel_loops {
+            out.wait += self.reg.n_wait_sites();
+        }
+        if !p.launch_script_device_select {
+            out.set_device += 1;
+        }
+
+        // D2XU must end at exactly zero by construction.
+        if v == CodeVersion::D2xu {
+            debug_assert_eq!(out.total(), 0, "D2XU must have no directives: {out:?}");
+        }
+        out
+    }
+
+    /// Census for every version.
+    pub fn full_census(&self) -> DirectiveCensus {
+        DirectiveCensus {
+            per_version: CodeVersion::ALL
+                .iter()
+                .map(|&v| (v, self.census(v)))
+                .collect(),
+        }
+    }
+
+    /// `do`/`enddo` lines saved in version `v` by DC conversion.
+    fn dc_savings(&self, v: CodeVersion) -> usize {
+        let p = v.policy();
+        self.reg
+            .sites()
+            .filter(|s| p.loop_style(s.site.class) == LoopStyle::Dc)
+            .map(|s| 2 * (s.site.nest as usize) - 2)
+            .sum()
+    }
+
+    /// The Table I analogue: total and `$acc` lines per version, given the
+    /// measured base source size (the "CPU version" line count).
+    pub fn table1(&self, base_lines: usize) -> Vec<Table1Row> {
+        let n_routines = self.reg.routines().len();
+        let dup = n_routines * DUP_LINES_PER_ROUTINE;
+        let n_ki = self.reg.count_class(LoopClass::KernelsIntrinsic);
+        let expand = n_ki * EXPAND_LINES_PER_KERNELS;
+
+        let mut rows = vec![Table1Row {
+            label: "0: CPU".into(),
+            total_lines: base_lines,
+            acc_lines: 0,
+        }];
+        for (n, &v) in CodeVersion::ALL.iter().enumerate() {
+            let acc = self.census(v).total();
+            let mut total = base_lines + acc;
+            // GPU versions carry duplicated CPU-only setup routines,
+            // except D2XU which removed them (§IV-E).
+            if v != CodeVersion::D2xu {
+                total += dup;
+            }
+            total -= self.dc_savings(v);
+            if v.policy().expand_kernels_regions {
+                total += expand;
+                // The one hand-inlined routine (§IV-E) only exists when
+                // there are device routines at all.
+                if n_routines > 0 {
+                    total += MANUAL_INLINE_LINES;
+                }
+            }
+            if v.policy().wrapper_init_kernels {
+                total += WRAPPER_MODULE_LINES;
+            }
+            rows.push(Table1Row {
+                label: format!("{}: {}", n + 1, v.tag()),
+                total_lines: total,
+                acc_lines: acc,
+            });
+        }
+        rows
+    }
+
+    /// Table II analogue: the Code 1 (A) census by directive type.
+    pub fn table2(&self) -> VersionLines {
+        self.census(CodeVersion::A)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::Site;
+
+    fn populated() -> SiteRegistry {
+        let mut r = SiteRegistry::new();
+        static P1: Site = Site::par3("p1");
+        static P2: Site = Site::par3("p2");
+        static P3: Site = Site::new("p3", LoopClass::Parallel, 2);
+        static SR: Site = Site::new("cfl", LoopClass::ScalarReduction, 3).heavy();
+        static AR: Site = Site::new("polar_avg", LoopClass::ArrayReduction, 2);
+        static AT: Site = Site::new("scatter", LoopClass::AtomicUpdate, 2);
+        static CR: Site = Site::new("interp_loop", LoopClass::CallsRoutine, 3)
+            .with_routines(&["interp", "s2c"]);
+        static KI: Site = Site::new("minval_dt", LoopClass::KernelsIntrinsic, 3);
+        for s in [&P1, &P2, &P3, &SR, &AR, &AT, &CR, &KI] {
+            r.note(s, 10, 1.0);
+        }
+        r.note_data_region("state", 8);
+        r.note_data_region("aux", 2);
+        r.note_update("bc");
+        r.note_update("diag");
+        r.note_derived_type("grid_metrics");
+        r.note_declare("gravity_table");
+        r.note_wait("pre_mpi");
+        r.note_host_data("halo_bufs");
+        r
+    }
+
+    #[test]
+    fn version_a_counts_every_directive_type() {
+        let r = populated();
+        let a = DirectiveAudit::new(&r).census(CodeVersion::A);
+        // 7 non-kernels loop sites * 3
+        assert_eq!(a.parallel_loop, 21);
+        assert_eq!(a.kernels, 2);
+        assert_eq!(a.atomic, 2); // AR + AT
+        assert_eq!(a.routine, 2); // interp, s2c
+        assert_eq!(a.wait, 1);
+        assert_eq!(a.set_device, 1);
+        // data: regions (8 arrays -> 2*3 lines; 2 arrays -> 2*1) + 2 updates
+        // + 1 declare + 2 derived + 1 host_data
+        assert_eq!(a.data, 6 + 2 + 2 + 1 + 2 + 1);
+        // continuation: the heavy site only.
+        assert_eq!(a.continuation, 1);
+        assert_eq!(a.total(), 21 + 2 + 2 + 2 + 1 + 1 + 14 + 1);
+    }
+
+    #[test]
+    fn monotone_reduction_across_versions() {
+        let r = populated();
+        let audit = DirectiveAudit::new(&r);
+        let t: Vec<usize> = CodeVersion::ALL
+            .iter()
+            .map(|&v| audit.census(v).total())
+            .collect();
+        // A > AD > ADU > AD2XU > D2XU = 0; D2XAd between 0 and AD.
+        assert!(t[0] > t[1], "A {} > AD {}", t[0], t[1]);
+        assert!(t[1] > t[2], "AD {} > ADU {}", t[1], t[2]);
+        assert!(t[2] > t[3], "ADU {} > AD2XU {}", t[2], t[3]);
+        assert_eq!(t[4], 0, "D2XU has zero directives");
+        assert!(t[5] > 0 && t[5] < t[1], "D2XAd {} in (0, AD)", t[5]);
+    }
+
+    #[test]
+    fn ad_drops_plain_loops_keeps_reductions() {
+        let r = populated();
+        let ad = DirectiveAudit::new(&r).census(CodeVersion::Ad);
+        // Only SR, AR, AT remain as ACC loops (CR becomes DC with routine
+        // directives kept).
+        assert_eq!(ad.parallel_loop, 9);
+        assert_eq!(ad.routine, 2);
+        assert_eq!(ad.kernels, 2);
+        assert_eq!(ad.wait, 0, "no async => no waits");
+    }
+
+    #[test]
+    fn adu_keeps_only_declare_update_derived_types_for_data() {
+        let r = populated();
+        let adu = DirectiveAudit::new(&r).census(CodeVersion::Adu);
+        assert_eq!(adu.data, 1 + 1 + 2);
+        let ad = DirectiveAudit::new(&r).census(CodeVersion::Ad);
+        assert!(adu.total() < ad.total());
+    }
+
+    #[test]
+    fn ad2xu_remaining_types_match_paper_list() {
+        // Paper §IV-D: atomic, declare, update, set device_num, routine,
+        // kernels remain.
+        let r = populated();
+        let c = DirectiveAudit::new(&r).census(CodeVersion::Ad2xu);
+        assert_eq!(c.parallel_loop, 0);
+        assert!(c.atomic > 0);
+        assert!(c.routine > 0);
+        assert!(c.kernels > 0);
+        assert!(c.data > 0);
+        assert_eq!(c.set_device, 1);
+        assert_eq!(c.wait, 0);
+    }
+
+    #[test]
+    fn table1_shapes() {
+        let r = populated();
+        let rows = DirectiveAudit::new(&r).table1(10_000);
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].acc_lines, 0);
+        assert_eq!(rows[5].acc_lines, 0, "D2XU row");
+        // GPU version totals exceed the CPU base (directives + dup routines)
+        assert!(rows[1].total_lines > rows[0].total_lines);
+        // AD total below A total (DC compaction), as in the paper.
+        assert!(rows[2].total_lines < rows[1].total_lines);
+        // D2XU is the smallest GPU version (dups removed).
+        let d2xu = rows[5].total_lines;
+        for row in &rows[1..] {
+            if row.label != "5: D2XU" {
+                assert!(d2xu <= row.total_lines, "{} vs {}", row.label, d2xu);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_registry_gives_minimal_censuses() {
+        let r = SiteRegistry::new();
+        let a = DirectiveAudit::new(&r).census(CodeVersion::A);
+        assert_eq!(a.total(), 1, "only set_device remains");
+        let d = DirectiveAudit::new(&r).census(CodeVersion::D2xu);
+        assert_eq!(d.total(), 0);
+    }
+}

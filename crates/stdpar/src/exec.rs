@@ -1,0 +1,533 @@
+//! The `Par` executor: physics loops written once, executed under the
+//! active code version's policy.
+//!
+//! The solver never talks to `gpusim` directly; it declares loop sites and
+//! calls [`Par::loop3`], [`Par::reduce_scalar`], [`Par::reduce_array`] etc.
+//! `Par` runs the body (real numerics, serial host execution) and charges
+//! the virtual device according to the version policy — launch mode,
+//! fusion, reduction strategy, data mode. It also feeds the
+//! [`SiteRegistry`] that the directive audit consumes.
+
+use crate::site::{LoopClass, Site, SiteRegistry};
+use crate::version::{ArrayReduceStrategy, CodeVersion, LoopStyle, Policy};
+use gpusim::{BufferId, DeviceContext, DeviceSpec, LaunchMode, Traffic};
+use mas_grid::IndexSpace3;
+use minimpi::ReduceOp;
+
+/// Execution-time penalty of the loop-flip array reduction (Listing 5):
+/// the compiler serializes the inner `reduce` loop, which costs a little
+/// parallel efficiency on the affected kernels (paper §IV-E; the global
+/// effect is small because array reductions are a small runtime fraction).
+const LOOP_FLIP_PENALTY: f64 = 1.35;
+
+/// Execution-time penalty of atomic array updates relative to a plain
+/// streaming loop (contended f64 atomics on the A100 are cheap but not
+/// free).
+const ATOMIC_PENALTY: f64 = 1.10;
+
+/// Kernel-execution efficiency of `do concurrent` offload relative to the
+/// hand-tuned OpenACC kernels — the "different compiler offload
+/// parameters between the OpenACC and DC kernels" the paper lists among
+/// the AD-vs-A performance gaps (§V-C).
+const DC_KERNEL_EFFICIENCY: f64 = 0.975;
+
+/// One rank's executor: virtual device + policy + site registry.
+pub struct Par {
+    /// The virtual device (clock, memory model, profiler).
+    pub ctx: DeviceContext,
+    /// Active code-version policy.
+    pub policy: Policy,
+    /// Site registry feeding the directive audit.
+    pub registry: SiteRegistry,
+    /// Cost-model multiplier applied to every launch's point count —
+    /// the paper-scale extrapolation knob: the numerics run on a scaled
+    /// grid while the device model charges production-size traffic.
+    /// Bulk (3-D) kernels use the volume scale; boundary/halo kernels
+    /// temporarily switch to the area scale via [`Par::set_point_scale`].
+    point_scale: f64,
+    /// The surface (plane) scale companion to `point_scale`, stored here
+    /// so boundary/halo code can switch to it without plumbing the value
+    /// through every call chain.
+    area_scale: f64,
+}
+
+impl Par {
+    /// New executor for `version` on a device described by `spec`.
+    pub fn new(spec: DeviceSpec, version: CodeVersion, rank: usize, seed: u64) -> Self {
+        let policy = version.policy();
+        let ctx = DeviceContext::new(spec, policy.data_mode, rank, seed);
+        Self {
+            ctx,
+            policy,
+            registry: SiteRegistry::new(),
+            point_scale: 1.0,
+            area_scale: 1.0,
+        }
+    }
+
+    /// The active code version.
+    pub fn version(&self) -> CodeVersion {
+        self.policy.version
+    }
+
+    /// Current cost-model point scale.
+    pub fn point_scale(&self) -> f64 {
+        self.point_scale
+    }
+
+    /// Set the cost-model point scale; returns the previous value so
+    /// callers can restore it (boundary code switches volume → area).
+    pub fn set_point_scale(&mut self, s: f64) -> f64 {
+        assert!(s >= 1.0 && s.is_finite(), "bad point scale {s}");
+        std::mem::replace(&mut self.point_scale, s)
+    }
+
+    /// The surface-scale companion value.
+    pub fn area_scale(&self) -> f64 {
+        self.area_scale
+    }
+
+    /// Configure both extrapolation scales (volume for bulk kernels,
+    /// area for plane kernels). Sets the active scale to `volume`.
+    pub fn set_scales(&mut self, volume: f64, area: f64) {
+        assert!(volume >= 1.0 && area >= 1.0);
+        self.point_scale = volume;
+        self.area_scale = area;
+    }
+
+    /// Scale a launch's point count by the active model scale.
+    fn scaled(&self, n: usize) -> usize {
+        (n as f64 * self.point_scale).round() as usize
+    }
+
+    /// Apply the launch mode for `site` and return whether it is DC-style.
+    fn prepare_launch(&mut self, site: &Site) -> LoopStyle {
+        let style = self.policy.loop_style(site.class);
+        let mode = if style == LoopStyle::Acc && self.policy.async_for(site.class) {
+            LaunchMode::Async
+        } else {
+            LaunchMode::Sync
+        };
+        self.ctx.set_launch_mode(mode);
+        // The DC offload-parameter penalty is a GPU-codegen artifact; on
+        // CPU targets `do concurrent` compiles to the very same loops
+        // (Table III: Codes 1 and 2 time identically on the EPYC nodes).
+        let is_gpu = self.ctx.spec.launch_overhead_us > 0.0;
+        self.ctx.set_exec_derate(match style {
+            LoopStyle::Dc if is_gpu => DC_KERNEL_EFFICIENCY,
+            _ => 1.0,
+        });
+        style
+    }
+
+    /// An OpenACC `parallel` region holding several independent loops.
+    ///
+    /// Under Code 1 (A) the compiler fuses the loops into one kernel (one
+    /// launch overhead); every DC version fissions them (paper §IV-B).
+    pub fn region<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let fuse = self.policy.fuse_regions;
+        if fuse {
+            self.ctx.begin_region();
+        }
+        let r = f(self);
+        if fuse {
+            self.ctx.end_region();
+        }
+        r
+    }
+
+    /// A plain (or routine-calling / atomic-scatter) parallel loop nest.
+    ///
+    /// `body(i, j, k)` is invoked for every point of `space` in Fortran
+    /// order; `traffic` describes per-point memory traffic for the model;
+    /// `reads`/`writes` are the model buffers touched (for UM paging).
+    pub fn loop3<F>(
+        &mut self,
+        site: &Site,
+        space: IndexSpace3,
+        traffic: Traffic,
+        reads: &[BufferId],
+        writes: &[BufferId],
+        mut body: F,
+    ) where
+        F: FnMut(usize, usize, usize),
+    {
+        debug_assert!(matches!(
+            site.class,
+            LoopClass::Parallel | LoopClass::CallsRoutine | LoopClass::AtomicUpdate
+        ));
+        self.prepare_launch(site);
+        let exec = self.ctx.launch(site.name, self.scaled(space.len()), traffic, reads, writes);
+        space.for_each(&mut body);
+        self.registry.note(site, space.len(), exec);
+    }
+
+    /// Scalar reduction over a loop nest (CFL minima, PCG dot products).
+    ///
+    /// OpenACC `reduction` clause through Code 3; DC2X `reduce` from
+    /// Code 4 on — numerically identical (fixed evaluation order), only
+    /// the launch policy and the audit differ.
+    pub fn reduce_scalar<F>(
+        &mut self,
+        site: &Site,
+        space: IndexSpace3,
+        traffic: Traffic,
+        reads: &[BufferId],
+        op: ReduceOp,
+        init: f64,
+        mut body: F,
+    ) -> f64
+    where
+        F: FnMut(usize, usize, usize) -> f64,
+    {
+        debug_assert!(matches!(
+            site.class,
+            LoopClass::ScalarReduction | LoopClass::KernelsIntrinsic
+        ));
+        self.prepare_launch(site);
+        let exec = self.ctx.launch(site.name, self.scaled(space.len()), traffic, reads, &[]);
+        let mut acc = init;
+        space.for_each(|i, j, k| {
+            let v = body(i, j, k);
+            acc = match op {
+                ReduceOp::Sum => acc + v,
+                ReduceOp::Min => acc.min(v),
+                ReduceOp::Max => acc.max(v),
+            };
+        });
+        self.registry.note(site, space.len(), exec);
+        acc
+    }
+
+    /// Array reduction: each point contributes `(target, value)` and the
+    /// contributions accumulate into `out[target]`.
+    ///
+    /// Strategy per version (paper Listings 3–5): ACC atomics, DC+atomics,
+    /// or the flipped outer-DC/inner-reduce form. All three visit points
+    /// in the same order here, so results are bitwise identical — the real
+    /// code's atomic orderings differ at round-off, which the paper also
+    /// absorbs in its "validated within solver tolerances" statement.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce_array<F>(
+        &mut self,
+        site: &Site,
+        space: IndexSpace3,
+        traffic: Traffic,
+        reads: &[BufferId],
+        writes: &[BufferId],
+        out: &mut [f64],
+        mut body: F,
+    ) where
+        F: FnMut(usize, usize, usize) -> (usize, f64),
+    {
+        debug_assert_eq!(site.class as u8, LoopClass::ArrayReduction as u8);
+        self.prepare_launch(site);
+        let penalty = match self.policy.array_reduce {
+            ArrayReduceStrategy::AccAtomic | ArrayReduceStrategy::DcAtomic => ATOMIC_PENALTY,
+            ArrayReduceStrategy::LoopFlip => LOOP_FLIP_PENALTY,
+        };
+        // Charge the penalized traffic by inflating the per-point cost.
+        let eff = Traffic {
+            reads: ((traffic.reads as f64) * penalty).ceil() as u32,
+            writes: traffic.writes,
+            flops: traffic.flops,
+        };
+        let exec = self.ctx.launch(site.name, self.scaled(space.len()), eff, reads, writes);
+        space.for_each(|i, j, k| {
+            let (t, v) = body(i, j, k);
+            out[t] += v;
+        });
+        self.registry.note(site, space.len(), exec);
+    }
+
+    /// An OpenACC `kernels` region wrapping a Fortran intrinsic reduction
+    /// (e.g. `MINVAL`). Executes like a scalar reduction; classified
+    /// separately because Codes 5–6 must expand it by hand (paper §IV-E).
+    pub fn kernels_intrinsic<F>(
+        &mut self,
+        site: &Site,
+        space: IndexSpace3,
+        traffic: Traffic,
+        reads: &[BufferId],
+        op: ReduceOp,
+        init: f64,
+        body: F,
+    ) -> f64
+    where
+        F: FnMut(usize, usize, usize) -> f64,
+    {
+        debug_assert_eq!(site.class as u8, LoopClass::KernelsIntrinsic as u8);
+        self.reduce_scalar_unchecked(site, space, traffic, reads, op, init, body)
+    }
+
+    fn reduce_scalar_unchecked<F>(
+        &mut self,
+        site: &Site,
+        space: IndexSpace3,
+        traffic: Traffic,
+        reads: &[BufferId],
+        op: ReduceOp,
+        init: f64,
+        mut body: F,
+    ) -> f64
+    where
+        F: FnMut(usize, usize, usize) -> f64,
+    {
+        self.prepare_launch(site);
+        let exec = self.ctx.launch(site.name, self.scaled(space.len()), traffic, reads, &[]);
+        let mut acc = init;
+        space.for_each(|i, j, k| {
+            let v = body(i, j, k);
+            acc = match op {
+                ReduceOp::Sum => acc + v,
+                ReduceOp::Min => acc.min(v),
+                ReduceOp::Max => acc.max(v),
+            };
+        });
+        self.registry.note(site, space.len(), exec);
+        acc
+    }
+
+    /// Array-creation wrapper (Code 6/D2XAd only): the wrapper routines
+    /// that replaced raw `allocate`+`enter data` zero-initialize their
+    /// arrays, adding kernels the original code did not have (§IV-F).
+    /// `n_points` is the array's storage size in values.
+    pub fn wrapper_alloc(
+        &mut self,
+        name: &'static str,
+        buf: BufferId,
+        n_points: usize,
+        zero: impl FnOnce(),
+    ) {
+        if self.policy.wrapper_init_kernels {
+            self.ctx.set_launch_mode(LaunchMode::Sync);
+            self.ctx
+                .launch(name, self.scaled(n_points), Traffic::new(0, 1, 0), &[], &[buf]);
+            zero();
+        }
+    }
+
+    /// Declare a manual data region: all `bufs` are copied in (manual
+    /// mode) or lazily paged (UM). Registered for the audit either way —
+    /// the audit decides per version whether the directives survive.
+    pub fn data_region(&mut self, label: &'static str, bufs: &[BufferId]) {
+        self.registry.note_data_region(label, bufs.len());
+        for &b in bufs {
+            self.ctx.enter_data(b);
+        }
+    }
+
+    /// `!$acc update host` call site.
+    pub fn update_host(&mut self, label: &'static str, buf: BufferId) {
+        self.registry.note_update(label);
+        self.ctx.update_host(buf);
+    }
+
+    /// `!$acc update device` call site.
+    pub fn update_device(&mut self, label: &'static str, buf: BufferId) {
+        self.registry.note_update(label);
+        self.ctx.update_device(buf);
+    }
+
+    /// Host code touches a buffer (after `update_host` in manual mode;
+    /// triggers paging under UM).
+    pub fn host_access(&mut self, buf: BufferId, write: bool) {
+        self.ctx.host_touch(buf, write);
+    }
+
+    /// Derived-type structure placed on the device (needed even under UM —
+    /// static data does not page; paper §IV-C).
+    pub fn derived_type_region(&mut self, label: &'static str) {
+        self.registry.note_derived_type(label);
+    }
+
+    /// Module variable used inside a device routine (`!$acc declare`).
+    pub fn declare_site(&mut self, label: &'static str) {
+        self.registry.note_declare(label);
+    }
+
+    /// `!$acc wait` flush point (before MPI, before host reads).
+    pub fn wait_point(&mut self, label: &'static str) {
+        self.registry.note_wait(label);
+        // Model: execution is already serialized on the virtual clock, so
+        // the wait itself costs nothing extra.
+    }
+
+    /// MPI buffer exposed via `host_data use_device` (CUDA-aware path).
+    pub fn host_data_site(&mut self, label: &'static str) {
+        self.registry.note_host_data(label);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::DataMode;
+
+    static PLAIN: Site = Site::par3("plain");
+    static PLAIN2: Site = Site::par3("plain2");
+    static RED: Site = Site::new("red", LoopClass::ScalarReduction, 3);
+    static ARED: Site = Site::new("ared", LoopClass::ArrayReduction, 2);
+
+    fn space(n: usize) -> IndexSpace3 {
+        IndexSpace3 {
+            i0: 0,
+            i1: n,
+            j0: 0,
+            j1: n,
+            k0: 0,
+            k1: n,
+        }
+    }
+
+    fn par(v: CodeVersion) -> Par {
+        let mut spec = DeviceSpec::a100_40gb();
+        spec.jitter_sigma = 0.0;
+        let mut p = Par::new(spec, v, 0, 1);
+        p.ctx.set_phase(gpusim::Phase::Compute);
+        p
+    }
+
+    #[test]
+    fn loop3_runs_body_everywhere() {
+        let mut p = par(CodeVersion::A);
+        let b = p.ctx.mem.register(8 * 64, "x");
+        p.ctx.enter_data(b);
+        let mut count = 0;
+        p.loop3(&PLAIN, space(4), Traffic::new(1, 1, 0), &[b], &[b], |_, _, _| {
+            count += 1
+        });
+        assert_eq!(count, 64);
+        assert_eq!(p.registry.total_invocations(), 1);
+    }
+
+    #[test]
+    fn version_a_fuses_ad_fissions() {
+        let wall = |v: CodeVersion| {
+            let mut p = par(v);
+            let b = p.ctx.mem.register(8 * 64, "x");
+            p.ctx.enter_data(b);
+            let t0 = p.ctx.clock.now_us();
+            p.region(|p| {
+                for _ in 0..6 {
+                    p.loop3(&PLAIN, space(4), Traffic::new(1, 1, 0), &[b], &[b], |_, _, _| {});
+                }
+            });
+            p.ctx.clock.now_us() - t0
+        };
+        let a = wall(CodeVersion::A);
+        let ad = wall(CodeVersion::Ad);
+        // A: one async-ish overhead; AD: six sync overheads.
+        assert!(ad > a + 4.0 * 8.0, "a={a} ad={ad}");
+    }
+
+    #[test]
+    fn reduce_scalar_deterministic_across_versions() {
+        let run = |v| {
+            let mut p = par(v);
+            let b = p.ctx.mem.register(8 * 27, "x");
+            p.ctx.enter_data(b);
+            p.reduce_scalar(
+                &RED,
+                space(3),
+                Traffic::new(1, 0, 1),
+                &[b],
+                ReduceOp::Sum,
+                0.0,
+                |i, j, k| (i + 10 * j + 100 * k) as f64,
+            )
+        };
+        let a = run(CodeVersion::A);
+        for v in CodeVersion::ALL {
+            assert_eq!(run(v), a, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn reduce_array_same_result_all_strategies() {
+        let run = |v| {
+            let mut p = par(v);
+            let b = p.ctx.mem.register(8 * 27, "x");
+            let o = p.ctx.mem.register(8 * 3, "out");
+            p.ctx.enter_data(b);
+            p.ctx.enter_data(o);
+            let mut out = vec![0.0; 3];
+            p.reduce_array(
+                &ARED,
+                space(3),
+                Traffic::new(2, 1, 2),
+                &[b],
+                &[o],
+                &mut out,
+                |i, j, k| (i, (j + k) as f64),
+            );
+            out
+        };
+        let a = run(CodeVersion::A);
+        for v in CodeVersion::ALL {
+            assert_eq!(run(v), a, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn loop_flip_charges_more_than_plain_but_same_result() {
+        let cost = |v| {
+            let mut p = par(v);
+            let b = p.ctx.mem.register(8 * 27, "x");
+            let o = p.ctx.mem.register(8 * 3, "o");
+            p.ctx.enter_data(b);
+            p.ctx.enter_data(o);
+            let mut out = vec![0.0; 3];
+            let t0 = p.ctx.clock.now_us();
+            p.reduce_array(
+                &ARED,
+                space(3),
+                Traffic::new(4, 1, 2),
+                &[b],
+                &[o],
+                &mut out,
+                |i, _, _| (i, 1.0),
+            );
+            p.ctx.clock.now_us() - t0
+        };
+        assert!(cost(CodeVersion::D2xu) > cost(CodeVersion::Ad2xu));
+    }
+
+    #[test]
+    fn wrapper_alloc_only_fires_for_d2xad() {
+        for v in CodeVersion::ALL {
+            let mut p = par(v);
+            let b = p.ctx.mem.register(800, "tmp");
+            if p.policy.data_mode == DataMode::Manual {
+                p.ctx.enter_data(b);
+            }
+            let mut zeroed = false;
+            p.wrapper_alloc("tmp_init", b, 100, || zeroed = true);
+            assert_eq!(zeroed, v == CodeVersion::D2xad, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn data_region_registers_and_copies_in_manual_mode() {
+        let mut p = par(CodeVersion::Ad);
+        let b1 = p.ctx.mem.register(1 << 20, "a");
+        let b2 = p.ctx.mem.register(1 << 20, "b");
+        p.data_region("state", &[b1, b2]);
+        assert_eq!(p.registry.n_data_arrays(), 2);
+        assert!(p.ctx.prof.cat_total_us(gpusim::TimeCategory::MemcpyH2D) > 0.0);
+        // Kernel may now touch them.
+        p.loop3(&PLAIN2, space(2), Traffic::new(2, 0, 0), &[b1, b2], &[], |_, _, _| {});
+    }
+
+    #[test]
+    fn um_data_region_registers_but_does_not_copy() {
+        let mut p = par(CodeVersion::Adu);
+        let b = p.ctx.mem.register(1 << 20, "a");
+        p.data_region("state", &[b]);
+        assert_eq!(p.registry.n_data_arrays(), 1);
+        assert_eq!(p.ctx.prof.cat_total_us(gpusim::TimeCategory::MemcpyH2D), 0.0);
+        // First kernel touch pages it in instead.
+        p.loop3(&PLAIN, space(2), Traffic::new(1, 0, 0), &[b], &[], |_, _, _| {});
+        assert!(p.ctx.prof.cat_total_us(gpusim::TimeCategory::PageMigration) > 0.0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Kernel-site metadata and the runtime registry behind the directive audit.
+//!
+//! Every loop nest in the solver is declared once as a `static` [`Site`]
+//! carrying the information the porting rules need: its class (plain
+//! parallel, scalar/array reduction, atomic, routine-calling, or a
+//! `kernels` intrinsic region), its nest depth (a collapsed 3-deep
+//! OpenACC loop that becomes one `do concurrent` line saves `do`/`enddo`
+//! lines — the effect visible in Table I's *Total Lines* column), and the
+//! device routines it calls.
+//!
+//! The [`SiteRegistry`] records which sites actually executed, plus the
+//! data regions, `update` call sites, and host-visible structures the
+//! solver registered — everything `audit` needs to regenerate the paper's
+//! directive censuses.
+
+use std::collections::BTreeMap;
+
+/// Classification of a loop nest — decides which versions can express it
+/// as `do concurrent` (paper §IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LoopClass {
+    /// Data-parallel loop with no reduction/atomic/call: DC-compatible
+    /// from Code 2 (AD) on.
+    Parallel,
+    /// Scalar reduction (CFL minima, dot products): needs the Fortran 202X
+    /// `reduce` clause → OpenACC until Code 4 (AD2XU).
+    ScalarReduction,
+    /// Array reduction (`sum0(i) += …` over `j`): atomics until Code 5's
+    /// loop-flip rewrite.
+    ArrayReduction,
+    /// Non-reduction atomic scatter.
+    AtomicUpdate,
+    /// Calls a pure device function/subroutine (`!$acc routine` until
+    /// inlining removes the need).
+    CallsRoutine,
+    /// OpenACC `kernels` region wrapping array syntax / intrinsics
+    /// (`MINVAL` etc.); expanded into explicit DC loops in Codes 5–6.
+    KernelsIntrinsic,
+}
+
+impl LoopClass {
+    /// All classes, for table iteration.
+    pub const ALL: [LoopClass; 6] = [
+        LoopClass::Parallel,
+        LoopClass::ScalarReduction,
+        LoopClass::ArrayReduction,
+        LoopClass::AtomicUpdate,
+        LoopClass::CallsRoutine,
+        LoopClass::KernelsIntrinsic,
+    ];
+}
+
+/// Static description of one loop nest in the solver.
+#[derive(Clone, Copy, Debug)]
+pub struct Site {
+    /// Unique kernel name (profiler label).
+    pub name: &'static str,
+    /// Loop classification.
+    pub class: LoopClass,
+    /// Nest depth of the original `do` loops (1–3).
+    pub nest: u8,
+    /// Long clause list (reductions over several scalars, many privates):
+    /// costs an `!$acc&` continuation line in the OpenACC form.
+    pub clause_heavy: bool,
+    /// Pure device routines called from the body (empty unless
+    /// `class == CallsRoutine`).
+    pub routines: &'static [&'static str],
+}
+
+impl Site {
+    /// Shorthand for a plain 3-deep parallel site.
+    pub const fn par3(name: &'static str) -> Self {
+        Self {
+            name,
+            class: LoopClass::Parallel,
+            nest: 3,
+            clause_heavy: false,
+            routines: &[],
+        }
+    }
+
+    /// Shorthand constructor.
+    pub const fn new(name: &'static str, class: LoopClass, nest: u8) -> Self {
+        Self {
+            name,
+            class,
+            nest,
+            clause_heavy: false,
+            routines: &[],
+        }
+    }
+
+    /// Builder: mark the clause list long.
+    pub const fn heavy(mut self) -> Self {
+        self.clause_heavy = true;
+        self
+    }
+
+    /// Builder: attach device routines.
+    pub const fn with_routines(mut self, r: &'static [&'static str]) -> Self {
+        self.routines = r;
+        self
+    }
+}
+
+/// Execution statistics of one site.
+#[derive(Clone, Debug)]
+pub struct SiteStats {
+    /// The site's static metadata.
+    pub site: Site,
+    /// Number of launches.
+    pub invocations: u64,
+    /// Total points iterated.
+    pub points: u64,
+    /// Total modeled execution time, µs (excludes launch overheads).
+    pub model_us: f64,
+}
+
+/// Everything the audit needs, collected while the solver runs.
+#[derive(Clone, Debug, Default)]
+pub struct SiteRegistry {
+    /// Sites by name (BTreeMap for deterministic report ordering).
+    sites: BTreeMap<&'static str, SiteStats>,
+    /// Data regions: `(label, number of arrays)` — each array in a manual
+    /// region costs `enter`+`exit` directive lines.
+    data_regions: Vec<(&'static str, usize)>,
+    /// `!$acc update host/device` call sites (by label, deduplicated).
+    update_sites: BTreeMap<&'static str, u64>,
+    /// Host↔device visible derived-type structures (need `enter data` even
+    /// under UM because the structure itself is static — paper §IV-C).
+    derived_type_structs: Vec<&'static str>,
+    /// `declare` directives for module data used inside device routines.
+    declare_sites: Vec<&'static str>,
+    /// Sites that issue an `!$acc wait` (async flush points).
+    wait_sites: BTreeMap<&'static str, u64>,
+    /// MPI send/recv buffers exposed with `host_data use_device`.
+    host_data_sites: Vec<&'static str>,
+}
+
+impl SiteRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one execution of `site` over `points` points taking
+    /// `model_us` of modeled kernel time.
+    pub fn note(&mut self, site: &Site, points: usize, model_us: f64) {
+        let e = self.sites.entry(site.name).or_insert(SiteStats {
+            site: *site,
+            invocations: 0,
+            points: 0,
+            model_us: 0.0,
+        });
+        e.invocations += 1;
+        e.points += points as u64;
+        e.model_us += model_us;
+    }
+
+    /// Sites sorted by descending modeled time (the `nsys stats`-style
+    /// kernel census).
+    pub fn top_sites(&self) -> Vec<&SiteStats> {
+        let mut v: Vec<&SiteStats> = self.sites.values().collect();
+        v.sort_by(|a, b| b.model_us.total_cmp(&a.model_us));
+        v
+    }
+
+    /// Total modeled kernel time, µs.
+    pub fn total_model_us(&self) -> f64 {
+        self.sites.values().map(|s| s.model_us).sum()
+    }
+
+    /// Register a manual data region of `n_arrays` arrays.
+    pub fn note_data_region(&mut self, label: &'static str, n_arrays: usize) {
+        if !self.data_regions.iter().any(|&(l, _)| l == label) {
+            self.data_regions.push((label, n_arrays));
+        }
+    }
+
+    /// Register an `update` call site.
+    pub fn note_update(&mut self, label: &'static str) {
+        *self.update_sites.entry(label).or_insert(0) += 1;
+    }
+
+    /// Register a derived-type structure that must be manually placed on
+    /// the device even under UM.
+    pub fn note_derived_type(&mut self, label: &'static str) {
+        if !self.derived_type_structs.contains(&label) {
+            self.derived_type_structs.push(label);
+        }
+    }
+
+    /// Register a `declare` directive site.
+    pub fn note_declare(&mut self, label: &'static str) {
+        if !self.declare_sites.contains(&label) {
+            self.declare_sites.push(label);
+        }
+    }
+
+    /// Register an `!$acc wait` flush point.
+    pub fn note_wait(&mut self, label: &'static str) {
+        *self.wait_sites.entry(label).or_insert(0) += 1;
+    }
+
+    /// Register a `host_data use_device` site (CUDA-aware MPI buffers).
+    pub fn note_host_data(&mut self, label: &'static str) {
+        if !self.host_data_sites.contains(&label) {
+            self.host_data_sites.push(label);
+        }
+    }
+
+    /// All recorded sites in name order.
+    pub fn sites(&self) -> impl Iterator<Item = &SiteStats> {
+        self.sites.values()
+    }
+
+    /// Number of distinct sites.
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Count of sites in a class.
+    pub fn count_class(&self, c: LoopClass) -> usize {
+        self.sites.values().filter(|s| s.site.class == c).count()
+    }
+
+    /// Unique device routines (from all `CallsRoutine` sites), name-sorted.
+    pub fn routines(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self
+            .sites
+            .values()
+            .flat_map(|s| s.site.routines.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Data regions (label, arrays).
+    pub fn data_regions(&self) -> &[(&'static str, usize)] {
+        &self.data_regions
+    }
+
+    /// Total arrays across manual data regions.
+    pub fn n_data_arrays(&self) -> usize {
+        self.data_regions.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Unique `update` sites.
+    pub fn n_update_sites(&self) -> usize {
+        self.update_sites.len()
+    }
+
+    /// Derived-type structures.
+    pub fn n_derived_types(&self) -> usize {
+        self.derived_type_structs.len()
+    }
+
+    /// `declare` sites.
+    pub fn n_declares(&self) -> usize {
+        self.declare_sites.len()
+    }
+
+    /// Unique wait sites.
+    pub fn n_wait_sites(&self) -> usize {
+        self.wait_sites.len()
+    }
+
+    /// `host_data` sites.
+    pub fn n_host_data_sites(&self) -> usize {
+        self.host_data_sites.len()
+    }
+
+    /// Total kernel launches recorded.
+    pub fn total_invocations(&self) -> u64 {
+        self.sites.values().map(|s| s.invocations).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static S1: Site = Site::par3("k1");
+    static S2: Site = Site::new("red", LoopClass::ScalarReduction, 3).heavy();
+    static S3: Site = Site::new("interp", LoopClass::CallsRoutine, 3)
+        .with_routines(&["interp", "s2c"]);
+
+    #[test]
+    fn note_accumulates_stats() {
+        let mut r = SiteRegistry::new();
+        r.note(&S1, 100, 1.0);
+        r.note(&S1, 100, 1.0);
+        r.note(&S2, 50, 1.0);
+        assert_eq!(r.n_sites(), 2);
+        assert_eq!(r.total_invocations(), 3);
+        let s = r.sites().find(|s| s.site.name == "k1").unwrap();
+        assert_eq!(s.points, 200);
+    }
+
+    #[test]
+    fn class_counting() {
+        let mut r = SiteRegistry::new();
+        r.note(&S1, 1, 1.0);
+        r.note(&S2, 1, 1.0);
+        r.note(&S3, 1, 1.0);
+        assert_eq!(r.count_class(LoopClass::Parallel), 1);
+        assert_eq!(r.count_class(LoopClass::ScalarReduction), 1);
+        assert_eq!(r.count_class(LoopClass::ArrayReduction), 0);
+    }
+
+    #[test]
+    fn routines_deduplicated_sorted() {
+        static S4: Site =
+            Site::new("boost", LoopClass::CallsRoutine, 2).with_routines(&["boost", "s2c"]);
+        let mut r = SiteRegistry::new();
+        r.note(&S3, 1, 1.0);
+        r.note(&S4, 1, 1.0);
+        assert_eq!(r.routines(), vec!["boost", "interp", "s2c"]);
+    }
+
+    #[test]
+    fn data_regions_deduplicate_by_label() {
+        let mut r = SiteRegistry::new();
+        r.note_data_region("state", 12);
+        r.note_data_region("state", 12);
+        r.note_data_region("aux", 3);
+        assert_eq!(r.data_regions().len(), 2);
+        assert_eq!(r.n_data_arrays(), 15);
+    }
+
+    #[test]
+    fn update_and_wait_sites_count_unique_labels() {
+        let mut r = SiteRegistry::new();
+        r.note_update("bc_read");
+        r.note_update("bc_read");
+        r.note_update("diag");
+        r.note_wait("pre_mpi");
+        assert_eq!(r.n_update_sites(), 2);
+        assert_eq!(r.n_wait_sites(), 1);
+    }
+}

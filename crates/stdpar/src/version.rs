@@ -1,0 +1,330 @@
+//! Code versions and their execution policies.
+
+use crate::site::LoopClass;
+use gpusim::DataMode;
+
+/// The six code versions of the paper (§IV, Table I).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CodeVersion {
+    /// Code 1 `[A]` — original OpenACC implementation.
+    A,
+    /// Code 2 `[AD]` — DC for plain loops, OpenACC for DC-incompatible
+    /// loops and data management (Fortran-2018-conforming).
+    Ad,
+    /// Code 3 `[ADU]` — like AD but unified managed memory.
+    Adu,
+    /// Code 4 `[AD2XU]` — DC2X (`reduce` clause) for all loops, OpenACC
+    /// retained only for functionality (atomics, routine, kernels…), UM.
+    Ad2xu,
+    /// Code 5 `[D2XU]` — zero OpenACC directives: DC2X everywhere, code
+    /// modifications, inlining flags, launch-script device selection, UM.
+    D2xu,
+    /// Code 6 `[D2XAd]` — like D2XU plus OpenACC manual data management
+    /// (and wrapper routines for array creation) to recover performance.
+    D2xad,
+}
+
+impl CodeVersion {
+    /// All six, in the paper's order.
+    pub const ALL: [CodeVersion; 6] = [
+        CodeVersion::A,
+        CodeVersion::Ad,
+        CodeVersion::Adu,
+        CodeVersion::Ad2xu,
+        CodeVersion::D2xu,
+        CodeVersion::D2xad,
+    ];
+
+    /// Paper's label, e.g. `"CODE 2 (AD)"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            CodeVersion::A => "CODE 1 (A)",
+            CodeVersion::Ad => "CODE 2 (AD)",
+            CodeVersion::Adu => "CODE 3 (ADU)",
+            CodeVersion::Ad2xu => "CODE 4 (AD2XU)",
+            CodeVersion::D2xu => "CODE 5 (D2XU)",
+            CodeVersion::D2xad => "CODE 6 (D2XAd)",
+        }
+    }
+
+    /// Short tag, e.g. `"AD2XU"`.
+    pub fn tag(self) -> &'static str {
+        match self {
+            CodeVersion::A => "A",
+            CodeVersion::Ad => "AD",
+            CodeVersion::Adu => "ADU",
+            CodeVersion::Ad2xu => "AD2XU",
+            CodeVersion::D2xu => "D2XU",
+            CodeVersion::D2xad => "D2XAd",
+        }
+    }
+
+    /// The execution policy of this version.
+    pub fn policy(self) -> Policy {
+        match self {
+            CodeVersion::A => Policy {
+                version: self,
+                data_mode: DataMode::Manual,
+                fuse_regions: true,
+                async_parallel_loops: true,
+                dc_for_parallel: false,
+                dc_for_scalar_reduction: false,
+                dc_for_array_reduction: false,
+                dc_for_atomic: false,
+                dc_for_routine_loops: false,
+                expand_kernels_regions: false,
+                array_reduce: ArrayReduceStrategy::AccAtomic,
+                wrapper_init_kernels: false,
+                inline_routines: false,
+                launch_script_device_select: false,
+            },
+            CodeVersion::Ad => Policy {
+                version: self,
+                data_mode: DataMode::Manual,
+                fuse_regions: false,
+                async_parallel_loops: false,
+                dc_for_parallel: true,
+                dc_for_scalar_reduction: false,
+                dc_for_array_reduction: false,
+                dc_for_atomic: false,
+                // Loops calling pure routines become DC but the callee
+                // keeps its `!$acc routine` declaration (paper §IV-B).
+                dc_for_routine_loops: true,
+                expand_kernels_regions: false,
+                array_reduce: ArrayReduceStrategy::AccAtomic,
+                wrapper_init_kernels: false,
+                inline_routines: false,
+                launch_script_device_select: false,
+            },
+            CodeVersion::Adu => Policy {
+                data_mode: DataMode::Unified,
+                ..CodeVersion::Ad.policy().with_version(self)
+            },
+            CodeVersion::Ad2xu => Policy {
+                version: self,
+                data_mode: DataMode::Unified,
+                fuse_regions: false,
+                async_parallel_loops: false,
+                dc_for_parallel: true,
+                dc_for_scalar_reduction: true,
+                dc_for_array_reduction: true,
+                dc_for_atomic: true,
+                dc_for_routine_loops: true,
+                expand_kernels_regions: false,
+                array_reduce: ArrayReduceStrategy::DcAtomic,
+                wrapper_init_kernels: false,
+                inline_routines: false,
+                launch_script_device_select: false,
+            },
+            CodeVersion::D2xu => Policy {
+                version: self,
+                data_mode: DataMode::Unified,
+                fuse_regions: false,
+                async_parallel_loops: false,
+                dc_for_parallel: true,
+                dc_for_scalar_reduction: true,
+                dc_for_array_reduction: true,
+                dc_for_atomic: true,
+                dc_for_routine_loops: true,
+                expand_kernels_regions: true,
+                array_reduce: ArrayReduceStrategy::LoopFlip,
+                wrapper_init_kernels: false,
+                inline_routines: true,
+                launch_script_device_select: true,
+            },
+            CodeVersion::D2xad => Policy {
+                version: self,
+                data_mode: DataMode::Manual,
+                fuse_regions: false,
+                async_parallel_loops: false,
+                dc_for_parallel: true,
+                dc_for_scalar_reduction: true,
+                dc_for_array_reduction: true,
+                dc_for_atomic: true,
+                dc_for_routine_loops: true,
+                expand_kernels_regions: true,
+                array_reduce: ArrayReduceStrategy::LoopFlip,
+                wrapper_init_kernels: true,
+                inline_routines: true,
+                launch_script_device_select: true,
+            },
+        }
+    }
+}
+
+/// How array reductions (`sum0(i) += a(i,j)…` over `j`) are implemented.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrayReduceStrategy {
+    /// OpenACC collapsed loop with `!$acc atomic update` (Listing 3).
+    AccAtomic,
+    /// `do concurrent` collapsed loop with `!$acc atomic update` inside
+    /// (Listing 4 — relies on the compiler's shared lowering).
+    DcAtomic,
+    /// Flipped loops: outer DC over the array index, inner DC `reduce`
+    /// (Listing 5; the compiler serializes the inner loop).
+    LoopFlip,
+}
+
+/// How a loop is issued to the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoopStyle {
+    /// OpenACC kernel (can fuse inside a region; can be async).
+    Acc,
+    /// `do concurrent` kernel (always its own launch, synchronous).
+    Dc,
+}
+
+/// Execution policy derived from a [`CodeVersion`].
+#[derive(Clone, Copy, Debug)]
+pub struct Policy {
+    /// The version this policy belongs to.
+    pub version: CodeVersion,
+    /// Manual data directives vs unified managed memory.
+    pub data_mode: DataMode,
+    /// Fuse multiple loops in one `parallel` region into one kernel.
+    pub fuse_regions: bool,
+    /// Launch plain parallel loops asynchronously.
+    pub async_parallel_loops: bool,
+    /// Plain loops use DC.
+    pub dc_for_parallel: bool,
+    /// Scalar reductions use DC2X `reduce`.
+    pub dc_for_scalar_reduction: bool,
+    /// Array reductions use DC (with atomics or loop-flip).
+    pub dc_for_array_reduction: bool,
+    /// Non-reduction atomic loops use DC.
+    pub dc_for_atomic: bool,
+    /// Loops that call pure device routines use DC.
+    pub dc_for_routine_loops: bool,
+    /// `kernels` regions (array syntax / intrinsics) expanded into DC loops.
+    pub expand_kernels_regions: bool,
+    /// Array-reduction implementation.
+    pub array_reduce: ArrayReduceStrategy,
+    /// D2XAd wrapper routines zero-initialize arrays they create (extra
+    /// kernels the original code did not have — paper §IV-F).
+    pub wrapper_init_kernels: bool,
+    /// Device routines must be inlined (`-Minline` flags / manual inline).
+    pub inline_routines: bool,
+    /// GPU selected by `CUDA_VISIBLE_DEVICES` launch script instead of the
+    /// `!$acc set device_num` directive (Listing 6).
+    pub launch_script_device_select: bool,
+}
+
+impl Policy {
+    fn with_version(mut self, v: CodeVersion) -> Self {
+        self.version = v;
+        self
+    }
+
+    /// Loop style for a site class under this policy.
+    pub fn loop_style(&self, class: LoopClass) -> LoopStyle {
+        let dc = match class {
+            LoopClass::Parallel => self.dc_for_parallel,
+            LoopClass::ScalarReduction => self.dc_for_scalar_reduction,
+            LoopClass::ArrayReduction => self.dc_for_array_reduction,
+            LoopClass::AtomicUpdate => self.dc_for_atomic,
+            LoopClass::CallsRoutine => self.dc_for_routine_loops,
+            // `kernels` regions behave like a compiler-generated kernel
+            // until expanded, after which they are DC loops.
+            LoopClass::KernelsIntrinsic => self.expand_kernels_regions,
+        };
+        if dc {
+            LoopStyle::Dc
+        } else {
+            LoopStyle::Acc
+        }
+    }
+
+    /// Whether an `Acc`-style plain loop may launch asynchronously.
+    pub fn async_for(&self, class: LoopClass) -> bool {
+        self.async_parallel_loops
+            && matches!(
+                class,
+                LoopClass::Parallel | LoopClass::CallsRoutine | LoopClass::AtomicUpdate
+            )
+            && self.loop_style(class) == LoopStyle::Acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_versions_with_paper_labels() {
+        assert_eq!(CodeVersion::ALL.len(), 6);
+        assert_eq!(CodeVersion::A.label(), "CODE 1 (A)");
+        assert_eq!(CodeVersion::D2xad.tag(), "D2XAd");
+    }
+
+    #[test]
+    fn only_a_fuses_and_asyncs() {
+        for v in CodeVersion::ALL {
+            let p = v.policy();
+            assert_eq!(p.fuse_regions, v == CodeVersion::A, "{v:?}");
+            assert_eq!(p.async_parallel_loops, v == CodeVersion::A, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn data_modes_match_table_i() {
+        use gpusim::DataMode::*;
+        let modes: Vec<_> = CodeVersion::ALL.iter().map(|v| v.policy().data_mode).collect();
+        assert_eq!(modes, vec![Manual, Manual, Unified, Unified, Unified, Manual]);
+    }
+
+    #[test]
+    fn ad_keeps_acc_for_reductions_only() {
+        let p = CodeVersion::Ad.policy();
+        assert_eq!(p.loop_style(LoopClass::Parallel), LoopStyle::Dc);
+        assert_eq!(p.loop_style(LoopClass::CallsRoutine), LoopStyle::Dc);
+        assert_eq!(p.loop_style(LoopClass::ScalarReduction), LoopStyle::Acc);
+        assert_eq!(p.loop_style(LoopClass::ArrayReduction), LoopStyle::Acc);
+        assert_eq!(p.loop_style(LoopClass::KernelsIntrinsic), LoopStyle::Acc);
+    }
+
+    #[test]
+    fn d2x_versions_are_all_dc() {
+        for v in [CodeVersion::D2xu, CodeVersion::D2xad] {
+            let p = v.policy();
+            for c in [
+                LoopClass::Parallel,
+                LoopClass::ScalarReduction,
+                LoopClass::ArrayReduction,
+                LoopClass::AtomicUpdate,
+                LoopClass::CallsRoutine,
+                LoopClass::KernelsIntrinsic,
+            ] {
+                assert_eq!(p.loop_style(c), LoopStyle::Dc, "{v:?} {c:?}");
+            }
+            assert_eq!(p.array_reduce, ArrayReduceStrategy::LoopFlip);
+            assert!(p.inline_routines);
+            assert!(p.launch_script_device_select);
+        }
+    }
+
+    #[test]
+    fn adu_is_ad_with_unified_memory() {
+        let ad = CodeVersion::Ad.policy();
+        let adu = CodeVersion::Adu.policy();
+        assert_eq!(adu.data_mode, gpusim::DataMode::Unified);
+        assert_eq!(adu.dc_for_parallel, ad.dc_for_parallel);
+        assert_eq!(adu.array_reduce, ad.array_reduce);
+        assert_eq!(adu.version, CodeVersion::Adu);
+    }
+
+    #[test]
+    fn async_only_for_acc_plain_loops() {
+        let a = CodeVersion::A.policy();
+        assert!(a.async_for(LoopClass::Parallel));
+        assert!(!a.async_for(LoopClass::ScalarReduction));
+        let ad = CodeVersion::Ad.policy();
+        assert!(!ad.async_for(LoopClass::Parallel));
+    }
+
+    #[test]
+    fn wrapper_init_only_d2xad() {
+        for v in CodeVersion::ALL {
+            assert_eq!(v.policy().wrapper_init_kernels, v == CodeVersion::D2xad);
+        }
+    }
+}

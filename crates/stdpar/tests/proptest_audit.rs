@@ -1,0 +1,141 @@
+//! Property-based tests of the directive audit: for *any* mix of kernel
+//! sites and data regions, the porting rules must preserve the paper's
+//! structural invariants.
+
+use proptest::prelude::*;
+use stdpar::{CodeVersion, DirectiveAudit, LoopClass, Site, SiteRegistry};
+
+/// A static pool of sites of every class (proptest picks subsets).
+/// Names must be unique and 'static, hence the pool.
+static POOL: &[Site] = &[
+    Site::par3("p0"),
+    Site::par3("p1"),
+    Site::par3("p2"),
+    Site::par3("p3"),
+    Site::new("p4", LoopClass::Parallel, 2),
+    Site::new("p5", LoopClass::Parallel, 1),
+    Site::new("sr0", LoopClass::ScalarReduction, 3),
+    Site::new("sr1", LoopClass::ScalarReduction, 3).heavy(),
+    Site::new("sr2", LoopClass::ScalarReduction, 2),
+    Site::new("ar0", LoopClass::ArrayReduction, 2),
+    Site::new("ar1", LoopClass::ArrayReduction, 3),
+    Site::new("at0", LoopClass::AtomicUpdate, 2),
+    Site::new("cr0", LoopClass::CallsRoutine, 3).with_routines(&["s2c", "interp"]),
+    Site::new("cr1", LoopClass::CallsRoutine, 3).with_routines(&["boost"]),
+    Site::new("ki0", LoopClass::KernelsIntrinsic, 3),
+    Site::new("ki1", LoopClass::KernelsIntrinsic, 2),
+];
+
+fn registry_strategy() -> impl Strategy<Value = SiteRegistry> {
+    (
+        prop::collection::vec(0usize..POOL.len(), 1..POOL.len()),
+        prop::collection::vec(1usize..20, 0..5), // data-region sizes
+        0usize..4,                               // update sites
+        0usize..3,                               // derived types
+        0usize..2,                               // declares
+        0usize..3,                               // waits
+        0usize..3,                               // host_data
+    )
+        .prop_map(|(site_idx, regions, upd, dts, decls, waits, hds)| {
+            let mut r = SiteRegistry::new();
+            for i in site_idx {
+                r.note(&POOL[i], 10, 1.0);
+            }
+            static REGION_NAMES: [&str; 5] = ["r0", "r1", "r2", "r3", "r4"];
+            for (i, n) in regions.iter().enumerate() {
+                r.note_data_region(REGION_NAMES[i], *n);
+            }
+            static UPD: [&str; 4] = ["u0", "u1", "u2", "u3"];
+            for u in UPD.iter().take(upd) {
+                r.note_update(u);
+            }
+            static DTS: [&str; 3] = ["d0", "d1", "d2"];
+            for d in DTS.iter().take(dts) {
+                r.note_derived_type(d);
+            }
+            static DECLS: [&str; 2] = ["dc0", "dc1"];
+            for d in DECLS.iter().take(decls) {
+                r.note_declare(d);
+            }
+            static WAITS: [&str; 3] = ["w0", "w1", "w2"];
+            for w in WAITS.iter().take(waits) {
+                r.note_wait(w);
+            }
+            static HDS: [&str; 3] = ["h0", "h1", "h2"];
+            for h in HDS.iter().take(hds) {
+                r.note_host_data(h);
+            }
+            r
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For any registry: directive totals are monotone non-increasing
+    /// along A → AD → ADU → AD2XU → D2XU, D2XU is exactly zero, and
+    /// D2XAd carries only data-management lines.
+    #[test]
+    fn porting_invariants(reg in registry_strategy()) {
+        let audit = DirectiveAudit::new(&reg);
+        let census: Vec<_> = CodeVersion::ALL
+            .iter()
+            .map(|&v| audit.census(v))
+            .collect();
+        let totals: Vec<usize> = census.iter().map(|c| c.total()).collect();
+        prop_assert!(totals[0] >= totals[1], "A >= AD: {totals:?}");
+        prop_assert!(totals[1] >= totals[2], "AD >= ADU: {totals:?}");
+        prop_assert!(totals[2] >= totals[3], "ADU >= AD2XU: {totals:?}");
+        prop_assert!(totals[3] >= totals[4], "AD2XU >= D2XU: {totals:?}");
+        prop_assert_eq!(totals[4], 0, "D2XU must be zero");
+        // D2XAd: only data lines.
+        let d2xad = &census[5];
+        prop_assert_eq!(d2xad.total(), d2xad.data);
+        // A has everything the later versions have, by type.
+        let a = &census[0];
+        for c in &census[1..] {
+            prop_assert!(a.parallel_loop >= c.parallel_loop);
+            prop_assert!(a.kernels >= c.kernels);
+            prop_assert!(a.atomic >= c.atomic);
+            prop_assert!(a.routine >= c.routine);
+        }
+    }
+
+    /// Table-1 totals: every GPU version's modeled source size exceeds the
+    /// directive count alone, the D2XU total is minimal among GPU
+    /// versions, and base lines dominate.
+    #[test]
+    fn table1_structure(reg in registry_strategy(), base in 1000usize..100_000) {
+        let audit = DirectiveAudit::new(&reg);
+        let rows = audit.table1(base);
+        prop_assert_eq!(rows.len(), 7);
+        prop_assert_eq!(rows[0].acc_lines, 0);
+        prop_assert_eq!(rows[5].acc_lines, 0);
+        let d2xu_total = rows[5].total_lines;
+        let has_routines = !reg.routines().is_empty();
+        for (i, row) in rows.iter().enumerate().skip(1) {
+            if i != 5 && has_routines {
+                // With device routines present (every real GPU port), the
+                // removal of their duplicated CPU twins makes D2XU the
+                // smallest source — the paper's Table I shape.
+                prop_assert!(row.total_lines >= d2xu_total,
+                    "D2XU must be the smallest GPU version ({} vs {})",
+                    row.total_lines, d2xu_total);
+            }
+            prop_assert!(row.total_lines > row.acc_lines);
+        }
+    }
+
+    /// Census by type always sums to the reported total (no double
+    /// counting / omissions).
+    #[test]
+    fn census_sums(reg in registry_strategy()) {
+        let audit = DirectiveAudit::new(&reg);
+        for v in CodeVersion::ALL {
+            let c = audit.census(v);
+            let sum = c.parallel_loop + c.data + c.atomic + c.routine
+                + c.kernels + c.wait + c.set_device + c.continuation;
+            prop_assert_eq!(sum, c.total());
+        }
+    }
+}

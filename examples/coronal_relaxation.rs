@@ -1,0 +1,109 @@
+//! Coronal relaxation: the scaled version of the paper's test problem —
+//! a dipolar corona with thermodynamic physics (conduction, radiation,
+//! coronal heating, gravity) relaxing toward a quasi-steady state.
+//!
+//! Prints the diagnostic history (energies, ∇·B, solver work per step)
+//! and writes a CSV for plotting.
+//!
+//! Run: `cargo run --release --example coronal_relaxation`
+
+use mas::prelude::*;
+
+fn main() {
+    let mut deck = Deck::preset_coronal_background();
+    deck.grid = mas::config::GridCfg {
+        nr: 40,
+        nt: 32,
+        np: 48,
+        rmax: 20.0,
+    };
+    deck.time.n_steps = 60;
+    deck.output.hist_interval = 10;
+
+    println!(
+        "relaxing a {}x{}x{} dipolar corona for {} steps...",
+        deck.grid.nr, deck.grid.nt, deck.grid.np, deck.time.n_steps
+    );
+    // Run through the Simulation API so we can pull radial profiles at the
+    // end (the report-level API covers the common cases).
+    use mas::gpusim::DeviceSpec;
+    use mas::mhd::diag::{radial_profile, ProfileField};
+    let (report, t_prof, v_prof, radii) = mas::minimpi::World::run(1, |comm| {
+        let mut sim = mas::mhd::Simulation::new(
+            &deck,
+            CodeVersion::A,
+            DeviceSpec::a100_40gb(),
+            0,
+            1,
+            1,
+        );
+        sim.run(&comm);
+        let t = radial_profile(&mut sim.par, &comm, &sim.grid, &sim.state, ProfileField::Temperature);
+        let v = radial_profile(&mut sim.par, &comm, &sim.grid, &sim.state, ProfileField::RadialVelocity);
+        let radii: Vec<f64> = (0..sim.grid.nr)
+            .map(|i| sim.grid.rc[mas::grid::NGHOST + i])
+            .collect();
+        let hist = sim.hist.clone();
+        (hist, t, v, radii)
+    })
+    .pop()
+    .unwrap();
+    // Shim: downstream code below reads `report.hist`.
+    struct R { hist: Vec<mas::mhd::diag::HistRecord> }
+    let report = R { hist: report };
+
+    println!(
+        "\n{:>6} {:>9} {:>10} {:>12} {:>12} {:>12} {:>11} {:>6} {:>5}",
+        "step", "time", "dt", "E_kin", "E_mag", "E_therm", "max|divB|", "PCG", "STS"
+    );
+    for h in &report.hist {
+        println!(
+            "{:>6} {:>9.4} {:>10.3e} {:>12.5e} {:>12.5e} {:>12.5e} {:>11.3e} {:>6} {:>5}",
+            h.step, h.time, h.dt, h.diag.ekin, h.diag.emag, h.diag.etherm,
+            h.diag.divb_max, h.pcg_iters, h.sts_ops
+        );
+    }
+
+    // Write the history for external plotting.
+    std::fs::create_dir_all("out").ok();
+    let mut csv = mas::io::CsvWriter::create(
+        "out/relaxation_history.csv",
+        &["step", "time", "dt", "ekin", "emag", "etherm", "divb_max", "pcg_iters", "sts_ops"],
+    )
+    .expect("csv");
+    for h in &report.hist {
+        csv.row(&[
+            h.step.to_string(),
+            format!("{}", h.time),
+            format!("{}", h.dt),
+            format!("{}", h.diag.ekin),
+            format!("{}", h.diag.emag),
+            format!("{}", h.diag.etherm),
+            format!("{}", h.diag.divb_max),
+            h.pcg_iters.to_string(),
+            h.sts_ops.to_string(),
+        ])
+        .unwrap();
+    }
+    csv.flush().unwrap();
+
+    let first = report.hist.first().unwrap();
+    let last = report.hist.last().unwrap();
+    println!("\nsummary over the run:");
+    println!(
+        "  mass drift     : {:+.3e} (relative)",
+        (last.diag.mass - first.diag.mass) / first.diag.mass
+    );
+    println!("  max |div B|    : {:.3e} (round-off: constrained transport)", last.diag.divb_max);
+    println!(
+        "  flows developing: E_kin {:.2e} -> {:.2e} (wind starting up)",
+        first.diag.ekin, last.diag.ekin
+    );
+    println!("\nwrote out/relaxation_history.csv");
+
+    println!("\nshell-averaged radial structure (wind starting up):");
+    println!("{:>8} {:>10} {:>12}", "r [Rs]", "<T>", "<v_r>");
+    for i in (0..radii.len()).step_by((radii.len() / 8).max(1)) {
+        println!("{:>8.2} {:>10.5} {:>12.3e}", radii[i], t_prof[i], v_prof[i]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Flux-rope shearing: drive azimuthal shear at the inner boundary of the
+//! dipolar corona (the CME-initiation driver class MAS/CORHEL runs in
+//! production) and watch magnetic energy build up above the potential
+//! state while the kinetic energy tracks the driven flows.
+//!
+//! Run: `cargo run --release --example flux_rope_eruption`
+
+use mas::prelude::*;
+
+fn main() {
+    let mut deck = Deck::preset_flux_rope();
+    deck.grid = mas::config::GridCfg {
+        nr: 32,
+        nt: 28,
+        np: 40,
+        rmax: 15.0,
+    };
+    deck.time.n_steps = 80;
+    deck.output.hist_interval = 10;
+
+    println!(
+        "shearing the dipole with a boundary flow of amplitude {} ...",
+        deck.physics.perturb
+    );
+    let driven = mas::mhd::run_single_rank(&deck, CodeVersion::A);
+
+    let mut quiet_deck = deck.clone();
+    quiet_deck.physics.perturb = 0.0;
+    let quiet = mas::mhd::run_single_rank(&quiet_deck, CodeVersion::A);
+
+    println!(
+        "\n{:>6} {:>9} {:>14} {:>14} {:>14} {:>12}",
+        "step", "time", "E_kin(driven)", "E_kin(quiet)", "ΔE_mag", "max|divB|"
+    );
+    for (hd, hq) in driven.hist.iter().zip(quiet.hist.iter()) {
+        println!(
+            "{:>6} {:>9.4} {:>14.5e} {:>14.5e} {:>+14.5e} {:>12.3e}",
+            hd.step,
+            hd.time,
+            hd.diag.ekin,
+            hq.diag.ekin,
+            hd.diag.emag - hq.diag.emag,
+            hd.diag.divb_max
+        );
+    }
+
+    let d_last = driven.hist.last().unwrap().diag;
+    let q_last = quiet.hist.last().unwrap().diag;
+    println!("\nsummary:");
+    println!(
+        "  driven run kinetic energy is {:.1}x the quiet run's — the shear \
+         flows are in",
+        d_last.ekin / q_last.ekin.max(1e-300)
+    );
+    println!(
+        "  free magnetic energy injected: {:+.4e} ({:+.4}% of the potential \
+         field energy)",
+        d_last.emag - q_last.emag,
+        100.0 * (d_last.emag - q_last.emag) / q_last.emag
+    );
+    assert!(
+        d_last.ekin > 3.0 * q_last.ekin,
+        "the driver must dominate the quiet wind start-up"
+    );
+    assert!(
+        d_last.emag > q_last.emag,
+        "shearing a line-tied field must inject free magnetic energy"
+    );
+    println!("  ∇·B still at round-off: {:.2e} ✓", d_last.divb_max);
+}

@@ -1,0 +1,60 @@
+//! Profile visualization: run two ranks under manual and unified memory,
+//! record profiler spans, and print Fig.-4-style timelines of the
+//! viscosity solver — a compact interactive version of the
+//! `fig4_timeline` benchmark binary.
+//!
+//! Run: `cargo run --release --example profile_viz`
+
+use mas::gpusim::DeviceSpec;
+use mas::io::render_timeline;
+use mas::prelude::*;
+
+fn main() {
+    let mut deck = Deck::preset_quickstart();
+    deck.grid.np = 24;
+    deck.time.n_steps = 2;
+    deck.output.hist_interval = 0;
+    // Charge the cost model at the paper's 36M-cell production scale so
+    // the version ratios are representative (see DESIGN.md §2).
+    deck.paper_cells = 36_000_000;
+
+    println!("profiling 2 ranks: Code 1 (A, manual memory) vs Code 3 (ADU, unified)...\n");
+    let manual = mas::mhd::run_multi_rank(&deck, CodeVersion::A, DeviceSpec::a100_40gb(), 2, 1, true);
+    let um = mas::mhd::run_multi_rank(&deck, CodeVersion::Adu, DeviceSpec::a100_40gb(), 2, 1, true);
+
+    for (label, rep) in [("manual (A)", &manual), ("unified (ADU)", &um)] {
+        let spans = &rep.ranks[0].spans;
+        // Window around the middle of the recorded (timed) span range —
+        // the virtual clock also ran during the untimed setup phase, so
+        // the window must be relative to the first recorded span.
+        let t0 = spans.first().map(|s| s.t0).unwrap_or(0.0);
+        let t_end = spans.last().map(|s| s.t1).unwrap_or(1.0);
+        let (w0, w1) = (t0 + 0.35 * (t_end - t0), t0 + 0.45 * (t_end - t0));
+        println!("{}", render_timeline(spans, w0, w1, 96, label));
+    }
+
+    println!("phase totals (rank 0):");
+    for (label, rep) in [("manual (A)", &manual), ("unified (ADU)", &um)] {
+        let r = &rep.ranks[0];
+        println!(
+            "  {:<14} wall {:>8.2} ms | compute {:>8.2} ms | MPI {:>7.2} ms ({:>4.1}%)",
+            label,
+            r.wall_us / 1e3,
+            r.compute_us / 1e3,
+            r.mpi_us / 1e3,
+            100.0 * r.mpi_fraction()
+        );
+    }
+    println!(
+        "\nUM/manual wall ratio: {:.2}x — the unified-memory tax the paper \
+         measures (1.25x–3x depending on GPU count).",
+        um.wall_us() / manual.wall_us()
+    );
+
+    // Perfetto/chrome://tracing export for interactive inspection.
+    std::fs::create_dir_all("out").ok();
+    mas::io::export_chrome_trace(&manual.ranks[0].spans, 0, "out/profile_manual.trace.json")
+        .unwrap();
+    mas::io::export_chrome_trace(&um.ranks[0].spans, 0, "out/profile_um.trace.json").unwrap();
+    println!("wrote out/profile_manual.trace.json and out/profile_um.trace.json");
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # mas
+//!
+//! Facade crate for **mas-rs**, a Rust reproduction of
+//! *"Acceleration of a production Solar MHD code with Fortran standard
+//! parallelism: From OpenACC to `do concurrent`"*
+//! (Caplan, Stulajter & Linker, 2023, arXiv:2303.03398).
+//!
+//! This crate re-exports the whole workspace so examples, integration tests
+//! and downstream users get a single import surface:
+//!
+//! * [`grid`] — non-uniform staggered spherical meshes;
+//! * [`field`] — ghost-extended 3-D arrays and staggered fields;
+//! * [`gpusim`] — the virtual accelerator (device model, memory manager,
+//!   unified-memory pager, profiler);
+//! * [`minimpi`] — the thread-rank message-passing substrate with a
+//!   virtual-time cost model;
+//! * [`stdpar`] — the programming-model layer: the paper's six code
+//!   versions, kernel-site registry, and directive audit;
+//! * [`mhd`] — the thermodynamic solar-MHD solver itself;
+//! * [`config`] — namelist-style input decks and problem presets;
+//! * [`io`] — table printers, CSV writers, image renders, timelines.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use mas::prelude::*;
+//!
+//! // A small coronal relaxation on one virtual GPU with the original
+//! // OpenACC-style execution policy (paper "Code 1 (A)").
+//! let deck = mas::config::Deck::preset_quickstart();
+//! let report = mas::mhd::run_single_rank(&deck, CodeVersion::A);
+//! println!("steps: {}, wall (model): {:.2} s", report.steps, report.wall_seconds());
+//! ```
+
+pub use gpusim;
+pub use mas_config as config;
+pub use mas_field as field;
+pub use mas_grid as grid;
+pub use mas_io as io;
+pub use mas_mhd as mhd;
+pub use minimpi;
+pub use stdpar;
+
+/// Commonly used items, for `use mas::prelude::*`.
+pub mod prelude {
+    pub use crate::config::Deck;
+    pub use crate::field::{Array3, Field};
+    pub use crate::grid::{IndexSpace3, Mesh1d, SphericalGrid, Stagger};
+    pub use crate::gpusim::{DeviceSpec, Profiler, TimeCategory};
+    pub use crate::mhd::{RunReport, Simulation};
+    pub use crate::stdpar::CodeVersion;
+}

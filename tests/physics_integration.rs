@@ -1,0 +1,118 @@
+//! Integration: physical invariants of the full solver over multi-step
+//! runs (constrained transport, mass bookkeeping, stability, energy
+//! injection by boundary driving).
+
+use mas::prelude::*;
+
+#[test]
+fn divb_stays_at_roundoff_over_a_long_run() {
+    let mut deck = Deck::preset_quickstart();
+    deck.time.n_steps = 20;
+    deck.output.hist_interval = 5;
+    let report = mas::mhd::run_single_rank(&deck, CodeVersion::A);
+    for h in &report.hist {
+        assert!(
+            h.diag.divb_max < 1e-11,
+            "divB {} at step {}",
+            h.diag.divb_max,
+            h.step
+        );
+    }
+}
+
+#[test]
+fn state_remains_finite_and_positive() {
+    let mut deck = Deck::preset_quickstart();
+    deck.time.n_steps = 20;
+    deck.output.hist_interval = 5;
+    let report = mas::mhd::run_single_rank(&deck, CodeVersion::D2xu);
+    for h in &report.hist {
+        assert!(h.diag.temp_min > 0.0, "temperature must stay positive");
+        assert!(h.diag.mass.is_finite() && h.diag.mass > 0.0);
+        assert!(h.diag.ekin.is_finite() && h.diag.ekin >= 0.0);
+    }
+}
+
+#[test]
+fn quiet_atmosphere_stays_quiet() {
+    // With gravity off and no drivers, the uniform hydrostatic state has
+    // no force imbalance: flows must stay at round-off.
+    let mut deck = Deck::preset_quickstart();
+    deck.physics.gravity = false;
+    deck.physics.heating = false;
+    deck.physics.radiation = false;
+    deck.physics.b0 = 0.0;
+    deck.physics.rho0 = 1.0;
+    deck.time.n_steps = 10;
+    deck.output.hist_interval = 10;
+    // Flat density (no gravity => no stratification needed).
+    let report = mas::mhd::run_single_rank(&deck, CodeVersion::A);
+    let d = report.hist.last().unwrap().diag;
+    assert!(
+        d.speed_max < 1e-10,
+        "spurious flows in a uniform equilibrium: {}",
+        d.speed_max
+    );
+}
+
+#[test]
+fn boundary_shear_injects_energy() {
+    let mut deck = Deck::preset_quickstart();
+    deck.physics.perturb = 0.1;
+    deck.time.n_steps = 15;
+    deck.output.hist_interval = 15;
+    let driven = mas::mhd::run_single_rank(&deck, CodeVersion::A);
+    deck.physics.perturb = 0.0;
+    let quiet = mas::mhd::run_single_rank(&deck, CodeVersion::A);
+    let dd = driven.hist.last().unwrap().diag;
+    let dq = quiet.hist.last().unwrap().diag;
+    assert!(dd.ekin > 5.0 * dq.ekin, "driver must dominate: {} vs {}", dd.ekin, dq.ekin);
+    assert!(dd.emag > dq.emag, "shear must inject magnetic energy");
+}
+
+#[test]
+fn pcg_and_sts_work_is_recorded() {
+    let mut deck = Deck::preset_quickstart();
+    deck.time.n_steps = 3;
+    deck.output.hist_interval = 1;
+    let report = mas::mhd::run_single_rank(&deck, CodeVersion::A);
+    for h in &report.hist {
+        assert!(h.pcg_iters > 0, "viscosity PCG must iterate");
+        assert!(h.sts_ops >= 3, "RKL2 needs at least 3 stages");
+    }
+}
+
+#[test]
+fn heating_creates_latitude_structure() {
+    // The streamer-weighted heating must warm the equator relative to the
+    // poles over time.
+    let mut deck = Deck::preset_quickstart();
+    deck.time.n_steps = 25;
+    deck.output.hist_interval = 0;
+    use mas::gpusim::DeviceSpec;
+    let (t_eq, t_pole) = mas::minimpi::World::run(1, |comm| {
+        let mut sim = mas::mhd::Simulation::new(
+            &deck,
+            CodeVersion::A,
+            DeviceSpec::a100_40gb(),
+            0,
+            1,
+            1,
+        );
+        sim.run(&comm);
+        let g = mas::grid::NGHOST;
+        let nt = sim.grid.nt;
+        let i = g + 2;
+        let k = g + 3;
+        (
+            sim.state.temp.data.get(i, g + nt / 2, k),
+            sim.state.temp.data.get(i, g + 1, k),
+        )
+    })
+    .pop()
+    .unwrap();
+    assert!(
+        t_eq > t_pole,
+        "equator ({t_eq}) must heat faster than the pole ({t_pole})"
+    );
+}

@@ -1,0 +1,91 @@
+//! Integration: multi-rank decomposition invariance and the scaling
+//! behaviours behind the paper's Figs. 2 and 3.
+
+use mas::gpusim::DeviceSpec;
+use mas::prelude::*;
+
+fn deck() -> Deck {
+    let mut d = Deck::preset_quickstart();
+    d.grid.np = 24; // divisible by 1, 2, 3, 4
+    d.time.n_steps = 4;
+    d.output.hist_interval = 4;
+    d
+}
+
+#[test]
+fn physics_invariant_under_rank_count() {
+    let d = deck();
+    let one = mas::mhd::run_single_rank(&d, CodeVersion::A);
+    let ref_diag = one.hist.last().unwrap().diag;
+    for n in [2usize, 3, 4] {
+        let multi =
+            mas::mhd::run_multi_rank(&d, CodeVersion::A, DeviceSpec::a100_40gb(), n, 1, false);
+        let diag = multi.hist().last().unwrap().diag;
+        let rel = |a: f64, b: f64| ((a - b) / b.abs().max(1e-300)).abs();
+        assert!(rel(diag.mass, ref_diag.mass) < 1e-10, "{n} ranks mass");
+        assert!(rel(diag.etherm, ref_diag.etherm) < 1e-10, "{n} ranks etherm");
+        assert!(rel(diag.ekin, ref_diag.ekin) < 1e-6, "{n} ranks ekin");
+    }
+}
+
+#[test]
+fn more_ranks_less_wall_time() {
+    let mut d = deck();
+    d.paper_cells = 36_000_000;
+    let spec = DeviceSpec::a100_40gb();
+    let w1 = mas::mhd::run_multi_rank(&d, CodeVersion::A, spec.clone(), 1, 1, false).wall_us();
+    let w4 = mas::mhd::run_multi_rank(&d, CodeVersion::A, spec.clone(), 4, 1, false).wall_us();
+    assert!(w4 < 0.4 * w1, "4 ranks must be at least 2.5x faster: {w1} vs {w4}");
+}
+
+#[test]
+fn um_mpi_time_dominates_at_scale() {
+    // The paper's Fig. 3 mechanism: at several GPUs, the unified-memory
+    // version spends about half its wall time in MPI, the manual version
+    // a small fraction.
+    let mut d = deck();
+    d.paper_cells = 36_000_000;
+    let spec = DeviceSpec::a100_40gb();
+    let manual = mas::mhd::run_multi_rank(&d, CodeVersion::A, spec.clone(), 4, 1, false);
+    let um = mas::mhd::run_multi_rank(&d, CodeVersion::Adu, spec.clone(), 4, 1, false);
+    let frac = |r: &mas::mhd::MultiRankReport| r.mean_mpi_us() / r.wall_us();
+    assert!(frac(&manual) < 0.25, "manual MPI fraction {}", frac(&manual));
+    assert!(frac(&um) > 0.35, "UM MPI fraction {}", frac(&um));
+    assert!(
+        um.mean_mpi_us() > 5.0 * manual.mean_mpi_us(),
+        "UM must inflate MPI time several-fold"
+    );
+}
+
+#[test]
+fn cpu_runs_identical_for_a_and_ad() {
+    // Table III: do concurrent compiles to the same loops on CPU.
+    let d = deck();
+    let spec = DeviceSpec::epyc_7742_node();
+    let a = mas::mhd::run_multi_rank(&d, CodeVersion::A, spec.clone(), 2, 1, false);
+    let ad = mas::mhd::run_multi_rank(&d, CodeVersion::Ad, spec.clone(), 2, 1, false);
+    let rel = (a.wall_us() - ad.wall_us()).abs() / a.wall_us();
+    assert!(rel < 0.01, "CPU A vs AD differ by {rel}");
+}
+
+#[test]
+fn seeded_runs_reproduce_and_jitter() {
+    let d = deck();
+    let spec = DeviceSpec::a100_40gb();
+    let w_a = mas::mhd::run_multi_rank(&d, CodeVersion::Ad, spec.clone(), 2, 7, false).wall_us();
+    let w_b = mas::mhd::run_multi_rank(&d, CodeVersion::Ad, spec.clone(), 2, 7, false).wall_us();
+    let w_c = mas::mhd::run_multi_rank(&d, CodeVersion::Ad, spec.clone(), 2, 8, false).wall_us();
+    assert_eq!(w_a, w_b, "same seed = identical virtual time");
+    assert_ne!(w_a, w_c, "different seed = jittered virtual time");
+    // The jitter is small (the paper's min/max error bars are tight).
+    assert!((w_a - w_c).abs() / w_a < 0.02);
+}
+
+#[test]
+fn ranks_must_divide_grid_reasonably() {
+    // More ranks than φ planes must be rejected loudly.
+    let result = std::panic::catch_unwind(|| {
+        mas::grid::SphericalGrid::phi_partition(4, 8, 0);
+    });
+    assert!(result.is_err());
+}
