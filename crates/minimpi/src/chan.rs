@@ -1,0 +1,214 @@
+//! A small MPMC channel built on `std` (`Mutex<VecDeque>` + `Condvar`).
+//!
+//! This replaces the external `crossbeam::channel` dependency so the
+//! workspace builds fully offline. Only the subset the communicator
+//! needs is provided: unbounded FIFO queues, cloneable senders, a
+//! receiver that is `Sync` (rank 0 shares the collective-star receiver
+//! behind an `Arc`), and disconnect detection on both ends.
+//!
+//! Semantics match `crossbeam::channel::unbounded` where it matters:
+//!
+//! * `send` never blocks; it fails only when every receiver is gone;
+//! * `recv` blocks until a message arrives and fails only when the
+//!   queue is empty **and** every sender is gone;
+//! * per-pair FIFO ordering is preserved (single lock per channel).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when all receivers have hung up.
+/// Carries the unsent message back to the caller.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders have hung up.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    avail: Condvar,
+}
+
+/// Create an unbounded FIFO channel; both halves start with one handle.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        avail: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half; cloneable, `Send + Sync`.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `msg`. Never blocks. Fails iff every [`Receiver`] has
+    /// been dropped, handing the message back.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.state.lock().expect("channel poisoned");
+        if st.receivers == 0 {
+            return Err(SendError(msg));
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        self.shared.avail.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let n = {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            st.senders -= 1;
+            st.senders
+        };
+        if n == 0 {
+            // Wake blocked receivers so they can observe the hang-up.
+            self.shared.avail.notify_all();
+        }
+    }
+}
+
+/// The receiving half; cloneable and `Sync`, so it can be shared via
+/// `Arc` (multiple consumers race for messages under the channel lock).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message is available and dequeue it. Fails iff the
+    /// queue is empty and every [`Sender`] has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.shared.avail.wait(st).expect("channel poisoned");
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().expect("channel poisoned").receivers += 1;
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("channel poisoned").receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_receiver_drops() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = unbounded::<u32>();
+        std::thread::scope(|s| {
+            let h = s.spawn(move || rx.recv().unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(42).unwrap();
+            assert_eq!(h.join().unwrap(), 42);
+        });
+    }
+
+    #[test]
+    fn shared_receiver_is_sync() {
+        let (tx, rx) = unbounded::<u32>();
+        let rx = Arc::new(rx);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u32> = Vec::new();
+        std::thread::scope(|s| {
+            let a = {
+                let rx = rx.clone();
+                s.spawn(move || {
+                    let mut v = Vec::new();
+                    while let Ok(x) = rx.recv() {
+                        v.push(x);
+                    }
+                    v
+                })
+            };
+            let b = s.spawn(move || {
+                let mut v = Vec::new();
+                while let Ok(x) = rx.recv() {
+                    v.push(x);
+                }
+                v
+            });
+            got.extend(a.join().unwrap());
+            got.extend(b.join().unwrap());
+        });
+        got.sort();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,6 +1,6 @@
 //! The per-rank communicator: point-to-point and collective operations.
 
-use crossbeam::channel::{Receiver, Sender};
+use crate::chan::{Receiver, Sender};
 use gpusim::{DeviceContext, Phase, TimeCategory};
 use std::sync::Arc;
 

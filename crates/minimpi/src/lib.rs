@@ -6,7 +6,7 @@
 //! that structure on threads:
 //!
 //! * [`World::run`] spawns one OS thread per rank and hands each a
-//!   [`Comm`] handle connected to every peer by lock-free channels;
+//!   [`Comm`] handle connected to every peer by in-process channels;
 //! * messages carry the **sender's virtual timestamp**; a receive
 //!   reconciles the receiver's clock to
 //!   `max(t_local, t_send + transfer_time)` — the LogGP-style rule that
@@ -22,6 +22,7 @@
 //! The real data movement is a `Vec<f64>` through a channel — physics
 //! correctness and the timing model are decoupled by design.
 
+pub(crate) mod chan;
 pub mod comm;
 pub mod world;
 

@@ -1,7 +1,7 @@
 //! World construction: spawn one thread per rank, wire up the channels.
 
+use crate::chan::unbounded;
 use crate::comm::{Comm, Msg};
-use crossbeam::channel::unbounded;
 use std::sync::Arc;
 
 /// Factory for rank teams.
@@ -19,8 +19,8 @@ impl World {
         assert!(n_ranks >= 1, "need at least one rank");
 
         // Point-to-point mesh: channel[src][dst].
-        let mut senders: Vec<Vec<crossbeam::channel::Sender<Msg>>> = Vec::with_capacity(n_ranks);
-        let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Msg>>>> =
+        let mut senders: Vec<Vec<crate::chan::Sender<Msg>>> = Vec::with_capacity(n_ranks);
+        let mut receivers: Vec<Vec<Option<crate::chan::Receiver<Msg>>>> =
             (0..n_ranks).map(|_| (0..n_ranks).map(|_| None).collect()).collect();
         for src in 0..n_ranks {
             let mut row = Vec::with_capacity(n_ranks);
@@ -77,16 +77,15 @@ impl World {
 
         let f = &f;
         let mut results: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(n_ranks);
             for comm in comms.into_iter() {
-                handles.push(s.spawn(move |_| f(comm)));
+                handles.push(s.spawn(move || f(comm)));
             }
             for (rank, h) in handles.into_iter().enumerate() {
                 results[rank] = Some(h.join().expect("rank panicked"));
             }
-        })
-        .expect("world scope panicked");
+        });
         results.into_iter().map(|o| o.expect("rank result")).collect()
     }
 }

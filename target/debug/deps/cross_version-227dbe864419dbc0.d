@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_version-227dbe864419dbc0.d: tests/cross_version.rs
+
+/root/repo/target/debug/deps/cross_version-227dbe864419dbc0: tests/cross_version.rs
+
+tests/cross_version.rs:

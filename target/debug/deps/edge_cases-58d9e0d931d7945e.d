@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-58d9e0d931d7945e.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-58d9e0d931d7945e: tests/edge_cases.rs
+
+tests/edge_cases.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gpusim-d1e19844ba03b314.d: crates/gpusim/src/lib.rs crates/gpusim/src/clock.rs crates/gpusim/src/context.rs crates/gpusim/src/memory.rs crates/gpusim/src/profiler.rs crates/gpusim/src/spec.rs
+
+/root/repo/target/debug/deps/libgpusim-d1e19844ba03b314.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/clock.rs crates/gpusim/src/context.rs crates/gpusim/src/memory.rs crates/gpusim/src/profiler.rs crates/gpusim/src/spec.rs
+
+/root/repo/target/debug/deps/libgpusim-d1e19844ba03b314.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/clock.rs crates/gpusim/src/context.rs crates/gpusim/src/memory.rs crates/gpusim/src/profiler.rs crates/gpusim/src/spec.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/clock.rs:
+crates/gpusim/src/context.rs:
+crates/gpusim/src/memory.rs:
+crates/gpusim/src/profiler.rs:
+crates/gpusim/src/spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mas-29d3fc15c10c51de.d: src/lib.rs
+
+/root/repo/target/debug/deps/mas-29d3fc15c10c51de: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mas-4437820b5cdc2f9d.d: src/bin/mas.rs
+
+/root/repo/target/debug/deps/mas-4437820b5cdc2f9d: src/bin/mas.rs
+
+src/bin/mas.rs:

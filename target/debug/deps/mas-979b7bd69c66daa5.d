@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mas-979b7bd69c66daa5.d: src/bin/mas.rs
+
+/root/repo/target/debug/deps/mas-979b7bd69c66daa5: src/bin/mas.rs
+
+src/bin/mas.rs:

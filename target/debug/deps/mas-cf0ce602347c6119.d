@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mas-cf0ce602347c6119.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmas-cf0ce602347c6119.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmas-cf0ce602347c6119.rmeta: src/lib.rs
+
+src/lib.rs:

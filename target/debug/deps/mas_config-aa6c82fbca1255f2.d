@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mas_config-aa6c82fbca1255f2.d: crates/config/src/lib.rs crates/config/src/deck.rs crates/config/src/parse.rs
+
+/root/repo/target/debug/deps/libmas_config-aa6c82fbca1255f2.rlib: crates/config/src/lib.rs crates/config/src/deck.rs crates/config/src/parse.rs
+
+/root/repo/target/debug/deps/libmas_config-aa6c82fbca1255f2.rmeta: crates/config/src/lib.rs crates/config/src/deck.rs crates/config/src/parse.rs
+
+crates/config/src/lib.rs:
+crates/config/src/deck.rs:
+crates/config/src/parse.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mas_grid-a166c6be0be9d299.d: crates/grid/src/lib.rs crates/grid/src/index.rs crates/grid/src/mesh1d.rs crates/grid/src/spherical.rs crates/grid/src/stagger.rs
+
+/root/repo/target/debug/deps/libmas_grid-a166c6be0be9d299.rlib: crates/grid/src/lib.rs crates/grid/src/index.rs crates/grid/src/mesh1d.rs crates/grid/src/spherical.rs crates/grid/src/stagger.rs
+
+/root/repo/target/debug/deps/libmas_grid-a166c6be0be9d299.rmeta: crates/grid/src/lib.rs crates/grid/src/index.rs crates/grid/src/mesh1d.rs crates/grid/src/spherical.rs crates/grid/src/stagger.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/index.rs:
+crates/grid/src/mesh1d.rs:
+crates/grid/src/spherical.rs:
+crates/grid/src/stagger.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mas_io-64bc0d328dfa4f94.d: crates/io/src/lib.rs crates/io/src/csv.rs crates/io/src/dump.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/timeline.rs
+
+/root/repo/target/debug/deps/libmas_io-64bc0d328dfa4f94.rlib: crates/io/src/lib.rs crates/io/src/csv.rs crates/io/src/dump.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/timeline.rs
+
+/root/repo/target/debug/deps/libmas_io-64bc0d328dfa4f94.rmeta: crates/io/src/lib.rs crates/io/src/csv.rs crates/io/src/dump.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/timeline.rs
+
+crates/io/src/lib.rs:
+crates/io/src/csv.rs:
+crates/io/src/dump.rs:
+crates/io/src/render.rs:
+crates/io/src/table.rs:
+crates/io/src/timeline.rs:

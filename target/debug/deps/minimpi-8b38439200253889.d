@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/minimpi-8b38439200253889.d: crates/minimpi/src/lib.rs crates/minimpi/src/chan.rs crates/minimpi/src/comm.rs crates/minimpi/src/world.rs
+
+/root/repo/target/debug/deps/libminimpi-8b38439200253889.rlib: crates/minimpi/src/lib.rs crates/minimpi/src/chan.rs crates/minimpi/src/comm.rs crates/minimpi/src/world.rs
+
+/root/repo/target/debug/deps/libminimpi-8b38439200253889.rmeta: crates/minimpi/src/lib.rs crates/minimpi/src/chan.rs crates/minimpi/src/comm.rs crates/minimpi/src/world.rs
+
+crates/minimpi/src/lib.rs:
+crates/minimpi/src/chan.rs:
+crates/minimpi/src/comm.rs:
+crates/minimpi/src/world.rs:

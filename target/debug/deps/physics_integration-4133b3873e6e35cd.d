@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/physics_integration-4133b3873e6e35cd.d: tests/physics_integration.rs
+
+/root/repo/target/debug/deps/physics_integration-4133b3873e6e35cd: tests/physics_integration.rs
+
+tests/physics_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-91c05c3681a347bf.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-91c05c3681a347bf: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-e5599f00ae243fe0.d: tests/scaling.rs
+
+/root/repo/target/debug/deps/scaling-e5599f00ae243fe0: tests/scaling.rs
+
+tests/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_options-a1f7c345bd11f774.d: tests/solver_options.rs
+
+/root/repo/target/debug/deps/solver_options-a1f7c345bd11f774: tests/solver_options.rs
+
+tests/solver_options.rs:

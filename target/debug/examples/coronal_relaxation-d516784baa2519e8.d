@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coronal_relaxation-d516784baa2519e8.d: examples/coronal_relaxation.rs
+
+/root/repo/target/debug/examples/coronal_relaxation-d516784baa2519e8: examples/coronal_relaxation.rs
+
+examples/coronal_relaxation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flux_rope_eruption-8450f70a98588200.d: examples/flux_rope_eruption.rs
+
+/root/repo/target/debug/examples/flux_rope_eruption-8450f70a98588200: examples/flux_rope_eruption.rs
+
+examples/flux_rope_eruption.rs:

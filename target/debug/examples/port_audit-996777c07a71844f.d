@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/port_audit-996777c07a71844f.d: examples/port_audit.rs
+
+/root/repo/target/debug/examples/port_audit-996777c07a71844f: examples/port_audit.rs
+
+examples/port_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_viz-a8cdb6ecc4b01a6f.d: examples/profile_viz.rs
+
+/root/repo/target/debug/examples/profile_viz-a8cdb6ecc4b01a6f: examples/profile_viz.rs
+
+examples/profile_viz.rs:

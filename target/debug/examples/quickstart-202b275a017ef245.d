@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-202b275a017ef245.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-202b275a017ef245: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_visc_solvers-c33ba08f767ae504.d: crates/bench/src/bin/ablation_visc_solvers.rs
+
+/root/repo/target/release/deps/ablation_visc_solvers-c33ba08f767ae504: crates/bench/src/bin/ablation_visc_solvers.rs
+
+crates/bench/src/bin/ablation_visc_solvers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-aa6cc3380693d968.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-aa6cc3380693d968: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_visualization-06a69ff8cc2e10a2.d: crates/bench/src/bin/fig1_visualization.rs
+
+/root/repo/target/release/deps/fig1_visualization-06a69ff8cc2e10a2: crates/bench/src/bin/fig1_visualization.rs
+
+crates/bench/src/bin/fig1_visualization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_scaling-db9835c81c1092f9.d: crates/bench/src/bin/fig2_scaling.rs
+
+/root/repo/target/release/deps/fig2_scaling-db9835c81c1092f9: crates/bench/src/bin/fig2_scaling.rs
+
+crates/bench/src/bin/fig2_scaling.rs:

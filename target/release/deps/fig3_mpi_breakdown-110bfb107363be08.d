@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_mpi_breakdown-110bfb107363be08.d: crates/bench/src/bin/fig3_mpi_breakdown.rs
+
+/root/repo/target/release/deps/fig3_mpi_breakdown-110bfb107363be08: crates/bench/src/bin/fig3_mpi_breakdown.rs
+
+crates/bench/src/bin/fig3_mpi_breakdown.rs:

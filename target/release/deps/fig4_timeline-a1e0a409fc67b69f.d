@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_timeline-a1e0a409fc67b69f.d: crates/bench/src/bin/fig4_timeline.rs
+
+/root/repo/target/release/deps/fig4_timeline-a1e0a409fc67b69f: crates/bench/src/bin/fig4_timeline.rs
+
+crates/bench/src/bin/fig4_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_portability-8f7db673d6d4365a.d: crates/bench/src/bin/fig_portability.rs
+
+/root/repo/target/release/deps/fig_portability-8f7db673d6d4365a: crates/bench/src/bin/fig_portability.rs
+
+crates/bench/src/bin/fig_portability.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gpusim-4ce41f40170b853e.d: crates/gpusim/src/lib.rs crates/gpusim/src/clock.rs crates/gpusim/src/context.rs crates/gpusim/src/memory.rs crates/gpusim/src/profiler.rs crates/gpusim/src/spec.rs
+
+/root/repo/target/release/deps/libgpusim-4ce41f40170b853e.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/clock.rs crates/gpusim/src/context.rs crates/gpusim/src/memory.rs crates/gpusim/src/profiler.rs crates/gpusim/src/spec.rs
+
+/root/repo/target/release/deps/libgpusim-4ce41f40170b853e.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/clock.rs crates/gpusim/src/context.rs crates/gpusim/src/memory.rs crates/gpusim/src/profiler.rs crates/gpusim/src/spec.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/clock.rs:
+crates/gpusim/src/context.rs:
+crates/gpusim/src/memory.rs:
+crates/gpusim/src/profiler.rs:
+crates/gpusim/src/spec.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mas-4be066eb87e2f08d.d: src/lib.rs
+
+/root/repo/target/release/deps/libmas-4be066eb87e2f08d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmas-4be066eb87e2f08d.rmeta: src/lib.rs
+
+src/lib.rs:

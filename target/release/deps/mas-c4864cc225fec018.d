@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mas-c4864cc225fec018.d: src/bin/mas.rs
+
+/root/repo/target/release/deps/mas-c4864cc225fec018: src/bin/mas.rs
+
+src/bin/mas.rs:

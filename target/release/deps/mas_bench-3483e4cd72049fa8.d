@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mas_bench-3483e4cd72049fa8.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/libmas_bench-3483e4cd72049fa8.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/libmas_bench-3483e4cd72049fa8.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/paper.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mas_config-c4ed9c4c69d80985.d: crates/config/src/lib.rs crates/config/src/deck.rs crates/config/src/parse.rs
+
+/root/repo/target/release/deps/libmas_config-c4ed9c4c69d80985.rlib: crates/config/src/lib.rs crates/config/src/deck.rs crates/config/src/parse.rs
+
+/root/repo/target/release/deps/libmas_config-c4ed9c4c69d80985.rmeta: crates/config/src/lib.rs crates/config/src/deck.rs crates/config/src/parse.rs
+
+crates/config/src/lib.rs:
+crates/config/src/deck.rs:
+crates/config/src/parse.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mas_grid-80a2fa3e080a78fc.d: crates/grid/src/lib.rs crates/grid/src/index.rs crates/grid/src/mesh1d.rs crates/grid/src/spherical.rs crates/grid/src/stagger.rs
+
+/root/repo/target/release/deps/libmas_grid-80a2fa3e080a78fc.rlib: crates/grid/src/lib.rs crates/grid/src/index.rs crates/grid/src/mesh1d.rs crates/grid/src/spherical.rs crates/grid/src/stagger.rs
+
+/root/repo/target/release/deps/libmas_grid-80a2fa3e080a78fc.rmeta: crates/grid/src/lib.rs crates/grid/src/index.rs crates/grid/src/mesh1d.rs crates/grid/src/spherical.rs crates/grid/src/stagger.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/index.rs:
+crates/grid/src/mesh1d.rs:
+crates/grid/src/spherical.rs:
+crates/grid/src/stagger.rs:

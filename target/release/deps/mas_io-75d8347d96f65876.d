@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mas_io-75d8347d96f65876.d: crates/io/src/lib.rs crates/io/src/csv.rs crates/io/src/dump.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/timeline.rs
+
+/root/repo/target/release/deps/libmas_io-75d8347d96f65876.rlib: crates/io/src/lib.rs crates/io/src/csv.rs crates/io/src/dump.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/timeline.rs
+
+/root/repo/target/release/deps/libmas_io-75d8347d96f65876.rmeta: crates/io/src/lib.rs crates/io/src/csv.rs crates/io/src/dump.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/timeline.rs
+
+crates/io/src/lib.rs:
+crates/io/src/csv.rs:
+crates/io/src/dump.rs:
+crates/io/src/render.rs:
+crates/io/src/table.rs:
+crates/io/src/timeline.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/release/deps/mas_mhd-d91dba9972cff14b.d: crates/mhd/src/lib.rs crates/mhd/src/bc.rs crates/mhd/src/checkpoint.rs crates/mhd/src/diag.rs crates/mhd/src/halo.rs crates/mhd/src/ops/mod.rs crates/mhd/src/ops/deriv.rs crates/mhd/src/ops/interp.rs crates/mhd/src/physics/mod.rs crates/mhd/src/physics/advect.rs crates/mhd/src/physics/conduct.rs crates/mhd/src/physics/induction.rs crates/mhd/src/physics/momentum.rs crates/mhd/src/run.rs crates/mhd/src/sim.rs crates/mhd/src/sites.rs crates/mhd/src/solvers/mod.rs crates/mhd/src/solvers/pcg.rs crates/mhd/src/solvers/sts.rs crates/mhd/src/state.rs crates/mhd/src/step.rs
+
+/root/repo/target/release/deps/libmas_mhd-d91dba9972cff14b.rlib: crates/mhd/src/lib.rs crates/mhd/src/bc.rs crates/mhd/src/checkpoint.rs crates/mhd/src/diag.rs crates/mhd/src/halo.rs crates/mhd/src/ops/mod.rs crates/mhd/src/ops/deriv.rs crates/mhd/src/ops/interp.rs crates/mhd/src/physics/mod.rs crates/mhd/src/physics/advect.rs crates/mhd/src/physics/conduct.rs crates/mhd/src/physics/induction.rs crates/mhd/src/physics/momentum.rs crates/mhd/src/run.rs crates/mhd/src/sim.rs crates/mhd/src/sites.rs crates/mhd/src/solvers/mod.rs crates/mhd/src/solvers/pcg.rs crates/mhd/src/solvers/sts.rs crates/mhd/src/state.rs crates/mhd/src/step.rs
+
+/root/repo/target/release/deps/libmas_mhd-d91dba9972cff14b.rmeta: crates/mhd/src/lib.rs crates/mhd/src/bc.rs crates/mhd/src/checkpoint.rs crates/mhd/src/diag.rs crates/mhd/src/halo.rs crates/mhd/src/ops/mod.rs crates/mhd/src/ops/deriv.rs crates/mhd/src/ops/interp.rs crates/mhd/src/physics/mod.rs crates/mhd/src/physics/advect.rs crates/mhd/src/physics/conduct.rs crates/mhd/src/physics/induction.rs crates/mhd/src/physics/momentum.rs crates/mhd/src/run.rs crates/mhd/src/sim.rs crates/mhd/src/sites.rs crates/mhd/src/solvers/mod.rs crates/mhd/src/solvers/pcg.rs crates/mhd/src/solvers/sts.rs crates/mhd/src/state.rs crates/mhd/src/step.rs
+
+crates/mhd/src/lib.rs:
+crates/mhd/src/bc.rs:
+crates/mhd/src/checkpoint.rs:
+crates/mhd/src/diag.rs:
+crates/mhd/src/halo.rs:
+crates/mhd/src/ops/mod.rs:
+crates/mhd/src/ops/deriv.rs:
+crates/mhd/src/ops/interp.rs:
+crates/mhd/src/physics/mod.rs:
+crates/mhd/src/physics/advect.rs:
+crates/mhd/src/physics/conduct.rs:
+crates/mhd/src/physics/induction.rs:
+crates/mhd/src/physics/momentum.rs:
+crates/mhd/src/run.rs:
+crates/mhd/src/sim.rs:
+crates/mhd/src/sites.rs:
+crates/mhd/src/solvers/mod.rs:
+crates/mhd/src/solvers/pcg.rs:
+crates/mhd/src/solvers/sts.rs:
+crates/mhd/src/state.rs:
+crates/mhd/src/step.rs:

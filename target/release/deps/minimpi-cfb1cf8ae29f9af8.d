@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/minimpi-cfb1cf8ae29f9af8.d: crates/minimpi/src/lib.rs crates/minimpi/src/chan.rs crates/minimpi/src/comm.rs crates/minimpi/src/world.rs
+
+/root/repo/target/release/deps/libminimpi-cfb1cf8ae29f9af8.rlib: crates/minimpi/src/lib.rs crates/minimpi/src/chan.rs crates/minimpi/src/comm.rs crates/minimpi/src/world.rs
+
+/root/repo/target/release/deps/libminimpi-cfb1cf8ae29f9af8.rmeta: crates/minimpi/src/lib.rs crates/minimpi/src/chan.rs crates/minimpi/src/comm.rs crates/minimpi/src/world.rs
+
+crates/minimpi/src/lib.rs:
+crates/minimpi/src/chan.rs:
+crates/minimpi/src/comm.rs:
+crates/minimpi/src/world.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/table1_versions-45b83db309fbc7f6.d: crates/bench/src/bin/table1_versions.rs
+
+/root/repo/target/release/deps/table1_versions-45b83db309fbc7f6: crates/bench/src/bin/table1_versions.rs
+
+crates/bench/src/bin/table1_versions.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

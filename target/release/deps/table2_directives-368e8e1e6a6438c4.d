@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_directives-368e8e1e6a6438c4.d: crates/bench/src/bin/table2_directives.rs
+
+/root/repo/target/release/deps/table2_directives-368e8e1e6a6438c4: crates/bench/src/bin/table2_directives.rs
+
+crates/bench/src/bin/table2_directives.rs:

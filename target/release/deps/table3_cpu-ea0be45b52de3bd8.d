@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_cpu-ea0be45b52de3bd8.d: crates/bench/src/bin/table3_cpu.rs
+
+/root/repo/target/release/deps/table3_cpu-ea0be45b52de3bd8: crates/bench/src/bin/table3_cpu.rs
+
+crates/bench/src/bin/table3_cpu.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libmas_config.rlib: /root/repo/crates/config/src/deck.rs /root/repo/crates/config/src/lib.rs /root/repo/crates/config/src/parse.rs

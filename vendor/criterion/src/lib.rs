@@ -1,0 +1,186 @@
+//! Offline drop-in subset of the [criterion](https://crates.io/crates/criterion)
+//! benchmarking API, vendored so `cargo bench` (and bench-target
+//! compilation during `cargo test`) works without network access.
+//!
+//! Supported surface: `Criterion::default().sample_size(n)`,
+//! `bench_function`, `benchmark_group` (with `sample_size`,
+//! `bench_function`, `finish`), `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros (both forms).
+//!
+//! Measurement is deliberately simple: a short warm-up, then `sample_size`
+//! timed samples of an adaptively-batched closure; the median per-iteration
+//! time is printed. No plots, no statistics files.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call.
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measure `body`, batching iterations adaptively.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // Warm-up + batch sizing: aim for samples of >= ~200 µs.
+        let t0 = Instant::now();
+        black_box(body());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let batch = (Duration::from_micros(200).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            samples.push(t.elapsed() / batch as u32);
+        }
+        samples.sort();
+        self.result = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    let mut b = Bencher {
+        sample_size,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some(d) => println!("bench: {name:<44} median {:>12.3} µs", d.as_secs_f64() * 1e6),
+        None => println!("bench: {name:<44} (no iter() call)"),
+    }
+}
+
+/// Group benchmark functions for [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut n = 0u64;
+        Criterion::default().sample_size(3).bench_function("t", |b| {
+            b.iter(|| {
+                n += 1;
+                black_box(n)
+            })
+        });
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut hit = false;
+        g.bench_function("x", |b| {
+            hit = true;
+            b.iter(|| black_box(1 + 1))
+        });
+        g.finish();
+        assert!(hit);
+    }
+}

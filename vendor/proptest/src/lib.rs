@@ -1,0 +1,457 @@
+//! Offline drop-in subset of the [proptest](https://crates.io/crates/proptest)
+//! API, vendored so the workspace's tier-1 verify (`cargo build --release &&
+//! cargo test -q`) succeeds without network access to crates.io.
+//!
+//! Supported surface (exactly what this workspace's property tests use):
+//!
+//! * `proptest! { #![proptest_config(ProptestConfig::with_cases(n))] #[test] fn .. }`
+//! * parameter forms `name in strategy` and `name: Type` (via [`Arbitrary`])
+//! * numeric `Range` strategies, tuple strategies (up to 8), `prop::collection::vec`,
+//!   `.prop_map`, `prop_oneof!`
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//!
+//! Differences from real proptest: generation is a fixed deterministic
+//! stream per test name (reproducible across runs and platforms), and there
+//! is **no shrinking** — a failing case panics with the ordinary assertion
+//! message. This is a test-infrastructure shim, not a general library.
+
+use std::ops::Range;
+
+// ------------------------------------------------------------------ rng
+
+/// Deterministic xorshift64* stream used to generate test cases.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    /// Deterministic per-test seed derived from the test's name (FNV-1a).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::new(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ------------------------------------------------------------- strategy
+
+/// A generator of test values. Object-safe core; combinators require
+/// `Self: Sized`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Box the strategy (type erasure for `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Boxed, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as u128 + v) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// New choice over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() as usize) % self.arms.len();
+        self.arms[i].generate(rng)
+    }
+}
+
+// ------------------------------------------------------------ arbitrary
+
+/// Types generatable from the bare `name: Type` parameter form.
+pub trait Arbitrary {
+    /// Generate a value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `any::<T>()` — strategy form of [`Arbitrary`].
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ----------------------------------------------------------- collection
+
+/// `prop::collection` — sized `Vec` strategies.
+pub mod collection_impl {
+    use super::{Strategy, TestRng};
+
+    /// Length specification: fixed or a half-open range.
+    pub struct SizeRange(pub usize, pub usize);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n, n + 1)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange(r.start, r.end)
+        }
+    }
+
+    /// A `Vec` of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.1 - self.size.0;
+            let len = self.size.0 + if span > 1 { (rng.next_u64() as usize) % span } else { 0 };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec` etc.).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::collection_impl::{vec, SizeRange, VecStrategy};
+    }
+}
+
+// --------------------------------------------------------------- config
+
+/// Per-block test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// --------------------------------------------------------------- macros
+
+/// Property-test block. See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let mut __ran: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __config.cases.saturating_mul(20).max(100);
+            while __ran < __config.cases && __attempts < __max_attempts {
+                __attempts += 1;
+                let mut __case = || -> bool {
+                    $crate::proptest!(@bind __rng, $($params)*);
+                    $body
+                    true
+                };
+                if __case() {
+                    __ran += 1;
+                }
+            }
+            assert!(
+                __ran > 0,
+                "proptest {}: every generated case was rejected by prop_assume!",
+                stringify!($name)
+            );
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@bind $rng:ident $(,)?) => {};
+    (@bind $rng:ident, $($rest:tt)*) => { $crate::proptest!(@bind $rng $($rest)*); };
+    (@bind $rng:ident $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng $($rest)*);
+    };
+    (@bind $rng:ident $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng $($rest)*);
+    };
+    (@bind $rng:ident $name:ident: $ty:ty) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+    // No-config form.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Reject the current case (it does not count towards `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$(Box::new($arm) as $crate::BoxedStrategy<_>),+])
+    };
+}
+
+/// Prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..3.0).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wiring itself: mixed param forms, assume, vec, oneof.
+        #[test]
+        fn macro_smoke(n in 1usize..10, flag: bool, xs in prop::collection::vec(0u8..5, 1..4)) {
+            prop_assume!(n != 9);
+            prop_assert!(n >= 1 && n < 10);
+            prop_assert_ne!(n, 9);
+            prop_assert_eq!(flag, flag);
+            prop_assert!(!xs.is_empty() && xs.len() < 4);
+            let s = prop_oneof![(0u8..2).prop_map(|v| v + 10), (5u8..6).boxed()];
+            let mut rng = crate::TestRng::new(7);
+            for _ in 0..20 {
+                let v = crate::Strategy::generate(&s, &mut rng);
+                prop_assert!(v == 5 || v == 10 || v == 11);
+            }
+        }
+    }
+}
