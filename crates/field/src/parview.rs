@@ -1,0 +1,146 @@
+//! [`ParView3`]: a shared-write view of an [`Array3`] for
+//! `do concurrent`-style kernel bodies.
+//!
+//! The `stdpar` host engine executes `Par::loop3` bodies as `Fn + Sync`
+//! closures on multiple threads, so a body can no longer capture
+//! `&mut Array3`. A `ParView3` is the escape hatch: it is created from a
+//! unique borrow of the array (so no other access can exist for its
+//! lifetime), is `Sync`, and allows writes through `&self` under the
+//! same contract Fortran's `do concurrent` imposes on the real code:
+//!
+//! * distinct iterations must not write the same element, and
+//! * an iteration must not read an element that another *concurrent*
+//!   iteration writes. The engine tiles the outermost (k) axis and runs
+//!   each k-plane in-order on one thread, so reads of the written array
+//!   at i/j offsets (same k) stay well-defined; bodies that read at
+//!   k-offsets must declare their site `Site::serial()`.
+//!
+//! Violating the contract on a parallel site is a data race in the
+//! model's semantics just as it is undefined behaviour in the Fortran
+//! original — the tiling audit in `mas-mhd` exists to prevent it.
+
+use crate::Array3;
+use std::marker::PhantomData;
+
+/// Shared-write view over an [`Array3`]'s storage (see module docs).
+///
+/// Obtained from [`Array3::par_view`]; borrows the array mutably for its
+/// lifetime, so all other access paths are frozen while it exists.
+#[derive(Clone, Copy)]
+pub struct ParView3<'a> {
+    ptr: *mut f64,
+    s1: usize,
+    s2: usize,
+    s3: usize,
+    len: usize,
+    _marker: PhantomData<&'a mut [f64]>,
+}
+
+// SAFETY: the view behaves like `&mut [f64]` split element-wise across
+// iterations; the caller upholds the disjoint-write contract above and
+// the unique borrow prevents aliasing from outside the kernel body.
+unsafe impl Send for ParView3<'_> {}
+unsafe impl Sync for ParView3<'_> {}
+
+impl<'a> ParView3<'a> {
+    pub(crate) fn new(a: &'a mut Array3) -> Self {
+        let (s1, s2, s3) = (a.s1, a.s2, a.s3);
+        let s = a.as_mut_slice();
+        ParView3 {
+            ptr: s.as_mut_ptr(),
+            s1,
+            s2,
+            s3,
+            len: s.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Flat index of `(i, j, k)` (storage indices, i fastest).
+    #[inline(always)]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.s1 && j < self.s2 && k < self.s3);
+        i + self.s1 * (j + self.s2 * k)
+    }
+
+    /// Read element `(i, j, k)`.
+    ///
+    /// Under the iteration-independence contract this must not target an
+    /// element written by a concurrent iteration (other k-planes on a
+    /// tiled site).
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
+        let ix = self.idx(i, j, k);
+        debug_assert!(ix < self.len);
+        // SAFETY: in-bounds (asserted in debug); caller upholds the
+        // no-concurrent-writer contract.
+        unsafe { *self.ptr.add(ix) }
+    }
+
+    /// Write element `(i, j, k)` — each iteration its own points only.
+    #[inline(always)]
+    pub fn set(&self, i: usize, j: usize, k: usize, v: f64) {
+        let ix = self.idx(i, j, k);
+        debug_assert!(ix < self.len);
+        // SAFETY: as for `get`; the element belongs to this iteration.
+        unsafe { *self.ptr.add(ix) = v }
+    }
+
+    /// Add to element `(i, j, k)` — each iteration its own points only.
+    #[inline(always)]
+    pub fn add(&self, i: usize, j: usize, k: usize, v: f64) {
+        let ix = self.idx(i, j, k);
+        debug_assert!(ix < self.len);
+        // SAFETY: read-modify-write of an element no other iteration
+        // touches (contract above).
+        unsafe { *self.ptr.add(ix) += v }
+    }
+}
+
+impl Array3 {
+    /// A [`ParView3`] over this array for a parallel kernel body. The
+    /// array is mutably borrowed for the view's lifetime; see the
+    /// `parview` module docs for the iteration-independence contract.
+    pub fn par_view(&mut self) -> ParView3<'_> {
+        ParView3::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_reads_and_writes_match_array() {
+        let mut a = Array3::zeros(3, 4, 5);
+        {
+            let v = a.par_view();
+            v.set(1, 2, 3, 7.5);
+            v.add(1, 2, 3, 0.5);
+            assert_eq!(v.get(1, 2, 3), 8.0);
+        }
+        assert_eq!(a.get(1, 2, 3), 8.0);
+    }
+
+    #[test]
+    fn view_is_sync_and_usable_across_threads_on_disjoint_planes() {
+        let mut a = Array3::zeros(4, 4, 8);
+        let s3 = a.s3;
+        {
+            let v = a.par_view();
+            std::thread::scope(|s| {
+                for k in 0..s3 {
+                    let v = v; // Copy
+                    s.spawn(move || {
+                        for j in 0..4 {
+                            for i in 0..4 {
+                                v.set(i, j, k, (i + 10 * j + 100 * k) as f64);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        assert_eq!(a.get(2, 3, 5), (2 + 30 + 500) as f64);
+    }
+}

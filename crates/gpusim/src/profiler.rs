@@ -132,6 +132,10 @@ pub struct Profiler {
     pub kernel_launches: u64,
     /// Total kernel bytes moved (model).
     pub kernel_bytes: f64,
+    /// Host-engine tiles executed across all tiled kernel dispatches.
+    /// A property of the iteration spaces, *not* of the worker count, so
+    /// it is identical for every `MAS_HOST_THREADS` setting.
+    pub host_tiles: u64,
 }
 
 fn phase_index(p: Phase) -> usize {
@@ -209,6 +213,12 @@ impl Profiler {
         }
         self.kernel_launches += other.kernel_launches;
         self.kernel_bytes += other.kernel_bytes;
+        self.host_tiles += other.host_tiles;
+    }
+
+    /// Record a host-engine tiled dispatch of `n_tiles` tiles.
+    pub fn note_host_tiles(&mut self, n_tiles: u64) {
+        self.host_tiles += n_tiles;
     }
 }
 

@@ -305,13 +305,18 @@ mod tests {
         for s in [&P1, &P2, &P3, &SR, &AR, &AT, &CR, &KI] {
             r.note(s, 10, 1.0);
         }
-        r.note_data_region("state", 8);
-        r.note_data_region("aux", 2);
-        r.note_update("bc");
-        r.note_update("diag");
+        let state = r.region_id("state");
+        r.note_data_region(state, 8);
+        let aux = r.region_id("aux");
+        r.note_data_region(aux, 2);
+        let bc = r.site_id("bc");
+        r.note_update(bc);
+        let diag = r.site_id("diag");
+        r.note_update(diag);
         r.note_derived_type("grid_metrics");
         r.note_declare("gravity_table");
-        r.note_wait("pre_mpi");
+        let pre_mpi = r.site_id("pre_mpi");
+        r.note_wait(pre_mpi);
         r.note_host_data("halo_bufs");
         r
     }

@@ -3,16 +3,28 @@
 //!
 //! The solver never talks to `gpusim` directly; it declares loop sites and
 //! calls [`Par::loop3`], [`Par::reduce_scalar`], [`Par::reduce_array`] etc.
-//! `Par` runs the body (real numerics, serial host execution) and charges
-//! the virtual device according to the version policy — launch mode,
-//! fusion, reduction strategy, data mode. It also feeds the
-//! [`SiteRegistry`] that the directive audit consumes.
+//! `Par` runs the body (real numerics, executed by the host
+//! [`Engine`](crate::engine::Engine) — tiled over the outermost axis and
+//! spread across worker threads when profitable) and charges the virtual
+//! device according to the version policy — launch mode, fusion, reduction
+//! strategy, data mode. It also feeds the [`SiteRegistry`] that the
+//! directive audit consumes.
+//!
+//! # Determinism
+//!
+//! Results are **independent of the host thread count**: the tile
+//! decomposition and the reduction-combine order are fixed by the
+//! iteration space alone (see `engine` module docs), so a run with
+//! `MAS_HOST_THREADS=1` and one with `=16` produce bit-identical state,
+//! reductions, audits, and virtual-clock timings.
 
-use crate::site::{LoopClass, Site, SiteRegistry};
+use crate::engine::{default_host_threads, Engine, SyncSlice};
+use crate::site::{LoopClass, RegionId, Site, SiteId, SiteRegistry, Tiling};
 use crate::version::{ArrayReduceStrategy, CodeVersion, LoopStyle, Policy};
 use gpusim::{BufferId, DeviceContext, DeviceSpec, LaunchMode, Traffic};
 use mas_grid::IndexSpace3;
 use minimpi::ReduceOp;
+use std::collections::HashMap;
 
 /// Execution-time penalty of the loop-flip array reduction (Listing 5):
 /// the compiler serializes the inner `reduce` loop, which costs a little
@@ -31,7 +43,147 @@ const ATOMIC_PENALTY: f64 = 1.10;
 /// the AD-vs-A performance gaps (§V-C).
 const DC_KERNEL_EFFICIENCY: f64 = 0.975;
 
-/// One rank's executor: virtual device + policy + site registry.
+/// The cost-model extrapolation scales: the numerics run on a scaled
+/// test grid while the device model charges production-size traffic.
+/// Bulk (3-D) kernels are charged at `volume`; boundary/halo (2-D plane)
+/// kernels at `area` — switch between them with [`Par::with_area_scale`].
+///
+/// An immutable value type: a `Par` is built with one `CostScales`
+/// ([`ParBuilder::scales`]) and temporary overrides are *scoped*
+/// ([`Par::with_scales`]), so a boundary operator can no longer leak an
+/// area scale into the next bulk kernel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostScales {
+    /// Multiplier for 3-D bulk kernels (the default active scale).
+    pub volume: f64,
+    /// Multiplier for 2-D plane/halo kernels.
+    pub area: f64,
+}
+
+impl CostScales {
+    /// No extrapolation: charge what actually ran.
+    pub const IDENTITY: CostScales = CostScales {
+        volume: 1.0,
+        area: 1.0,
+    };
+
+    /// Validated constructor (both scales must be ≥ 1 and finite).
+    pub fn new(volume: f64, area: f64) -> Self {
+        assert!(
+            volume >= 1.0 && volume.is_finite() && area >= 1.0 && area.is_finite(),
+            "bad cost scales ({volume}, {area})"
+        );
+        CostScales { volume, area }
+    }
+}
+
+impl Default for CostScales {
+    fn default() -> Self {
+        CostScales::IDENTITY
+    }
+}
+
+/// Builder for [`Par`] — replaces the old positional
+/// `Par::new(spec, version, rank, seed)` constructor.
+///
+/// ```
+/// use stdpar::{CodeVersion, CostScales, Par};
+/// use gpusim::DeviceSpec;
+///
+/// let par = Par::builder(DeviceSpec::a100_40gb())
+///     .version(CodeVersion::Ad2xu)
+///     .rank(0)
+///     .seed(42)
+///     .threads(2)
+///     .scales(CostScales::new(8.0, 4.0))
+///     .build();
+/// assert_eq!(par.host_threads(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ParBuilder {
+    spec: DeviceSpec,
+    version: CodeVersion,
+    rank: usize,
+    seed: u64,
+    threads: Option<usize>,
+    scales: CostScales,
+}
+
+impl ParBuilder {
+    /// Code version to execute under (default: [`CodeVersion::A`]).
+    pub fn version(mut self, v: CodeVersion) -> Self {
+        self.version = v;
+        self
+    }
+
+    /// MPI-style rank of this executor (default 0).
+    pub fn rank(mut self, rank: usize) -> Self {
+        self.rank = rank;
+        self
+    }
+
+    /// Seed for the device model's timing jitter (default 1).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Host engine width. Default: `MAS_HOST_THREADS` env if set, else
+    /// the machine's available parallelism. Results never depend on this
+    /// — only wall-clock does.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Cost-model extrapolation scales (default [`CostScales::IDENTITY`]).
+    pub fn scales(mut self, scales: CostScales) -> Self {
+        self.scales = scales;
+        self
+    }
+
+    /// Construct the executor.
+    pub fn build(self) -> Par {
+        let policy = self.version.policy();
+        let ctx = DeviceContext::new(self.spec, policy.data_mode, self.rank, self.seed);
+        let threads = self.threads.unwrap_or_else(default_host_threads);
+        Par {
+            ctx,
+            policy,
+            registry: SiteRegistry::new(),
+            engine: Engine::new(threads),
+            point_scale: self.scales.volume,
+            scales: self.scales,
+            plans: HashMap::new(),
+        }
+    }
+}
+
+/// Cached per-site execution plan: the interned registry slot plus the
+/// last iteration bounds and scaled launch cost, so steady-state steps
+/// (same site, same bounds, same scale — the overwhelmingly common case)
+/// skip the registry's string-keyed map entirely.
+#[derive(Clone, Copy, Debug)]
+struct Plan {
+    slot: usize,
+    space: IndexSpace3,
+    point_scale: f64,
+    scaled: usize,
+}
+
+/// Plan-cache key: the site name's address + length. Site names are
+/// `&'static str`, so the address is stable for the process lifetime,
+/// and two *different* strings can never share both start address and
+/// length. Two distinct literals with equal text may get separate
+/// entries — harmless, they intern to the same registry slot.
+type PlanKey = (usize, usize);
+
+fn plan_key(site: &Site) -> PlanKey {
+    (site.name.as_ptr() as usize, site.name.len())
+}
+
+/// One rank's executor: virtual device + policy + site registry + host
+/// execution engine.
 pub struct Par {
     /// The virtual device (clock, memory model, profiler).
     pub ctx: DeviceContext,
@@ -39,30 +191,35 @@ pub struct Par {
     pub policy: Policy,
     /// Site registry feeding the directive audit.
     pub registry: SiteRegistry,
-    /// Cost-model multiplier applied to every launch's point count —
-    /// the paper-scale extrapolation knob: the numerics run on a scaled
-    /// grid while the device model charges production-size traffic.
-    /// Bulk (3-D) kernels use the volume scale; boundary/halo kernels
-    /// temporarily switch to the area scale via [`Par::set_point_scale`].
+    /// Host-parallel execution engine (tile scheduler + worker pool).
+    engine: Engine,
+    /// The currently *active* cost-model multiplier applied to every
+    /// launch's point count (normally `scales.volume`; `scales.area`
+    /// inside a [`Par::with_area_scale`] scope).
     point_scale: f64,
-    /// The surface (plane) scale companion to `point_scale`, stored here
-    /// so boundary/halo code can switch to it without plumbing the value
-    /// through every call chain.
-    area_scale: f64,
+    /// The configured scale pair.
+    scales: CostScales,
+    /// Per-site plan cache (see [`Plan`]).
+    plans: HashMap<PlanKey, Plan>,
 }
 
 impl Par {
-    /// New executor for `version` on a device described by `spec`.
-    pub fn new(spec: DeviceSpec, version: CodeVersion, rank: usize, seed: u64) -> Self {
-        let policy = version.policy();
-        let ctx = DeviceContext::new(spec, policy.data_mode, rank, seed);
-        Self {
-            ctx,
-            policy,
-            registry: SiteRegistry::new(),
-            point_scale: 1.0,
-            area_scale: 1.0,
+    /// Start building an executor for a device described by `spec`.
+    pub fn builder(spec: DeviceSpec) -> ParBuilder {
+        ParBuilder {
+            spec,
+            version: CodeVersion::A,
+            rank: 0,
+            seed: 1,
+            threads: None,
+            scales: CostScales::IDENTITY,
         }
+    }
+
+    /// New executor for `version` on a device described by `spec`.
+    #[deprecated(since = "0.1.0", note = "use `Par::builder(spec).version(v).rank(r).seed(s).build()`")]
+    pub fn new(spec: DeviceSpec, version: CodeVersion, rank: usize, seed: u64) -> Self {
+        Par::builder(spec).version(version).rank(rank).seed(seed).build()
     }
 
     /// The active code version.
@@ -70,34 +227,94 @@ impl Par {
         self.policy.version
     }
 
+    /// Width of the host execution engine (1 = serial).
+    pub fn host_threads(&self) -> usize {
+        self.engine.threads()
+    }
+
     /// Current cost-model point scale.
     pub fn point_scale(&self) -> f64 {
         self.point_scale
     }
 
+    /// The configured scale pair.
+    pub fn scales(&self) -> CostScales {
+        self.scales
+    }
+
+    /// Run `f` with `scales` installed (active scale = `scales.volume`),
+    /// restoring the previous configuration afterwards — scale changes
+    /// cannot leak across operators.
+    pub fn with_scales<R>(&mut self, scales: CostScales, f: impl FnOnce(&mut Self) -> R) -> R {
+        let prev = (self.scales, self.point_scale);
+        self.scales = scales;
+        self.point_scale = scales.volume;
+        let r = f(self);
+        (self.scales, self.point_scale) = prev;
+        r
+    }
+
+    /// Run `f` with the *area* scale active — the boundary/halo form of
+    /// [`Par::with_scales`]: plane kernels inside the scope are charged
+    /// at `scales.area` instead of `scales.volume`.
+    pub fn with_area_scale<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let prev = self.point_scale;
+        self.point_scale = self.scales.area;
+        let r = f(self);
+        self.point_scale = prev;
+        r
+    }
+
     /// Set the cost-model point scale; returns the previous value so
     /// callers can restore it (boundary code switches volume → area).
+    #[deprecated(since = "0.1.0", note = "use the scoped `Par::with_area_scale` / `Par::with_scales`")]
     pub fn set_point_scale(&mut self, s: f64) -> f64 {
         assert!(s >= 1.0 && s.is_finite(), "bad point scale {s}");
         std::mem::replace(&mut self.point_scale, s)
     }
 
     /// The surface-scale companion value.
+    #[deprecated(since = "0.1.0", note = "use `Par::scales().area`")]
     pub fn area_scale(&self) -> f64 {
-        self.area_scale
+        self.scales.area
     }
 
     /// Configure both extrapolation scales (volume for bulk kernels,
     /// area for plane kernels). Sets the active scale to `volume`.
+    #[deprecated(since = "0.1.0", note = "use `ParBuilder::scales` or the scoped `Par::with_scales`")]
     pub fn set_scales(&mut self, volume: f64, area: f64) {
-        assert!(volume >= 1.0 && area >= 1.0);
+        self.scales = CostScales::new(volume, area);
         self.point_scale = volume;
-        self.area_scale = area;
     }
 
     /// Scale a launch's point count by the active model scale.
     fn scaled(&self, n: usize) -> usize {
         (n as f64 * self.point_scale).round() as usize
+    }
+
+    /// Look up (or build) the execution plan for `site` over `space`:
+    /// the interned registry slot plus the cached scaled launch cost.
+    fn plan(&mut self, site: &Site, space: IndexSpace3) -> (usize, usize) {
+        let key = plan_key(site);
+        if let Some(p) = self.plans.get(&key) {
+            if p.space == space && p.point_scale == self.point_scale {
+                return (p.slot, p.scaled);
+            }
+            let slot = p.slot;
+            let scaled = self.scaled(space.len());
+            self.plans.insert(
+                key,
+                Plan { slot, space, point_scale: self.point_scale, scaled },
+            );
+            return (slot, scaled);
+        }
+        let slot = self.registry.slot_of(site);
+        let scaled = self.scaled(space.len());
+        self.plans.insert(
+            key,
+            Plan { slot, space, point_scale: self.point_scale, scaled },
+        );
+        (slot, scaled)
     }
 
     /// Apply the launch mode for `site` and return whether it is DC-style.
@@ -136,11 +353,39 @@ impl Par {
         r
     }
 
+    /// Execute `body` over `space` under the site's tiling: Serial sites
+    /// run in Fortran order on the caller; Outer sites run one k-plane
+    /// per tile, dispatched to the engine when large enough. Charges the
+    /// engine's tile census to the profiler (thread-count independent).
+    fn execute_tiles(&mut self, site: &Site, space: IndexSpace3, body: &(dyn Fn(usize, usize, usize) + Sync)) {
+        let nk = space.k1.saturating_sub(space.k0);
+        if site.tiling == Tiling::Serial || nk <= 1 {
+            space.for_each(|i, j, k| body(i, j, k));
+            return;
+        }
+        self.ctx.prof.note_host_tiles(nk as u64);
+        let k0 = space.k0;
+        self.engine.run_tiles(nk, space.len(), &|t| {
+            let k = k0 + t;
+            for j in space.j0..space.j1 {
+                for i in space.i0..space.i1 {
+                    body(i, j, k);
+                }
+            }
+        });
+    }
+
     /// A plain (or routine-calling / atomic-scatter) parallel loop nest.
     ///
-    /// `body(i, j, k)` is invoked for every point of `space` in Fortran
-    /// order; `traffic` describes per-point memory traffic for the model;
-    /// `reads`/`writes` are the model buffers touched (for UM paging).
+    /// `body(i, j, k)` is invoked for every point of `space`; `traffic`
+    /// describes per-point memory traffic for the model; `reads`/`writes`
+    /// are the model buffers touched (for UM paging).
+    ///
+    /// # Iteration-independence contract
+    /// Like a Fortran `do concurrent` body: on a [`Tiling::Outer`] site,
+    /// distinct iterations must not write the same element, and must not
+    /// read, at a *different k*, an array any iteration writes. Bodies
+    /// with k-neighbour recurrences declare [`Site::serial`].
     pub fn loop3<F>(
         &mut self,
         site: &Site,
@@ -148,25 +393,71 @@ impl Par {
         traffic: Traffic,
         reads: &[BufferId],
         writes: &[BufferId],
-        mut body: F,
+        body: F,
     ) where
-        F: FnMut(usize, usize, usize),
+        F: Fn(usize, usize, usize) + Sync,
     {
         debug_assert!(matches!(
             site.class,
             LoopClass::Parallel | LoopClass::CallsRoutine | LoopClass::AtomicUpdate
         ));
         self.prepare_launch(site);
-        let exec = self.ctx.launch(site.name, self.scaled(space.len()), traffic, reads, writes);
-        space.for_each(&mut body);
-        self.registry.note(site, space.len(), exec);
+        let (slot, scaled) = self.plan(site, space);
+        let exec = self.ctx.launch(site.name, scaled, traffic, reads, writes);
+        self.execute_tiles(site, space, &body);
+        self.registry.note_slot(slot, space.len(), exec);
+    }
+
+    /// The deterministic tiled reduction: one partial per k-plane tile
+    /// (computed in-tile in Fortran order), combined *in tile order* on
+    /// the calling thread. The decomposition depends only on `space`, so
+    /// the result is bit-identical for every engine width.
+    fn fold_tiled(
+        &mut self,
+        site: &Site,
+        space: IndexSpace3,
+        op: ReduceOp,
+        init: f64,
+        body: &(dyn Fn(usize, usize, usize) -> f64 + Sync),
+    ) -> f64 {
+        let nk = space.k1.saturating_sub(space.k0);
+        if site.tiling == Tiling::Serial || nk == 0 {
+            let mut acc = init;
+            space.for_each(|i, j, k| acc = op_apply(op, acc, body(i, j, k)));
+            return acc;
+        }
+        let ident = op_identity(op);
+        let mut partials = vec![ident; nk];
+        {
+            let ps = SyncSlice::new(&mut partials);
+            if nk > 1 {
+                self.ctx.prof.note_host_tiles(nk as u64);
+            }
+            let k0 = space.k0;
+            self.engine.run_tiles(nk, space.len(), &|t| {
+                let k = k0 + t;
+                let mut acc = ident;
+                for j in space.j0..space.j1 {
+                    for i in space.i0..space.i1 {
+                        acc = op_apply(op, acc, body(i, j, k));
+                    }
+                }
+                ps.set(t, acc);
+            });
+        }
+        let mut acc = init;
+        for p in partials {
+            acc = op_apply(op, acc, p);
+        }
+        acc
     }
 
     /// Scalar reduction over a loop nest (CFL minima, PCG dot products).
     ///
     /// OpenACC `reduction` clause through Code 3; DC2X `reduce` from
-    /// Code 4 on — numerically identical (fixed evaluation order), only
-    /// the launch policy and the audit differ.
+    /// Code 4 on — numerically identical here because the combine order
+    /// is the fixed tile order (see `engine` docs), unlike the real
+    /// code's atomic orderings which reproduce only to round-off.
     pub fn reduce_scalar<F>(
         &mut self,
         site: &Site,
@@ -175,38 +466,27 @@ impl Par {
         reads: &[BufferId],
         op: ReduceOp,
         init: f64,
-        mut body: F,
+        body: F,
     ) -> f64
     where
-        F: FnMut(usize, usize, usize) -> f64,
+        F: Fn(usize, usize, usize) -> f64 + Sync,
     {
         debug_assert!(matches!(
             site.class,
             LoopClass::ScalarReduction | LoopClass::KernelsIntrinsic
         ));
-        self.prepare_launch(site);
-        let exec = self.ctx.launch(site.name, self.scaled(space.len()), traffic, reads, &[]);
-        let mut acc = init;
-        space.for_each(|i, j, k| {
-            let v = body(i, j, k);
-            acc = match op {
-                ReduceOp::Sum => acc + v,
-                ReduceOp::Min => acc.min(v),
-                ReduceOp::Max => acc.max(v),
-            };
-        });
-        self.registry.note(site, space.len(), exec);
-        acc
+        self.reduce_scalar_unchecked(site, space, traffic, reads, op, init, body)
     }
 
     /// Array reduction: each point contributes `(target, value)` and the
     /// contributions accumulate into `out[target]`.
     ///
     /// Strategy per version (paper Listings 3–5): ACC atomics, DC+atomics,
-    /// or the flipped outer-DC/inner-reduce form. All three visit points
-    /// in the same order here, so results are bitwise identical — the real
-    /// code's atomic orderings differ at round-off, which the paper also
-    /// absorbs in its "validated within solver tolerances" statement.
+    /// or the flipped outer-DC/inner-reduce form. All three use the same
+    /// tile decomposition here, so results are bitwise identical across
+    /// versions *and* thread counts — the real code's atomic orderings
+    /// differ at round-off, which the paper also absorbs in its
+    /// "validated within solver tolerances" statement.
     #[allow(clippy::too_many_arguments)]
     pub fn reduce_array<F>(
         &mut self,
@@ -216,9 +496,9 @@ impl Par {
         reads: &[BufferId],
         writes: &[BufferId],
         out: &mut [f64],
-        mut body: F,
+        body: F,
     ) where
-        F: FnMut(usize, usize, usize) -> (usize, f64),
+        F: Fn(usize, usize, usize) -> (usize, f64) + Sync,
     {
         debug_assert_eq!(site.class as u8, LoopClass::ArrayReduction as u8);
         self.prepare_launch(site);
@@ -232,12 +512,46 @@ impl Par {
             writes: traffic.writes,
             flops: traffic.flops,
         };
-        let exec = self.ctx.launch(site.name, self.scaled(space.len()), eff, reads, writes);
-        space.for_each(|i, j, k| {
-            let (t, v) = body(i, j, k);
-            out[t] += v;
-        });
-        self.registry.note(site, space.len(), exec);
+        let (slot, scaled) = self.plan(site, space);
+        let exec = self.ctx.launch(site.name, scaled, eff, reads, writes);
+
+        let nk = space.k1.saturating_sub(space.k0);
+        if site.tiling == Tiling::Serial || nk == 0 {
+            space.for_each(|i, j, k| {
+                let (t, v) = body(i, j, k);
+                out[t] += v;
+            });
+        } else {
+            // One dense partial row per tile, accumulated in-tile in
+            // Fortran order, then combined row-by-row in tile order.
+            let width = out.len();
+            let mut partials = vec![0.0; nk * width];
+            {
+                let ps = SyncSlice::new(&mut partials);
+                if nk > 1 {
+                    self.ctx.prof.note_host_tiles(nk as u64);
+                }
+                let k0 = space.k0;
+                self.engine.run_tiles(nk, space.len(), &|t| {
+                    let k = k0 + t;
+                    let row = t * width;
+                    for j in space.j0..space.j1 {
+                        for i in space.i0..space.i1 {
+                            let (target, v) = body(i, j, k);
+                            debug_assert!(target < width);
+                            ps.add(row + target, v);
+                        }
+                    }
+                });
+            }
+            for t in 0..nk {
+                let row = &partials[t * width..(t + 1) * width];
+                for (o, &p) in out.iter_mut().zip(row) {
+                    *o += p;
+                }
+            }
+        }
+        self.registry.note_slot(slot, space.len(), exec);
     }
 
     /// An OpenACC `kernels` region wrapping a Fortran intrinsic reduction
@@ -254,7 +568,7 @@ impl Par {
         body: F,
     ) -> f64
     where
-        F: FnMut(usize, usize, usize) -> f64,
+        F: Fn(usize, usize, usize) -> f64 + Sync,
     {
         debug_assert_eq!(site.class as u8, LoopClass::KernelsIntrinsic as u8);
         self.reduce_scalar_unchecked(site, space, traffic, reads, op, init, body)
@@ -268,23 +582,16 @@ impl Par {
         reads: &[BufferId],
         op: ReduceOp,
         init: f64,
-        mut body: F,
+        body: F,
     ) -> f64
     where
-        F: FnMut(usize, usize, usize) -> f64,
+        F: Fn(usize, usize, usize) -> f64 + Sync,
     {
         self.prepare_launch(site);
-        let exec = self.ctx.launch(site.name, self.scaled(space.len()), traffic, reads, &[]);
-        let mut acc = init;
-        space.for_each(|i, j, k| {
-            let v = body(i, j, k);
-            acc = match op {
-                ReduceOp::Sum => acc + v,
-                ReduceOp::Min => acc.min(v),
-                ReduceOp::Max => acc.max(v),
-            };
-        });
-        self.registry.note(site, space.len(), exec);
+        let (slot, scaled) = self.plan(site, space);
+        let exec = self.ctx.launch(site.name, scaled, traffic, reads, &[]);
+        let acc = self.fold_tiled(site, space, op, init, &body);
+        self.registry.note_slot(slot, space.len(), exec);
         acc
     }
 
@@ -307,25 +614,36 @@ impl Par {
         }
     }
 
+    /// Intern a directive call-site label — the handle for
+    /// [`Par::update_host`] / [`Par::update_device`] / [`Par::wait_point`].
+    pub fn site_id(&mut self, label: &'static str) -> SiteId {
+        self.registry.site_id(label)
+    }
+
+    /// Intern a data-region label — the handle for [`Par::data_region`].
+    pub fn region_id(&mut self, label: &'static str) -> RegionId {
+        self.registry.region_id(label)
+    }
+
     /// Declare a manual data region: all `bufs` are copied in (manual
     /// mode) or lazily paged (UM). Registered for the audit either way —
     /// the audit decides per version whether the directives survive.
-    pub fn data_region(&mut self, label: &'static str, bufs: &[BufferId]) {
-        self.registry.note_data_region(label, bufs.len());
+    pub fn data_region(&mut self, region: RegionId, bufs: &[BufferId]) {
+        self.registry.note_data_region(region, bufs.len());
         for &b in bufs {
             self.ctx.enter_data(b);
         }
     }
 
     /// `!$acc update host` call site.
-    pub fn update_host(&mut self, label: &'static str, buf: BufferId) {
-        self.registry.note_update(label);
+    pub fn update_host(&mut self, at: SiteId, buf: BufferId) {
+        self.registry.note_update(at);
         self.ctx.update_host(buf);
     }
 
     /// `!$acc update device` call site.
-    pub fn update_device(&mut self, label: &'static str, buf: BufferId) {
-        self.registry.note_update(label);
+    pub fn update_device(&mut self, at: SiteId, buf: BufferId) {
+        self.registry.note_update(at);
         self.ctx.update_device(buf);
     }
 
@@ -347,8 +665,8 @@ impl Par {
     }
 
     /// `!$acc wait` flush point (before MPI, before host reads).
-    pub fn wait_point(&mut self, label: &'static str) {
-        self.registry.note_wait(label);
+    pub fn wait_point(&mut self, at: SiteId) {
+        self.registry.note_wait(at);
         // Model: execution is already serialized on the virtual clock, so
         // the wait itself costs nothing extra.
     }
@@ -359,15 +677,35 @@ impl Par {
     }
 }
 
+#[inline(always)]
+fn op_apply(op: ReduceOp, a: f64, b: f64) -> f64 {
+    match op {
+        ReduceOp::Sum => a + b,
+        ReduceOp::Min => a.min(b),
+        ReduceOp::Max => a.max(b),
+    }
+}
+
+#[inline(always)]
+fn op_identity(op: ReduceOp) -> f64 {
+    match op {
+        ReduceOp::Sum => 0.0,
+        ReduceOp::Min => f64::INFINITY,
+        ReduceOp::Max => f64::NEG_INFINITY,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use gpusim::DataMode;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     static PLAIN: Site = Site::par3("plain");
     static PLAIN2: Site = Site::par3("plain2");
     static RED: Site = Site::new("red", LoopClass::ScalarReduction, 3);
     static ARED: Site = Site::new("ared", LoopClass::ArrayReduction, 2);
+    static SWEEP: Site = Site::par3("sweep").serial();
 
     fn space(n: usize) -> IndexSpace3 {
         IndexSpace3 {
@@ -381,9 +719,13 @@ mod tests {
     }
 
     fn par(v: CodeVersion) -> Par {
+        par_threads(v, 1)
+    }
+
+    fn par_threads(v: CodeVersion, threads: usize) -> Par {
         let mut spec = DeviceSpec::a100_40gb();
         spec.jitter_sigma = 0.0;
-        let mut p = Par::new(spec, v, 0, 1);
+        let mut p = Par::builder(spec).version(v).threads(threads).build();
         p.ctx.set_phase(gpusim::Phase::Compute);
         p
     }
@@ -393,11 +735,11 @@ mod tests {
         let mut p = par(CodeVersion::A);
         let b = p.ctx.mem.register(8 * 64, "x");
         p.ctx.enter_data(b);
-        let mut count = 0;
+        let count = AtomicUsize::new(0);
         p.loop3(&PLAIN, space(4), Traffic::new(1, 1, 0), &[b], &[b], |_, _, _| {
-            count += 1
+            count.fetch_add(1, Ordering::Relaxed);
         });
-        assert_eq!(count, 64);
+        assert_eq!(count.into_inner(), 64);
         assert_eq!(p.registry.total_invocations(), 1);
     }
 
@@ -512,7 +854,8 @@ mod tests {
         let mut p = par(CodeVersion::Ad);
         let b1 = p.ctx.mem.register(1 << 20, "a");
         let b2 = p.ctx.mem.register(1 << 20, "b");
-        p.data_region("state", &[b1, b2]);
+        let state = p.region_id("state");
+        p.data_region(state, &[b1, b2]);
         assert_eq!(p.registry.n_data_arrays(), 2);
         assert!(p.ctx.prof.cat_total_us(gpusim::TimeCategory::MemcpyH2D) > 0.0);
         // Kernel may now touch them.
@@ -523,11 +866,135 @@ mod tests {
     fn um_data_region_registers_but_does_not_copy() {
         let mut p = par(CodeVersion::Adu);
         let b = p.ctx.mem.register(1 << 20, "a");
-        p.data_region("state", &[b]);
+        let state = p.region_id("state");
+        p.data_region(state, &[b]);
         assert_eq!(p.registry.n_data_arrays(), 1);
         assert_eq!(p.ctx.prof.cat_total_us(gpusim::TimeCategory::MemcpyH2D), 0.0);
         // First kernel touch pages it in instead.
         p.loop3(&PLAIN, space(2), Traffic::new(1, 0, 0), &[b], &[], |_, _, _| {});
         assert!(p.ctx.prof.cat_total_us(gpusim::TimeCategory::PageMigration) > 0.0);
+    }
+
+    #[test]
+    fn with_scales_restores_on_exit() {
+        let mut p = par(CodeVersion::A);
+        assert_eq!(p.scales(), CostScales::IDENTITY);
+        let inner = p.with_scales(CostScales::new(8.0, 2.0), |p| {
+            assert_eq!(p.point_scale(), 8.0);
+            p.with_area_scale(|p| p.point_scale())
+        });
+        assert_eq!(inner, 2.0);
+        assert_eq!(p.point_scale(), 1.0, "scales cannot leak out of the scope");
+        assert_eq!(p.scales(), CostScales::IDENTITY);
+    }
+
+    #[test]
+    fn builder_scales_set_initial_point_scale() {
+        let mut spec = DeviceSpec::a100_40gb();
+        spec.jitter_sigma = 0.0;
+        let p = Par::builder(spec).scales(CostScales::new(64.0, 16.0)).build();
+        assert_eq!(p.point_scale(), 64.0);
+        assert_eq!(p.scales().area, 16.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_behave_like_the_old_api() {
+        let mut spec = DeviceSpec::a100_40gb();
+        spec.jitter_sigma = 0.0;
+        let mut p = Par::new(spec, CodeVersion::Ad, 0, 1);
+        p.set_scales(4.0, 2.0);
+        assert_eq!(p.point_scale(), 4.0);
+        let prev = p.set_point_scale(p.area_scale());
+        assert_eq!(prev, 4.0);
+        assert_eq!(p.point_scale(), 2.0);
+        p.set_point_scale(prev);
+        assert_eq!(p.point_scale(), 4.0);
+    }
+
+    /// The tentpole determinism guarantee at unit scope: every kernel
+    /// form produces bit-identical results for any engine width.
+    #[test]
+    fn results_bitwise_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut p = par_threads(CodeVersion::Ad2xu, threads);
+            let b = p.ctx.mem.register(8 * 4096, "x");
+            let o = p.ctx.mem.register(8 * 16, "o");
+            p.ctx.enter_data(b);
+            p.ctx.enter_data(o);
+            let n = 16;
+            let sum = p.reduce_scalar(
+                &RED,
+                space(n),
+                Traffic::new(1, 0, 1),
+                &[b],
+                ReduceOp::Sum,
+                0.25,
+                |i, j, k| 1.0 / (1.0 + (i + 3 * j + 7 * k) as f64),
+            );
+            let mut out = vec![0.0; n];
+            p.reduce_array(
+                &ARED,
+                space(n),
+                Traffic::new(2, 1, 2),
+                &[b],
+                &[o],
+                &mut out,
+                |i, j, k| (i, ((j * 31 + k) as f64).sin()),
+            );
+            (sum.to_bits(), out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), p.ctx.clock.now_us().to_bits())
+        };
+        let serial = run(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(run(threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn serial_site_runs_in_order_even_on_wide_engines() {
+        // A sweep body whose result depends on execution order: running
+        // it tiled would corrupt it; the Serial tiling must preserve the
+        // exact Fortran-order fold.
+        let run = |threads: usize| {
+            let mut p = par_threads(CodeVersion::D2xu, threads);
+            let b = p.ctx.mem.register(8 * 4096, "x");
+            p.ctx.enter_data(b);
+            p.reduce_scalar(
+                &SWEEP_RED,
+                space(16),
+                Traffic::new(1, 0, 1),
+                &[b],
+                ReduceOp::Sum,
+                0.0,
+                |i, j, k| ((i + 2 * j + 3 * k) as f64).sqrt(),
+            )
+        };
+        static SWEEP_RED: Site = Site::new("sweep_red", LoopClass::ScalarReduction, 3).serial();
+        assert_eq!(run(1).to_bits(), run(8).to_bits());
+        // And loop3 on a serial site still covers every point.
+        let mut p = par_threads(CodeVersion::A, 8);
+        let b = p.ctx.mem.register(8 * 64, "x");
+        p.ctx.enter_data(b);
+        let count = AtomicUsize::new(0);
+        p.loop3(&SWEEP, space(4), Traffic::new(1, 1, 0), &[b], &[b], |_, _, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 64);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_steady_state_relaunch() {
+        let mut p = par(CodeVersion::A);
+        let b = p.ctx.mem.register(8 * 64, "x");
+        p.ctx.enter_data(b);
+        for _ in 0..3 {
+            p.loop3(&PLAIN, space(4), Traffic::new(1, 1, 0), &[b], &[b], |_, _, _| {});
+        }
+        assert_eq!(p.plans.len(), 1, "one cached plan");
+        assert_eq!(p.registry.total_invocations(), 3);
+        // A different space on the same site revalidates but keeps one entry.
+        p.loop3(&PLAIN, space(3), Traffic::new(1, 1, 0), &[b], &[b], |_, _, _| {});
+        assert_eq!(p.plans.len(), 1);
+        assert_eq!(p.registry.total_invocations(), 4);
     }
 }

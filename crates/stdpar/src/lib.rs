@@ -23,11 +23,13 @@
 //! the same porting rules the authors applied.
 
 pub mod audit;
+pub mod engine;
 pub mod exec;
 pub mod site;
 pub mod version;
 
 pub use audit::{DirectiveAudit, DirectiveCensus, VersionLines};
-pub use exec::Par;
-pub use site::{LoopClass, Site, SiteRegistry, SiteStats};
+pub use engine::{default_host_threads, HOST_THREADS_ENV};
+pub use exec::{CostScales, Par, ParBuilder};
+pub use site::{LoopClass, RegionId, Site, SiteId, SiteRegistry, SiteStats, Tiling};
 pub use version::{ArrayReduceStrategy, CodeVersion, LoopStyle, Policy};

@@ -15,6 +15,38 @@
 
 use std::collections::BTreeMap;
 
+/// How the host execution engine may decompose a site's iteration space
+/// (see `stdpar::engine`).
+///
+/// The decomposition is a property of the *loop body's dependence
+/// structure*, not of the machine: a body that reads, at neighbouring
+/// `k`, an array it also writes (a φ-sweep, a recurrence) is not
+/// `do concurrent`-legal over k-tiles and must run serially. The audit
+/// classes are unaffected — this is purely a host-execution attribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Tiling {
+    /// Tile over the outermost (k/φ) axis; tiles may run concurrently.
+    /// Legal when every iteration writes only its own points and reads
+    /// the written arrays only at `k`-offsets of zero.
+    #[default]
+    Outer,
+    /// Sweep-dependent body: iterations must run in Fortran order on one
+    /// thread (the escape hatch for STS/PCG-style recurrences).
+    Serial,
+}
+
+/// Interned handle for a directive *call-site label* (`update`, `wait`):
+/// the typed replacement for threading `&'static str` labels through the
+/// executor API. Obtained from [`SiteRegistry::site_id`]; the string
+/// survives only in audit/census output (see [`SiteRegistry::site_label`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(u32);
+
+/// Interned handle for a *data-region label* (`enter data`/`exit data`
+/// pairs). Obtained from [`SiteRegistry::region_id`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(u32);
+
 /// Classification of a loop nest — decides which versions can express it
 /// as `do concurrent` (paper §IV).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -65,6 +97,8 @@ pub struct Site {
     /// Pure device routines called from the body (empty unless
     /// `class == CallsRoutine`).
     pub routines: &'static [&'static str],
+    /// How the host engine may decompose the iteration space.
+    pub tiling: Tiling,
 }
 
 impl Site {
@@ -76,6 +110,7 @@ impl Site {
             nest: 3,
             clause_heavy: false,
             routines: &[],
+            tiling: Tiling::Outer,
         }
     }
 
@@ -87,6 +122,7 @@ impl Site {
             nest,
             clause_heavy: false,
             routines: &[],
+            tiling: Tiling::Outer,
         }
     }
 
@@ -99,6 +135,13 @@ impl Site {
     /// Builder: attach device routines.
     pub const fn with_routines(mut self, r: &'static [&'static str]) -> Self {
         self.routines = r;
+        self
+    }
+
+    /// Builder: mark the body sweep-dependent — the host engine must not
+    /// tile it (reads of the written array at `k ± 1`, recurrences).
+    pub const fn serial(mut self) -> Self {
+        self.tiling = Tiling::Serial;
         self
     }
 }
@@ -119,10 +162,16 @@ pub struct SiteStats {
 /// Everything the audit needs, collected while the solver runs.
 #[derive(Clone, Debug, Default)]
 pub struct SiteRegistry {
-    /// Sites by name (BTreeMap for deterministic report ordering).
-    sites: BTreeMap<&'static str, SiteStats>,
+    /// Name → slot into `stats` (BTreeMap for deterministic report
+    /// ordering; the hot path goes through the slot, not the map — see
+    /// [`SiteRegistry::slot_of`]).
+    sites_by_name: BTreeMap<&'static str, usize>,
+    /// Per-site statistics, indexed by slot.
+    stats: Vec<SiteStats>,
+    /// Interned directive call-site labels, indexed by [`SiteId`].
+    call_site_labels: Vec<&'static str>,
     /// Data regions: `(label, number of arrays)` — each array in a manual
-    /// region costs `enter`+`exit` directive lines.
+    /// region costs `enter`+`exit` directive lines. Indexed by [`RegionId`].
     data_regions: Vec<(&'static str, usize)>,
     /// `!$acc update host/device` call sites (by label, deduplicated).
     update_sites: BTreeMap<&'static str, u64>,
@@ -143,15 +192,34 @@ impl SiteRegistry {
         Self::default()
     }
 
-    /// Record one execution of `site` over `points` points taking
-    /// `model_us` of modeled kernel time.
-    pub fn note(&mut self, site: &Site, points: usize, model_us: f64) {
-        let e = self.sites.entry(site.name).or_insert(SiteStats {
+    /// Intern `site`, returning its stable slot. The executor's plan
+    /// cache stores this so steady-state steps charge statistics without
+    /// re-walking the name map.
+    pub fn slot_of(&mut self, site: &Site) -> usize {
+        if let Some(&slot) = self.sites_by_name.get(site.name) {
+            return slot;
+        }
+        let slot = self.stats.len();
+        self.stats.push(SiteStats {
             site: *site,
             invocations: 0,
             points: 0,
             model_us: 0.0,
         });
+        self.sites_by_name.insert(site.name, slot);
+        slot
+    }
+
+    /// Record one execution of `site` over `points` points taking
+    /// `model_us` of modeled kernel time.
+    pub fn note(&mut self, site: &Site, points: usize, model_us: f64) {
+        let slot = self.slot_of(site);
+        self.note_slot(slot, points, model_us);
+    }
+
+    /// O(1) variant of [`SiteRegistry::note`] for a pre-interned slot.
+    pub fn note_slot(&mut self, slot: usize, points: usize, model_us: f64) {
+        let e = &mut self.stats[slot];
         e.invocations += 1;
         e.points += points as u64;
         e.model_us += model_us;
@@ -160,25 +228,58 @@ impl SiteRegistry {
     /// Sites sorted by descending modeled time (the `nsys stats`-style
     /// kernel census).
     pub fn top_sites(&self) -> Vec<&SiteStats> {
-        let mut v: Vec<&SiteStats> = self.sites.values().collect();
+        let mut v: Vec<&SiteStats> = self.stats.iter().collect();
         v.sort_by(|a, b| b.model_us.total_cmp(&a.model_us));
         v
     }
 
     /// Total modeled kernel time, µs.
     pub fn total_model_us(&self) -> f64 {
-        self.sites.values().map(|s| s.model_us).sum()
+        self.stats.iter().map(|s| s.model_us).sum()
     }
 
-    /// Register a manual data region of `n_arrays` arrays.
-    pub fn note_data_region(&mut self, label: &'static str, n_arrays: usize) {
-        if !self.data_regions.iter().any(|&(l, _)| l == label) {
-            self.data_regions.push((label, n_arrays));
+    /// Intern a directive call-site label (for `update`/`wait` handles).
+    /// Idempotent: the same label always yields the same [`SiteId`].
+    pub fn site_id(&mut self, label: &'static str) -> SiteId {
+        if let Some(i) = self.call_site_labels.iter().position(|&l| l == label) {
+            return SiteId(i as u32);
+        }
+        self.call_site_labels.push(label);
+        SiteId((self.call_site_labels.len() - 1) as u32)
+    }
+
+    /// The audit-facing string behind a [`SiteId`].
+    pub fn site_label(&self, id: SiteId) -> &'static str {
+        self.call_site_labels[id.0 as usize]
+    }
+
+    /// Intern a data-region label. Idempotent; the array count is filled
+    /// in by the first [`SiteRegistry::note_data_region`].
+    pub fn region_id(&mut self, label: &'static str) -> RegionId {
+        if let Some(i) = self.data_regions.iter().position(|&(l, _)| l == label) {
+            return RegionId(i as u32);
+        }
+        self.data_regions.push((label, 0));
+        RegionId((self.data_regions.len() - 1) as u32)
+    }
+
+    /// The audit-facing string behind a [`RegionId`].
+    pub fn region_label(&self, id: RegionId) -> &'static str {
+        self.data_regions[id.0 as usize].0
+    }
+
+    /// Register a manual data region of `n_arrays` arrays (first
+    /// registration wins, matching `enter data` create-once semantics).
+    pub fn note_data_region(&mut self, region: RegionId, n_arrays: usize) {
+        let e = &mut self.data_regions[region.0 as usize];
+        if e.1 == 0 {
+            e.1 = n_arrays;
         }
     }
 
     /// Register an `update` call site.
-    pub fn note_update(&mut self, label: &'static str) {
+    pub fn note_update(&mut self, at: SiteId) {
+        let label = self.call_site_labels[at.0 as usize];
         *self.update_sites.entry(label).or_insert(0) += 1;
     }
 
@@ -198,7 +299,8 @@ impl SiteRegistry {
     }
 
     /// Register an `!$acc wait` flush point.
-    pub fn note_wait(&mut self, label: &'static str) {
+    pub fn note_wait(&mut self, at: SiteId) {
+        let label = self.call_site_labels[at.0 as usize];
         *self.wait_sites.entry(label).or_insert(0) += 1;
     }
 
@@ -211,24 +313,24 @@ impl SiteRegistry {
 
     /// All recorded sites in name order.
     pub fn sites(&self) -> impl Iterator<Item = &SiteStats> {
-        self.sites.values()
+        self.sites_by_name.values().map(|&slot| &self.stats[slot])
     }
 
     /// Number of distinct sites.
     pub fn n_sites(&self) -> usize {
-        self.sites.len()
+        self.stats.len()
     }
 
     /// Count of sites in a class.
     pub fn count_class(&self, c: LoopClass) -> usize {
-        self.sites.values().filter(|s| s.site.class == c).count()
+        self.stats.iter().filter(|s| s.site.class == c).count()
     }
 
     /// Unique device routines (from all `CallsRoutine` sites), name-sorted.
     pub fn routines(&self) -> Vec<&'static str> {
         let mut v: Vec<&'static str> = self
-            .sites
-            .values()
+            .stats
+            .iter()
             .flat_map(|s| s.site.routines.iter().copied())
             .collect();
         v.sort_unstable();
@@ -273,7 +375,7 @@ impl SiteRegistry {
 
     /// Total kernel launches recorded.
     pub fn total_invocations(&self) -> u64 {
-        self.sites.values().map(|s| s.invocations).sum()
+        self.stats.iter().map(|s| s.invocations).sum()
     }
 }
 
@@ -322,9 +424,15 @@ mod tests {
     #[test]
     fn data_regions_deduplicate_by_label() {
         let mut r = SiteRegistry::new();
-        r.note_data_region("state", 12);
-        r.note_data_region("state", 12);
-        r.note_data_region("aux", 3);
+        let state = r.region_id("state");
+        let state2 = r.region_id("state");
+        let aux = r.region_id("aux");
+        assert_eq!(state, state2, "interning is idempotent");
+        assert_ne!(state, aux);
+        assert_eq!(r.region_label(state), "state");
+        r.note_data_region(state, 12);
+        r.note_data_region(state2, 12);
+        r.note_data_region(aux, 3);
         assert_eq!(r.data_regions().len(), 2);
         assert_eq!(r.n_data_arrays(), 15);
     }
@@ -332,11 +440,38 @@ mod tests {
     #[test]
     fn update_and_wait_sites_count_unique_labels() {
         let mut r = SiteRegistry::new();
-        r.note_update("bc_read");
-        r.note_update("bc_read");
-        r.note_update("diag");
-        r.note_wait("pre_mpi");
+        let bc = r.site_id("bc_read");
+        let diag = r.site_id("diag");
+        let pre_mpi = r.site_id("pre_mpi");
+        assert_eq!(bc, r.site_id("bc_read"), "interning is idempotent");
+        assert_eq!(r.site_label(diag), "diag");
+        r.note_update(bc);
+        r.note_update(bc);
+        r.note_update(diag);
+        r.note_wait(pre_mpi);
         assert_eq!(r.n_update_sites(), 2);
         assert_eq!(r.n_wait_sites(), 1);
+    }
+
+    #[test]
+    fn slot_of_is_stable_and_note_slot_accumulates() {
+        let mut r = SiteRegistry::new();
+        let a = r.slot_of(&S1);
+        let b = r.slot_of(&S2);
+        assert_eq!(r.slot_of(&S1), a);
+        r.note_slot(a, 10, 1.5);
+        r.note_slot(a, 10, 1.5);
+        r.note_slot(b, 5, 0.5);
+        assert_eq!(r.total_invocations(), 3);
+        let s = r.sites().find(|s| s.site.name == "k1").unwrap();
+        assert_eq!(s.points, 20);
+        assert!((s.model_us - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_builder_sets_tiling() {
+        const SW: Site = Site::par3("sweep").serial();
+        assert_eq!(SW.tiling, Tiling::Serial);
+        assert_eq!(S1.tiling, Tiling::Outer);
     }
 }

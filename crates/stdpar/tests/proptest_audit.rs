@@ -43,11 +43,13 @@ fn registry_strategy() -> impl Strategy<Value = SiteRegistry> {
             }
             static REGION_NAMES: [&str; 5] = ["r0", "r1", "r2", "r3", "r4"];
             for (i, n) in regions.iter().enumerate() {
-                r.note_data_region(REGION_NAMES[i], *n);
+                let id = r.region_id(REGION_NAMES[i]);
+                r.note_data_region(id, *n);
             }
             static UPD: [&str; 4] = ["u0", "u1", "u2", "u3"];
             for u in UPD.iter().take(upd) {
-                r.note_update(u);
+                let id = r.site_id(u);
+                r.note_update(id);
             }
             static DTS: [&str; 3] = ["d0", "d1", "d2"];
             for d in DTS.iter().take(dts) {
@@ -59,7 +61,8 @@ fn registry_strategy() -> impl Strategy<Value = SiteRegistry> {
             }
             static WAITS: [&str; 3] = ["w0", "w1", "w2"];
             for w in WAITS.iter().take(waits) {
-                r.note_wait(w);
+                let id = r.site_id(w);
+                r.note_wait(id);
             }
             static HDS: [&str; 3] = ["h0", "h1", "h2"];
             for h in HDS.iter().take(hds) {

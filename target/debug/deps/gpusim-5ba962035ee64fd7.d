@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gpusim-5ba962035ee64fd7.d: crates/gpusim/src/lib.rs crates/gpusim/src/clock.rs crates/gpusim/src/context.rs crates/gpusim/src/memory.rs crates/gpusim/src/profiler.rs crates/gpusim/src/spec.rs
+
+/root/repo/target/debug/deps/gpusim-5ba962035ee64fd7: crates/gpusim/src/lib.rs crates/gpusim/src/clock.rs crates/gpusim/src/context.rs crates/gpusim/src/memory.rs crates/gpusim/src/profiler.rs crates/gpusim/src/spec.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/clock.rs:
+crates/gpusim/src/context.rs:
+crates/gpusim/src/memory.rs:
+crates/gpusim/src/profiler.rs:
+crates/gpusim/src/spec.rs:

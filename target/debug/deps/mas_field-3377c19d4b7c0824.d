@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/mas_field-3377c19d4b7c0824.d: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs
+/root/repo/target/debug/deps/mas_field-3377c19d4b7c0824.d: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs crates/field/src/parview.rs
 
-/root/repo/target/debug/deps/libmas_field-3377c19d4b7c0824.rlib: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs
+/root/repo/target/debug/deps/libmas_field-3377c19d4b7c0824.rlib: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs crates/field/src/parview.rs
 
-/root/repo/target/debug/deps/libmas_field-3377c19d4b7c0824.rmeta: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs
+/root/repo/target/debug/deps/libmas_field-3377c19d4b7c0824.rmeta: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs crates/field/src/parview.rs
 
 crates/field/src/lib.rs:
 crates/field/src/array3.rs:
 crates/field/src/field.rs:
 crates/field/src/halo.rs:
 crates/field/src/norms.rs:
+crates/field/src/parview.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mas_field-e6ec1574d7becc9b.d: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs crates/field/src/parview.rs
+
+/root/repo/target/debug/deps/mas_field-e6ec1574d7becc9b: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs crates/field/src/parview.rs
+
+crates/field/src/lib.rs:
+crates/field/src/array3.rs:
+crates/field/src/field.rs:
+crates/field/src/halo.rs:
+crates/field/src/norms.rs:
+crates/field/src/parview.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_audit-59c4d69e85de297f.d: crates/stdpar/tests/proptest_audit.rs
+
+/root/repo/target/debug/deps/proptest_audit-59c4d69e85de297f: crates/stdpar/tests/proptest_audit.rs
+
+crates/stdpar/tests/proptest_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_model-94d4bd8bdd9f0d10.d: crates/gpusim/tests/proptest_model.rs
+
+/root/repo/target/debug/deps/proptest_model-94d4bd8bdd9f0d10: crates/gpusim/tests/proptest_model.rs
+
+crates/gpusim/tests/proptest_model.rs:

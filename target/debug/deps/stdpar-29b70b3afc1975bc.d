@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/stdpar-29b70b3afc1975bc.d: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/engine.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs
+
+/root/repo/target/debug/deps/stdpar-29b70b3afc1975bc: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/engine.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs
+
+crates/stdpar/src/lib.rs:
+crates/stdpar/src/audit.rs:
+crates/stdpar/src/engine.rs:
+crates/stdpar/src/exec.rs:
+crates/stdpar/src/site.rs:
+crates/stdpar/src/version.rs:

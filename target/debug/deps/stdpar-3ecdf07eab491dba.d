@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/stdpar-3ecdf07eab491dba.d: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs
+/root/repo/target/debug/deps/stdpar-3ecdf07eab491dba.d: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/engine.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs
 
-/root/repo/target/debug/deps/libstdpar-3ecdf07eab491dba.rlib: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs
+/root/repo/target/debug/deps/libstdpar-3ecdf07eab491dba.rlib: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/engine.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs
 
-/root/repo/target/debug/deps/libstdpar-3ecdf07eab491dba.rmeta: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs
+/root/repo/target/debug/deps/libstdpar-3ecdf07eab491dba.rmeta: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/engine.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs
 
 crates/stdpar/src/lib.rs:
 crates/stdpar/src/audit.rs:
+crates/stdpar/src/engine.rs:
 crates/stdpar/src/exec.rs:
 crates/stdpar/src/site.rs:
 crates/stdpar/src/version.rs:
