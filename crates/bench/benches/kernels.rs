@@ -58,7 +58,7 @@ fn bench_executor(c: &mut Criterion) {
     // Overhead of the stdpar execution layer per launched kernel.
     let mut spec = DeviceSpec::a100_40gb();
     spec.jitter_sigma = 0.0;
-    let mut par = Par::new(spec, CodeVersion::Ad, 0, 1);
+    let mut par = Par::builder(spec).version(CodeVersion::Ad).build();
     par.ctx.set_phase(gpusim::Phase::Compute);
     let g = grid();
     let mut f = Field::zeros("f", Stagger::CellCenter, &g);
@@ -68,7 +68,7 @@ fn bench_executor(c: &mut Criterion) {
     let blk = f.interior();
     static SITE: stdpar::Site = stdpar::Site::par3("bench_kernel");
     c.bench_function("par_loop3_24k_points", |b| {
-        let d = &mut f.data;
+        let d = f.data.par_view();
         b.iter(|| {
             par.loop3(&SITE, blk, Traffic::new(1, 1, 1), &[id], &[id], |i, j, k| {
                 let v = d.get(i, j, k);

@@ -80,7 +80,7 @@ fn ablate_memory_mode(c: &mut Criterion) {
         World::run(2, move |comm| {
             let mut spec = DeviceSpec::a100_40gb();
             spec.jitter_sigma = 0.0;
-            let mut par = Par::new(spec, version, comm.rank(), 1);
+            let mut par = Par::builder(spec).version(version).rank(comm.rank()).build();
             par.ctx.set_phase(gpusim::Phase::Compute);
             let mut a = Array3::zeros(32, 32, 8);
             let buf = par.ctx.mem.register(a.bytes(), "a");
@@ -112,7 +112,7 @@ fn ablate_array_reduction(c: &mut Criterion) {
     let cost = |version: CodeVersion| {
         let mut spec = DeviceSpec::a100_40gb();
         spec.jitter_sigma = 0.0;
-        let mut par = Par::new(spec, version, 0, 1);
+        let mut par = Par::builder(spec).version(version).build();
         par.ctx.set_phase(gpusim::Phase::Compute);
         let b = par.ctx.mem.register(8 * 4096, "x");
         let o = par.ctx.mem.register(8 * 64, "out");

@@ -125,6 +125,11 @@ pub struct Deck {
     /// run on the actual `grid` dims; only the virtual-platform timing
     /// extrapolates — see DESIGN.md §2.
     pub paper_cells: usize,
+    /// Host execution-engine width for the stdpar kernels (wall-clock
+    /// only — model results are thread-count independent). 0 = auto:
+    /// `MAS_HOST_THREADS` env if set, else the machine's available
+    /// parallelism.
+    pub host_threads: usize,
     /// Grid section.
     pub grid: GridCfg,
     /// Physics section.
@@ -142,6 +147,7 @@ impl Default for Deck {
         Self {
             problem: "coronal_background".into(),
             paper_cells: 0,
+            host_threads: 0,
             grid: GridCfg {
                 nr: 48,
                 nt: 40,
@@ -197,6 +203,7 @@ impl Deck {
         match (section, key) {
             ("run", "problem") => self.problem = v.as_str()?.to_string(),
             ("run", "paper_cells") => self.paper_cells = v.as_usize()?,
+            ("run", "host_threads") => self.host_threads = v.as_usize()?,
             ("grid", "nr") => self.grid.nr = v.as_usize()?,
             ("grid", "nt") => self.grid.nt = v.as_usize()?,
             ("grid", "np") => self.grid.np = v.as_usize()?,
@@ -235,7 +242,7 @@ impl Deck {
     pub fn to_deck_string(&self) -> String {
         let b = |x: bool| if x { ".true." } else { ".false." };
         format!(
-            "&run\n  problem = '{}'\n  paper_cells = {}\n/\n\
+            "&run\n  problem = '{}'\n  paper_cells = {}\n  host_threads = {}\n/\n\
              &grid\n  nr = {}\n  nt = {}\n  np = {}\n  rmax = {}\n/\n\
              &physics\n  gamma = {}\n  visc = {}\n  eta = {}\n  kappa0 = {}\n  \
              radiation = {}\n  heating = {}\n  gravity = {}\n  rho0 = {}\n  \
@@ -246,6 +253,7 @@ impl Deck {
              &output\n  hist_interval = {}\n/\n",
             self.problem,
             self.paper_cells,
+            self.host_threads,
             self.grid.nr,
             self.grid.nt,
             self.grid.np,
@@ -275,6 +283,7 @@ impl Deck {
 
     /// Tiny problem for doc examples and smoke tests (runs in well under a
     /// second).
+    #[allow(clippy::field_reassign_with_default)]
     pub fn preset_quickstart() -> Self {
         let mut d = Deck::default();
         d.problem = "quickstart".into();
@@ -294,6 +303,7 @@ impl Deck {
     /// ~300k cells so the whole 6-version × 4-GPU-count sweep runs on a
     /// laptop; the benchmark harness extrapolates model timings to the
     /// paper scale from the kernel census.
+    #[allow(clippy::field_reassign_with_default)]
     pub fn preset_coronal_background() -> Self {
         let mut d = Deck::default();
         d.problem = "coronal_background".into();

@@ -110,10 +110,14 @@ fn parse_value(raw: &str) -> Result<Value, ParseError> {
     Err(ParseError::new(format!("cannot parse value '{s}'")))
 }
 
+/// One parsed deck section: its name plus the `(key, value)` entries in
+/// file order.
+pub type Section = (String, Vec<(String, Value)>);
+
 /// Parse a deck into `(section, [(key, value)])` groups, in order.
-pub fn parse_sections(text: &str) -> Result<Vec<(String, Vec<(String, Value)>)>, ParseError> {
-    let mut out: Vec<(String, Vec<(String, Value)>)> = Vec::new();
-    let mut current: Option<(String, Vec<(String, Value)>)> = None;
+pub fn parse_sections(text: &str) -> Result<Vec<Section>, ParseError> {
+    let mut out: Vec<Section> = Vec::new();
+    let mut current: Option<Section> = None;
     for (lineno, raw) in text.lines().enumerate() {
         let line = match raw.find('!') {
             Some(p) => &raw[..p],

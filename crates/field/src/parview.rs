@@ -63,6 +63,24 @@ impl<'a> ParView3<'a> {
         i + self.s1 * (j + self.s2 * k)
     }
 
+    /// Storage extent along `i` (fastest axis), ghosts included.
+    #[inline(always)]
+    pub fn s1(&self) -> usize {
+        self.s1
+    }
+
+    /// Storage extent along `j`, ghosts included.
+    #[inline(always)]
+    pub fn s2(&self) -> usize {
+        self.s2
+    }
+
+    /// Storage extent along `k` (slowest axis), ghosts included.
+    #[inline(always)]
+    pub fn s3(&self) -> usize {
+        self.s3
+    }
+
     /// Read element `(i, j, k)`.
     ///
     /// Under the iteration-independence contract this must not target an
@@ -130,7 +148,6 @@ mod tests {
             let v = a.par_view();
             std::thread::scope(|s| {
                 for k in 0..s3 {
-                    let v = v; // Copy
                     s.spawn(move || {
                         for j in 0..4 {
                             for i in 0..4 {

@@ -134,13 +134,9 @@ impl Mesh1d {
         }
         assert_eq!(interior.len(), n + 1);
         // Ghost faces mirror the first/last interior widths.
-        for _ in 0..ng {
-            faces.push(0.0); // placeholders, fixed below
-        }
+        faces.extend(std::iter::repeat_n(0.0, ng)); // placeholders, fixed below
         faces.extend_from_slice(&interior);
-        for _ in 0..ng {
-            faces.push(0.0);
-        }
+        faces.extend(std::iter::repeat_n(0.0, ng));
         for g in 0..ng {
             let w = interior[g + 1] - interior[g];
             faces[ng - 1 - g] = faces[ng - g] - w;

@@ -14,38 +14,32 @@ use stdpar::Par;
 /// Fill the r/θ ghost layers of a cell-centered field with zero-gradient
 /// (Neumann) values — used for solver stage variables.
 pub fn neumann_ghosts_rt(par: &mut Par, _grid: &SphericalGrid, f: &mut Field) {
-    // Plane kernels are charged at the surface scale.
-    let prev_scale = par.set_point_scale(par.area_scale());
     let g = NGHOST;
     let (s1, s2, s3) = (f.data.s1, f.data.s2, f.data.s3);
     let buf = [f.buf()];
-    // r ghosts (two j-k planes).
-    {
+    let d = f.data.par_view();
+    // Plane kernels are charged at the surface scale.
+    par.with_area_scale(|par| {
+        // r ghosts (two j-k planes).
         let space = IndexSpace3 { i0: 0, i1: 1, j0: 0, j1: s2, k0: 0, k1: s3 };
-        let d = &mut f.data;
         par.loop3(&sites::BC_INNER, space, Traffic::new(1, 1, 0), &buf, &buf, |_, j, k| {
             let v = d.get(g, j, k);
             d.set(g - 1, j, k, v);
         });
         let space = IndexSpace3 { i0: 0, i1: 1, j0: 0, j1: s2, k0: 0, k1: s3 };
-        let d = &mut f.data;
         par.loop3(&sites::BC_OUTER, space, Traffic::new(1, 1, 0), &buf, &buf, |_, j, k| {
             let v = d.get(s1 - 2, j, k);
             d.set(s1 - 1, j, k, v);
         });
-    }
-    // θ ghosts.
-    {
+        // θ ghosts.
         let space = IndexSpace3 { i0: 0, i1: s1, j0: 0, j1: 1, k0: 0, k1: s3 };
-        let d = &mut f.data;
         par.loop3(&sites::BC_THETA, space, Traffic::new(2, 2, 0), &buf, &buf, |i, _, k| {
             let lo = d.get(i, g, k);
             d.set(i, g - 1, k, lo);
             let hi = d.get(i, s2 - 2, k);
             d.set(i, s2 - 1, k, hi);
         });
-    }
-    par.set_point_scale(prev_scale);
+    });
 }
 
 /// Apply all physical boundary conditions to the state:
@@ -59,7 +53,10 @@ pub fn neumann_ghosts_rt(par: &mut Par, _grid: &SphericalGrid, f: &mut Field) {
 ///   the axis faces.
 pub fn apply_physical(par: &mut Par, grid: &SphericalGrid, st: &mut State, phys: &PhysicsCfg, time: f64) {
     // All boundary kernels are plane-sized: charge at the surface scale.
-    let prev_scale = par.set_point_scale(par.area_scale());
+    par.with_area_scale(|par| apply_physical_inner(par, grid, st, phys, time));
+}
+
+fn apply_physical_inner(par: &mut Par, grid: &SphericalGrid, st: &mut State, phys: &PhysicsCfg, time: f64) {
     let g = NGHOST;
     let (rho0, t0, b0) = (phys.rho0, phys.t0, phys.b0);
     let perturb = phys.perturb;
@@ -71,7 +68,7 @@ pub fn apply_physical(par: &mut Par, grid: &SphericalGrid, st: &mut State, phys:
         let space = IndexSpace3 { i0: 0, i1: 1, j0: 0, j1: s2, k0: 0, k1: s3 };
         let reads = [st.rho.buf(), st.temp.buf()];
         let writes = [st.rho.buf(), st.temp.buf()];
-        let (rd, td) = (&mut st.rho.data, &mut st.temp.data);
+        let (rd, td) = (st.rho.data.par_view(), st.temp.data.par_view());
         par.loop3(&sites::BC_INNER, space, Traffic::new(2, 2, 2), &reads, &writes, |_, j, k| {
             rd.set(g - 1, j, k, rho0);
             td.set(g - 1, j, k, t0);
@@ -84,7 +81,11 @@ pub fn apply_physical(par: &mut Par, grid: &SphericalGrid, st: &mut State, phys:
         let reads = [st.v.r.buf(), st.v.t.buf(), st.v.p.buf()];
         let writes = reads;
         let theta_c: Vec<f64> = grid.t.centers.clone();
-        let (vr, vt, vp) = (&mut st.v.r.data, &mut st.v.t.data, &mut st.v.p.data);
+        let (vr, vt, vp) = (
+            st.v.r.data.par_view(),
+            st.v.t.data.par_view(),
+            st.v.p.data.par_view(),
+        );
         let ramp = (time / 0.05).min(1.0); // smooth spin-up of the driver
         par.loop3(&sites::BC_INNER, space_v, Traffic::new(3, 3, 6), &reads, &writes, |_, j, k| {
             vr.set(g, j, k, 0.0);
@@ -112,7 +113,11 @@ pub fn apply_physical(par: &mut Par, grid: &SphericalGrid, st: &mut State, phys:
         // are filled here (zero-gradient).
         let reads = [st.b.r.buf(), st.b.t.buf(), st.b.p.buf()];
         let writes = reads;
-        let (br, bt, bp) = (&mut st.b.r.data, &mut st.b.t.data, &mut st.b.p.data);
+        let (br, bt, bp) = (
+            st.b.r.data.par_view(),
+            st.b.t.data.par_view(),
+            st.b.p.data.par_view(),
+        );
         par.loop3(&sites::BC_INNER, space, Traffic::new(3, 3, 0), &reads, &writes, |_, j, k| {
             let r_in = br.get(g, j, k);
             br.set(g - 1, j, k, r_in);
@@ -136,9 +141,17 @@ pub fn apply_physical(par: &mut Par, grid: &SphericalGrid, st: &mut State, phys:
             st.b.r.buf(), st.b.t.buf(), st.b.p.buf(),
         ];
         let writes = reads;
-        let (rd, td) = (&mut st.rho.data, &mut st.temp.data);
-        let (vr, vt, vp) = (&mut st.v.r.data, &mut st.v.t.data, &mut st.v.p.data);
-        let (br, bt, bp) = (&mut st.b.r.data, &mut st.b.t.data, &mut st.b.p.data);
+        let (rd, td) = (st.rho.data.par_view(), st.temp.data.par_view());
+        let (vr, vt, vp) = (
+            st.v.r.data.par_view(),
+            st.v.t.data.par_view(),
+            st.v.p.data.par_view(),
+        );
+        let (br, bt, bp) = (
+            st.b.r.data.par_view(),
+            st.b.t.data.par_view(),
+            st.b.p.data.par_view(),
+        );
         par.loop3(&sites::BC_OUTER, space, Traffic::new(8, 8, 6), &reads, &writes, |_, j, k| {
             let v = rd.get(s1c - 2, j, k);
             rd.set(s1c - 1, j, k, v);
@@ -172,16 +185,24 @@ pub fn apply_physical(par: &mut Par, grid: &SphericalGrid, st: &mut State, phys:
             st.b.r.buf(), st.b.t.buf(), st.b.p.buf(),
         ];
         let writes = reads;
-        let (rd, td) = (&mut st.rho.data, &mut st.temp.data);
-        let (vr, vt, vp) = (&mut st.v.r.data, &mut st.v.t.data, &mut st.v.p.data);
-        let (br, bt, bp) = (&mut st.b.r.data, &mut st.b.t.data, &mut st.b.p.data);
+        let (rd, td) = (st.rho.data.par_view(), st.temp.data.par_view());
+        let (vr, vt, vp) = (
+            st.v.r.data.par_view(),
+            st.v.t.data.par_view(),
+            st.v.p.data.par_view(),
+        );
+        let (br, bt, bp) = (
+            st.b.r.data.par_view(),
+            st.b.t.data.par_view(),
+            st.b.p.data.par_view(),
+        );
         let pin_axis = grid.has_poles;
         par.loop3(&sites::BC_THETA, space, Traffic::new(12, 14, 0), &reads, &writes, |i, _, k| {
             for (d, s2x) in [
-                (&mut *rd, s2c), (&mut *td, s2c), (&mut *vr, s2c), (&mut *vp, s2c),
-                (&mut *br, s2c), (&mut *bp, s2c),
+                (rd, s2c), (td, s2c), (vr, s2c), (vp, s2c),
+                (br, s2c), (bp, s2c),
             ] {
-                if i < d.s1 && k < d.s3 {
+                if i < d.s1() && k < d.s3() {
                     let lo = d.get(i, NGHOST, k);
                     d.set(i, NGHOST - 1, k, lo);
                     let hi = d.get(i, s2x - 2, k);
@@ -189,8 +210,8 @@ pub fn apply_physical(par: &mut Par, grid: &SphericalGrid, st: &mut State, phys:
                 }
             }
             // θ-face vectors: zero through the axis, reflective ghosts.
-            for d in [&mut *vt, &mut *bt] {
-                if i < d.s1 && k < d.s3 {
+            for d in [vt, bt] {
+                if i < d.s1() && k < d.s3() {
                     if pin_axis {
                         d.set(i, NGHOST, k, 0.0);
                         d.set(i, s2f - 1 - NGHOST, k, 0.0);
@@ -203,7 +224,6 @@ pub fn apply_physical(par: &mut Par, grid: &SphericalGrid, st: &mut State, phys:
             }
         });
     }
-    par.set_point_scale(prev_scale);
 }
 
 /// Polar-axis regularization: replace the cell values on the two polar
@@ -214,7 +234,10 @@ pub fn polar_regularization(par: &mut Par, comm: &Comm, grid: &SphericalGrid, st
     if !grid.has_poles {
         return;
     }
-    let prev_scale = par.set_point_scale(par.area_scale());
+    par.with_area_scale(|par| polar_regularization_inner(par, comm, grid, st));
+}
+
+fn polar_regularization_inner(par: &mut Par, comm: &Comm, grid: &SphericalGrid, st: &mut State) {
     let g = NGHOST;
     let np_global = grid.np_global as f64;
     let nr = grid.nr;
@@ -286,7 +309,11 @@ pub fn polar_regularization(par: &mut Par, comm: &Comm, grid: &SphericalGrid, st
             };
             let reads = [st.rho.buf(), st.temp.buf(), st.v.p.buf()];
             let writes = reads;
-            let (rd, td, vp) = (&mut st.rho.data, &mut st.temp.data, &mut st.v.p.data);
+            let (rd, td, vp) = (
+                st.rho.data.par_view(),
+                st.temp.data.par_view(),
+                st.v.p.data.par_view(),
+            );
             let sums = &sums;
             par.loop3(&sites::POLAR_SCATTER, space, Traffic::new(1, 3, 0), &reads, &writes, |i, j, k| {
                 rd.set(i, j, k, sums[i - g]);
@@ -295,7 +322,6 @@ pub fn polar_regularization(par: &mut Par, comm: &Comm, grid: &SphericalGrid, st
             });
         }
     }
-    par.set_point_scale(prev_scale);
 }
 
 #[cfg(test)]
@@ -308,7 +334,7 @@ mod tests {
 
     fn setup() -> (SphericalGrid, Par, State) {
         let g = SphericalGrid::coronal(10, 8, 6, 8.0);
-        let mut par = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, 0, 1);
+        let mut par = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::Ad).build();
         par.ctx.set_phase(gpusim::Phase::Compute);
         let mut st = State::new(&g);
         st.register(&mut par, &g, 1.0, 1.0);
@@ -364,7 +390,7 @@ mod tests {
             let g_global = SphericalGrid::coronal(6, 6, 8, 6.0);
             let (k0, len) = SphericalGrid::phi_partition(8, 2, comm.rank());
             let g = g_global.subgrid_phi(k0, len);
-            let mut par = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, comm.rank(), 1);
+            let mut par = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::Ad).rank(comm.rank()).build();
             par.ctx.set_phase(gpusim::Phase::Compute);
             let mut st = State::new(&g);
             // Ring (j = NGHOST) values = global φ index.

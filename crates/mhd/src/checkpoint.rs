@@ -19,8 +19,9 @@ const FIELDS: [&str; 8] = ["rho", "temp", "v_r", "v_t", "v_p", "b_r", "b_t", "b_
 pub fn save(sim: &mut Simulation, path: impl AsRef<Path>) -> io::Result<()> {
     // Bring the fields back to the host (model accounting).
     let bufs = sim.state.state_buf_ids();
+    let site = sim.par.site_id("checkpoint_save");
     for &b in &bufs {
-        sim.par.update_host("checkpoint_save", b);
+        sim.par.update_host(site, b);
         sim.par.host_access(b, false);
     }
     let st = &sim.state;
@@ -62,9 +63,10 @@ pub fn load(sim: &mut Simulation, path: impl AsRef<Path>) -> io::Result<DumpHead
     };
     // Host wrote the arrays; push them back to the device (model).
     let bufs = sim.state.state_buf_ids();
+    let site = sim.par.site_id("checkpoint_load");
     for &b in &bufs {
         sim.par.host_access(b, true);
-        sim.par.update_device("checkpoint_load", b);
+        sim.par.update_device(site, b);
     }
     sim.step = header.step as usize;
     sim.time = header.time;

@@ -206,7 +206,7 @@ mod tests {
     fn uniform_state_diagnostics() {
         World::run(1, |comm| {
             let g = SphericalGrid::coronal(8, 8, 8, 4.0);
-            let mut par = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, 0, 1);
+            let mut par = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::Ad).build();
             par.ctx.set_phase(gpusim::Phase::Compute);
             let mut st = State::new(&g);
             st.rho.data.fill(2.0);
@@ -231,7 +231,7 @@ mod tests {
             let global = SphericalGrid::coronal(10, 8, 8, 6.0);
             let (k0, len) = SphericalGrid::phi_partition(8, 2, comm.rank());
             let g = global.subgrid_phi(k0, len);
-            let mut par = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, comm.rank(), 1);
+            let mut par = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::Ad).rank(comm.rank()).build();
             par.ctx.set_phase(gpusim::Phase::Compute);
             let mut st = State::new(&g);
             st.temp.init_with(&g, |r, _, _| 2.0 / r);
@@ -268,7 +268,7 @@ mod tests {
             let global = SphericalGrid::coronal(8, 8, 8, 4.0);
             let (k0, len) = SphericalGrid::phi_partition(8, nranks, comm.rank());
             let g = global.subgrid_phi(k0, len);
-            let mut par = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, comm.rank(), 1);
+            let mut par = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::Ad).rank(comm.rank()).build();
             par.ctx.set_phase(gpusim::Phase::Compute);
             let mut st = State::new(&g);
             st.rho.data.fill(1.0);

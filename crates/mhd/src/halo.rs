@@ -105,11 +105,27 @@ impl HaloExchanger {
         field_bufs: &[BufferId],
     ) {
         // OpenACC versions flush async queues before MPI.
-        par.wait_point("pre_halo_wait");
+        let wp = par.site_id("pre_halo_wait");
+        par.wait_point(wp);
 
         let prev = par.ctx.set_phase(Phase::Mpi);
-        // Pack/unpack kernels and wire costs use the surface scale.
-        let prev_scale = par.set_point_scale(self.cost_scale);
+        // Pack/unpack kernels and wire costs use the surface scale —
+        // scoped so the halo's plane scale cannot leak into the next
+        // bulk kernel.
+        let scales = stdpar::CostScales::new(self.cost_scale, self.cost_scale);
+        par.with_scales(scales, |par| self.exchange_inner(par, comm, arrays, field_bufs));
+        par.ctx.set_phase(prev);
+    }
+
+    /// Body of [`HaloExchanger::exchange`], run under the halo's scoped
+    /// cost scales.
+    fn exchange_inner(
+        &mut self,
+        par: &mut Par,
+        comm: &Comm,
+        arrays: &mut [&mut Array3],
+        field_bufs: &[BufferId],
+    ) {
         let plane_vals = self.halo.total_len();
 
         // Host-side fixed cost of the MPI calls themselves.
@@ -188,9 +204,6 @@ impl HaloExchanger {
             self.halo.unpack(arrays);
             par.loop3(&sites::HALO_UNPACK, space, Traffic::new(1, 1, 0), &ro, &wr, |_, _, _| {});
         }
-
-        par.set_point_scale(prev_scale);
-        par.ctx.set_phase(prev);
     }
 }
 
@@ -205,7 +218,7 @@ mod tests {
     fn par(v: CodeVersion, rank: usize) -> Par {
         let mut spec = DeviceSpec::a100_40gb();
         spec.jitter_sigma = 0.0;
-        let mut p = Par::new(spec, v, rank, 3);
+        let mut p = Par::builder(spec).version(v).rank(rank).seed(3).build();
         p.ctx.set_phase(gpusim::Phase::Compute);
         p
     }

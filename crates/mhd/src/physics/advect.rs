@@ -21,7 +21,8 @@ pub fn mass_fluxes(par: &mut Par, grid: &SphericalGrid, flux: &mut VecField, rho
         let space = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
         let reads = [rho.buf(), v.r.buf()];
         let writes = [flux.r.buf()];
-        let (fr, rd, vr) = (&mut flux.r.data, &rho.data, &v.r.data);
+        let fr = flux.r.data.par_view();
+        let (rd, vr) = (&rho.data, &v.r.data);
         par.loop3(&sites::MASS_FLUX_R, space, Traffic::new(3, 1, 3), &reads, &writes, |i, j, k| {
             let vel = vr.get(i, j, k);
             fr.set(i, j, k, vel * upwind(vel, rd.get(i - 1, j, k), rd.get(i, j, k)));
@@ -30,7 +31,8 @@ pub fn mass_fluxes(par: &mut Par, grid: &SphericalGrid, flux: &mut VecField, rho
         let space = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, 1, 0));
         let reads = [rho.buf(), v.t.buf()];
         let writes = [flux.t.buf()];
-        let (ft, rd, vt) = (&mut flux.t.data, &rho.data, &v.t.data);
+        let ft = flux.t.data.par_view();
+        let (rd, vt) = (&rho.data, &v.t.data);
         par.loop3(&sites::MASS_FLUX_T, space, Traffic::new(3, 1, 3), &reads, &writes, |i, j, k| {
             let vel = vt.get(i, j, k);
             ft.set(i, j, k, vel * upwind(vel, rd.get(i, j - 1, k), rd.get(i, j, k)));
@@ -40,7 +42,8 @@ pub fn mass_fluxes(par: &mut Par, grid: &SphericalGrid, flux: &mut VecField, rho
         let space = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
         let reads = [rho.buf(), v.p.buf()];
         let writes = [flux.p.buf()];
-        let (fp, rd, vp) = (&mut flux.p.data, &rho.data, &v.p.data);
+        let fp = flux.p.data.par_view();
+        let (rd, vp) = (&rho.data, &v.p.data);
         par.loop3(&sites::MASS_FLUX_P, space, Traffic::new(3, 1, 3), &reads, &writes, |i, j, k| {
             let vel = vp.get(i, j, k);
             fp.set(i, j, k, vel * upwind(vel, rd.get(i, j, k - 1), rd.get(i, j, k)));
@@ -53,7 +56,8 @@ pub fn continuity(par: &mut Par, grid: &SphericalGrid, geom: &DivGeom, rho: &mut
     let space = IndexSpace3::interior(Stagger::CellCenter, grid.nr, grid.nt, grid.np);
     let reads = [flux.r.buf(), flux.t.buf(), flux.p.buf(), rho.buf()];
     let writes = [rho.buf()];
-    let (rd, fr, ft, fp) = (&mut rho.data, &flux.r.data, &flux.t.data, &flux.p.data);
+    let rd = rho.data.par_view();
+    let (fr, ft, fp) = (&flux.r.data, &flux.t.data, &flux.p.data);
     par.loop3(&sites::DIV_MASS_FLUX, space, Traffic::new(7, 1, 14), &reads, &writes, |i, j, k| {
         let d = geom.div(fr, ft, fp, i, j, k);
         rd.add(i, j, k, -dt * d);
@@ -74,7 +78,10 @@ pub fn advect_temperature(
     let space = IndexSpace3::interior(Stagger::CellCenter, grid.nr, grid.nt, grid.np);
     let reads = [temp.buf(), v.r.buf(), v.t.buf(), v.p.buf()];
     let writes = [temp.buf()];
-    let td = &mut temp.data;
+    // `td` is both read (at k ± 1) and written: sites::TEMP_ADVECT is
+    // declared `serial()`, so the engine runs the k-planes in order on one
+    // thread and the view's get/set stay well-defined.
+    let td = temp.data.par_view();
     let (vr, vt, vp) = (&v.r.data, &v.t.data, &v.p.data);
     let (rc_inv, st_c_inv) = (&grid.rc_inv, &grid.st_c_inv);
     let (dfr, dft, dfp) = (&grid.r.df, &grid.t.df, &grid.p.df);
@@ -118,7 +125,7 @@ mod tests {
 
     fn setup() -> (SphericalGrid, Par) {
         let g = SphericalGrid::coronal(12, 10, 8, 8.0);
-        let mut p = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, 0, 1);
+        let mut p = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::Ad).build();
         p.ctx.set_phase(gpusim::Phase::Compute);
         (g, p)
     }

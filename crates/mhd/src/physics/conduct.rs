@@ -35,7 +35,8 @@ pub fn kappa_faces(par: &mut Par, grid: &SphericalGrid, kface: &mut VecField, te
         let space = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
         let reads = [temp.buf()];
         let writes = [kface.r.buf()];
-        let (o, td) = (&mut kface.r.data, &temp.data);
+        let o = kface.r.data.par_view();
+        let td = &temp.data;
         par.loop3(&sites::KAPPA_FACE, space, Traffic::new(2, 1, 6), &reads, &writes, |i, j, k| {
             let tf = s2c(td.get(i - 1, j, k), td.get(i, j, k)).max(0.0);
             o.set(i, j, k, kappa0 * tf * tf * tf.sqrt());
@@ -43,7 +44,8 @@ pub fn kappa_faces(par: &mut Par, grid: &SphericalGrid, kface: &mut VecField, te
         let space = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, 1, 0));
         let reads = [temp.buf()];
         let writes = [kface.t.buf()];
-        let (o, td) = (&mut kface.t.data, &temp.data);
+        let o = kface.t.data.par_view();
+        let td = &temp.data;
         par.loop3(&sites::KAPPA_FACE, space, Traffic::new(2, 1, 6), &reads, &writes, |i, j, k| {
             let tf = s2c(td.get(i, j - 1, k), td.get(i, j, k)).max(0.0);
             o.set(i, j, k, kappa0 * tf * tf * tf.sqrt());
@@ -51,7 +53,8 @@ pub fn kappa_faces(par: &mut Par, grid: &SphericalGrid, kface: &mut VecField, te
         let space = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
         let reads = [temp.buf()];
         let writes = [kface.p.buf()];
-        let (o, td) = (&mut kface.p.data, &temp.data);
+        let o = kface.p.data.par_view();
+        let td = &temp.data;
         par.loop3(&sites::KAPPA_FACE, space, Traffic::new(2, 1, 6), &reads, &writes, |i, j, k| {
             let tf = s2c(td.get(i, j, k - 1), td.get(i, j, k)).max(0.0);
             o.set(i, j, k, kappa0 * tf * tf * tf.sqrt());
@@ -75,8 +78,9 @@ pub fn conduction_op(
     let space = IndexSpace3::interior(Stagger::CellCenter, grid.nr, grid.nt, grid.np);
     let reads = [y.buf(), kface.r.buf(), kface.t.buf(), kface.p.buf(), rho.buf()];
     let writes = [out.buf()];
-    let (od, yd, kr, kt, kp, rd) = (
-        &mut out.data, &y.data, &kface.r.data, &kface.t.data, &kface.p.data, &rho.data,
+    let od = out.data.par_view();
+    let (yd, kr, kt, kp, rd) = (
+        &y.data, &kface.r.data, &kface.t.data, &kface.p.data, &rho.data,
     );
     let (rf2, rc_inv, st_f, st_c_inv) = (&grid.rf2, &grid.rc_inv, &grid.st_f, &grid.st_c_inv);
     let (dfr_inv, dft_inv, dfp_inv) = (&grid.r.df_inv, &grid.t.df_inv, &grid.p.df_inv);
@@ -149,8 +153,9 @@ pub fn aligned_flux(
         let space = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
         let reads = [temp.buf(), kface.r.buf(), b.r.buf(), b.t.buf(), b.p.buf()];
         let writes = [flux_out.r.buf()];
-        let (o, td, kr, br, bt, bp) = (
-            &mut flux_out.r.data, &temp.data, &kface.r.data, &b.r.data, &b.t.data, &b.p.data,
+        let o = flux_out.r.data.par_view();
+        let (td, kr, br, bt, bp) = (
+            &temp.data, &kface.r.data, &b.r.data, &b.t.data, &b.p.data,
         );
         par.loop3(&sites::CONDUCT_FLUX_R, space, Traffic::new(14, 1, 40), &reads, &writes, |i, j, k| {
             let b_r = br.get(i, j, k);
@@ -176,8 +181,9 @@ pub fn aligned_flux(
         let space = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, 1, 0));
         let reads = [temp.buf(), kface.t.buf(), b.r.buf(), b.t.buf(), b.p.buf()];
         let writes = [flux_out.t.buf()];
-        let (o, td, kt, br, bt, bp) = (
-            &mut flux_out.t.data, &temp.data, &kface.t.data, &b.r.data, &b.t.data, &b.p.data,
+        let o = flux_out.t.data.par_view();
+        let (td, kt, br, bt, bp) = (
+            &temp.data, &kface.t.data, &b.r.data, &b.t.data, &b.p.data,
         );
         par.loop3(&sites::CONDUCT_FLUX_T, space, Traffic::new(14, 1, 40), &reads, &writes, |i, j, k| {
             let b_t = bt.get(i, j, k);
@@ -201,8 +207,9 @@ pub fn aligned_flux(
         let space = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
         let reads = [temp.buf(), kface.p.buf(), b.r.buf(), b.t.buf(), b.p.buf()];
         let writes = [flux_out.p.buf()];
-        let (o, td, kp, br, bt, bp) = (
-            &mut flux_out.p.data, &temp.data, &kface.p.data, &b.r.data, &b.t.data, &b.p.data,
+        let o = flux_out.p.data.par_view();
+        let (td, kp, br, bt, bp) = (
+            &temp.data, &kface.p.data, &b.r.data, &b.t.data, &b.p.data,
         );
         par.loop3(&sites::CONDUCT_FLUX_P, space, Traffic::new(14, 1, 40), &reads, &writes, |i, j, k| {
             let b_p = bp.get(i, j, k);
@@ -237,8 +244,9 @@ pub fn conduction_div(
     let space = IndexSpace3::interior(Stagger::CellCenter, grid.nr, grid.nt, grid.np);
     let reads = [flux.r.buf(), flux.t.buf(), flux.p.buf(), rho.buf()];
     let writes = [out.buf()];
-    let (od, fr, ft, fp, rd) = (
-        &mut out.data, &flux.r.data, &flux.t.data, &flux.p.data, &rho.data,
+    let od = out.data.par_view();
+    let (fr, ft, fp, rd) = (
+        &flux.r.data, &flux.t.data, &flux.p.data, &rho.data,
     );
     let (rf2, st_f) = (&grid.rf2, &grid.st_f);
     let nrc = grid.rc.len();
@@ -312,6 +320,7 @@ pub fn conduction_dt_explicit(
 /// Radiative losses and coronal heating:
 /// `T ← T + Δt (γ−1)/ρ [ H₀ e^{−(r−1)/λ} − ρ² Λ(T) ]` (the `radloss` /
 /// `boost` routine site), followed by nothing — floors are separate.
+#[allow(clippy::too_many_arguments)]
 pub fn radiate_and_heat(
     par: &mut Par,
     grid: &SphericalGrid,
@@ -328,7 +337,8 @@ pub fn radiate_and_heat(
     let space = IndexSpace3::interior(Stagger::CellCenter, grid.nr, grid.nt, grid.np);
     let reads = [temp.buf(), rho.buf()];
     let writes = [temp.buf()];
-    let (td, rd) = (&mut temp.data, &rho.data);
+    let td = temp.data.par_view();
+    let rd = &rho.data;
     let rc = &grid.rc;
     let st_c = &grid.st_c;
     let gm1 = gamma - 1.0;
@@ -357,7 +367,7 @@ pub fn floors(par: &mut Par, grid: &SphericalGrid, temp: &mut Field, rho: &mut F
     let space = IndexSpace3::interior(Stagger::CellCenter, grid.nr, grid.nt, grid.np);
     let reads = [temp.buf(), rho.buf()];
     let writes = [temp.buf(), rho.buf()];
-    let (td, rd) = (&mut temp.data, &mut rho.data);
+    let (td, rd) = (temp.data.par_view(), rho.data.par_view());
     par.loop3(&sites::FLOORS, space, Traffic::new(2, 2, 2), &reads, &writes, |i, j, k| {
         if td.get(i, j, k) < TEMP_FLOOR {
             td.set(i, j, k, TEMP_FLOOR);
@@ -414,7 +424,10 @@ mod tests {
 
     fn setup() -> (SphericalGrid, Par) {
         let g = SphericalGrid::coronal(12, 10, 8, 8.0);
-        let mut p = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, 0, 7);
+        let mut p = Par::builder(DeviceSpec::a100_40gb())
+            .version(CodeVersion::Ad)
+            .seed(7)
+            .build();
         p.ctx.set_phase(gpusim::Phase::Compute);
         (g, p)
     }

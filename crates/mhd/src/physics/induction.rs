@@ -28,8 +28,9 @@ pub fn emf(
         let space = IndexSpace3::interior_trimmed(Stagger::EdgeR, nr, nt, np, (0, 1, 0));
         let reads = [v.t.buf(), v.p.buf(), b.t.buf(), b.p.buf(), j.r.buf()];
         let writes = [e_out.r.buf()];
-        let (er, vt, vp, bt, bp, jr) = (
-            &mut e_out.r.data, &v.t.data, &v.p.data, &b.t.data, &b.p.data, &j.r.data,
+        let er = e_out.r.data.par_view();
+        let (vt, vp, bt, bp, jr) = (
+            &v.t.data, &v.p.data, &b.t.data, &b.p.data, &j.r.data,
         );
         par.loop3(&sites::EMF_R, space, Traffic::new(9, 1, 16), &reads, &writes, |i, jx, k| {
             let vt_e = avg2(vt.get(i, jx, k - 1), vt.get(i, jx, k));
@@ -44,8 +45,9 @@ pub fn emf(
         let space = IndexSpace3::interior_trimmed(Stagger::EdgeT, nr, nt, np, (1, 0, 0));
         let reads = [v.p.buf(), v.r.buf(), b.r.buf(), b.p.buf(), j.t.buf()];
         let writes = [e_out.t.buf()];
-        let (et, vp, vr, br, bp, jt) = (
-            &mut e_out.t.data, &v.p.data, &v.r.data, &b.r.data, &b.p.data, &j.t.data,
+        let et = e_out.t.data.par_view();
+        let (vp, vr, br, bp, jt) = (
+            &v.p.data, &v.r.data, &b.r.data, &b.p.data, &j.t.data,
         );
         par.loop3(&sites::EMF_T, space, Traffic::new(9, 1, 16), &reads, &writes, |i, jx, k| {
             let vp_e = avg2(vp.get(i - 1, jx, k), vp.get(i, jx, k));
@@ -60,8 +62,9 @@ pub fn emf(
         let space = IndexSpace3::interior_trimmed(Stagger::EdgeP, nr, nt, np, (1, 1, 0));
         let reads = [v.r.buf(), v.t.buf(), b.r.buf(), b.t.buf(), j.p.buf()];
         let writes = [e_out.p.buf()];
-        let (ep, vr, vt, br, bt, jp) = (
-            &mut e_out.p.data, &v.r.data, &v.t.data, &b.r.data, &b.t.data, &j.p.data,
+        let ep = e_out.p.data.par_view();
+        let (vr, vt, br, bt, jp) = (
+            &v.r.data, &v.t.data, &b.r.data, &b.t.data, &j.p.data,
         );
         par.loop3(&sites::EMF_P, space, Traffic::new(9, 1, 16), &reads, &writes, |i, jx, k| {
             let vr_e = avg2(vr.get(i, jx - 1, k), vr.get(i, jx, k));
@@ -82,19 +85,21 @@ pub fn ct_update(par: &mut Par, grid: &SphericalGrid, ct: &CtGeom, b: &mut VecFi
         let space = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
         let reads = [e.t.buf(), e.p.buf(), b.r.buf()];
         let writes = [b.r.buf()];
-        let (br, et, ep) = (&mut b.r.data, &e.t.data, &e.p.data);
+        let br = b.r.data.par_view();
+        let (et, ep) = (&e.t.data, &e.p.data);
         par.loop3(&sites::CT_BR, space, Traffic::new(6, 1, 14), &reads, &writes, |i, j, k| {
             let a = ct.area_r(i, j, k);
             br.add(i, j, k, -dt * ct.circ_r(et, ep, i, j, k) / a);
         });
 
         // θ-faces: skip polar faces (zero area) — trim one face at each
-        // θ end when the grid includes the poles.
-        let trim_t = if grid.has_poles { 1 } else { 1 };
+        // θ end (the local slab always carries the polar faces).
+        let trim_t = 1;
         let space = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, trim_t, 0));
         let reads = [e.r.buf(), e.p.buf(), b.t.buf()];
         let writes = [b.t.buf()];
-        let (bt, er, ep) = (&mut b.t.data, &e.r.data, &e.p.data);
+        let bt = b.t.data.par_view();
+        let (er, ep) = (&e.r.data, &e.p.data);
         par.loop3(&sites::CT_BT, space, Traffic::new(6, 1, 14), &reads, &writes, |i, j, k| {
             let a = ct.area_t(i, j, k);
             if a > 0.0 {
@@ -105,7 +110,8 @@ pub fn ct_update(par: &mut Par, grid: &SphericalGrid, ct: &CtGeom, b: &mut VecFi
         let space = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
         let reads = [e.r.buf(), e.t.buf(), b.p.buf()];
         let writes = [b.p.buf()];
-        let (bp, er, et) = (&mut b.p.data, &e.r.data, &e.t.data);
+        let bp = b.p.data.par_view();
+        let (er, et) = (&e.r.data, &e.t.data);
         par.loop3(&sites::CT_BP, space, Traffic::new(6, 1, 14), &reads, &writes, |i, j, k| {
             let a = ct.area_p(i, j);
             bp.add(i, j, k, -dt * ct.circ_p(er, et, i, j, k) / a);
@@ -128,7 +134,7 @@ mod tests {
     }
 
     fn par() -> Par {
-        let mut p = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, 0, 1);
+        let mut p = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::Ad).build();
         p.ctx.set_phase(gpusim::Phase::Compute);
         p
     }

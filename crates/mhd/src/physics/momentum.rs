@@ -21,7 +21,8 @@ pub fn pressure(par: &mut Par, grid: &SphericalGrid, pres: &mut Field, rho: &Fie
     space.k1 += 1;
     let reads = [rho.buf(), temp.buf()];
     let writes = [pres.buf()];
-    let (pd, rd, td) = (&mut pres.data, &rho.data, &temp.data);
+    let pd = pres.data.par_view();
+    let (rd, td) = (&rho.data, &temp.data);
     par.loop3(&sites::PRESSURE, space, Traffic::new(2, 1, 1), &reads, &writes, |i, j, k| {
         pd.set(i, j, k, rd.get(i, j, k) * td.get(i, j, k));
     });
@@ -39,7 +40,8 @@ pub fn current(par: &mut Par, grid: &SphericalGrid, j_out: &mut VecField, b: &Ve
         let space = IndexSpace3::interior_trimmed(Stagger::EdgeR, nr, nt, np, (0, 1, 0));
         let reads = [b.t.buf(), b.p.buf()];
         let writes = [j_out.r.buf()];
-        let (jr, bt, bp) = (&mut j_out.r.data, &b.t.data, &b.p.data);
+        let jr = j_out.r.data.par_view();
+        let (bt, bp) = (&b.t.data, &b.p.data);
         par.loop3(&sites::CURL_B_R, space, Traffic::new(5, 1, 10), &reads, &writes, |i, j, k| {
             let dsin_bp = (st_c[j] * bp.get(i, j, k) - st_c[j - 1] * bp.get(i, j - 1, k)) * dtf_inv[j];
             let dbt = (bt.get(i, j, k) - bt.get(i, j, k - 1)) * dpf_inv[k];
@@ -50,7 +52,8 @@ pub fn current(par: &mut Par, grid: &SphericalGrid, j_out: &mut VecField, b: &Ve
         let space = IndexSpace3::interior_trimmed(Stagger::EdgeT, nr, nt, np, (1, 0, 0));
         let reads = [b.r.buf(), b.p.buf()];
         let writes = [j_out.t.buf()];
-        let (jt, br, bp) = (&mut j_out.t.data, &b.r.data, &b.p.data);
+        let jt = j_out.t.data.par_view();
+        let (br, bp) = (&b.r.data, &b.p.data);
         par.loop3(&sites::CURL_B_T, space, Traffic::new(5, 1, 10), &reads, &writes, |i, j, k| {
             let dbr = (br.get(i, j, k) - br.get(i, j, k - 1)) * dpf_inv[k];
             let drbp = (rc[i] * bp.get(i, j, k) - rc[i - 1] * bp.get(i - 1, j, k)) * drf_inv[i];
@@ -61,7 +64,8 @@ pub fn current(par: &mut Par, grid: &SphericalGrid, j_out: &mut VecField, b: &Ve
         let space = IndexSpace3::interior_trimmed(Stagger::EdgeP, nr, nt, np, (1, 1, 0));
         let reads = [b.r.buf(), b.t.buf()];
         let writes = [j_out.p.buf()];
-        let (jp, br, bt) = (&mut j_out.p.data, &b.r.data, &b.t.data);
+        let jp = j_out.p.data.par_view();
+        let (br, bt) = (&b.r.data, &b.t.data);
         par.loop3(&sites::CURL_B_P, space, Traffic::new(5, 1, 10), &reads, &writes, |i, j, k| {
             let drbt = (rc[i] * bt.get(i, j, k) - rc[i - 1] * bt.get(i - 1, j, k)) * drf_inv[i];
             let dbr = (br.get(i, j, k) - br.get(i, j - 1, k)) * dtf_inv[j];
@@ -77,21 +81,24 @@ pub fn rho_to_faces(par: &mut Par, grid: &SphericalGrid, rho_face: &mut VecField
         let space = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
         let reads = [rho.buf()];
         let writes = [rho_face.r.buf()];
-        let (o, rd) = (&mut rho_face.r.data, &rho.data);
+        let o = rho_face.r.data.par_view();
+        let rd = &rho.data;
         par.loop3(&sites::RHO_FACE_R, space, Traffic::new(2, 1, 2), &reads, &writes, |i, j, k| {
             o.set(i, j, k, s2c(rd.get(i - 1, j, k), rd.get(i, j, k)));
         });
         let space = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, 1, 0));
         let reads = [rho.buf()];
         let writes = [rho_face.t.buf()];
-        let (o, rd) = (&mut rho_face.t.data, &rho.data);
+        let o = rho_face.t.data.par_view();
+        let rd = &rho.data;
         par.loop3(&sites::RHO_FACE_T, space, Traffic::new(2, 1, 2), &reads, &writes, |i, j, k| {
             o.set(i, j, k, s2c(rd.get(i, j - 1, k), rd.get(i, j, k)));
         });
         let space = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
         let reads = [rho.buf()];
         let writes = [rho_face.p.buf()];
-        let (o, rd) = (&mut rho_face.p.data, &rho.data);
+        let o = rho_face.p.data.par_view();
+        let rd = &rho.data;
         par.loop3(&sites::RHO_FACE_P, space, Traffic::new(2, 1, 2), &reads, &writes, |i, j, k| {
             o.set(i, j, k, s2c(rd.get(i, j, k - 1), rd.get(i, j, k)));
         });
@@ -113,7 +120,8 @@ pub fn advect_velocity(par: &mut Par, grid: &SphericalGrid, force: &mut VecField
         let space = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
         let reads = [v.r.buf(), v.t.buf(), v.p.buf()];
         let writes = [force.r.buf()];
-        let (o, vr, vt, vp) = (&mut force.r.data, &v.r.data, &v.t.data, &v.p.data);
+        let o = force.r.data.par_view();
+        let (vr, vt, vp) = (&v.r.data, &v.t.data, &v.p.data);
         par.loop3(&sites::ADVECT_V_R, space, Traffic::new(12, 1, 30), &reads, &writes, |i, j, k| {
             let f0 = vr.get(i, j, k);
             // Advecting velocity at the r-face.
@@ -147,7 +155,8 @@ pub fn advect_velocity(par: &mut Par, grid: &SphericalGrid, force: &mut VecField
         let space = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, 1, 0));
         let reads = [v.r.buf(), v.t.buf(), v.p.buf()];
         let writes = [force.t.buf()];
-        let (o, vr, vt, vp) = (&mut force.t.data, &v.r.data, &v.t.data, &v.p.data);
+        let o = force.t.data.par_view();
+        let (vr, vt, vp) = (&v.r.data, &v.t.data, &v.p.data);
         par.loop3(&sites::ADVECT_V_T, space, Traffic::new(12, 1, 30), &reads, &writes, |i, j, k| {
             let f0 = vt.get(i, j, k);
             let ur = sv2cv(vr.get(i, j - 1, k), vr.get(i, j, k), vr.get(i + 1, j - 1, k), vr.get(i + 1, j, k));
@@ -178,7 +187,8 @@ pub fn advect_velocity(par: &mut Par, grid: &SphericalGrid, force: &mut VecField
         let space = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
         let reads = [v.r.buf(), v.t.buf(), v.p.buf()];
         let writes = [force.p.buf()];
-        let (o, vr, vt, vp) = (&mut force.p.data, &v.r.data, &v.t.data, &v.p.data);
+        let o = force.p.data.par_view();
+        let (vr, vt, vp) = (&v.r.data, &v.t.data, &v.p.data);
         par.loop3(&sites::ADVECT_V_P, space, Traffic::new(12, 1, 30), &reads, &writes, |i, j, k| {
             let f0 = vp.get(i, j, k);
             let ur = sv2cv(vr.get(i, j, k - 1), vr.get(i, j, k), vr.get(i + 1, j, k - 1), vr.get(i + 1, j, k));
@@ -238,8 +248,9 @@ pub fn momentum_update(
             rho_face.r.buf(), force.r.buf(), v.r.buf(),
         ];
         let writes = [v.r.buf()];
-        let (vr, pd, jt, jp, bt, bp, rf_r, adv) = (
-            &mut v.r.data, &pres.data, &jf.t.data, &jf.p.data,
+        let vr = v.r.data.par_view();
+        let (pd, jt, jp, bt, bp, rf_r, adv) = (
+            &pres.data, &jf.t.data, &jf.p.data,
             &b.t.data, &b.p.data, &rho_face.r.data, &force.r.data,
         );
         par.loop3(&sites::MOMENTUM_R, space, Traffic::new(16, 1, 36), &reads, &writes, |i, j, k| {
@@ -263,8 +274,9 @@ pub fn momentum_update(
             rho_face.t.buf(), force.t.buf(), v.t.buf(),
         ];
         let writes = [v.t.buf()];
-        let (vt, pd, jr, jp, br, bp, rf_t, adv) = (
-            &mut v.t.data, &pres.data, &jf.r.data, &jf.p.data,
+        let vt = v.t.data.par_view();
+        let (pd, jr, jp, br, bp, rf_t, adv) = (
+            &pres.data, &jf.r.data, &jf.p.data,
             &b.r.data, &b.p.data, &rho_face.t.data, &force.t.data,
         );
         par.loop3(&sites::MOMENTUM_T, space, Traffic::new(16, 1, 36), &reads, &writes, |i, j, k| {
@@ -287,8 +299,9 @@ pub fn momentum_update(
             rho_face.p.buf(), force.p.buf(), v.p.buf(),
         ];
         let writes = [v.p.buf()];
-        let (vp, pd, jr, jt, br, bt, rf_p, adv) = (
-            &mut v.p.data, &pres.data, &jf.r.data, &jf.t.data,
+        let vp = v.p.data.par_view();
+        let (pd, jr, jt, br, bt, rf_p, adv) = (
+            &pres.data, &jf.r.data, &jf.t.data,
             &b.r.data, &b.t.data, &rho_face.p.data, &force.p.data,
         );
         par.loop3(&sites::MOMENTUM_P, space, Traffic::new(16, 1, 36), &reads, &writes, |i, j, k| {
@@ -314,7 +327,7 @@ mod tests {
 
     fn setup() -> (SphericalGrid, Par) {
         let g = SphericalGrid::coronal(12, 10, 8, 8.0);
-        let mut p = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, 0, 1);
+        let mut p = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::Ad).build();
         p.ctx.set_phase(gpusim::Phase::Compute);
         (g, p)
     }

@@ -27,6 +27,12 @@ pub struct RunReport {
     pub compute_us: f64,
     /// Kernel launches (the census used by the paper-scale extrapolation).
     pub kernel_launches: u64,
+    /// Host-engine tiles dispatched (thread-count independent census).
+    pub host_tiles: u64,
+    /// Bitwise fingerprint of the final primary state
+    /// ([`crate::state::State::content_hash`]): identical across thread
+    /// counts and — given identical physics — across code versions.
+    pub state_hash: u64,
     /// Model bytes moved by kernels.
     pub kernel_bytes: f64,
     /// Final global diagnostics history.
@@ -111,6 +117,8 @@ fn report_from(sim: Simulation, n_ranks: usize) -> RunReport {
         mpi_us: prof.phase_total_us(Phase::Mpi),
         compute_us: prof.phase_total_us(Phase::Compute),
         kernel_launches: prof.kernel_launches,
+        host_tiles: prof.host_tiles,
+        state_hash: sim.state.content_hash(),
         kernel_bytes: prof.kernel_bytes,
         hist: sim.hist.clone(),
         time: sim.time,

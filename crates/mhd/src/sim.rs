@@ -73,9 +73,6 @@ impl Simulation {
         let (k0, len) = SphericalGrid::phi_partition(deck.grid.np, n_ranks, rank);
         let grid = global.subgrid_phi(k0, len);
 
-        let mut par = Par::new(spec, version, rank, seed.wrapping_mul(1000 + rank as u64 * 7 + 1));
-        par.ctx.set_phase(Phase::Setup);
-
         // Paper-scale extrapolation factors (1.0 when paper_cells = 0).
         let vol_scale = deck.volume_scale();
         // The production code decomposes in all three dimensions, so its
@@ -85,7 +82,17 @@ impl Simulation {
         // paper's decomposition (DESIGN.md §6).
         let area_scale = (deck.area_scale() / (n_ranks as f64).powf(2.0 / 3.0)).max(1.0);
         let lin_scale = deck.linear_scale();
-        par.set_scales(vol_scale, area_scale);
+
+        let mut builder = Par::builder(spec)
+            .version(version)
+            .rank(rank)
+            .seed(seed.wrapping_mul(1000 + rank as u64 * 7 + 1))
+            .scales(stdpar::CostScales::new(vol_scale, area_scale));
+        if deck.host_threads > 0 {
+            builder = builder.threads(deck.host_threads);
+        }
+        let mut par = builder.build();
+        par.ctx.set_phase(Phase::Setup);
 
         let mut state = State::new(&grid);
         init_conditions(&mut state, &grid, deck);
@@ -170,13 +177,15 @@ impl Simulation {
         let hist_int = self.deck.output.hist_interval;
         for _ in 0..self.deck.time.n_steps {
             let info = step::advance(self, comm);
-            if hist_int > 0 && self.step % hist_int == 0 {
+            if hist_int > 0 && self.step.is_multiple_of(hist_int) {
                 let d = diag::compute(&mut self.par, comm, &self.grid, &self.ctg, &self.state, self.deck.physics.gamma);
                 // History/plot output: fields come back to the host
                 // (`!$acc update host` sites; page migrations under UM).
-                self.par.update_host("hist_temp", self.state.temp.buf());
+                let hist_temp = self.par.site_id("hist_temp");
+                self.par.update_host(hist_temp, self.state.temp.buf());
                 self.par.host_access(self.state.temp.buf(), false);
-                self.par.update_host("hist_vr", self.state.v.r.buf());
+                let hist_vr = self.par.site_id("hist_vr");
+                self.par.update_host(hist_vr, self.state.v.r.buf());
                 self.par.host_access(self.state.v.r.buf(), false);
                 self.hist.push(HistRecord {
                     step: self.step,

@@ -18,7 +18,13 @@ pub static MASS_FLUX_P: Site = Site::par3("mass_flux_p");
 /// Flux divergence → ρ update.
 pub static DIV_MASS_FLUX: Site = Site::par3("div_mass_flux");
 /// Temperature advection + adiabatic compression.
-pub static TEMP_ADVECT: Site = Site::new("temp_advect", LoopClass::Parallel, 3).heavy();
+///
+/// Tile-unsafe for the host engine: the upwind φ gradient reads `T` at
+/// `k ± 1` while the same loop writes `T`, so concurrent k-plane tiles
+/// would race. Marked [`serial`](Site::serial) per the tiling audit.
+pub static TEMP_ADVECT: Site = Site::new("temp_advect", LoopClass::Parallel, 3)
+    .heavy()
+    .serial();
 
 // ----------------------------------------------------------------- momentum
 /// Pressure from the equation of state, `p = ρT`.

@@ -67,17 +67,13 @@ pub fn solve_viscosity(
     {
         let reads = [x.buf()];
         let writes = [work.r.buf(), work.rhs.buf(), work.p.buf()];
-        let (rd, dd, pd, xd) = (
-            &mut work.r.data,
-            &mut work.rhs.data,
-            &mut work.p.data,
-            &x.data,
-        );
         // Whole-array zero first so ghosts/boundaries of the correction
         // system are exactly zero.
-        rd.fill(0.0);
-        dd.fill(0.0);
-        pd.fill(0.0);
+        work.r.data.fill(0.0);
+        work.rhs.data.fill(0.0);
+        work.p.data.fill(0.0);
+        let rd = work.r.data.par_view();
+        let xd = &x.data;
         par.loop3(&sites::PCG_SETUP, space, Traffic::new(8, 3, 20), &reads, &writes, |i, j, k| {
             rd.set(i, j, k, nu_dt * lap.apply(xd, i, j, k));
         });
@@ -122,7 +118,8 @@ pub fn solve_viscosity(
         {
             let reads = [work.r.buf()];
             let writes = [work.z.buf()];
-            let (zd, rd) = (&mut work.z.data, &work.r.data);
+            let zd = work.z.data.par_view();
+            let rd = &work.r.data;
             par.loop3(&sites::PCG_PRECOND, space, Traffic::new(1, 1, 4), &reads, &writes, |i, j, k| {
                 let diag = 1.0 - nu_dt * lap.diagonal(i, j, k);
                 zd.set(i, j, k, rd.get(i, j, k) / diag);
@@ -153,7 +150,8 @@ pub fn solve_viscosity(
         {
             let reads = [work.z.buf(), work.p.buf()];
             let writes = [work.p.buf()];
-            let (pd, zd) = (&mut work.p.data, &work.z.data);
+            let pd = work.p.data.par_view();
+            let zd = &work.z.data;
             par.loop3(&sites::PCG_UPDATE_P, space, Traffic::new(2, 1, 2), &reads, &writes, |i, j, k| {
                 pd.set(i, j, k, zd.get(i, j, k) + beta * pd.get(i, j, k));
             });
@@ -168,7 +166,8 @@ pub fn solve_viscosity(
         {
             let reads = [work.p.buf()];
             let writes = [work.ap.buf()];
-            let (apd, pd) = (&mut work.ap.data, &work.p.data);
+            let apd = work.ap.data.par_view();
+            let pd = &work.p.data;
             par.loop3(&sites::VISC_APPLY, space, Traffic::new(8, 1, 24), &reads, &writes, |i, j, k| {
                 apd.set(i, j, k, pd.get(i, j, k) - nu_dt * lap.apply(pd, i, j, k));
             });
@@ -197,12 +196,10 @@ pub fn solve_viscosity(
         // δ ← δ + α p;  r ← r − α Ap;  and accumulate ⟨r,r⟩ on the fly.
         let mut rr_new = {
             let reads = [work.p.buf(), work.ap.buf(), work.rhs.buf(), work.r.buf()];
-            let (dd, rd, pd, apd) = (
-                &mut work.rhs.data,
-                &mut work.r.data,
-                &work.p.data,
-                &work.ap.data,
-            );
+            // Fused axpy: the reduction body also writes δ and r at its
+            // own point — tile-safe, so the site stays parallel.
+            let (dd, rd) = (work.rhs.data.par_view(), work.r.data.par_view());
+            let (pd, apd) = (&work.p.data, &work.ap.data);
             par.reduce_scalar(
                 &sites::PCG_AXPY_XR,
                 space,
@@ -234,7 +231,8 @@ pub fn solve_viscosity(
     {
         let reads = [work.rhs.buf(), x.buf()];
         let writes = [x.buf()];
-        let (xd, dd) = (&mut x.data, &work.rhs.data);
+        let xd = x.data.par_view();
+        let dd = &work.rhs.data;
         par.loop3(&sites::PCG_APPLY_DX, space, Traffic::new(2, 1, 2), &reads, &writes, |i, j, k| {
             xd.add(i, j, k, dd.get(i, j, k));
         });
@@ -277,7 +275,7 @@ mod tests {
     fn solves_identity_when_nu_zero() {
         World::run(1, |comm| {
             let g = band_grid(8);
-            let mut par = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, 0, 1);
+            let mut par = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::Ad).build();
             par.ctx.set_phase(gpusim::Phase::Compute);
             let lap = LapStencil::new(&g, Stagger::FaceR);
             let mut x = Field::zeros("vr", Stagger::FaceR, &g);
@@ -305,7 +303,7 @@ mod tests {
     fn converges_and_smooths() {
         World::run(1, |comm| {
             let g = band_grid(8);
-            let mut par = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, 0, 1);
+            let mut par = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::Ad).build();
             par.ctx.set_phase(gpusim::Phase::Compute);
             let lap = LapStencil::new(&g, Stagger::FaceT);
             let mut x = Field::zeros("vt", Stagger::FaceT, &g);
@@ -357,7 +355,7 @@ mod tests {
             let g_global = band_grid(np_global);
             let (k0, len) = SphericalGrid::phi_partition(np_global, nranks, comm.rank());
             let g = g_global.subgrid_phi(k0, len);
-            let mut par = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, comm.rank(), 1);
+            let mut par = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::Ad).rank(comm.rank()).build();
             par.ctx.set_phase(gpusim::Phase::Compute);
             let lap = LapStencil::new(&g, Stagger::FaceR);
             let mut x = Field::zeros("vr", Stagger::FaceR, &g);

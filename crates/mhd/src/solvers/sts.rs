@@ -46,7 +46,7 @@ pub fn rkl2_stage_count(dt: f64, dt_expl: f64, max_stages: usize) -> (usize, usi
         let s = ((-1.0 + (9.0 + 16.0 * ratio).sqrt()) / 2.0).ceil() as usize;
         let s = s.max(3);
         // Odd stage counts are the standard choice for RKL2.
-        if s % 2 == 0 {
+        if s.is_multiple_of(2) {
             s + 1
         } else {
             s
@@ -99,7 +99,8 @@ where
         {
             let reads = [y0.buf(), ly0.buf()];
             let writes = [y_prev.buf()];
-            let (yp, y0d, l0) = (&mut y_prev.data, &y0.data, &ly0.data);
+            let yp = y_prev.data.par_view();
+            let (y0d, l0) = (&y0.data, &ly0.data);
             par.loop3(&sites::STS_STAGE, space, Traffic::new(2, 1, 3), &reads, &writes, |i, j, k| {
                 yp.set(i, j, k, y0d.get(i, j, k) + mu1t * dt_sub * l0.get(i, j, k));
             });
@@ -123,8 +124,8 @@ where
             {
                 let reads = [y_prev.buf(), y_prev2.buf(), y0.buf(), ly.buf(), ly0.buf()];
                 let writes = [y_prev2.buf()];
-                let (yp2, yp, y0d, lyd, ly0d) = (
-                    &mut y_prev2.data,
+                let yp2 = y_prev2.data.par_view();
+                let (yp, y0d, lyd, ly0d) = (
                     &y_prev.data,
                     &y0.data,
                     &ly.data,
@@ -259,7 +260,8 @@ pub fn advance_viscosity_sts(
             }
             let reads = [y.buf()];
             let writes = [out.buf()];
-            let (od, yd) = (&mut out.data, &y.data);
+            let od = out.data.par_view();
+            let yd = &y.data;
             par.loop3(&sites::VISC_APPLY, space, Traffic::new(8, 1, 24), &reads, &writes, |i, j, k| {
                 od.set(i, j, k, nu * lap.apply(yd, i, j, k));
             });
@@ -345,7 +347,7 @@ mod tests {
                 temp
             };
             let setup = |g: &SphericalGrid| -> (Par, Field, Field, VecField) {
-                let mut par = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, 0, 1);
+                let mut par = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::Ad).build();
                 par.ctx.set_phase(gpusim::Phase::Compute);
                 let mut temp = mk_temp(g);
                 let mut rho = Field::constant("rho", Stagger::CellCenter, g, 1.0);
@@ -427,7 +429,7 @@ mod tests {
                 (x, work, hx)
             };
 
-            let mut par = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, 0, 1);
+            let mut par = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::Ad).build();
             par.ctx.set_phase(gpusim::Phase::Compute);
             let (mut x_sts, mut work, mut hx) = init(&mut par);
             let dt_expl = viscosity_dt_explicit(&g, nu);
@@ -436,7 +438,7 @@ mod tests {
                 dt_expl, 64,
             );
 
-            let mut par2 = Par::new(DeviceSpec::a100_40gb(), CodeVersion::Ad, 0, 1);
+            let mut par2 = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::Ad).build();
             par2.ctx.set_phase(gpusim::Phase::Compute);
             let (mut x_pcg, mut work2, mut hx2) = init(&mut par2);
             crate::solvers::pcg::solve_viscosity(

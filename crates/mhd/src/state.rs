@@ -177,7 +177,8 @@ impl State {
         for c in self.b.comps_mut() {
             state_bufs.push(reg(par, c));
         }
-        par.data_region("state_fields", &state_bufs);
+        let rid = par.region_id("state_fields");
+        par.data_region(rid, &state_bufs);
 
         // Auxiliary fields.
         let mut aux = vec![reg(par, &mut self.pres)];
@@ -194,7 +195,8 @@ impl State {
         }
         aux.push(reg(par, &mut self.w1));
         aux.push(reg(par, &mut self.w2));
-        par.data_region("aux_fields", &aux);
+        let rid = par.region_id("aux_fields");
+        par.data_region(rid, &aux);
 
         // Solver workspaces — created through the wrapper routines in
         // Code 6 (D2XAd), which zero-initializes them (extra kernels).
@@ -210,7 +212,8 @@ impl State {
             work.push((id, f.data.len(), f.name));
         }
         let work_ids: Vec<BufferId> = work.iter().map(|&(id, _, _)| id).collect();
-        par.data_region("solver_work", &work_ids);
+        let rid = par.region_id("solver_work");
+        par.data_region(rid, &work_ids);
         for (id, len, name) in work {
             par.wrapper_alloc(name, id, len, || {});
         }
@@ -246,7 +249,8 @@ impl State {
             })
             .collect();
         let ids = self.metric_bufs.clone();
-        par.data_region("grid_metrics", &ids);
+        let rid = par.region_id("grid_metrics");
+        par.data_region(rid, &ids);
         par.derived_type_region("grid_metrics_struct");
         par.derived_type_region("solver_workspace_struct");
         // Module tables used inside device routines need `declare`.
@@ -279,6 +283,26 @@ impl State {
             &self.b.t.data,
             &self.b.p.data,
         ]
+    }
+
+    /// Bitwise FNV-1a fingerprint of the primary state arrays (ghosts
+    /// included, fixed field order). Two runs produce the same hash iff
+    /// every stored `f64` is bit-identical — the determinism check used
+    /// by the cross-version/thread-count matrix.
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for a in self.halo_arrays() {
+            for &v in a.as_slice() {
+                let bits = v.to_bits();
+                for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+                    h ^= (bits >> shift) & 0xff;
+                    h = h.wrapping_mul(FNV_PRIME);
+                }
+            }
+        }
+        h
     }
 
     /// Check the entire state for NaN/Inf (returns offending field name).
@@ -321,7 +345,7 @@ mod tests {
     fn registration_assigns_all_buffers() {
         let g = grid();
         let mut s = State::new(&g);
-        let mut par = Par::new(DeviceSpec::a100_40gb(), CodeVersion::A, 0, 1);
+        let mut par = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::A).build();
         s.register(&mut par, &g, 1.0, 1.0);
         assert!(s.rho.buf.is_some());
         assert!(s.b.p.buf.is_some());
@@ -338,7 +362,7 @@ mod tests {
     #[test]
     fn d2xad_registration_fires_wrapper_kernels() {
         let g = grid();
-        let mut par = Par::new(DeviceSpec::a100_40gb(), CodeVersion::D2xad, 0, 1);
+        let mut par = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::D2xad).build();
         par.ctx.set_phase(gpusim::Phase::Compute);
         let mut s = State::new(&g);
         let k0 = par.ctx.prof.kernel_launches;
@@ -346,7 +370,7 @@ mod tests {
         // 15 PCG + 5 STS arrays zero-initialized by wrappers.
         assert_eq!(par.ctx.prof.kernel_launches - k0, 20);
         // Version A does not launch wrapper kernels.
-        let mut par_a = Par::new(DeviceSpec::a100_40gb(), CodeVersion::A, 0, 1);
+        let mut par_a = Par::builder(DeviceSpec::a100_40gb()).version(CodeVersion::A).build();
         par_a.ctx.set_phase(gpusim::Phase::Compute);
         let mut s2 = State::new(&g);
         let k0 = par_a.ctx.prof.kernel_launches;

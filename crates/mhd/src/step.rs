@@ -186,7 +186,8 @@ pub fn advance(sim: &mut Simulation, comm: &Comm) -> StepInfo {
                     {
                         let reads = [comp.buf()];
                         let writes = [work.ap.buf()];
-                        let (od, yd) = (&mut work.ap.data, &comp.data);
+                        let od = work.ap.data.par_view();
+                        let yd = &comp.data;
                         sim.par.loop3(&sites::VISC_APPLY, space, gpusim::Traffic::new(8, 1, 24), &reads, &writes, |i, j, k| {
                             od.set(i, j, k, lap.apply(yd, i, j, k));
                         });
@@ -194,7 +195,8 @@ pub fn advance(sim: &mut Simulation, comm: &Comm) -> StepInfo {
                     {
                         let reads = [work.ap.buf(), comp.buf()];
                         let writes = [comp.buf()];
-                        let (vd, ld) = (&mut comp.data, &work.ap.data);
+                        let vd = comp.data.par_view();
+                        let ld = &work.ap.data;
                         sim.par.loop3(&sites::PCG_APPLY_DX, space, gpusim::Traffic::new(2, 1, 3), &reads, &writes, |i, j, k| {
                             vd.add(i, j, k, dt * nu * ld.get(i, j, k));
                         });

@@ -53,6 +53,11 @@ pub(crate) struct Msg {
     pub path: NetPath,
 }
 
+/// Payload of a rank→root collective message: (rank, values, send time).
+pub(crate) type RootMsg = (usize, Vec<f64>, f64);
+/// Root-side receiver of rank→root collective traffic (shared by root).
+pub(crate) type FromRanks = Option<Arc<Receiver<RootMsg>>>;
+
 /// One rank's handle into the world.
 pub struct Comm {
     rank: usize,
@@ -64,8 +69,8 @@ pub struct Comm {
     /// `from[s]` receives from rank s.
     from: Vec<Receiver<Msg>>,
     /// Shared collective scratchpad channels: every rank → root, root → every rank.
-    pub(crate) to_root: Sender<(usize, Vec<f64>, f64)>,
-    pub(crate) from_ranks: Option<Arc<Receiver<(usize, Vec<f64>, f64)>>>,
+    pub(crate) to_root: Sender<RootMsg>,
+    pub(crate) from_ranks: FromRanks,
     pub(crate) from_root: Receiver<(Vec<f64>, f64)>,
     pub(crate) to_ranks: Vec<Sender<(Vec<f64>, f64)>>,
     /// Collective latency per tree stage, µs.
@@ -81,8 +86,8 @@ impl Comm {
         size: usize,
         to: Vec<Sender<Msg>>,
         from: Vec<Receiver<Msg>>,
-        to_root: Sender<(usize, Vec<f64>, f64)>,
-        from_ranks: Option<Arc<Receiver<(usize, Vec<f64>, f64)>>>,
+        to_root: Sender<RootMsg>,
+        from_ranks: FromRanks,
         from_root: Receiver<(Vec<f64>, f64)>,
         to_ranks: Vec<Sender<(Vec<f64>, f64)>>,
     ) -> Self {

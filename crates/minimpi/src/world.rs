@@ -24,10 +24,10 @@ impl World {
             (0..n_ranks).map(|_| (0..n_ranks).map(|_| None).collect()).collect();
         for src in 0..n_ranks {
             let mut row = Vec::with_capacity(n_ranks);
-            for dst in 0..n_ranks {
+            for dst_row in receivers.iter_mut() {
                 let (tx, rx) = unbounded();
                 row.push(tx);
-                receivers[dst][src] = Some(rx);
+                dst_row[src] = Some(rx);
             }
             senders.push(row);
         }

@@ -147,17 +147,15 @@ impl<'r> DirectiveAudit<'r> {
             }
             // Atomic lines survive as long as the strategy uses atomics.
             match class {
-                LoopClass::ArrayReduction => {
-                    if p.array_reduce != crate::version::ArrayReduceStrategy::LoopFlip {
-                        out.atomic += 1;
-                    }
+                LoopClass::ArrayReduction
+                    if p.array_reduce != crate::version::ArrayReduceStrategy::LoopFlip =>
+                {
+                    out.atomic += 1;
                 }
-                LoopClass::AtomicUpdate => {
-                    // Converted to atomic-free forms only in Codes 5–6
-                    // ("small code modifications", §IV-E).
-                    if !p.inline_routines {
-                        out.atomic += 1;
-                    }
+                // Converted to atomic-free forms only in Codes 5–6
+                // ("small code modifications", §IV-E).
+                LoopClass::AtomicUpdate if !p.inline_routines => {
+                    out.atomic += 1;
                 }
                 _ => {}
             }

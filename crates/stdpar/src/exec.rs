@@ -360,7 +360,7 @@ impl Par {
     fn execute_tiles(&mut self, site: &Site, space: IndexSpace3, body: &(dyn Fn(usize, usize, usize) + Sync)) {
         let nk = space.k1.saturating_sub(space.k0);
         if site.tiling == Tiling::Serial || nk <= 1 {
-            space.for_each(|i, j, k| body(i, j, k));
+            space.for_each(body);
             return;
         }
         self.ctx.prof.note_host_tiles(nk as u64);
@@ -458,6 +458,7 @@ impl Par {
     /// Code 4 on — numerically identical here because the combine order
     /// is the fixed tile order (see `engine` docs), unlike the real
     /// code's atomic orderings which reproduce only to round-off.
+    #[allow(clippy::too_many_arguments)]
     pub fn reduce_scalar<F>(
         &mut self,
         site: &Site,
@@ -557,6 +558,7 @@ impl Par {
     /// An OpenACC `kernels` region wrapping a Fortran intrinsic reduction
     /// (e.g. `MINVAL`). Executes like a scalar reduction; classified
     /// separately because Codes 5–6 must expand it by hand (paper §IV-E).
+    #[allow(clippy::too_many_arguments)]
     pub fn kernels_intrinsic<F>(
         &mut self,
         site: &Site,
@@ -574,6 +576,7 @@ impl Par {
         self.reduce_scalar_unchecked(site, space, traffic, reads, op, init, body)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn reduce_scalar_unchecked<F>(
         &mut self,
         site: &Site,

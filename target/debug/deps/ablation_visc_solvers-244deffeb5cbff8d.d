@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_visc_solvers-244deffeb5cbff8d.d: crates/bench/src/bin/ablation_visc_solvers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_visc_solvers-244deffeb5cbff8d.rmeta: crates/bench/src/bin/ablation_visc_solvers.rs Cargo.toml
+
+crates/bench/src/bin/ablation_visc_solvers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

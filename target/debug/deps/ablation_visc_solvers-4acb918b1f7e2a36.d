@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_visc_solvers-4acb918b1f7e2a36.d: crates/bench/src/bin/ablation_visc_solvers.rs
+
+/root/repo/target/debug/deps/ablation_visc_solvers-4acb918b1f7e2a36: crates/bench/src/bin/ablation_visc_solvers.rs
+
+crates/bench/src/bin/ablation_visc_solvers.rs:

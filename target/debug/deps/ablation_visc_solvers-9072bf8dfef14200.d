@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_visc_solvers-9072bf8dfef14200.d: crates/bench/src/bin/ablation_visc_solvers.rs
+
+/root/repo/target/debug/deps/ablation_visc_solvers-9072bf8dfef14200: crates/bench/src/bin/ablation_visc_solvers.rs
+
+crates/bench/src/bin/ablation_visc_solvers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-18404d1841e03c9c.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-18404d1841e03c9c: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

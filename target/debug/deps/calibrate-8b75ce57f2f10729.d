@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-8b75ce57f2f10729.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-8b75ce57f2f10729: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

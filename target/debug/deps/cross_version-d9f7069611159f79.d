@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_version-d9f7069611159f79.d: tests/cross_version.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_version-d9f7069611159f79.rmeta: tests/cross_version.rs Cargo.toml
+
+tests/cross_version.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

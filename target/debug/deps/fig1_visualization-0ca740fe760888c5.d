@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_visualization-0ca740fe760888c5.d: crates/bench/src/bin/fig1_visualization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_visualization-0ca740fe760888c5.rmeta: crates/bench/src/bin/fig1_visualization.rs Cargo.toml
+
+crates/bench/src/bin/fig1_visualization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_visualization-51f578bd32665045.d: crates/bench/src/bin/fig1_visualization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_visualization-51f578bd32665045.rmeta: crates/bench/src/bin/fig1_visualization.rs Cargo.toml
+
+crates/bench/src/bin/fig1_visualization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

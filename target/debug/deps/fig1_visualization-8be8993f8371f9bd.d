@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_visualization-8be8993f8371f9bd.d: crates/bench/src/bin/fig1_visualization.rs
+
+/root/repo/target/debug/deps/fig1_visualization-8be8993f8371f9bd: crates/bench/src/bin/fig1_visualization.rs
+
+crates/bench/src/bin/fig1_visualization.rs:

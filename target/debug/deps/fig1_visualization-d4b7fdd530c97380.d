@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_visualization-d4b7fdd530c97380.d: crates/bench/src/bin/fig1_visualization.rs
+
+/root/repo/target/debug/deps/fig1_visualization-d4b7fdd530c97380: crates/bench/src/bin/fig1_visualization.rs
+
+crates/bench/src/bin/fig1_visualization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_scaling-0c40df4d0f1cf7e6.d: crates/bench/src/bin/fig2_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_scaling-0c40df4d0f1cf7e6.rmeta: crates/bench/src/bin/fig2_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig2_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

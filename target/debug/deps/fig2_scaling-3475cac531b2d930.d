@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_scaling-3475cac531b2d930.d: crates/bench/src/bin/fig2_scaling.rs
+
+/root/repo/target/debug/deps/fig2_scaling-3475cac531b2d930: crates/bench/src/bin/fig2_scaling.rs
+
+crates/bench/src/bin/fig2_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_scaling-9afd27884701bdf6.d: crates/bench/src/bin/fig2_scaling.rs
+
+/root/repo/target/debug/deps/fig2_scaling-9afd27884701bdf6: crates/bench/src/bin/fig2_scaling.rs
+
+crates/bench/src/bin/fig2_scaling.rs:

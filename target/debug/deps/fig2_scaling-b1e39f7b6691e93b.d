@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_scaling-b1e39f7b6691e93b.d: crates/bench/src/bin/fig2_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_scaling-b1e39f7b6691e93b.rmeta: crates/bench/src/bin/fig2_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig2_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

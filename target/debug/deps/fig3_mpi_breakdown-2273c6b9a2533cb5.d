@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_mpi_breakdown-2273c6b9a2533cb5.d: crates/bench/src/bin/fig3_mpi_breakdown.rs
+
+/root/repo/target/debug/deps/fig3_mpi_breakdown-2273c6b9a2533cb5: crates/bench/src/bin/fig3_mpi_breakdown.rs
+
+crates/bench/src/bin/fig3_mpi_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_mpi_breakdown-41e567211372cab3.d: crates/bench/src/bin/fig3_mpi_breakdown.rs
+
+/root/repo/target/debug/deps/fig3_mpi_breakdown-41e567211372cab3: crates/bench/src/bin/fig3_mpi_breakdown.rs
+
+crates/bench/src/bin/fig3_mpi_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_mpi_breakdown-5d780663a89f587d.d: crates/bench/src/bin/fig3_mpi_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_mpi_breakdown-5d780663a89f587d.rmeta: crates/bench/src/bin/fig3_mpi_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig3_mpi_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_mpi_breakdown-5fdee5c6dc078c4e.d: crates/bench/src/bin/fig3_mpi_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_mpi_breakdown-5fdee5c6dc078c4e.rmeta: crates/bench/src/bin/fig3_mpi_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig3_mpi_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_timeline-4ecc6794af6bde50.d: crates/bench/src/bin/fig4_timeline.rs
+
+/root/repo/target/debug/deps/fig4_timeline-4ecc6794af6bde50: crates/bench/src/bin/fig4_timeline.rs
+
+crates/bench/src/bin/fig4_timeline.rs:

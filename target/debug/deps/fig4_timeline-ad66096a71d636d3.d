@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_timeline-ad66096a71d636d3.d: crates/bench/src/bin/fig4_timeline.rs
+
+/root/repo/target/debug/deps/fig4_timeline-ad66096a71d636d3: crates/bench/src/bin/fig4_timeline.rs
+
+crates/bench/src/bin/fig4_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_portability-4ca07acf9498ed71.d: crates/bench/src/bin/fig_portability.rs
+
+/root/repo/target/debug/deps/fig_portability-4ca07acf9498ed71: crates/bench/src/bin/fig_portability.rs
+
+crates/bench/src/bin/fig_portability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_portability-ab5d1a4a9311e9de.d: crates/bench/src/bin/fig_portability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_portability-ab5d1a4a9311e9de.rmeta: crates/bench/src/bin/fig_portability.rs Cargo.toml
+
+crates/bench/src/bin/fig_portability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_portability-dee6e177f51e530b.d: crates/bench/src/bin/fig_portability.rs
+
+/root/repo/target/debug/deps/fig_portability-dee6e177f51e530b: crates/bench/src/bin/fig_portability.rs
+
+crates/bench/src/bin/fig_portability.rs:

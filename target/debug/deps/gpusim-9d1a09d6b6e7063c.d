@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gpusim-9d1a09d6b6e7063c.d: crates/gpusim/src/lib.rs crates/gpusim/src/clock.rs crates/gpusim/src/context.rs crates/gpusim/src/memory.rs crates/gpusim/src/profiler.rs crates/gpusim/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpusim-9d1a09d6b6e7063c.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/clock.rs crates/gpusim/src/context.rs crates/gpusim/src/memory.rs crates/gpusim/src/profiler.rs crates/gpusim/src/spec.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/clock.rs:
+crates/gpusim/src/context.rs:
+crates/gpusim/src/memory.rs:
+crates/gpusim/src/profiler.rs:
+crates/gpusim/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

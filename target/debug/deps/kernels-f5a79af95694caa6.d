@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-f5a79af95694caa6.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-f5a79af95694caa6: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mas-224e5e4328b9714f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmas-224e5e4328b9714f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

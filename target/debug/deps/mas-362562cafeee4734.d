@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mas-362562cafeee4734.d: src/bin/mas.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmas-362562cafeee4734.rmeta: src/bin/mas.rs Cargo.toml
+
+src/bin/mas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

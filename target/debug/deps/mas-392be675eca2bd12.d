@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mas-392be675eca2bd12.d: src/bin/mas.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmas-392be675eca2bd12.rmeta: src/bin/mas.rs Cargo.toml
+
+src/bin/mas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

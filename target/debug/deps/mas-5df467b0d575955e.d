@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mas-5df467b0d575955e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmas-5df467b0d575955e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mas_bench-3a4df275bc20726d.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmas_bench-3a4df275bc20726d.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

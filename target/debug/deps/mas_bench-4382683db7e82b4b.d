@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mas_bench-4382683db7e82b4b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/libmas_bench-4382683db7e82b4b.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/libmas_bench-4382683db7e82b4b.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/paper.rs:

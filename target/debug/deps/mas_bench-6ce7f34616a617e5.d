@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mas_bench-6ce7f34616a617e5.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/mas_bench-6ce7f34616a617e5: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/paper.rs:

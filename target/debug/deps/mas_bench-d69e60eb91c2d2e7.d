@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mas_bench-d69e60eb91c2d2e7.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmas_bench-d69e60eb91c2d2e7.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mas_config-7751d01f8f9a7c73.d: crates/config/src/lib.rs crates/config/src/deck.rs crates/config/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmas_config-7751d01f8f9a7c73.rmeta: crates/config/src/lib.rs crates/config/src/deck.rs crates/config/src/parse.rs Cargo.toml
+
+crates/config/src/lib.rs:
+crates/config/src/deck.rs:
+crates/config/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mas_config-842799f111575892.d: crates/config/src/lib.rs crates/config/src/deck.rs crates/config/src/parse.rs
+
+/root/repo/target/debug/deps/mas_config-842799f111575892: crates/config/src/lib.rs crates/config/src/deck.rs crates/config/src/parse.rs
+
+crates/config/src/lib.rs:
+crates/config/src/deck.rs:
+crates/config/src/parse.rs:

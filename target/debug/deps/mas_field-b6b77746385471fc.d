@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mas_field-b6b77746385471fc.d: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs crates/field/src/parview.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmas_field-b6b77746385471fc.rmeta: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs crates/field/src/parview.rs Cargo.toml
+
+crates/field/src/lib.rs:
+crates/field/src/array3.rs:
+crates/field/src/field.rs:
+crates/field/src/halo.rs:
+crates/field/src/norms.rs:
+crates/field/src/parview.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mas_grid-40ec38489fc673a2.d: crates/grid/src/lib.rs crates/grid/src/index.rs crates/grid/src/mesh1d.rs crates/grid/src/spherical.rs crates/grid/src/stagger.rs
+
+/root/repo/target/debug/deps/mas_grid-40ec38489fc673a2: crates/grid/src/lib.rs crates/grid/src/index.rs crates/grid/src/mesh1d.rs crates/grid/src/spherical.rs crates/grid/src/stagger.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/index.rs:
+crates/grid/src/mesh1d.rs:
+crates/grid/src/spherical.rs:
+crates/grid/src/stagger.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mas_grid-75aa83adfe44446f.d: crates/grid/src/lib.rs crates/grid/src/index.rs crates/grid/src/mesh1d.rs crates/grid/src/spherical.rs crates/grid/src/stagger.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmas_grid-75aa83adfe44446f.rmeta: crates/grid/src/lib.rs crates/grid/src/index.rs crates/grid/src/mesh1d.rs crates/grid/src/spherical.rs crates/grid/src/stagger.rs Cargo.toml
+
+crates/grid/src/lib.rs:
+crates/grid/src/index.rs:
+crates/grid/src/mesh1d.rs:
+crates/grid/src/spherical.rs:
+crates/grid/src/stagger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

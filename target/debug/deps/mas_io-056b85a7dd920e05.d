@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mas_io-056b85a7dd920e05.d: crates/io/src/lib.rs crates/io/src/csv.rs crates/io/src/dump.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/timeline.rs
+
+/root/repo/target/debug/deps/mas_io-056b85a7dd920e05: crates/io/src/lib.rs crates/io/src/csv.rs crates/io/src/dump.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/timeline.rs
+
+crates/io/src/lib.rs:
+crates/io/src/csv.rs:
+crates/io/src/dump.rs:
+crates/io/src/render.rs:
+crates/io/src/table.rs:
+crates/io/src/timeline.rs:

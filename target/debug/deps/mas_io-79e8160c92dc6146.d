@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mas_io-79e8160c92dc6146.d: crates/io/src/lib.rs crates/io/src/csv.rs crates/io/src/dump.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmas_io-79e8160c92dc6146.rmeta: crates/io/src/lib.rs crates/io/src/csv.rs crates/io/src/dump.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/timeline.rs Cargo.toml
+
+crates/io/src/lib.rs:
+crates/io/src/csv.rs:
+crates/io/src/dump.rs:
+crates/io/src/render.rs:
+crates/io/src/table.rs:
+crates/io/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/mas_mhd-26c2a9f4cf3efd94.d: crates/mhd/src/lib.rs crates/mhd/src/bc.rs crates/mhd/src/checkpoint.rs crates/mhd/src/diag.rs crates/mhd/src/halo.rs crates/mhd/src/ops/mod.rs crates/mhd/src/ops/deriv.rs crates/mhd/src/ops/interp.rs crates/mhd/src/physics/mod.rs crates/mhd/src/physics/advect.rs crates/mhd/src/physics/conduct.rs crates/mhd/src/physics/induction.rs crates/mhd/src/physics/momentum.rs crates/mhd/src/run.rs crates/mhd/src/sim.rs crates/mhd/src/sites.rs crates/mhd/src/solvers/mod.rs crates/mhd/src/solvers/pcg.rs crates/mhd/src/solvers/sts.rs crates/mhd/src/state.rs crates/mhd/src/step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmas_mhd-26c2a9f4cf3efd94.rmeta: crates/mhd/src/lib.rs crates/mhd/src/bc.rs crates/mhd/src/checkpoint.rs crates/mhd/src/diag.rs crates/mhd/src/halo.rs crates/mhd/src/ops/mod.rs crates/mhd/src/ops/deriv.rs crates/mhd/src/ops/interp.rs crates/mhd/src/physics/mod.rs crates/mhd/src/physics/advect.rs crates/mhd/src/physics/conduct.rs crates/mhd/src/physics/induction.rs crates/mhd/src/physics/momentum.rs crates/mhd/src/run.rs crates/mhd/src/sim.rs crates/mhd/src/sites.rs crates/mhd/src/solvers/mod.rs crates/mhd/src/solvers/pcg.rs crates/mhd/src/solvers/sts.rs crates/mhd/src/state.rs crates/mhd/src/step.rs Cargo.toml
+
+crates/mhd/src/lib.rs:
+crates/mhd/src/bc.rs:
+crates/mhd/src/checkpoint.rs:
+crates/mhd/src/diag.rs:
+crates/mhd/src/halo.rs:
+crates/mhd/src/ops/mod.rs:
+crates/mhd/src/ops/deriv.rs:
+crates/mhd/src/ops/interp.rs:
+crates/mhd/src/physics/mod.rs:
+crates/mhd/src/physics/advect.rs:
+crates/mhd/src/physics/conduct.rs:
+crates/mhd/src/physics/induction.rs:
+crates/mhd/src/physics/momentum.rs:
+crates/mhd/src/run.rs:
+crates/mhd/src/sim.rs:
+crates/mhd/src/sites.rs:
+crates/mhd/src/solvers/mod.rs:
+crates/mhd/src/solvers/pcg.rs:
+crates/mhd/src/solvers/sts.rs:
+crates/mhd/src/state.rs:
+crates/mhd/src/step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/mas_mhd-cf3d6615693b5c2c.d: crates/mhd/src/lib.rs crates/mhd/src/bc.rs crates/mhd/src/checkpoint.rs crates/mhd/src/diag.rs crates/mhd/src/halo.rs crates/mhd/src/ops/mod.rs crates/mhd/src/ops/deriv.rs crates/mhd/src/ops/interp.rs crates/mhd/src/physics/mod.rs crates/mhd/src/physics/advect.rs crates/mhd/src/physics/conduct.rs crates/mhd/src/physics/induction.rs crates/mhd/src/physics/momentum.rs crates/mhd/src/run.rs crates/mhd/src/sim.rs crates/mhd/src/sites.rs crates/mhd/src/solvers/mod.rs crates/mhd/src/solvers/pcg.rs crates/mhd/src/solvers/sts.rs crates/mhd/src/state.rs crates/mhd/src/step.rs
+
+/root/repo/target/debug/deps/mas_mhd-cf3d6615693b5c2c: crates/mhd/src/lib.rs crates/mhd/src/bc.rs crates/mhd/src/checkpoint.rs crates/mhd/src/diag.rs crates/mhd/src/halo.rs crates/mhd/src/ops/mod.rs crates/mhd/src/ops/deriv.rs crates/mhd/src/ops/interp.rs crates/mhd/src/physics/mod.rs crates/mhd/src/physics/advect.rs crates/mhd/src/physics/conduct.rs crates/mhd/src/physics/induction.rs crates/mhd/src/physics/momentum.rs crates/mhd/src/run.rs crates/mhd/src/sim.rs crates/mhd/src/sites.rs crates/mhd/src/solvers/mod.rs crates/mhd/src/solvers/pcg.rs crates/mhd/src/solvers/sts.rs crates/mhd/src/state.rs crates/mhd/src/step.rs
+
+crates/mhd/src/lib.rs:
+crates/mhd/src/bc.rs:
+crates/mhd/src/checkpoint.rs:
+crates/mhd/src/diag.rs:
+crates/mhd/src/halo.rs:
+crates/mhd/src/ops/mod.rs:
+crates/mhd/src/ops/deriv.rs:
+crates/mhd/src/ops/interp.rs:
+crates/mhd/src/physics/mod.rs:
+crates/mhd/src/physics/advect.rs:
+crates/mhd/src/physics/conduct.rs:
+crates/mhd/src/physics/induction.rs:
+crates/mhd/src/physics/momentum.rs:
+crates/mhd/src/run.rs:
+crates/mhd/src/sim.rs:
+crates/mhd/src/sites.rs:
+crates/mhd/src/solvers/mod.rs:
+crates/mhd/src/solvers/pcg.rs:
+crates/mhd/src/solvers/sts.rs:
+crates/mhd/src/state.rs:
+crates/mhd/src/step.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/minimpi-37d23f402c7cc48e.d: crates/minimpi/src/lib.rs crates/minimpi/src/chan.rs crates/minimpi/src/comm.rs crates/minimpi/src/world.rs
+
+/root/repo/target/debug/deps/minimpi-37d23f402c7cc48e: crates/minimpi/src/lib.rs crates/minimpi/src/chan.rs crates/minimpi/src/comm.rs crates/minimpi/src/world.rs
+
+crates/minimpi/src/lib.rs:
+crates/minimpi/src/chan.rs:
+crates/minimpi/src/comm.rs:
+crates/minimpi/src/world.rs:

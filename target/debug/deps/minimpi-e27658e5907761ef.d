@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/minimpi-e27658e5907761ef.d: crates/minimpi/src/lib.rs crates/minimpi/src/chan.rs crates/minimpi/src/comm.rs crates/minimpi/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libminimpi-e27658e5907761ef.rmeta: crates/minimpi/src/lib.rs crates/minimpi/src/chan.rs crates/minimpi/src/comm.rs crates/minimpi/src/world.rs Cargo.toml
+
+crates/minimpi/src/lib.rs:
+crates/minimpi/src/chan.rs:
+crates/minimpi/src/comm.rs:
+crates/minimpi/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_ablations-92551a2b5a4bb30f.d: crates/bench/benches/model_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_ablations-92551a2b5a4bb30f.rmeta: crates/bench/benches/model_ablations.rs Cargo.toml
+
+crates/bench/benches/model_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

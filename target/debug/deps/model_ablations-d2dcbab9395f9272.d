@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_ablations-d2dcbab9395f9272.d: crates/bench/benches/model_ablations.rs
+
+/root/repo/target/debug/deps/model_ablations-d2dcbab9395f9272: crates/bench/benches/model_ablations.rs
+
+crates/bench/benches/model_ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/physics_integration-34fdd3b2e95bb64e.d: tests/physics_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphysics_integration-34fdd3b2e95bb64e.rmeta: tests/physics_integration.rs Cargo.toml
+
+tests/physics_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

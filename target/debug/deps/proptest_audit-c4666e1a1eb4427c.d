@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_audit-c4666e1a1eb4427c.d: crates/stdpar/tests/proptest_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_audit-c4666e1a1eb4427c.rmeta: crates/stdpar/tests/proptest_audit.rs Cargo.toml
+
+crates/stdpar/tests/proptest_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_collectives-412af2479129bb4c.d: crates/minimpi/tests/proptest_collectives.rs
+
+/root/repo/target/debug/deps/proptest_collectives-412af2479129bb4c: crates/minimpi/tests/proptest_collectives.rs
+
+crates/minimpi/tests/proptest_collectives.rs:

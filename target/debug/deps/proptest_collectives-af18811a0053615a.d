@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_collectives-af18811a0053615a.d: crates/minimpi/tests/proptest_collectives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_collectives-af18811a0053615a.rmeta: crates/minimpi/tests/proptest_collectives.rs Cargo.toml
+
+crates/minimpi/tests/proptest_collectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

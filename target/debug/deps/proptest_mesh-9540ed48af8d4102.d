@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_mesh-9540ed48af8d4102.d: crates/grid/tests/proptest_mesh.rs
+
+/root/repo/target/debug/deps/proptest_mesh-9540ed48af8d4102: crates/grid/tests/proptest_mesh.rs
+
+crates/grid/tests/proptest_mesh.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_mesh-f6b07bc75a68ae00.d: crates/grid/tests/proptest_mesh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_mesh-f6b07bc75a68ae00.rmeta: crates/grid/tests/proptest_mesh.rs Cargo.toml
+
+crates/grid/tests/proptest_mesh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

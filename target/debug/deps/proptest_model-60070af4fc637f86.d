@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_model-60070af4fc637f86.d: crates/gpusim/tests/proptest_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_model-60070af4fc637f86.rmeta: crates/gpusim/tests/proptest_model.rs Cargo.toml
+
+crates/gpusim/tests/proptest_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling-01b7a4639ba5046f.d: tests/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-01b7a4639ba5046f.rmeta: tests/scaling.rs Cargo.toml
+
+tests/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

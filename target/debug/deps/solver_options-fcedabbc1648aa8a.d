@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_options-fcedabbc1648aa8a.d: tests/solver_options.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_options-fcedabbc1648aa8a.rmeta: tests/solver_options.rs Cargo.toml
+
+tests/solver_options.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solvers-0cf86e5d37e11639.d: crates/bench/benches/solvers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolvers-0cf86e5d37e11639.rmeta: crates/bench/benches/solvers.rs Cargo.toml
+
+crates/bench/benches/solvers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solvers-7c7c7b8bb6ece095.d: crates/bench/benches/solvers.rs
+
+/root/repo/target/debug/deps/solvers-7c7c7b8bb6ece095: crates/bench/benches/solvers.rs
+
+crates/bench/benches/solvers.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/stdpar-743acd3d886509c5.d: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/engine.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstdpar-743acd3d886509c5.rmeta: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/engine.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs Cargo.toml
+
+crates/stdpar/src/lib.rs:
+crates/stdpar/src/audit.rs:
+crates/stdpar/src/engine.rs:
+crates/stdpar/src/exec.rs:
+crates/stdpar/src/site.rs:
+crates/stdpar/src/version.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

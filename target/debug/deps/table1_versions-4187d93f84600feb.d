@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/table1_versions-4187d93f84600feb.d: crates/bench/src/bin/table1_versions.rs
+
+/root/repo/target/debug/deps/table1_versions-4187d93f84600feb: crates/bench/src/bin/table1_versions.rs
+
+crates/bench/src/bin/table1_versions.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

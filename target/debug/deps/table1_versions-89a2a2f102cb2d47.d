@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/table1_versions-89a2a2f102cb2d47.d: crates/bench/src/bin/table1_versions.rs
+
+/root/repo/target/debug/deps/table1_versions-89a2a2f102cb2d47: crates/bench/src/bin/table1_versions.rs
+
+crates/bench/src/bin/table1_versions.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

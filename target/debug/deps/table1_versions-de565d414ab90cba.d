@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table1_versions-de565d414ab90cba.d: crates/bench/src/bin/table1_versions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_versions-de565d414ab90cba.rmeta: crates/bench/src/bin/table1_versions.rs Cargo.toml
+
+crates/bench/src/bin/table1_versions.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_directives-111af605d3a904c0.d: crates/bench/src/bin/table2_directives.rs
+
+/root/repo/target/debug/deps/table2_directives-111af605d3a904c0: crates/bench/src/bin/table2_directives.rs
+
+crates/bench/src/bin/table2_directives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_directives-2eaf3df21291bd3e.d: crates/bench/src/bin/table2_directives.rs
+
+/root/repo/target/debug/deps/table2_directives-2eaf3df21291bd3e: crates/bench/src/bin/table2_directives.rs
+
+crates/bench/src/bin/table2_directives.rs:

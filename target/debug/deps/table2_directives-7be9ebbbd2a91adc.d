@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_directives-7be9ebbbd2a91adc.d: crates/bench/src/bin/table2_directives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_directives-7be9ebbbd2a91adc.rmeta: crates/bench/src/bin/table2_directives.rs Cargo.toml
+
+crates/bench/src/bin/table2_directives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

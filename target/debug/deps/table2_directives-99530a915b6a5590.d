@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_directives-99530a915b6a5590.d: crates/bench/src/bin/table2_directives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_directives-99530a915b6a5590.rmeta: crates/bench/src/bin/table2_directives.rs Cargo.toml
+
+crates/bench/src/bin/table2_directives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

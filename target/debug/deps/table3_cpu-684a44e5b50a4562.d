@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_cpu-684a44e5b50a4562.d: crates/bench/src/bin/table3_cpu.rs
+
+/root/repo/target/debug/deps/table3_cpu-684a44e5b50a4562: crates/bench/src/bin/table3_cpu.rs
+
+crates/bench/src/bin/table3_cpu.rs:

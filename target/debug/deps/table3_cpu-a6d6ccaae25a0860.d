@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_cpu-a6d6ccaae25a0860.d: crates/bench/src/bin/table3_cpu.rs
+
+/root/repo/target/debug/deps/table3_cpu-a6d6ccaae25a0860: crates/bench/src/bin/table3_cpu.rs
+
+crates/bench/src/bin/table3_cpu.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_cpu-c0f203c4f7e3931a.d: crates/bench/src/bin/table3_cpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_cpu-c0f203c4f7e3931a.rmeta: crates/bench/src/bin/table3_cpu.rs Cargo.toml
+
+crates/bench/src/bin/table3_cpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/coronal_relaxation-3b3784862e10033d.d: examples/coronal_relaxation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcoronal_relaxation-3b3784862e10033d.rmeta: examples/coronal_relaxation.rs Cargo.toml
+
+examples/coronal_relaxation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flux_rope_eruption-861fc80ccdd3b6d4.d: examples/flux_rope_eruption.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflux_rope_eruption-861fc80ccdd3b6d4.rmeta: examples/flux_rope_eruption.rs Cargo.toml
+
+examples/flux_rope_eruption.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/port_audit-e98f38b2d8f9304b.d: examples/port_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libport_audit-e98f38b2d8f9304b.rmeta: examples/port_audit.rs Cargo.toml
+
+examples/port_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

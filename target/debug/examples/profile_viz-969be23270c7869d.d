@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profile_viz-969be23270c7869d.d: examples/profile_viz.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofile_viz-969be23270c7869d.rmeta: examples/profile_viz.rs Cargo.toml
+
+examples/profile_viz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/mas_field-eb9dab2182054f60.d: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs
+/root/repo/target/release/deps/mas_field-eb9dab2182054f60.d: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs crates/field/src/parview.rs
 
-/root/repo/target/release/deps/libmas_field-eb9dab2182054f60.rlib: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs
+/root/repo/target/release/deps/libmas_field-eb9dab2182054f60.rlib: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs crates/field/src/parview.rs
 
-/root/repo/target/release/deps/libmas_field-eb9dab2182054f60.rmeta: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs
+/root/repo/target/release/deps/libmas_field-eb9dab2182054f60.rmeta: crates/field/src/lib.rs crates/field/src/array3.rs crates/field/src/field.rs crates/field/src/halo.rs crates/field/src/norms.rs crates/field/src/parview.rs
 
 crates/field/src/lib.rs:
 crates/field/src/array3.rs:
 crates/field/src/field.rs:
 crates/field/src/halo.rs:
 crates/field/src/norms.rs:
+crates/field/src/parview.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/stdpar-acb04dc1a2f48641.d: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs
+/root/repo/target/release/deps/stdpar-acb04dc1a2f48641.d: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/engine.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs
 
-/root/repo/target/release/deps/libstdpar-acb04dc1a2f48641.rlib: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs
+/root/repo/target/release/deps/libstdpar-acb04dc1a2f48641.rlib: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/engine.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs
 
-/root/repo/target/release/deps/libstdpar-acb04dc1a2f48641.rmeta: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs
+/root/repo/target/release/deps/libstdpar-acb04dc1a2f48641.rmeta: crates/stdpar/src/lib.rs crates/stdpar/src/audit.rs crates/stdpar/src/engine.rs crates/stdpar/src/exec.rs crates/stdpar/src/site.rs crates/stdpar/src/version.rs
 
 crates/stdpar/src/lib.rs:
 crates/stdpar/src/audit.rs:
+crates/stdpar/src/engine.rs:
 crates/stdpar/src/exec.rs:
 crates/stdpar/src/site.rs:
 crates/stdpar/src/version.rs:

@@ -33,6 +33,60 @@ fn all_versions_produce_identical_physics() {
     }
 }
 
+/// The determinism matrix: for every code version, runs at host-engine
+/// widths 1, 2 and 4 must agree *bitwise* — final-state hash, model wall
+/// clock, kernel census, host-tile census, and the directive-audit census
+/// are all thread-count independent. The engine only changes who executes
+/// the numerics, never what is computed or charged.
+#[test]
+fn determinism_matrix_across_thread_counts() {
+    let mut deck = Deck::preset_quickstart();
+    deck.time.n_steps = 3;
+    deck.output.hist_interval = 3;
+    for &v in CodeVersion::ALL.iter() {
+        let mut reference = None;
+        for threads in [1usize, 2, 4] {
+            let mut d = deck.clone();
+            d.host_threads = threads;
+            let r = mas::mhd::run_single_rank(&d, v);
+            let audit = mas::stdpar::DirectiveAudit::new(&r.registry);
+            let census = audit.census(v).total();
+            let key = (
+                r.state_hash,
+                r.wall_us.to_bits(),
+                r.kernel_launches,
+                r.host_tiles,
+                census,
+                r.hist
+                    .last()
+                    .map(|h| (h.diag.mass.to_bits(), h.diag.etherm.to_bits(), h.diag.emag.to_bits())),
+            );
+            match &reference {
+                None => reference = Some(key),
+                Some(base) => assert_eq!(
+                    &key, base,
+                    "{v:?} at {threads} host threads diverged from the 1-thread run"
+                ),
+            }
+        }
+    }
+}
+
+/// The host engine actually tiles: a multi-thread run dispatches the same
+/// tile census as a serial run (tiles are per-k-plane, not per-thread).
+#[test]
+fn host_tile_census_is_positive_and_width_independent() {
+    let mut deck = Deck::preset_quickstart();
+    deck.time.n_steps = 2;
+    let mut d1 = deck.clone();
+    d1.host_threads = 1;
+    deck.host_threads = 4;
+    let serial = mas::mhd::run_single_rank(&d1, CodeVersion::Ad);
+    let wide = mas::mhd::run_single_rank(&deck, CodeVersion::Ad);
+    assert!(serial.host_tiles > 0, "bulk kernels must dispatch tiles");
+    assert_eq!(serial.host_tiles, wide.host_tiles);
+}
+
 #[test]
 fn performance_ordering_matches_paper() {
     let reports = run_all();

@@ -127,7 +127,7 @@ proptest! {
         let run = |v: CodeVersion| -> (f64, Vec<f64>) {
             let mut spec = DeviceSpec::a100_40gb();
             spec.jitter_sigma = 0.0;
-            let mut par = Par::new(spec, v, 0, 1);
+            let mut par = Par::builder(spec).version(v).build();
             par.ctx.set_phase(mas::gpusim::Phase::Compute);
             let b = par.ctx.mem.register(8 * 27, "x");
             if par.policy.data_mode == mas::gpusim::DataMode::Manual {
@@ -170,8 +170,10 @@ proptest! {
         steps in 1usize..1000, cfl in 0.05f64..1.0,
         radiation: bool, heating: bool, gravity: bool,
     ) {
-        let mut d = Deck::default();
-        d.grid = mas::config::GridCfg { nr, nt, np, rmax };
+        let mut d = Deck {
+            grid: mas::config::GridCfg { nr, nt, np, rmax },
+            ..Deck::default()
+        };
         d.physics.gamma = gamma;
         d.physics.visc = visc;
         d.physics.eta = eta;

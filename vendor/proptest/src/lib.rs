@@ -442,7 +442,7 @@ mod tests {
         #[test]
         fn macro_smoke(n in 1usize..10, flag: bool, xs in prop::collection::vec(0u8..5, 1..4)) {
             prop_assume!(n != 9);
-            prop_assert!(n >= 1 && n < 10);
+            prop_assert!((1..10).contains(&n));
             prop_assert_ne!(n, 9);
             prop_assert_eq!(flag, flag);
             prop_assert!(!xs.is_empty() && xs.len() < 4);
@@ -450,7 +450,7 @@ mod tests {
             let mut rng = crate::TestRng::new(7);
             for _ in 0..20 {
                 let v = crate::Strategy::generate(&s, &mut rng);
-                prop_assert!(v == 5 || v == 10 || v == 11);
+                prop_assert!(v == 5u8 || v == 10u8 || v == 11u8);
             }
         }
     }
