@@ -130,6 +130,13 @@ pub struct Deck {
     /// `MAS_HOST_THREADS` env if set, else the machine's available
     /// parallelism.
     pub host_threads: usize,
+    /// Run the dynamic race auditor: every tiled kernel's first launch
+    /// per iteration-space shape executes under instrumented views and is
+    /// checked against the `do concurrent` iteration-independence
+    /// contract (see `stdpar::race`). Results are bit-identical either
+    /// way; default off. The `MAS_PAR_AUDIT=1` environment variable also
+    /// enables it when this key is false.
+    pub par_audit: bool,
     /// Grid section.
     pub grid: GridCfg,
     /// Physics section.
@@ -148,6 +155,7 @@ impl Default for Deck {
             problem: "coronal_background".into(),
             paper_cells: 0,
             host_threads: 0,
+            par_audit: false,
             grid: GridCfg {
                 nr: 48,
                 nt: 40,
@@ -204,6 +212,7 @@ impl Deck {
             ("run", "problem") => self.problem = v.as_str()?.to_string(),
             ("run", "paper_cells") => self.paper_cells = v.as_usize()?,
             ("run", "host_threads") => self.host_threads = v.as_usize()?,
+            ("run", "par_audit") => self.par_audit = v.as_bool()?,
             ("grid", "nr") => self.grid.nr = v.as_usize()?,
             ("grid", "nt") => self.grid.nt = v.as_usize()?,
             ("grid", "np") => self.grid.np = v.as_usize()?,
@@ -242,7 +251,7 @@ impl Deck {
     pub fn to_deck_string(&self) -> String {
         let b = |x: bool| if x { ".true." } else { ".false." };
         format!(
-            "&run\n  problem = '{}'\n  paper_cells = {}\n  host_threads = {}\n/\n\
+            "&run\n  problem = '{}'\n  paper_cells = {}\n  host_threads = {}\n  par_audit = {}\n/\n\
              &grid\n  nr = {}\n  nt = {}\n  np = {}\n  rmax = {}\n/\n\
              &physics\n  gamma = {}\n  visc = {}\n  eta = {}\n  kappa0 = {}\n  \
              radiation = {}\n  heating = {}\n  gravity = {}\n  rho0 = {}\n  \
@@ -254,6 +263,7 @@ impl Deck {
             self.problem,
             self.paper_cells,
             self.host_threads,
+            b(self.par_audit),
             self.grid.nr,
             self.grid.nt,
             self.grid.np,

@@ -20,7 +20,101 @@
 //! original — the tiling audit in `mas-mhd` exists to prevent it.
 
 use crate::Array3;
+use std::cell::RefCell;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One recorded element access made through a [`ParView3`] while a
+/// capture is active on the current thread (see [`capture_begin`]).
+///
+/// `base` is an opaque buffer identity (stable for the lifetime of the
+/// underlying allocation); consumers should map it to a small ordinal
+/// before reporting rather than surfacing the raw value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ViewAccess {
+    /// Opaque identity of the buffer the view points into.
+    pub base: usize,
+    /// Storage index along the fastest axis.
+    pub i: usize,
+    /// Storage index along the middle axis.
+    pub j: usize,
+    /// Storage index along the slowest (tiled) axis.
+    pub k: usize,
+    /// `true` for a write (or the write half of `add`), `false` for a read.
+    pub write: bool,
+}
+
+/// Process-wide count of threads with an active capture. Acts as a fast
+/// gate so that `get`/`set`/`add` pay only one relaxed load plus a
+/// predicted-untaken branch when no auditor is running anywhere.
+static CAPTURES_ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// The current thread's capture log, if one is active.
+    static CAPTURE_LOG: RefCell<Option<Vec<ViewAccess>>> = const { RefCell::new(None) };
+}
+
+/// Begin recording [`ParView3`] accesses made *on the current thread*
+/// into a fresh log. Nesting is not supported: a second `capture_begin`
+/// without an intervening [`capture_end`] replaces the log.
+///
+/// This is the hook the `stdpar` race auditor uses to observe kernel
+/// bodies; production runs never call it, and the per-access cost while
+/// no capture exists anywhere in the process is a single relaxed atomic
+/// load.
+pub fn capture_begin() {
+    CAPTURE_LOG.with(|log| {
+        let mut slot = log.borrow_mut();
+        if slot.is_none() {
+            CAPTURES_ACTIVE.fetch_add(1, Ordering::Relaxed);
+        }
+        *slot = Some(Vec::new());
+    });
+}
+
+/// Stop recording on the current thread and return the accesses seen
+/// since the matching [`capture_begin`]. Returns an empty vector if no
+/// capture was active.
+pub fn capture_end() -> Vec<ViewAccess> {
+    CAPTURE_LOG.with(|log| {
+        let mut slot = log.borrow_mut();
+        match slot.take() {
+            Some(v) => {
+                CAPTURES_ACTIVE.fetch_sub(1, Ordering::Relaxed);
+                v
+            }
+            None => Vec::new(),
+        }
+    })
+}
+
+/// Record one access if this thread has an active capture. The common
+/// (audit-off) path is a single relaxed load and a fall-through branch.
+#[inline(always)]
+fn maybe_record(base: usize, i: usize, j: usize, k: usize, write: bool) {
+    if CAPTURES_ACTIVE.load(Ordering::Relaxed) != 0 {
+        record_slow(base, i, j, k, write);
+    }
+}
+
+/// Out-of-line slow path: append to the thread-local log when present.
+/// Threads without a live capture (e.g. other ranks while one rank
+/// audits) fall through without recording.
+#[cold]
+#[inline(never)]
+fn record_slow(base: usize, i: usize, j: usize, k: usize, write: bool) {
+    CAPTURE_LOG.with(|log| {
+        if let Some(v) = log.borrow_mut().as_mut() {
+            v.push(ViewAccess {
+                base,
+                i,
+                j,
+                k,
+                write,
+            });
+        }
+    });
+}
 
 /// Shared-write view over an [`Array3`]'s storage (see module docs).
 ///
@@ -90,6 +184,7 @@ impl<'a> ParView3<'a> {
     pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
         let ix = self.idx(i, j, k);
         debug_assert!(ix < self.len);
+        maybe_record(self.ptr as usize, i, j, k, false);
         // SAFETY: in-bounds (asserted in debug); caller upholds the
         // no-concurrent-writer contract.
         unsafe { *self.ptr.add(ix) }
@@ -100,6 +195,7 @@ impl<'a> ParView3<'a> {
     pub fn set(&self, i: usize, j: usize, k: usize, v: f64) {
         let ix = self.idx(i, j, k);
         debug_assert!(ix < self.len);
+        maybe_record(self.ptr as usize, i, j, k, true);
         // SAFETY: as for `get`; the element belongs to this iteration.
         unsafe { *self.ptr.add(ix) = v }
     }
@@ -109,6 +205,10 @@ impl<'a> ParView3<'a> {
     pub fn add(&self, i: usize, j: usize, k: usize, v: f64) {
         let ix = self.idx(i, j, k);
         debug_assert!(ix < self.len);
+        // A read-modify-write is both a read and a write for the
+        // iteration-independence contract.
+        maybe_record(self.ptr as usize, i, j, k, false);
+        maybe_record(self.ptr as usize, i, j, k, true);
         // SAFETY: read-modify-write of an element no other iteration
         // touches (contract above).
         unsafe { *self.ptr.add(ix) += v }
@@ -159,5 +259,44 @@ mod tests {
             });
         }
         assert_eq!(a.get(2, 3, 5), (2 + 30 + 500) as f64);
+    }
+
+    #[test]
+    fn capture_records_reads_writes_and_rmw() {
+        let mut a = Array3::zeros(2, 2, 2);
+        let v = a.par_view();
+        capture_begin();
+        v.set(0, 0, 0, 1.0);
+        let _ = v.get(1, 1, 1);
+        v.add(0, 1, 0, 2.0);
+        let log = capture_end();
+        // set -> 1 write; get -> 1 read; add -> read + write.
+        assert_eq!(log.len(), 4);
+        assert!(log[0].write && log[0].i == 0 && log[0].j == 0 && log[0].k == 0);
+        assert!(!log[1].write && log[1].i == 1 && log[1].j == 1 && log[1].k == 1);
+        assert!(!log[2].write && log[2].i == 0 && log[2].j == 1 && log[2].k == 0);
+        assert!(log[3].write && log[3].i == 0 && log[3].j == 1 && log[3].k == 0);
+        assert_eq!(log[0].base, log[1].base);
+        // No capture active: nothing recorded, end returns empty.
+        v.set(1, 0, 0, 3.0);
+        assert!(capture_end().is_empty());
+    }
+
+    #[test]
+    fn capture_is_thread_local() {
+        let mut a = Array3::zeros(2, 2, 2);
+        let v = a.par_view();
+        capture_begin();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                // Other threads see the global gate but have no log;
+                // their accesses must not land in ours.
+                v.set(0, 0, 1, 5.0);
+            });
+        });
+        v.set(0, 0, 0, 1.0);
+        let log = capture_end();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].k, 0);
     }
 }

@@ -60,8 +60,10 @@ impl HaloExchanger {
     }
 
     /// Like [`HaloExchanger::new`] with a paper-scale cost factor: staging
-    /// buffers, pack/unpack kernels and wire transfers are charged at
-    /// `cost_scale` × their actual plane size.
+    /// buffers, pack/unpack kernels, wire transfers — and the size
+    /// reported by [`HaloExchanger::bytes_per_direction`] — are all
+    /// charged at `cost_scale` × the actual plane size, so every
+    /// model-facing number for this exchange agrees on one scaled size.
     pub fn new_scaled(
         par: &mut Par,
         arrays: &[&Array3],
@@ -89,9 +91,12 @@ impl HaloExchanger {
         }
     }
 
-    /// Total staged bytes per direction.
+    /// Total staged bytes per direction, at the same `cost_scale` the
+    /// staging buffers were registered with (and the wire transfers are
+    /// charged at) — previously this reported the *unscaled* plane size,
+    /// disagreeing with every other number the exchanger books.
     pub fn bytes_per_direction(&self) -> usize {
-        self.halo.total_bytes()
+        (self.halo.total_bytes() as f64 * self.cost_scale) as usize
     }
 
     /// Exchange the boundary planes of `arrays` (same set/order as at
@@ -287,6 +292,21 @@ mod tests {
             "UM MPI time {} should far exceed manual {}",
             um[0].2,
             manual[0].2
+        );
+    }
+
+    #[test]
+    fn bytes_per_direction_reports_the_scaled_size() {
+        let mut p = par(CodeVersion::A, 0);
+        let a = Array3::zeros(3, 3, 4);
+        let unscaled = HaloExchanger::new(&mut p, &[&a], "halo_unscaled");
+        let raw = unscaled.bytes_per_direction();
+        assert!(raw > 0);
+        let scaled = HaloExchanger::new_scaled(&mut p, &[&a], "halo_scaled", 16.0);
+        assert_eq!(
+            scaled.bytes_per_direction(),
+            raw * 16,
+            "report must match the staging buffers' registered (scaled) size"
         );
     }
 

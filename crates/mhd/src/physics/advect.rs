@@ -75,6 +75,29 @@ pub fn advect_temperature(
     dt: f64,
     gamma: f64,
 ) {
+    advect_temperature_at(par, &sites::TEMP_ADVECT, grid, geom, temp, v, dt, gamma);
+}
+
+/// [`advect_temperature`] with an explicit site declaration.
+///
+/// The production site is [`sites::TEMP_ADVECT`], which is declared
+/// [`Site::serial`](stdpar::Site::serial) because the upwind φ gradient
+/// reads the written array at `k ± 1` — a k-neighbour recurrence that is
+/// not `do concurrent`-legal over k-tiles. Exposing the site lets the
+/// race-audit tests re-declare the *same physics body* as
+/// `Tiling::Outer` (the pre-PR-1 mistake) and assert the dynamic auditor
+/// flags it; production code should always call [`advect_temperature`].
+#[allow(clippy::too_many_arguments)]
+pub fn advect_temperature_at(
+    par: &mut Par,
+    site: &stdpar::Site,
+    grid: &SphericalGrid,
+    geom: &DivGeom,
+    temp: &mut Field,
+    v: &VecField,
+    dt: f64,
+    gamma: f64,
+) {
     let space = IndexSpace3::interior(Stagger::CellCenter, grid.nr, grid.nt, grid.np);
     let reads = [temp.buf(), v.r.buf(), v.t.buf(), v.p.buf()];
     let writes = [temp.buf()];
@@ -86,7 +109,7 @@ pub fn advect_temperature(
     let (rc_inv, st_c_inv) = (&grid.rc_inv, &grid.st_c_inv);
     let (dfr, dft, dfp) = (&grid.r.df, &grid.t.df, &grid.p.df);
     let gm1 = gamma - 1.0;
-    par.loop3(&sites::TEMP_ADVECT, space, Traffic::new(12, 1, 30), &reads, &writes, |i, j, k| {
+    par.loop3(site, space, Traffic::new(12, 1, 30), &reads, &writes, |i, j, k| {
         let t0 = td.get(i, j, k);
         // Cell-centered advecting velocity.
         let vrc = avg2(vr.get(i, j, k), vr.get(i + 1, j, k));

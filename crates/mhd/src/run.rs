@@ -6,7 +6,7 @@ use crate::sim::Simulation;
 use gpusim::{DeviceSpec, Phase, Span, TimeCategory};
 use mas_config::Deck;
 use minimpi::World;
-use stdpar::{CodeVersion, SiteRegistry};
+use stdpar::{CodeVersion, RaceAudit, SiteRegistry};
 
 /// Result of one rank's run.
 #[derive(Clone, Debug)]
@@ -41,6 +41,11 @@ pub struct RunReport {
     pub time: f64,
     /// Site registry (feeds the directive audit).
     pub registry: SiteRegistry,
+    /// Race-audit summary (iteration-independence contract checks; all
+    /// zeros with `enabled: false` unless the run asked for audit mode
+    /// via `par_audit` / `MAS_PAR_AUDIT=1`). Sits next to `host_tiles`
+    /// so CI can assert every shipped kernel is contract-clean.
+    pub race_audit: RaceAudit,
     /// Detailed profiler spans (only when span recording was requested).
     pub spans: Vec<Span>,
     /// Time per category, µs (Fig. 4 aggregation).
@@ -123,6 +128,7 @@ fn report_from(sim: Simulation, n_ranks: usize) -> RunReport {
         hist: sim.hist.clone(),
         time: sim.time,
         registry: sim.par.registry.clone(),
+        race_audit: sim.par.race_audit().clone(),
         spans: prof.spans().to_vec(),
         cat_us,
     }

@@ -91,6 +91,11 @@ impl Simulation {
         if deck.host_threads > 0 {
             builder = builder.threads(deck.host_threads);
         }
+        if deck.par_audit {
+            // Only force audit mode *on*: leaving the builder untouched
+            // when the key is false lets MAS_PAR_AUDIT=1 enable it too.
+            builder = builder.audit(true);
+        }
         let mut par = builder.build();
         par.ctx.set_phase(Phase::Setup);
 

@@ -247,13 +247,19 @@ impl Engine {
 
     /// Execute `task(tile)` for `0..n_tiles`; concurrently when
     /// [`Engine::wants_parallel`] said so, else inline on the caller.
+    ///
+    /// Callers in `exec.rs` take their own serial fast path for
+    /// `n_tiles <= 1` (and the race auditor bypasses the engine entirely
+    /// for instrumented launches — see `stdpar::race`), so a parallel
+    /// dispatch here always has work to spread; the inline branch below
+    /// remains correct for any `n_tiles` regardless.
     pub(crate) fn run_tiles(
         &mut self,
         n_tiles: usize,
         n_points: usize,
         task: &(dyn Fn(usize) + Sync),
     ) {
-        if !self.wants_parallel(n_tiles, n_points) {
+        if n_tiles <= 1 || !self.wants_parallel(n_tiles, n_points) {
             for t in 0..n_tiles {
                 task(t);
             }

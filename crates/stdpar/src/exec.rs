@@ -19,12 +19,24 @@
 //! reductions, audits, and virtual-clock timings.
 
 use crate::engine::{default_host_threads, Engine, SyncSlice};
+use crate::race::{RaceAudit, RaceAuditor};
 use crate::site::{LoopClass, RegionId, Site, SiteId, SiteRegistry, Tiling};
 use crate::version::{ArrayReduceStrategy, CodeVersion, LoopStyle, Policy};
 use gpusim::{BufferId, DeviceContext, DeviceSpec, LaunchMode, Traffic};
 use mas_grid::IndexSpace3;
 use minimpi::ReduceOp;
 use std::collections::HashMap;
+
+/// Environment variable enabling the dynamic race auditor (`1`/`true`/
+/// `on`/`yes`, case-insensitive). [`ParBuilder::audit`] overrides it.
+pub const PAR_AUDIT_ENV: &str = "MAS_PAR_AUDIT";
+
+/// Whether `MAS_PAR_AUDIT` asks for audit mode.
+fn audit_env_default() -> bool {
+    std::env::var(PAR_AUDIT_ENV)
+        .map(|v| matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes"))
+        .unwrap_or(false)
+}
 
 /// Execution-time penalty of the loop-flip array reduction (Listing 5):
 /// the compiler serializes the inner `reduce` loop, which costs a little
@@ -107,6 +119,7 @@ pub struct ParBuilder {
     seed: u64,
     threads: Option<usize>,
     scales: CostScales,
+    audit: Option<bool>,
 }
 
 impl ParBuilder {
@@ -142,11 +155,23 @@ impl ParBuilder {
         self
     }
 
+    /// Enable (or force off) the dynamic race auditor. Default: the
+    /// [`PAR_AUDIT_ENV`] environment variable. In audit mode, the first
+    /// launch of every [`Tiling::Outer`] site per iteration-space shape
+    /// runs serially under instrumented `ParView3` handles and is checked
+    /// against the `do concurrent` iteration-independence contract; see
+    /// [`crate::race`]. Results are bit-identical to audit-off runs.
+    pub fn audit(mut self, on: bool) -> Self {
+        self.audit = Some(on);
+        self
+    }
+
     /// Construct the executor.
     pub fn build(self) -> Par {
         let policy = self.version.policy();
         let ctx = DeviceContext::new(self.spec, policy.data_mode, self.rank, self.seed);
         let threads = self.threads.unwrap_or_else(default_host_threads);
+        let audit_on = self.audit.unwrap_or_else(audit_env_default);
         Par {
             ctx,
             policy,
@@ -155,6 +180,7 @@ impl ParBuilder {
             point_scale: self.scales.volume,
             scales: self.scales,
             plans: HashMap::new(),
+            audit: RaceAuditor::new(audit_on),
         }
     }
 }
@@ -201,6 +227,8 @@ pub struct Par {
     scales: CostScales,
     /// Per-site plan cache (see [`Plan`]).
     plans: HashMap<PlanKey, Plan>,
+    /// Dynamic race auditor (no-op unless audit mode is on).
+    audit: RaceAuditor,
 }
 
 impl Par {
@@ -213,6 +241,7 @@ impl Par {
             seed: 1,
             threads: None,
             scales: CostScales::IDENTITY,
+            audit: None,
         }
     }
 
@@ -230,6 +259,12 @@ impl Par {
     /// Width of the host execution engine (1 = serial).
     pub fn host_threads(&self) -> usize {
         self.engine.threads()
+    }
+
+    /// The race-audit summary accumulated so far (all-zero and
+    /// `enabled: false` when audit mode is off). See [`crate::race`].
+    pub fn race_audit(&self) -> &RaceAudit {
+        self.audit.audit()
     }
 
     /// Current cost-model point scale.
@@ -354,9 +389,12 @@ impl Par {
     }
 
     /// Execute `body` over `space` under the site's tiling: Serial sites
-    /// run in Fortran order on the caller; Outer sites run one k-plane
-    /// per tile, dispatched to the engine when large enough. Charges the
-    /// engine's tile census to the profiler (thread-count independent).
+    /// and single-tile spaces run in Fortran order on the caller (the
+    /// unified serial fast path — no tile census, matching the reduction
+    /// forms); Outer sites run one k-plane per tile, dispatched to the
+    /// engine when large enough, or serially under instrumentation when
+    /// the race auditor claims the launch. Charges the engine's tile
+    /// census to the profiler (thread-count independent).
     fn execute_tiles(&mut self, site: &Site, space: IndexSpace3, body: &(dyn Fn(usize, usize, usize) + Sync)) {
         let nk = space.k1.saturating_sub(space.k0);
         if site.tiling == Tiling::Serial || nk <= 1 {
@@ -365,14 +403,19 @@ impl Par {
         }
         self.ctx.prof.note_host_tiles(nk as u64);
         let k0 = space.k0;
-        self.engine.run_tiles(nk, space.len(), &|t| {
+        let tile = |t: usize| {
             let k = k0 + t;
             for j in space.j0..space.j1 {
                 for i in space.i0..space.i1 {
                     body(i, j, k);
                 }
             }
-        });
+        };
+        if self.audit.wants(site, space, nk) {
+            self.audit.run_audited_tiles(site.name, k0, nk, &tile);
+        } else {
+            self.engine.run_tiles(nk, space.len(), &tile);
+        }
     }
 
     /// A plain (or routine-calling / atomic-scatter) parallel loop nest.
@@ -421,7 +464,11 @@ impl Par {
         body: &(dyn Fn(usize, usize, usize) -> f64 + Sync),
     ) -> f64 {
         let nk = space.k1.saturating_sub(space.k0);
-        if site.tiling == Tiling::Serial || nk == 0 {
+        if site.tiling == Tiling::Serial || nk <= 1 {
+            // Unified serial fast path (also taken at nk == 1, where a
+            // single tile cannot race and dispatch would only add
+            // overhead): plain Fortran-order fold, no tile census —
+            // consistent with `execute_tiles` and `reduce_array`.
             let mut acc = init;
             space.for_each(|i, j, k| acc = op_apply(op, acc, body(i, j, k)));
             return acc;
@@ -430,11 +477,9 @@ impl Par {
         let mut partials = vec![ident; nk];
         {
             let ps = SyncSlice::new(&mut partials);
-            if nk > 1 {
-                self.ctx.prof.note_host_tiles(nk as u64);
-            }
+            self.ctx.prof.note_host_tiles(nk as u64);
             let k0 = space.k0;
-            self.engine.run_tiles(nk, space.len(), &|t| {
+            let tile = |t: usize| {
                 let k = k0 + t;
                 let mut acc = ident;
                 for j in space.j0..space.j1 {
@@ -443,7 +488,15 @@ impl Par {
                     }
                 }
                 ps.set(t, acc);
-            });
+            };
+            if self.audit.wants(site, space, nk) {
+                // The audited pass *is* the launch: tiles run serially
+                // under capture, writing the same per-tile partials, so
+                // the combine below keeps the engine's exact FP order.
+                self.audit.run_audited_tiles(site.name, k0, nk, &tile);
+            } else {
+                self.engine.run_tiles(nk, space.len(), &tile);
+            }
         }
         let mut acc = init;
         for p in partials {
@@ -517,7 +570,9 @@ impl Par {
         let exec = self.ctx.launch(site.name, scaled, eff, reads, writes);
 
         let nk = space.k1.saturating_sub(space.k0);
-        if site.tiling == Tiling::Serial || nk == 0 {
+        if site.tiling == Tiling::Serial || nk <= 1 {
+            // Unified serial fast path (see `fold_tiled`): direct
+            // accumulation, no tile census.
             space.for_each(|i, j, k| {
                 let (t, v) = body(i, j, k);
                 out[t] += v;
@@ -529,11 +584,9 @@ impl Par {
             let mut partials = vec![0.0; nk * width];
             {
                 let ps = SyncSlice::new(&mut partials);
-                if nk > 1 {
-                    self.ctx.prof.note_host_tiles(nk as u64);
-                }
+                self.ctx.prof.note_host_tiles(nk as u64);
                 let k0 = space.k0;
-                self.engine.run_tiles(nk, space.len(), &|t| {
+                let tile = |t: usize| {
                     let k = k0 + t;
                     let row = t * width;
                     for j in space.j0..space.j1 {
@@ -543,7 +596,12 @@ impl Par {
                             ps.add(row + target, v);
                         }
                     }
-                });
+                };
+                if self.audit.wants(site, space, nk) {
+                    self.audit.run_audited_tiles(site.name, k0, nk, &tile);
+                } else {
+                    self.engine.run_tiles(nk, space.len(), &tile);
+                }
             }
             for t in 0..nk {
                 let row = &partials[t * width..(t + 1) * width];
@@ -598,10 +656,16 @@ impl Par {
         acc
     }
 
-    /// Array-creation wrapper (Code 6/D2XAd only): the wrapper routines
-    /// that replaced raw `allocate`+`enter data` zero-initialize their
-    /// arrays, adding kernels the original code did not have (§IV-F).
-    /// `n_points` is the array's storage size in values.
+    /// Array-creation wrapper: allocation-time zero-initialization of a
+    /// work array. The **numerical effect** — the array starts at zero —
+    /// is version-independent (every version's allocation produces
+    /// defined storage), so `zero` always runs. What is version-gated is
+    /// the **cost**: only Code 6 (D2XAd)'s wrapper routines, which
+    /// replaced raw `allocate`+`enter data`, issue an extra
+    /// zero-initialization *kernel* the original code did not have
+    /// (§IV-F) — that launch is charged only under
+    /// `policy.wrapper_init_kernels`. `n_points` is the array's storage
+    /// size in values.
     pub fn wrapper_alloc(
         &mut self,
         name: &'static str,
@@ -609,11 +673,11 @@ impl Par {
         n_points: usize,
         zero: impl FnOnce(),
     ) {
+        zero();
         if self.policy.wrapper_init_kernels {
             self.ctx.set_launch_mode(LaunchMode::Sync);
             self.ctx
                 .launch(name, self.scaled(n_points), Traffic::new(0, 1, 0), &[], &[buf]);
-            zero();
         }
     }
 
@@ -838,17 +902,28 @@ mod tests {
         assert!(cost(CodeVersion::D2xu) > cost(CodeVersion::Ad2xu));
     }
 
+    /// Regression test for the wrapper-init bug: the caller's `zero()`
+    /// closure must run under *every* code version (the work arrays are
+    /// zero-initialized host state, not a Code 6 artifact); only the
+    /// modeled zero-fill *kernel launch* is D2XAd-specific.
     #[test]
-    fn wrapper_alloc_only_fires_for_d2xad() {
+    fn wrapper_alloc_zeroes_under_every_version_charges_only_d2xad() {
         for v in CodeVersion::ALL {
             let mut p = par(v);
             let b = p.ctx.mem.register(800, "tmp");
             if p.policy.data_mode == DataMode::Manual {
                 p.ctx.enter_data(b);
             }
+            let launches_before = p.ctx.prof.kernel_launches;
             let mut zeroed = false;
             p.wrapper_alloc("tmp_init", b, 100, || zeroed = true);
-            assert_eq!(zeroed, v == CodeVersion::D2xad, "{v:?}");
+            assert!(zeroed, "{v:?}: work arrays must be zeroed in every version");
+            let launched = p.ctx.prof.kernel_launches - launches_before;
+            assert_eq!(
+                launched,
+                u64::from(v == CodeVersion::D2xad),
+                "{v:?}: only Code 6 charges the wrapper init kernel"
+            );
         }
     }
 
@@ -999,5 +1074,185 @@ mod tests {
         p.loop3(&PLAIN, space(3), Traffic::new(1, 1, 0), &[b], &[b], |_, _, _| {});
         assert_eq!(p.plans.len(), 1);
         assert_eq!(p.registry.total_invocations(), 4);
+    }
+
+    /// Single-tile (nk == 1) spaces take the serial fast path in every
+    /// kernel form — no engine dispatch, no host-tile census — while
+    /// nk > 1 spaces are always counted. Regression test for the old
+    /// asymmetry where `fold_tiled`/`reduce_array` still dispatched
+    /// nk == 1 through the engine without counting it.
+    #[test]
+    fn single_tile_spaces_take_serial_path_with_no_census() {
+        let thin = IndexSpace3 {
+            i0: 0,
+            i1: 8,
+            j0: 0,
+            j1: 8,
+            k0: 3,
+            k1: 4,
+        };
+        let mut p = par_threads(CodeVersion::D2xu, 4);
+        let b = p.ctx.mem.register(8 * 64, "x");
+        let o = p.ctx.mem.register(8 * 8, "o");
+        p.ctx.enter_data(b);
+        p.ctx.enter_data(o);
+        p.loop3(&PLAIN, thin, Traffic::new(1, 1, 0), &[b], &[b], |_, _, _| {});
+        let s = p.reduce_scalar(
+            &RED,
+            thin,
+            Traffic::new(1, 0, 1),
+            &[b],
+            ReduceOp::Sum,
+            0.0,
+            |i, j, k| (i + j + k) as f64,
+        );
+        assert_eq!(s, (0..8).flat_map(|j| (0..8).map(move |i| i + j + 3)).sum::<usize>() as f64);
+        let mut out = vec![0.0; 8];
+        p.reduce_array(
+            &ARED,
+            thin,
+            Traffic::new(2, 1, 2),
+            &[b],
+            &[o],
+            &mut out,
+            |i, _, _| (i, 1.0),
+        );
+        assert_eq!(out, vec![8.0; 8]);
+        assert_eq!(p.ctx.prof.host_tiles, 0, "nk == 1 must not enter the tile census");
+        // A taller space is censused in all three forms.
+        p.loop3(&PLAIN, space(4), Traffic::new(1, 1, 0), &[b], &[b], |_, _, _| {});
+        assert_eq!(p.ctx.prof.host_tiles, 4);
+        p.reduce_scalar(&RED, space(4), Traffic::new(1, 0, 1), &[b], ReduceOp::Sum, 0.0, |_, _, _| 1.0);
+        assert_eq!(p.ctx.prof.host_tiles, 8);
+        let mut out4 = vec![0.0; 4];
+        p.reduce_array(&ARED, space(4), Traffic::new(2, 1, 2), &[b], &[o], &mut out4, |i, _, _| (i, 1.0));
+        assert_eq!(p.ctx.prof.host_tiles, 12);
+    }
+
+    #[test]
+    fn audit_off_instruments_nothing() {
+        let mut p = par_threads(CodeVersion::Ad, 2);
+        let b = p.ctx.mem.register(8 * 4096, "x");
+        p.ctx.enter_data(b);
+        p.loop3(&PLAIN, space(8), Traffic::new(1, 1, 0), &[b], &[b], |_, _, _| {});
+        let a = p.race_audit();
+        assert!(!a.enabled);
+        assert_eq!(a.launches_audited, 0);
+        assert!(a.is_clean());
+    }
+
+    #[test]
+    fn audit_mode_flags_a_cross_tile_read() {
+        use mas_field::Array3;
+        static SHIFT: Site = Site::par3("shift_k_read");
+        static OWN: Site = Site::par3("own_point_only");
+
+        let run = |audit: bool| {
+            let mut spec = DeviceSpec::a100_40gb();
+            spec.jitter_sigma = 0.0;
+            let mut p = Par::builder(spec)
+                .version(CodeVersion::D2xu)
+                .threads(2)
+                .audit(audit)
+                .build();
+            p.ctx.set_phase(gpusim::Phase::Compute);
+            let b = p.ctx.mem.register(8 * 1000, "x");
+            p.ctx.enter_data(b);
+            let mut a = Array3::zeros(6, 6, 6);
+            let sp = IndexSpace3 {
+                i0: 0,
+                i1: a.s1,
+                j0: 0,
+                j1: a.s2,
+                k0: 0,
+                k1: a.s3,
+            };
+            {
+                let v = a.par_view();
+                // Legal: each iteration writes only its own point.
+                p.loop3(&OWN, sp, Traffic::new(1, 1, 0), &[b], &[b], |i, j, k| {
+                    v.set(i, j, k, (i + j + k) as f64);
+                });
+                // Illegal: reads the written array at k-1 (a recurrence
+                // mistakenly declared Tiling::Outer).
+                let sp1 = IndexSpace3 { k0: 1, ..sp };
+                p.loop3(&SHIFT, sp1, Traffic::new(2, 1, 0), &[b], &[b], |i, j, k| {
+                    let up = v.get(i, j, k - 1);
+                    v.set(i, j, k, up + 1.0);
+                });
+            }
+            p.race_audit().clone()
+        };
+
+        let a_off = run(false);
+        assert_eq!(a_off.launches_audited, 0);
+        let a_on = run(true);
+        assert!(a_on.enabled);
+        assert_eq!(a_on.launches_audited, 2, "both tiled launches audited");
+        assert!(
+            a_on.violations.iter().all(|v| v.site == "shift_k_read"),
+            "only the recurrence site is flagged"
+        );
+        assert!(!a_on.is_clean());
+        assert!(a_on
+            .violations
+            .iter()
+            .any(|v| v.kind == crate::race::RaceKind::ReadWrite));
+        let report = a_on.report();
+        assert!(report.contains("shift_k_read"));
+        assert!(report.contains("Site::serial"));
+    }
+
+    /// Audit-on and audit-off runs are bit-identical on contract-clean
+    /// sites: the audited pass executes the very same body once per
+    /// point and keeps the engine's tile-order partial combine.
+    #[test]
+    fn audit_mode_is_bit_identical_on_clean_sites() {
+        use mas_field::Array3;
+        static FILL: Site = Site::par3("audit_fill");
+        static FILL_RED: Site = Site::new("audit_fill_red", LoopClass::ScalarReduction, 3);
+
+        let run = |audit: bool| {
+            let mut spec = DeviceSpec::a100_40gb();
+            spec.jitter_sigma = 0.0;
+            let mut p = Par::builder(spec)
+                .version(CodeVersion::Ad2xu)
+                .threads(4)
+                .audit(audit)
+                .build();
+            p.ctx.set_phase(gpusim::Phase::Compute);
+            let b = p.ctx.mem.register(8 * 8192, "x");
+            p.ctx.enter_data(b);
+            let mut a = Array3::zeros(16, 16, 16);
+            let sp = IndexSpace3 {
+                i0: 0,
+                i1: a.s1,
+                j0: 0,
+                j1: a.s2,
+                k0: 0,
+                k1: a.s3,
+            };
+            {
+                let v = a.par_view();
+                p.loop3(&FILL, sp, Traffic::new(1, 1, 0), &[b], &[b], |i, j, k| {
+                    v.set(i, j, k, 1.0 / (1.0 + (i + 3 * j + 7 * k) as f64));
+                });
+            }
+            let s = p.reduce_scalar(
+                &FILL_RED,
+                sp,
+                Traffic::new(1, 0, 1),
+                &[b],
+                ReduceOp::Sum,
+                0.25,
+                |i, j, k| a.get(i, j, k).sin(),
+            );
+            let hash = a
+                .as_slice()
+                .iter()
+                .fold(0u64, |h, x| h.rotate_left(7) ^ x.to_bits());
+            (hash, s.to_bits(), p.ctx.prof.host_tiles)
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -25,11 +25,13 @@
 pub mod audit;
 pub mod engine;
 pub mod exec;
+pub mod race;
 pub mod site;
 pub mod version;
 
 pub use audit::{DirectiveAudit, DirectiveCensus, VersionLines};
 pub use engine::{default_host_threads, HOST_THREADS_ENV};
-pub use exec::{CostScales, Par, ParBuilder};
+pub use exec::{CostScales, Par, ParBuilder, PAR_AUDIT_ENV};
+pub use race::{RaceAudit, RaceKind, RaceViolation};
 pub use site::{LoopClass, RegionId, Site, SiteId, SiteRegistry, SiteStats, Tiling};
 pub use version::{ArrayReduceStrategy, CodeVersion, LoopStyle, Policy};

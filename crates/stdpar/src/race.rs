@@ -1,0 +1,520 @@
+//! Dynamic race auditor: runtime verification of the `do concurrent`
+//! iteration-independence contract on tiled Par sites.
+//!
+//! The whole premise of the paper's `do concurrent` ports is that every
+//! loop body is iteration-independent — no iteration writes what another
+//! iteration reads or writes. The Fortran compiler cannot check this
+//! (a violation is a silent miscompile on one compiler and a correct run
+//! on another), so MAS relies on manual audit. This module mechanizes
+//! that audit for the Rust reproduction:
+//!
+//! In audit mode ([`crate::ParBuilder::audit`], the `MAS_PAR_AUDIT=1`
+//! environment variable, or the `par_audit` deck key) every
+//! [`Tiling::Outer`](crate::Tiling::Outer) site's first launch over a
+//! given iteration space is executed **serially, one k-tile at a time**,
+//! with the [`mas_field::ParView3`] access-capture hooks armed. Each
+//! tile's element-level read/write footprint is absorbed into a per-launch
+//! shadow log, and after the launch the log is checked against the
+//! contract documented on [`Par::loop3`](crate::Par::loop3):
+//!
+//! * **write/write**: no two tiles may write the same element, and
+//! * **read/write**: no tile may read an element another tile writes
+//!   (reads of the written arrays are only legal within the writing
+//!   tile's own k-plane).
+//!
+//! The body executes exactly once per point — the audited launch *is*
+//! the launch, so non-idempotent bodies (`add` accumulations) stay
+//! correct, and reduction partials keep the engine's fixed tile-order
+//! combine so audit-on and audit-off runs are bit-identical.
+//!
+//! Violations become structured [`RaceViolation`]s (site, buffer
+//! ordinal, conflicting element and tile pair, suggested fix:
+//! [`Site::serial`](crate::Site::serial)); the [`RaceAudit`] summary is
+//! surfaced next to the host-tile census in `mas_mhd::RunReport` so CI
+//! can assert every shipped kernel is clean across all six code
+//! versions.
+//!
+//! When audit mode is off the only residual cost is one relaxed atomic
+//! load per `ParView3` access (see `mas_field::parview`) — the auditor
+//! itself is never consulted.
+
+use crate::site::Site;
+use mas_field::{capture_begin, capture_end, ViewAccess};
+use mas_grid::IndexSpace3;
+use std::collections::{BTreeMap, HashSet};
+use std::fmt::Write as _;
+
+/// Maximum violations reported per launch; the remainder is counted in
+/// [`RaceAudit::suppressed`]. A k-neighbour recurrence conflicts on
+/// nearly every interior element, so an uncapped report would be huge.
+const MAX_VIOLATIONS_PER_LAUNCH: usize = 16;
+
+/// Which clause of the iteration-independence contract a violation broke.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaceKind {
+    /// Two tiles wrote the same element.
+    WriteWrite,
+    /// One tile read an element a different tile wrote.
+    ReadWrite,
+}
+
+impl std::fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaceKind::WriteWrite => write!(f, "write/write"),
+            RaceKind::ReadWrite => write!(f, "read/write"),
+        }
+    }
+}
+
+/// One detected violation of the iteration-independence contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaceViolation {
+    /// The offending site's kernel name.
+    pub site: &'static str,
+    /// Buffer ordinal within the launch (first-appearance order of the
+    /// buffers the launch touched; raw addresses never surface).
+    pub buffer: usize,
+    /// Contract clause broken.
+    pub kind: RaceKind,
+    /// The conflicted element, in storage indices `(i, j, k)`.
+    pub elem: (usize, usize, usize),
+    /// Absolute k index of one conflicting tile…
+    pub k_a: usize,
+    /// …and of the other. For [`RaceKind::ReadWrite`], `k_a` is the
+    /// reading tile and `k_b` the writing tile.
+    pub k_b: usize,
+}
+
+impl std::fmt::Display for RaceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (i, j, k) = self.elem;
+        match self.kind {
+            RaceKind::WriteWrite => write!(
+                f,
+                "site `{}`: buffer #{}: write/write conflict on element ({i}, {j}, {k}) between tiles k={} and k={}",
+                self.site, self.buffer, self.k_a, self.k_b
+            ),
+            RaceKind::ReadWrite => write!(
+                f,
+                "site `{}`: buffer #{}: tile k={} reads element ({i}, {j}, {k}) written by tile k={}",
+                self.site, self.buffer, self.k_a, self.k_b
+            ),
+        }
+    }
+}
+
+/// Summary of a run's race audit — lands in `mas_mhd::RunReport` next to
+/// the host-tile census.
+#[derive(Clone, Debug, Default)]
+pub struct RaceAudit {
+    /// Whether audit mode was on for the run.
+    pub enabled: bool,
+    /// Distinct tiled sites that went through an audited launch.
+    pub sites_audited: usize,
+    /// Launches executed under instrumentation.
+    pub launches_audited: u64,
+    /// Launches skipped because the `(site, space)` pair was already
+    /// audited (the auditor checks each shape once to bound cost).
+    pub launches_skipped: u64,
+    /// Detected contract violations (capped per launch; see
+    /// [`RaceAudit::suppressed`]).
+    pub violations: Vec<RaceViolation>,
+    /// Violations beyond the per-launch report cap.
+    pub suppressed: u64,
+}
+
+impl RaceAudit {
+    /// `true` iff no violation was detected (reported or suppressed).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.suppressed == 0
+    }
+
+    /// Human-readable report. Empty audits and clean audits both say so;
+    /// violating audits list each conflict and the suggested fix.
+    pub fn report(&self) -> String {
+        if !self.enabled {
+            return "race audit: disabled (enable with MAS_PAR_AUDIT=1, the `par_audit` deck key, or ParBuilder::audit)".to_string();
+        }
+        let mut s = format!(
+            "race audit: {} site(s), {} launch(es) instrumented ({} repeat shapes skipped)\n",
+            self.sites_audited, self.launches_audited, self.launches_skipped
+        );
+        if self.is_clean() {
+            s.push_str("race audit: CLEAN — every tiled site satisfies the iteration-independence contract\n");
+            return s;
+        }
+        let total = self.violations.len() as u64 + self.suppressed;
+        let _ = writeln!(
+            s,
+            "race audit: FAILED — {total} iteration-independence violation(s) ({} shown, {} suppressed)",
+            self.violations.len(),
+            self.suppressed
+        );
+        for v in &self.violations {
+            let _ = writeln!(s, "  {v}");
+        }
+        let mut sites: Vec<&'static str> = self.violations.iter().map(|v| v.site).collect();
+        sites.sort_unstable();
+        sites.dedup();
+        for site in sites {
+            let _ = writeln!(
+                s,
+                "  suggested fix: declare `{site}` with Site::serial() — its body is not `do concurrent`-legal over k-tiles"
+            );
+        }
+        s
+    }
+}
+
+/// Iteration-space key for the audit-once cache ([`IndexSpace3`] is not
+/// `Hash`, so the six bounds are keyed as a tuple).
+type SpaceKey = (usize, usize, usize, usize, usize, usize);
+
+fn space_key(s: IndexSpace3) -> SpaceKey {
+    (s.i0, s.i1, s.j0, s.j1, s.k0, s.k1)
+}
+
+/// The per-executor auditor state: the enable flag, the audit-once cache
+/// and the accumulated [`RaceAudit`].
+#[derive(Debug, Default)]
+pub(crate) struct RaceAuditor {
+    /// Site-name keys already audited (for `sites_audited`).
+    sites: HashSet<(usize, usize)>,
+    /// `(site name, space)` pairs already audited.
+    seen: HashSet<(usize, usize, SpaceKey)>,
+    audit: RaceAudit,
+}
+
+impl RaceAuditor {
+    pub(crate) fn new(enabled: bool) -> Self {
+        RaceAuditor {
+            sites: HashSet::new(),
+            seen: HashSet::new(),
+            audit: RaceAudit {
+                enabled,
+                ..RaceAudit::default()
+            },
+        }
+    }
+
+    /// Whether the next launch of `site` over `space` should run under
+    /// instrumentation. Only tiled launches are candidates (serial sites
+    /// and single-tile spaces cannot race by construction); each
+    /// `(site, space)` shape is audited once.
+    pub(crate) fn wants(&mut self, site: &Site, space: IndexSpace3, nk: usize) -> bool {
+        if !self.audit.enabled || !site.tiling.is_concurrent() || nk <= 1 {
+            return false;
+        }
+        let name = (site.name.as_ptr() as usize, site.name.len());
+        let key = (name.0, name.1, space_key(space));
+        if !self.seen.insert(key) {
+            self.audit.launches_skipped += 1;
+            return false;
+        }
+        if self.sites.insert(name) {
+            self.audit.sites_audited += 1;
+        }
+        true
+    }
+
+    /// The accumulated summary.
+    pub(crate) fn audit(&self) -> &RaceAudit {
+        &self.audit
+    }
+
+    /// Run `tile(0..nk)` serially under access capture and check the
+    /// contract. `k0` is the space's first k (tile `t` is plane `k0+t`);
+    /// used only to label conflicts with absolute k indices.
+    pub(crate) fn run_audited_tiles(
+        &mut self,
+        site_name: &'static str,
+        k0: usize,
+        nk: usize,
+        tile: &(dyn Fn(usize) + Sync),
+    ) {
+        let mut checker = LaunchChecker::default();
+        for t in 0..nk {
+            capture_begin();
+            tile(t);
+            let log = capture_end();
+            checker.absorb(t, &log);
+        }
+        checker.finish(&mut self.audit, site_name, k0);
+        self.audit.launches_audited += 1;
+    }
+}
+
+/// Element key inside a launch: `(buffer ordinal, i, j, k)`. `BTreeMap`
+/// keeps conflict reports deterministic (buffer-major, then Fortran
+/// index order — i fastest would need `(k, j, i)`, but report stability
+/// is what matters, not the specific order).
+type ElemKey = (usize, usize, usize, usize);
+
+/// A write/write conflict found during absorption:
+/// `(buffer, elem, tile_a, tile_b)`.
+type WwConflict = (usize, (usize, usize, usize), usize, usize);
+
+/// Per-launch shadow state: which tile wrote / read each element.
+#[derive(Default)]
+struct LaunchChecker {
+    /// Buffer base address → first-appearance ordinal.
+    buffers: BTreeMap<usize, usize>,
+    /// Element → the tile that wrote it (first writer wins; a second
+    /// writer from a different tile is an immediate write/write hit).
+    writers: BTreeMap<ElemKey, usize>,
+    /// Element → up to two *distinct* reading tiles (enough to always
+    /// exhibit a reader that differs from any single writer).
+    readers: BTreeMap<ElemKey, (usize, Option<usize>)>,
+    /// Write/write conflicts found during absorption.
+    ww: Vec<WwConflict>,
+}
+
+impl LaunchChecker {
+    fn buffer_ordinal(&mut self, base: usize) -> usize {
+        let next = self.buffers.len();
+        *self.buffers.entry(base).or_insert(next)
+    }
+
+    /// Fold one tile's access log into the shadow state.
+    fn absorb(&mut self, tile: usize, log: &[ViewAccess]) {
+        for a in log {
+            let buf = self.buffer_ordinal(a.base);
+            let key = (buf, a.i, a.j, a.k);
+            if a.write {
+                match self.writers.get(&key) {
+                    None => {
+                        self.writers.insert(key, tile);
+                    }
+                    Some(&prev) if prev != tile => {
+                        self.ww.push((buf, (a.i, a.j, a.k), prev, tile));
+                    }
+                    Some(_) => {}
+                }
+            } else {
+                match self.readers.get_mut(&key) {
+                    None => {
+                        self.readers.insert(key, (tile, None));
+                    }
+                    Some((first, second)) => {
+                        if *first != tile && second.is_none() {
+                            *second = Some(tile);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Check the read/write clause and emit all violations into `audit`.
+    fn finish(self, audit: &mut RaceAudit, site: &'static str, k0: usize) {
+        let mut pushed = 0usize;
+        let mut push = |audit: &mut RaceAudit, v: RaceViolation| {
+            // Cap per launch: count everything, report the first few.
+            if pushed < MAX_VIOLATIONS_PER_LAUNCH {
+                audit.violations.push(v);
+                pushed += 1;
+            } else {
+                audit.suppressed += 1;
+            }
+        };
+        for (buf, elem, ta, tb) in &self.ww {
+            push(
+                audit,
+                RaceViolation {
+                    site,
+                    buffer: *buf,
+                    kind: RaceKind::WriteWrite,
+                    elem: *elem,
+                    k_a: k0 + ta.min(tb),
+                    k_b: k0 + ta.max(tb),
+                },
+            );
+        }
+        for (key, (r0, r1)) in &self.readers {
+            let Some(&w) = self.writers.get(key) else {
+                continue;
+            };
+            // Exhibit a reading tile that differs from the writer.
+            let reader = if *r0 != w {
+                Some(*r0)
+            } else {
+                *r1 // distinct from r0 == w by construction
+            };
+            let Some(r) = reader else { continue };
+            let (buf, i, j, k) = *key;
+            push(
+                audit,
+                RaceViolation {
+                    site,
+                    buffer: buf,
+                    kind: RaceKind::ReadWrite,
+                    elem: (i, j, k),
+                    k_a: k0 + r,
+                    k_b: k0 + w,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::LoopClass;
+
+    static TILED: Site = Site::par3("tiled_site");
+    static SERIAL: Site = Site::new("serial_site", LoopClass::Parallel, 3).serial();
+
+    fn space(n: usize) -> IndexSpace3 {
+        IndexSpace3 {
+            i0: 0,
+            i1: n,
+            j0: 0,
+            j1: n,
+            k0: 0,
+            k1: n,
+        }
+    }
+
+    #[test]
+    fn wants_filters_serial_small_and_repeats() {
+        let mut a = RaceAuditor::new(true);
+        assert!(!a.wants(&SERIAL, space(4), 4), "serial sites never audited");
+        let one = IndexSpace3 {
+            k1: 1,
+            ..space(4)
+        };
+        assert!(!a.wants(&TILED, one, 1), "single-tile spaces cannot race");
+        assert!(a.wants(&TILED, space(4), 4), "first launch audited");
+        assert!(!a.wants(&TILED, space(4), 4), "repeat shape skipped");
+        assert!(a.wants(&TILED, space(5), 5), "new shape audited again");
+        assert_eq!(a.audit().sites_audited, 1);
+        assert_eq!(a.audit().launches_skipped, 1);
+        let mut off = RaceAuditor::new(false);
+        assert!(!off.wants(&TILED, space(4), 4), "disabled auditor audits nothing");
+    }
+
+    #[test]
+    fn checker_flags_write_write() {
+        let mut c = LaunchChecker::default();
+        let w = |i, j, k| ViewAccess {
+            base: 0x1000,
+            i,
+            j,
+            k,
+            write: true,
+        };
+        c.absorb(0, &[w(1, 1, 0)]);
+        c.absorb(2, &[w(1, 1, 0)]);
+        let mut audit = RaceAudit::default();
+        c.finish(&mut audit, "ww_site", 3);
+        assert_eq!(audit.violations.len(), 1);
+        let v = &audit.violations[0];
+        assert_eq!(v.kind, RaceKind::WriteWrite);
+        assert_eq!((v.k_a, v.k_b), (3, 5), "absolute k indices");
+        assert_eq!(v.elem, (1, 1, 0));
+    }
+
+    #[test]
+    fn checker_flags_cross_tile_read_of_written_element() {
+        let mut c = LaunchChecker::default();
+        let acc = |write, k| ViewAccess {
+            base: 0x2000,
+            i: 0,
+            j: 0,
+            k,
+            write,
+        };
+        // Tile 1 writes plane k=1; tile 2 reads it (k-1 neighbour read).
+        c.absorb(1, &[acc(true, 1)]);
+        c.absorb(2, &[acc(false, 1)]);
+        // Same-tile read of own write: legal.
+        c.absorb(3, &[acc(true, 3), acc(false, 3)]);
+        let mut audit = RaceAudit::default();
+        c.finish(&mut audit, "rw_site", 0);
+        assert_eq!(audit.violations.len(), 1);
+        let v = &audit.violations[0];
+        assert_eq!(v.kind, RaceKind::ReadWrite);
+        assert_eq!((v.k_a, v.k_b), (2, 1), "reader then writer");
+    }
+
+    #[test]
+    fn checker_reports_reader_distinct_from_writer() {
+        // Writer tile also reads its own element (legal), but a second
+        // tile reads it too — the violation must name the second tile.
+        let mut c = LaunchChecker::default();
+        let acc = |tile_is_writer, write| ViewAccess {
+            base: 0x3000,
+            i: 5,
+            j: 6,
+            k: 7,
+            write: write && tile_is_writer,
+        };
+        c.absorb(0, &[acc(true, true), acc(true, false)]);
+        c.absorb(4, &[acc(false, false)]);
+        let mut audit = RaceAudit::default();
+        c.finish(&mut audit, "rw2", 0);
+        assert_eq!(audit.violations.len(), 1);
+        assert_eq!(audit.violations[0].k_a, 4);
+        assert_eq!(audit.violations[0].k_b, 0);
+    }
+
+    #[test]
+    fn violations_are_capped_and_counted() {
+        let mut c = LaunchChecker::default();
+        for e in 0..(MAX_VIOLATIONS_PER_LAUNCH + 9) {
+            c.absorb(
+                0,
+                &[ViewAccess {
+                    base: 0x4000,
+                    i: e,
+                    j: 0,
+                    k: 0,
+                    write: true,
+                }],
+            );
+            c.absorb(
+                1,
+                &[ViewAccess {
+                    base: 0x4000,
+                    i: e,
+                    j: 0,
+                    k: 0,
+                    write: true,
+                }],
+            );
+        }
+        let mut audit = RaceAudit::default();
+        c.finish(&mut audit, "many", 0);
+        assert_eq!(audit.violations.len(), MAX_VIOLATIONS_PER_LAUNCH);
+        assert_eq!(audit.suppressed, 9);
+        assert!(!audit.is_clean());
+    }
+
+    #[test]
+    fn report_names_site_and_suggests_serial() {
+        let mut audit = RaceAudit {
+            enabled: true,
+            ..RaceAudit::default()
+        };
+        audit.violations.push(RaceViolation {
+            site: "temp_advect_mutant",
+            buffer: 0,
+            kind: RaceKind::ReadWrite,
+            elem: (2, 3, 4),
+            k_a: 5,
+            k_b: 4,
+        });
+        let r = audit.report();
+        assert!(r.contains("temp_advect_mutant"));
+        assert!(r.contains("Site::serial"));
+        assert!(r.contains("FAILED"));
+        let clean = RaceAudit {
+            enabled: true,
+            ..RaceAudit::default()
+        };
+        assert!(clean.report().contains("CLEAN"));
+        assert!(RaceAudit::default().report().contains("disabled"));
+    }
+}

@@ -35,6 +35,16 @@ pub enum Tiling {
     Serial,
 }
 
+impl Tiling {
+    /// Whether tiles of this site may run concurrently — equivalently,
+    /// whether the site claims the `do concurrent` iteration-independence
+    /// contract and is therefore subject to the dynamic race audit
+    /// (`stdpar::race`).
+    pub const fn is_concurrent(self) -> bool {
+        matches!(self, Tiling::Outer)
+    }
+}
+
 /// Interned handle for a directive *call-site label* (`update`, `wait`):
 /// the typed replacement for threading `&'static str` labels through the
 /// executor API. Obtained from [`SiteRegistry::site_id`]; the string

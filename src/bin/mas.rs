@@ -4,9 +4,14 @@
 //! ```text
 //! mas <deck-file> [--version A|AD|ADU|AD2XU|D2XU|D2XAd]
 //!                 [--ranks N] [--device gpu|cpu] [--seed N]
-//!                 [--paper-cells N] [--profile] [--hist-csv PATH]
+//!                 [--paper-cells N] [--audit] [--profile] [--hist-csv PATH]
 //! mas --preset quickstart|coronal_background|flux_rope [same options]
 //! ```
+//!
+//! `--audit` (or `MAS_PAR_AUDIT=1`, or `par_audit = .true.` in the deck)
+//! runs the dynamic race auditor: every tiled kernel is checked against
+//! the `do concurrent` iteration-independence contract and the run exits
+//! non-zero if any kernel violates it.
 
 use gpusim::DeviceSpec;
 use mas::prelude::*;
@@ -33,6 +38,8 @@ fn usage() -> ! {
            --device gpu|cpu|mi250  A100 node, EPYC node, or modeled MI250X (default gpu)\n\
            --seed N             jitter seed (default 1)\n\
            --paper-cells N      cost-model extrapolation target (overrides deck)\n\
+           --audit              check every tiled kernel against the do-concurrent\n\
+                                iteration-independence contract (MAS_PAR_AUDIT=1)\n\
            --profile            record and print a profiler timeline\n\
            --hist-csv PATH      write the diagnostic history as CSV"
     );
@@ -52,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
     let mut ranks = 1usize;
     let mut spec = DeviceSpec::a100_40gb();
     let mut seed = 1u64;
+    let mut audit = false;
     let mut profile = false;
     let mut hist_csv = None;
     let mut paper_cells: Option<usize> = None;
@@ -100,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--paper-cells: {e}"))?,
                 );
             }
+            "--audit" => audit = true,
             "--profile" => profile = true,
             "--hist-csv" => hist_csv = Some(next_val(&mut argv, "--hist-csv")?),
             "--help" | "-h" => usage(),
@@ -115,6 +124,9 @@ fn parse_args() -> Result<Args, String> {
     let mut deck = deck.ok_or("no deck file or --preset given".to_string())?;
     if let Some(pc) = paper_cells {
         deck.paper_cells = pc;
+    }
+    if audit {
+        deck.par_audit = true;
     }
     let errs = deck.validate();
     if !errs.is_empty() {
@@ -242,6 +254,24 @@ fn main() -> ExitCode {
             let w1 = t0 + 0.5 * (t1 - t0);
             println!("\n{}", mas::io::render_timeline(spans, w0, w1, 100, "rank 0"));
         }
+    }
+
+    // Race-audit verdict: report every rank; any violation fails the run.
+    if report.ranks.iter().any(|r| r.race_audit.enabled) {
+        let mut dirty = false;
+        for r in &report.ranks {
+            let a = &r.race_audit;
+            if !a.is_clean() {
+                dirty = true;
+                println!("\nrank {}:", r.rank);
+                print!("{}", a.report());
+            }
+        }
+        if dirty {
+            eprintln!("mas: race audit FAILED — see report above");
+            return ExitCode::FAILURE;
+        }
+        print!("\n{}", r0.race_audit.report());
     }
 
     ExitCode::SUCCESS
