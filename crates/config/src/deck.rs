@@ -115,6 +115,84 @@ pub struct OutputCfg {
     pub hist_interval: usize,
 }
 
+/// Crash-safe checkpoint / restart configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointCfg {
+    /// Checkpoint interval in steps; 0 disables checkpointing to disk.
+    pub interval: usize,
+    /// Directory for the per-rank rotation slots (`ckpt_r{rank}_{a|b}.dump`).
+    pub dir: String,
+    /// Restart source: a directory of rotation slots (or a single dump
+    /// file for 1-rank runs). Empty = fresh start.
+    pub restart_from: String,
+    /// Retry budget for the supervisor: how many rollback + dt-backoff
+    /// cycles are attempted before the run is declared unrecoverable.
+    pub max_recoveries: usize,
+}
+
+/// Which fault the injection harness arms (see `mhd::supervisor`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// No fault (the compiled-in hooks stay inert).
+    None,
+    /// Poison one interior cell of the temperature field with NaN right
+    /// after the chosen step's advance — a corrupted kernel output.
+    Nan,
+    /// Corrupt the payload of the next halo message sent by the chosen
+    /// rank (first element becomes NaN in flight).
+    HaloCorrupt,
+    /// Drop the next halo message sent by the chosen rank entirely; the
+    /// peer's receive surfaces as a diagnosable timeout.
+    HaloDrop,
+    /// Fail the chosen rank's next checkpoint write with an I/O error,
+    /// leaving a stale `.tmp` file but never the destination.
+    CkptFail,
+    /// Panic the chosen rank mid-step (a crashed process).
+    Panic,
+}
+
+impl FaultKind {
+    /// Parse from deck text.
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" => Some(FaultKind::None),
+            "nan" => Some(FaultKind::Nan),
+            "halo_corrupt" => Some(FaultKind::HaloCorrupt),
+            "halo_drop" => Some(FaultKind::HaloDrop),
+            "ckpt_fail" => Some(FaultKind::CkptFail),
+            "panic" => Some(FaultKind::Panic),
+            _ => None,
+        }
+    }
+
+    /// Deck-text name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::None => "none",
+            FaultKind::Nan => "nan",
+            FaultKind::HaloCorrupt => "halo_corrupt",
+            FaultKind::HaloDrop => "halo_drop",
+            FaultKind::CkptFail => "ckpt_fail",
+            FaultKind::Panic => "panic",
+        }
+    }
+}
+
+/// Fault-injection configuration. Compiled in but inert unless `kind`
+/// is something other than `none` **and** `step` is non-zero.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultCfg {
+    /// What to break.
+    pub kind: FaultKind,
+    /// 1-based step during whose advance the fault fires; 0 disarms.
+    pub step: usize,
+    /// Which rank misbehaves.
+    pub rank: usize,
+    /// For `ckpt_fail`: the `std::io::ErrorKind` name to inject
+    /// (e.g. `other`, `write_zero`, `interrupted`).
+    pub io_error: String,
+}
+
 /// A complete input deck.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Deck {
@@ -147,6 +225,10 @@ pub struct Deck {
     pub solver: SolverCfg,
     /// Output section.
     pub output: OutputCfg,
+    /// Checkpoint / restart section.
+    pub checkpoint: CheckpointCfg,
+    /// Fault-injection section (inert unless armed).
+    pub fault: FaultCfg,
 }
 
 impl Default for Deck {
@@ -188,6 +270,18 @@ impl Default for Deck {
                 aligned_conduction: false,
             },
             output: OutputCfg { hist_interval: 10 },
+            checkpoint: CheckpointCfg {
+                interval: 0,
+                dir: "ckpt".into(),
+                restart_from: String::new(),
+                max_recoveries: 3,
+            },
+            fault: FaultCfg {
+                kind: FaultKind::None,
+                step: 0,
+                rank: 0,
+                io_error: "other".into(),
+            },
         }
     }
 }
@@ -242,6 +336,22 @@ impl Deck {
                 self.solver.aligned_conduction = v.as_bool()?
             }
             ("output", "hist_interval") => self.output.hist_interval = v.as_usize()?,
+            ("checkpoint", "interval") => self.checkpoint.interval = v.as_usize()?,
+            ("checkpoint", "dir") => self.checkpoint.dir = v.as_str()?.to_string(),
+            ("checkpoint", "restart_from") => {
+                self.checkpoint.restart_from = v.as_str()?.to_string()
+            }
+            ("checkpoint", "max_recoveries") => {
+                self.checkpoint.max_recoveries = v.as_usize()?
+            }
+            ("fault", "kind") => {
+                self.fault.kind = FaultKind::from_str_opt(v.as_str()?).ok_or(
+                    "expected none | nan | halo_corrupt | halo_drop | ckpt_fail | panic",
+                )?
+            }
+            ("fault", "step") => self.fault.step = v.as_usize()?,
+            ("fault", "rank") => self.fault.rank = v.as_usize()?,
+            ("fault", "io_error") => self.fault.io_error = v.as_str()?.to_string(),
             _ => return Err("unknown key".into()),
         }
         Ok(())
@@ -259,7 +369,10 @@ impl Deck {
              &time\n  n_steps = {}\n  cfl = {}\n  dt_max = {}\n/\n\
              &solver\n  pcg_tol = {}\n  pcg_max_iter = {}\n  sts_max_stages = {}\n  \
              visc_solver = '{}'\n  aligned_conduction = {}\n/\n\
-             &output\n  hist_interval = {}\n/\n",
+             &output\n  hist_interval = {}\n/\n\
+             &checkpoint\n  interval = {}\n  dir = '{}'\n  restart_from = '{}'\n  \
+             max_recoveries = {}\n/\n\
+             &fault\n  kind = '{}'\n  step = {}\n  rank = {}\n  io_error = '{}'\n/\n",
             self.problem,
             self.paper_cells,
             self.host_threads,
@@ -288,6 +401,14 @@ impl Deck {
             self.solver.visc_solver.name(),
             b(self.solver.aligned_conduction),
             self.output.hist_interval,
+            self.checkpoint.interval,
+            self.checkpoint.dir,
+            self.checkpoint.restart_from,
+            self.checkpoint.max_recoveries,
+            self.fault.kind.name(),
+            self.fault.step,
+            self.fault.rank,
+            self.fault.io_error,
         )
     }
 
@@ -392,7 +513,25 @@ impl Deck {
         if self.solver.sts_max_stages < 1 {
             errs.push("sts_max_stages must be >= 1".into());
         }
+        if self.checkpoint.interval > 0 && self.checkpoint.dir.is_empty() {
+            errs.push("checkpoint dir must be non-empty when interval > 0".into());
+        }
+        if self.fault.kind != FaultKind::None
+            && self.fault.step > 0
+            && self.fault.step > self.time.n_steps
+        {
+            errs.push(format!(
+                "fault step {} beyond n_steps {}",
+                self.fault.step, self.time.n_steps
+            ));
+        }
         errs
+    }
+
+    /// True when the fault section will actually fire (kind armed and a
+    /// target step chosen).
+    pub fn fault_armed(&self) -> bool {
+        self.fault.kind != FaultKind::None && self.fault.step > 0
     }
 }
 
@@ -439,6 +578,52 @@ mod tests {
         d.time.cfl = 0.0;
         let errs = d.validate();
         assert_eq!(errs.len(), 2);
+    }
+
+    #[test]
+    fn checkpoint_and_fault_sections_parse() {
+        let text = "&checkpoint\n interval = 5\n dir = 'out/ck'\n \
+                    restart_from = 'out/ck'\n max_recoveries = 2\n/\n\
+                    &fault\n kind = 'nan'\n step = 3\n rank = 1\n io_error = 'write_zero'\n/\n";
+        let d = Deck::parse(text).unwrap();
+        assert_eq!(d.checkpoint.interval, 5);
+        assert_eq!(d.checkpoint.dir, "out/ck");
+        assert_eq!(d.checkpoint.restart_from, "out/ck");
+        assert_eq!(d.checkpoint.max_recoveries, 2);
+        assert_eq!(d.fault.kind, FaultKind::Nan);
+        assert_eq!(d.fault.step, 3);
+        assert_eq!(d.fault.rank, 1);
+        assert_eq!(d.fault.io_error, "write_zero");
+        assert!(d.fault_armed());
+        assert!(!Deck::default().fault_armed());
+    }
+
+    #[test]
+    fn fault_kind_roundtrips_and_rejects_unknown() {
+        for k in [
+            FaultKind::None,
+            FaultKind::Nan,
+            FaultKind::HaloCorrupt,
+            FaultKind::HaloDrop,
+            FaultKind::CkptFail,
+            FaultKind::Panic,
+        ] {
+            assert_eq!(FaultKind::from_str_opt(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::from_str_opt("meteor"), None);
+        let e = Deck::parse("&fault\n kind = 'meteor'\n/\n").unwrap_err();
+        assert!(e.to_string().contains("halo_corrupt"));
+    }
+
+    #[test]
+    fn validate_checks_fault_and_checkpoint() {
+        let mut d = Deck::default();
+        d.checkpoint.interval = 5;
+        d.checkpoint.dir.clear();
+        d.fault.kind = FaultKind::Nan;
+        d.fault.step = d.time.n_steps + 1;
+        let errs = d.validate();
+        assert_eq!(errs.len(), 2, "{errs:?}");
     }
 
     #[test]

@@ -28,5 +28,8 @@
 pub mod deck;
 pub mod parse;
 
-pub use deck::{Deck, GridCfg, OutputCfg, PhysicsCfg, SolverCfg, TimeCfg, ViscSolver};
+pub use deck::{
+    CheckpointCfg, Deck, FaultCfg, FaultKind, GridCfg, OutputCfg, PhysicsCfg, SolverCfg,
+    TimeCfg, ViscSolver,
+};
 pub use parse::ParseError;

@@ -43,7 +43,9 @@ pub mod sites;
 pub mod solvers;
 pub mod state;
 pub mod step;
+pub mod supervisor;
 
 pub use run::{run_multi_rank, run_single_rank, MultiRankReport, RunReport};
 pub use sim::Simulation;
 pub use state::State;
+pub use supervisor::{run_supervised, FaultPlan, RankFailure, RecoveryLog, RunError};

@@ -3,9 +3,9 @@
 
 use crate::diag::HistRecord;
 use crate::sim::Simulation;
+use crate::supervisor::RecoveryLog;
 use gpusim::{DeviceSpec, Phase, Span, TimeCategory};
 use mas_config::Deck;
-use minimpi::World;
 use stdpar::{CodeVersion, RaceAudit, SiteRegistry};
 
 /// Result of one rank's run.
@@ -50,6 +50,9 @@ pub struct RunReport {
     pub spans: Vec<Span>,
     /// Time per category, µs (Fig. 4 aggregation).
     pub cat_us: Vec<(&'static str, f64)>,
+    /// What the fault-tolerant supervisor did (checkpoints, faults,
+    /// detections, rollbacks); `supervised: false` for plain runs.
+    pub recovery: RecoveryLog,
 }
 
 impl RunReport {
@@ -101,13 +104,15 @@ impl MultiRankReport {
         self.ranks.iter().map(|r| r.kernel_launches).sum()
     }
 
-    /// The history from rank 0 (identical global reductions on all ranks).
+    /// The history from rank 0 (identical global reductions on all
+    /// ranks); empty when there are no ranks or no records — a zero-step
+    /// run is graceful, not a panic.
     pub fn hist(&self) -> &[HistRecord] {
-        &self.ranks[0].hist
+        self.ranks.first().map_or(&[], |r| r.hist.as_slice())
     }
 }
 
-fn report_from(sim: Simulation, n_ranks: usize) -> RunReport {
+pub(crate) fn report_from(sim: Simulation, n_ranks: usize, recovery: RecoveryLog) -> RunReport {
     let prof = &sim.par.ctx.prof;
     let cat_us = TimeCategory::ALL
         .iter()
@@ -131,6 +136,7 @@ fn report_from(sim: Simulation, n_ranks: usize) -> RunReport {
         race_audit: sim.par.race_audit().clone(),
         spans: prof.spans().to_vec(),
         cat_us,
+        recovery,
     }
 }
 
@@ -145,6 +151,12 @@ pub fn run_single_rank(deck: &Deck, version: CodeVersion) -> RunReport {
 /// Run the deck on `n_ranks` thread-ranks with the given device spec.
 /// `seed` varies the launch-jitter stream (one seed = one "run" for the
 /// min/max error bars); `record_spans` enables the Fig. 4 timeline.
+///
+/// This delegates to [`crate::supervisor::run_supervised`] — which is a
+/// byte-for-byte no-op wrapper for decks without checkpointing, restart,
+/// or an armed fault — and **panics** on an unrecoverable run. Callers
+/// that want the structured [`crate::supervisor::RunError`] instead
+/// should call `run_supervised` directly.
 pub fn run_multi_rank(
     deck: &Deck,
     version: CodeVersion,
@@ -153,16 +165,8 @@ pub fn run_multi_rank(
     seed: u64,
     record_spans: bool,
 ) -> MultiRankReport {
-    let deck = deck.clone();
-    let ranks = World::run(n_ranks, move |comm| {
-        let mut sim = Simulation::new(&deck, version, spec.clone(), comm.rank(), n_ranks, seed);
-        if record_spans {
-            sim.par.ctx.prof.set_record_spans(true);
-        }
-        sim.run(&comm);
-        report_from(sim, n_ranks)
-    });
-    MultiRankReport { ranks }
+    crate::supervisor::run_supervised(deck, version, spec, n_ranks, seed, record_spans)
+        .unwrap_or_else(|e| panic!("run failed: {e}"))
 }
 
 #[cfg(test)]
@@ -200,6 +204,26 @@ mod tests {
             d1.etherm,
             d2.etherm
         );
+    }
+
+    #[test]
+    fn zero_step_run_is_graceful() {
+        // A deck with n_steps = 0 (e.g. a restart that already reached the
+        // target step) produces an empty but well-formed report instead of
+        // panicking on missing history.
+        let mut deck = Deck::preset_quickstart();
+        deck.time.n_steps = 0;
+        let rep = run_multi_rank(&deck, CodeVersion::A, DeviceSpec::a100_40gb(), 2, 1, false);
+        assert!(rep.hist().is_empty(), "no steps, no history");
+        assert_eq!(rep.ranks.len(), 2);
+        for r in &rep.ranks {
+            assert_eq!(r.steps, 0);
+            assert_eq!(r.time, 0.0);
+            assert!(!r.recovery.supervised, "nothing to supervise");
+        }
+        // World-level helpers stay well-defined on the empty run.
+        assert!(rep.wall_us() >= 0.0);
+        assert!(MultiRankReport { ranks: vec![] }.hist().is_empty());
     }
 
     #[test]

@@ -53,6 +53,16 @@ pub struct Simulation {
     pub step: usize,
     /// History records.
     pub hist: Vec<HistRecord>,
+    /// Time-step back-off factor applied on top of the CFL limit
+    /// (halved by the run supervisor after each rollback; 1.0 — the
+    /// default — is bitwise inert, so unsupervised runs are unaffected).
+    pub dt_scale: f64,
+    /// True when the state was restored from a checkpoint: the dump holds
+    /// the post-boundary-exchange state (ghosts included), so the run
+    /// loop must **not** re-apply boundaries before the first step — the
+    /// polar φ-average is not bitwise idempotent, and skipping it makes a
+    /// restart reproduce the uninterrupted run bit-for-bit.
+    pub resumed: bool,
 }
 
 impl Simulation {
@@ -148,6 +158,8 @@ impl Simulation {
             time: 0.0,
             step: 0,
             hist: Vec::new(),
+            dt_scale: 1.0,
+            resumed: false,
         }
     }
 
@@ -170,37 +182,59 @@ impl Simulation {
         self.hx_state.exchange(&mut self.par, comm, &mut arrays, &bufs);
     }
 
-    /// Run `n_steps` (from the deck), recording history. Returns the
-    /// per-step records.
-    pub fn run(&mut self, comm: &Comm) -> Vec<StepInfo> {
+    /// Begin the timed solve: switch the profiler into the compute phase
+    /// and apply boundaries — unless the state was [`Self::resumed`] from
+    /// a checkpoint, whose dump already holds the exchanged ghosts.
+    pub fn begin_compute(&mut self, comm: &Comm) {
         // Setup ends; the timed solve begins (the paper times the solver
         // portion, not setup).
         self.par.ctx.set_phase(Phase::Compute);
-        self.apply_boundaries(comm);
+        if !self.resumed {
+            self.apply_boundaries(comm);
+        }
+    }
 
-        let mut infos = Vec::with_capacity(self.deck.time.n_steps);
+    /// Record a history entry for the step just taken, at the deck's
+    /// cadence (shared by the plain run loop and the supervisor).
+    pub fn record_hist(&mut self, comm: &Comm, info: &StepInfo) {
         let hist_int = self.deck.output.hist_interval;
-        for _ in 0..self.deck.time.n_steps {
+        if hist_int == 0 || !self.step.is_multiple_of(hist_int) {
+            return;
+        }
+        let d = diag::compute(&mut self.par, comm, &self.grid, &self.ctg, &self.state, self.deck.physics.gamma);
+        // History/plot output: fields come back to the host
+        // (`!$acc update host` sites; page migrations under UM).
+        let hist_temp = self.par.site_id("hist_temp");
+        self.par.update_host(hist_temp, self.state.temp.buf());
+        self.par.host_access(self.state.temp.buf(), false);
+        let hist_vr = self.par.site_id("hist_vr");
+        self.par.update_host(hist_vr, self.state.v.r.buf());
+        self.par.host_access(self.state.v.r.buf(), false);
+        self.hist.push(HistRecord {
+            step: self.step,
+            time: self.time,
+            dt: info.dt,
+            pcg_iters: info.pcg_iters,
+            sts_ops: info.sts_ops,
+            diag: d,
+        });
+    }
+
+    /// Run until the deck's `n_steps` **total** steps are reached,
+    /// recording history. A simulation restored from a step-`S` checkpoint
+    /// therefore takes `n_steps - S` further steps (and a restart at or
+    /// past `n_steps` is a graceful no-op). Returns the per-step records.
+    ///
+    /// This is the *unsupervised* loop: a non-finite state aborts with a
+    /// panic. For detection + rollback + dt-backoff instead, see
+    /// [`crate::supervisor::run_supervised`].
+    pub fn run(&mut self, comm: &Comm) -> Vec<StepInfo> {
+        self.begin_compute(comm);
+        let n_steps = self.deck.time.n_steps;
+        let mut infos = Vec::with_capacity(n_steps.saturating_sub(self.step));
+        while self.step < n_steps {
             let info = step::advance(self, comm);
-            if hist_int > 0 && self.step.is_multiple_of(hist_int) {
-                let d = diag::compute(&mut self.par, comm, &self.grid, &self.ctg, &self.state, self.deck.physics.gamma);
-                // History/plot output: fields come back to the host
-                // (`!$acc update host` sites; page migrations under UM).
-                let hist_temp = self.par.site_id("hist_temp");
-                self.par.update_host(hist_temp, self.state.temp.buf());
-                self.par.host_access(self.state.temp.buf(), false);
-                let hist_vr = self.par.site_id("hist_vr");
-                self.par.update_host(hist_vr, self.state.v.r.buf());
-                self.par.host_access(self.state.v.r.buf(), false);
-                self.hist.push(HistRecord {
-                    step: self.step,
-                    time: self.time,
-                    dt: info.dt,
-                    pcg_iters: info.pcg_iters,
-                    sts_ops: info.sts_ops,
-                    diag: d,
-                });
-            }
+            self.record_hist(comm, &info);
             if let Some(bad) = self.state.find_non_finite() {
                 panic!(
                     "non-finite values in field '{bad}' at step {} (version {:?})",

@@ -90,10 +90,16 @@ pub fn advance(sim: &mut Simulation, comm: &Comm) -> StepInfo {
     } else {
         None
     };
-    let dt = cfl_dt(
+    let mut dt = cfl_dt(
         &mut sim.par, comm, &sim.grid, &sim.state,
         gamma, deck.physics.eta, deck.time.cfl, deck.time.dt_max, visc_explicit,
     );
+    // Supervisor back-off: after a rollback the retry runs with a halved
+    // time step. Guarded so the common dt_scale == 1.0 path leaves the
+    // bit pattern strictly untouched.
+    if sim.dt_scale < 1.0 {
+        dt *= sim.dt_scale;
+    }
 
     // 2. Continuity (upwind flux form), then refresh ρ's φ ghosts — the
     //    EOS and face-averaging kernels below read them.

@@ -1,0 +1,835 @@
+//! The fault-tolerant run supervisor: crash-safe checkpointing, fault
+//! injection, health monitoring, and automatic rollback + dt-backoff
+//! recovery.
+//!
+//! Production MAS runs live for days across many job allocations; nodes
+//! die, file systems hiccup, and a bad time step can blow a run up hours
+//! after launch. This module reproduces that operational layer on the
+//! virtual platform:
+//!
+//! * **checkpointing** — at the deck's `checkpoint.interval` every rank
+//!   writes its state into a two-slot latest/previous rotation
+//!   ([`crate::checkpoint::Rotation`]); writes are crash-safe (temp +
+//!   fsync + atomic rename) and committed only when **all** ranks
+//!   succeeded (collective agreement), so a rollback point is always
+//!   globally consistent;
+//! * **fault injection** — a [`FaultPlan`] (deck `&fault` section or
+//!   programmatic) arms exactly one fault: NaN-poisoned kernel output, a
+//!   corrupted or dropped halo message, a failed checkpoint write, or a
+//!   rank panic. The hooks are compiled in but cost one branch per step
+//!   when disarmed;
+//! * **health monitoring** — after every step the ranks agree (allreduce
+//!   Max of a bad-state flag) on whether any state is non-finite or the
+//!   time step collapsed; detection triggers a synchronized rollback to
+//!   the last valid checkpoint and halves the time step
+//!   ([`crate::sim::Simulation::dt_scale`]) under a bounded
+//!   `checkpoint.max_recoveries` budget;
+//! * **reporting** — every decision lands in a [`RecoveryLog`] carried by
+//!   the run report; unrecoverable faults surface as a structured
+//!   [`RunError`] with one [`RankFailure`] per lost rank instead of a
+//!   poisoned-mutex panic cascade.
+//!
+//! Physics is never perturbed: a supervised zero-fault run produces the
+//! same `state_hash` as an unsupervised one (the health flag rides a
+//! separate allreduce), and when neither checkpointing, restarting, nor
+//! a fault plan is active the supervisor delegates to the plain
+//! [`Simulation::run`] loop untouched.
+
+use crate::checkpoint::{self, Rotation};
+use crate::run::{report_from, MultiRankReport};
+use crate::sim::Simulation;
+use crate::step;
+use gpusim::DeviceSpec;
+use mas_config::{Deck, FaultKind};
+use mas_field::Array3;
+use mas_grid::NGHOST;
+use minimpi::{Comm, NetFault, ReduceOp, World};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use stdpar::CodeVersion;
+
+/// Receive deadline while supervised: a dropped message surfaces as a
+/// diagnosable timeout instead of a deadlock.
+const RECV_DEADLINE: Duration = Duration::from_secs(30);
+/// Shorter deadline when the armed plan *is* a message drop — keeps the
+/// drop tests fast without loosening the production default.
+const RECV_DEADLINE_DROP: Duration = Duration::from_secs(2);
+
+// ---------------------------------------------------------------------------
+// Fault plan.
+// ---------------------------------------------------------------------------
+
+/// One armed fault: what breaks, when, and where. Built from the deck's
+/// `&fault` section ([`FaultPlan::from_deck`]) or programmatically by
+/// tests.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// What to break.
+    pub kind: FaultKind,
+    /// 1-based step during whose advance the fault fires.
+    pub step: usize,
+    /// The misbehaving rank.
+    pub rank: usize,
+    /// For [`FaultKind::CkptFail`]: the injected I/O error kind.
+    pub io_error: io::ErrorKind,
+}
+
+impl FaultPlan {
+    /// Build from the deck's `&fault` section; `None` when disarmed
+    /// (kind `none` or step 0) — the inert default.
+    pub fn from_deck(deck: &Deck) -> Option<Self> {
+        if !deck.fault_armed() {
+            return None;
+        }
+        Some(Self {
+            kind: deck.fault.kind,
+            step: deck.fault.step,
+            rank: deck.fault.rank,
+            io_error: parse_error_kind(&deck.fault.io_error),
+        })
+    }
+}
+
+/// Deck-text name → `io::ErrorKind` (unknown names map to `Other`).
+fn parse_error_kind(name: &str) -> io::ErrorKind {
+    match name.to_ascii_lowercase().as_str() {
+        "not_found" => io::ErrorKind::NotFound,
+        "permission_denied" => io::ErrorKind::PermissionDenied,
+        "write_zero" => io::ErrorKind::WriteZero,
+        "interrupted" => io::ErrorKind::Interrupted,
+        "unexpected_eof" => io::ErrorKind::UnexpectedEof,
+        _ => io::ErrorKind::Other,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery log + structured errors.
+// ---------------------------------------------------------------------------
+
+/// What the supervisor did during a run; part of the run report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryLog {
+    /// Whether the supervised loop (health checks + rollback machinery)
+    /// was active at all.
+    pub supervised: bool,
+    /// Faults this rank injected.
+    pub faults_injected: usize,
+    /// Health-check failures observed (collective — every rank counts
+    /// the same detections).
+    pub detections: usize,
+    /// Rollbacks to the last valid checkpoint.
+    pub rollbacks: usize,
+    /// Time-step halvings applied after rollbacks.
+    pub dt_reductions: usize,
+    /// Checkpoints this rank wrote successfully.
+    pub checkpoints_written: usize,
+    /// Checkpoints that passed post-write CRC validation.
+    pub checkpoints_validated: usize,
+    /// Checkpoint writes that failed (locally or on any rank — a failed
+    /// collective commit keeps the previous rollback point).
+    pub checkpoint_failures: usize,
+    /// Where the state was restored from at startup, if restarting.
+    pub restored_from: Option<String>,
+}
+
+impl RecoveryLog {
+    /// One-line human summary (the `mas` binary prints this).
+    pub fn summary(&self) -> String {
+        if !self.supervised {
+            return "unsupervised".into();
+        }
+        let mut s = format!(
+            "supervised: {} checkpoint(s) written ({} validated, {} failed), \
+             {} fault(s) injected, {} detection(s), {} rollback(s), {} dt halving(s)",
+            self.checkpoints_written,
+            self.checkpoints_validated,
+            self.checkpoint_failures,
+            self.faults_injected,
+            self.detections,
+            self.rollbacks,
+            self.dt_reductions,
+        );
+        if let Some(from) = &self.restored_from {
+            s.push_str(&format!("; restored from {from}"));
+        }
+        s
+    }
+}
+
+/// One rank's failure: its id and the (panic or error) message.
+#[derive(Clone, Debug)]
+pub struct RankFailure {
+    /// The failed rank.
+    pub rank: usize,
+    /// What killed it.
+    pub message: String,
+}
+
+/// A run that could not complete: the structured error carrying every
+/// rank failure (an injected panic takes its peers down via channel
+/// hang-ups; all of them are recorded here rather than cascading an
+/// opaque poisoned-mutex panic).
+#[derive(Clone, Debug)]
+pub struct RunError {
+    /// Failures in rank order of occurrence.
+    pub failures: Vec<RankFailure>,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rank(s) failed:", self.failures.len())?;
+        for fail in &self.failures {
+            write!(f, "\n  rank {}: {}", fail.rank, fail.message)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RunError {}
+
+// ---------------------------------------------------------------------------
+// In-memory rollback snapshot.
+// ---------------------------------------------------------------------------
+
+/// A bitwise copy of the primary state plus the clock — the in-memory
+/// mirror of the last valid checkpoint (and the step-0 fallback when
+/// disk checkpointing is disabled). Restoring replays the model costs of
+/// a device upload, like a checkpoint load.
+struct Snapshot {
+    step: usize,
+    time: f64,
+    fields: Vec<Array3>,
+}
+
+fn state_arrays(sim: &Simulation) -> [&Array3; 8] {
+    let st = &sim.state;
+    [
+        &st.rho.data, &st.temp.data,
+        &st.v.r.data, &st.v.t.data, &st.v.p.data,
+        &st.b.r.data, &st.b.t.data, &st.b.p.data,
+    ]
+}
+
+impl Snapshot {
+    /// Capture the current state (a host-side copy: `update host` model
+    /// accounting, like a checkpoint save).
+    fn capture(sim: &mut Simulation) -> Self {
+        let bufs = sim.state.state_buf_ids();
+        let site = sim.par.site_id("supervisor_snapshot");
+        for &b in &bufs {
+            sim.par.update_host(site, b);
+            sim.par.host_access(b, false);
+        }
+        Snapshot {
+            step: sim.step,
+            time: sim.time,
+            fields: state_arrays(sim).iter().map(|a| (*a).clone()).collect(),
+        }
+    }
+
+    /// Roll the simulation back to this snapshot (an `update device`
+    /// upload in the model, like a checkpoint load).
+    fn restore(&self, sim: &mut Simulation) {
+        {
+            let st = &mut sim.state;
+            let dsts: [&mut Array3; 8] = [
+                &mut st.rho.data, &mut st.temp.data,
+                &mut st.v.r.data, &mut st.v.t.data, &mut st.v.p.data,
+                &mut st.b.r.data, &mut st.b.t.data, &mut st.b.p.data,
+            ];
+            for (dst, src) in dsts.into_iter().zip(&self.fields) {
+                dst.as_mut_slice().copy_from_slice(src.as_slice());
+            }
+        }
+        let bufs = sim.state.state_buf_ids();
+        let site = sim.par.site_id("supervisor_rollback");
+        for &b in &bufs {
+            // The failed step left these buffers device-only; bring them
+            // to `synced` before the host-side overwrite — the model
+            // (correctly) treats any host touch of device-only data as a
+            // missing `update host`. A real recovery pays the same D2H it
+            // models here.
+            sim.par.update_host(site, b);
+            sim.par.host_access(b, true);
+            sim.par.update_device(site, b);
+        }
+        sim.step = self.step;
+        sim.time = self.time;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Restart.
+// ---------------------------------------------------------------------------
+
+/// Restore `sim` from `from`: either a single dump file or a directory of
+/// rotation slots. In the directory case the ranks **agree** (allreduce
+/// Min) on the newest step every rank has a valid slot for, so a rank
+/// whose latest write was torn pulls everyone back to the last globally
+/// consistent checkpoint.
+fn restore_for_restart(
+    sim: &mut Simulation,
+    comm: &Comm,
+    from: &str,
+) -> Result<(PathBuf, u64), String> {
+    let p = Path::new(from);
+    if p.is_file() {
+        let h = checkpoint::load(sim, p)
+            .map_err(|e| format!("restart from '{from}' failed: {e}"))?;
+        return Ok((p.to_path_buf(), h.step));
+    }
+    let best = checkpoint::latest_valid_slot(p, comm.rank());
+    let local = best.as_ref().map_or(-1.0, |(_, h)| h.step as f64);
+    let mut v = [local];
+    comm.allreduce(ReduceOp::Min, &mut v, &mut sim.par.ctx);
+    if v[0] < 0.0 {
+        return Err(format!(
+            "restart from '{from}': no valid checkpoint slot common to all ranks"
+        ));
+    }
+    let want = v[0] as u64;
+    for slot in 0..2 {
+        let path = checkpoint::slot_path(p, comm.rank(), slot);
+        if mas_io::validate_dump(&path).map(|h| h.step).ok() == Some(want) {
+            let h = checkpoint::load(sim, &path)
+                .map_err(|e| format!("restart from '{}' failed: {e}", path.display()))?;
+            return Ok((path, h.step));
+        }
+    }
+    Err(format!(
+        "restart from '{from}': rank {} holds no valid slot at the agreed step {want}",
+        comm.rank()
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// The supervised loop.
+// ---------------------------------------------------------------------------
+
+/// Poison one interior temperature cell with NaN — the model of a
+/// corrupted kernel output escaping onto the device.
+fn poison_state(sim: &mut Simulation) {
+    sim.state
+        .temp
+        .data
+        .set(NGHOST + 1, NGHOST + 1, NGHOST + 1, f64::NAN);
+}
+
+/// The supervised step loop for one rank. Returns `Err` with a
+/// structured message when the run is unrecoverable.
+fn supervise(
+    sim: &mut Simulation,
+    comm: &Comm,
+    plan: Option<&FaultPlan>,
+    log: &mut RecoveryLog,
+) -> Result<(), String> {
+    sim.begin_compute(comm);
+    let deadline = match plan {
+        // Plans that kill a message or a whole rank: survivors must time
+        // out (in p2p receives and in collectives) rather than block, and
+        // the tests should not wait half a minute for that.
+        Some(p) if matches!(p.kind, FaultKind::HaloDrop | FaultKind::Panic) => RECV_DEADLINE_DROP,
+        _ => RECV_DEADLINE,
+    };
+    comm.set_recv_deadline(Some(deadline));
+
+    let ckpt_int = sim.deck.checkpoint.interval;
+    let dir = PathBuf::from(sim.deck.checkpoint.dir.clone());
+    let mut rot = Rotation::new(&dir, comm.rank());
+    let max_recoveries = sim.deck.checkpoint.max_recoveries;
+    let n_steps = sim.deck.time.n_steps;
+
+    // The rollback point starts as the loop-entry state (step 0, or the
+    // restart point) and advances with every committed checkpoint.
+    let mut snapshot = Snapshot::capture(sim);
+    let mut recoveries = 0usize;
+    let mut fault_fired = false;
+
+    while sim.step < n_steps {
+        let stepping = sim.step + 1; // 1-based step being computed
+
+        // --- pre-advance fault arming -----------------------------------
+        if let Some(f) = plan {
+            if !fault_fired && stepping == f.step && comm.rank() == f.rank {
+                match f.kind {
+                    FaultKind::HaloCorrupt => {
+                        comm.arm_net_fault(NetFault::Corrupt);
+                        fault_fired = true;
+                        log.faults_injected += 1;
+                    }
+                    FaultKind::HaloDrop => {
+                        comm.arm_net_fault(NetFault::Drop);
+                        fault_fired = true;
+                        log.faults_injected += 1;
+                    }
+                    FaultKind::Panic => {
+                        panic!(
+                            "injected fault: rank {} lost at step {}",
+                            comm.rank(),
+                            stepping
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let info = step::advance(sim, comm);
+
+        // --- post-advance NaN poisoning ----------------------------------
+        if let Some(f) = plan {
+            if !fault_fired
+                && f.kind == FaultKind::Nan
+                && stepping == f.step
+                && comm.rank() == f.rank
+            {
+                poison_state(sim);
+                fault_fired = true;
+                log.faults_injected += 1;
+            }
+        }
+
+        // --- collective health check -------------------------------------
+        let bad_local =
+            sim.state.find_non_finite().is_some() || !info.dt.is_finite() || info.dt <= 0.0;
+        let mut flag = [if bad_local { 1.0 } else { 0.0 }];
+        comm.allreduce(ReduceOp::Max, &mut flag, &mut sim.par.ctx);
+        if flag[0] > 0.0 {
+            log.detections += 1;
+            if recoveries >= max_recoveries {
+                return Err(format!(
+                    "unrecoverable: health check failed at step {} with the recovery \
+                     budget exhausted ({recoveries} of {max_recoveries} attempts used)",
+                    sim.step
+                ));
+            }
+            recoveries += 1;
+            // Synchronized rollback: every rank restores the same
+            // (collectively committed) snapshot, so the retry is globally
+            // consistent; then back off the time step.
+            snapshot.restore(sim);
+            let restored_step = sim.step;
+            sim.hist.retain(|h| h.step <= restored_step);
+            log.rollbacks += 1;
+            sim.dt_scale *= 0.5;
+            log.dt_reductions += 1;
+            continue;
+        }
+
+        sim.record_hist(comm, &info);
+
+        // --- crash-safe checkpoint at the deck cadence --------------------
+        if ckpt_int > 0 && sim.step.is_multiple_of(ckpt_int) {
+            let mut ck_fault = None;
+            if let Some(f) = plan {
+                if f.kind == FaultKind::CkptFail
+                    && !fault_fired
+                    && stepping >= f.step
+                    && comm.rank() == f.rank
+                {
+                    ck_fault = Some(f.io_error);
+                    fault_fired = true;
+                    log.faults_injected += 1;
+                }
+            }
+            let res = rot.save(sim, ck_fault);
+            // A checkpoint is a rollback point only if EVERY rank wrote
+            // and validated it — agree collectively before committing.
+            let ok_local = match &res {
+                Ok(path) => {
+                    log.checkpoints_written += 1;
+                    match mas_io::validate_dump(path) {
+                        Ok(_) => {
+                            log.checkpoints_validated += 1;
+                            1.0
+                        }
+                        Err(_) => 0.0,
+                    }
+                }
+                Err(_) => 0.0,
+            };
+            let mut v = [ok_local];
+            comm.allreduce(ReduceOp::Min, &mut v, &mut sim.par.ctx);
+            if v[0] > 0.5 {
+                snapshot = Snapshot::capture(sim);
+            } else {
+                // Keep the previous rollback point; the run continues.
+                log.checkpoint_failures += 1;
+            }
+        }
+    }
+
+    comm.set_recv_deadline(None);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Entry point.
+// ---------------------------------------------------------------------------
+
+/// Run the deck under the fault-tolerant supervisor. When the deck asks
+/// for no checkpointing, no restart, and arms no fault, this is exactly
+/// [`crate::run_multi_rank`] (bit-identical physics *and* model timings);
+/// otherwise the supervised loop adds per-step health checks, periodic
+/// crash-safe checkpoints, and rollback + dt-backoff recovery.
+///
+/// Unrecoverable runs (injected rank panic, lost halo message, exhausted
+/// recovery budget) return a structured [`RunError`] listing every lost
+/// rank instead of panicking the caller.
+pub fn run_supervised(
+    deck: &Deck,
+    version: CodeVersion,
+    spec: DeviceSpec,
+    n_ranks: usize,
+    seed: u64,
+    record_spans: bool,
+) -> Result<MultiRankReport, RunError> {
+    let deck = deck.clone();
+    let plan = FaultPlan::from_deck(&deck);
+    let results = World::try_run(n_ranks, move |comm| -> Result<_, String> {
+        let mut sim = Simulation::new(&deck, version, spec.clone(), comm.rank(), n_ranks, seed);
+        if record_spans {
+            sim.par.ctx.prof.set_record_spans(true);
+        }
+        let mut log = RecoveryLog::default();
+        if !deck.checkpoint.restart_from.is_empty() {
+            let (path, step) = restore_for_restart(&mut sim, &comm, &deck.checkpoint.restart_from)?;
+            log.restored_from = Some(format!("{} (step {step})", path.display()));
+        }
+        let supervision =
+            deck.checkpoint.interval > 0 || plan.is_some() || log.restored_from.is_some();
+        if supervision {
+            log.supervised = true;
+            supervise(&mut sim, &comm, plan.as_ref(), &mut log)?;
+        } else {
+            // The zero-perturbation path: byte-for-byte the plain loop.
+            sim.run(&comm);
+        }
+        Ok(report_from(sim, n_ranks, log))
+    });
+
+    let mut ranks = Vec::with_capacity(n_ranks);
+    let mut failures = Vec::new();
+    for (rank, res) in results.into_iter().enumerate() {
+        match res {
+            Ok(Ok(report)) => ranks.push(report),
+            Ok(Err(message)) => failures.push(RankFailure { rank, message }),
+            Err(p) => failures.push(RankFailure {
+                rank: p.rank,
+                message: p.message,
+            }),
+        }
+    }
+    if failures.is_empty() {
+        Ok(MultiRankReport { ranks })
+    } else {
+        Err(RunError { failures })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mas_config::FaultCfg;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mas_supervisor_test").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small_deck() -> Deck {
+        let mut d = Deck::preset_quickstart();
+        d.time.n_steps = 4;
+        d.output.hist_interval = 0;
+        d
+    }
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::a100_40gb()
+    }
+
+    #[test]
+    fn nan_fault_recovers_on_all_six_versions() {
+        // The headline acceptance test: a NaN poisoned into a kernel
+        // output at step 2 is detected, rolled back, and the run
+        // completes with a halved dt — on every code version.
+        for version in CodeVersion::ALL {
+            let mut deck = small_deck();
+            deck.fault = FaultCfg {
+                kind: FaultKind::Nan,
+                step: 2,
+                rank: 0,
+                io_error: "other".into(),
+            };
+            let rep = run_supervised(&deck, version, spec(), 1, 7, false)
+                .unwrap_or_else(|e| panic!("{version:?}: {e}"));
+            let r = &rep.ranks[0];
+            assert_eq!(r.steps, 4, "{version:?}");
+            let log = &r.recovery;
+            assert!(log.supervised, "{version:?}");
+            assert_eq!(log.faults_injected, 1, "{version:?}");
+            assert_eq!(log.detections, 1, "{version:?}");
+            assert_eq!(log.rollbacks, 1, "{version:?}");
+            assert_eq!(log.dt_reductions, 1, "{version:?}");
+        }
+    }
+
+    #[test]
+    fn nan_fault_recovers_on_two_ranks_from_mid_run_checkpoint() {
+        // With checkpointing on, the rollback lands on the last committed
+        // checkpoint (step 2), not step 0.
+        let mut deck = small_deck();
+        deck.checkpoint.interval = 2;
+        deck.checkpoint.dir = temp_dir("nan2r").to_string_lossy().into_owned();
+        deck.fault = FaultCfg {
+            kind: FaultKind::Nan,
+            step: 3,
+            rank: 1,
+            io_error: "other".into(),
+        };
+        let rep = run_supervised(&deck, CodeVersion::Ad, spec(), 2, 5, false).unwrap();
+        for r in &rep.ranks {
+            assert_eq!(r.steps, 4);
+            assert_eq!(r.recovery.rollbacks, 1, "rank {}", r.rank);
+            assert_eq!(r.recovery.detections, 1, "rank {}", r.rank);
+            // Step-2 and step-4 checkpoints (the step-4 one is written on
+            // the retry path after the rollback too — at least 2 writes).
+            assert!(r.recovery.checkpoints_written >= 2, "rank {}", r.rank);
+            assert_eq!(
+                r.recovery.checkpoints_written, r.recovery.checkpoints_validated,
+                "rank {}",
+                r.rank
+            );
+        }
+        // Only rank 1 injected the fault.
+        assert_eq!(rep.ranks[0].recovery.faults_injected, 0);
+        assert_eq!(rep.ranks[1].recovery.faults_injected, 1);
+        // Both ranks see the same (recovered) physics state hashes as a
+        // rerun without the fault but with the same dt backoff? Cheaper
+        // invariant: the final state is finite and steps completed.
+    }
+
+    #[test]
+    fn halo_corrupt_fault_recovers() {
+        let mut deck = small_deck();
+        deck.fault = FaultCfg {
+            kind: FaultKind::HaloCorrupt,
+            step: 2,
+            rank: 0,
+            io_error: "other".into(),
+        };
+        let rep = run_supervised(&deck, CodeVersion::A, spec(), 2, 3, false).unwrap();
+        for r in &rep.ranks {
+            assert_eq!(r.steps, 4, "rank {}", r.rank);
+            assert!(r.recovery.detections >= 1, "rank {}", r.rank);
+            assert!(r.recovery.rollbacks >= 1, "rank {}", r.rank);
+        }
+    }
+
+    #[test]
+    fn supervision_does_not_perturb_physics() {
+        // Zero-fault checkpointed run: state_hash identical to the plain
+        // unsupervised run (the acceptance criterion for inertness).
+        let mut plain = small_deck();
+        plain.output.hist_interval = 2;
+        let base = crate::run_multi_rank(&plain, CodeVersion::A, spec(), 2, 11, false);
+
+        let mut ck = plain.clone();
+        ck.checkpoint.interval = 2;
+        ck.checkpoint.dir = temp_dir("noperturb").to_string_lossy().into_owned();
+        let sup = run_supervised(&ck, CodeVersion::A, spec(), 2, 11, false).unwrap();
+
+        for (a, b) in base.ranks.iter().zip(&sup.ranks) {
+            assert_eq!(
+                a.state_hash, b.state_hash,
+                "rank {}: checkpointing must not change the physics",
+                a.rank
+            );
+            assert_eq!(a.hist.len(), b.hist.len());
+        }
+        assert!(sup.ranks[0].recovery.supervised);
+        assert_eq!(sup.ranks[0].recovery.checkpoints_written, 2);
+        assert_eq!(sup.ranks[0].recovery.rollbacks, 0);
+    }
+
+    #[test]
+    fn kill_mid_checkpoint_restart_is_bitwise_identical() {
+        // Simulate a job killed while writing its newest checkpoint: the
+        // newest slot is torn (CRC fails), a stale .tmp litters the
+        // directory. The restart must fall back to the previous valid
+        // slot and reproduce the uninterrupted run bit-for-bit.
+        let dir = temp_dir("killresume");
+        let mut deck = small_deck();
+        deck.time.n_steps = 6;
+        deck.checkpoint.interval = 2;
+        deck.checkpoint.dir = dir.to_string_lossy().into_owned();
+
+        let full = run_supervised(&deck, CodeVersion::A, spec(), 2, 9, false).unwrap();
+
+        // Tear the newest slot on every rank (the step-6 checkpoint) —
+        // truncation, exactly what a mid-write death produces if the
+        // rename already happened for a previous write... here we emulate
+        // the torn-latest scenario directly.
+        for rank in 0..2 {
+            let (newest, h) = checkpoint::latest_valid_slot(&dir, rank).unwrap();
+            assert_eq!(h.step, 6);
+            let bytes = std::fs::read(&newest).unwrap();
+            std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+            // Stale temp litter from the interrupted write.
+            std::fs::write(newest.with_extension("dump.tmp"), b"torn").unwrap();
+        }
+
+        // Resume: the agreed rollback point is step 4 (the surviving
+        // slot), and the rerun of steps 5..6 must be byte-identical.
+        let mut resume = deck.clone();
+        resume.checkpoint.restart_from = dir.to_string_lossy().into_owned();
+        let resumed = run_supervised(&resume, CodeVersion::A, spec(), 2, 9, false).unwrap();
+
+        for (a, b) in full.ranks.iter().zip(&resumed.ranks) {
+            assert_eq!(b.steps, 6, "rank {}", b.rank);
+            assert_eq!(
+                a.state_hash, b.state_hash,
+                "rank {}: resumed run must be bit-identical",
+                a.rank
+            );
+            assert_eq!(a.time.to_bits(), b.time.to_bits(), "rank {}", a.rank);
+        }
+        let log = &resumed.ranks[0].recovery;
+        assert!(
+            log.restored_from.as_deref().unwrap_or("").contains("step 4"),
+            "must restore the surviving step-4 slot: {:?}",
+            log.restored_from
+        );
+    }
+
+    #[test]
+    fn restart_at_or_past_n_steps_is_graceful() {
+        // Restarting a finished run takes zero further steps and reports
+        // cleanly instead of panicking.
+        let dir = temp_dir("done");
+        let mut deck = small_deck();
+        deck.checkpoint.interval = 4; // checkpoint exactly at the end
+        deck.checkpoint.dir = dir.to_string_lossy().into_owned();
+        run_supervised(&deck, CodeVersion::A, spec(), 1, 2, false).unwrap();
+
+        let mut resume = deck.clone();
+        resume.checkpoint.restart_from = dir.to_string_lossy().into_owned();
+        let rep = run_supervised(&resume, CodeVersion::A, spec(), 1, 2, false).unwrap();
+        assert_eq!(rep.ranks[0].steps, 4);
+        assert!(rep.ranks[0].recovery.restored_from.is_some());
+        assert!(rep.hist().is_empty());
+    }
+
+    #[test]
+    fn ckpt_fail_fault_keeps_run_alive_with_previous_rollback_point() {
+        let dir = temp_dir("ckfail");
+        let mut deck = small_deck();
+        deck.time.n_steps = 6;
+        deck.checkpoint.interval = 2;
+        deck.checkpoint.dir = dir.to_string_lossy().into_owned();
+        deck.fault = FaultCfg {
+            kind: FaultKind::CkptFail,
+            step: 4,
+            rank: 0,
+            io_error: "write_zero".into(),
+        };
+        let rep = run_supervised(&deck, CodeVersion::A, spec(), 1, 4, false).unwrap();
+        let log = &rep.ranks[0].recovery;
+        assert_eq!(rep.ranks[0].steps, 6);
+        assert_eq!(log.faults_injected, 1);
+        assert_eq!(log.checkpoint_failures, 1);
+        // Checkpoints at steps 2 and 6 succeeded; step 4 died mid-write.
+        assert_eq!(log.checkpoints_written, 2);
+        assert_eq!(log.checkpoints_validated, 2);
+        // The failed write left a torn .tmp but never a torn slot: both
+        // slots on disk still validate.
+        let (newest, h) = checkpoint::latest_valid_slot(&dir, 0).unwrap();
+        assert_eq!(h.step, 6);
+        mas_io::validate_dump(&newest).unwrap();
+    }
+
+    #[test]
+    fn rank_panic_fault_returns_structured_error() {
+        let mut deck = small_deck();
+        deck.fault = FaultCfg {
+            kind: FaultKind::Panic,
+            step: 2,
+            rank: 1,
+            io_error: "other".into(),
+        };
+        let err = run_supervised(&deck, CodeVersion::A, spec(), 2, 6, false).unwrap_err();
+        assert!(!err.failures.is_empty());
+        let injected = err
+            .failures
+            .iter()
+            .find(|f| f.rank == 1)
+            .expect("the injected rank must be among the failures");
+        assert!(
+            injected.message.contains("injected fault"),
+            "{}",
+            injected.message
+        );
+        // Display formats every failure.
+        let s = err.to_string();
+        assert!(s.contains("rank 1"), "{s}");
+    }
+
+    #[test]
+    fn halo_drop_fault_times_out_as_structured_error() {
+        let mut deck = small_deck();
+        deck.time.n_steps = 3;
+        deck.fault = FaultCfg {
+            kind: FaultKind::HaloDrop,
+            step: 2,
+            rank: 0,
+            io_error: "other".into(),
+        };
+        let err = run_supervised(&deck, CodeVersion::A, spec(), 2, 8, false).unwrap_err();
+        // Per-pair FIFO means the loss shows up either as a receive
+        // timeout (nothing else in flight) or as a tag mismatch (the next
+        // message arrives in the dropped one's place); the peer then sees
+        // a hang-up. All three are diagnosable, none is a deadlock.
+        assert!(
+            err.failures.iter().any(|f| {
+                f.message.contains("timed out")
+                    || f.message.contains("tag mismatch")
+                    || f.message.contains("hung up")
+            }),
+            "a dropped message must surface as a diagnosable failure: {err}"
+        );
+    }
+
+    #[test]
+    fn recovery_budget_exhaustion_terminates_cleanly() {
+        // A fault at step 1 with max_recoveries = 0: the first detection
+        // exhausts the budget — structured error, not a panic or hang.
+        let mut deck = small_deck();
+        deck.checkpoint.max_recoveries = 0;
+        deck.fault = FaultCfg {
+            kind: FaultKind::Nan,
+            step: 1,
+            rank: 0,
+            io_error: "other".into(),
+        };
+        let err = run_supervised(&deck, CodeVersion::A, spec(), 1, 1, false).unwrap_err();
+        assert_eq!(err.failures.len(), 1);
+        assert!(
+            err.failures[0].message.contains("recovery budget exhausted"),
+            "{}",
+            err.failures[0].message
+        );
+    }
+
+    #[test]
+    fn fault_plan_parses_io_error_kinds() {
+        assert_eq!(parse_error_kind("write_zero"), io::ErrorKind::WriteZero);
+        assert_eq!(parse_error_kind("NOT_FOUND"), io::ErrorKind::NotFound);
+        assert_eq!(parse_error_kind("bogus"), io::ErrorKind::Other);
+        let deck = Deck::default();
+        assert!(FaultPlan::from_deck(&deck).is_none(), "default deck is inert");
+    }
+}

@@ -14,7 +14,8 @@
 //! * per-pair FIFO ordering is preserved (single lock per channel).
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Error returned by [`Sender::send`] when all receivers have hung up.
 /// Carries the unsent message back to the caller.
@@ -26,6 +27,15 @@ pub struct SendError<T>(pub T);
 #[derive(Debug, PartialEq, Eq)]
 pub struct RecvError;
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline elapsed with the queue still empty.
+    Timeout,
+    /// Every sender hung up with the queue empty (same as [`RecvError`]).
+    Disconnected,
+}
+
 struct State<T> {
     queue: VecDeque<T>,
     senders: usize,
@@ -35,6 +45,19 @@ struct State<T> {
 struct Shared<T> {
     state: Mutex<State<T>>,
     avail: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Acquire the channel lock, **recovering from poisoning**. The queue
+    /// state is a plain `VecDeque` plus two counters — every mutation is
+    /// a single push/pop/increment with no intermediate invalid states —
+    /// so a guard recovered from a panicking peer is always structurally
+    /// valid. Without this, one rank's panic (e.g. an injected fault)
+    /// poisons the mutex and every *healthy* peer dies with an opaque
+    /// "channel poisoned" panic instead of observing an orderly hang-up.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// Create an unbounded FIFO channel; both halves start with one handle.
@@ -64,7 +87,7 @@ impl<T> Sender<T> {
     /// Enqueue `msg`. Never blocks. Fails iff every [`Receiver`] has
     /// been dropped, handing the message back.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        let mut st = self.shared.state.lock().expect("channel poisoned");
+        let mut st = self.shared.lock();
         if st.receivers == 0 {
             return Err(SendError(msg));
         }
@@ -77,7 +100,7 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.shared.state.lock().expect("channel poisoned").senders += 1;
+        self.shared.lock().senders += 1;
         Sender {
             shared: self.shared.clone(),
         }
@@ -87,7 +110,7 @@ impl<T> Clone for Sender<T> {
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         let n = {
-            let mut st = self.shared.state.lock().expect("channel poisoned");
+            let mut st = self.shared.lock();
             st.senders -= 1;
             st.senders
         };
@@ -108,7 +131,7 @@ impl<T> Receiver<T> {
     /// Block until a message is available and dequeue it. Fails iff the
     /// queue is empty and every [`Sender`] has been dropped.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut st = self.shared.state.lock().expect("channel poisoned");
+        let mut st = self.shared.lock();
         loop {
             if let Some(msg) = st.queue.pop_front() {
                 return Ok(msg);
@@ -116,14 +139,44 @@ impl<T> Receiver<T> {
             if st.senders == 0 {
                 return Err(RecvError);
             }
-            st = self.shared.avail.wait(st).expect("channel poisoned");
+            st = self
+                .shared
+                .avail
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`Receiver::recv`] but gives up after `timeout`. Used by the
+    /// fault-tolerant communicator so a dropped/lost message surfaces as
+    /// a diagnosable timeout instead of an unbounded hang.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _res) = self
+                .shared
+                .avail
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
         }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.shared.state.lock().expect("channel poisoned").receivers += 1;
+        self.shared.lock().receivers += 1;
         Receiver {
             shared: self.shared.clone(),
         }
@@ -132,7 +185,7 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.shared.state.lock().expect("channel poisoned").receivers -= 1;
+        self.shared.lock().receivers -= 1;
     }
 }
 
@@ -176,6 +229,45 @@ mod tests {
             tx.send(42).unwrap();
             assert_eq!(h.join().unwrap(), 42);
         });
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn poisoned_channel_still_delivers_and_disconnects() {
+        // A thread panics while holding the channel lock: peers must keep
+        // working (queue state is always valid) instead of cascading the
+        // panic through `.expect("channel poisoned")`.
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        let shared = tx.shared.clone();
+        let h = std::thread::spawn(move || {
+            let _guard = shared.state.lock().unwrap();
+            panic!("injected rank failure");
+        });
+        assert!(h.join().is_err());
+        assert!(tx.shared.state.is_poisoned(), "mutex must actually be poisoned");
+        // Healthy side: sends and receives keep working on the recovered
+        // guard, then a clean hang-up — no panic cascade.
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The per-rank communicator: point-to-point and collective operations.
 
-use crate::chan::{Receiver, Sender};
+use crate::chan::{Receiver, RecvTimeoutError, Sender};
 use gpusim::{DeviceContext, Phase, TimeCategory};
+use std::cell::Cell;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Message tag (the solver uses a small fixed set; tags are asserted, not
 /// matched out of order — all communication patterns in MAS are
@@ -38,6 +40,21 @@ pub enum NetPath {
     /// Through host memory (what unified memory forces; also the CPU-run
     /// path, where it is simply the interconnect).
     Host,
+}
+
+/// An armed point-to-point fault: applied to the **next** matching
+/// [`Comm::send`], then cleared. Fault injection is compiled in but
+/// completely inert until armed — an unarmed `Cell<Option<…>>` check is
+/// one branch per send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetFault {
+    /// Corrupt the payload in flight (the middle element becomes NaN —
+    /// the bit-flip-on-the-wire / bad-DMA failure mode).
+    Corrupt,
+    /// Silently drop the message (lost packet / dead NIC). The matching
+    /// receive will only terminate if a receive deadline is armed via
+    /// [`Comm::set_recv_deadline`].
+    Drop,
 }
 
 /// A message in flight: payload plus the virtual time at which the data
@@ -77,6 +94,12 @@ pub struct Comm {
     pub coll_latency_us: f64,
     /// Collective bandwidth, bytes/µs.
     pub coll_bw: f64,
+    /// Armed point-to-point fault (consumed by the next send).
+    armed_fault: Cell<Option<NetFault>>,
+    /// Wall-clock receive deadline; `None` = block forever (the default,
+    /// zero-overhead path). Armed by the run supervisor alongside fault
+    /// injection so a lost message becomes a diagnosable failure.
+    recv_deadline: Cell<Option<Duration>>,
 }
 
 impl Comm {
@@ -102,6 +125,49 @@ impl Comm {
             to_ranks,
             coll_latency_us: 6.0,
             coll_bw: 20.0e3, // 20 GB/s effective for small collectives
+            armed_fault: Cell::new(None),
+            recv_deadline: Cell::new(None),
+        }
+    }
+
+    /// Arm `fault` for the next point-to-point send from this rank. The
+    /// fault fires once and disarms. Used by the fault-injection plan.
+    pub fn arm_net_fault(&self, fault: NetFault) {
+        self.armed_fault.set(Some(fault));
+    }
+
+    /// The currently-armed (not yet fired) fault, if any.
+    pub fn armed_net_fault(&self) -> Option<NetFault> {
+        self.armed_fault.get()
+    }
+
+    /// Bound every subsequent [`Comm::recv`] by a wall-clock `deadline`
+    /// (`None` restores unbounded blocking). With a deadline armed, a
+    /// message that never arrives panics with a diagnosable timeout
+    /// message instead of deadlocking the rank forever.
+    pub fn set_recv_deadline(&self, deadline: Option<Duration>) {
+        self.recv_deadline.set(deadline);
+    }
+
+    /// Receive on a collective star channel, honouring the armed
+    /// [`Comm::set_recv_deadline`]. Collectives are where a dead peer is
+    /// felt: the star channels never disconnect (every live rank holds
+    /// sender clones), so without a deadline the survivors block forever.
+    fn recv_collective<T>(&self, rx: &Receiver<T>, what: &str) -> T {
+        match self.recv_deadline.get() {
+            None => rx
+                .recv()
+                .unwrap_or_else(|_| panic!("rank {}: {} peer hung up", self.rank, what)),
+            Some(deadline) => match rx.recv_timeout(deadline) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("rank {}: {} peer hung up", self.rank, what)
+                }
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "rank {}: timed out after {:?} in {} — peer rank lost?",
+                    self.rank, deadline, what
+                ),
+            },
         }
     }
 
@@ -144,6 +210,26 @@ impl Comm {
         ctx: &DeviceContext,
         cost_bytes: f64,
     ) {
+        let mut data = data;
+        if let Some(fault) = self.armed_fault.take() {
+            match fault {
+                NetFault::Corrupt => {
+                    // Bad DMA / truncated packet: the payload arrives
+                    // with its second half garbled. (Not just one corner
+                    // element — a halo pack's element 0 is a ghost-ghost
+                    // corner no interior stencil reads, so a single
+                    // corrupted value there would be invisible.)
+                    let n = data.len();
+                    for v in &mut data[n / 2..] {
+                        *v = f64::NAN;
+                    }
+                }
+                NetFault::Drop => {
+                    // Lost packet: the message never enters the channel.
+                    return;
+                }
+            }
+        }
         let msg = Msg {
             tag,
             data,
@@ -161,9 +247,19 @@ impl Comm {
     ///
     /// Returns the payload.
     pub fn recv(&self, src: usize, tag: Tag, ctx: &mut DeviceContext) -> Vec<f64> {
-        let msg = self.from[src]
-            .recv()
-            .unwrap_or_else(|_| panic!("rank {} hung up", src));
+        let msg = match self.recv_deadline.get() {
+            None => self.from[src]
+                .recv()
+                .unwrap_or_else(|_| panic!("rank {} hung up", src)),
+            Some(deadline) => match self.from[src].recv_timeout(deadline) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Disconnected) => panic!("rank {} hung up", src),
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "rank {}: timed out after {:?} waiting for tag {} from rank {} — message lost?",
+                    self.rank, deadline, tag, src
+                ),
+            },
+        };
         assert_eq!(
             msg.tag, tag,
             "tag mismatch on rank {} receiving from {}: got {}, want {}",
@@ -216,7 +312,7 @@ impl Comm {
             // I am root: collect all contributions in rank order.
             let mut contribs: Vec<Option<(Vec<f64>, f64)>> = vec![None; self.size];
             for _ in 0..self.size {
-                let (r, v, t) = rx.recv().expect("rank hung up");
+                let (r, v, t) = self.recv_collective(rx, "allreduce(gather)");
                 contribs[r] = Some((v, t));
             }
             let mut acc: Option<Vec<f64>> = None;
@@ -239,7 +335,7 @@ impl Comm {
                 s.send((result.clone(), t_sync)).expect("rank hung up");
             }
         }
-        let (result, t_sync) = self.from_root.recv().expect("root hung up");
+        let (result, t_sync) = self.recv_collective(&self.from_root, "allreduce(bcast)");
         vals.copy_from_slice(&result);
 
         // Timing: wait to the sync point, then pay the tree cost.
@@ -264,7 +360,7 @@ impl Comm {
         if let Some(rx) = &self.from_ranks {
             let mut out: Vec<Option<Vec<f64>>> = vec![None; self.size];
             for _ in 0..self.size {
-                let (r, v, _) = rx.recv().expect("rank hung up");
+                let (r, v, _) = self.recv_collective(rx, "gather_to_root");
                 out[r] = Some(v);
             }
             // Release the non-root ranks (they wait on from_root for sync).

@@ -26,5 +26,5 @@ pub(crate) mod chan;
 pub mod comm;
 pub mod world;
 
-pub use comm::{Comm, NetPath, ReduceOp, Tag};
-pub use world::World;
+pub use comm::{Comm, NetFault, NetPath, ReduceOp, Tag};
+pub use world::{RankPanic, World};

@@ -4,14 +4,64 @@ use crate::chan::unbounded;
 use crate::comm::{Comm, Msg};
 use std::sync::Arc;
 
+/// One rank's panic, captured as data instead of cascading: which rank
+/// died and what its panic payload said.
+#[derive(Clone, Debug)]
+pub struct RankPanic {
+    /// The rank whose closure panicked.
+    pub rank: usize,
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim,
+    /// anything else a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for RankPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} panicked: {}", self.rank, self.message)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Factory for rank teams.
 pub struct World;
 
 impl World {
     /// Run `f(comm)` on `n_ranks` threads; returns the per-rank results in
     /// rank order. Panics in any rank propagate (the whole world aborts),
-    /// which is the moral equivalent of `MPI_Abort`.
+    /// which is the moral equivalent of `MPI_Abort`. Fault-tolerant
+    /// callers use [`World::try_run`] instead.
     pub fn run<T, F>(n_ranks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        World::try_run(n_ranks, f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(p) => panic!("{p}"),
+            })
+            .collect()
+    }
+
+    /// Run `f(comm)` on `n_ranks` threads, converting each rank's panic
+    /// into a per-rank [`RankPanic`] record instead of aborting the
+    /// caller. Surviving ranks' results are returned alongside the
+    /// failures, in rank order — the structured-failure substrate the
+    /// `mas-mhd` run supervisor builds on. (The channel mutexes recover
+    /// from poisoning, so one rank's death surfaces on its peers as an
+    /// orderly "rank N hung up" — itself captured here — rather than an
+    /// opaque `"channel poisoned"` cascade.)
+    pub fn try_run<T, F>(n_ranks: usize, f: F) -> Vec<Result<T, RankPanic>>
     where
         T: Send,
         F: Fn(Comm) -> T + Sync,
@@ -76,14 +126,17 @@ impl World {
         drop(root_to_rank_txs);
 
         let f = &f;
-        let mut results: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
+        let mut results: Vec<Option<Result<T, RankPanic>>> = (0..n_ranks).map(|_| None).collect();
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(n_ranks);
             for comm in comms.into_iter() {
                 handles.push(s.spawn(move || f(comm)));
             }
             for (rank, h) in handles.into_iter().enumerate() {
-                results[rank] = Some(h.join().expect("rank panicked"));
+                results[rank] = Some(h.join().map_err(|payload| RankPanic {
+                    rank,
+                    message: panic_message(payload),
+                }));
             }
         });
         results.into_iter().map(|o| o.expect("rank result")).collect()
@@ -222,6 +275,88 @@ mod tests {
             1usize
         });
         assert_eq!(n.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn try_run_records_per_rank_failures() {
+        let res = World::try_run(3, |comm| {
+            if comm.rank() == 1 {
+                panic!("injected fault on rank 1");
+            }
+            comm.rank() * 10
+        });
+        assert_eq!(res[0].as_ref().unwrap(), &0);
+        assert_eq!(res[2].as_ref().unwrap(), &20);
+        let p = res[1].as_ref().unwrap_err();
+        assert_eq!(p.rank, 1);
+        assert!(p.message.contains("injected fault"), "{}", p.message);
+    }
+
+    #[test]
+    fn rank_death_surfaces_as_hang_up_not_poison_on_peers() {
+        // Rank 1 dies before sending; rank 0 blocks on the recv and must
+        // observe a diagnosable "hung up" panic (captured by try_run),
+        // never a "channel poisoned" cascade.
+        let res = World::try_run(2, |comm| {
+            let mut c = ctx(comm.rank());
+            if comm.rank() == 1 {
+                panic!("rank 1 died");
+            }
+            let _ = comm.recv(1, 5, &mut c);
+        });
+        let p0 = res[0].as_ref().unwrap_err();
+        assert!(p0.message.contains("hung up"), "rank 0 saw: {}", p0.message);
+        assert!(!p0.message.contains("poisoned"));
+        let p1 = res[1].as_ref().unwrap_err();
+        assert!(p1.message.contains("rank 1 died"));
+    }
+
+    #[test]
+    fn dropped_message_times_out_with_deadline() {
+        let res = World::try_run(2, |comm| {
+            let mut c = ctx(comm.rank());
+            comm.set_recv_deadline(Some(std::time::Duration::from_millis(50)));
+            if comm.rank() == 0 {
+                // Arm a drop: the send never reaches rank 1.
+                comm.arm_net_fault(crate::comm::NetFault::Drop);
+            }
+            comm.send(1 - comm.rank(), 4, vec![1.0], NetPath::DeviceP2P, &c);
+            if comm.rank() == 0 {
+                // Stay alive past the peer's deadline so its failure is a
+                // timeout (lost message), not a disconnect.
+                std::thread::sleep(std::time::Duration::from_millis(150));
+                vec![0.0]
+            } else {
+                comm.recv(0, 4, &mut c)
+            }
+        });
+        // Rank 1 times out waiting for the dropped message.
+        let p1 = res[1].as_ref().unwrap_err();
+        assert!(p1.message.contains("timed out"), "{}", p1.message);
+        assert!(p1.message.contains("message lost"), "{}", p1.message);
+    }
+
+    #[test]
+    fn corrupt_fault_poisons_payload_once() {
+        let res = World::try_run(2, |comm| {
+            let mut c = ctx(comm.rank());
+            if comm.rank() == 0 {
+                comm.arm_net_fault(crate::comm::NetFault::Corrupt);
+            }
+            let peer = 1 - comm.rank();
+            comm.send(peer, 4, vec![1.0, 2.0], NetPath::DeviceP2P, &c);
+            let first = comm.recv(peer, 4, &mut c);
+            // Second exchange is clean: faults fire once.
+            comm.send(peer, 5, vec![3.0], NetPath::DeviceP2P, &c);
+            let second = comm.recv(peer, 5, &mut c);
+            (first, second)
+        });
+        let (first, second) = res[1].as_ref().unwrap();
+        assert!(first[1].is_nan(), "corrupted middle value");
+        assert_eq!(first[0], 1.0, "rest of payload intact");
+        assert_eq!(second[0], 3.0, "fault disarmed after firing");
+        let (clean, _) = res[0].as_ref().unwrap();
+        assert_eq!(clean[1], 2.0, "only the armed rank corrupts");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! mas <deck-file> [--version A|AD|ADU|AD2XU|D2XU|D2XAd]
 //!                 [--ranks N] [--device gpu|cpu] [--seed N]
 //!                 [--paper-cells N] [--audit] [--profile] [--hist-csv PATH]
+//!                 [--restart PATH]
 //! mas --preset quickstart|coronal_background|flux_rope [same options]
 //! ```
 //!
@@ -12,6 +13,14 @@
 //! runs the dynamic race auditor: every tiled kernel is checked against
 //! the `do concurrent` iteration-independence contract and the run exits
 //! non-zero if any kernel violates it.
+//!
+//! `--restart PATH` resumes from a checkpoint: either a single `.dump`
+//! file or a checkpoint directory (the per-rank two-slot rotation written
+//! by `checkpoint_interval > 0` in the deck's `&checkpoint` section).
+//!
+//! Exit codes: 0 success, 1 race-audit violation, 2 usage/deck error,
+//! 3 unrecoverable run failure (rank panic, lost message, exhausted
+//! recovery budget).
 
 use gpusim::DeviceSpec;
 use mas::prelude::*;
@@ -41,7 +50,10 @@ fn usage() -> ! {
            --audit              check every tiled kernel against the do-concurrent\n\
                                 iteration-independence contract (MAS_PAR_AUDIT=1)\n\
            --profile            record and print a profiler timeline\n\
-           --hist-csv PATH      write the diagnostic history as CSV"
+           --hist-csv PATH      write the diagnostic history as CSV\n\
+           --restart PATH       resume from a checkpoint dump file or directory\n\
+         \n\
+         exit codes: 0 ok | 1 race audit failed | 2 usage | 3 run failed"
     );
     std::process::exit(2);
 }
@@ -63,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
     let mut profile = false;
     let mut hist_csv = None;
     let mut paper_cells: Option<usize> = None;
+    let mut restart: Option<String> = None;
 
     let next_val = |argv: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
                         flag: &str|
@@ -111,6 +124,7 @@ fn parse_args() -> Result<Args, String> {
             "--audit" => audit = true,
             "--profile" => profile = true,
             "--hist-csv" => hist_csv = Some(next_val(&mut argv, "--hist-csv")?),
+            "--restart" => restart = Some(next_val(&mut argv, "--restart")?),
             "--help" | "-h" => usage(),
             path if !path.starts_with('-') => {
                 let text = std::fs::read_to_string(path)
@@ -127,6 +141,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if audit {
         deck.par_audit = true;
+    }
+    if let Some(r) = restart {
+        deck.checkpoint.restart_from = r;
     }
     let errs = deck.validate();
     if !errs.is_empty() {
@@ -171,15 +188,33 @@ fn main() -> ExitCode {
         );
     }
 
+    if args.deck.fault_armed() {
+        println!(
+            "fault armed: {} at step {} on rank {}",
+            args.deck.fault.kind.name(),
+            args.deck.fault.step,
+            args.deck.fault.rank
+        );
+    }
+
     let t_real = std::time::Instant::now();
-    let report = mas::mhd::run_multi_rank(
+    let report = match mas::mhd::run_supervised(
         &args.deck,
         args.version,
         args.spec.clone(),
         args.ranks,
         args.seed,
         args.profile,
-    );
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            // Unrecoverable: rank panic, lost message, exhausted recovery
+            // budget, failed restart. Distinct exit code so job scripts
+            // can tell "physics failed" from "bad invocation".
+            eprintln!("mas: run FAILED — {e}");
+            return ExitCode::from(3);
+        }
+    };
     let elapsed = t_real.elapsed();
 
     let r0 = &report.ranks[0];
@@ -195,6 +230,8 @@ fn main() -> ExitCode {
         100.0 * report.mean_mpi_us() / report.wall_us()
     );
     println!("  kernel launches (all ranks): {}", report.total_launches());
+    println!("  state hash  : {:016x}", r0.state_hash);
+    println!("  recovery    : {}", r0.recovery.summary());
     if let Some(h) = r0.hist.last() {
         println!("\nfinal diagnostics:");
         println!("  t = {:.5}, dt = {:.3e}", h.time, h.dt);

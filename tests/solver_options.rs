@@ -152,12 +152,24 @@ fn checkpoint_roundtrip_through_cli_level_api() {
         sim.run(&comm);
         let t_mid = sim.time;
         mas::mhd::checkpoint::save(&mut sim, &path).unwrap();
+        // `n_steps` is the TOTAL step count: restoring a finished run and
+        // calling `run` again is a graceful no-op...
         let mut sim2 =
             mas::mhd::Simulation::new(&deck, CodeVersion::A, DeviceSpec::a100_40gb(), 0, 1, 1);
         let h = mas::mhd::checkpoint::load(&mut sim2, &path).unwrap();
         assert_eq!(h.time, t_mid);
+        assert_eq!(h.step as usize, deck.time.n_steps);
         sim2.run(&comm);
-        assert!(sim2.time > t_mid);
-        assert!(sim2.state.find_non_finite().is_none());
+        assert_eq!(sim2.time, t_mid, "already at the target step");
+        // ...while a raised target continues the trajectory.
+        let mut d2 = deck.clone();
+        d2.time.n_steps = deck.time.n_steps + 2;
+        let mut sim3 =
+            mas::mhd::Simulation::new(&d2, CodeVersion::A, DeviceSpec::a100_40gb(), 0, 1, 1);
+        mas::mhd::checkpoint::load(&mut sim3, &path).unwrap();
+        sim3.run(&comm);
+        assert_eq!(sim3.step, d2.time.n_steps);
+        assert!(sim3.time > t_mid);
+        assert!(sim3.state.find_non_finite().is_none());
     });
 }
