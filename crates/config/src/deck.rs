@@ -130,6 +130,32 @@ pub struct CheckpointCfg {
     pub max_recoveries: usize,
 }
 
+/// Rank-failure resilience configuration (see `mhd::supervisor` and
+/// `minimpi::World::run_resilient`). Everything defaults to *off*:
+/// `max_respawns = 0` keeps runs on the classic try-run path where a
+/// rank death is terminal, and `halo_retries = 0` keeps the halo
+/// exchange on the unverified fast path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilienceCfg {
+    /// Heartbeat interval in milliseconds for the failure detector.
+    pub heartbeat_ms: u64,
+    /// Consecutive missed heartbeats before a rank is declared dead.
+    pub miss_budget: u32,
+    /// How many dead ranks the world will respawn before a death becomes
+    /// terminal. 0 disables the resilient execution path entirely.
+    pub max_respawns: usize,
+    /// Transport-level retry budget per halo receive: a dropped or
+    /// corrupted halo message is re-requested up to this many times
+    /// (with exponential backoff) before the failure escalates to the
+    /// rollback path. 0 disables the verified transport.
+    pub halo_retries: u32,
+    /// Receive deadline in milliseconds applied during supervised runs
+    /// (0 = supervisor default). Also overridable at runtime via the
+    /// `MAS_RECV_DEADLINE_MS` environment variable, which wins over
+    /// this key.
+    pub recv_deadline_ms: u64,
+}
+
 /// Which fault the injection harness arms (see `mhd::supervisor`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {
@@ -191,6 +217,10 @@ pub struct FaultCfg {
     /// For `ckpt_fail`: the `std::io::ErrorKind` name to inject
     /// (e.g. `other`, `write_zero`, `interrupted`).
     pub io_error: String,
+    /// How many consecutive messages the fault hits (halo faults only):
+    /// `count = 3` drops/corrupts three sends in a row, which exhausts a
+    /// `halo_retries = 2` budget and forces the rollback fallback.
+    pub count: u32,
 }
 
 /// A complete input deck.
@@ -227,6 +257,8 @@ pub struct Deck {
     pub output: OutputCfg,
     /// Checkpoint / restart section.
     pub checkpoint: CheckpointCfg,
+    /// Rank-failure resilience section (off by default).
+    pub resilience: ResilienceCfg,
     /// Fault-injection section (inert unless armed).
     pub fault: FaultCfg,
 }
@@ -276,11 +308,19 @@ impl Default for Deck {
                 restart_from: String::new(),
                 max_recoveries: 3,
             },
+            resilience: ResilienceCfg {
+                heartbeat_ms: 25,
+                miss_budget: 4,
+                max_respawns: 0,
+                halo_retries: 0,
+                recv_deadline_ms: 0,
+            },
             fault: FaultCfg {
                 kind: FaultKind::None,
                 step: 0,
                 rank: 0,
                 io_error: "other".into(),
+                count: 1,
             },
         }
     }
@@ -352,6 +392,22 @@ impl Deck {
             ("fault", "step") => self.fault.step = v.as_usize()?,
             ("fault", "rank") => self.fault.rank = v.as_usize()?,
             ("fault", "io_error") => self.fault.io_error = v.as_str()?.to_string(),
+            ("fault", "count") => self.fault.count = v.as_usize()? as u32,
+            ("resilience", "heartbeat_ms") => {
+                self.resilience.heartbeat_ms = v.as_usize()? as u64
+            }
+            ("resilience", "miss_budget") => {
+                self.resilience.miss_budget = v.as_usize()? as u32
+            }
+            ("resilience", "max_respawns") => {
+                self.resilience.max_respawns = v.as_usize()?
+            }
+            ("resilience", "halo_retries") => {
+                self.resilience.halo_retries = v.as_usize()? as u32
+            }
+            ("resilience", "recv_deadline_ms") => {
+                self.resilience.recv_deadline_ms = v.as_usize()? as u64
+            }
             _ => return Err("unknown key".into()),
         }
         Ok(())
@@ -372,7 +428,9 @@ impl Deck {
              &output\n  hist_interval = {}\n/\n\
              &checkpoint\n  interval = {}\n  dir = '{}'\n  restart_from = '{}'\n  \
              max_recoveries = {}\n/\n\
-             &fault\n  kind = '{}'\n  step = {}\n  rank = {}\n  io_error = '{}'\n/\n",
+             &resilience\n  heartbeat_ms = {}\n  miss_budget = {}\n  max_respawns = {}\n  \
+             halo_retries = {}\n  recv_deadline_ms = {}\n/\n\
+             &fault\n  kind = '{}'\n  step = {}\n  rank = {}\n  io_error = '{}'\n  count = {}\n/\n",
             self.problem,
             self.paper_cells,
             self.host_threads,
@@ -405,10 +463,16 @@ impl Deck {
             self.checkpoint.dir,
             self.checkpoint.restart_from,
             self.checkpoint.max_recoveries,
+            self.resilience.heartbeat_ms,
+            self.resilience.miss_budget,
+            self.resilience.max_respawns,
+            self.resilience.halo_retries,
+            self.resilience.recv_deadline_ms,
             self.fault.kind.name(),
             self.fault.step,
             self.fault.rank,
             self.fault.io_error,
+            self.fault.count,
         )
     }
 
@@ -525,6 +589,17 @@ impl Deck {
                 self.fault.step, self.time.n_steps
             ));
         }
+        if self.fault.count == 0 {
+            errs.push("fault count must be >= 1 (set kind = 'none' to disarm)".into());
+        }
+        if self.resilience.max_respawns > 0 {
+            if self.resilience.heartbeat_ms == 0 {
+                errs.push("resilience heartbeat_ms must be > 0 when max_respawns > 0".into());
+            }
+            if self.resilience.miss_budget == 0 {
+                errs.push("resilience miss_budget must be >= 1 when max_respawns > 0".into());
+            }
+        }
         errs
     }
 
@@ -624,6 +699,37 @@ mod tests {
         d.fault.step = d.time.n_steps + 1;
         let errs = d.validate();
         assert_eq!(errs.len(), 2, "{errs:?}");
+    }
+
+    #[test]
+    fn resilience_section_parses_and_defaults_off() {
+        let d = Deck::default();
+        assert_eq!(d.resilience.max_respawns, 0, "resilience must default off");
+        assert_eq!(d.resilience.halo_retries, 0);
+        assert_eq!(d.resilience.recv_deadline_ms, 0);
+        assert_eq!(d.fault.count, 1);
+        let text = "&resilience\n heartbeat_ms = 10\n miss_budget = 6\n \
+                    max_respawns = 2\n halo_retries = 3\n recv_deadline_ms = 1500\n/\n\
+                    &fault\n kind = 'halo_drop'\n step = 2\n count = 4\n/\n";
+        let d = Deck::parse(text).unwrap();
+        assert_eq!(d.resilience.heartbeat_ms, 10);
+        assert_eq!(d.resilience.miss_budget, 6);
+        assert_eq!(d.resilience.max_respawns, 2);
+        assert_eq!(d.resilience.halo_retries, 3);
+        assert_eq!(d.resilience.recv_deadline_ms, 1500);
+        assert_eq!(d.fault.count, 4);
+        assert!(d.validate().is_empty(), "{:?}", d.validate());
+    }
+
+    #[test]
+    fn validate_checks_resilience_and_fault_count() {
+        let mut d = Deck::default();
+        d.resilience.max_respawns = 1;
+        d.resilience.heartbeat_ms = 0;
+        d.resilience.miss_budget = 0;
+        d.fault.count = 0;
+        let errs = d.validate();
+        assert_eq!(errs.len(), 3, "{errs:?}");
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Binary field dumps: the checkpoint/restart format.
 //!
-//! Version-2 layout (all little-endian):
+//! Version-3 layout (all little-endian):
 //!
 //! ```text
 //! magic   b"MASRSDMP"
-//! version u32            (2)
+//! version u32            (3)
 //! step    u64
 //! time    f64
+//! epoch   u64            (communicator epoch at dump time; v3 only)
 //! nfields u32
 //! per field:
 //!   name_len u32, name bytes,
@@ -15,7 +16,8 @@
 //! crc32   u32            (IEEE CRC-32 over every byte above)
 //! ```
 //!
-//! Version 1 is the same without the CRC trailer; the reader accepts both.
+//! Version 2 omits the epoch word, version 1 additionally omits the CRC
+//! trailer; the reader accepts all three (older versions report epoch 0).
 //! Writes are **crash-safe**: the dump is written to a `.tmp` sibling,
 //! fsynced, and atomically renamed over the final path, so a crash
 //! mid-write can never leave a truncated file where a good dump should
@@ -26,7 +28,7 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"MASRSDMP";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 /// Longest accepted field name (guards against reading garbage lengths).
 const MAX_NAME_LEN: usize = 256;
 
@@ -37,6 +39,10 @@ pub struct DumpHeader {
     pub step: u64,
     /// Physical time at dump time.
     pub time: f64,
+    /// Communicator epoch at dump time: bumped on every rank respawn, so
+    /// a checkpoint records which incarnation of the world wrote it.
+    /// Dumps older than format v3 read back as epoch 0.
+    pub epoch: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -190,6 +196,9 @@ fn write_body(
     w_u32(w, version)?;
     w_u64(w, header.step)?;
     w_f64(w, header.time)?;
+    if version >= 3 {
+        w_u64(w, header.epoch)?;
+    }
     w_u32(w, fields.len() as u32)?;
     for (name, a) in fields {
         w_u32(w, name.len() as u32)?;
@@ -204,7 +213,7 @@ fn write_body(
     Ok(())
 }
 
-/// Write `fields` (name, array) to `path` in the current (v2) format.
+/// Write `fields` (name, array) to `path` in the current (v3) format.
 ///
 /// Crash-safe: data lands in `<path>.tmp` first, is fsynced, and is then
 /// atomically renamed onto `path` — readers never observe a partial dump.
@@ -301,12 +310,13 @@ pub fn read_fields(
         return Err(bad("not a mas-rs dump file"));
     }
     let version = r_u32(&mut r, "format version")?;
-    if version != 1 && version != VERSION {
+    if !(1..=VERSION).contains(&version) {
         return Err(bad(format!("unsupported dump version {version}")));
     }
     let header = DumpHeader {
         step: r_u64(&mut r, "step")?,
         time: r_f64(&mut r, "time")?,
+        epoch: if version >= 3 { r_u64(&mut r, "epoch")? } else { 0 },
     };
     let nfields = r_u32(&mut r, "field count")? as usize;
     if nfields != fields.len() {
@@ -391,12 +401,13 @@ pub fn validate_dump(path: impl AsRef<Path>) -> io::Result<DumpHeader> {
         return Err(bad("not a mas-rs dump file"));
     }
     let version = r_u32(&mut r, "format version")?;
-    if version != 1 && version != VERSION {
+    if !(1..=VERSION).contains(&version) {
         return Err(bad(format!("unsupported dump version {version}")));
     }
     let header = DumpHeader {
         step: r_u64(&mut r, "step")?,
         time: r_f64(&mut r, "time")?,
+        epoch: if version >= 3 { r_u64(&mut r, "epoch")? } else { 0 },
     };
     let nfields = r_u32(&mut r, "field count")? as usize;
     let mut scratch = [0u8; 8192];
@@ -462,12 +473,12 @@ mod tests {
     fn roundtrip() {
         let (a, b) = sample_pair();
         let p = temp_path("rt.dump");
-        write_fields(&p, DumpHeader { step: 42, time: 1.5 }, &[("rho", &a), ("temp", &b)])
+        write_fields(&p, DumpHeader { step: 42, time: 1.5, epoch: 3 }, &[("rho", &a), ("temp", &b)])
             .unwrap();
         let mut a2 = Array3::zeros(3, 4, 5);
         let mut b2 = Array3::zeros(2, 2, 2);
         let h = read_fields(&p, &mut [("rho", &mut a2), ("temp", &mut b2)]).unwrap();
-        assert_eq!(h, DumpHeader { step: 42, time: 1.5 });
+        assert_eq!(h, DumpHeader { step: 42, time: 1.5, epoch: 3 });
         assert_eq!(a.as_slice(), a2.as_slice());
         assert_eq!(b.as_slice(), b2.as_slice());
         // Atomic write leaves no temp litter on success.
@@ -478,12 +489,37 @@ mod tests {
     fn reads_legacy_v1_dumps() {
         let (a, b) = sample_pair();
         let p = temp_path("v1.dump");
-        write_fields_v1(&p, DumpHeader { step: 7, time: 0.25 }, &[("rho", &a), ("temp", &b)])
+        // A v1 writer has nowhere to put the epoch: it must read back as 0
+        // no matter what the caller set.
+        write_fields_v1(&p, DumpHeader { step: 7, time: 0.25, epoch: 99 }, &[("rho", &a), ("temp", &b)])
             .unwrap();
         let mut a2 = Array3::zeros(3, 4, 5);
         let mut b2 = Array3::zeros(2, 2, 2);
         let h = read_fields(&p, &mut [("rho", &mut a2), ("temp", &mut b2)]).unwrap();
-        assert_eq!(h, DumpHeader { step: 7, time: 0.25 });
+        assert_eq!(h, DumpHeader { step: 7, time: 0.25, epoch: 0 });
+        assert_eq!(a.as_slice(), a2.as_slice());
+    }
+
+    #[test]
+    fn reads_legacy_v2_dumps_with_zero_epoch() {
+        let (a, _) = sample_pair();
+        let p = temp_path("v2.dump");
+        // Hand-roll a v2 dump (epoch-less header + CRC trailer) exactly as
+        // the previous release wrote it.
+        {
+            let file = std::fs::File::create(&p).unwrap();
+            let mut w = CrcWriter { inner: BufWriter::new(file), crc: Crc32::new() };
+            write_body(&mut w, 2, DumpHeader { step: 6, time: 1.25, epoch: 77 }, &[("rho", &a)])
+                .unwrap();
+            let crc = w.crc.value();
+            w_u32(&mut w, crc).unwrap();
+            w.flush().unwrap();
+        }
+        let h = validate_dump(&p).unwrap();
+        assert_eq!(h, DumpHeader { step: 6, time: 1.25, epoch: 0 });
+        let mut a2 = Array3::zeros(3, 4, 5);
+        let h = read_fields(&p, &mut [("rho", &mut a2)]).unwrap();
+        assert_eq!(h.epoch, 0);
         assert_eq!(a.as_slice(), a2.as_slice());
     }
 
@@ -491,7 +527,7 @@ mod tests {
     fn crc_catches_single_flipped_byte_anywhere() {
         let (a, b) = sample_pair();
         let p = temp_path("flip.dump");
-        write_fields(&p, DumpHeader { step: 1, time: 2.0 }, &[("rho", &a), ("temp", &b)])
+        write_fields(&p, DumpHeader { step: 1, time: 2.0, epoch: 0 }, &[("rho", &a), ("temp", &b)])
             .unwrap();
         let good = std::fs::read(&p).unwrap();
         // Flip one byte in a payload value (past header/names so the
@@ -512,7 +548,7 @@ mod tests {
     fn rejects_trailing_bytes() {
         let (a, _) = sample_pair();
         let p = temp_path("trail.dump");
-        write_fields(&p, DumpHeader { step: 0, time: 0.0 }, &[("rho", &a)]).unwrap();
+        write_fields(&p, DumpHeader { step: 0, time: 0.0, epoch: 0 }, &[("rho", &a)]).unwrap();
         let mut bytes = std::fs::read(&p).unwrap();
         bytes.push(0u8);
         std::fs::write(&p, &bytes).unwrap();
@@ -526,11 +562,11 @@ mod tests {
         let (a, _) = sample_pair();
         let p = temp_path("fault.dump");
         // A good dump exists...
-        write_fields(&p, DumpHeader { step: 5, time: 1.0 }, &[("rho", &a)]).unwrap();
+        write_fields(&p, DumpHeader { step: 5, time: 1.0, epoch: 0 }, &[("rho", &a)]).unwrap();
         // ...then the next write dies mid-flight.
         let err = write_fields_with_fault(
             &p,
-            DumpHeader { step: 9, time: 2.0 },
+            DumpHeader { step: 9, time: 2.0, epoch: 0 },
             &[("rho", &a)],
             Some(io::ErrorKind::Other),
         )
@@ -548,15 +584,15 @@ mod tests {
     fn truncation_at_every_boundary_is_clean_invalid_data() {
         let (a, b) = sample_pair();
         let p = temp_path("trunc.dump");
-        write_fields(&p, DumpHeader { step: 3, time: 0.5 }, &[("rho", &a), ("temp", &b)])
+        write_fields(&p, DumpHeader { step: 3, time: 0.5, epoch: 0 }, &[("rho", &a), ("temp", &b)])
             .unwrap();
         let good = std::fs::read(&p).unwrap();
-        // Section boundaries of the v2 layout (offsets in bytes):
-        //   0 magic | 8 version | 12 step | 20 time | 28 nfields |
-        //   32 name_len | 36 name | 39 dims | 51 payload start |
-        //   mid-payload | end-of-payload (missing CRC) | partial CRC
+        // Section boundaries of the v3 layout (offsets in bytes):
+        //   0 magic | 8 version | 12 step | 20 time | 28 epoch |
+        //   36 nfields | 40 name_len | 44 name | 47 dims | 59 payload
+        //   start | mid-payload | end-of-payload (missing CRC) | partial CRC
         let cuts = [
-            0usize, 4, 8, 10, 12, 16, 20, 24, 28, 30, 32, 34, 36, 38, 39, 45, 51, 52, 60,
+            0usize, 4, 8, 10, 12, 16, 20, 24, 28, 32, 36, 38, 40, 42, 44, 46, 47, 53, 59, 60, 68,
             good.len() - 4, // everything but the CRC trailer
             good.len() - 2, // partial CRC trailer
         ];
@@ -580,10 +616,10 @@ mod tests {
     fn oversized_name_len_is_rejected_without_allocation() {
         let (a, _) = sample_pair();
         let p = temp_path("bigname.dump");
-        write_fields(&p, DumpHeader { step: 0, time: 0.0 }, &[("rho", &a)]).unwrap();
+        write_fields(&p, DumpHeader { step: 0, time: 0.0, epoch: 0 }, &[("rho", &a)]).unwrap();
         let mut bytes = std::fs::read(&p).unwrap();
-        // name_len lives at offset 32; claim ~4 GiB.
-        bytes[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
+        // name_len lives at offset 40 (after the v3 epoch word); claim ~4 GiB.
+        bytes[40..44].copy_from_slice(&u32::MAX.to_le_bytes());
         std::fs::write(&p, &bytes).unwrap();
         let mut a2 = Array3::zeros(3, 4, 5);
         let err = read_fields(&p, &mut [("rho", &mut a2)]).unwrap_err();
@@ -595,10 +631,10 @@ mod tests {
     fn dim_overflow_is_rejected_cleanly() {
         let (a, _) = sample_pair();
         let p = temp_path("dimovf.dump");
-        write_fields(&p, DumpHeader { step: 0, time: 0.0 }, &[("rho", &a)]).unwrap();
+        write_fields(&p, DumpHeader { step: 0, time: 0.0, epoch: 0 }, &[("rho", &a)]).unwrap();
         let mut bytes = std::fs::read(&p).unwrap();
-        // Dims live right after "rho" (offset 32 name_len + 4 + 3 name).
-        let d = 39;
+        // Dims live right after "rho" (offset 40 name_len + 4 + 3 name).
+        let d = 47;
         bytes[d..d + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         bytes[d + 4..d + 8].copy_from_slice(&u32::MAX.to_le_bytes());
         bytes[d + 8..d + 12].copy_from_slice(&u32::MAX.to_le_bytes());
@@ -623,7 +659,7 @@ mod tests {
     fn rejects_future_version() {
         let (a, _) = sample_pair();
         let p = temp_path("future.dump");
-        write_fields(&p, DumpHeader { step: 0, time: 0.0 }, &[("rho", &a)]).unwrap();
+        write_fields(&p, DumpHeader { step: 0, time: 0.0, epoch: 0 }, &[("rho", &a)]).unwrap();
         let mut bytes = std::fs::read(&p).unwrap();
         bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
         std::fs::write(&p, &bytes).unwrap();
@@ -636,7 +672,7 @@ mod tests {
     fn rejects_dim_mismatch() {
         let a = Array3::zeros(3, 3, 3);
         let p = temp_path("dims.dump");
-        write_fields(&p, DumpHeader { step: 0, time: 0.0 }, &[("rho", &a)]).unwrap();
+        write_fields(&p, DumpHeader { step: 0, time: 0.0, epoch: 0 }, &[("rho", &a)]).unwrap();
         let mut b = Array3::zeros(4, 3, 3);
         let err = read_fields(&p, &mut [("rho", &mut b)]).unwrap_err();
         assert!(err.to_string().contains("dims"));
@@ -646,7 +682,7 @@ mod tests {
     fn rejects_name_mismatch() {
         let a = Array3::zeros(2, 2, 2);
         let p = temp_path("names.dump");
-        write_fields(&p, DumpHeader { step: 0, time: 0.0 }, &[("rho", &a)]).unwrap();
+        write_fields(&p, DumpHeader { step: 0, time: 0.0, epoch: 0 }, &[("rho", &a)]).unwrap();
         let mut b = Array3::zeros(2, 2, 2);
         let err = read_fields(&p, &mut [("temp", &mut b)]).unwrap_err();
         assert!(err.to_string().contains("mismatch"));
@@ -656,7 +692,7 @@ mod tests {
     fn rejects_field_count_mismatch() {
         let a = Array3::zeros(2, 2, 2);
         let p = temp_path("count.dump");
-        write_fields(&p, DumpHeader { step: 0, time: 0.0 }, &[("rho", &a)]).unwrap();
+        write_fields(&p, DumpHeader { step: 0, time: 0.0, epoch: 0 }, &[("rho", &a)]).unwrap();
         let mut b = Array3::zeros(2, 2, 2);
         let mut c = Array3::zeros(2, 2, 2);
         let err = read_fields(&p, &mut [("rho", &mut b), ("temp", &mut c)]).unwrap_err();
@@ -667,10 +703,10 @@ mod tests {
     fn validate_accepts_good_rejects_corrupt() {
         let (a, b) = sample_pair();
         let p = temp_path("val.dump");
-        write_fields(&p, DumpHeader { step: 11, time: 3.5 }, &[("rho", &a), ("temp", &b)])
+        write_fields(&p, DumpHeader { step: 11, time: 3.5, epoch: 0 }, &[("rho", &a), ("temp", &b)])
             .unwrap();
         let h = validate_dump(&p).unwrap();
-        assert_eq!(h, DumpHeader { step: 11, time: 3.5 });
+        assert_eq!(h, DumpHeader { step: 11, time: 3.5, epoch: 0 });
         // Flip a payload byte: validation must reject it.
         let mut bytes = std::fs::read(&p).unwrap();
         let idx = bytes.len() - 12;
@@ -690,9 +726,9 @@ mod tests {
         // Oversized dims stream-discard without allocating: claim huge
         // dims and let the bounded reader hit EOF cleanly.
         let mut big = good.clone();
-        big[39..43].copy_from_slice(&1000u32.to_le_bytes());
-        big[43..47].copy_from_slice(&1000u32.to_le_bytes());
         big[47..51].copy_from_slice(&1000u32.to_le_bytes());
+        big[51..55].copy_from_slice(&1000u32.to_le_bytes());
+        big[55..59].copy_from_slice(&1000u32.to_le_bytes());
         let pb = temp_path("val_b.dump");
         std::fs::write(&pb, &big).unwrap();
         let err = validate_dump(&pb).unwrap_err();

@@ -51,6 +51,7 @@ pub fn save_with_fault(
         DumpHeader {
             step: sim.step as u64,
             time: sim.time,
+            epoch: sim.epoch,
         },
         &fields,
         fault,

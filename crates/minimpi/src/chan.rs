@@ -147,6 +147,13 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Dequeue a message if one is immediately available. Never blocks.
+    /// Used to drain stale traffic at an epoch fence, where every rank is
+    /// quiesced and anything still queued belongs to a dead incarnation.
+    pub fn try_recv(&self) -> Option<T> {
+        self.shared.lock().queue.pop_front()
+    }
+
     /// Like [`Receiver::recv`] but gives up after `timeout`. Used by the
     /// fault-tolerant communicator so a dropped/lost message surfaces as
     /// a diagnosable timeout instead of an unbounded hang.

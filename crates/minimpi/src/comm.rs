@@ -1,10 +1,23 @@
 //! The per-rank communicator: point-to-point and collective operations.
+//!
+//! Every message travels in an **envelope**: the communicator epoch it
+//! was sent under, a per-pair sequence number, and a CRC32 of the
+//! payload. The epoch is the ULFM-style fencing device — after a rank
+//! death and respawn the world advances its epoch at a collective
+//! [`Comm::epoch_fence`], and anything still in flight from the dead
+//! incarnation is rejected instead of corrupting state. The CRC and
+//! sequence numbers feed the *verified* receive path ([`Comm::try_recv`])
+//! used by retrying transports; the legacy [`Comm::recv`] stays
+//! bit-for-bit compatible (it delivers corrupted payloads — detecting
+//! them is the health check's job on that path).
 
 use crate::chan::{Receiver, RecvTimeoutError, Sender};
+use crate::detector::{Liveness, LivenessHandle};
 use gpusim::{DeviceContext, Phase, TimeCategory};
 use std::cell::Cell;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Message tag (the solver uses a small fixed set; tags are asserted, not
 /// matched out of order — all communication patterns in MAS are
@@ -43,7 +56,8 @@ pub enum NetPath {
 }
 
 /// An armed point-to-point fault: applied to the **next** matching
-/// [`Comm::send`], then cleared. Fault injection is compiled in but
+/// [`Comm::send`], then cleared (or repeated, see
+/// [`Comm::arm_net_fault_n`]). Fault injection is compiled in but
 /// completely inert until armed — an unarmed `Cell<Option<…>>` check is
 /// one branch per send.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,8 +71,154 @@ pub enum NetFault {
     Drop,
 }
 
+/// Why a verified receive ([`Comm::try_recv`]) did not deliver a payload.
+/// This is the structured vocabulary the retrying halo transport and the
+/// run supervisor act on — kind, not string matching.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecvFailure {
+    /// The deadline elapsed with no (fresh) message — lost packet or
+    /// dead/slow peer.
+    Timeout {
+        /// Source rank that never delivered.
+        src: usize,
+        /// Tag that was awaited.
+        tag: Tag,
+        /// How long the receiver waited.
+        waited: Duration,
+    },
+    /// The source's channel fully disconnected (rank thread gone with no
+    /// resilient world holding the wiring open).
+    Disconnected {
+        /// Source rank that hung up.
+        src: usize,
+    },
+    /// Payload failed its CRC32 — corrupted on the wire.
+    Corrupt {
+        /// Source rank of the corrupt message.
+        src: usize,
+        /// Message tag.
+        tag: Tag,
+        /// Envelope sequence number.
+        seq: u64,
+    },
+    /// The envelope's epoch predates the current communicator epoch: a
+    /// straggler from a dead incarnation, rejected un-delivered.
+    StaleEpoch {
+        /// Source rank of the stale message.
+        src: usize,
+        /// Epoch stamped on the envelope.
+        got: u64,
+        /// Current communicator epoch.
+        current: u64,
+    },
+    /// A message arrived with an unexpected tag (consumed, not delivered).
+    TagMismatch {
+        /// Source rank.
+        src: usize,
+        /// Tag found on the message.
+        got: Tag,
+        /// Tag that was awaited.
+        want: Tag,
+    },
+    /// This `Comm` belongs to a superseded incarnation: the world fenced
+    /// it out after declaring its rank dead (zombie protection).
+    FencedOut {
+        /// The fenced-out rank.
+        rank: usize,
+        /// The superseded incarnation number.
+        incarnation: usize,
+    },
+    /// The monitor declared the rank dead after its heartbeat went quiet.
+    HeartbeatLost {
+        /// The rank whose heart stopped.
+        rank: usize,
+        /// Consecutive monitor polls with no beat.
+        missed: u32,
+    },
+    /// A collective epoch fence did not complete: some participant never
+    /// arrived (rank already finished, or respawn budget exhausted).
+    FenceTimeout {
+        /// The rank that gave up waiting.
+        rank: usize,
+        /// How long it waited at the fence.
+        waited: Duration,
+    },
+}
+
+impl std::fmt::Display for RecvFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvFailure::Timeout { src, tag, waited } => write!(
+                f,
+                "timed out after {waited:?} waiting for tag {tag} from rank {src} — message lost?"
+            ),
+            RecvFailure::Disconnected { src } => write!(f, "rank {src} hung up"),
+            RecvFailure::Corrupt { src, tag, seq } => write!(
+                f,
+                "payload from rank {src} (tag {tag}, seq {seq}) failed CRC — corrupted in flight"
+            ),
+            RecvFailure::StaleEpoch { src, got, current } => write!(
+                f,
+                "stale envelope from rank {src}: epoch {got} < current epoch {current} — rejected"
+            ),
+            RecvFailure::TagMismatch { src, got, want } => {
+                write!(f, "tag mismatch from rank {src}: got {got}, want {want}")
+            }
+            RecvFailure::FencedOut { rank, incarnation } => write!(
+                f,
+                "rank {rank} incarnation {incarnation} fenced out by respawn"
+            ),
+            RecvFailure::HeartbeatLost { rank, missed } => write!(
+                f,
+                "rank {rank} declared dead: heartbeat lost for {missed} polls"
+            ),
+            RecvFailure::FenceTimeout { rank, waited } => write!(
+                f,
+                "rank {rank}: epoch fence timed out after {waited:?} — peer missing"
+            ),
+        }
+    }
+}
+
+/// Typed panic payload used by the resilient communication paths: carries
+/// the failing rank, the epoch it failed under, and the structured
+/// failure. [`crate::World::try_run`] downcasts this back out so the run
+/// supervisor can distinguish "rank died" from "rank hit a bug".
+#[derive(Clone, Debug)]
+pub struct CommFailure {
+    /// The rank that observed (or suffered) the failure.
+    pub rank: usize,
+    /// Communicator epoch at failure time.
+    pub epoch: u64,
+    /// What went wrong.
+    pub failure: RecvFailure,
+}
+
+impl std::fmt::Display for CommFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {}: {} (epoch {})", self.rank, self.failure, self.epoch)
+    }
+}
+
+/// CRC32 (IEEE, reflected) over the raw little-endian payload bytes.
+/// Small bitwise implementation — halo planes at test scale are a few
+/// kB, and the verified path only runs when resilience is enabled.
+pub(crate) fn payload_crc32(data: &[f64]) -> u32 {
+    let mut c: u32 = 0xffff_ffff;
+    for v in data {
+        for b in v.to_le_bytes() {
+            c ^= b as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { (c >> 1) ^ 0xedb8_8320 } else { c >> 1 };
+            }
+        }
+    }
+    !c
+}
+
 /// A message in flight: payload plus the virtual time at which the data
-/// becomes available at the destination.
+/// becomes available at the destination, wrapped in the resilience
+/// envelope (epoch, sequence number, payload CRC).
 pub(crate) struct Msg {
     pub tag: Tag,
     pub data: Vec<f64>,
@@ -68,17 +228,109 @@ pub(crate) struct Msg {
     pub bytes: f64,
     /// Transfer path chosen by the sender.
     pub path: NetPath,
+    /// Communicator epoch the sender lived in.
+    pub epoch: u64,
+    /// Per-(src,dst) sequence number within the epoch.
+    pub seq: u64,
+    /// CRC32 of the pristine payload (computed before any injected wire
+    /// fault, so corruption is detectable on the verified path).
+    pub crc: u32,
 }
 
-/// Payload of a rank→root collective message: (rank, values, send time).
-pub(crate) type RootMsg = (usize, Vec<f64>, f64);
+/// Payload of a rank→root collective message:
+/// (rank, values, send time, epoch).
+pub(crate) type RootMsg = (usize, Vec<f64>, f64, u64);
+/// Root→rank broadcast payload: (values, sync time, epoch).
+pub(crate) type BcastMsg = (Vec<f64>, f64, u64);
 /// Root-side receiver of rank→root collective traffic (shared by root).
 pub(crate) type FromRanks = Option<Arc<Receiver<RootMsg>>>;
+
+/// Two-phase drain barrier used by [`Comm::epoch_fence`]: phase 1
+/// quiesces every live incarnation, phase 2 (after each rank drained its
+/// own inboxes) releases them into the next epoch.
+pub(crate) struct Fence {
+    state: Mutex<FenceState>,
+    cv: Condvar,
+}
+
+struct FenceState {
+    count: usize,
+    gen: u64,
+}
+
+impl Fence {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(FenceState { count: 0, gen: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Generation barrier over `n` participants; the last arriver runs
+    /// `leader` before releasing the rest. Returns `Err(())` on timeout
+    /// (the arrival is rolled back so a later fence can still form).
+    fn wait(&self, n: usize, timeout: Duration, leader: impl FnOnce()) -> Result<(), ()> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let my_gen = st.gen;
+        st.count += 1;
+        if st.count == n {
+            st.count = 0;
+            leader();
+            st.gen += 1;
+            drop(st);
+            self.cv.notify_all();
+            return Ok(());
+        }
+        while st.gen == my_gen {
+            let now = Instant::now();
+            if now >= deadline {
+                st.count -= 1;
+                return Err(());
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = g;
+        }
+        Ok(())
+    }
+}
+
+/// World-level shared control block: the communicator epoch, the current
+/// incarnation of every rank (zombie fencing), liveness slots for the
+/// heartbeat detector, and the fence. One per world, shared by every
+/// `Comm` through an `Arc`.
+pub(crate) struct WorldCtl {
+    pub(crate) epoch: AtomicU64,
+    pub(crate) incarnations: Vec<AtomicUsize>,
+    pub(crate) stale_rejected: AtomicU64,
+    pub(crate) seq_gaps: AtomicU64,
+    pub(crate) liveness: Arc<LivenessHandle>,
+    pub(crate) fence: Fence,
+}
+
+impl WorldCtl {
+    pub(crate) fn new(n: usize) -> Arc<Self> {
+        Arc::new(Self {
+            epoch: AtomicU64::new(0),
+            incarnations: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            stale_rejected: AtomicU64::new(0),
+            seq_gaps: AtomicU64::new(0),
+            liveness: Arc::new(LivenessHandle(Liveness::new(n))),
+            fence: Fence::new(),
+        })
+    }
+}
 
 /// One rank's handle into the world.
 pub struct Comm {
     rank: usize,
     size: usize,
+    /// Which incarnation of the rank this handle belongs to (0 for the
+    /// original worker; bumped on every respawn).
+    incarnation: usize,
     /// `to[d]` sends to rank d (None at `d == rank` is avoided by using a
     /// real channel to self — self-sends are how the periodic wrap works
     /// on one rank).
@@ -88,14 +340,26 @@ pub struct Comm {
     /// Shared collective scratchpad channels: every rank → root, root → every rank.
     pub(crate) to_root: Sender<RootMsg>,
     pub(crate) from_ranks: FromRanks,
-    pub(crate) from_root: Receiver<(Vec<f64>, f64)>,
-    pub(crate) to_ranks: Vec<Sender<(Vec<f64>, f64)>>,
+    pub(crate) from_root: Receiver<BcastMsg>,
+    pub(crate) to_ranks: Vec<Sender<BcastMsg>>,
+    /// World-shared control block (epoch, incarnations, liveness, fence).
+    pub(crate) ctl: Arc<WorldCtl>,
     /// Collective latency per tree stage, µs.
     pub coll_latency_us: f64,
     /// Collective bandwidth, bytes/µs.
     pub coll_bw: f64,
-    /// Armed point-to-point fault (consumed by the next send).
+    /// Armed point-to-point fault (consumed by sends while `armed_count`
+    /// lasts).
     armed_fault: Cell<Option<NetFault>>,
+    /// How many more sends the armed fault applies to.
+    armed_count: Cell<u32>,
+    /// Next send is stamped with this epoch instead of the current one —
+    /// test hook for proving stale-envelope rejection.
+    forced_epoch: Cell<Option<u64>>,
+    /// Per-destination send sequence numbers (reset at each fence).
+    send_seq: Vec<Cell<u64>>,
+    /// Per-source expected receive sequence numbers.
+    recv_seq: Vec<Cell<u64>>,
     /// Wall-clock receive deadline; `None` = block forever (the default,
     /// zero-overhead path). Armed by the run supervisor alongside fault
     /// injection so a lost message becomes a diagnosable failure.
@@ -107,25 +371,33 @@ impl Comm {
     pub(crate) fn new(
         rank: usize,
         size: usize,
+        incarnation: usize,
         to: Vec<Sender<Msg>>,
         from: Vec<Receiver<Msg>>,
         to_root: Sender<RootMsg>,
         from_ranks: FromRanks,
-        from_root: Receiver<(Vec<f64>, f64)>,
-        to_ranks: Vec<Sender<(Vec<f64>, f64)>>,
+        from_root: Receiver<BcastMsg>,
+        to_ranks: Vec<Sender<BcastMsg>>,
+        ctl: Arc<WorldCtl>,
     ) -> Self {
         Self {
             rank,
             size,
+            incarnation,
             to,
             from,
             to_root,
             from_ranks,
             from_root,
             to_ranks,
+            ctl,
             coll_latency_us: 6.0,
             coll_bw: 20.0e3, // 20 GB/s effective for small collectives
             armed_fault: Cell::new(None),
+            armed_count: Cell::new(0),
+            forced_epoch: Cell::new(None),
+            send_seq: (0..size).map(|_| Cell::new(0)).collect(),
+            recv_seq: (0..size).map(|_| Cell::new(0)).collect(),
             recv_deadline: Cell::new(None),
         }
     }
@@ -133,7 +405,14 @@ impl Comm {
     /// Arm `fault` for the next point-to-point send from this rank. The
     /// fault fires once and disarms. Used by the fault-injection plan.
     pub fn arm_net_fault(&self, fault: NetFault) {
-        self.armed_fault.set(Some(fault));
+        self.arm_net_fault_n(fault, 1);
+    }
+
+    /// Arm `fault` for the next `count` point-to-point sends — the
+    /// repeated-loss scenario that exhausts a bounded retry budget.
+    pub fn arm_net_fault_n(&self, fault: NetFault, count: u32) {
+        self.armed_fault.set(if count == 0 { None } else { Some(fault) });
+        self.armed_count.set(count);
     }
 
     /// The currently-armed (not yet fired) fault, if any.
@@ -149,25 +428,157 @@ impl Comm {
         self.recv_deadline.set(deadline);
     }
 
+    /// The currently-armed receive deadline, if any.
+    pub fn recv_deadline(&self) -> Option<Duration> {
+        self.recv_deadline.get()
+    }
+
+    /// Current communicator epoch (0 until the first respawn fence).
+    pub fn epoch(&self) -> u64 {
+        self.ctl.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Which incarnation of this rank the handle belongs to (0 = the
+    /// original worker, `n` = the n-th respawn).
+    pub fn incarnation(&self) -> usize {
+        self.incarnation
+    }
+
+    /// Messages rejected for carrying a pre-fence epoch (world total).
+    pub fn stale_rejected(&self) -> u64 {
+        self.ctl.stale_rejected.load(Ordering::SeqCst)
+    }
+
+    /// Sequence gaps observed on receives (world total) — each gap is a
+    /// message that was sent but never arrived.
+    pub fn seq_gaps(&self) -> u64 {
+        self.ctl.seq_gaps.load(Ordering::SeqCst)
+    }
+
+    /// `true` once the world has respawned this rank: this handle belongs
+    /// to a dead incarnation and every further operation on it panics
+    /// with a structured [`CommFailure`]. A zombie thread polls this to
+    /// exit cleanly.
+    pub fn fenced_out(&self) -> bool {
+        self.ctl.incarnations[self.rank].load(Ordering::SeqCst) != self.incarnation
+    }
+
+    /// Test hook: advance the world epoch without a fence. Returns the
+    /// new epoch. Real recovery advances the epoch inside
+    /// [`Comm::epoch_fence`], where every rank is quiesced.
+    pub fn advance_epoch(&self) -> u64 {
+        self.ctl.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Test hook: stamp the **next** send with `epoch` instead of the
+    /// current one — forges a straggler from a dead incarnation.
+    pub fn force_send_epoch(&self, epoch: u64) {
+        self.forced_epoch.set(Some(epoch));
+    }
+
+    /// Test hook: freeze this rank's heartbeat so the monitor declares it
+    /// dead while the thread is still running (the zombie scenario).
+    pub fn halt_heartbeat(&self) {
+        self.ctl.liveness.0.halt(self.rank);
+    }
+
+    fn check_fenced(&self) {
+        if self.fenced_out() {
+            std::panic::panic_any(CommFailure {
+                rank: self.rank,
+                epoch: self.epoch(),
+                failure: RecvFailure::FencedOut {
+                    rank: self.rank,
+                    incarnation: self.incarnation,
+                },
+            });
+        }
+    }
+
+    /// Collective recovery point. All `size` live incarnations must call
+    /// this; the barrier quiesces the world, every rank drains its own
+    /// inboxes of dead-incarnation traffic, sequence numbers reset, and
+    /// the last arriver advances the epoch. Returns the new epoch, or a
+    /// structured failure if some participant never arrived (rank
+    /// already finished, or the respawn budget was exhausted so no
+    /// replacement is coming).
+    pub fn epoch_fence(&self, timeout: Duration) -> Result<u64, RecvFailure> {
+        self.check_fenced();
+        let n = self.size;
+        // Phase 1: arrive. Once all n are here nothing is in flight.
+        self.ctl
+            .fence
+            .wait(n, timeout, || {})
+            .map_err(|_| RecvFailure::FenceTimeout {
+                rank: self.rank,
+                waited: timeout,
+            })?;
+        // Drain own inboxes: everything still queued was sent by (or to)
+        // a dead incarnation under the old epoch.
+        let mut drained = 0u64;
+        for rx in &self.from {
+            while rx.try_recv().is_some() {
+                drained += 1;
+            }
+        }
+        if let Some(rx) = &self.from_ranks {
+            while rx.try_recv().is_some() {
+                drained += 1;
+            }
+        }
+        while self.from_root.try_recv().is_some() {
+            drained += 1;
+        }
+        if drained > 0 {
+            self.ctl.stale_rejected.fetch_add(drained, Ordering::SeqCst);
+        }
+        for c in &self.send_seq {
+            c.set(0);
+        }
+        for c in &self.recv_seq {
+            c.set(0);
+        }
+        // Phase 2: the last arriver bumps the epoch; all resume in it.
+        let ctl = self.ctl.clone();
+        self.ctl
+            .fence
+            .wait(n, timeout, move || {
+                ctl.epoch.fetch_add(1, Ordering::SeqCst);
+            })
+            .map_err(|_| RecvFailure::FenceTimeout {
+                rank: self.rank,
+                waited: timeout,
+            })?;
+        Ok(self.epoch())
+    }
+
     /// Receive on a collective star channel, honouring the armed
-    /// [`Comm::set_recv_deadline`]. Collectives are where a dead peer is
-    /// felt: the star channels never disconnect (every live rank holds
-    /// sender clones), so without a deadline the survivors block forever.
-    fn recv_collective<T>(&self, rx: &Receiver<T>, what: &str) -> T {
-        match self.recv_deadline.get() {
-            None => rx
-                .recv()
-                .unwrap_or_else(|_| panic!("rank {}: {} peer hung up", self.rank, what)),
-            Some(deadline) => match rx.recv_timeout(deadline) {
-                Ok(m) => m,
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!("rank {}: {} peer hung up", self.rank, what)
-                }
-                Err(RecvTimeoutError::Timeout) => panic!(
-                    "rank {}: timed out after {:?} in {} — peer rank lost?",
-                    self.rank, deadline, what
-                ),
-            },
+    /// [`Comm::set_recv_deadline`] and discarding stale-epoch envelopes.
+    /// Collectives are where a dead peer is felt: the star channels never
+    /// disconnect (every live rank holds sender clones), so without a
+    /// deadline the survivors block forever.
+    fn recv_collective<T>(&self, rx: &Receiver<T>, what: &str, epoch_of: impl Fn(&T) -> u64) -> T {
+        loop {
+            let m = match self.recv_deadline.get() {
+                None => rx
+                    .recv()
+                    .unwrap_or_else(|_| panic!("rank {}: {} peer hung up", self.rank, what)),
+                Some(deadline) => match rx.recv_timeout(deadline) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        panic!("rank {}: {} peer hung up", self.rank, what)
+                    }
+                    Err(RecvTimeoutError::Timeout) => panic!(
+                        "rank {}: timed out after {:?} in {} — peer rank lost?",
+                        self.rank, deadline, what
+                    ),
+                },
+            };
+            if epoch_of(&m) < self.epoch() {
+                self.ctl.stale_rejected.fetch_add(1, Ordering::SeqCst);
+                continue;
+            }
+            return m;
         }
     }
 
@@ -210,8 +621,23 @@ impl Comm {
         ctx: &DeviceContext,
         cost_bytes: f64,
     ) {
+        self.check_fenced();
         let mut data = data;
-        if let Some(fault) = self.armed_fault.take() {
+        // Envelope fields are computed over the pristine payload: the CRC
+        // models an end-to-end checksum stamped before the wire, so
+        // injected in-flight corruption is detectable by the receiver.
+        let crc = payload_crc32(&data);
+        let seq = self.send_seq[dst].get();
+        self.send_seq[dst].set(seq + 1);
+        let epoch = self.forced_epoch.take().unwrap_or_else(|| self.epoch());
+        if let Some(fault) = self.armed_fault.get() {
+            let left = self.armed_count.get();
+            if left <= 1 {
+                self.armed_fault.set(None);
+                self.armed_count.set(0);
+            } else {
+                self.armed_count.set(left - 1);
+            }
             match fault {
                 NetFault::Corrupt => {
                     // Bad DMA / truncated packet: the payload arrives
@@ -225,7 +651,8 @@ impl Comm {
                     }
                 }
                 NetFault::Drop => {
-                    // Lost packet: the message never enters the channel.
+                    // Lost packet: the message never enters the channel
+                    // (the sequence number it consumed becomes a gap).
                     return;
                 }
             }
@@ -236,35 +663,57 @@ impl Comm {
             t_send: ctx.clock.now_us(),
             bytes: cost_bytes,
             path,
+            epoch,
+            seq,
+            crc,
         };
         self.to[dst]
             .send(msg)
-            .unwrap_or_else(|_| panic!("rank {} hung up", dst));
+            .unwrap_or_else(|_| panic!("rank {dst} hung up"));
     }
 
-    /// Blocking receive from `src`; reconciles the virtual clock and books
-    /// the wait + transfer into the MPI phase.
-    ///
-    /// Returns the payload.
-    pub fn recv(&self, src: usize, tag: Tag, ctx: &mut DeviceContext) -> Vec<f64> {
-        let msg = match self.recv_deadline.get() {
-            None => self.from[src]
-                .recv()
-                .unwrap_or_else(|_| panic!("rank {} hung up", src)),
-            Some(deadline) => match self.from[src].recv_timeout(deadline) {
-                Ok(m) => m,
-                Err(RecvTimeoutError::Disconnected) => panic!("rank {} hung up", src),
-                Err(RecvTimeoutError::Timeout) => panic!(
-                    "rank {}: timed out after {:?} waiting for tag {} from rank {} — message lost?",
-                    self.rank, deadline, tag, src
-                ),
-            },
+    /// Control-plane send: like [`Comm::send`] but **immune to armed
+    /// network faults**. The fault model targets payload-bearing halo
+    /// messages (bulk DMA on the data path); tiny protocol messages —
+    /// the retrying transport's ACK/NACK verdicts — ride a modeled
+    /// reliable control channel, exactly as a real transport protects its
+    /// headers with link-level retransmit while payload corruption leaks
+    /// through to the end-to-end checksum.
+    pub fn send_ctl(&self, dst: usize, tag: Tag, data: Vec<f64>, ctx: &DeviceContext) {
+        self.check_fenced();
+        let crc = payload_crc32(&data);
+        let seq = self.send_seq[dst].get();
+        self.send_seq[dst].set(seq + 1);
+        let epoch = self.forced_epoch.take().unwrap_or_else(|| self.epoch());
+        let bytes = (data.len() * 8) as f64;
+        let msg = Msg {
+            tag,
+            data,
+            t_send: ctx.clock.now_us(),
+            bytes,
+            path: NetPath::Host,
+            epoch,
+            seq,
+            crc,
         };
-        assert_eq!(
-            msg.tag, tag,
-            "tag mismatch on rank {} receiving from {}: got {}, want {}",
-            self.rank, src, msg.tag, tag
-        );
+        self.to[dst]
+            .send(msg)
+            .unwrap_or_else(|_| panic!("rank {dst} hung up"));
+    }
+
+    /// Track receive sequence continuity: a forward jump means messages
+    /// were lost in between (counted, not fatal — the verified transport
+    /// recovers them by retry, the legacy path by the health check).
+    fn note_seq(&self, src: usize, seq: u64) {
+        let expect = self.recv_seq[src].get();
+        if seq > expect {
+            self.ctl.seq_gaps.fetch_add(seq - expect, Ordering::SeqCst);
+        }
+        self.recv_seq[src].set(seq.max(expect) + 1);
+    }
+
+    /// Charge the receive-side wait + transfer time into the MPI phase.
+    fn book_transfer(&self, msg: &Msg, ctx: &mut DeviceContext) {
         let transfer_us = match msg.path {
             NetPath::DeviceP2P => ctx.spec.p2p_time_us(msg.bytes),
             // Host path uses the same physical link but adds the staging
@@ -290,7 +739,154 @@ impl Comm {
             ctx.charge(wire, cat, "recv_transfer");
         }
         ctx.set_phase(prev);
+    }
+
+    /// Blocking receive from `src`; reconciles the virtual clock and books
+    /// the wait + transfer into the MPI phase.
+    ///
+    /// Stale-epoch envelopes are discarded (counted) without delivery;
+    /// everything else is delivered as-is — this legacy path does **not**
+    /// verify the CRC, so in-flight corruption reaches the caller exactly
+    /// like a real unchecksummed transport. Verified receives go through
+    /// [`Comm::try_recv`].
+    ///
+    /// Returns the payload.
+    pub fn recv(&self, src: usize, tag: Tag, ctx: &mut DeviceContext) -> Vec<f64> {
+        self.check_fenced();
+        let msg = loop {
+            let m = match self.recv_deadline.get() {
+                None => self.from[src]
+                    .recv()
+                    .unwrap_or_else(|_| panic!("rank {src} hung up")),
+                Some(deadline) => match self.from[src].recv_timeout(deadline) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Disconnected) => panic!("rank {src} hung up"),
+                    Err(RecvTimeoutError::Timeout) => panic!(
+                        "rank {}: timed out after {:?} waiting for tag {} from rank {} — message lost?",
+                        self.rank, deadline, tag, src
+                    ),
+                },
+            };
+            if m.epoch < self.epoch() {
+                self.ctl.stale_rejected.fetch_add(1, Ordering::SeqCst);
+                continue;
+            }
+            break m;
+        };
+        self.note_seq(src, msg.seq);
+        assert_eq!(
+            msg.tag, tag,
+            "tag mismatch on rank {} receiving from {}: got {}, want {}",
+            self.rank, src, msg.tag, tag
+        );
+        self.book_transfer(&msg, ctx);
         msg.data
+    }
+
+    /// Verified receive with an explicit deadline: checks the envelope
+    /// (epoch, tag, CRC) and returns a structured [`RecvFailure`] instead
+    /// of panicking. A stale or mismatched message is **consumed** but
+    /// not delivered — the caller decides whether to retry. This is the
+    /// substrate of the retrying halo transport.
+    pub fn try_recv(
+        &self,
+        src: usize,
+        tag: Tag,
+        ctx: &mut DeviceContext,
+        deadline: Duration,
+    ) -> Result<Vec<f64>, RecvFailure> {
+        self.check_fenced();
+        let msg = match self.from[src].recv_timeout(deadline) {
+            Ok(m) => m,
+            Err(RecvTimeoutError::Disconnected) => return Err(RecvFailure::Disconnected { src }),
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(RecvFailure::Timeout {
+                    src,
+                    tag,
+                    waited: deadline,
+                })
+            }
+        };
+        let current = self.epoch();
+        if msg.epoch < current {
+            self.ctl.stale_rejected.fetch_add(1, Ordering::SeqCst);
+            return Err(RecvFailure::StaleEpoch {
+                src,
+                got: msg.epoch,
+                current,
+            });
+        }
+        self.note_seq(src, msg.seq);
+        if msg.tag != tag {
+            return Err(RecvFailure::TagMismatch {
+                src,
+                got: msg.tag,
+                want: tag,
+            });
+        }
+        if payload_crc32(&msg.data) != msg.crc {
+            return Err(RecvFailure::Corrupt {
+                src,
+                tag,
+                seq: msg.seq,
+            });
+        }
+        self.book_transfer(&msg, ctx);
+        Ok(msg.data)
+    }
+
+    /// Like [`Comm::try_recv`], but accepts any of `tags` from `src` and
+    /// returns which one arrived. The per-pair FIFO reorders two logical
+    /// streams the moment one message is lost (the follower arrives in
+    /// the dropped one's place); a receiver insisting on one specific
+    /// tag would consume-and-drop its peer's healthy message. Matching
+    /// against the full outstanding set makes the verified transport
+    /// order-tolerant.
+    pub fn try_recv_any(
+        &self,
+        src: usize,
+        tags: &[Tag],
+        ctx: &mut DeviceContext,
+        deadline: Duration,
+    ) -> Result<(Tag, Vec<f64>), RecvFailure> {
+        self.check_fenced();
+        let msg = match self.from[src].recv_timeout(deadline) {
+            Ok(m) => m,
+            Err(RecvTimeoutError::Disconnected) => return Err(RecvFailure::Disconnected { src }),
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(RecvFailure::Timeout {
+                    src,
+                    tag: tags.first().copied().unwrap_or_default(),
+                    waited: deadline,
+                })
+            }
+        };
+        let current = self.epoch();
+        if msg.epoch < current {
+            self.ctl.stale_rejected.fetch_add(1, Ordering::SeqCst);
+            return Err(RecvFailure::StaleEpoch {
+                src,
+                got: msg.epoch,
+                current,
+            });
+        }
+        self.note_seq(src, msg.seq);
+        if !tags.contains(&msg.tag) {
+            return Err(RecvFailure::TagMismatch {
+                src,
+                got: msg.tag,
+                want: tags.first().copied().unwrap_or_default(),
+            });
+        }
+        if payload_crc32(&msg.data) != msg.crc {
+            return Err(RecvFailure::Corrupt {
+                src,
+                tag: msg.tag,
+                seq: msg.seq,
+            });
+        }
+        self.book_transfer(&msg, ctx);
+        Ok((msg.tag, msg.data))
     }
 
     /// Barrier: synchronize data-free; all clocks advance to the max plus
@@ -304,15 +900,21 @@ impl Comm {
     /// at rank 0, then broadcast). Clock rule: every rank ends at
     /// `max_i(t_i) + cost(P, bytes)`.
     pub fn allreduce(&self, op: ReduceOp, vals: &mut [f64], ctx: &mut DeviceContext) {
+        self.check_fenced();
         let t_now = ctx.clock.now_us();
+        let epoch = self.epoch();
         self.to_root
-            .send((self.rank, vals.to_vec(), t_now))
+            .send((self.rank, vals.to_vec(), t_now, epoch))
             .expect("root hung up");
         if let Some(rx) = &self.from_ranks {
             // I am root: collect all contributions in rank order.
             let mut contribs: Vec<Option<(Vec<f64>, f64)>> = vec![None; self.size];
-            for _ in 0..self.size {
-                let (r, v, t) = self.recv_collective(rx, "allreduce(gather)");
+            let mut got = 0;
+            while got < self.size {
+                let (r, v, t, _e) = self.recv_collective(rx, "allreduce(gather)", |m| m.3);
+                if contribs[r].is_none() {
+                    got += 1;
+                }
                 contribs[r] = Some((v, t));
             }
             let mut acc: Option<Vec<f64>> = None;
@@ -332,10 +934,10 @@ impl Comm {
             }
             let result = acc.expect("size >= 1");
             for s in &self.to_ranks {
-                s.send((result.clone(), t_sync)).expect("rank hung up");
+                s.send((result.clone(), t_sync, epoch)).expect("rank hung up");
             }
         }
-        let (result, t_sync) = self.recv_collective(&self.from_root, "allreduce(bcast)");
+        let (result, t_sync, _e) = self.recv_collective(&self.from_root, "allreduce(bcast)", |m| m.2);
         vals.copy_from_slice(&result);
 
         // Timing: wait to the sync point, then pay the tree cost.
@@ -354,18 +956,24 @@ impl Comm {
     /// Gather each rank's payload to rank 0 (no timing charges — used for
     /// diagnostics/reporting only). Returns `Some(payloads)` on rank 0.
     pub fn gather_to_root(&self, data: Vec<f64>, ctx: &DeviceContext) -> Option<Vec<Vec<f64>>> {
+        self.check_fenced();
+        let epoch = self.epoch();
         self.to_root
-            .send((self.rank, data, ctx.clock.now_us()))
+            .send((self.rank, data, ctx.clock.now_us(), epoch))
             .expect("root hung up");
         if let Some(rx) = &self.from_ranks {
             let mut out: Vec<Option<Vec<f64>>> = vec![None; self.size];
-            for _ in 0..self.size {
-                let (r, v, _) = self.recv_collective(rx, "gather_to_root");
+            let mut got = 0;
+            while got < self.size {
+                let (r, v, _, _e) = self.recv_collective(rx, "gather_to_root", |m| m.3);
+                if out[r].is_none() {
+                    got += 1;
+                }
                 out[r] = Some(v);
             }
             // Release the non-root ranks (they wait on from_root for sync).
             for s in &self.to_ranks {
-                s.send((vec![], 0.0)).expect("rank hung up");
+                s.send((vec![], 0.0, epoch)).expect("rank hung up");
             }
             let res = out.into_iter().map(|o| o.expect("missing")).collect();
             let _ = self.from_root.recv();
@@ -387,5 +995,42 @@ mod tests {
         assert_eq!(Sum.apply(1.0, 2.0), 3.0);
         assert_eq!(Min.apply(1.0, 2.0), 1.0);
         assert_eq!(Max.apply(1.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn crc_is_stable_and_sensitive() {
+        let a = super::payload_crc32(&[1.0, 2.0, 3.0]);
+        let b = super::payload_crc32(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b, "deterministic");
+        let c = super::payload_crc32(&[1.0, 2.0, 3.0000000001]);
+        assert_ne!(a, c, "sensitive to any bit");
+        assert_ne!(super::payload_crc32(&[]), super::payload_crc32(&[0.0]));
+    }
+
+    #[test]
+    fn fence_releases_all_and_runs_leader_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let fence = std::sync::Arc::new(super::Fence::new());
+        let bumps = std::sync::Arc::new(AtomicU32::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let f = fence.clone();
+                let b = bumps.clone();
+                s.spawn(move || {
+                    f.wait(4, std::time::Duration::from_secs(5), || {
+                        b.fetch_add(1, Ordering::SeqCst);
+                    })
+                    .expect("fence forms");
+                });
+            }
+        });
+        assert_eq!(bumps.load(Ordering::SeqCst), 1, "exactly one leader");
+    }
+
+    #[test]
+    fn fence_times_out_when_short_handed() {
+        let fence = super::Fence::new();
+        let r = fence.wait(2, std::time::Duration::from_millis(20), || {});
+        assert!(r.is_err(), "lone participant must time out");
     }
 }

@@ -1,0 +1,193 @@
+//! Heartbeat failure detection for thread-ranks.
+//!
+//! Real MPI fault tolerance (ULFM) revokes a communicator when a process
+//! stops responding. In the thread-rank world the equivalent signal is a
+//! per-rank **liveness slot**: every worker runs a small beater thread
+//! that bumps an atomic counter on a fixed interval, and the world
+//! monitor declares a rank dead once the counter has not moved for
+//! `miss_budget` consecutive polls. A rank can die loudly (panic — caught
+//! directly) or silently (hang — only the heartbeat notices); both feed
+//! the same respawn path in [`crate::World::run_resilient`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Heartbeat tuning: how often a rank beats and how many missed beats
+/// the monitor tolerates before declaring the rank dead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeartbeatCfg {
+    /// Interval between beats (and between monitor polls).
+    pub interval: Duration,
+    /// Consecutive monitor polls with no beat before death is declared.
+    pub miss_budget: u32,
+}
+
+impl Default for HeartbeatCfg {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(25),
+            miss_budget: 4,
+        }
+    }
+}
+
+/// Shared per-rank liveness state: beat counters, finished flags, and the
+/// `halted` test hook that simulates a zombie (alive thread, dead heart).
+pub(crate) struct Liveness {
+    beats: Vec<AtomicU64>,
+    finished: Vec<AtomicBool>,
+    halted: Vec<AtomicBool>,
+}
+
+impl Liveness {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            finished: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            halted: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    pub(crate) fn beat(&self, rank: usize) {
+        self.beats[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn beats(&self, rank: usize) -> u64 {
+        self.beats[rank].load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn mark_finished(&self, rank: usize) {
+        self.finished[rank].store(true, Ordering::Release);
+    }
+
+    pub(crate) fn is_finished(&self, rank: usize) -> bool {
+        self.finished[rank].load(Ordering::Acquire)
+    }
+
+    pub(crate) fn halt(&self, rank: usize) {
+        self.halted[rank].store(true, Ordering::Release);
+    }
+
+    /// Un-freeze a rank's heartbeat slot (a respawned incarnation gets a
+    /// working heart even if the dead one was halted by the test hook).
+    pub(crate) fn clear_halt(&self, rank: usize) {
+        self.halted[rank].store(false, Ordering::Release);
+    }
+
+    pub(crate) fn is_halted(&self, rank: usize) -> bool {
+        self.halted[rank].load(Ordering::Acquire)
+    }
+}
+
+/// RAII guard around one rank's beater thread: beats on every half
+/// interval until dropped (or until the rank's `halted` hook fires).
+pub(crate) struct Beater {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Beater {
+    pub(crate) fn spawn(liveness: Arc<LivenessHandle>, rank: usize, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        // Beat at twice the poll rate so one delayed wakeup never looks
+        // like a missed beat.
+        let tick = (interval / 2).max(Duration::from_millis(1));
+        let handle = std::thread::spawn(move || {
+            liveness.0.beat(rank); // first beat before any work
+            loop {
+                std::thread::sleep(tick);
+                if stop2.load(Ordering::Acquire) {
+                    return;
+                }
+                if !liveness.0.is_halted(rank) {
+                    liveness.0.beat(rank);
+                }
+            }
+        });
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Beater {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Crate-internal newtype so `Liveness` can cross a thread boundary in an
+/// `Arc` without widening its visibility.
+pub(crate) struct LivenessHandle(pub(crate) Liveness);
+
+/// Monitor-side view of one rank's heartbeat: remembers the last observed
+/// beat count and how many polls it has been stale for.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct BeatWatch {
+    last: u64,
+    stale_polls: u32,
+}
+
+impl BeatWatch {
+    /// Feed one poll's observation; returns `true` when the miss budget
+    /// is exhausted (the rank should be declared dead).
+    pub(crate) fn observe(&mut self, beats: u64, miss_budget: u32) -> bool {
+        if beats != self.last {
+            self.last = beats;
+            self.stale_polls = 0;
+            return false;
+        }
+        self.stale_polls += 1;
+        self.stale_polls >= miss_budget
+    }
+
+    /// Forget history (after a respawn the new incarnation starts fresh).
+    pub(crate) fn reset(&mut self) {
+        self.stale_polls = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cfg_is_sane() {
+        let c = HeartbeatCfg::default();
+        assert!(c.interval > Duration::ZERO);
+        assert!(c.miss_budget >= 1);
+    }
+
+    #[test]
+    fn beat_watch_trips_only_after_budget() {
+        let mut w = BeatWatch::default();
+        assert!(!w.observe(1, 3), "fresh beat resets");
+        assert!(!w.observe(1, 3), "1 stale poll");
+        assert!(!w.observe(1, 3), "2 stale polls");
+        assert!(w.observe(1, 3), "3 stale polls = budget");
+        assert!(!w.observe(2, 3), "new beat recovers");
+    }
+
+    #[test]
+    fn beater_beats_until_dropped_and_halt_freezes_it() {
+        let lv = Arc::new(LivenessHandle(Liveness::new(1)));
+        let b = Beater::spawn(lv.clone(), 0, Duration::from_millis(4));
+        let t0 = std::time::Instant::now();
+        while lv.0.beats(0) < 3 {
+            assert!(t0.elapsed() < Duration::from_secs(5), "beater never beat");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        lv.0.halt(0);
+        std::thread::sleep(Duration::from_millis(10));
+        let frozen = lv.0.beats(0);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(lv.0.beats(0), frozen, "halted heart must not beat");
+        drop(b);
+    }
+}

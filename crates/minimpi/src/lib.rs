@@ -24,7 +24,22 @@
 
 pub(crate) mod chan;
 pub mod comm;
+pub mod detector;
 pub mod world;
 
-pub use comm::{Comm, NetFault, NetPath, ReduceOp, Tag};
-pub use world::{RankPanic, World};
+pub use comm::{Comm, CommFailure, NetFault, NetPath, RecvFailure, ReduceOp, Tag};
+pub use detector::HeartbeatCfg;
+pub use world::{RankPanic, Resilience, ResilientReport, RespawnEvent, World};
+
+/// A millisecond duration scaled by the `MAS_TEST_TIME_SCALE` environment
+/// variable (default 1.0). Timing-sensitive tests use this for every
+/// deadline so a loaded CI machine can stretch them uniformly
+/// (`MAS_TEST_TIME_SCALE=4`) instead of flaking.
+pub fn scaled_ms(ms: u64) -> std::time::Duration {
+    let scale = std::env::var("MAS_TEST_TIME_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(1.0);
+    std::time::Duration::from_micros((ms as f64 * 1000.0 * scale) as u64)
+}

@@ -20,7 +20,8 @@
 //!
 //! Exit codes: 0 success, 1 race-audit violation, 2 usage/deck error,
 //! 3 unrecoverable run failure (rank panic, lost message, exhausted
-//! recovery budget).
+//! rollback budget), 4 respawn budget exhausted (a rank died more times
+//! than `&resilience max_respawns` allows).
 
 use gpusim::DeviceSpec;
 use mas::prelude::*;
@@ -53,7 +54,8 @@ fn usage() -> ! {
            --hist-csv PATH      write the diagnostic history as CSV\n\
            --restart PATH       resume from a checkpoint dump file or directory\n\
          \n\
-         exit codes: 0 ok | 1 race audit failed | 2 usage | 3 run failed"
+         exit codes: 0 ok | 1 race audit failed | 2 usage | 3 run failed |\n\
+                     4 respawn budget exhausted"
     );
     std::process::exit(2);
 }
@@ -196,6 +198,14 @@ fn main() -> ExitCode {
             args.deck.fault.rank
         );
     }
+    if args.deck.resilience.max_respawns > 0 {
+        println!(
+            "resilience: heartbeat every {} ms (miss budget {}), up to {} respawn(s)",
+            args.deck.resilience.heartbeat_ms,
+            args.deck.resilience.miss_budget,
+            args.deck.resilience.max_respawns
+        );
+    }
 
     let t_real = std::time::Instant::now();
     let report = match mas::mhd::run_supervised(
@@ -209,10 +219,11 @@ fn main() -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             // Unrecoverable: rank panic, lost message, exhausted recovery
-            // budget, failed restart. Distinct exit code so job scripts
-            // can tell "physics failed" from "bad invocation".
+            // budget, failed restart. Distinct exit codes so job scripts
+            // can tell "physics failed" (3) from "bad invocation" (2)
+            // from "rank kept dying past the respawn budget" (4).
             eprintln!("mas: run FAILED — {e}");
-            return ExitCode::from(3);
+            return ExitCode::from(if e.respawns_exhausted { 4 } else { 3 });
         }
     };
     let elapsed = t_real.elapsed();
