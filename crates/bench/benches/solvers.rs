@@ -3,7 +3,6 @@
 //! time step (real host execution).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gpusim::DeviceSpec;
 use mas_config::Deck;
 use mas_mhd::Simulation;
 use minimpi::World;
@@ -23,14 +22,7 @@ fn bench_step(c: &mut Criterion) {
     c.bench_function("full_mhd_step_11k_cells", |b| {
         b.iter(|| {
             World::run(1, |comm| {
-                let mut sim = Simulation::new(
-                    &deck,
-                    CodeVersion::A,
-                    DeviceSpec::a100_40gb(),
-                    0,
-                    1,
-                    1,
-                );
+                let mut sim = Simulation::builder(&deck).version(CodeVersion::A).build();
                 sim.run(&comm);
                 sim.time
             })

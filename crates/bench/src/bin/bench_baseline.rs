@@ -1,0 +1,211 @@
+//! `bench_baseline` — persist the host-performance baseline (`BENCH_6.json`).
+//!
+//! Runs one fixed deck across **all six code versions × {1,2,4} host
+//! threads × {1,2} ranks**, each in both hot-path modes:
+//!
+//! * `legacy` — the pre-optimization allocation behaviour, reinstated at
+//!   runtime via `mas_mhd::perf::set_legacy_hot_path(true)` (halo-clone
+//!   sends, per-exchange buffer-id rebuilds, fresh reduction scratch,
+//!   per-call conduction geometry, …);
+//! * `lean` — the current allocation-free hot path.
+//!
+//! Timing is **real host wall-clock** (`std::time::Instant` around the
+//! whole run; min over reps), not the virtual-device model time — the
+//! model time is recorded separately as `sim_minutes`. State hashes are
+//! folded per case and must agree bit-exactly across versions, thread
+//! counts and modes (per rank count); the binary aborts otherwise.
+//!
+//! ```text
+//! bench_baseline [--smoke] [--out PATH]     # run the sweep, write JSON
+//! bench_baseline --validate PATH            # strict schema + consistency check
+//! ```
+//!
+//! `--smoke` shrinks the deck and reps for CI; the committed
+//! `BENCH_6.json` at the repo root comes from the full sweep.
+
+use std::time::Instant;
+
+use gpusim::DeviceSpec;
+use mas_bench::baseline::{
+    fold_hashes, git_sha, machine_fingerprint, peak_rss_kb, BenchCase, BenchFile, DeckSummary,
+    SCHEMA_VERSION,
+};
+use mas_config::Deck;
+use mas_mhd::run_multi_rank;
+use stdpar::CodeVersion;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const RANK_COUNTS: [usize; 2] = [1, 2];
+const MODES: [&str; 2] = ["legacy", "lean"];
+const SEED: u64 = 1;
+
+fn baseline_deck(smoke: bool) -> Deck {
+    let mut d = Deck::preset_quickstart();
+    if smoke {
+        d.grid = mas_config::GridCfg { nr: 12, nt: 10, np: 12, rmax: 8.0 };
+        d.time.n_steps = 2;
+    } else {
+        d.grid = mas_config::GridCfg { nr: 20, nt: 16, np: 24, rmax: 10.0 };
+        d.time.n_steps = 10;
+    }
+    d.output.hist_interval = 0; // timing runs: no diagnostics cadence
+    d
+}
+
+fn run_sweep(smoke: bool) -> BenchFile {
+    let deck = baseline_deck(smoke);
+    let reps = if smoke { 1 } else { 4 };
+    let spec = DeviceSpec::a100_40gb();
+    let n_cases = MODES.len() * CodeVersion::ALL.len() * THREAD_COUNTS.len() * RANK_COUNTS.len();
+
+    let mut cases = Vec::with_capacity(n_cases);
+    let mut done = 0usize;
+    for version in CodeVersion::ALL {
+        for threads in THREAD_COUNTS {
+            for ranks in RANK_COUNTS {
+                let mut d = deck.clone();
+                d.host_threads = threads;
+                // The two modes run back-to-back within each rep so slow
+                // machine drift (shared-host steal, thermal) hits both
+                // sides of the before/after comparison equally.
+                let mut best_wall = [f64::INFINITY; 2];
+                let mut best = [None, None];
+                for _ in 0..reps {
+                    for (m, mode) in MODES.iter().enumerate() {
+                        mas_mhd::perf::set_legacy_hot_path(*mode == "legacy");
+                        let t0 = Instant::now();
+                        let report =
+                            run_multi_rank(&d, version, spec.clone(), ranks, SEED, false);
+                        let wall = t0.elapsed().as_secs_f64();
+                        if wall < best_wall[m] {
+                            best_wall[m] = wall;
+                            best[m] = Some(report);
+                        }
+                    }
+                }
+                for (m, mode) in MODES.iter().enumerate() {
+                    let report = best[m].take().expect("reps >= 1");
+                    let hashes: Vec<u64> =
+                        report.ranks.iter().map(|r| r.state_hash).collect();
+                    let steps = d.time.n_steps as f64;
+                    cases.push(BenchCase {
+                        mode: (*mode).into(),
+                        version: version.tag().into(),
+                        threads: threads as u64,
+                        ranks: ranks as u64,
+                        wall_ms_per_step: 1e3 * best_wall[m] / steps,
+                        steps_per_sec: steps / best_wall[m],
+                        sim_minutes: report.wall_us() / gpusim::US_PER_MIN,
+                        peak_rss_kb: peak_rss_kb(),
+                        state_hash: fold_hashes(&hashes),
+                    });
+                    done += 1;
+                    eprintln!(
+                        "[{done:>3}/{n_cases}] {mode:<6} {:<5} t={threads} r={ranks}  \
+                         {:8.2} ms/step",
+                        version.tag(),
+                        1e3 * best_wall[m] / steps,
+                    );
+                }
+            }
+        }
+    }
+    mas_mhd::perf::set_legacy_hot_path(false);
+
+    let (deltas, mean) = BenchFile::compute_deltas(&cases);
+    let sha = git_sha();
+    let short = &sha[..sha.len().min(12)];
+    let file = BenchFile {
+        schema_version: SCHEMA_VERSION,
+        bench_id: format!(
+            "baseline-{}-{short}",
+            if smoke { "smoke" } else { "full" }
+        ),
+        git_sha: sha.clone(),
+        machine: machine_fingerprint(),
+        deck: DeckSummary {
+            nr: deck.grid.nr as u64,
+            nt: deck.grid.nt as u64,
+            np: deck.grid.np as u64,
+            n_steps: deck.time.n_steps as u64,
+            reps: reps as u64,
+        },
+        cases,
+        deltas,
+        host_engine_improvement_pct: mean,
+    };
+    if let Err(e) = file.check_consistency() {
+        eprintln!("FATAL: sweep inconsistent: {e}");
+        std::process::exit(1);
+    }
+    file
+}
+
+fn validate(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let file = match BenchFile::from_json_string(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("FAIL: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = file.check_consistency() {
+        eprintln!("FAIL: {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "OK: {path} ({} cases, {} deltas, host-engine improvement {:+.1}%)",
+        file.cases.len(),
+        file.deltas.len(),
+        file.host_engine_improvement_pct
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_6.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a path").clone();
+            }
+            "--validate" => {
+                i += 1;
+                validate(args.get(i).expect("--validate needs a path"));
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: bench_baseline [--smoke] [--out PATH] | --validate PATH");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let file = run_sweep(smoke);
+    std::fs::write(&out, file.to_json_string()).expect("write baseline");
+    println!(
+        "wrote {out}: {} cases, host-engine improvement {:+.1}% (legacy -> lean)",
+        file.cases.len(),
+        file.host_engine_improvement_pct
+    );
+    for d in &file.deltas {
+        eprintln!(
+            "  {:<5} t={} r={}  {:7.1} -> {:7.1} steps/s  ({:+.1}%)",
+            d.version, d.threads, d.ranks, d.legacy_steps_per_sec, d.lean_steps_per_sec,
+            d.improvement_pct
+        );
+    }
+}

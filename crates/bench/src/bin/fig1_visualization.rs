@@ -6,7 +6,6 @@
 //!
 //! Run: `cargo run --release -p mas-bench --bin fig1_visualization`
 
-use gpusim::DeviceSpec;
 use mas_config::Deck;
 use mas_grid::NGHOST;
 use mas_io::{render_ascii, render_ppm, Colormap};
@@ -24,14 +23,7 @@ fn main() {
     );
 
     let (temp_rt, temp_tp, br_tp, hist) = World::run(1, |comm| {
-        let mut sim = Simulation::new(
-            &deck,
-            CodeVersion::A,
-            DeviceSpec::a100_40gb(),
-            0,
-            1,
-            1,
-        );
+        let mut sim = Simulation::builder(&deck).version(CodeVersion::A).build();
         sim.run(&comm);
         let g = &sim.grid;
         let t = &sim.state.temp.data;

@@ -17,7 +17,9 @@
 //! Criterion micro-benchmarks of the design choices (fusion, async, UM vs
 //! manual halos, reduction strategies) live under `benches/`.
 
+pub mod baseline;
 pub mod harness;
+pub mod json;
 pub mod paper;
 
 pub use harness::{bench_deck, cpu_bench_deck, run_case, sweep, CaseResult, SweepPoint};

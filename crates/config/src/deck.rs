@@ -3,7 +3,7 @@
 use crate::parse::{parse_sections, ParseError, Value};
 
 /// Grid configuration.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GridCfg {
     /// Radial cells.
     pub nr: usize,
@@ -18,7 +18,7 @@ pub struct GridCfg {
 /// Physics configuration (normalized MAS-like units: lengths in `R_s`,
 /// B in a reference field strength, density/temperature scaled to typical
 /// coronal base values).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PhysicsCfg {
     /// Ratio of specific heats (MAS coronal runs often use a reduced γ).
     pub gamma: f64,
@@ -47,7 +47,7 @@ pub struct PhysicsCfg {
 }
 
 /// Time-integration configuration.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TimeCfg {
     /// Number of steps to run.
     pub n_steps: usize,
@@ -93,7 +93,7 @@ impl ViscSolver {
 }
 
 /// Implicit/parabolic solver configuration.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SolverCfg {
     /// PCG relative-residual tolerance (viscosity solve).
     pub pcg_tol: f64,
@@ -109,7 +109,7 @@ pub struct SolverCfg {
 }
 
 /// Output cadence.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OutputCfg {
     /// History (diagnostics) interval in steps; 0 disables.
     pub hist_interval: usize,

@@ -7,6 +7,7 @@
 
 use crate::Array3;
 use mas_grid::NGHOST;
+use std::sync::Arc;
 
 /// Pack the first (`low = true`) or last interior φ-plane of `a` into `buf`.
 /// Returns values written.
@@ -23,18 +24,28 @@ pub fn unpack_phi_plane(a: &mut Array3, low: bool, buf: &[f64]) -> usize {
 }
 
 /// Reusable staging buffers for the φ halo exchange of several arrays.
+///
+/// The send buffers are `Arc`-backed so an exchange can put them on the
+/// wire without copying. A zero-copy send leaves the buffer shared until
+/// the receiver drops its reference, so [`PhiHalo::pack`] rotates in a
+/// spare buffer when the current one is still in flight — steady state
+/// settles on at most one spare per in-flight payload and never
+/// allocates again.
 #[derive(Debug)]
 pub struct PhiHalo {
-    /// Send buffer toward the low-φ neighbour.
-    pub send_low: Vec<f64>,
-    /// Send buffer toward the high-φ neighbour.
-    pub send_high: Vec<f64>,
+    /// Send buffer toward the low-φ neighbour (shareable zero-copy).
+    pub send_low: Arc<Vec<f64>>,
+    /// Send buffer toward the high-φ neighbour (shareable zero-copy).
+    pub send_high: Arc<Vec<f64>>,
     /// Receive buffer from the low-φ neighbour.
     pub recv_low: Vec<f64>,
     /// Receive buffer from the high-φ neighbour.
     pub recv_high: Vec<f64>,
     /// Per-array plane sizes (values), in pack order.
     plane_lens: Vec<usize>,
+    /// Idle send buffers awaiting reuse (a direction's previous payload
+    /// stays here until its receiver drops it).
+    spares: Vec<Arc<Vec<f64>>>,
 }
 
 impl PhiHalo {
@@ -43,11 +54,12 @@ impl PhiHalo {
         let plane_lens: Vec<usize> = arrays.iter().map(|a| a.k_plane_len()).collect();
         let total: usize = plane_lens.iter().sum();
         Self {
-            send_low: vec![0.0; total],
-            send_high: vec![0.0; total],
+            send_low: Arc::new(vec![0.0; total]),
+            send_high: Arc::new(vec![0.0; total]),
             recv_low: vec![0.0; total],
             recv_high: vec![0.0; total],
             plane_lens,
+            spares: Vec::new(),
         }
     }
 
@@ -61,15 +73,50 @@ impl PhiHalo {
         self.total_len() * std::mem::size_of::<f64>()
     }
 
+    /// Idle spare send buffers currently pooled (diagnostic).
+    pub fn spare_count(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Swap `slot` for an unshared buffer if a receiver still holds the
+    /// current one: reuse a free spare when available, allocate otherwise,
+    /// and park the in-flight buffer in the spares pool until its receiver
+    /// lets go.
+    fn rotate_if_shared(slot: &mut Arc<Vec<f64>>, spares: &mut Vec<Arc<Vec<f64>>>, total: usize) {
+        if Arc::get_mut(slot).is_some() {
+            return;
+        }
+        let fresh = match spares.iter().position(|s| Arc::strong_count(s) == 1) {
+            Some(pos) => spares.swap_remove(pos),
+            None => Arc::new(vec![0.0; total]),
+        };
+        spares.push(std::mem::replace(slot, fresh));
+    }
+
     /// Pack all arrays' boundary planes into the send buffers.
     /// `arrays` must match the constructor's order and sizes.
     pub fn pack(&mut self, arrays: &[&Array3]) {
-        assert_eq!(arrays.len(), self.plane_lens.len());
+        self.pack_planes(arrays.iter().map(|a| &**a), arrays.len());
+    }
+
+    /// [`PhiHalo::pack`] over the exchanger's mutable array set — avoids
+    /// collecting a temporary `&Array3` slice per exchange.
+    pub fn pack_mut(&mut self, arrays: &[&mut Array3]) {
+        self.pack_planes(arrays.iter().map(|a| &**a), arrays.len());
+    }
+
+    fn pack_planes<'a>(&mut self, arrays: impl Iterator<Item = &'a Array3>, n: usize) {
+        assert_eq!(n, self.plane_lens.len());
+        let total: usize = self.plane_lens.iter().sum();
+        Self::rotate_if_shared(&mut self.send_low, &mut self.spares, total);
+        Self::rotate_if_shared(&mut self.send_high, &mut self.spares, total);
+        let send_low = Arc::get_mut(&mut self.send_low).expect("unshared after rotation");
+        let send_high = Arc::get_mut(&mut self.send_high).expect("unshared after rotation");
         let mut off = 0;
-        for (a, &len) in arrays.iter().zip(&self.plane_lens) {
+        for (a, &len) in arrays.zip(&self.plane_lens) {
             assert_eq!(a.k_plane_len(), len, "array shape changed since construction");
-            pack_phi_plane(a, true, &mut self.send_low[off..off + len]);
-            pack_phi_plane(a, false, &mut self.send_high[off..off + len]);
+            pack_phi_plane(a, true, &mut send_low[off..off + len]);
+            pack_phi_plane(a, false, &mut send_high[off..off + len]);
             off += len;
         }
     }
@@ -128,6 +175,32 @@ mod tests {
         let h = PhiHalo::for_arrays(&[&a, &b]);
         assert_eq!(h.total_len(), a.k_plane_len() + b.k_plane_len());
         assert_eq!(h.total_bytes(), h.total_len() * 8);
+    }
+
+    #[test]
+    fn pack_rotates_in_flight_send_buffers_and_reuses_them() {
+        let a = Array3::zeros(2, 2, 3);
+        let mut h = PhiHalo::for_arrays(&[&a]);
+        h.pack(&[&a]);
+        // Simulate zero-copy sends still held by a receiver.
+        let in_flight_low = Arc::clone(&h.send_low);
+        let in_flight_high = Arc::clone(&h.send_high);
+        h.pack(&[&a]);
+        assert!(
+            !Arc::ptr_eq(&in_flight_low, &h.send_low),
+            "shared buffer must be rotated out, not mutated under the receiver"
+        );
+        assert_eq!(h.spare_count(), 2, "both in-flight buffers parked as spares");
+        // Receiver lets go: the parked buffers become reusable, the pool
+        // stops growing.
+        drop(in_flight_low);
+        drop(in_flight_high);
+        let now_free_low = Arc::clone(&h.send_low);
+        let now_free_high = Arc::clone(&h.send_high);
+        drop(now_free_high);
+        let _hold = now_free_low; // keep only the low buffer in flight
+        h.pack(&[&a]);
+        assert_eq!(h.spare_count(), 2, "steady state reuses spares, never grows");
     }
 
     #[test]

@@ -44,10 +44,54 @@ pub struct ViewAccess {
     pub write: bool,
 }
 
-/// Process-wide count of threads with an active capture. Acts as a fast
-/// gate so that `get`/`set`/`add` pay only one relaxed load plus a
-/// predicted-untaken branch when no auditor is running anywhere.
+/// Process-wide count of threads with an active capture. Consulted
+/// per-access only by *instrumented* views (see [`arm_captures`]).
 static CAPTURES_ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of armed auditors (see [`arm_captures`]). While
+/// nonzero, newly constructed views are instrumented even before any
+/// capture begins — this is how the `stdpar` race auditor observes
+/// kernel bodies whose views are built before the audited launch.
+static CAPTURES_ARMED: AtomicUsize = AtomicUsize::new(0);
+
+/// When nonzero, newly constructed views reinstate the historical
+/// per-access gate (one relaxed load of [`CAPTURES_ACTIVE`] on every
+/// `get`/`set`/`add`). The benchmark baseline's `legacy` mode uses this
+/// to measure the cost the construction-time gate removed.
+static LEGACY_GATE: AtomicUsize = AtomicUsize::new(0);
+
+/// Arm access capture: views constructed from now until the matching
+/// [`disarm_captures`] are *instrumented* — each `get`/`set`/`add`
+/// checks for an active capture on its thread. Views constructed while
+/// nothing is armed (and no capture or legacy gate is live) skip the
+/// check entirely, which lets the optimizer treat kernel bodies as
+/// branch-free straight-line array code. Arming nests (refcounted).
+pub fn arm_captures() {
+    CAPTURES_ARMED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Undo one [`arm_captures`]. Views already constructed keep whatever
+/// instrumentation decision they were built with.
+pub fn disarm_captures() {
+    CAPTURES_ARMED.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Toggle the historical always-instrumented behaviour for newly
+/// constructed views (benchmark `legacy` mode; see [`LEGACY_GATE`]).
+pub fn set_legacy_gate(on: bool) {
+    LEGACY_GATE.store(on as usize, Ordering::Relaxed);
+}
+
+/// Whether kernels launched now should use instrumented views
+/// (`REC = true`): an auditor is armed, a capture is live somewhere, or
+/// the benchmark legacy gate is on. Kernel entry points consult this
+/// once per call to pick a monomorphized instantiation, so the decision
+/// costs nothing per element.
+pub fn instrumentation_requested() -> bool {
+    CAPTURES_ARMED.load(Ordering::Relaxed) != 0
+        || CAPTURES_ACTIVE.load(Ordering::Relaxed) != 0
+        || LEGACY_GATE.load(Ordering::Relaxed) != 0
+}
 
 thread_local! {
     /// The current thread's capture log, if one is active.
@@ -58,10 +102,11 @@ thread_local! {
 /// into a fresh log. Nesting is not supported: a second `capture_begin`
 /// without an intervening [`capture_end`] replaces the log.
 ///
-/// This is the hook the `stdpar` race auditor uses to observe kernel
-/// bodies; production runs never call it, and the per-access cost while
-/// no capture exists anywhere in the process is a single relaxed atomic
-/// load.
+/// Only *instrumented* views record: a view is instrumented if, at its
+/// construction, an auditor was armed ([`arm_captures`]), a capture was
+/// already live anywhere, or the legacy gate was set. This is the hook
+/// the `stdpar` race auditor uses to observe kernel bodies; production
+/// runs never call it, and uninstrumented views cost nothing per access.
 pub fn capture_begin() {
     CAPTURE_LOG.with(|log| {
         let mut slot = log.borrow_mut();
@@ -88,8 +133,10 @@ pub fn capture_end() -> Vec<ViewAccess> {
     })
 }
 
-/// Record one access if this thread has an active capture. The common
-/// (audit-off) path is a single relaxed load and a fall-through branch.
+/// Record one access if this thread has an active capture. Called only
+/// from instrumented views; the capture-off path is a single relaxed
+/// load and a fall-through branch (the historical cost every access
+/// paid before the construction-time gate existed).
 #[inline(always)]
 fn maybe_record(base: usize, i: usize, j: usize, k: usize, write: bool) {
     if CAPTURES_ACTIVE.load(Ordering::Relaxed) != 0 {
@@ -121,7 +168,14 @@ fn record_slow(base: usize, i: usize, j: usize, k: usize, write: bool) {
 /// Obtained from [`Array3::par_view`]; borrows the array mutably for its
 /// lifetime, so all other access paths are frozen while it exists.
 #[derive(Clone, Copy)]
-pub struct ParView3<'a> {
+/// The `REC` const parameter decides **at compile time** whether
+/// accesses consult the capture machinery. `REC = true` (the default)
+/// is the historical behaviour: every access pays one relaxed load of
+/// the process-wide capture gate. `REC = false` compiles `get`/`set`/
+/// `add` down to bare loads and stores, which lets the optimizer treat
+/// kernel bodies as straight-line array code. Kernel entry points pick
+/// the instantiation once per call via [`instrumentation_requested`].
+pub struct ParView3<'a, const REC: bool = true> {
     ptr: *mut f64,
     s1: usize,
     s2: usize,
@@ -133,10 +187,10 @@ pub struct ParView3<'a> {
 // SAFETY: the view behaves like `&mut [f64]` split element-wise across
 // iterations; the caller upholds the disjoint-write contract above and
 // the unique borrow prevents aliasing from outside the kernel body.
-unsafe impl Send for ParView3<'_> {}
-unsafe impl Sync for ParView3<'_> {}
+unsafe impl<const REC: bool> Send for ParView3<'_, REC> {}
+unsafe impl<const REC: bool> Sync for ParView3<'_, REC> {}
 
-impl<'a> ParView3<'a> {
+impl<'a, const REC: bool> ParView3<'a, REC> {
     pub(crate) fn new(a: &'a mut Array3) -> Self {
         let (s1, s2, s3) = (a.s1, a.s2, a.s3);
         let s = a.as_mut_slice();
@@ -184,7 +238,9 @@ impl<'a> ParView3<'a> {
     pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
         let ix = self.idx(i, j, k);
         debug_assert!(ix < self.len);
-        maybe_record(self.ptr as usize, i, j, k, false);
+        if REC {
+            maybe_record(self.ptr as usize, i, j, k, false);
+        }
         // SAFETY: in-bounds (asserted in debug); caller upholds the
         // no-concurrent-writer contract.
         unsafe { *self.ptr.add(ix) }
@@ -195,7 +251,9 @@ impl<'a> ParView3<'a> {
     pub fn set(&self, i: usize, j: usize, k: usize, v: f64) {
         let ix = self.idx(i, j, k);
         debug_assert!(ix < self.len);
-        maybe_record(self.ptr as usize, i, j, k, true);
+        if REC {
+            maybe_record(self.ptr as usize, i, j, k, true);
+        }
         // SAFETY: as for `get`; the element belongs to this iteration.
         unsafe { *self.ptr.add(ix) = v }
     }
@@ -207,8 +265,10 @@ impl<'a> ParView3<'a> {
         debug_assert!(ix < self.len);
         // A read-modify-write is both a read and a write for the
         // iteration-independence contract.
-        maybe_record(self.ptr as usize, i, j, k, false);
-        maybe_record(self.ptr as usize, i, j, k, true);
+        if REC {
+            maybe_record(self.ptr as usize, i, j, k, false);
+            maybe_record(self.ptr as usize, i, j, k, true);
+        }
         // SAFETY: read-modify-write of an element no other iteration
         // touches (contract above).
         unsafe { *self.ptr.add(ix) += v }
@@ -219,7 +279,19 @@ impl Array3 {
     /// A [`ParView3`] over this array for a parallel kernel body. The
     /// array is mutably borrowed for the view's lifetime; see the
     /// `parview` module docs for the iteration-independence contract.
+    ///
+    /// The returned view is instrumented (`REC = true`, the historical
+    /// behaviour). Hot kernels that have a monomorphized uninstrumented
+    /// variant use [`Array3::par_view_as`] instead.
     pub fn par_view(&mut self) -> ParView3<'_> {
+        ParView3::new(self)
+    }
+
+    /// A [`ParView3`] with the instrumentation decision made at compile
+    /// time. Kernel entry points choose `REC` once per call from
+    /// [`instrumentation_requested`]; `REC = false` views compile to
+    /// bare loads/stores (no capture-gate check per access).
+    pub fn par_view_as<const REC: bool>(&mut self) -> ParView3<'_, REC> {
         ParView3::new(self)
     }
 }
@@ -264,8 +336,8 @@ mod tests {
     #[test]
     fn capture_records_reads_writes_and_rmw() {
         let mut a = Array3::zeros(2, 2, 2);
-        let v = a.par_view();
         capture_begin();
+        let v = a.par_view();
         v.set(0, 0, 0, 1.0);
         let _ = v.get(1, 1, 1);
         v.add(0, 1, 0, 2.0);
@@ -285,8 +357,8 @@ mod tests {
     #[test]
     fn capture_is_thread_local() {
         let mut a = Array3::zeros(2, 2, 2);
-        let v = a.par_view();
         capture_begin();
+        let v = a.par_view();
         std::thread::scope(|s| {
             s.spawn(move || {
                 // Other threads see the global gate but have no log;
@@ -298,5 +370,41 @@ mod tests {
         let log = capture_end();
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].k, 0);
+    }
+
+    #[test]
+    fn uninstrumented_views_never_record() {
+        let mut a = Array3::zeros(2, 2, 2);
+        let mut b = Array3::zeros(2, 2, 2);
+        {
+            // `REC = false`: bare loads/stores, invisible to captures.
+            let raw = a.par_view_as::<false>();
+            let hot = b.par_view();
+            capture_begin();
+            raw.set(0, 0, 0, 1.0);
+            raw.add(0, 0, 0, 0.5);
+            let _ = raw.get(0, 0, 0);
+            hot.set(0, 0, 1, 2.0);
+            let log = capture_end();
+            assert_eq!(log.len(), 1, "only the instrumented view records");
+            assert_eq!(log[0].k, 1);
+        }
+        // The accesses themselves still happen.
+        assert_eq!(a.get(0, 0, 0), 1.5);
+    }
+
+    #[test]
+    fn instrumentation_requested_tracks_arm_capture_and_legacy() {
+        // Positive assertions only: sibling tests capture concurrently,
+        // so a quiet global state cannot be assumed here.
+        arm_captures();
+        assert!(instrumentation_requested());
+        disarm_captures();
+        set_legacy_gate(true);
+        assert!(instrumentation_requested());
+        set_legacy_gate(false);
+        capture_begin();
+        assert!(instrumentation_requested());
+        let _ = capture_end();
     }
 }

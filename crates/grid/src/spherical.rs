@@ -60,6 +60,14 @@ pub struct SphericalGrid {
     pub st_f_inv: Vec<f64>,
     /// `cos θ_f[j] - cos θ_f[j+1]` per θ cell (the exact solid-angle weight).
     pub dcos: Vec<f64>,
+    /// `3 / (r_f[i+1]³ − r_f[i]³)` per radial cell — the exact radial
+    /// flux-divergence coefficient (shared by the conduction operators).
+    pub dr3_inv: Vec<f64>,
+    /// `(r_f[i+1]² − r_f[i]²)/2` per radial cell (lateral-face weight).
+    pub drr2: Vec<f64>,
+    /// `1 / dcos`, with exactly-zero solid angles (pole ghost cells)
+    /// mapped to 0 so axis terms vanish instead of propagating infinities.
+    pub dcos_inv: Vec<f64>,
 
     /// True if this grid spans the full sphere in θ (pole faces at 0 and π).
     pub has_poles: bool,
@@ -122,6 +130,16 @@ impl SphericalGrid {
             .map(|j| ct_f[j] - ct_f[j + 1])
             .collect();
 
+        let nrc = rc.len();
+        let dr3_inv: Vec<f64> = (0..nrc)
+            .map(|i| 3.0 / (rf[i + 1].powi(3) - rf[i].powi(3)))
+            .collect();
+        let drr2: Vec<f64> = (0..nrc).map(|i| 0.5 * (rf2[i + 1] - rf2[i])).collect();
+        let dcos_inv: Vec<f64> = dcos
+            .iter()
+            .map(|&d| if d.abs() < 1e-300 { 0.0 } else { 1.0 / d })
+            .collect();
+
         Self {
             r,
             t,
@@ -141,6 +159,9 @@ impl SphericalGrid {
             st_c_inv,
             st_f_inv,
             dcos,
+            dr3_inv,
+            drr2,
+            dcos_inv,
             has_poles,
             phi_offset: 0,
             np_global: np,

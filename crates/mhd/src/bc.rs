@@ -14,10 +14,18 @@ use stdpar::Par;
 /// Fill the r/θ ghost layers of a cell-centered field with zero-gradient
 /// (Neumann) values — used for solver stage variables.
 pub fn neumann_ghosts_rt(par: &mut Par, _grid: &SphericalGrid, f: &mut Field) {
+    if mas_field::instrumentation_requested() {
+        neumann_ghosts_rt_impl::<true>(par, _grid, f)
+    } else {
+        neumann_ghosts_rt_impl::<false>(par, _grid, f)
+    }
+}
+
+fn neumann_ghosts_rt_impl<const REC: bool>(par: &mut Par, _grid: &SphericalGrid, f: &mut Field) {
     let g = NGHOST;
     let (s1, s2, s3) = (f.data.s1, f.data.s2, f.data.s3);
     let buf = [f.buf()];
-    let d = f.data.par_view();
+    let d = f.data.par_view_as::<REC>();
     // Plane kernels are charged at the surface scale.
     par.with_area_scale(|par| {
         // r ghosts (two j-k planes).
@@ -53,10 +61,20 @@ pub fn neumann_ghosts_rt(par: &mut Par, _grid: &SphericalGrid, f: &mut Field) {
 ///   the axis faces.
 pub fn apply_physical(par: &mut Par, grid: &SphericalGrid, st: &mut State, phys: &PhysicsCfg, time: f64) {
     // All boundary kernels are plane-sized: charge at the surface scale.
-    par.with_area_scale(|par| apply_physical_inner(par, grid, st, phys, time));
+    if mas_field::instrumentation_requested() {
+        par.with_area_scale(|par| apply_physical_inner::<true>(par, grid, st, phys, time));
+    } else {
+        par.with_area_scale(|par| apply_physical_inner::<false>(par, grid, st, phys, time));
+    }
 }
 
-fn apply_physical_inner(par: &mut Par, grid: &SphericalGrid, st: &mut State, phys: &PhysicsCfg, time: f64) {
+fn apply_physical_inner<const REC: bool>(
+    par: &mut Par,
+    grid: &SphericalGrid,
+    st: &mut State,
+    phys: &PhysicsCfg,
+    time: f64,
+) {
     let g = NGHOST;
     let (rho0, t0, b0) = (phys.rho0, phys.t0, phys.b0);
     let perturb = phys.perturb;
@@ -68,7 +86,7 @@ fn apply_physical_inner(par: &mut Par, grid: &SphericalGrid, st: &mut State, phy
         let space = IndexSpace3 { i0: 0, i1: 1, j0: 0, j1: s2, k0: 0, k1: s3 };
         let reads = [st.rho.buf(), st.temp.buf()];
         let writes = [st.rho.buf(), st.temp.buf()];
-        let (rd, td) = (st.rho.data.par_view(), st.temp.data.par_view());
+        let (rd, td) = (st.rho.data.par_view_as::<REC>(), st.temp.data.par_view_as::<REC>());
         par.loop3(&sites::BC_INNER, space, Traffic::new(2, 2, 2), &reads, &writes, |_, j, k| {
             rd.set(g - 1, j, k, rho0);
             td.set(g - 1, j, k, t0);
@@ -80,11 +98,19 @@ fn apply_physical_inner(par: &mut Par, grid: &SphericalGrid, st: &mut State, phy
         let space_v = IndexSpace3 { i0: 0, i1: 1, j0: 0, j1: st.v.t.data.s2.min(s2), k0: 0, k1: s3 };
         let reads = [st.v.r.buf(), st.v.t.buf(), st.v.p.buf()];
         let writes = reads;
-        let theta_c: Vec<f64> = grid.t.centers.clone();
+        let legacy_theta;
+        let theta_c: &[f64] = if crate::perf::legacy_hot_path() {
+            // Historical per-call cost: the θ-center array was cloned on
+            // every boundary application instead of borrowed.
+            legacy_theta = grid.t.centers.clone();
+            &legacy_theta
+        } else {
+            &grid.t.centers
+        };
         let (vr, vt, vp) = (
-            st.v.r.data.par_view(),
-            st.v.t.data.par_view(),
-            st.v.p.data.par_view(),
+            st.v.r.data.par_view_as::<REC>(),
+            st.v.t.data.par_view_as::<REC>(),
+            st.v.p.data.par_view_as::<REC>(),
         );
         let ramp = (time / 0.05).min(1.0); // smooth spin-up of the driver
         par.loop3(&sites::BC_INNER, space_v, Traffic::new(3, 3, 6), &reads, &writes, |_, j, k| {
@@ -114,9 +140,9 @@ fn apply_physical_inner(par: &mut Par, grid: &SphericalGrid, st: &mut State, phy
         let reads = [st.b.r.buf(), st.b.t.buf(), st.b.p.buf()];
         let writes = reads;
         let (br, bt, bp) = (
-            st.b.r.data.par_view(),
-            st.b.t.data.par_view(),
-            st.b.p.data.par_view(),
+            st.b.r.data.par_view_as::<REC>(),
+            st.b.t.data.par_view_as::<REC>(),
+            st.b.p.data.par_view_as::<REC>(),
         );
         par.loop3(&sites::BC_INNER, space, Traffic::new(3, 3, 0), &reads, &writes, |_, j, k| {
             let r_in = br.get(g, j, k);
@@ -141,16 +167,16 @@ fn apply_physical_inner(par: &mut Par, grid: &SphericalGrid, st: &mut State, phy
             st.b.r.buf(), st.b.t.buf(), st.b.p.buf(),
         ];
         let writes = reads;
-        let (rd, td) = (st.rho.data.par_view(), st.temp.data.par_view());
+        let (rd, td) = (st.rho.data.par_view_as::<REC>(), st.temp.data.par_view_as::<REC>());
         let (vr, vt, vp) = (
-            st.v.r.data.par_view(),
-            st.v.t.data.par_view(),
-            st.v.p.data.par_view(),
+            st.v.r.data.par_view_as::<REC>(),
+            st.v.t.data.par_view_as::<REC>(),
+            st.v.p.data.par_view_as::<REC>(),
         );
         let (br, bt, bp) = (
-            st.b.r.data.par_view(),
-            st.b.t.data.par_view(),
-            st.b.p.data.par_view(),
+            st.b.r.data.par_view_as::<REC>(),
+            st.b.t.data.par_view_as::<REC>(),
+            st.b.p.data.par_view_as::<REC>(),
         );
         par.loop3(&sites::BC_OUTER, space, Traffic::new(8, 8, 6), &reads, &writes, |_, j, k| {
             let v = rd.get(s1c - 2, j, k);
@@ -185,16 +211,16 @@ fn apply_physical_inner(par: &mut Par, grid: &SphericalGrid, st: &mut State, phy
             st.b.r.buf(), st.b.t.buf(), st.b.p.buf(),
         ];
         let writes = reads;
-        let (rd, td) = (st.rho.data.par_view(), st.temp.data.par_view());
+        let (rd, td) = (st.rho.data.par_view_as::<REC>(), st.temp.data.par_view_as::<REC>());
         let (vr, vt, vp) = (
-            st.v.r.data.par_view(),
-            st.v.t.data.par_view(),
-            st.v.p.data.par_view(),
+            st.v.r.data.par_view_as::<REC>(),
+            st.v.t.data.par_view_as::<REC>(),
+            st.v.p.data.par_view_as::<REC>(),
         );
         let (br, bt, bp) = (
-            st.b.r.data.par_view(),
-            st.b.t.data.par_view(),
-            st.b.p.data.par_view(),
+            st.b.r.data.par_view_as::<REC>(),
+            st.b.t.data.par_view_as::<REC>(),
+            st.b.p.data.par_view_as::<REC>(),
         );
         let pin_axis = grid.has_poles;
         par.loop3(&sites::BC_THETA, space, Traffic::new(12, 14, 0), &reads, &writes, |i, _, k| {
@@ -234,19 +260,47 @@ pub fn polar_regularization(par: &mut Par, comm: &Comm, grid: &SphericalGrid, st
     if !grid.has_poles {
         return;
     }
-    par.with_area_scale(|par| polar_regularization_inner(par, comm, grid, st));
+    if mas_field::instrumentation_requested() {
+        par.with_area_scale(|par| polar_regularization_inner::<true>(par, comm, grid, st));
+    } else {
+        par.with_area_scale(|par| polar_regularization_inner::<false>(par, comm, grid, st));
+    }
 }
 
-fn polar_regularization_inner(par: &mut Par, comm: &Comm, grid: &SphericalGrid, st: &mut State) {
+// Per-rank scratch for the polar ring sums (ranks are threads, so a
+// thread-local gives each rank its own buffer). Reused across rings and
+// steps: steady-state polar regularization allocates nothing.
+thread_local! {
+    static POLAR_SUMS: std::cell::RefCell<Vec<f64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn polar_regularization_inner<const REC: bool>(
+    par: &mut Par,
+    comm: &Comm,
+    grid: &SphericalGrid,
+    st: &mut State,
+) {
     let g = NGHOST;
     let np_global = grid.np_global as f64;
     let nr = grid.nr;
     let rings = [g, g + grid.nt - 1];
 
     for ring in rings {
+        POLAR_SUMS.with(|cell| {
+        let mut fresh;
+        let mut guard = cell.borrow_mut();
         // --- accumulate Σ_φ for ρ, T, v_φ per radius (array reductions) ---
         // Layout of the sums buffer: [rho(nr) | temp(nr) | vp(nr)].
-        let mut sums = vec![0.0; 3 * nr];
+        let sums: &mut Vec<f64> = if crate::perf::legacy_hot_path() {
+            // Historical cost: a fresh sums buffer per ring per step.
+            fresh = vec![0.0; 3 * nr];
+            &mut fresh
+        } else {
+            guard.clear();
+            guard.resize(3 * nr, 0.0);
+            &mut guard
+        };
         {
             let space = IndexSpace3 {
                 i0: g,
@@ -291,8 +345,8 @@ fn polar_regularization_inner(par: &mut Par, comm: &Comm, grid: &SphericalGrid, 
                 |i, j, k| (i - g, vp.get(i, j, k)),
             );
         }
-        comm.allreduce(ReduceOp::Sum, &mut sums, &mut par.ctx);
-        for v in &mut sums {
+        comm.allreduce(ReduceOp::Sum, sums, &mut par.ctx);
+        for v in sums.iter_mut() {
             *v /= np_global;
         }
 
@@ -310,17 +364,18 @@ fn polar_regularization_inner(par: &mut Par, comm: &Comm, grid: &SphericalGrid, 
             let reads = [st.rho.buf(), st.temp.buf(), st.v.p.buf()];
             let writes = reads;
             let (rd, td, vp) = (
-                st.rho.data.par_view(),
-                st.temp.data.par_view(),
-                st.v.p.data.par_view(),
+                st.rho.data.par_view_as::<REC>(),
+                st.temp.data.par_view_as::<REC>(),
+                st.v.p.data.par_view_as::<REC>(),
             );
-            let sums = &sums;
+            let sums: &[f64] = sums;
             par.loop3(&sites::POLAR_SCATTER, space, Traffic::new(1, 3, 0), &reads, &writes, |i, j, k| {
                 rd.set(i, j, k, sums[i - g]);
                 td.set(i, j, k, sums[nr + i - g]);
                 vp.set(i, j, k, sums[2 * nr + i - g]);
             });
         }
+        });
     }
 }
 

@@ -159,7 +159,6 @@ impl Rotation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpusim::DeviceSpec;
     use mas_config::Deck;
     use minimpi::World;
     use stdpar::CodeVersion;
@@ -171,7 +170,7 @@ mod tests {
     }
 
     fn mk_sim(deck: &Deck, version: CodeVersion) -> Simulation {
-        Simulation::new(deck, version, DeviceSpec::a100_40gb(), 0, 1, 1)
+        Simulation::builder(deck).version(version).build()
     }
 
     #[test]

@@ -22,6 +22,7 @@ use gpusim::{BufferId, Phase, Residency, Traffic};
 use mas_field::{Array3, PhiHalo};
 use mas_grid::IndexSpace3;
 use minimpi::{scaled_ms, Comm, CommFailure, NetPath, RecvFailure, ReduceOp};
+use std::sync::Arc;
 use stdpar::Par;
 
 /// Fixed host-side cost per halo exchange: device synchronization before
@@ -74,6 +75,9 @@ pub struct HaloExchanger {
     /// Sticky: an exchange exhausted its retry budget; cleared by
     /// [`HaloExchanger::take_failed`].
     failed: bool,
+    /// Cached copy of the caller's `field_bufs` list — rebuilt only when
+    /// the ids change, instead of `to_vec()` on every exchange.
+    bufid_cache: Vec<BufferId>,
 }
 
 impl HaloExchanger {
@@ -115,6 +119,7 @@ impl HaloExchanger {
             retries: 0,
             retry_count: 0,
             failed: false,
+            bufid_cache: Vec::new(),
         }
     }
 
@@ -186,9 +191,20 @@ impl HaloExchanger {
             "mpi_call_overhead",
         );
 
+        // The legacy toggle reinstates the historical per-exchange costs
+        // (send-buffer clones, rebuilt buffer-id lists, temporary ref
+        // collects) so the benchmark harness can measure the zero-clone
+        // path's before/after in one process. Bit-exact either way.
+        let legacy = minimpi::legacy_alloc();
+        if legacy {
+            self.bufid_cache = field_bufs.to_vec();
+        } else if self.bufid_cache.as_slice() != field_bufs {
+            self.bufid_cache.clear();
+            self.bufid_cache.extend_from_slice(field_bufs);
+        }
+
         // --- pack (GPU kernel; Pack category via the kernel name) ---
         {
-            let ro: Vec<BufferId> = field_bufs.to_vec();
             let wr = [self.bufs[0], self.bufs[1]];
             let space = IndexSpace3 {
                 i0: 0,
@@ -200,11 +216,20 @@ impl HaloExchanger {
             };
             // Real pack happens once; the kernel body is the per-point
             // traffic accounting only.
-            {
+            if legacy {
                 let refs: Vec<&Array3> = arrays.iter().map(|a| &**a).collect();
                 self.halo.pack(&refs);
+            } else {
+                self.halo.pack_mut(arrays);
             }
-            par.loop3(&sites::HALO_PACK, space, Traffic::new(1, 1, 0), &ro, &wr, |_, _, _| {});
+            par.loop3(
+                &sites::HALO_PACK,
+                space,
+                Traffic::new(1, 1, 0),
+                &self.bufid_cache,
+                &wr,
+                |_, _, _| {},
+            );
         }
 
         // --- transfer path ---
@@ -225,16 +250,30 @@ impl HaloExchanger {
         let (lo, hi) = comm.phi_neighbors();
         let wire_bytes = self.halo.total_bytes() as f64 * self.cost_scale;
         if self.retries == 0 {
-            comm.send_with_cost(lo, TAG_DOWN, self.halo.send_low.clone(), path, &par.ctx, wire_bytes);
-            comm.send_with_cost(hi, TAG_UP, self.halo.send_high.clone(), path, &par.ctx, wire_bytes);
-            // My high ghost comes from the high neighbour's low plane (its
-            // DOWN-travelling message); my low ghost from the low neighbour's
-            // high plane (UP-travelling). DOWN is received first to match the
-            // senders' FIFO order when lo == hi.
-            let rh = comm.recv(hi, TAG_DOWN, &mut par.ctx);
-            let rl = comm.recv(lo, TAG_UP, &mut par.ctx);
-            self.halo.recv_low.copy_from_slice(&rl);
-            self.halo.recv_high.copy_from_slice(&rh);
+            if legacy {
+                // Historical cost structure: clone each send plane onto
+                // the wire, receive into freshly-unwrapped vectors.
+                comm.send_with_cost(lo, TAG_DOWN, (*self.halo.send_low).clone(), path, &par.ctx, wire_bytes);
+                comm.send_with_cost(hi, TAG_UP, (*self.halo.send_high).clone(), path, &par.ctx, wire_bytes);
+                // My high ghost comes from the high neighbour's low plane (its
+                // DOWN-travelling message); my low ghost from the low neighbour's
+                // high plane (UP-travelling). DOWN is received first to match the
+                // senders' FIFO order when lo == hi.
+                let rh = comm.recv(hi, TAG_DOWN, &mut par.ctx);
+                let rl = comm.recv(lo, TAG_UP, &mut par.ctx);
+                self.halo.recv_low.copy_from_slice(&rl);
+                self.halo.recv_high.copy_from_slice(&rh);
+            } else {
+                // Zero-copy: the packed planes go on the wire as `Arc`
+                // clones; the receiver copies out of the shared buffer and
+                // drops it, releasing the sender's slot for the next pack.
+                comm.send_pooled(lo, TAG_DOWN, Arc::clone(&self.halo.send_low), path, &par.ctx, wire_bytes);
+                comm.send_pooled(hi, TAG_UP, Arc::clone(&self.halo.send_high), path, &par.ctx, wire_bytes);
+                let rh = comm.recv_shared(hi, TAG_DOWN, &mut par.ctx);
+                let rl = comm.recv_shared(lo, TAG_UP, &mut par.ctx);
+                self.halo.recv_low.copy_from_slice(&rl);
+                self.halo.recv_high.copy_from_slice(&rh);
+            }
         } else {
             self.exchange_verified(par, comm, lo, hi, path, wire_bytes);
         }
@@ -247,7 +286,6 @@ impl HaloExchanger {
         // --- unpack (GPU kernel; UM pages fault back H2D here) ---
         {
             let ro = [self.bufs[2], self.bufs[3]];
-            let wr: Vec<BufferId> = field_bufs.to_vec();
             let space = IndexSpace3 {
                 i0: 0,
                 i1: plane_vals.max(1),
@@ -257,7 +295,14 @@ impl HaloExchanger {
                 k1: 1,
             };
             self.halo.unpack(arrays);
-            par.loop3(&sites::HALO_UNPACK, space, Traffic::new(1, 1, 0), &ro, &wr, |_, _, _| {});
+            par.loop3(
+                &sites::HALO_UNPACK,
+                space,
+                Traffic::new(1, 1, 0),
+                &ro,
+                &self.bufid_cache,
+                |_, _, _| {},
+            );
         }
     }
 
@@ -292,11 +337,16 @@ impl HaloExchanger {
         let mut in_pending = [true, true];
         for attempt in 0..=self.retries {
             let shift = attempt << ATTEMPT_SHIFT;
+            // Resends reuse the SAME pooled buffer across attempts — the
+            // attempt number lives in the tag, not in a per-attempt clone.
+            // An injected Corrupt fault garbles the in-flight copy only
+            // (`Arc::make_mut` in the send path), so the retry naturally
+            // resends the pristine plane.
             if out_pending[0] {
-                comm.send_with_cost(lo, TAG_DOWN | shift, self.halo.send_low.clone(), path, &par.ctx, wire_bytes);
+                comm.send_pooled(lo, TAG_DOWN | shift, Arc::clone(&self.halo.send_low), path, &par.ctx, wire_bytes);
             }
             if out_pending[1] {
-                comm.send_with_cost(hi, TAG_UP | shift, self.halo.send_high.clone(), path, &par.ctx, wire_bytes);
+                comm.send_pooled(hi, TAG_UP | shift, Arc::clone(&self.halo.send_high), path, &par.ctx, wire_bytes);
             }
             let deadline = base_deadline * (1u32 << attempt.min(5));
             let mut verdict = [None, None];
@@ -327,7 +377,7 @@ impl HaloExchanger {
                         break;
                     }
                     let tags: Vec<u32> = want.iter().map(|&(_, t)| t).collect();
-                    match comm.try_recv_any(src, &tags, &mut par.ctx, deadline) {
+                    match comm.try_recv_any_shared(src, &tags, &mut par.ctx, deadline) {
                         Ok((tag, d)) => {
                             let idx = want.iter().find(|&&(_, t)| t == tag).unwrap().0;
                             if idx == 0 {

@@ -36,6 +36,7 @@ pub mod checkpoint;
 pub mod diag;
 pub mod halo;
 pub mod ops;
+pub mod perf;
 pub mod physics;
 pub mod run;
 pub mod sim;
@@ -46,6 +47,6 @@ pub mod step;
 pub mod supervisor;
 
 pub use run::{run_multi_rank, run_single_rank, MultiRankReport, RunReport};
-pub use sim::Simulation;
+pub use sim::{Simulation, SimulationBuilder};
 pub use state::State;
 pub use supervisor::{run_supervised, FaultPlan, RankFailure, RecoveryLog, RunError};

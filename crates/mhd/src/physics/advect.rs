@@ -15,13 +15,21 @@ use stdpar::Par;
 /// into `flux`. The three loops are data-independent, so the OpenACC
 /// version fuses them into one kernel (one `parallel` region).
 pub fn mass_fluxes(par: &mut Par, grid: &SphericalGrid, flux: &mut VecField, rho: &Field, v: &VecField) {
+    if mas_field::instrumentation_requested() {
+        mass_fluxes_impl::<true>(par, grid, flux, rho, v)
+    } else {
+        mass_fluxes_impl::<false>(par, grid, flux, rho, v)
+    }
+}
+
+fn mass_fluxes_impl<const REC: bool>(par: &mut Par, grid: &SphericalGrid, flux: &mut VecField, rho: &Field, v: &VecField) {
     let (nr, nt, np) = (grid.nr, grid.nt, grid.np);
     par.region(|par| {
         // r-faces: interior faces only (boundary faces handled by BCs).
         let space = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
         let reads = [rho.buf(), v.r.buf()];
         let writes = [flux.r.buf()];
-        let fr = flux.r.data.par_view();
+        let fr = flux.r.data.par_view_as::<REC>();
         let (rd, vr) = (&rho.data, &v.r.data);
         par.loop3(&sites::MASS_FLUX_R, space, Traffic::new(3, 1, 3), &reads, &writes, |i, j, k| {
             let vel = vr.get(i, j, k);
@@ -31,7 +39,7 @@ pub fn mass_fluxes(par: &mut Par, grid: &SphericalGrid, flux: &mut VecField, rho
         let space = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, 1, 0));
         let reads = [rho.buf(), v.t.buf()];
         let writes = [flux.t.buf()];
-        let ft = flux.t.data.par_view();
+        let ft = flux.t.data.par_view_as::<REC>();
         let (rd, vt) = (&rho.data, &v.t.data);
         par.loop3(&sites::MASS_FLUX_T, space, Traffic::new(3, 1, 3), &reads, &writes, |i, j, k| {
             let vel = vt.get(i, j, k);
@@ -42,7 +50,7 @@ pub fn mass_fluxes(par: &mut Par, grid: &SphericalGrid, flux: &mut VecField, rho
         let space = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
         let reads = [rho.buf(), v.p.buf()];
         let writes = [flux.p.buf()];
-        let fp = flux.p.data.par_view();
+        let fp = flux.p.data.par_view_as::<REC>();
         let (rd, vp) = (&rho.data, &v.p.data);
         par.loop3(&sites::MASS_FLUX_P, space, Traffic::new(3, 1, 3), &reads, &writes, |i, j, k| {
             let vel = vp.get(i, j, k);
@@ -53,10 +61,18 @@ pub fn mass_fluxes(par: &mut Par, grid: &SphericalGrid, flux: &mut VecField, rho
 
 /// Conservative continuity update `ρ ← ρ − Δt ∇·F`.
 pub fn continuity(par: &mut Par, grid: &SphericalGrid, geom: &DivGeom, rho: &mut Field, flux: &VecField, dt: f64) {
+    if mas_field::instrumentation_requested() {
+        continuity_impl::<true>(par, grid, geom, rho, flux, dt)
+    } else {
+        continuity_impl::<false>(par, grid, geom, rho, flux, dt)
+    }
+}
+
+fn continuity_impl<const REC: bool>(par: &mut Par, grid: &SphericalGrid, geom: &DivGeom, rho: &mut Field, flux: &VecField, dt: f64) {
     let space = IndexSpace3::interior(Stagger::CellCenter, grid.nr, grid.nt, grid.np);
     let reads = [flux.r.buf(), flux.t.buf(), flux.p.buf(), rho.buf()];
     let writes = [rho.buf()];
-    let rd = rho.data.par_view();
+    let rd = rho.data.par_view_as::<REC>();
     let (fr, ft, fp) = (&flux.r.data, &flux.t.data, &flux.p.data);
     par.loop3(&sites::DIV_MASS_FLUX, space, Traffic::new(7, 1, 14), &reads, &writes, |i, j, k| {
         let d = geom.div(fr, ft, fp, i, j, k);
@@ -88,7 +104,16 @@ pub fn advect_temperature(
 /// `Tiling::Outer` (the pre-PR-1 mistake) and assert the dynamic auditor
 /// flags it; production code should always call [`advect_temperature`].
 #[allow(clippy::too_many_arguments)]
-pub fn advect_temperature_at(
+pub fn advect_temperature_at(par: &mut Par, site: &stdpar::Site, grid: &SphericalGrid, geom: &DivGeom, temp: &mut Field, v: &VecField, dt: f64, gamma: f64) {
+    if mas_field::instrumentation_requested() {
+        advect_temperature_at_impl::<true>(par, site, grid, geom, temp, v, dt, gamma)
+    } else {
+        advect_temperature_at_impl::<false>(par, site, grid, geom, temp, v, dt, gamma)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn advect_temperature_at_impl<const REC: bool>(
     par: &mut Par,
     site: &stdpar::Site,
     grid: &SphericalGrid,
@@ -104,7 +129,7 @@ pub fn advect_temperature_at(
     // `td` is both read (at k ± 1) and written: sites::TEMP_ADVECT is
     // declared `serial()`, so the engine runs the k-planes in order on one
     // thread and the view's get/set stay well-defined.
-    let td = temp.data.par_view();
+    let td = temp.data.par_view_as::<REC>();
     let (vr, vt, vp) = (&v.r.data, &v.t.data, &v.p.data);
     let (rc_inv, st_c_inv) = (&grid.rc_inv, &grid.st_c_inv);
     let (dfr, dft, dfp) = (&grid.r.df, &grid.t.df, &grid.p.df);

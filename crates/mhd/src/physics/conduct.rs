@@ -27,15 +27,45 @@ pub const TEMP_FLOOR: f64 = 0.02;
 /// Density floor.
 pub const RHO_FLOOR: f64 = 1.0e-8;
 
+/// Rebuild the radial/solid-angle flux-divergence coefficients the way
+/// the operators historically did on every call — kept behind the
+/// [`crate::perf::legacy_hot_path`] toggle so `bench_baseline` can
+/// measure the rebuild cost; the values are bitwise identical to the
+/// precomputed `SphericalGrid` arrays.
+fn legacy_geom(grid: &SphericalGrid) -> Option<(Vec<f64>, Vec<f64>, Vec<f64>)> {
+    if !crate::perf::legacy_hot_path() {
+        return None;
+    }
+    let nrc = grid.rc.len();
+    let dr3_inv: Vec<f64> = (0..nrc)
+        .map(|i| 3.0 / (grid.rf[i + 1].powi(3) - grid.rf[i].powi(3)))
+        .collect();
+    let drr2: Vec<f64> = (0..nrc).map(|i| 0.5 * (grid.rf2[i + 1] - grid.rf2[i])).collect();
+    let dcos_inv: Vec<f64> = grid
+        .dcos
+        .iter()
+        .map(|&d| if d.abs() < 1e-300 { 0.0 } else { 1.0 / d })
+        .collect();
+    Some((dr3_inv, drr2, dcos_inv))
+}
+
 /// Face conductivities `κ_face = κ₀ T_face^{5/2}` into `kface` (the
 /// `interp` routine sites). One loop per face family, fusable region.
 pub fn kappa_faces(par: &mut Par, grid: &SphericalGrid, kface: &mut VecField, temp: &Field, kappa0: f64) {
+    if mas_field::instrumentation_requested() {
+        kappa_faces_impl::<true>(par, grid, kface, temp, kappa0)
+    } else {
+        kappa_faces_impl::<false>(par, grid, kface, temp, kappa0)
+    }
+}
+
+fn kappa_faces_impl<const REC: bool>(par: &mut Par, grid: &SphericalGrid, kface: &mut VecField, temp: &Field, kappa0: f64) {
     let (nr, nt, np) = (grid.nr, grid.nt, grid.np);
     par.region(|par| {
         let space = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
         let reads = [temp.buf()];
         let writes = [kface.r.buf()];
-        let o = kface.r.data.par_view();
+        let o = kface.r.data.par_view_as::<REC>();
         let td = &temp.data;
         par.loop3(&sites::KAPPA_FACE, space, Traffic::new(2, 1, 6), &reads, &writes, |i, j, k| {
             let tf = s2c(td.get(i - 1, j, k), td.get(i, j, k)).max(0.0);
@@ -44,7 +74,7 @@ pub fn kappa_faces(par: &mut Par, grid: &SphericalGrid, kface: &mut VecField, te
         let space = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, 1, 0));
         let reads = [temp.buf()];
         let writes = [kface.t.buf()];
-        let o = kface.t.data.par_view();
+        let o = kface.t.data.par_view_as::<REC>();
         let td = &temp.data;
         par.loop3(&sites::KAPPA_FACE, space, Traffic::new(2, 1, 6), &reads, &writes, |i, j, k| {
             let tf = s2c(td.get(i, j - 1, k), td.get(i, j, k)).max(0.0);
@@ -53,7 +83,7 @@ pub fn kappa_faces(par: &mut Par, grid: &SphericalGrid, kface: &mut VecField, te
         let space = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
         let reads = [temp.buf()];
         let writes = [kface.p.buf()];
-        let o = kface.p.data.par_view();
+        let o = kface.p.data.par_view_as::<REC>();
         let td = &temp.data;
         par.loop3(&sites::KAPPA_FACE, space, Traffic::new(2, 1, 6), &reads, &writes, |i, j, k| {
             let tf = s2c(td.get(i, j, k - 1), td.get(i, j, k)).max(0.0);
@@ -66,7 +96,16 @@ pub fn kappa_faces(par: &mut Par, grid: &SphericalGrid, kface: &mut VecField, te
 /// `L(y) = (γ−1)/ρ · ∇·(κ_face ∇y)` into `out` — the RKL2 stage operator
 /// (flux form, exact metric).
 #[allow(clippy::too_many_arguments)]
-pub fn conduction_op(
+pub fn conduction_op(par: &mut Par, grid: &SphericalGrid, out: &mut Field, y: &Field, kface: &VecField, rho: &Field, gamma: f64) {
+    if mas_field::instrumentation_requested() {
+        conduction_op_impl::<true>(par, grid, out, y, kface, rho, gamma)
+    } else {
+        conduction_op_impl::<false>(par, grid, out, y, kface, rho, gamma)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conduction_op_impl<const REC: bool>(
     par: &mut Par,
     grid: &SphericalGrid,
     out: &mut Field,
@@ -78,23 +117,19 @@ pub fn conduction_op(
     let space = IndexSpace3::interior(Stagger::CellCenter, grid.nr, grid.nt, grid.np);
     let reads = [y.buf(), kface.r.buf(), kface.t.buf(), kface.p.buf(), rho.buf()];
     let writes = [out.buf()];
-    let od = out.data.par_view();
+    let od = out.data.par_view_as::<REC>();
     let (yd, kr, kt, kp, rd) = (
         &y.data, &kface.r.data, &kface.t.data, &kface.p.data, &rho.data,
     );
     let (rf2, rc_inv, st_f, st_c_inv) = (&grid.rf2, &grid.rc_inv, &grid.st_f, &grid.st_c_inv);
     let (dfr_inv, dft_inv, dfp_inv) = (&grid.r.df_inv, &grid.t.df_inv, &grid.p.df_inv);
-    // Exact flux-divergence coefficients (see DivGeom).
-    let nrc = grid.rc.len();
-    let dr3_inv: Vec<f64> = (0..nrc)
-        .map(|i| 3.0 / (grid.rf[i + 1].powi(3) - grid.rf[i].powi(3)))
-        .collect();
-    let drr2: Vec<f64> = (0..nrc).map(|i| 0.5 * (grid.rf2[i + 1] - grid.rf2[i])).collect();
-    let dcos_inv: Vec<f64> = grid
-        .dcos
-        .iter()
-        .map(|&d| if d.abs() < 1e-300 { 0.0 } else { 1.0 / d })
-        .collect();
+    // Exact flux-divergence coefficients (see DivGeom), precomputed on
+    // the grid; the legacy toggle rebuilds them per call instead.
+    let geom = legacy_geom(grid);
+    let (dr3_inv, drr2, dcos_inv) = match &geom {
+        Some((a, b, c)) => (a, b, c),
+        None => (&grid.dr3_inv, &grid.drr2, &grid.dcos_inv),
+    };
     let (dtc, dpc_inv) = (&grid.t.dc, &grid.p.dc_inv);
     let gm1 = gamma - 1.0;
     par.loop3(&sites::CONDUCT_OP, space, Traffic::new(12, 1, 34), &reads, &writes, |i, j, k| {
@@ -132,7 +167,15 @@ pub const ALIGNED_ISO_FRACTION: f64 = 0.01;
 /// three face families, written into `flux_out` — the production-MAS
 /// anisotropic operator (`CallsRoutine` sites: `b` and the tangential
 /// gradients are averaged to the faces with `sv2cv`/`interp`).
-pub fn aligned_flux(
+pub fn aligned_flux(par: &mut Par, grid: &SphericalGrid, flux_out: &mut VecField, temp: &Field, kface: &VecField, b: &VecField) {
+    if mas_field::instrumentation_requested() {
+        aligned_flux_impl::<true>(par, grid, flux_out, temp, kface, b)
+    } else {
+        aligned_flux_impl::<false>(par, grid, flux_out, temp, kface, b)
+    }
+}
+
+fn aligned_flux_impl<const REC: bool>(
     par: &mut Par,
     grid: &SphericalGrid,
     flux_out: &mut VecField,
@@ -153,7 +196,7 @@ pub fn aligned_flux(
         let space = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
         let reads = [temp.buf(), kface.r.buf(), b.r.buf(), b.t.buf(), b.p.buf()];
         let writes = [flux_out.r.buf()];
-        let o = flux_out.r.data.par_view();
+        let o = flux_out.r.data.par_view_as::<REC>();
         let (td, kr, br, bt, bp) = (
             &temp.data, &kface.r.data, &b.r.data, &b.t.data, &b.p.data,
         );
@@ -181,7 +224,7 @@ pub fn aligned_flux(
         let space = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, 1, 0));
         let reads = [temp.buf(), kface.t.buf(), b.r.buf(), b.t.buf(), b.p.buf()];
         let writes = [flux_out.t.buf()];
-        let o = flux_out.t.data.par_view();
+        let o = flux_out.t.data.par_view_as::<REC>();
         let (td, kt, br, bt, bp) = (
             &temp.data, &kface.t.data, &b.r.data, &b.t.data, &b.p.data,
         );
@@ -207,7 +250,7 @@ pub fn aligned_flux(
         let space = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
         let reads = [temp.buf(), kface.p.buf(), b.r.buf(), b.t.buf(), b.p.buf()];
         let writes = [flux_out.p.buf()];
-        let o = flux_out.p.data.par_view();
+        let o = flux_out.p.data.par_view_as::<REC>();
         let (td, kp, br, bt, bp) = (
             &temp.data, &kface.p.data, &b.r.data, &b.t.data, &b.p.data,
         );
@@ -233,7 +276,15 @@ pub fn aligned_flux(
 
 /// Divergence of precomputed conductive fluxes:
 /// `out = (γ−1)/ρ · ∇·F` (exact flux form; partner of [`aligned_flux`]).
-pub fn conduction_div(
+pub fn conduction_div(par: &mut Par, grid: &SphericalGrid, out: &mut Field, flux: &VecField, rho: &Field, gamma: f64) {
+    if mas_field::instrumentation_requested() {
+        conduction_div_impl::<true>(par, grid, out, flux, rho, gamma)
+    } else {
+        conduction_div_impl::<false>(par, grid, out, flux, rho, gamma)
+    }
+}
+
+fn conduction_div_impl<const REC: bool>(
     par: &mut Par,
     grid: &SphericalGrid,
     out: &mut Field,
@@ -244,21 +295,16 @@ pub fn conduction_div(
     let space = IndexSpace3::interior(Stagger::CellCenter, grid.nr, grid.nt, grid.np);
     let reads = [flux.r.buf(), flux.t.buf(), flux.p.buf(), rho.buf()];
     let writes = [out.buf()];
-    let od = out.data.par_view();
+    let od = out.data.par_view_as::<REC>();
     let (fr, ft, fp, rd) = (
         &flux.r.data, &flux.t.data, &flux.p.data, &rho.data,
     );
     let (rf2, st_f) = (&grid.rf2, &grid.st_f);
-    let nrc = grid.rc.len();
-    let dr3_inv: Vec<f64> = (0..nrc)
-        .map(|i| 3.0 / (grid.rf[i + 1].powi(3) - grid.rf[i].powi(3)))
-        .collect();
-    let drr2: Vec<f64> = (0..nrc).map(|i| 0.5 * (grid.rf2[i + 1] - grid.rf2[i])).collect();
-    let dcos_inv: Vec<f64> = grid
-        .dcos
-        .iter()
-        .map(|&d| if d.abs() < 1e-300 { 0.0 } else { 1.0 / d })
-        .collect();
+    let geom = legacy_geom(grid);
+    let (dr3_inv, drr2, dcos_inv) = match &geom {
+        Some((a, b, c)) => (a, b, c),
+        None => (&grid.dr3_inv, &grid.drr2, &grid.dcos_inv),
+    };
     let (dtc, dpc_inv) = (&grid.t.dc, &grid.p.dc_inv);
     let gm1 = gamma - 1.0;
     par.loop3(&sites::CONDUCT_DIV, space, Traffic::new(8, 1, 20), &reads, &writes, |i, j, k| {
@@ -321,7 +367,16 @@ pub fn conduction_dt_explicit(
 /// `T ← T + Δt (γ−1)/ρ [ H₀ e^{−(r−1)/λ} − ρ² Λ(T) ]` (the `radloss` /
 /// `boost` routine site), followed by nothing — floors are separate.
 #[allow(clippy::too_many_arguments)]
-pub fn radiate_and_heat(
+pub fn radiate_and_heat(par: &mut Par, grid: &SphericalGrid, temp: &mut Field, rho: &Field, dt: f64, gamma: f64, radiation: bool, heating: bool) {
+    if mas_field::instrumentation_requested() {
+        radiate_and_heat_impl::<true>(par, grid, temp, rho, dt, gamma, radiation, heating)
+    } else {
+        radiate_and_heat_impl::<false>(par, grid, temp, rho, dt, gamma, radiation, heating)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn radiate_and_heat_impl<const REC: bool>(
     par: &mut Par,
     grid: &SphericalGrid,
     temp: &mut Field,
@@ -337,7 +392,7 @@ pub fn radiate_and_heat(
     let space = IndexSpace3::interior(Stagger::CellCenter, grid.nr, grid.nt, grid.np);
     let reads = [temp.buf(), rho.buf()];
     let writes = [temp.buf()];
-    let td = temp.data.par_view();
+    let td = temp.data.par_view_as::<REC>();
     let rd = &rho.data;
     let rc = &grid.rc;
     let st_c = &grid.st_c;
@@ -364,10 +419,18 @@ pub fn radiate_and_heat(
 
 /// Apply temperature and density floors.
 pub fn floors(par: &mut Par, grid: &SphericalGrid, temp: &mut Field, rho: &mut Field) {
+    if mas_field::instrumentation_requested() {
+        floors_impl::<true>(par, grid, temp, rho)
+    } else {
+        floors_impl::<false>(par, grid, temp, rho)
+    }
+}
+
+fn floors_impl<const REC: bool>(par: &mut Par, grid: &SphericalGrid, temp: &mut Field, rho: &mut Field) {
     let space = IndexSpace3::interior(Stagger::CellCenter, grid.nr, grid.nt, grid.np);
     let reads = [temp.buf(), rho.buf()];
     let writes = [temp.buf(), rho.buf()];
-    let (td, rd) = (temp.data.par_view(), rho.data.par_view());
+    let (td, rd) = (temp.data.par_view_as::<REC>(), rho.data.par_view_as::<REC>());
     par.loop3(&sites::FLOORS, space, Traffic::new(2, 2, 2), &reads, &writes, |i, j, k| {
         if td.get(i, j, k) < TEMP_FLOOR {
             td.set(i, j, k, TEMP_FLOOR);

@@ -16,12 +16,20 @@ pub const G0: f64 = 2.0;
 /// pressure gradient needs p in the ghosts — this saves a halo exchange,
 /// exactly as MAS computes EOS quantities over the extended mesh).
 pub fn pressure(par: &mut Par, grid: &SphericalGrid, pres: &mut Field, rho: &Field, temp: &Field) {
+    if mas_field::instrumentation_requested() {
+        pressure_impl::<true>(par, grid, pres, rho, temp)
+    } else {
+        pressure_impl::<false>(par, grid, pres, rho, temp)
+    }
+}
+
+fn pressure_impl<const REC: bool>(par: &mut Par, grid: &SphericalGrid, pres: &mut Field, rho: &Field, temp: &Field) {
     let mut space = IndexSpace3::interior(Stagger::CellCenter, grid.nr, grid.nt, grid.np);
     space.k0 -= 1;
     space.k1 += 1;
     let reads = [rho.buf(), temp.buf()];
     let writes = [pres.buf()];
-    let pd = pres.data.par_view();
+    let pd = pres.data.par_view_as::<REC>();
     let (rd, td) = (&rho.data, &temp.data);
     par.loop3(&sites::PRESSURE, space, Traffic::new(2, 1, 1), &reads, &writes, |i, j, k| {
         pd.set(i, j, k, rd.get(i, j, k) * td.get(i, j, k));
@@ -31,6 +39,14 @@ pub fn pressure(par: &mut Par, grid: &SphericalGrid, pres: &mut Field, rho: &Fie
 /// Current density `J = ∇×B` on edges (differential form with metric
 /// factors; the CT *update* uses the exact circulation form instead).
 pub fn current(par: &mut Par, grid: &SphericalGrid, j_out: &mut VecField, b: &VecField) {
+    if mas_field::instrumentation_requested() {
+        current_impl::<true>(par, grid, j_out, b)
+    } else {
+        current_impl::<false>(par, grid, j_out, b)
+    }
+}
+
+fn current_impl<const REC: bool>(par: &mut Par, grid: &SphericalGrid, j_out: &mut VecField, b: &VecField) {
     let (nr, nt, np) = (grid.nr, grid.nt, grid.np);
     let (rc, rc_inv, rf_inv) = (&grid.rc, &grid.rc_inv, &grid.rf_inv);
     let (st_c, st_f_inv, st_c_inv) = (&grid.st_c, &grid.st_f_inv, &grid.st_c_inv);
@@ -40,7 +56,7 @@ pub fn current(par: &mut Par, grid: &SphericalGrid, j_out: &mut VecField, b: &Ve
         let space = IndexSpace3::interior_trimmed(Stagger::EdgeR, nr, nt, np, (0, 1, 0));
         let reads = [b.t.buf(), b.p.buf()];
         let writes = [j_out.r.buf()];
-        let jr = j_out.r.data.par_view();
+        let jr = j_out.r.data.par_view_as::<REC>();
         let (bt, bp) = (&b.t.data, &b.p.data);
         par.loop3(&sites::CURL_B_R, space, Traffic::new(5, 1, 10), &reads, &writes, |i, j, k| {
             let dsin_bp = (st_c[j] * bp.get(i, j, k) - st_c[j - 1] * bp.get(i, j - 1, k)) * dtf_inv[j];
@@ -52,7 +68,7 @@ pub fn current(par: &mut Par, grid: &SphericalGrid, j_out: &mut VecField, b: &Ve
         let space = IndexSpace3::interior_trimmed(Stagger::EdgeT, nr, nt, np, (1, 0, 0));
         let reads = [b.r.buf(), b.p.buf()];
         let writes = [j_out.t.buf()];
-        let jt = j_out.t.data.par_view();
+        let jt = j_out.t.data.par_view_as::<REC>();
         let (br, bp) = (&b.r.data, &b.p.data);
         par.loop3(&sites::CURL_B_T, space, Traffic::new(5, 1, 10), &reads, &writes, |i, j, k| {
             let dbr = (br.get(i, j, k) - br.get(i, j, k - 1)) * dpf_inv[k];
@@ -64,7 +80,7 @@ pub fn current(par: &mut Par, grid: &SphericalGrid, j_out: &mut VecField, b: &Ve
         let space = IndexSpace3::interior_trimmed(Stagger::EdgeP, nr, nt, np, (1, 1, 0));
         let reads = [b.r.buf(), b.t.buf()];
         let writes = [j_out.p.buf()];
-        let jp = j_out.p.data.par_view();
+        let jp = j_out.p.data.par_view_as::<REC>();
         let (br, bt) = (&b.r.data, &b.t.data);
         par.loop3(&sites::CURL_B_P, space, Traffic::new(5, 1, 10), &reads, &writes, |i, j, k| {
             let drbt = (rc[i] * bt.get(i, j, k) - rc[i - 1] * bt.get(i - 1, j, k)) * drf_inv[i];
@@ -76,12 +92,20 @@ pub fn current(par: &mut Par, grid: &SphericalGrid, j_out: &mut VecField, b: &Ve
 
 /// Density averaged to the three face families (`s2c` routine sites).
 pub fn rho_to_faces(par: &mut Par, grid: &SphericalGrid, rho_face: &mut VecField, rho: &Field) {
+    if mas_field::instrumentation_requested() {
+        rho_to_faces_impl::<true>(par, grid, rho_face, rho)
+    } else {
+        rho_to_faces_impl::<false>(par, grid, rho_face, rho)
+    }
+}
+
+fn rho_to_faces_impl<const REC: bool>(par: &mut Par, grid: &SphericalGrid, rho_face: &mut VecField, rho: &Field) {
     let (nr, nt, np) = (grid.nr, grid.nt, grid.np);
     par.region(|par| {
         let space = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
         let reads = [rho.buf()];
         let writes = [rho_face.r.buf()];
-        let o = rho_face.r.data.par_view();
+        let o = rho_face.r.data.par_view_as::<REC>();
         let rd = &rho.data;
         par.loop3(&sites::RHO_FACE_R, space, Traffic::new(2, 1, 2), &reads, &writes, |i, j, k| {
             o.set(i, j, k, s2c(rd.get(i - 1, j, k), rd.get(i, j, k)));
@@ -89,7 +113,7 @@ pub fn rho_to_faces(par: &mut Par, grid: &SphericalGrid, rho_face: &mut VecField
         let space = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, 1, 0));
         let reads = [rho.buf()];
         let writes = [rho_face.t.buf()];
-        let o = rho_face.t.data.par_view();
+        let o = rho_face.t.data.par_view_as::<REC>();
         let rd = &rho.data;
         par.loop3(&sites::RHO_FACE_T, space, Traffic::new(2, 1, 2), &reads, &writes, |i, j, k| {
             o.set(i, j, k, s2c(rd.get(i, j - 1, k), rd.get(i, j, k)));
@@ -97,7 +121,7 @@ pub fn rho_to_faces(par: &mut Par, grid: &SphericalGrid, rho_face: &mut VecField
         let space = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
         let reads = [rho.buf()];
         let writes = [rho_face.p.buf()];
-        let o = rho_face.p.data.par_view();
+        let o = rho_face.p.data.par_view_as::<REC>();
         let rd = &rho.data;
         par.loop3(&sites::RHO_FACE_P, space, Traffic::new(2, 1, 2), &reads, &writes, |i, j, k| {
             o.set(i, j, k, s2c(rd.get(i, j, k - 1), rd.get(i, j, k)));
@@ -109,6 +133,14 @@ pub fn rho_to_faces(par: &mut Par, grid: &SphericalGrid, rho_face: &mut VecField
 /// `force` (each component advected as a scalar on its own staggering —
 /// curvature cross-terms are absorbed by the documented simplification).
 pub fn advect_velocity(par: &mut Par, grid: &SphericalGrid, force: &mut VecField, v: &VecField) {
+    if mas_field::instrumentation_requested() {
+        advect_velocity_impl::<true>(par, grid, force, v)
+    } else {
+        advect_velocity_impl::<false>(par, grid, force, v)
+    }
+}
+
+fn advect_velocity_impl<const REC: bool>(par: &mut Par, grid: &SphericalGrid, force: &mut VecField, v: &VecField) {
     let (nr, nt, np) = (grid.nr, grid.nt, grid.np);
     let (rf_inv, rc_inv) = (&grid.rf_inv, &grid.rc_inv);
     let (st_c_inv, st_f_inv) = (&grid.st_c_inv, &grid.st_f_inv);
@@ -120,7 +152,7 @@ pub fn advect_velocity(par: &mut Par, grid: &SphericalGrid, force: &mut VecField
         let space = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
         let reads = [v.r.buf(), v.t.buf(), v.p.buf()];
         let writes = [force.r.buf()];
-        let o = force.r.data.par_view();
+        let o = force.r.data.par_view_as::<REC>();
         let (vr, vt, vp) = (&v.r.data, &v.t.data, &v.p.data);
         par.loop3(&sites::ADVECT_V_R, space, Traffic::new(12, 1, 30), &reads, &writes, |i, j, k| {
             let f0 = vr.get(i, j, k);
@@ -155,7 +187,7 @@ pub fn advect_velocity(par: &mut Par, grid: &SphericalGrid, force: &mut VecField
         let space = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, 1, 0));
         let reads = [v.r.buf(), v.t.buf(), v.p.buf()];
         let writes = [force.t.buf()];
-        let o = force.t.data.par_view();
+        let o = force.t.data.par_view_as::<REC>();
         let (vr, vt, vp) = (&v.r.data, &v.t.data, &v.p.data);
         par.loop3(&sites::ADVECT_V_T, space, Traffic::new(12, 1, 30), &reads, &writes, |i, j, k| {
             let f0 = vt.get(i, j, k);
@@ -187,7 +219,7 @@ pub fn advect_velocity(par: &mut Par, grid: &SphericalGrid, force: &mut VecField
         let space = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
         let reads = [v.r.buf(), v.t.buf(), v.p.buf()];
         let writes = [force.p.buf()];
-        let o = force.p.data.par_view();
+        let o = force.p.data.par_view_as::<REC>();
         let (vr, vt, vp) = (&v.r.data, &v.t.data, &v.p.data);
         par.loop3(&sites::ADVECT_V_P, space, Traffic::new(12, 1, 30), &reads, &writes, |i, j, k| {
             let f0 = vp.get(i, j, k);
@@ -223,7 +255,16 @@ pub fn advect_velocity(par: &mut Par, grid: &SphericalGrid, force: &mut VecField
 /// `g` acts on the radial component only, and `J×B` is averaged from
 /// edges to faces (`sv2cv`/`interp` routine sites).
 #[allow(clippy::too_many_arguments)]
-pub fn momentum_update(
+pub fn momentum_update(par: &mut Par, grid: &SphericalGrid, v: &mut VecField, force: &VecField, pres: &Field, jf: &VecField, b: &VecField, rho_face: &VecField, dt: f64, gravity: bool) {
+    if mas_field::instrumentation_requested() {
+        momentum_update_impl::<true>(par, grid, v, force, pres, jf, b, rho_face, dt, gravity)
+    } else {
+        momentum_update_impl::<false>(par, grid, v, force, pres, jf, b, rho_face, dt, gravity)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn momentum_update_impl<const REC: bool>(
     par: &mut Par,
     grid: &SphericalGrid,
     v: &mut VecField,
@@ -248,7 +289,7 @@ pub fn momentum_update(
             rho_face.r.buf(), force.r.buf(), v.r.buf(),
         ];
         let writes = [v.r.buf()];
-        let vr = v.r.data.par_view();
+        let vr = v.r.data.par_view_as::<REC>();
         let (pd, jt, jp, bt, bp, rf_r, adv) = (
             &pres.data, &jf.t.data, &jf.p.data,
             &b.t.data, &b.p.data, &rho_face.r.data, &force.r.data,
@@ -274,7 +315,7 @@ pub fn momentum_update(
             rho_face.t.buf(), force.t.buf(), v.t.buf(),
         ];
         let writes = [v.t.buf()];
-        let vt = v.t.data.par_view();
+        let vt = v.t.data.par_view_as::<REC>();
         let (pd, jr, jp, br, bp, rf_t, adv) = (
             &pres.data, &jf.r.data, &jf.p.data,
             &b.r.data, &b.p.data, &rho_face.t.data, &force.t.data,
@@ -299,7 +340,7 @@ pub fn momentum_update(
             rho_face.p.buf(), force.p.buf(), v.p.buf(),
         ];
         let writes = [v.p.buf()];
-        let vp = v.p.data.par_view();
+        let vp = v.p.data.par_view_as::<REC>();
         let (pd, jr, jt, br, bt, rf_p, adv) = (
             &pres.data, &jf.r.data, &jf.t.data,
             &b.r.data, &b.t.data, &rho_face.p.data, &force.p.data,

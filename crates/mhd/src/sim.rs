@@ -70,10 +70,109 @@ pub struct Simulation {
     pub resumed: bool,
 }
 
+/// Builder for [`Simulation`]: construction decoupled from the CLI's
+/// positional-argument shape. Defaults are a fresh rank-0 run of a
+/// 1-rank world under version `A` on an A100-40GB device with seed 1;
+/// override what differs and finish with [`SimulationBuilder::build`]
+/// (or [`SimulationBuilder::try_build`] to get errors instead of
+/// panics, e.g. for deck validation or a restart load).
+pub struct SimulationBuilder<'a> {
+    deck: &'a Deck,
+    version: CodeVersion,
+    spec: DeviceSpec,
+    rank: usize,
+    n_ranks: usize,
+    seed: u64,
+    restart_from: Option<std::path::PathBuf>,
+}
+
+impl SimulationBuilder<'_> {
+    /// Code version (paper port) to run under.
+    pub fn version(mut self, version: CodeVersion) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Virtual device the executor charges.
+    pub fn device(mut self, spec: DeviceSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// This rank's index within the φ-slab decomposition.
+    pub fn rank(mut self, rank: usize) -> Self {
+        self.rank = rank;
+        self
+    }
+
+    /// World size (number of φ slabs).
+    pub fn world(mut self, n_ranks: usize) -> Self {
+        self.n_ranks = n_ranks;
+        self
+    }
+
+    /// Launch-jitter seed (vary per "run" for the paper-style min/max
+    /// error bars).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Restore the state from a checkpoint dump at `path` right after
+    /// construction (equivalent to [`crate::checkpoint::load`]); the
+    /// built simulation resumes mid-run with [`Simulation::resumed`] set.
+    pub fn restart_slot(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.restart_from = Some(path.into());
+        self
+    }
+
+    /// Build, returning an error for an invalid deck, an out-of-range
+    /// rank, or a failed restart load.
+    pub fn try_build(self) -> Result<Simulation, String> {
+        let errs = self.deck.validate();
+        if !errs.is_empty() {
+            return Err(format!("invalid deck: {errs:?}"));
+        }
+        if self.rank >= self.n_ranks {
+            return Err(format!(
+                "rank {} outside the {}-rank world",
+                self.rank, self.n_ranks
+            ));
+        }
+        let mut sim = Simulation::construct(
+            self.deck, self.version, self.spec, self.rank, self.n_ranks, self.seed,
+        );
+        if let Some(path) = &self.restart_from {
+            crate::checkpoint::load(&mut sim, path)
+                .map_err(|e| format!("restart from {}: {e}", path.display()))?;
+        }
+        Ok(sim)
+    }
+
+    /// Build, panicking on the error cases of
+    /// [`SimulationBuilder::try_build`].
+    pub fn build(self) -> Simulation {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
 impl Simulation {
-    /// Build a rank-local simulation. `rank`/`n_ranks` define the φ-slab;
-    /// `seed` feeds the launch-jitter stream (vary per "run" for the
-    /// paper-style min/max error bars).
+    /// Start building a rank-local simulation from `deck` (see
+    /// [`SimulationBuilder`] for the defaults).
+    pub fn builder(deck: &Deck) -> SimulationBuilder<'_> {
+        SimulationBuilder {
+            deck,
+            version: CodeVersion::A,
+            spec: DeviceSpec::a100_40gb(),
+            rank: 0,
+            n_ranks: 1,
+            seed: 1,
+            restart_from: None,
+        }
+    }
+
+    /// Build a rank-local simulation — thin delegate kept for one release;
+    /// prefer [`Simulation::builder`].
     pub fn new(
         deck: &Deck,
         version: CodeVersion,
@@ -82,8 +181,23 @@ impl Simulation {
         n_ranks: usize,
         seed: u64,
     ) -> Self {
-        let errs = deck.validate();
-        assert!(errs.is_empty(), "invalid deck: {errs:?}");
+        Simulation::builder(deck)
+            .version(version)
+            .device(spec)
+            .rank(rank)
+            .world(n_ranks)
+            .seed(seed)
+            .build()
+    }
+
+    fn construct(
+        deck: &Deck,
+        version: CodeVersion,
+        spec: DeviceSpec,
+        rank: usize,
+        n_ranks: usize,
+        seed: u64,
+    ) -> Self {
         let global = SphericalGrid::coronal(deck.grid.nr, deck.grid.nt, deck.grid.np, deck.grid.rmax);
         let (k0, len) = SphericalGrid::phi_partition(deck.grid.np, n_ranks, rank);
         let grid = global.subgrid_phi(k0, len);

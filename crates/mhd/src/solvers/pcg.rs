@@ -34,7 +34,16 @@ pub struct PcgResult {
 /// Solve `(I − ν·Δt ∇²) x = x_in` in place over `space` (the component's
 /// updatable interior). Returns the iteration record.
 #[allow(clippy::too_many_arguments)]
-pub fn solve_viscosity(
+pub fn solve_viscosity(par: &mut Par, comm: &Comm, lap: &LapStencil, space: IndexSpace3, x: &mut Field, work: &mut PcgWork, hx: &mut HaloExchanger, nu_dt: f64, tol: f64, max_iter: usize) -> PcgResult {
+    if mas_field::instrumentation_requested() {
+        solve_viscosity_impl::<true>(par, comm, lap, space, x, work, hx, nu_dt, tol, max_iter)
+    } else {
+        solve_viscosity_impl::<false>(par, comm, lap, space, x, work, hx, nu_dt, tol, max_iter)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_viscosity_impl<const REC: bool>(
     par: &mut Par,
     comm: &Comm,
     lap: &LapStencil,
@@ -72,7 +81,7 @@ pub fn solve_viscosity(
         work.r.data.fill(0.0);
         work.rhs.data.fill(0.0);
         work.p.data.fill(0.0);
-        let rd = work.r.data.par_view();
+        let rd = work.r.data.par_view_as::<REC>();
         let xd = &x.data;
         par.loop3(&sites::PCG_SETUP, space, Traffic::new(8, 3, 20), &reads, &writes, |i, j, k| {
             rd.set(i, j, k, nu_dt * lap.apply(xd, i, j, k));
@@ -118,7 +127,7 @@ pub fn solve_viscosity(
         {
             let reads = [work.r.buf()];
             let writes = [work.z.buf()];
-            let zd = work.z.data.par_view();
+            let zd = work.z.data.par_view_as::<REC>();
             let rd = &work.r.data;
             par.loop3(&sites::PCG_PRECOND, space, Traffic::new(1, 1, 4), &reads, &writes, |i, j, k| {
                 let diag = 1.0 - nu_dt * lap.diagonal(i, j, k);
@@ -150,7 +159,7 @@ pub fn solve_viscosity(
         {
             let reads = [work.z.buf(), work.p.buf()];
             let writes = [work.p.buf()];
-            let pd = work.p.data.par_view();
+            let pd = work.p.data.par_view_as::<REC>();
             let zd = &work.z.data;
             par.loop3(&sites::PCG_UPDATE_P, space, Traffic::new(2, 1, 2), &reads, &writes, |i, j, k| {
                 pd.set(i, j, k, zd.get(i, j, k) + beta * pd.get(i, j, k));
@@ -166,7 +175,7 @@ pub fn solve_viscosity(
         {
             let reads = [work.p.buf()];
             let writes = [work.ap.buf()];
-            let apd = work.ap.data.par_view();
+            let apd = work.ap.data.par_view_as::<REC>();
             let pd = &work.p.data;
             par.loop3(&sites::VISC_APPLY, space, Traffic::new(8, 1, 24), &reads, &writes, |i, j, k| {
                 apd.set(i, j, k, pd.get(i, j, k) - nu_dt * lap.apply(pd, i, j, k));
@@ -198,7 +207,7 @@ pub fn solve_viscosity(
             let reads = [work.p.buf(), work.ap.buf(), work.rhs.buf(), work.r.buf()];
             // Fused axpy: the reduction body also writes δ and r at its
             // own point — tile-safe, so the site stays parallel.
-            let (dd, rd) = (work.rhs.data.par_view(), work.r.data.par_view());
+            let (dd, rd) = (work.rhs.data.par_view_as::<REC>(), work.r.data.par_view_as::<REC>());
             let (pd, apd) = (&work.p.data, &work.ap.data);
             par.reduce_scalar(
                 &sites::PCG_AXPY_XR,
@@ -231,7 +240,7 @@ pub fn solve_viscosity(
     {
         let reads = [work.rhs.buf(), x.buf()];
         let writes = [x.buf()];
-        let xd = x.data.par_view();
+        let xd = x.data.par_view_as::<REC>();
         let dd = &work.rhs.data;
         par.loop3(&sites::PCG_APPLY_DX, space, Traffic::new(2, 1, 2), &reads, &writes, |i, j, k| {
             xd.add(i, j, k, dd.get(i, j, k));

@@ -11,6 +11,38 @@ use mas_grid::{IndexSpace3, Stagger};
 use minimpi::{Comm, ReduceOp};
 use stdpar::Par;
 
+/// One explicit viscous Euler update of a velocity component:
+/// `L ← ν-free ∇²v` into the PCG `ap` workspace, then `v += dt ν L`.
+/// Monomorphized over view instrumentation like the physics kernels.
+fn explicit_viscosity_update<const REC: bool>(
+    par: &mut Par,
+    comp: &mut mas_field::Field,
+    work: &mut crate::state::PcgWork,
+    lap: &crate::ops::deriv::LapStencil,
+    space: IndexSpace3,
+    dt: f64,
+    nu: f64,
+) {
+    {
+        let reads = [comp.buf()];
+        let writes = [work.ap.buf()];
+        let od = work.ap.data.par_view_as::<REC>();
+        let yd = &comp.data;
+        par.loop3(&sites::VISC_APPLY, space, gpusim::Traffic::new(8, 1, 24), &reads, &writes, |i, j, k| {
+            od.set(i, j, k, lap.apply(yd, i, j, k));
+        });
+    }
+    {
+        let reads = [work.ap.buf(), comp.buf()];
+        let writes = [comp.buf()];
+        let vd = comp.data.par_view_as::<REC>();
+        let ld = &work.ap.data;
+        par.loop3(&sites::PCG_APPLY_DX, space, gpusim::Traffic::new(2, 1, 3), &reads, &writes, |i, j, k| {
+            vd.add(i, j, k, dt * nu * ld.get(i, j, k));
+        });
+    }
+}
+
 /// Per-step record.
 #[derive(Clone, Copy, Debug)]
 pub struct StepInfo {
@@ -81,18 +113,26 @@ pub fn cfl_dt(par: &mut Par, comm: &Comm, sim_grid: &mas_grid::SphericalGrid, st
 
 /// Advance the simulation by one step.
 pub fn advance(sim: &mut Simulation, comm: &Comm) -> StepInfo {
-    let deck = sim.deck.clone();
-    let gamma = deck.physics.gamma;
+    if crate::perf::legacy_hot_path() {
+        // Historical per-step cost: the whole deck — heap-backed Strings
+        // included — was cloned each advance just to detach the config
+        // borrows from `sim`. The scalar sections are `Copy` now.
+        std::hint::black_box(sim.deck.clone());
+    }
+    let physics = sim.deck.physics;
+    let time_cfg = sim.deck.time;
+    let solver = sim.deck.solver;
+    let gamma = physics.gamma;
 
     // 1. Global CFL (plus the viscous limit when viscosity is explicit).
-    let visc_explicit = if deck.solver.visc_solver == ViscSolver::Explicit && deck.physics.visc > 0.0 {
-        Some(deck.physics.visc)
+    let visc_explicit = if solver.visc_solver == ViscSolver::Explicit && physics.visc > 0.0 {
+        Some(physics.visc)
     } else {
         None
     };
     let mut dt = cfl_dt(
         &mut sim.par, comm, &sim.grid, &sim.state,
-        gamma, deck.physics.eta, deck.time.cfl, deck.time.dt_max, visc_explicit,
+        gamma, physics.eta, time_cfg.cfl, time_cfg.dt_max, visc_explicit,
     );
     // Supervisor back-off: after a rollback the retry runs with a halved
     // time step. Guarded so the common dt_scale == 1.0 path leaves the
@@ -121,7 +161,7 @@ pub fn advance(sim: &mut Simulation, comm: &Comm) -> StepInfo {
         momentum::advect_velocity(&mut sim.par, &sim.grid, &mut st.force, &st.v);
         momentum::momentum_update(
             &mut sim.par, &sim.grid, &mut st.v, &st.force, &st.pres, &st.j, &st.b,
-            &st.rho_face, dt, deck.physics.gravity,
+            &st.rho_face, dt, physics.gravity,
         );
     }
 
@@ -129,31 +169,31 @@ pub fn advance(sim: &mut Simulation, comm: &Comm) -> StepInfo {
     //    plain explicit — the parabolic-operator trade of the paper's
     //    ref.\[25\]. `pcg_iters` records the solver work either way.
     let mut pcg_iters = 0;
-    if deck.physics.visc > 0.0 {
-        let nu = deck.physics.visc;
+    if physics.visc > 0.0 {
+        let nu = physics.visc;
         let (nr, nt, np) = (sim.grid.nr, sim.grid.nt, sim.grid.np);
         let space_r = IndexSpace3::interior_trimmed(Stagger::FaceR, nr, nt, np, (1, 0, 0));
         let space_t = IndexSpace3::interior_trimmed(Stagger::FaceT, nr, nt, np, (0, 1, 0));
         let space_p = IndexSpace3::interior(Stagger::FaceP, nr, nt, np);
-        match deck.solver.visc_solver {
+        match solver.visc_solver {
             ViscSolver::Pcg => {
                 let nu_dt = nu * dt;
                 let r = pcg::solve_viscosity(
                     &mut sim.par, comm, &sim.lap_r, space_r, &mut sim.state.v.r,
                     &mut sim.state.pcg_r, &mut sim.hx_vr, nu_dt,
-                    deck.solver.pcg_tol, deck.solver.pcg_max_iter,
+                    solver.pcg_tol, solver.pcg_max_iter,
                 );
                 pcg_iters += r.iters;
                 let r = pcg::solve_viscosity(
                     &mut sim.par, comm, &sim.lap_t, space_t, &mut sim.state.v.t,
                     &mut sim.state.pcg_t, &mut sim.hx_vt, nu_dt,
-                    deck.solver.pcg_tol, deck.solver.pcg_max_iter,
+                    solver.pcg_tol, solver.pcg_max_iter,
                 );
                 pcg_iters += r.iters;
                 let r = pcg::solve_viscosity(
                     &mut sim.par, comm, &sim.lap_p, space_p, &mut sim.state.v.p,
                     &mut sim.state.pcg_p, &mut sim.hx_vp, nu_dt,
-                    deck.solver.pcg_tol, deck.solver.pcg_max_iter,
+                    solver.pcg_tol, solver.pcg_max_iter,
                 );
                 pcg_iters += r.iters;
             }
@@ -162,17 +202,17 @@ pub fn advance(sim: &mut Simulation, comm: &Comm) -> StepInfo {
                 pcg_iters += sts::advance_viscosity_sts(
                     &mut sim.par, comm, &sim.grid, &mut sim.state.v.r, &sim.lap_r,
                     &mut sim.state.pcg_r, &mut sim.hx_vr, space_r, nu, dt, dt_expl,
-                    deck.solver.sts_max_stages,
+                    solver.sts_max_stages,
                 );
                 pcg_iters += sts::advance_viscosity_sts(
                     &mut sim.par, comm, &sim.grid, &mut sim.state.v.t, &sim.lap_t,
                     &mut sim.state.pcg_t, &mut sim.hx_vt, space_t, nu, dt, dt_expl,
-                    deck.solver.sts_max_stages,
+                    solver.sts_max_stages,
                 );
                 pcg_iters += sts::advance_viscosity_sts(
                     &mut sim.par, comm, &sim.grid, &mut sim.state.v.p, &sim.lap_p,
                     &mut sim.state.pcg_p, &mut sim.hx_vp, space_p, nu, dt, dt_expl,
-                    deck.solver.sts_max_stages,
+                    solver.sts_max_stages,
                 );
             }
             ViscSolver::Explicit => {
@@ -189,23 +229,10 @@ pub fn advance(sim: &mut Simulation, comm: &Comm) -> StepInfo {
                         let mut arrays = [&mut comp.data];
                         hx.exchange(&mut sim.par, comm, &mut arrays, &bufs);
                     }
-                    {
-                        let reads = [comp.buf()];
-                        let writes = [work.ap.buf()];
-                        let od = work.ap.data.par_view();
-                        let yd = &comp.data;
-                        sim.par.loop3(&sites::VISC_APPLY, space, gpusim::Traffic::new(8, 1, 24), &reads, &writes, |i, j, k| {
-                            od.set(i, j, k, lap.apply(yd, i, j, k));
-                        });
-                    }
-                    {
-                        let reads = [work.ap.buf(), comp.buf()];
-                        let writes = [comp.buf()];
-                        let vd = comp.data.par_view();
-                        let ld = &work.ap.data;
-                        sim.par.loop3(&sites::PCG_APPLY_DX, space, gpusim::Traffic::new(2, 1, 3), &reads, &writes, |i, j, k| {
-                            vd.add(i, j, k, dt * nu * ld.get(i, j, k));
-                        });
+                    if mas_field::instrumentation_requested() {
+                        explicit_viscosity_update::<true>(&mut sim.par, comp, work, lap, space, dt, nu);
+                    } else {
+                        explicit_viscosity_update::<false>(&mut sim.par, comp, work, lap, space, dt, nu);
                     }
                     pcg_iters += 1;
                 }
@@ -239,23 +266,23 @@ pub fn advance(sim: &mut Simulation, comm: &Comm) -> StepInfo {
         sim.hx_cc.exchange(&mut sim.par, comm, &mut arrays, &bufs);
     }
     let mut sts_ops = 0;
-    if deck.physics.kappa0 > 0.0 {
+    if physics.kappa0 > 0.0 {
         let st = &mut sim.state;
-        conduct::kappa_faces(&mut sim.par, &sim.grid, &mut st.flux, &st.temp, deck.physics.kappa0);
+        conduct::kappa_faces(&mut sim.par, &sim.grid, &mut st.flux, &st.temp, physics.kappa0);
         let dt_expl = conduct::conduction_dt_explicit(
-            &mut sim.par, &sim.grid, &st.temp, &st.rho, deck.physics.kappa0, gamma,
+            &mut sim.par, &sim.grid, &st.temp, &st.rho, physics.kappa0, gamma,
         );
         // The explicit limit must be globally consistent.
         let mut v = [dt_expl];
         comm.allreduce(ReduceOp::Min, &mut v, &mut sim.par.ctx);
-        let aligned = if deck.solver.aligned_conduction {
+        let aligned = if solver.aligned_conduction {
             Some((&st.b, &mut st.force))
         } else {
             None
         };
         sts_ops = sts::advance_conduction(
             &mut sim.par, comm, &sim.grid, &mut st.temp, &st.rho, &st.flux,
-            &mut st.sts, &mut sim.hx_cc, dt, v[0], gamma, deck.solver.sts_max_stages,
+            &mut st.sts, &mut sim.hx_cc, dt, v[0], gamma, solver.sts_max_stages,
             aligned,
         );
     }
@@ -263,7 +290,7 @@ pub fn advance(sim: &mut Simulation, comm: &Comm) -> StepInfo {
         let st = &mut sim.state;
         conduct::radiate_and_heat(
             &mut sim.par, &sim.grid, &mut st.temp, &st.rho, dt, gamma,
-            deck.physics.radiation, deck.physics.heating,
+            physics.radiation, physics.heating,
         );
         conduct::floors(&mut sim.par, &sim.grid, &mut st.temp, &mut st.rho);
     }
@@ -271,7 +298,7 @@ pub fn advance(sim: &mut Simulation, comm: &Comm) -> StepInfo {
     // 6. Induction: E on edges, constrained-transport B update.
     {
         let st = &mut sim.state;
-        induction::emf(&mut sim.par, &sim.grid, &mut st.emf, &st.v, &st.b, &st.j, deck.physics.eta);
+        induction::emf(&mut sim.par, &sim.grid, &mut st.emf, &st.v, &st.b, &st.j, physics.eta);
         induction::ct_update(&mut sim.par, &sim.grid, &sim.ctg, &mut st.b, &st.emf, dt);
     }
 

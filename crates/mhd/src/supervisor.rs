@@ -670,7 +670,13 @@ pub fn run_supervised(
     // once per run, not once per rank.
     let fired = Arc::new(AtomicBool::new(false));
     let results = World::try_run(n_ranks, move |comm| -> Result<_, String> {
-        let mut sim = Simulation::new(&deck, version, spec.clone(), comm.rank(), n_ranks, seed);
+        let mut sim = Simulation::builder(&deck)
+            .version(version)
+            .device(spec.clone())
+            .rank(comm.rank())
+            .world(n_ranks)
+            .seed(seed)
+            .try_build()?;
         if record_spans {
             sim.par.ctx.prof.set_record_spans(true);
         }
@@ -731,7 +737,13 @@ fn run_segment(
     plan: Option<&FaultPlan>,
     fired: &AtomicBool,
 ) -> Result<crate::run::RunReport, String> {
-    let mut sim = Simulation::new(deck, version, spec, comm.rank(), n_ranks, seed);
+    let mut sim = Simulation::builder(deck)
+        .version(version)
+        .device(spec)
+        .rank(comm.rank())
+        .world(n_ranks)
+        .seed(seed)
+        .try_build()?;
     if record_spans {
         sim.par.ctx.prof.set_record_spans(true);
     }

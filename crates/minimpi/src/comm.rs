@@ -14,10 +14,27 @@
 use crate::chan::{Receiver, RecvTimeoutError, Sender};
 use crate::detector::{Liveness, LivenessHandle};
 use gpusim::{DeviceContext, Phase, TimeCategory};
-use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// When set, collectives reinstate the pre-pooling allocation behaviour
+/// (`to_vec` per contribution, `clone` per broadcast fan-out) so the
+/// benchmark harness can measure the pooling optimization's before/after
+/// in a single process. Results are bit-exact either way — only the
+/// allocation pattern changes.
+static LEGACY_ALLOC: AtomicBool = AtomicBool::new(false);
+
+/// Toggle the legacy (pre-pooling) collective allocation behaviour.
+pub fn set_legacy_alloc(on: bool) {
+    LEGACY_ALLOC.store(on, Ordering::SeqCst);
+}
+
+/// Whether the legacy collective allocation path is active.
+pub fn legacy_alloc() -> bool {
+    LEGACY_ALLOC.load(Ordering::Relaxed)
+}
 
 /// Message tag (the solver uses a small fixed set; tags are asserted, not
 /// matched out of order — all communication patterns in MAS are
@@ -221,7 +238,11 @@ pub(crate) fn payload_crc32(data: &[f64]) -> u32 {
 /// envelope (epoch, sequence number, payload CRC).
 pub(crate) struct Msg {
     pub tag: Tag,
-    pub data: Vec<f64>,
+    /// Payload. `Arc`-backed so a pooled sender (the halo exchanger, the
+    /// collective buffer pool) can put a buffer on the wire without
+    /// copying it; the slot becomes reusable when the receiver drops its
+    /// reference.
+    pub data: Arc<Vec<f64>>,
     /// Sender's virtual send time, µs.
     pub t_send: f64,
     /// Payload bytes (for the receiver-side transfer-time computation).
@@ -239,9 +260,9 @@ pub(crate) struct Msg {
 
 /// Payload of a rank→root collective message:
 /// (rank, values, send time, epoch).
-pub(crate) type RootMsg = (usize, Vec<f64>, f64, u64);
+pub(crate) type RootMsg = (usize, Arc<Vec<f64>>, f64, u64);
 /// Root→rank broadcast payload: (values, sync time, epoch).
-pub(crate) type BcastMsg = (Vec<f64>, f64, u64);
+pub(crate) type BcastMsg = (Arc<Vec<f64>>, f64, u64);
 /// Root-side receiver of rank→root collective traffic (shared by root).
 pub(crate) type FromRanks = Option<Arc<Receiver<RootMsg>>>;
 
@@ -297,6 +318,10 @@ impl Fence {
         Ok(())
     }
 }
+
+/// One rank's allreduce contribution as gathered at the root: the shared
+/// payload plus the contributor's sync time.
+type Contribution = (Arc<Vec<f64>>, f64);
 
 /// World-level shared control block: the communicator epoch, the current
 /// incarnation of every rank (zombie fencing), liveness slots for the
@@ -364,6 +389,12 @@ pub struct Comm {
     /// zero-overhead path). Armed by the run supervisor alongside fault
     /// injection so a lost message becomes a diagnosable failure.
     recv_deadline: Cell<Option<Duration>>,
+    /// Reusable collective payload buffers (see [`Comm::pooled_payload`]).
+    payload_pool: RefCell<Vec<Arc<Vec<f64>>>>,
+    /// Root-side gather scratch for [`Comm::allreduce`], reused per call.
+    contribs_scratch: RefCell<Vec<Option<Contribution>>>,
+    /// Root-side fold accumulator for [`Comm::allreduce`], reused per call.
+    reduce_scratch: RefCell<Vec<f64>>,
 }
 
 impl Comm {
@@ -399,7 +430,29 @@ impl Comm {
             send_seq: (0..size).map(|_| Cell::new(0)).collect(),
             recv_seq: (0..size).map(|_| Cell::new(0)).collect(),
             recv_deadline: Cell::new(None),
+            payload_pool: RefCell::new(Vec::new()),
+            contribs_scratch: RefCell::new(Vec::new()),
+            reduce_scratch: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Acquire a pooled payload buffer filled with `vals`. A slot is
+    /// reusable once every receiver has dropped its `Arc` (strong count
+    /// back to 1 — only the pool's own reference left), so steady-state
+    /// collective traffic recycles a handful of buffers instead of
+    /// allocating per call.
+    fn pooled_payload(&self, vals: &[f64]) -> Arc<Vec<f64>> {
+        let mut pool = self.payload_pool.borrow_mut();
+        for slot in pool.iter_mut() {
+            if let Some(buf) = Arc::get_mut(slot) {
+                buf.clear();
+                buf.extend_from_slice(vals);
+                return Arc::clone(slot);
+            }
+        }
+        let fresh = Arc::new(vals.to_vec());
+        pool.push(Arc::clone(&fresh));
+        fresh
     }
 
     /// Arm `fault` for the next point-to-point send from this rank. The
@@ -621,8 +674,36 @@ impl Comm {
         ctx: &DeviceContext,
         cost_bytes: f64,
     ) {
+        self.send_payload(dst, tag, Arc::new(data), path, ctx, cost_bytes);
+    }
+
+    /// Zero-copy send of an `Arc`-backed payload — the pooled-buffer fast
+    /// path used by the halo exchanger. The caller keeps its reference;
+    /// the buffer goes on the wire without a copy and the caller can
+    /// detect the receiver finishing with it via `Arc::get_mut` (the
+    /// strong count drops back when the receiver drops the message).
+    pub fn send_pooled(
+        &self,
+        dst: usize,
+        tag: Tag,
+        data: Arc<Vec<f64>>,
+        path: NetPath,
+        ctx: &DeviceContext,
+        cost_bytes: f64,
+    ) {
+        self.send_payload(dst, tag, data, path, ctx, cost_bytes);
+    }
+
+    fn send_payload(
+        &self,
+        dst: usize,
+        tag: Tag,
+        mut data: Arc<Vec<f64>>,
+        path: NetPath,
+        ctx: &DeviceContext,
+        cost_bytes: f64,
+    ) {
         self.check_fenced();
-        let mut data = data;
         // Envelope fields are computed over the pristine payload: the CRC
         // models an end-to-end checksum stamped before the wire, so
         // injected in-flight corruption is detectable by the receiver.
@@ -645,8 +726,12 @@ impl Comm {
                     // element — a halo pack's element 0 is a ghost-ghost
                     // corner no interior stencil reads, so a single
                     // corrupted value there would be invisible.)
-                    let n = data.len();
-                    for v in &mut data[n / 2..] {
+                    // `make_mut` clones only if the sender still holds the
+                    // buffer — the corruption happens in flight, the
+                    // sender's pooled copy stays pristine for the retry.
+                    let buf = Arc::make_mut(&mut data);
+                    let n = buf.len();
+                    for v in &mut buf[n / 2..] {
                         *v = f64::NAN;
                     }
                 }
@@ -688,7 +773,7 @@ impl Comm {
         let bytes = (data.len() * 8) as f64;
         let msg = Msg {
             tag,
-            data,
+            data: Arc::new(data),
             t_send: ctx.clock.now_us(),
             bytes,
             path: NetPath::Host,
@@ -752,6 +837,16 @@ impl Comm {
     ///
     /// Returns the payload.
     pub fn recv(&self, src: usize, tag: Tag, ctx: &mut DeviceContext) -> Vec<f64> {
+        let data = self.recv_shared(src, tag, ctx);
+        // Fresh (non-pooled) sends keep no reference, so this is a move,
+        // not a copy — recv stays zero-cost for the common case.
+        Arc::try_unwrap(data).unwrap_or_else(|a| (*a).clone())
+    }
+
+    /// Like [`Comm::recv`], but hands back the `Arc`-backed payload
+    /// without unwrapping it. The pooled halo path uses this: copy out of
+    /// the shared buffer, then drop it so the sender's pool slot frees.
+    pub fn recv_shared(&self, src: usize, tag: Tag, ctx: &mut DeviceContext) -> Arc<Vec<f64>> {
         self.check_fenced();
         let msg = loop {
             let m = match self.recv_deadline.get() {
@@ -832,7 +927,7 @@ impl Comm {
             });
         }
         self.book_transfer(&msg, ctx);
-        Ok(msg.data)
+        Ok(Arc::try_unwrap(msg.data).unwrap_or_else(|a| (*a).clone()))
     }
 
     /// Like [`Comm::try_recv`], but accepts any of `tags` from `src` and
@@ -849,6 +944,19 @@ impl Comm {
         ctx: &mut DeviceContext,
         deadline: Duration,
     ) -> Result<(Tag, Vec<f64>), RecvFailure> {
+        self.try_recv_any_shared(src, tags, ctx, deadline)
+            .map(|(t, d)| (t, Arc::try_unwrap(d).unwrap_or_else(|a| (*a).clone())))
+    }
+
+    /// [`Comm::try_recv_any`] without unwrapping the shared payload — the
+    /// verified pooled-halo path copies out of the `Arc` and drops it.
+    pub fn try_recv_any_shared(
+        &self,
+        src: usize,
+        tags: &[Tag],
+        ctx: &mut DeviceContext,
+        deadline: Duration,
+    ) -> Result<(Tag, Arc<Vec<f64>>), RecvFailure> {
         self.check_fenced();
         let msg = match self.from[src].recv_timeout(deadline) {
             Ok(m) => m,
@@ -899,46 +1007,101 @@ impl Comm {
     /// In-place allreduce over `vals` (deterministic rank-order reduction
     /// at rank 0, then broadcast). Clock rule: every rank ends at
     /// `max_i(t_i) + cost(P, bytes)`.
+    ///
+    /// Steady state is allocation-free: contributions and the broadcast
+    /// result ride pooled `Arc` buffers that return to their pool when the
+    /// receiver drops them, and the root folds into reusable scratch.
+    /// [`set_legacy_alloc`] reinstates the historical per-call
+    /// `to_vec`/`clone` churn for before/after benchmarking — bit-exact
+    /// either way.
     pub fn allreduce(&self, op: ReduceOp, vals: &mut [f64], ctx: &mut DeviceContext) {
         self.check_fenced();
+        let legacy = legacy_alloc();
         let t_now = ctx.clock.now_us();
         let epoch = self.epoch();
+        let contribution = if legacy {
+            Arc::new(vals.to_vec())
+        } else {
+            self.pooled_payload(vals)
+        };
         self.to_root
-            .send((self.rank, vals.to_vec(), t_now, epoch))
+            .send((self.rank, contribution, t_now, epoch))
             .expect("root hung up");
         if let Some(rx) = &self.from_ranks {
-            // I am root: collect all contributions in rank order.
-            let mut contribs: Vec<Option<(Vec<f64>, f64)>> = vec![None; self.size];
-            let mut got = 0;
-            while got < self.size {
-                let (r, v, t, _e) = self.recv_collective(rx, "allreduce(gather)", |m| m.3);
-                if contribs[r].is_none() {
-                    got += 1;
+            if legacy {
+                // I am root: collect all contributions in rank order,
+                // allocating per call as the pre-pooling code did.
+                let mut contribs: Vec<Option<(Arc<Vec<f64>>, f64)>> = vec![None; self.size];
+                let mut got = 0;
+                while got < self.size {
+                    let (r, v, t, _e) = self.recv_collective(rx, "allreduce(gather)", |m| m.3);
+                    if contribs[r].is_none() {
+                        got += 1;
+                    }
+                    contribs[r] = Some((v, t));
                 }
-                contribs[r] = Some((v, t));
-            }
-            let mut acc: Option<Vec<f64>> = None;
-            let mut t_sync = 0.0_f64;
-            for c in contribs.into_iter() {
-                let (v, t) = c.expect("missing contribution");
-                t_sync = t_sync.max(t);
-                acc = Some(match acc {
-                    None => v,
-                    Some(mut a) => {
-                        for (ai, &vi) in a.iter_mut().zip(&v) {
+                let mut acc: Option<Vec<f64>> = None;
+                let mut t_sync = 0.0_f64;
+                for c in contribs.into_iter() {
+                    let (v, t) = c.expect("missing contribution");
+                    t_sync = t_sync.max(t);
+                    let v = Arc::try_unwrap(v).unwrap_or_else(|a| (*a).clone());
+                    acc = Some(match acc {
+                        None => v,
+                        Some(mut a) => {
+                            for (ai, &vi) in a.iter_mut().zip(&v) {
+                                *ai = op.apply(*ai, vi);
+                            }
+                            a
+                        }
+                    });
+                }
+                let result = acc.expect("size >= 1");
+                for s in &self.to_ranks {
+                    s.send((Arc::new(result.clone()), t_sync, epoch))
+                        .expect("rank hung up");
+                }
+            } else {
+                // I am root: gather into reusable scratch, fold in rank
+                // order into the reusable accumulator, broadcast a pooled
+                // buffer shared by every rank.
+                let mut contribs = self.contribs_scratch.borrow_mut();
+                contribs.clear();
+                contribs.resize_with(self.size, || None);
+                let mut got = 0;
+                while got < self.size {
+                    let (r, v, t, _e) = self.recv_collective(rx, "allreduce(gather)", |m| m.3);
+                    if contribs[r].is_none() {
+                        got += 1;
+                    }
+                    contribs[r] = Some((v, t));
+                }
+                let mut acc = self.reduce_scratch.borrow_mut();
+                acc.clear();
+                let mut t_sync = 0.0_f64;
+                for (i, c) in contribs.iter().enumerate() {
+                    let (v, t) = c.as_ref().expect("missing contribution");
+                    t_sync = t_sync.max(*t);
+                    if i == 0 {
+                        acc.extend_from_slice(v);
+                    } else {
+                        for (ai, &vi) in acc.iter_mut().zip(v.iter()) {
                             *ai = op.apply(*ai, vi);
                         }
-                        a
                     }
-                });
-            }
-            let result = acc.expect("size >= 1");
-            for s in &self.to_ranks {
-                s.send((result.clone(), t_sync, epoch)).expect("rank hung up");
+                }
+                // Release the contribution Arcs before acquiring the
+                // broadcast buffer so their pool slots become reusable.
+                contribs.clear();
+                let out = self.pooled_payload(&acc);
+                for s in &self.to_ranks {
+                    s.send((Arc::clone(&out), t_sync, epoch)).expect("rank hung up");
+                }
             }
         }
         let (result, t_sync, _e) = self.recv_collective(&self.from_root, "allreduce(bcast)", |m| m.2);
         vals.copy_from_slice(&result);
+        drop(result);
 
         // Timing: wait to the sync point, then pay the tree cost.
         let stages = (self.size as f64).log2().ceil().max(1.0);
@@ -959,7 +1122,7 @@ impl Comm {
         self.check_fenced();
         let epoch = self.epoch();
         self.to_root
-            .send((self.rank, data, ctx.clock.now_us(), epoch))
+            .send((self.rank, Arc::new(data), ctx.clock.now_us(), epoch))
             .expect("root hung up");
         if let Some(rx) = &self.from_ranks {
             let mut out: Vec<Option<Vec<f64>>> = vec![None; self.size];
@@ -969,11 +1132,12 @@ impl Comm {
                 if out[r].is_none() {
                     got += 1;
                 }
-                out[r] = Some(v);
+                out[r] = Some(Arc::try_unwrap(v).unwrap_or_else(|a| (*a).clone()));
             }
             // Release the non-root ranks (they wait on from_root for sync).
+            let empty = Arc::new(Vec::new());
             for s in &self.to_ranks {
-                s.send((vec![], 0.0, epoch)).expect("rank hung up");
+                s.send((Arc::clone(&empty), 0.0, epoch)).expect("rank hung up");
             }
             let res = out.into_iter().map(|o| o.expect("missing")).collect();
             let _ = self.from_root.recv();

@@ -86,6 +86,10 @@ struct PoolShared {
 struct Pool {
     shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
+    /// Persistent tile-claim counter, reset and reused for every job —
+    /// jobs are strictly fork-join (the submitter drains the pool before
+    /// returning), so no two jobs ever share it concurrently.
+    claim: Arc<AtomicUsize>,
 }
 
 impl Pool {
@@ -110,7 +114,11 @@ impl Pool {
                     .expect("spawn engine worker")
             })
             .collect();
-        Pool { shared, workers }
+        Pool {
+            shared,
+            workers,
+            claim: Arc::new(AtomicUsize::new(0)),
+        }
     }
 
     /// Run `task(tile)` for every tile in `0..n_tiles` across the pool
@@ -121,7 +129,15 @@ impl Pool {
         // erased reference before decrementing `active`.
         let task: &'static (dyn Fn(usize) + Sync) =
             unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) };
-        let next = Arc::new(AtomicUsize::new(0));
+        // Reuse the persistent claim counter (an `Arc` clone is a refcount
+        // bump, not an allocation); the legacy toggle reinstates the
+        // historical fresh-`Arc`-per-dispatch cost for benchmarking.
+        let next = if crate::perf::legacy_alloc() {
+            Arc::new(AtomicUsize::new(0))
+        } else {
+            self.claim.store(0, Ordering::SeqCst);
+            Arc::clone(&self.claim)
+        };
         {
             let mut st = self.shared.state.lock().expect("engine poisoned");
             debug_assert!(st.job.is_none(), "engine jobs do not nest");

@@ -181,6 +181,7 @@ impl ParBuilder {
             scales: self.scales,
             plans: HashMap::new(),
             audit: RaceAuditor::new(audit_on),
+            scratch: Vec::new(),
         }
     }
 }
@@ -229,6 +230,10 @@ pub struct Par {
     plans: HashMap<PlanKey, Plan>,
     /// Dynamic race auditor (no-op unless audit mode is on).
     audit: RaceAuditor,
+    /// Reusable reduction-partials buffer shared by [`Par::reduce_scalar`]
+    /// and [`Par::reduce_array`] (they never nest) — steady-state
+    /// reductions allocate nothing.
+    scratch: Vec<f64>,
 }
 
 impl Par {
@@ -243,12 +248,6 @@ impl Par {
             scales: CostScales::IDENTITY,
             audit: None,
         }
-    }
-
-    /// New executor for `version` on a device described by `spec`.
-    #[deprecated(since = "0.1.0", note = "use `Par::builder(spec).version(v).rank(r).seed(s).build()`")]
-    pub fn new(spec: DeviceSpec, version: CodeVersion, rank: usize, seed: u64) -> Self {
-        Par::builder(spec).version(version).rank(rank).seed(seed).build()
     }
 
     /// The active code version.
@@ -298,28 +297,6 @@ impl Par {
         let r = f(self);
         self.point_scale = prev;
         r
-    }
-
-    /// Set the cost-model point scale; returns the previous value so
-    /// callers can restore it (boundary code switches volume → area).
-    #[deprecated(since = "0.1.0", note = "use the scoped `Par::with_area_scale` / `Par::with_scales`")]
-    pub fn set_point_scale(&mut self, s: f64) -> f64 {
-        assert!(s >= 1.0 && s.is_finite(), "bad point scale {s}");
-        std::mem::replace(&mut self.point_scale, s)
-    }
-
-    /// The surface-scale companion value.
-    #[deprecated(since = "0.1.0", note = "use `Par::scales().area`")]
-    pub fn area_scale(&self) -> f64 {
-        self.scales.area
-    }
-
-    /// Configure both extrapolation scales (volume for bulk kernels,
-    /// area for plane kernels). Sets the active scale to `volume`.
-    #[deprecated(since = "0.1.0", note = "use `ParBuilder::scales` or the scoped `Par::with_scales`")]
-    pub fn set_scales(&mut self, volume: f64, area: f64) {
-        self.scales = CostScales::new(volume, area);
-        self.point_scale = volume;
     }
 
     /// Scale a launch's point count by the active model scale.
@@ -395,7 +372,17 @@ impl Par {
     /// engine when large enough, or serially under instrumentation when
     /// the race auditor claims the launch. Charges the engine's tile
     /// census to the profiler (thread-count independent).
-    fn execute_tiles(&mut self, site: &Site, space: IndexSpace3, body: &(dyn Fn(usize, usize, usize) + Sync)) {
+    ///
+    /// Generic over the body (`?Sized` included) so the per-*point* call
+    /// is monomorphized — the body inlines into the tile loops and can
+    /// vectorize. Only the per-*tile* hop through the engine is erased.
+    /// Instantiating with `F = dyn Fn(..)` reproduces the historical
+    /// per-point indirect dispatch; `loop3` does exactly that under the
+    /// legacy-hot-path toggle so the benchmark can measure it.
+    fn execute_tiles<F>(&mut self, site: &Site, space: IndexSpace3, body: &F)
+    where
+        F: Fn(usize, usize, usize) + Sync + ?Sized,
+    {
         let nk = space.k1.saturating_sub(space.k0);
         if site.tiling == Tiling::Serial || nk <= 1 {
             space.for_each(body);
@@ -447,7 +434,14 @@ impl Par {
         self.prepare_launch(site);
         let (slot, scaled) = self.plan(site, space);
         let exec = self.ctx.launch(site.name, scaled, traffic, reads, writes);
-        self.execute_tiles(site, space, &body);
+        if crate::perf::legacy_alloc() {
+            // Historical dispatch: body erased to `dyn Fn`, one indirect
+            // call per grid point (identical iteration order and FP
+            // results — only the call overhead differs).
+            self.execute_tiles(site, space, &body as &(dyn Fn(usize, usize, usize) + Sync));
+        } else {
+            self.execute_tiles(site, space, &body);
+        }
         self.registry.note_slot(slot, space.len(), exec);
     }
 
@@ -455,14 +449,17 @@ impl Par {
     /// (computed in-tile in Fortran order), combined *in tile order* on
     /// the calling thread. The decomposition depends only on `space`, so
     /// the result is bit-identical for every engine width.
-    fn fold_tiled(
+    fn fold_tiled<F>(
         &mut self,
         site: &Site,
         space: IndexSpace3,
         op: ReduceOp,
         init: f64,
-        body: &(dyn Fn(usize, usize, usize) -> f64 + Sync),
-    ) -> f64 {
+        body: &F,
+    ) -> f64
+    where
+        F: Fn(usize, usize, usize) -> f64 + Sync + ?Sized,
+    {
         let nk = space.k1.saturating_sub(space.k0);
         if site.tiling == Tiling::Serial || nk <= 1 {
             // Unified serial fast path (also taken at nk == 1, where a
@@ -474,7 +471,18 @@ impl Par {
             return acc;
         }
         let ident = op_identity(op);
-        let mut partials = vec![ident; nk];
+        // Steady state reuses the shared scratch buffer; the legacy toggle
+        // reinstates the historical per-launch allocation for the
+        // benchmark harness's before/after measurement.
+        let legacy = crate::perf::legacy_alloc();
+        let mut partials;
+        if legacy {
+            partials = vec![ident; nk];
+        } else {
+            partials = std::mem::take(&mut self.scratch);
+            partials.clear();
+            partials.resize(nk, ident);
+        }
         {
             let ps = SyncSlice::new(&mut partials);
             self.ctx.prof.note_host_tiles(nk as u64);
@@ -499,8 +507,11 @@ impl Par {
             }
         }
         let mut acc = init;
-        for p in partials {
+        for &p in partials.iter() {
             acc = op_apply(op, acc, p);
+        }
+        if !legacy {
+            self.scratch = partials;
         }
         acc
     }
@@ -580,8 +591,17 @@ impl Par {
         } else {
             // One dense partial row per tile, accumulated in-tile in
             // Fortran order, then combined row-by-row in tile order.
+            // Scratch reuse / legacy churn as in `fold_tiled`.
             let width = out.len();
-            let mut partials = vec![0.0; nk * width];
+            let legacy = crate::perf::legacy_alloc();
+            let mut partials;
+            if legacy {
+                partials = vec![0.0; nk * width];
+            } else {
+                partials = std::mem::take(&mut self.scratch);
+                partials.clear();
+                partials.resize(nk * width, 0.0);
+            }
             {
                 let ps = SyncSlice::new(&mut partials);
                 self.ctx.prof.note_host_tiles(nk as u64);
@@ -608,6 +628,9 @@ impl Par {
                 for (o, &p) in out.iter_mut().zip(row) {
                     *o += p;
                 }
+            }
+            if !legacy {
+                self.scratch = partials;
             }
         }
         self.registry.note_slot(slot, space.len(), exec);
@@ -651,7 +674,18 @@ impl Par {
         self.prepare_launch(site);
         let (slot, scaled) = self.plan(site, space);
         let exec = self.ctx.launch(site.name, scaled, traffic, reads, &[]);
-        let acc = self.fold_tiled(site, space, op, init, &body);
+        let acc = if crate::perf::legacy_alloc() {
+            // Historical dispatch (see `loop3`): per-point `dyn` calls.
+            self.fold_tiled(
+                site,
+                space,
+                op,
+                init,
+                &body as &(dyn Fn(usize, usize, usize) -> f64 + Sync),
+            )
+        } else {
+            self.fold_tiled(site, space, op, init, &body)
+        };
         self.registry.note_slot(slot, space.len(), exec);
         acc
     }
@@ -973,21 +1007,6 @@ mod tests {
         let p = Par::builder(spec).scales(CostScales::new(64.0, 16.0)).build();
         assert_eq!(p.point_scale(), 64.0);
         assert_eq!(p.scales().area, 16.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_behave_like_the_old_api() {
-        let mut spec = DeviceSpec::a100_40gb();
-        spec.jitter_sigma = 0.0;
-        let mut p = Par::new(spec, CodeVersion::Ad, 0, 1);
-        p.set_scales(4.0, 2.0);
-        assert_eq!(p.point_scale(), 4.0);
-        let prev = p.set_point_scale(p.area_scale());
-        assert_eq!(prev, 4.0);
-        assert_eq!(p.point_scale(), 2.0);
-        p.set_point_scale(prev);
-        assert_eq!(p.point_scale(), 4.0);
     }
 
     /// The tentpole determinism guarantee at unit scope: every kernel

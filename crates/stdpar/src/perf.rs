@@ -1,0 +1,22 @@
+//! Runtime perf toggles for the benchmark harness.
+//!
+//! The `bench_baseline` harness measures each hot-path optimization's
+//! before/after in a single process: with the legacy toggle on, the
+//! executor reinstates the historical per-launch allocation pattern
+//! (fresh reduction-partial vectors, per-dispatch coordination state)
+//! while producing bit-identical results — only wall-clock changes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static LEGACY_ALLOC: AtomicBool = AtomicBool::new(false);
+
+/// Toggle the legacy (pre-reuse) allocation behaviour of the executor
+/// and host engine.
+pub fn set_legacy_alloc(on: bool) {
+    LEGACY_ALLOC.store(on, Ordering::SeqCst);
+}
+
+/// Whether the legacy allocation path is active.
+pub fn legacy_alloc() -> bool {
+    LEGACY_ALLOC.load(Ordering::Relaxed)
+}

@@ -34,9 +34,9 @@
 //! can assert every shipped kernel is clean across all six code
 //! versions.
 //!
-//! When audit mode is off the only residual cost is one relaxed atomic
-//! load per `ParView3` access (see `mas_field::parview`) — the auditor
-//! itself is never consulted.
+//! When audit mode is off there is no residual per-access cost: views
+//! constructed with no auditor armed are uninstrumented at construction
+//! time (see `mas_field::parview`) and the auditor is never consulted.
 
 use crate::site::Site;
 use mas_field::{capture_begin, capture_end, ViewAccess};
@@ -188,6 +188,12 @@ pub(crate) struct RaceAuditor {
 
 impl RaceAuditor {
     pub(crate) fn new(enabled: bool) -> Self {
+        if enabled {
+            // Arm the view-side capture machinery for this auditor's
+            // lifetime: views are instrumented at construction, and
+            // kernel bodies build theirs before the audited launch.
+            mas_field::arm_captures();
+        }
         RaceAuditor {
             sites: HashSet::new(),
             seen: HashSet::new(),
@@ -222,6 +228,17 @@ impl RaceAuditor {
     pub(crate) fn audit(&self) -> &RaceAudit {
         &self.audit
     }
+}
+
+impl Drop for RaceAuditor {
+    fn drop(&mut self) {
+        if self.audit.enabled {
+            mas_field::disarm_captures();
+        }
+    }
+}
+
+impl RaceAuditor {
 
     /// Run `tile(0..nk)` serially under access capture and check the
     /// contract. `k0` is the space's first k (tile `t` is plane `k0+t`);

@@ -26,17 +26,11 @@ fn main() {
     );
     // Run through the Simulation API so we can pull radial profiles at the
     // end (the report-level API covers the common cases).
-    use mas::gpusim::DeviceSpec;
     use mas::mhd::diag::{radial_profile, ProfileField};
     let (report, t_prof, v_prof, radii) = mas::minimpi::World::run(1, |comm| {
-        let mut sim = mas::mhd::Simulation::new(
-            &deck,
-            CodeVersion::A,
-            DeviceSpec::a100_40gb(),
-            0,
-            1,
-            1,
-        );
+        let mut sim = mas::mhd::Simulation::builder(&deck)
+            .version(CodeVersion::A)
+            .build();
         sim.run(&comm);
         let t = radial_profile(&mut sim.par, &comm, &sim.grid, &sim.state, ProfileField::Temperature);
         let v = radial_profile(&mut sim.par, &comm, &sim.grid, &sim.state, ProfileField::RadialVelocity);

@@ -48,6 +48,6 @@ pub mod prelude {
     pub use crate::field::{Array3, Field};
     pub use crate::grid::{IndexSpace3, Mesh1d, SphericalGrid, Stagger};
     pub use crate::gpusim::{DeviceSpec, Profiler, TimeCategory};
-    pub use crate::mhd::{RunReport, Simulation};
+    pub use crate::mhd::{RunReport, Simulation, SimulationBuilder};
     pub use crate::stdpar::CodeVersion;
 }

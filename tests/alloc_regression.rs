@@ -1,0 +1,76 @@
+//! Allocation-count regression guard for the lean hot path.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! warm-up phase (lazy pools spawn, halo/scratch buffers reach their
+//! high-water marks) further `step::advance` calls must perform **zero**
+//! heap allocations. This pins the "allocation-free hot path" claim of
+//! the persisted benchmark baseline (`BENCH_6.json`) as a hard invariant
+//! rather than a number that only shows up as a wall-clock delta.
+//!
+//! The test lives in its own integration-test binary so no concurrently
+//! running sibling test can allocate against the shared counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mas::config::GridCfg;
+use mas::prelude::*;
+
+/// System allocator with a global allocation counter. Only allocation
+/// *events* are counted (alloc / alloc_zeroed / realloc) — frees are
+/// irrelevant to the invariant.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const WARMUP_STEPS: usize = 3;
+const MEASURED_STEPS: usize = 5;
+
+#[test]
+fn lean_hot_path_is_allocation_free_after_warmup() {
+    let mut deck = Deck::preset_quickstart();
+    deck.grid = GridCfg { nr: 12, nt: 10, np: 12, rmax: 8.0 };
+    deck.time.n_steps = WARMUP_STEPS + MEASURED_STEPS;
+    deck.output.hist_interval = 0; // diagnostics off: pure stepping
+    deck.host_threads = 1; // deterministic: no pool workers racing the counter
+
+    let delta = mas::minimpi::World::run(1, |comm| {
+        let mut sim = Simulation::builder(&deck).version(CodeVersion::A).build();
+        for _ in 0..WARMUP_STEPS {
+            mas::mhd::step::advance(&mut sim, &comm);
+        }
+        let before = ALLOC_EVENTS.load(Ordering::SeqCst);
+        for _ in 0..MEASURED_STEPS {
+            mas::mhd::step::advance(&mut sim, &comm);
+        }
+        ALLOC_EVENTS.load(Ordering::SeqCst) - before
+    })
+    .pop()
+    .expect("one rank");
+
+    assert_eq!(
+        delta, 0,
+        "lean hot path allocated {delta} times over {MEASURED_STEPS} steps after warmup"
+    );
+}

@@ -89,16 +89,10 @@ fn heating_creates_latitude_structure() {
     let mut deck = Deck::preset_quickstart();
     deck.time.n_steps = 25;
     deck.output.hist_interval = 0;
-    use mas::gpusim::DeviceSpec;
     let (t_eq, t_pole) = mas::minimpi::World::run(1, |comm| {
-        let mut sim = mas::mhd::Simulation::new(
-            &deck,
-            CodeVersion::A,
-            DeviceSpec::a100_40gb(),
-            0,
-            1,
-            1,
-        );
+        let mut sim = mas::mhd::Simulation::builder(&deck)
+            .version(CodeVersion::A)
+            .build();
         sim.run(&comm);
         let g = mas::grid::NGHOST;
         let nt = sim.grid.nt;

@@ -68,20 +68,14 @@ fn sts_viscosity_avoids_global_reductions() {
 fn aligned_conduction_runs_and_differs_physically() {
     // Start from a temperature hot spot so conduction matters from step 1
     // (the quickstart IC is isothermal, where both operators are inert).
-    use mas::gpusim::DeviceSpec;
     let run = |aligned: bool| {
         let mut d = base_deck();
         d.solver.aligned_conduction = aligned;
         d.physics.kappa0 = 0.05;
         mas::minimpi::World::run(1, move |comm| {
-            let mut sim = mas::mhd::Simulation::new(
-                &d,
-                CodeVersion::A,
-                DeviceSpec::a100_40gb(),
-                0,
-                1,
-                1,
-            );
+            let mut sim = mas::mhd::Simulation::builder(&d)
+                .version(CodeVersion::A)
+                .build();
             // Hot blob off-axis.
             for di in 0..3 {
                 for dj in 0..3 {
@@ -141,32 +135,34 @@ fn aligned_conduction_under_all_code_versions() {
 fn checkpoint_roundtrip_through_cli_level_api() {
     // End-to-end: run, save, restore into a new sim, continue; history
     // stays sane and time advances monotonically.
-    use mas::gpusim::DeviceSpec;
     let dir = std::env::temp_dir().join("mas_solver_options_test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("ck.dump");
     let deck = base_deck();
     mas::minimpi::World::run(1, |comm| {
-        let mut sim =
-            mas::mhd::Simulation::new(&deck, CodeVersion::A, DeviceSpec::a100_40gb(), 0, 1, 1);
+        let mut sim = mas::mhd::Simulation::builder(&deck).version(CodeVersion::A).build();
         sim.run(&comm);
         let t_mid = sim.time;
         mas::mhd::checkpoint::save(&mut sim, &path).unwrap();
         // `n_steps` is the TOTAL step count: restoring a finished run and
-        // calling `run` again is a graceful no-op...
-        let mut sim2 =
-            mas::mhd::Simulation::new(&deck, CodeVersion::A, DeviceSpec::a100_40gb(), 0, 1, 1);
-        let h = mas::mhd::checkpoint::load(&mut sim2, &path).unwrap();
-        assert_eq!(h.time, t_mid);
-        assert_eq!(h.step as usize, deck.time.n_steps);
+        // calling `run` again is a graceful no-op... (`restart_slot` wires
+        // the checkpoint load through the builder.)
+        let mut sim2 = mas::mhd::Simulation::builder(&deck)
+            .version(CodeVersion::A)
+            .restart_slot(&path)
+            .build();
+        assert_eq!(sim2.time, t_mid);
+        assert_eq!(sim2.step, deck.time.n_steps);
+        assert!(sim2.resumed);
         sim2.run(&comm);
         assert_eq!(sim2.time, t_mid, "already at the target step");
         // ...while a raised target continues the trajectory.
         let mut d2 = deck.clone();
         d2.time.n_steps = deck.time.n_steps + 2;
-        let mut sim3 =
-            mas::mhd::Simulation::new(&d2, CodeVersion::A, DeviceSpec::a100_40gb(), 0, 1, 1);
-        mas::mhd::checkpoint::load(&mut sim3, &path).unwrap();
+        let mut sim3 = mas::mhd::Simulation::builder(&d2)
+            .version(CodeVersion::A)
+            .restart_slot(&path)
+            .build();
         sim3.run(&comm);
         assert_eq!(sim3.step, d2.time.n_steps);
         assert!(sim3.time > t_mid);
