@@ -15,7 +15,11 @@ pub enum Json {
     /// `true` / `false`
     Bool(bool),
     /// Any number (stored as `f64`; emitted with Rust's shortest
-    /// round-trip formatting).
+    /// round-trip formatting). JSON has no Inf/NaN: non-finite values
+    /// are emitted as `null` (the policy of RFC 8259 §6 implementations
+    /// like `JSON.stringify`), and the parser rejects any numeric token
+    /// that overflows to a non-finite `f64` (e.g. `1e999`), so a
+    /// document written by this module always re-parses.
     Num(f64),
     /// String.
     Str(String),
@@ -92,9 +96,13 @@ impl Json {
                 if n.is_finite() {
                     let _ = write!(out, "{n}");
                 } else {
-                    // JSON has no Inf/NaN; fail loudly rather than emit
-                    // an unparseable file.
-                    panic!("non-finite number in JSON output: {n}");
+                    // JSON has no Inf/NaN. Policy (see the `Num` docs):
+                    // emit `null`, matching `JSON.stringify`, so a NaN
+                    // timing can never wedge the baseline file with an
+                    // unparseable token — the reader sees an absent
+                    // measurement and reports it, instead of the writer
+                    // taking down the whole benchmark run.
+                    out.push_str("null");
                 }
             }
             Json::Str(s) => write_escaped(out, s),
@@ -258,6 +266,12 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
             let n: f64 = text
                 .parse()
                 .map_err(|e| format!("bad number {text:?}: {e}"))?;
+            // A syntactically valid exponent can still overflow f64
+            // (e.g. `1e999` parses as +inf): reject it so `Num` holds
+            // finite values only, matching what the writer can emit.
+            if !n.is_finite() {
+                return Err(format!("number {text:?} overflows f64 to {n}"));
+            }
             Ok(Json::Num(n))
         }
         other => Err(format!("unexpected byte {:?} at {pos}", other as char)),
@@ -380,5 +394,35 @@ mod tests {
     fn unicode_and_escapes_parse() {
         let j = Json::parse("\"caf\\u00e9 θφ\\t\"").unwrap();
         assert_eq!(j.as_str().unwrap(), "café θφ\t");
+    }
+
+    #[test]
+    fn non_finite_numbers_emit_null_and_roundtrip() {
+        // Writer policy: Inf/NaN become `null` — the emitted document
+        // must stay parseable, with the bad measurement read back as an
+        // explicit absence rather than a corrupt token.
+        let doc = Json::Obj(vec![
+            ("ok".into(), Json::Num(1.5)),
+            ("nan".into(), Json::Num(f64::NAN)),
+            ("inf".into(), Json::Num(f64::INFINITY)),
+            ("ninf".into(), Json::Num(f64::NEG_INFINITY)),
+        ]);
+        let text = doc.pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("ok").unwrap().as_f64(), Some(1.5));
+        for key in ["nan", "inf", "ninf"] {
+            assert_eq!(back.get(key), Some(&Json::Null), "{key}");
+            assert_eq!(back.get(key).unwrap().as_f64(), None, "{key}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_numbers_overflowing_to_infinity() {
+        for bad in ["1e999", "-1e999", "[1.0, 2e9999]"] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(err.contains("overflows"), "{bad}: {err}");
+        }
+        // Near the edge but finite: still fine.
+        assert_eq!(Json::parse("1e308").unwrap().as_f64(), Some(1e308));
     }
 }

@@ -223,6 +223,25 @@ pub struct FaultCfg {
     pub count: u32,
 }
 
+/// A deck that failed validation: every problem found, as one structured
+/// error. This is the canonical "bad deck" error for **every** entry
+/// point — `Simulation::builder(..).try_build()`, the `mas` CLI, and a
+/// `mas-serve` job submission all surface the same message instead of a
+/// worker panic or an ad-hoc join of strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeckError {
+    /// The individual validation failures (never empty).
+    pub problems: Vec<String>,
+}
+
+impl std::fmt::Display for DeckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid deck: {}", self.problems.join("; "))
+    }
+}
+
+impl std::error::Error for DeckError {}
+
 /// A complete input deck.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Deck {
@@ -603,6 +622,34 @@ impl Deck {
         errs
     }
 
+    /// [`Deck::validate`] as a `Result`: `Err` carries every problem as a
+    /// structured [`DeckError`]. Use this at API boundaries (CLI, job
+    /// submission, builder) so all of them reject a bad deck identically.
+    pub fn validated(&self) -> Result<(), DeckError> {
+        let problems = self.validate();
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(DeckError { problems })
+        }
+    }
+
+    /// Content hash of the deck: FNV-1a 64 over the canonical text form
+    /// ([`Deck::to_deck_string`]), so two decks hash equal exactly when
+    /// every effective key matches — regardless of comment/ordering
+    /// differences in the original files. This is the deck component of
+    /// the `mas-serve` result-cache key.
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut h = FNV_OFFSET;
+        for b in self.to_deck_string().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
     /// True when the fault section will actually fire (kind armed and a
     /// target step chosen).
     pub fn fault_armed(&self) -> bool {
@@ -730,6 +777,33 @@ mod tests {
         d.fault.count = 0;
         let errs = d.validate();
         assert_eq!(errs.len(), 3, "{errs:?}");
+    }
+
+    #[test]
+    fn validated_returns_structured_error() {
+        assert!(Deck::default().validated().is_ok());
+        let mut d = Deck::default();
+        d.physics.gamma = 3.0;
+        d.time.cfl = 0.0;
+        let err = d.validated().unwrap_err();
+        assert_eq!(err.problems.len(), 2);
+        let msg = err.to_string();
+        assert!(msg.starts_with("invalid deck: "), "{msg}");
+        assert!(msg.contains("gamma") && msg.contains("cfl"), "{msg}");
+    }
+
+    #[test]
+    fn content_hash_tracks_effective_keys_only() {
+        let a = Deck::preset_quickstart();
+        let mut b = Deck::preset_quickstart();
+        assert_eq!(a.content_hash(), b.content_hash());
+        // Textual noise (comments, spacing, key order) does not change
+        // the hash: parse normalizes to the same effective deck.
+        let noisy = format!("! a comment\n\n{}", a.to_deck_string());
+        assert_eq!(Deck::parse(&noisy).unwrap().content_hash(), a.content_hash());
+        // Any effective change does.
+        b.time.n_steps += 1;
+        assert_ne!(a.content_hash(), b.content_hash());
     }
 
     #[test]

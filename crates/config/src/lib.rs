@@ -29,7 +29,7 @@ pub mod deck;
 pub mod parse;
 
 pub use deck::{
-    CheckpointCfg, Deck, FaultCfg, FaultKind, GridCfg, OutputCfg, PhysicsCfg, SolverCfg,
-    TimeCfg, ViscSolver,
+    CheckpointCfg, Deck, DeckError, FaultCfg, FaultKind, GridCfg, OutputCfg, PhysicsCfg,
+    SolverCfg, TimeCfg, ViscSolver,
 };
 pub use parse::ParseError;

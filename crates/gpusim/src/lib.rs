@@ -35,12 +35,14 @@
 pub mod clock;
 pub mod context;
 pub mod memory;
+pub mod pool;
 pub mod profiler;
 pub mod spec;
 
 pub use clock::VirtualClock;
 pub use context::{DeviceContext, LaunchMode};
 pub use memory::{BufferId, DataMode, MemoryManager, Residency};
+pub use pool::{DeviceId, DeviceLease, DevicePool, PoolStats};
 pub use profiler::{Phase, Profiler, Span, TimeCategory};
 pub use spec::{DeviceSpec, Traffic};
 

@@ -1,0 +1,315 @@
+//! Device fleet pooling: lease accounting over a set of virtual devices.
+//!
+//! The production context the paper comes from is a shared GPU cluster
+//! serving many science runs at once. `mas-serve` schedules jobs onto a
+//! fixed fleet of virtual devices; this module is the fleet's ledger —
+//! which devices are free, which job holds which, and how hot the pool
+//! has run — kept here (next to [`crate::DeviceSpec`]) so any scheduler
+//! built on `gpusim` shares the same accounting.
+//!
+//! A [`DevicePool`] hands out [`DeviceLease`]s covering one or more
+//! device slots. Leases are plain data (no `Drop` magic): the holder
+//! must give them back via [`DevicePool::release`], and a double release
+//! or a forged lease is an error, not silent corruption. All methods are
+//! `&self` and thread-safe — workers lease and release concurrently.
+
+use crate::spec::DeviceSpec;
+use std::sync::{Condvar, Mutex};
+
+/// Identifier of one device slot within a pool (dense, `0..n_devices`).
+pub type DeviceId = usize;
+
+/// An exclusive lease on a set of pool devices. Obtained from
+/// [`DevicePool::try_lease`] / [`DevicePool::lease_blocking`]; must be
+/// returned with [`DevicePool::release`].
+#[derive(Debug)]
+pub struct DeviceLease {
+    /// The leased device slots.
+    ids: Vec<DeviceId>,
+    /// Monotonic lease serial (pairs grant/release in logs and guards
+    /// against releasing a forged or stale lease).
+    serial: u64,
+}
+
+impl DeviceLease {
+    /// The leased device ids.
+    pub fn devices(&self) -> &[DeviceId] {
+        &self.ids
+    }
+
+    /// Number of devices held.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the lease covers no devices (never produced by a pool).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Point-in-time pool statistics (see [`DevicePool::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total device slots in the pool.
+    pub total: usize,
+    /// Slots currently free.
+    pub free: usize,
+    /// Slots currently leased.
+    pub busy: usize,
+    /// Leases granted over the pool's lifetime.
+    pub leases_granted: u64,
+    /// Leases released so far.
+    pub leases_released: u64,
+    /// Peak number of simultaneously leased slots.
+    pub peak_busy: usize,
+}
+
+struct PoolState {
+    /// `free[i]` — is slot `i` available?
+    free: Vec<bool>,
+    n_free: usize,
+    next_serial: u64,
+    /// Serials of outstanding leases (release checks membership).
+    outstanding: Vec<u64>,
+    leases_granted: u64,
+    leases_released: u64,
+    peak_busy: usize,
+    poisoned: bool,
+}
+
+/// A fixed fleet of identical virtual devices with exclusive leasing.
+///
+/// The fleet is homogeneous by construction (one [`DeviceSpec`] cloned
+/// per slot) — the heterogeneous-fleet extension tracked in ROADMAP
+/// item 4 would turn `spec()` into a per-slot lookup without changing
+/// the leasing contract.
+pub struct DevicePool {
+    spec: DeviceSpec,
+    state: Mutex<PoolState>,
+    freed: Condvar,
+}
+
+impl DevicePool {
+    /// A pool of `n_devices` slots of the given spec. Panics on an empty
+    /// pool — a fleet of zero devices can schedule nothing.
+    pub fn new(spec: DeviceSpec, n_devices: usize) -> Self {
+        assert!(n_devices > 0, "device pool must hold at least one device");
+        Self {
+            spec,
+            state: Mutex::new(PoolState {
+                free: vec![true; n_devices],
+                n_free: n_devices,
+                next_serial: 1,
+                outstanding: Vec::new(),
+                leases_granted: 0,
+                leases_released: 0,
+                peak_busy: 0,
+                poisoned: false,
+            }),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// The spec shared by every slot.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Total slot count.
+    pub fn n_devices(&self) -> usize {
+        self.state.lock().unwrap().free.len()
+    }
+
+    /// Currently free slot count.
+    pub fn n_free(&self) -> usize {
+        self.state.lock().unwrap().n_free
+    }
+
+    /// Snapshot of the ledger.
+    pub fn stats(&self) -> PoolStats {
+        let st = self.state.lock().unwrap();
+        PoolStats {
+            total: st.free.len(),
+            free: st.n_free,
+            busy: st.free.len() - st.n_free,
+            leases_granted: st.leases_granted,
+            leases_released: st.leases_released,
+            peak_busy: st.peak_busy,
+        }
+    }
+
+    fn grant(st: &mut PoolState, n: usize) -> DeviceLease {
+        let mut ids = Vec::with_capacity(n);
+        for (i, f) in st.free.iter_mut().enumerate() {
+            if *f {
+                *f = false;
+                ids.push(i);
+                if ids.len() == n {
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(ids.len(), n);
+        st.n_free -= n;
+        let serial = st.next_serial;
+        st.next_serial += 1;
+        st.outstanding.push(serial);
+        st.leases_granted += 1;
+        st.peak_busy = st.peak_busy.max(st.free.len() - st.n_free);
+        DeviceLease { ids, serial }
+    }
+
+    /// Try to lease `n` devices without blocking.
+    ///
+    /// * `Ok(Some(lease))` — granted;
+    /// * `Ok(None)` — the pool is currently too busy (retry later);
+    /// * `Err` — the request can **never** be satisfied (`n` is zero or
+    ///   exceeds the pool size), so waiting would deadlock.
+    pub fn try_lease(&self, n: usize) -> Result<Option<DeviceLease>, String> {
+        let mut st = self.state.lock().unwrap();
+        self.check_feasible(&st, n)?;
+        if st.n_free < n {
+            return Ok(None);
+        }
+        Ok(Some(Self::grant(&mut st, n)))
+    }
+
+    /// Lease `n` devices, blocking until enough slots free up. Same
+    /// `Err` conditions as [`DevicePool::try_lease`].
+    pub fn lease_blocking(&self, n: usize) -> Result<DeviceLease, String> {
+        let mut st = self.state.lock().unwrap();
+        self.check_feasible(&st, n)?;
+        while st.n_free < n {
+            st = self.freed.wait(st).unwrap();
+            self.check_feasible(&st, n)?;
+        }
+        Ok(Self::grant(&mut st, n))
+    }
+
+    fn check_feasible(&self, st: &PoolState, n: usize) -> Result<(), String> {
+        if st.poisoned {
+            return Err("device pool closed".into());
+        }
+        if n == 0 {
+            return Err("cannot lease zero devices".into());
+        }
+        if n > st.free.len() {
+            return Err(format!(
+                "job needs {n} device(s) but the pool holds only {}",
+                st.free.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Return a lease. Rejects forged or already-released leases so a
+    /// scheduler bug surfaces as an error instead of double-freeing a
+    /// device under another job.
+    pub fn release(&self, lease: DeviceLease) -> Result<(), String> {
+        let mut st = self.state.lock().unwrap();
+        let Some(pos) = st.outstanding.iter().position(|&s| s == lease.serial) else {
+            return Err(format!(
+                "lease #{} is not outstanding (double release or forged lease)",
+                lease.serial
+            ));
+        };
+        st.outstanding.swap_remove(pos);
+        for &id in &lease.ids {
+            debug_assert!(!st.free[id], "slot {id} freed while leased");
+            st.free[id] = true;
+        }
+        st.n_free += lease.ids.len();
+        st.leases_released += 1;
+        drop(st);
+        self.freed.notify_all();
+        Ok(())
+    }
+
+    /// Close the pool: every blocked or future lease attempt errors.
+    /// Outstanding leases may still be released (the ledger stays
+    /// consistent for shutdown accounting).
+    pub fn close(&self) {
+        self.state.lock().unwrap().poisoned = true;
+        self.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn pool(n: usize) -> DevicePool {
+        DevicePool::new(DeviceSpec::a100_40gb(), n)
+    }
+
+    #[test]
+    fn lease_and_release_roundtrip() {
+        let p = pool(4);
+        let a = p.try_lease(3).unwrap().expect("3 of 4 free");
+        assert_eq!(a.len(), 3);
+        assert_eq!(p.n_free(), 1);
+        assert!(p.try_lease(2).unwrap().is_none(), "only 1 free");
+        let b = p.try_lease(1).unwrap().expect("last slot");
+        assert_eq!(p.n_free(), 0);
+        p.release(a).unwrap();
+        p.release(b).unwrap();
+        let s = p.stats();
+        assert_eq!(s.free, 4);
+        assert_eq!(s.busy, 0);
+        assert_eq!(s.leases_granted, 2);
+        assert_eq!(s.leases_released, 2);
+        assert_eq!(s.peak_busy, 4);
+    }
+
+    #[test]
+    fn infeasible_requests_error_instead_of_hanging() {
+        let p = pool(2);
+        assert!(p.try_lease(0).is_err());
+        assert!(p.try_lease(3).is_err());
+        assert!(p.lease_blocking(3).is_err());
+    }
+
+    #[test]
+    fn double_release_is_rejected() {
+        let p = pool(2);
+        let a = p.try_lease(1).unwrap().unwrap();
+        let forged = DeviceLease {
+            ids: a.ids.clone(),
+            serial: a.serial,
+        };
+        p.release(a).unwrap();
+        assert!(p.release(forged).is_err());
+        assert_eq!(p.n_free(), 2, "slots stay consistent after the reject");
+    }
+
+    #[test]
+    fn blocking_lease_wakes_on_release() {
+        let p = Arc::new(pool(1));
+        let a = p.try_lease(1).unwrap().unwrap();
+        let p2 = p.clone();
+        let waiter = std::thread::spawn(move || {
+            let l = p2.lease_blocking(1).unwrap();
+            p2.release(l).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        p.release(a).unwrap();
+        waiter.join().unwrap();
+        assert_eq!(p.n_free(), 1);
+        assert_eq!(p.stats().leases_granted, 2);
+    }
+
+    #[test]
+    fn close_unblocks_waiters_with_an_error() {
+        let p = Arc::new(pool(1));
+        let a = p.try_lease(1).unwrap().unwrap();
+        let p2 = p.clone();
+        let waiter = std::thread::spawn(move || p2.lease_blocking(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        p.close();
+        assert!(waiter.join().unwrap().is_err());
+        p.release(a).unwrap();
+        assert!(p.try_lease(1).is_err(), "closed pool grants nothing");
+    }
+}

@@ -38,6 +38,7 @@ pub mod halo;
 pub mod ops;
 pub mod perf;
 pub mod physics;
+pub mod progress;
 pub mod run;
 pub mod sim;
 pub mod sites;
@@ -46,7 +47,10 @@ pub mod state;
 pub mod step;
 pub mod supervisor;
 
+pub use progress::{progress_fn, ProgressEvent, ProgressFn};
 pub use run::{run_multi_rank, run_single_rank, MultiRankReport, RunReport};
 pub use sim::{Simulation, SimulationBuilder};
 pub use state::State;
-pub use supervisor::{run_supervised, FaultPlan, RankFailure, RecoveryLog, RunError};
+pub use supervisor::{
+    run_supervised, run_supervised_with_progress, FaultPlan, RankFailure, RecoveryLog, RunError,
+};

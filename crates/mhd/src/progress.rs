@@ -1,0 +1,90 @@
+//! Run-progress streaming: a host-side callback the supervisor invokes
+//! as a run advances, so a scheduler (`mas-serve`) can stream step
+//! counters and recovery events to clients — and cancel a job mid-run.
+//!
+//! The callback is **observation only** with respect to the physics and
+//! the virtual-platform cost model: it runs on the host between model
+//! events, touches no simulation state, and charges no model time, so a
+//! run with a progress sink is bit-identical (state hash *and* model
+//! timings) to the same run without one. The single point of influence
+//! is the return value: `false` asks every rank to abort at the next
+//! step boundary, which surfaces as a structured "cancelled" run error
+//! instead of a panic.
+
+use std::sync::Arc;
+
+/// One progress observation from one rank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgressEvent {
+    /// A step completed (and passed the health check, when supervised).
+    Step {
+        /// Reporting rank.
+        rank: usize,
+        /// Steps completed so far (== the simulation's step counter).
+        step: usize,
+        /// The deck's total step target.
+        n_steps: usize,
+    },
+    /// The supervisor rolled this rank back to a checkpointed step.
+    Rollback {
+        /// Reporting rank.
+        rank: usize,
+        /// The step the state was restored to.
+        to_step: usize,
+    },
+    /// A checkpoint was written and collectively committed.
+    CheckpointCommitted {
+        /// Reporting rank.
+        rank: usize,
+        /// The checkpointed step.
+        step: usize,
+    },
+    /// The rank restored its state (restart or post-death recovery).
+    Restored {
+        /// Reporting rank.
+        rank: usize,
+        /// The restored step.
+        step: u64,
+    },
+}
+
+impl ProgressEvent {
+    /// True for the events that represent recovery work (rollbacks and
+    /// restores) rather than forward progress.
+    pub fn is_recovery(&self) -> bool {
+        matches!(self, Self::Rollback { .. } | Self::Restored { .. })
+    }
+}
+
+/// The progress sink: called from every rank's worker thread (so it must
+/// be `Send + Sync`); returns `true` to continue, `false` to request a
+/// cooperative abort of the run at the next step boundary.
+pub type ProgressFn = Arc<dyn Fn(&ProgressEvent) -> bool + Send + Sync>;
+
+/// Wrap a plain closure as a [`ProgressFn`].
+pub fn progress_fn<F>(f: F) -> ProgressFn
+where
+    F: Fn(&ProgressEvent) -> bool + Send + Sync + 'static,
+{
+    Arc::new(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_classification() {
+        assert!(!ProgressEvent::Step { rank: 0, step: 1, n_steps: 4 }.is_recovery());
+        assert!(ProgressEvent::Rollback { rank: 0, to_step: 2 }.is_recovery());
+        assert!(ProgressEvent::Restored { rank: 1, step: 2 }.is_recovery());
+        assert!(!ProgressEvent::CheckpointCommitted { rank: 0, step: 2 }.is_recovery());
+    }
+
+    #[test]
+    fn progress_fn_wraps_closures() {
+        let f = progress_fn(|e| !e.is_recovery());
+        assert!(f(&ProgressEvent::Step { rank: 0, step: 1, n_steps: 4 }));
+        assert!(!f(&ProgressEvent::Rollback { rank: 0, to_step: 0 }));
+    }
+}

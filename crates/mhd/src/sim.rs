@@ -6,6 +6,7 @@ use crate::diag::{self, HistRecord};
 use crate::halo::HaloExchanger;
 use crate::ops::deriv::{CtGeom, DivGeom, LapStencil};
 use crate::physics::momentum::G0;
+use crate::progress::{ProgressEvent, ProgressFn};
 use crate::state::State;
 use crate::step::{self, StepInfo};
 use gpusim::{DeviceSpec, Phase};
@@ -129,10 +130,10 @@ impl SimulationBuilder<'_> {
     /// Build, returning an error for an invalid deck, an out-of-range
     /// rank, or a failed restart load.
     pub fn try_build(self) -> Result<Simulation, String> {
-        let errs = self.deck.validate();
-        if !errs.is_empty() {
-            return Err(format!("invalid deck: {errs:?}"));
-        }
+        // The canonical validation path: the CLI, the run supervisor, and
+        // a `mas-serve` job submission all reject a bad deck with the
+        // same structured `DeckError` message.
+        self.deck.validated().map_err(|e| e.to_string())?;
         if self.rank >= self.n_ranks {
             return Err(format!(
                 "rank {} outside the {}-rank world",
@@ -384,6 +385,20 @@ impl Simulation {
     /// panic. For detection + rollback + dt-backoff instead, see
     /// [`crate::supervisor::run_supervised`].
     pub fn run(&mut self, comm: &Comm) -> Vec<StepInfo> {
+        self.run_with_progress(comm, None)
+            .expect("cancellation is impossible without a progress sink")
+    }
+
+    /// [`Simulation::run`] with an optional progress sink: the sink
+    /// observes a [`ProgressEvent::Step`] after every completed step and
+    /// may return `false` to cancel the run, which surfaces as `Err`
+    /// naming the abandoned step. The sink is host-side observation only
+    /// — physics and model timings are bit-identical to the plain loop.
+    pub fn run_with_progress(
+        &mut self,
+        comm: &Comm,
+        progress: Option<&ProgressFn>,
+    ) -> Result<Vec<StepInfo>, String> {
         self.begin_compute(comm);
         let n_steps = self.deck.time.n_steps;
         let mut infos = Vec::with_capacity(n_steps.saturating_sub(self.step));
@@ -398,8 +413,18 @@ impl Simulation {
                 );
             }
             infos.push(info);
+            if let Some(p) = progress {
+                let ev = ProgressEvent::Step {
+                    rank: self.par.ctx.rank,
+                    step: self.step,
+                    n_steps,
+                };
+                if !p(&ev) {
+                    return Err(format!("run cancelled at step {} of {n_steps}", self.step));
+                }
+            }
         }
-        infos
+        Ok(infos)
     }
 }
 

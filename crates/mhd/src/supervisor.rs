@@ -36,6 +36,7 @@
 //! [`Simulation::run`] loop untouched.
 
 use crate::checkpoint::{self, Rotation};
+use crate::progress::{ProgressEvent, ProgressFn};
 use crate::run::{report_from, MultiRankReport};
 use crate::sim::Simulation;
 use crate::step;
@@ -65,21 +66,54 @@ const RECV_DEADLINE: Duration = Duration::from_secs(30);
 /// default.
 const RECV_DEADLINE_DROP: Duration = Duration::from_secs(2);
 
+/// Parse `MAS_RECV_DEADLINE_MS` strictly. Unset is fine (`Ok(None)`:
+/// deck/default precedence applies), but a value that is set and
+/// malformed — not a number, not valid unicode, or zero — is a loud
+/// error naming the variable, **not** a silent fall-through to the deck
+/// default: a typo in a job script must fail the run, not quietly run
+/// it with a 30 s deadline the operator believes they overrode.
+fn recv_deadline_env() -> Result<Option<Duration>, String> {
+    parse_recv_deadline(std::env::var("MAS_RECV_DEADLINE_MS"))
+}
+
+/// The pure parsing half of [`recv_deadline_env`], split out so the
+/// strictness policy is unit-testable without mutating process-global
+/// environment state under a concurrent test runner.
+fn parse_recv_deadline(
+    raw: Result<String, std::env::VarError>,
+) -> Result<Option<Duration>, String> {
+    match raw {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("MAS_RECV_DEADLINE_MS is set but not valid unicode; expected a positive \
+                 integer millisecond count"
+                .into())
+        }
+        Ok(s) => match s.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Ok(Some(Duration::from_millis(ms))),
+            Ok(_) => Err(format!(
+                "MAS_RECV_DEADLINE_MS must be a positive integer millisecond count, got '{s}' \
+                 (unset the variable to use the deck/default deadline)"
+            )),
+            Err(_) => Err(format!(
+                "MAS_RECV_DEADLINE_MS must be a positive integer millisecond count, got '{s}'"
+            )),
+        },
+    }
+}
+
 /// Resolve the supervised receive deadline. Precedence: the
-/// `MAS_RECV_DEADLINE_MS` environment variable, then the deck's
+/// `MAS_RECV_DEADLINE_MS` environment variable (malformed values are an
+/// error, see [`recv_deadline_env`]), then the deck's
 /// `resilience.recv_deadline_ms` key, then a plan-dependent default.
-fn recv_deadline_for(deck: &Deck, plan: Option<&FaultPlan>) -> Duration {
-    if let Some(ms) = std::env::var("MAS_RECV_DEADLINE_MS")
-        .ok()
-        .and_then(|s| s.parse::<u64>().ok())
-        .filter(|&ms| ms > 0)
-    {
-        return Duration::from_millis(ms);
+fn recv_deadline_for(deck: &Deck, plan: Option<&FaultPlan>) -> Result<Duration, String> {
+    if let Some(d) = recv_deadline_env()? {
+        return Ok(d);
     }
     if deck.resilience.recv_deadline_ms > 0 {
-        return Duration::from_millis(deck.resilience.recv_deadline_ms);
+        return Ok(Duration::from_millis(deck.resilience.recv_deadline_ms));
     }
-    match plan {
+    Ok(match plan {
         // Plans that kill a message or a whole rank: survivors must time
         // out (in p2p receives and in collectives) rather than block, and
         // the tests should not wait half a minute for that.
@@ -88,7 +122,7 @@ fn recv_deadline_for(deck: &Deck, plan: Option<&FaultPlan>) -> Duration {
         // reach the recovery fence promptly.
         _ if deck.resilience.max_respawns > 0 => RECV_DEADLINE_DROP,
         _ => RECV_DEADLINE,
-    }
+    })
 }
 
 /// How long a recovery fence may wait for all participants: survivors
@@ -488,17 +522,26 @@ fn poison_state(sim: &mut Simulation) {
         .set(NGHOST + 1, NGHOST + 1, NGHOST + 1, f64::NAN);
 }
 
+/// Feed one event to the progress sink; `false` means a cooperative
+/// cancel was requested (every rank shares the sink, so all of them see
+/// the request at the same step boundary).
+fn emit(progress: Option<&ProgressFn>, ev: ProgressEvent) -> bool {
+    progress.is_none_or(|p| p(&ev))
+}
+
 /// The supervised step loop for one rank. Returns `Err` with a
-/// structured message when the run is unrecoverable.
+/// structured message when the run is unrecoverable (or cancelled via
+/// the progress sink).
 fn supervise(
     sim: &mut Simulation,
     comm: &Comm,
     plan: Option<&FaultPlan>,
     log: &mut RecoveryLog,
     fired: &AtomicBool,
+    progress: Option<&ProgressFn>,
 ) -> Result<(), String> {
     sim.begin_compute(comm);
-    comm.set_recv_deadline(Some(recv_deadline_for(&sim.deck, plan)));
+    comm.set_recv_deadline(Some(recv_deadline_for(&sim.deck, plan)?));
 
     let ckpt_int = sim.deck.checkpoint.interval;
     let dir = PathBuf::from(sim.deck.checkpoint.dir.clone());
@@ -590,10 +633,22 @@ fn supervise(
             log.rollbacks += 1;
             sim.dt_scale *= 0.5;
             log.dt_reductions += 1;
+            if !emit(
+                progress,
+                ProgressEvent::Rollback { rank: comm.rank(), to_step: restored_step },
+            ) {
+                return Err(format!("run cancelled during recovery at step {restored_step}"));
+            }
             continue;
         }
 
         sim.record_hist(comm, &info);
+        if !emit(
+            progress,
+            ProgressEvent::Step { rank: comm.rank(), step: sim.step, n_steps },
+        ) {
+            return Err(format!("run cancelled at step {} of {n_steps}", sim.step));
+        }
 
         // --- crash-safe checkpoint at the deck cadence --------------------
         if ckpt_int > 0 && sim.step.is_multiple_of(ckpt_int) {
@@ -629,6 +684,13 @@ fn supervise(
             comm.allreduce(ReduceOp::Min, &mut v, &mut sim.par.ctx);
             if v[0] > 0.5 {
                 snapshot = Snapshot::capture(sim);
+                // Observation only — a commit is not a cancellation
+                // point, so ignore the sink's verdict here; the next
+                // step boundary honors it.
+                let _ = emit(
+                    progress,
+                    ProgressEvent::CheckpointCommitted { rank: comm.rank(), step: sim.step },
+                );
             } else {
                 // Keep the previous rollback point; the run continues.
                 log.checkpoint_failures += 1;
@@ -661,8 +723,39 @@ pub fn run_supervised(
     seed: u64,
     record_spans: bool,
 ) -> Result<MultiRankReport, RunError> {
+    run_supervised_with_progress(deck, version, spec, n_ranks, seed, record_spans, None)
+}
+
+/// [`run_supervised`] with an optional progress sink: every rank streams
+/// [`ProgressEvent`]s (step counters, rollbacks, checkpoint commits,
+/// restores) to the sink as they happen, and the sink may return `false`
+/// to cancel the run cooperatively at the next step boundary — the
+/// cancellation surfaces as a structured [`RunError`], never a panic.
+/// The sink is observation-only: physics and model timings are
+/// bit-identical with or without one.
+pub fn run_supervised_with_progress(
+    deck: &Deck,
+    version: CodeVersion,
+    spec: DeviceSpec,
+    n_ranks: usize,
+    seed: u64,
+    record_spans: bool,
+    progress: Option<ProgressFn>,
+) -> Result<MultiRankReport, RunError> {
+    // A malformed MAS_RECV_DEADLINE_MS fails the run before any rank
+    // spawns — on every path, including plain unsupervised runs that
+    // would never read it, so the operator's typo cannot ride along
+    // unnoticed until the first supervised run.
+    if let Err(message) = recv_deadline_env() {
+        return Err(RunError {
+            failures: vec![RankFailure::Failed { rank: 0, message }],
+            respawns_exhausted: false,
+        });
+    }
     if deck.resilience.max_respawns > 0 {
-        return run_resilient_supervised(deck, version, spec, n_ranks, seed, record_spans);
+        return run_resilient_supervised(
+            deck, version, spec, n_ranks, seed, record_spans, progress,
+        );
     }
     let deck = deck.clone();
     let plan = FaultPlan::from_deck(&deck);
@@ -684,15 +777,19 @@ pub fn run_supervised(
         if !deck.checkpoint.restart_from.is_empty() {
             let (path, step) = restore_for_restart(&mut sim, &comm, &deck.checkpoint.restart_from)?;
             log.restored_from = Some(format!("{} (step {step})", path.display()));
+            let _ = emit(
+                progress.as_ref(),
+                ProgressEvent::Restored { rank: comm.rank(), step },
+            );
         }
         let supervision =
             deck.checkpoint.interval > 0 || plan.is_some() || log.restored_from.is_some();
         if supervision {
             log.supervised = true;
-            supervise(&mut sim, &comm, plan.as_ref(), &mut log, &fired)?;
+            supervise(&mut sim, &comm, plan.as_ref(), &mut log, &fired, progress.as_ref())?;
         } else {
             // The zero-perturbation path: byte-for-byte the plain loop.
-            sim.run(&comm);
+            sim.run_with_progress(&comm, progress.as_ref())?;
         }
         Ok(report_from(sim, n_ranks, log))
     });
@@ -736,6 +833,7 @@ fn run_segment(
     record_spans: bool,
     plan: Option<&FaultPlan>,
     fired: &AtomicBool,
+    progress: Option<&ProgressFn>,
 ) -> Result<crate::run::RunReport, String> {
     let mut sim = Simulation::builder(deck)
         .version(version)
@@ -761,15 +859,24 @@ fn run_segment(
     if sim.epoch > 0 && deck.checkpoint.interval > 0 {
         if let Some((path, step)) = try_restore_committed(&mut sim, comm, &deck.checkpoint.dir)? {
             log.restored_from = Some(format!("{} (step {step})", path.display()));
+            let _ = emit(progress, ProgressEvent::Restored { rank: comm.rank(), step });
             restored = true;
         }
     }
     if !restored && !deck.checkpoint.restart_from.is_empty() {
         let (path, step) = restore_for_restart(&mut sim, comm, &deck.checkpoint.restart_from)?;
         log.restored_from = Some(format!("{} (step {step})", path.display()));
+        let _ = emit(progress, ProgressEvent::Restored { rank: comm.rank(), step });
+        restored = true;
+    }
+    if sim.epoch > 0 && !restored {
+        // Post-death recovery with nothing committed on disk: the run
+        // replays from a fresh step-0 state. Still a recovery event —
+        // observers must see that forward progress was thrown away.
+        let _ = emit(progress, ProgressEvent::Restored { rank: comm.rank(), step: 0 });
     }
 
-    supervise(&mut sim, comm, plan, &mut log, fired)?;
+    supervise(&mut sim, comm, plan, &mut log, fired, progress)?;
     Ok(report_from(sim, n_ranks, log))
 }
 
@@ -794,6 +901,7 @@ fn is_comm_panic(p: &(dyn std::any::Any + Send)) -> bool {
 /// quiesce at a collective epoch fence, and every rank then rolls back
 /// to the last committed checkpoint and resumes — bit-exact with an
 /// undisturbed run.
+#[allow(clippy::too_many_arguments)]
 fn run_resilient_supervised(
     deck: &Deck,
     version: CodeVersion,
@@ -801,6 +909,7 @@ fn run_resilient_supervised(
     n_ranks: usize,
     seed: u64,
     record_spans: bool,
+    progress: Option<ProgressFn>,
 ) -> Result<MultiRankReport, RunError> {
     let deck = deck.clone();
     let plan = FaultPlan::from_deck(&deck);
@@ -813,7 +922,10 @@ fn run_resilient_supervised(
         max_respawns: deck.resilience.max_respawns,
     };
     let max_fences = deck.resilience.max_respawns;
-    let deadline = recv_deadline_for(&deck, plan.as_ref());
+    let deadline = recv_deadline_for(&deck, plan.as_ref()).map_err(|message| RunError {
+        failures: vec![RankFailure::Failed { rank: 0, message }],
+        respawns_exhausted: false,
+    })?;
 
     let report = World::run_resilient(n_ranks, cfg, {
         let deck = deck.clone();
@@ -838,6 +950,7 @@ fn run_resilient_supervised(
                         record_spans,
                         plan.as_ref(),
                         &fired,
+                        progress.as_ref(),
                     )
                 }));
                 match attempt {
@@ -1468,5 +1581,136 @@ mod tests {
         assert_eq!(parse_error_kind("bogus"), io::ErrorKind::Other);
         let deck = Deck::default();
         assert!(FaultPlan::from_deck(&deck).is_none(), "default deck is inert");
+    }
+
+    #[test]
+    fn recv_deadline_parse_is_strict() {
+        use std::env::VarError;
+        // Unset is fine: deck/default precedence applies.
+        assert_eq!(parse_recv_deadline(Err(VarError::NotPresent)), Ok(None));
+        // Well-formed values parse, with whitespace tolerance.
+        assert_eq!(
+            parse_recv_deadline(Ok("250".into())),
+            Ok(Some(Duration::from_millis(250)))
+        );
+        assert_eq!(
+            parse_recv_deadline(Ok(" 250 ".into())),
+            Ok(Some(Duration::from_millis(250)))
+        );
+        // Garbage is a loud error naming the variable — never a silent
+        // fall-through to the deck/default deadline.
+        for bad in ["fast", "", "12.5", "-1", "0", "100ms"] {
+            let err = parse_recv_deadline(Ok(bad.into()))
+                .expect_err("malformed values must be rejected");
+            assert!(err.contains("MAS_RECV_DEADLINE_MS"), "{bad:?}: {err}");
+            assert!(err.contains("positive integer"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_recv_deadline_env_fails_run_loudly() {
+        // The env var is validated eagerly — before any rank spawns, even
+        // for plain unsupervised decks that would never read it — so the
+        // set/run/remove window here is microseconds wide.
+        std::env::set_var("MAS_RECV_DEADLINE_MS", "garbage");
+        let res = run_supervised(&small_deck(), CodeVersion::A, spec(), 1, 1, false);
+        std::env::remove_var("MAS_RECV_DEADLINE_MS");
+        let err = res.expect_err("a garbage MAS_RECV_DEADLINE_MS must fail the run");
+        assert!(!err.respawns_exhausted);
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].rank(), 0);
+        let msg = err.failures[0].message();
+        assert!(msg.contains("MAS_RECV_DEADLINE_MS"), "{msg}");
+        assert!(msg.contains("garbage"), "{msg}");
+    }
+
+    #[test]
+    fn progress_streams_steps_checkpoints_and_rollbacks() {
+        use crate::progress::progress_fn;
+        let mut deck = small_deck();
+        deck.checkpoint.interval = 2;
+        deck.checkpoint.dir = temp_dir("progress_stream").to_string_lossy().into_owned();
+        deck.fault = FaultCfg {
+            kind: FaultKind::Nan,
+            step: 2,
+            rank: 0,
+            count: 1,
+            io_error: "other".into(),
+        };
+        let events = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = {
+            let events = events.clone();
+            progress_fn(move |e: &ProgressEvent| {
+                events.lock().unwrap().push(e.clone());
+                true
+            })
+        };
+        let rep =
+            run_supervised_with_progress(&deck, CodeVersion::A, spec(), 2, 7, false, Some(sink))
+                .unwrap();
+        assert_eq!(rep.ranks[0].steps, 4);
+        let events = events.lock().unwrap();
+        for rank in 0..2usize {
+            assert!(
+                events.iter().any(|e| matches!(e,
+                    ProgressEvent::Step { rank: r, step: 4, n_steps: 4 } if *r == rank)),
+                "rank {rank} never reported its final step: {events:?}"
+            );
+            assert!(
+                events.iter().any(|e| matches!(e,
+                    ProgressEvent::CheckpointCommitted { rank: r, .. } if *r == rank)),
+                "rank {rank} never reported a checkpoint commit"
+            );
+            assert!(
+                events.iter().any(|e| matches!(e,
+                    ProgressEvent::Rollback { rank: r, .. } if *r == rank)),
+                "rank {rank} never reported the NaN rollback"
+            );
+        }
+        assert!(events.iter().any(ProgressEvent::is_recovery));
+    }
+
+    #[test]
+    fn progress_sink_is_observation_only_and_cancels_cooperatively() {
+        use crate::progress::progress_fn;
+        use std::sync::atomic::AtomicUsize;
+        // Plain deck, no supervision: the sink rides the byte-for-byte
+        // plain loop and the state hash matches the sink-free run.
+        let deck = small_deck();
+        let base = crate::run_multi_rank(&deck, CodeVersion::A, spec(), 2, 9, false);
+        let steps_seen = Arc::new(AtomicUsize::new(0));
+        let sink = {
+            let steps_seen = steps_seen.clone();
+            progress_fn(move |e: &ProgressEvent| {
+                if matches!(e, ProgressEvent::Step { .. }) {
+                    steps_seen.fetch_add(1, Ordering::SeqCst);
+                }
+                true
+            })
+        };
+        let rep =
+            run_supervised_with_progress(&deck, CodeVersion::A, spec(), 2, 9, false, Some(sink))
+                .unwrap();
+        for (a, b) in base.ranks.iter().zip(&rep.ranks) {
+            assert_eq!(
+                a.state_hash, b.state_hash,
+                "rank {}: a progress sink must not change the physics",
+                a.rank
+            );
+        }
+        assert_eq!(steps_seen.load(Ordering::SeqCst), 2 * 4, "2 ranks x 4 steps");
+
+        // Returning false aborts every rank at the next step boundary and
+        // surfaces as a structured error, not a panic.
+        let sink = progress_fn(|e: &ProgressEvent| {
+            !matches!(e, ProgressEvent::Step { step, .. } if *step >= 2)
+        });
+        let err =
+            run_supervised_with_progress(&deck, CodeVersion::A, spec(), 2, 9, false, Some(sink))
+                .expect_err("a false-returning sink must cancel the run");
+        assert_eq!(err.failures.len(), 2, "{err}");
+        for f in &err.failures {
+            assert!(f.message().contains("cancelled"), "{}", f.message());
+        }
     }
 }

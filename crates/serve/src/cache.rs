@@ -1,0 +1,148 @@
+//! Content-addressed result cache.
+//!
+//! A run is a pure function of its inputs: the deck (by content), the
+//! code version executed, the rank layout and the seed — the physics is
+//! deterministic and bit-exact across repeats (the repo's standing
+//! invariant). So identical resubmissions need not run: the cache
+//! returns the completed [`MultiRankReport`] (state hashes included)
+//! instantly, leasing zero devices and executing zero steps.
+//!
+//! The crate version is part of the key: a rebuilt server with changed
+//! code must never serve results computed by the old code.
+
+use crate::job::JobSpec;
+use mas_mhd::MultiRankReport;
+use std::collections::HashMap;
+use std::sync::Arc;
+use stdpar::CodeVersion;
+
+/// What identifies a run's result. Two submissions with equal keys are
+/// guaranteed (by determinism) to produce bit-identical reports.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// FNV-1a hash of the deck's canonical text
+    /// ([`mas_config::Deck::content_hash`]) — formatting and comment
+    /// differences don't defeat the cache; any effective-key change does.
+    pub deck_hash: u64,
+    /// Code version executed.
+    pub version: CodeVersion,
+    /// The solver build that produced the result.
+    pub code_rev: &'static str,
+    /// Rank layout (one rank per device).
+    pub n_ranks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CacheKey {
+    /// The key for a submission.
+    pub fn for_spec(spec: &JobSpec) -> Self {
+        Self {
+            deck_hash: spec.deck.content_hash(),
+            version: spec.version,
+            code_rev: env!("CARGO_PKG_VERSION"),
+            n_ranks: spec.n_ranks,
+            seed: spec.seed,
+        }
+    }
+}
+
+/// The cache itself: completed reports by key, plus hit/miss counters.
+/// Not internally synchronised — it lives inside the server's scheduler
+/// lock.
+#[derive(Default)]
+pub struct ResultCache {
+    map: HashMap<CacheKey, Arc<MultiRankReport>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// Look a key up, counting the hit or miss.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<Arc<MultiRankReport>> {
+        match self.map.get(key) {
+            Some(rep) => {
+                self.hits += 1;
+                Some(rep.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a completed report.
+    pub fn insert(&mut self, key: CacheKey, report: Arc<MultiRankReport>) {
+        self.map.insert(key, report);
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mas_config::Deck;
+
+    fn spec() -> JobSpec {
+        JobSpec::new(Deck::preset_quickstart()).ranks(2).seed(7)
+    }
+
+    #[test]
+    fn key_tracks_every_identity_component() {
+        let base = CacheKey::for_spec(&spec());
+        assert_eq!(base, CacheKey::for_spec(&spec()), "stable");
+
+        let mut other = spec();
+        other.deck.time.n_steps += 1;
+        assert_ne!(base, CacheKey::for_spec(&other), "deck content");
+
+        assert_ne!(
+            base,
+            CacheKey::for_spec(&spec().version(CodeVersion::D2xad)),
+            "code version"
+        );
+        assert_ne!(base, CacheKey::for_spec(&spec().ranks(4)), "rank layout");
+        assert_ne!(base, CacheKey::for_spec(&spec().seed(8)), "seed");
+        // Scheduling metadata is NOT identity: same physics, same result.
+        assert_eq!(
+            base,
+            CacheKey::for_spec(&spec().priority(9).tenant("other")),
+            "priority/tenant must not defeat the cache"
+        );
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut c = ResultCache::default();
+        let key = CacheKey::for_spec(&spec());
+        assert!(c.lookup(&key).is_none());
+        c.insert(
+            key.clone(),
+            Arc::new(MultiRankReport { ranks: Vec::new() }),
+        );
+        assert!(c.lookup(&key).is_some());
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! The in-process client: the job API (`submit` / `status` / `cancel` /
+//! `wait` / `result`) against a [`Server`] living in the same process.
+//!
+//! This is the interface the integration tests exercise end-to-end; the
+//! `mas_serve` binary speaks the same API over TCP (see [`crate::wire`]),
+//! so anything proven here holds for remote clients too.
+
+use crate::job::{JobId, JobSpec, JobStatus};
+use crate::server::{Server, ServerStats, SubmitError};
+use mas_mhd::MultiRankReport;
+use std::sync::Arc;
+
+/// A handle onto a server. Cheap to clone; many clients may drive one
+/// server concurrently.
+#[derive(Clone)]
+pub struct Client {
+    server: Arc<Server>,
+}
+
+impl Client {
+    /// Connect to an in-process server.
+    pub fn connect(server: Arc<Server>) -> Self {
+        Self { server }
+    }
+
+    /// Submit a job (see [`Server::submit`]).
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        self.server.submit(spec)
+    }
+
+    /// Poll a job's status.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.server.status(id)
+    }
+
+    /// The recovery events streamed so far.
+    pub fn recovery_log(&self, id: JobId) -> Option<Vec<String>> {
+        self.server.recovery_log(id)
+    }
+
+    /// Block until the job finishes; returns its final status.
+    pub fn wait(&self, id: JobId) -> Option<JobStatus> {
+        self.server.wait(id)
+    }
+
+    /// Fetch a finished job's result.
+    #[allow(clippy::type_complexity)]
+    pub fn result(&self, id: JobId) -> Option<Result<Arc<MultiRankReport>, String>> {
+        self.server.result(id)
+    }
+
+    /// Cancel a job (cooperative when it is already running).
+    pub fn cancel(&self, id: JobId) -> Result<(), String> {
+        self.server.cancel(id)
+    }
+
+    /// Server-wide counters.
+    pub fn stats(&self) -> ServerStats {
+        self.server.stats()
+    }
+
+    /// Submit and block to completion: the one-call convenience path.
+    /// Returns the final status; inspect/fetch the report via
+    /// [`Client::result`].
+    pub fn run(&self, spec: JobSpec) -> Result<JobStatus, SubmitError> {
+        let id = self.submit(spec)?;
+        Ok(self.wait(id).expect("submitted job exists"))
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # mas-serve — a multi-run job scheduler over the virtual GPU fleet
+//!
+//! The paper's production context is a shared GPU cluster running many
+//! MAS studies at once. This crate is that operational layer for the
+//! reproduction: a long-running server that accepts deck submissions
+//! from many clients, queues them with priorities and per-tenant
+//! quotas, schedules them onto a fixed pool of [`gpusim`] devices, and
+//! runs each job under the fault-tolerant supervisor — so checkpointing,
+//! rollback and rank-respawn recovery are inherited per job, not
+//! reimplemented here.
+//!
+//! The pieces:
+//!
+//! * [`job`] — what a submission is ([`JobSpec`]) and its lifecycle
+//!   ([`JobState`], [`JobStatus`]);
+//! * [`cache`] — the content-addressed result cache: resubmitting an
+//!   identical run (same deck content hash, code version, rank layout
+//!   and seed) returns the completed report instantly, running zero
+//!   steps;
+//! * [`server`] — the scheduler itself: queue, worker pool, device
+//!   leasing, progress streaming and cooperative cancellation;
+//! * [`client`] — the in-process client (what the integration tests
+//!   drive end-to-end);
+//! * [`wire`] — the line protocol spoken by the `mas_serve` TCP binary.
+//!
+//! Scheduling policy, quota semantics and the cache key are documented
+//! in `DESIGN.md` (§ mas-serve).
+
+pub mod cache;
+pub mod client;
+pub mod job;
+pub mod server;
+pub mod wire;
+
+pub use cache::CacheKey;
+pub use client::Client;
+pub use job::{JobId, JobSpec, JobState, JobStatus};
+pub use server::{Server, ServerConfig, ServerStats, SubmitError};

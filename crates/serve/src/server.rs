@@ -1,0 +1,587 @@
+//! The scheduler: queue, quotas, worker pool, device leasing, progress
+//! streaming, cancellation, and the result cache — glued to the
+//! fault-tolerant supervisor that actually executes each job.
+//!
+//! Concurrency shape: one `Mutex<Sched>` guards the queue, the job
+//! table and the cache; a single `Condvar` is notified on every event
+//! (submission, completion, cancellation, shutdown) and woken by both
+//! idle workers and blocked status-waiters. Per-job live counters
+//! (step progress, recovery count, the cancel flag) are atomics outside
+//! the lock, because every rank thread of a running job updates them on
+//! every step — they must not serialise the physics on the scheduler
+//! lock.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::job::{JobId, JobSpec, JobState, JobStatus};
+use gpusim::{DevicePool, DeviceSpec, PoolStats};
+use mas_config::DeckError;
+use mas_mhd::{progress_fn, MultiRankReport, ProgressEvent};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Sizing and policy knobs for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Spec of every device in the pool (homogeneous fleet).
+    pub device: DeviceSpec,
+    /// Pool size. A job needing more ranks than this is rejected at
+    /// submission as infeasible.
+    pub n_devices: usize,
+    /// Worker threads — the maximum number of jobs in flight at once.
+    pub n_workers: usize,
+    /// Backpressure bound: submissions beyond this many queued jobs are
+    /// rejected with [`SubmitError::QueueFull`].
+    pub max_queue: usize,
+    /// Per-tenant cap on live (queued + running) jobs.
+    pub tenant_quota: usize,
+}
+
+impl ServerConfig {
+    /// A config for `n_devices` slots of `device`, with one worker per
+    /// device and moderate queue/quota bounds.
+    pub fn new(device: DeviceSpec, n_devices: usize) -> Self {
+        Self {
+            device,
+            n_devices,
+            n_workers: n_devices,
+            max_queue: 32,
+            tenant_quota: 8,
+        }
+    }
+}
+
+/// Why a submission was rejected. Every variant is a *submission-time*
+/// answer — once accepted, a job fails through its own status, never by
+/// panicking a worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity (backpressure: retry later).
+    QueueFull {
+        /// The configured bound that was hit.
+        capacity: usize,
+    },
+    /// The tenant already has `quota` live jobs.
+    QuotaExceeded {
+        /// The tenant over budget.
+        tenant: String,
+        /// The configured per-tenant cap.
+        quota: usize,
+    },
+    /// The job can never run on this pool (zero ranks, or more ranks
+    /// than the fleet has devices).
+    Infeasible {
+        /// Devices the job would need.
+        needed: usize,
+        /// Devices the pool has.
+        pool: usize,
+    },
+    /// The deck failed validation (same structured error the `mas` CLI
+    /// reports).
+    InvalidDeck(DeckError),
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "queue full ({capacity} jobs queued); retry later")
+            }
+            SubmitError::QuotaExceeded { tenant, quota } => {
+                write!(f, "tenant '{tenant}' is at its quota of {quota} live jobs")
+            }
+            SubmitError::Infeasible { needed, pool } => {
+                write!(f, "job needs {needed} device(s) but the pool holds {pool}")
+            }
+            SubmitError::InvalidDeck(e) => write!(f, "{e}"),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Live per-job counters, updated from rank threads without the
+/// scheduler lock (see the module docs).
+#[derive(Default)]
+struct JobProgress {
+    /// Max step completed over all ranks.
+    steps_done: AtomicUsize,
+    /// Rollbacks + restores observed.
+    recovery_count: AtomicUsize,
+    /// Human-readable recovery event log.
+    recovery_log: Mutex<Vec<String>>,
+    /// Cooperative cancel: the progress sink returns `false` once set.
+    cancel: AtomicBool,
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    key: CacheKey,
+    state: JobState,
+    cached: bool,
+    progress: Arc<JobProgress>,
+    result: Option<Arc<MultiRankReport>>,
+    error: Option<String>,
+}
+
+impl JobRecord {
+    fn status(&self, id: JobId) -> JobStatus {
+        JobStatus {
+            id,
+            tenant: self.spec.tenant.clone(),
+            state: self.state,
+            steps_done: self.progress.steps_done.load(Ordering::SeqCst),
+            n_steps: self.spec.deck.time.n_steps,
+            recovery_events: self.progress.recovery_count.load(Ordering::SeqCst),
+            cached: self.cached,
+            error: self.error.clone(),
+        }
+    }
+}
+
+struct Sched {
+    /// Pending job ids, submission-ordered (selection scans it).
+    queue: Vec<u64>,
+    jobs: HashMap<u64, JobRecord>,
+    cache: ResultCache,
+    next_id: u64,
+    running: usize,
+    shutting_down: bool,
+}
+
+/// Aggregate server counters (see [`Server::stats`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ServerStats {
+    /// Device-pool ledger snapshot.
+    pub pool: PoolStats,
+    /// Jobs waiting for devices.
+    pub queued: usize,
+    /// Jobs executing now.
+    pub running: usize,
+    /// Jobs finished successfully (cache hits included).
+    pub done: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Jobs cancelled.
+    pub cancelled: usize,
+    /// Cache lookups served.
+    pub cache_hits: u64,
+    /// Cache lookups missed.
+    pub cache_misses: u64,
+    /// Simulation steps executed across all jobs since boot — the
+    /// counter the cache-hit tests pin to zero growth.
+    pub total_steps: u64,
+}
+
+/// The long-running scheduler. Create with [`Server::start`]; submit
+/// through it (or a [`crate::Client`]); stop with
+/// [`Server::shutdown`] + [`Server::join`].
+pub struct Server {
+    cfg: ServerConfig,
+    pool: Arc<DevicePool>,
+    sched: Mutex<Sched>,
+    event: Condvar,
+    /// Steps executed server-wide (every rank's every step). Behind an
+    /// `Arc` so a job's progress sink can hold it without borrowing the
+    /// server.
+    total_steps: Arc<AtomicU64>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Boot a server: build the device pool and spawn the worker pool.
+    pub fn start(cfg: ServerConfig) -> Arc<Server> {
+        assert!(cfg.n_workers > 0, "server needs at least one worker");
+        let pool = Arc::new(DevicePool::new(cfg.device.clone(), cfg.n_devices));
+        let server = Arc::new(Server {
+            cfg,
+            pool,
+            sched: Mutex::new(Sched {
+                queue: Vec::new(),
+                jobs: HashMap::new(),
+                cache: ResultCache::default(),
+                next_id: 1,
+                running: 0,
+                shutting_down: false,
+            }),
+            event: Condvar::new(),
+            total_steps: Arc::new(AtomicU64::new(0)),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut workers = server.workers.lock().unwrap();
+        for i in 0..server.cfg.n_workers {
+            let s = server.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || s.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        drop(workers);
+        server
+    }
+
+    /// The device pool (shared with any embedding scheduler).
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
+    /// Submit a job. Returns its id, or a structured rejection; a
+    /// resubmission of an already-computed run completes instantly from
+    /// the cache (status shows `cached`, zero steps execute).
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        // Feasibility and deck validity are answered before touching the
+        // scheduler at all.
+        let pool_size = self.cfg.n_devices;
+        if spec.n_ranks == 0 || spec.n_ranks > pool_size {
+            return Err(SubmitError::Infeasible {
+                needed: spec.n_ranks,
+                pool: pool_size,
+            });
+        }
+        spec.deck.validated().map_err(SubmitError::InvalidDeck)?;
+
+        let key = CacheKey::for_spec(&spec);
+        let mut sched = self.sched.lock().unwrap();
+        if sched.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let id = sched.next_id;
+
+        // Cache hit: the job is born terminal. It consumes no queue
+        // slot, no quota and no devices — serving a cached result is
+        // free, so it is exempt from backpressure.
+        if let Some(report) = sched.cache.lookup(&key) {
+            sched.next_id += 1;
+            let rec = JobRecord {
+                spec,
+                key,
+                state: JobState::Done,
+                cached: true,
+                progress: Arc::new(JobProgress::default()),
+                result: Some(report),
+                error: None,
+            };
+            rec.progress
+                .steps_done
+                .store(rec.spec.deck.time.n_steps, Ordering::SeqCst);
+            sched.jobs.insert(id, rec);
+            drop(sched);
+            self.event.notify_all();
+            return Ok(JobId(id));
+        }
+
+        let live = sched
+            .jobs
+            .values()
+            .filter(|j| j.spec.tenant == spec.tenant && !j.state.is_terminal())
+            .count();
+        if live >= self.cfg.tenant_quota {
+            return Err(SubmitError::QuotaExceeded {
+                tenant: spec.tenant,
+                quota: self.cfg.tenant_quota,
+            });
+        }
+        if sched.queue.len() >= self.cfg.max_queue {
+            return Err(SubmitError::QueueFull {
+                capacity: self.cfg.max_queue,
+            });
+        }
+
+        sched.next_id += 1;
+        sched.jobs.insert(
+            id,
+            JobRecord {
+                spec,
+                key,
+                state: JobState::Queued,
+                cached: false,
+                progress: Arc::new(JobProgress::default()),
+                result: None,
+                error: None,
+            },
+        );
+        sched.queue.push(id);
+        drop(sched);
+        self.event.notify_all();
+        Ok(JobId(id))
+    }
+
+    /// Status snapshot of a job (`None` for an unknown id).
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let sched = self.sched.lock().unwrap();
+        sched.jobs.get(&id.0).map(|j| j.status(id))
+    }
+
+    /// The recovery event log streamed so far (`None` for unknown id).
+    pub fn recovery_log(&self, id: JobId) -> Option<Vec<String>> {
+        let sched = self.sched.lock().unwrap();
+        sched
+            .jobs
+            .get(&id.0)
+            .map(|j| j.progress.recovery_log.lock().unwrap().clone())
+    }
+
+    /// Block until the job reaches a terminal state; returns the final
+    /// status (`None` for an unknown id).
+    pub fn wait(&self, id: JobId) -> Option<JobStatus> {
+        let mut sched = self.sched.lock().unwrap();
+        loop {
+            let status = sched.jobs.get(&id.0)?.status(id);
+            if status.state.is_terminal() {
+                return Some(status);
+            }
+            sched = self.event.wait(sched).unwrap();
+        }
+    }
+
+    /// Fetch a finished job's result: `Ok` with the report for `Done`,
+    /// `Err` with the failure message otherwise. `None` while the job is
+    /// still queued/running, or for an unknown id.
+    #[allow(clippy::type_complexity)]
+    pub fn result(&self, id: JobId) -> Option<Result<Arc<MultiRankReport>, String>> {
+        let sched = self.sched.lock().unwrap();
+        let job = sched.jobs.get(&id.0)?;
+        match job.state {
+            JobState::Done => Some(Ok(job.result.clone().expect("done job has a result"))),
+            JobState::Failed | JobState::Cancelled => Some(Err(job
+                .error
+                .clone()
+                .unwrap_or_else(|| job.state.name().into()))),
+            JobState::Queued | JobState::Running => None,
+        }
+    }
+
+    /// Cancel a job. Queued jobs cancel immediately; running jobs are
+    /// asked to stop cooperatively at the next step boundary. Terminal
+    /// jobs and unknown ids are an error.
+    pub fn cancel(&self, id: JobId) -> Result<(), String> {
+        let mut sched = self.sched.lock().unwrap();
+        let Some(job) = sched.jobs.get_mut(&id.0) else {
+            return Err(format!("unknown job id {}", id.0));
+        };
+        match job.state {
+            JobState::Queued => {
+                job.state = JobState::Cancelled;
+                job.error = Some("cancelled before start".into());
+                sched.queue.retain(|&q| q != id.0);
+                drop(sched);
+                self.event.notify_all();
+                Ok(())
+            }
+            JobState::Running => {
+                job.progress.cancel.store(true, Ordering::SeqCst);
+                Ok(())
+            }
+            s => Err(format!("{id} is already {s}")),
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ServerStats {
+        let sched = self.sched.lock().unwrap();
+        let mut done = 0;
+        let mut failed = 0;
+        let mut cancelled = 0;
+        for j in sched.jobs.values() {
+            match j.state {
+                JobState::Done => done += 1,
+                JobState::Failed => failed += 1,
+                JobState::Cancelled => cancelled += 1,
+                _ => {}
+            }
+        }
+        ServerStats {
+            pool: self.pool.stats(),
+            queued: sched.queue.len(),
+            running: sched.running,
+            done,
+            failed,
+            cancelled,
+            cache_hits: sched.cache.hits(),
+            cache_misses: sched.cache.misses(),
+            total_steps: self.total_steps.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Steps executed server-wide since boot (the cache-hit invariant:
+    /// a resubmission leaves this unchanged).
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps.load(Ordering::SeqCst)
+    }
+
+    /// Begin shutdown: reject new submissions, cancel every queued job,
+    /// ask running jobs to stop cooperatively, and wake everyone.
+    pub fn shutdown(&self) {
+        let mut sched = self.sched.lock().unwrap();
+        sched.shutting_down = true;
+        let queued: Vec<u64> = sched.queue.drain(..).collect();
+        for id in queued {
+            if let Some(job) = sched.jobs.get_mut(&id) {
+                job.state = JobState::Cancelled;
+                job.error = Some("server shutdown".into());
+            }
+        }
+        for job in sched.jobs.values() {
+            if job.state == JobState::Running {
+                job.progress.cancel.store(true, Ordering::SeqCst);
+            }
+        }
+        drop(sched);
+        self.pool.close();
+        self.event.notify_all();
+    }
+
+    /// Wait for every worker to exit (call after [`Server::shutdown`]).
+    pub fn join(&self) {
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    // -- scheduling internals ------------------------------------------------
+
+    /// Pick the best runnable queued job: among jobs whose rank count
+    /// fits the currently free devices, the highest priority wins and
+    /// submission order breaks ties. Returns its queue position.
+    fn pick(&self, sched: &Sched) -> Option<usize> {
+        let free = self.pool.n_free();
+        let mut best: Option<(usize, i32, u64)> = None;
+        for (pos, &id) in sched.queue.iter().enumerate() {
+            let job = &sched.jobs[&id];
+            if job.spec.n_ranks > free {
+                continue;
+            }
+            let cand = (pos, job.spec.priority, id);
+            best = match best {
+                // Higher priority first; earlier submission (smaller id)
+                // breaks ties.
+                Some((_, p, i)) if (cand.1, std::cmp::Reverse(cand.2)) <= (p, std::cmp::Reverse(i)) => best,
+                _ => Some(cand),
+            };
+        }
+        best.map(|(pos, _, _)| pos)
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            // Claim a job and its devices atomically under the scheduler
+            // lock: the feasibility check and the lease cannot race
+            // another worker.
+            let (id, spec, progress, lease) = {
+                let mut sched = self.sched.lock().unwrap();
+                let (id, lease) = loop {
+                    if sched.shutting_down {
+                        return;
+                    }
+                    if let Some(pos) = self.pick(&sched) {
+                        let id = sched.queue.remove(pos);
+                        let n = sched.jobs[&id].spec.n_ranks;
+                        match self.pool.try_lease(n) {
+                            Ok(Some(lease)) => break (id, lease),
+                            // Raced or closed: requeue and retry. With
+                            // leases granted only under this lock the
+                            // None arm is unreachable, but requeueing is
+                            // the safe answer if that ever changes.
+                            Ok(None) => sched.queue.insert(pos, id),
+                            Err(_) => return, // pool closed: shutdown
+                        }
+                    }
+                    sched = self.event.wait(sched).unwrap();
+                };
+                sched.running += 1;
+                let job = sched.jobs.get_mut(&id).expect("picked job exists");
+                job.state = JobState::Running;
+                (id, job.spec.clone(), job.progress.clone(), lease)
+            };
+            self.event.notify_all(); // status waiters see Running
+
+            let outcome = self.execute(&spec, &progress);
+
+            if let Err(e) = self.pool.release(lease) {
+                // A ledger bug must surface in stats/logs, not corrupt
+                // the pool silently.
+                eprintln!("mas-serve: lease release failed for {}: {e}", JobId(id));
+            }
+
+            let mut sched = self.sched.lock().unwrap();
+            sched.running -= 1;
+            let cancelled = progress.cancel.load(Ordering::SeqCst);
+            let job = sched.jobs.get_mut(&id).expect("running job exists");
+            match outcome {
+                Ok(report) => {
+                    let report = Arc::new(report);
+                    job.state = JobState::Done;
+                    job.result = Some(report.clone());
+                    let key = job.key.clone();
+                    sched.cache.insert(key, report);
+                }
+                Err(message) => {
+                    job.state = if cancelled {
+                        JobState::Cancelled
+                    } else {
+                        JobState::Failed
+                    };
+                    job.error = Some(message);
+                }
+            }
+            drop(sched);
+            self.event.notify_all();
+        }
+    }
+
+    /// Run one job under the supervisor, streaming progress into its
+    /// live counters. Inherits checkpointing, rollback and rank-respawn
+    /// recovery wholesale — this is just the observation plumbing.
+    fn execute(&self, spec: &JobSpec, progress: &Arc<JobProgress>) -> Result<MultiRankReport, String> {
+        let sink = {
+            let progress = progress.clone();
+            // The sink must be 'static (it crosses into rank threads),
+            // so it holds the counter by Arc, not by borrowing `self`.
+            let steps = self.total_steps.clone();
+            progress_fn(move |e: &ProgressEvent| {
+                match e {
+                    ProgressEvent::Step { step, .. } => {
+                        progress.steps_done.fetch_max(*step, Ordering::SeqCst);
+                        steps.fetch_add(1, Ordering::SeqCst);
+                    }
+                    ProgressEvent::Rollback { rank, to_step } => {
+                        progress.recovery_count.fetch_add(1, Ordering::SeqCst);
+                        progress
+                            .recovery_log
+                            .lock()
+                            .unwrap()
+                            .push(format!("rank {rank}: rollback to step {to_step}"));
+                    }
+                    ProgressEvent::Restored { rank, step } => {
+                        progress.recovery_count.fetch_add(1, Ordering::SeqCst);
+                        progress
+                            .recovery_log
+                            .lock()
+                            .unwrap()
+                            .push(format!("rank {rank}: restored at step {step}"));
+                    }
+                    ProgressEvent::CheckpointCommitted { .. } => {}
+                }
+                !progress.cancel.load(Ordering::SeqCst)
+            })
+        };
+        mas_mhd::run_supervised_with_progress(
+            &spec.deck,
+            spec.version,
+            self.pool.spec().clone(),
+            spec.n_ranks,
+            spec.seed,
+            false,
+            Some(sink),
+        )
+        .map_err(|e| e.to_string())
+    }
+}

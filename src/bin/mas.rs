@@ -147,10 +147,7 @@ fn parse_args() -> Result<Args, String> {
     if let Some(r) = restart {
         deck.checkpoint.restart_from = r;
     }
-    let errs = deck.validate();
-    if !errs.is_empty() {
-        return Err(format!("invalid deck: {}", errs.join("; ")));
-    }
+    deck.validated().map_err(|e| e.to_string())?;
     Ok(Args {
         deck,
         version,

@@ -1,0 +1,371 @@
+//! `mas_serve` — the simulation-as-a-service daemon.
+//!
+//! Usage:
+//!
+//! ```text
+//! mas_serve [--listen ADDR] [--devices N] [--workers N] [--queue N] [--quota N]
+//! mas_serve --drill
+//! ```
+//!
+//! The default mode binds a TCP listener and speaks the `mas-serve` line
+//! protocol (one request line, one response line — see
+//! `mas_serve::wire`): `submit`, `status`, `wait`, `cancel`, `result`,
+//! `stats`, `shutdown`.
+//!
+//! `--drill` is the self-contained smoke sequence CI runs: boot a
+//! 2-device server on an ephemeral port, then over real TCP submit a
+//! tiny deck and wait for it, resubmit it and require a cache hit with
+//! zero additional steps executed, and run a rank-death job to require
+//! the supervisor's respawn recovery works under the scheduler. Exits
+//! non-zero on any violation.
+
+use mas_config::Deck;
+use mas_serve::wire::{self, Request};
+use mas_serve::{JobId, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mas_serve [--listen ADDR] [--devices N] [--workers N] [--queue N] [--quota N]\n\
+         \x20      mas_serve --drill\n\
+         \n\
+         --listen ADDR    bind address               (default 127.0.0.1:4333)\n\
+         --devices N      virtual device pool size   (default 4)\n\
+         --workers N      concurrent jobs            (default = devices)\n\
+         --queue N        queued-job backpressure cap (default 32)\n\
+         --quota N        per-tenant live-job quota  (default 8)\n\
+         --drill          run the self-test smoke sequence and exit"
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    listen: String,
+    devices: usize,
+    workers: Option<usize>,
+    queue: usize,
+    quota: usize,
+    drill: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut o = Opts {
+        listen: "127.0.0.1:4333".into(),
+        devices: 4,
+        workers: None,
+        queue: 32,
+        quota: 8,
+        drill: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut val = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--listen" => o.listen = val("--listen")?,
+            "--devices" => o.devices = val("--devices")?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => {
+                o.workers = Some(val("--workers")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--queue" => o.queue = val("--queue")?.parse().map_err(|e| format!("{e}"))?,
+            "--quota" => o.quota = val("--quota")?.parse().map_err(|e| format!("{e}"))?,
+            "--drill" => o.drill = true,
+            "--help" | "-h" => usage(),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(o)
+}
+
+fn server_from(o: &Opts) -> Arc<Server> {
+    let mut cfg = ServerConfig::new(gpusim::DeviceSpec::a100_40gb(), o.devices);
+    cfg.n_workers = o.workers.unwrap_or(o.devices);
+    cfg.max_queue = o.queue;
+    cfg.tenant_quota = o.quota;
+    Server::start(cfg)
+}
+
+/// One response line for one request line.
+fn respond(server: &Arc<Server>, req: Request) -> String {
+    match req {
+        Request::Submit(spec) => match server.submit(*spec) {
+            Ok(id) => format!("ok id={}", id.0),
+            Err(e) => format!("err {}", wire::escape(&e.to_string())),
+        },
+        Request::Status(id) => match server.status(JobId(id)) {
+            Some(s) => wire::encode_status(&s),
+            None => format!("err unknown job id {id}"),
+        },
+        Request::Wait(id) => match server.wait(JobId(id)) {
+            Some(s) => wire::encode_status(&s),
+            None => format!("err unknown job id {id}"),
+        },
+        Request::Cancel(id) => match server.cancel(JobId(id)) {
+            Ok(()) => format!("ok id={id}"),
+            Err(e) => format!("err {}", wire::escape(&e)),
+        },
+        Request::Result(id) => match server.result(JobId(id)) {
+            Some(Ok(report)) => {
+                let hashes: Vec<String> = report
+                    .ranks
+                    .iter()
+                    .map(|r| format!("{:016x}", r.state_hash))
+                    .collect();
+                let steps: usize = report.ranks.first().map_or(0, |r| r.steps);
+                format!(
+                    "ok id={id} ranks={} steps={steps} hashes={}",
+                    report.ranks.len(),
+                    hashes.join(",")
+                )
+            }
+            Some(Err(e)) => format!("err {}", wire::escape(&e)),
+            None => format!("err job {id} is not finished (use 'wait id={id}')"),
+        },
+        Request::Stats => {
+            let s = server.stats();
+            format!(
+                "ok devices={} free={} busy={} queued={} running={} done={} failed={} \
+                 cancelled={} cache_hits={} cache_misses={} total_steps={}",
+                s.pool.total,
+                s.pool.free,
+                s.pool.busy,
+                s.queued,
+                s.running,
+                s.done,
+                s.failed,
+                s.cancelled,
+                s.cache_hits,
+                s.cache_misses,
+                s.total_steps
+            )
+        }
+        Request::Shutdown => "ok shutting-down".into(),
+    }
+}
+
+/// Accept loop: one thread per connection, one response line per
+/// request line. Returns when a `shutdown` request arrives.
+fn serve(listener: TcpListener, server: Arc<Server>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = listener.local_addr().expect("listener address");
+    let mut conns = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let server = server.clone();
+        let stop = stop.clone();
+        conns.push(std::thread::spawn(move || {
+            let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            let mut line = String::new();
+            let mut out = stream;
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => return,
+                    Ok(_) => {}
+                }
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (reply, is_shutdown) = match wire::parse_request(&line) {
+                    Ok(req) => {
+                        let is_shutdown = matches!(req, Request::Shutdown);
+                        (respond(&server, req), is_shutdown)
+                    }
+                    Err(e) => (format!("err {}", wire::escape(&e)), false),
+                };
+                if writeln!(out, "{reply}").is_err() {
+                    return;
+                }
+                let _ = out.flush();
+                if is_shutdown {
+                    server.shutdown();
+                    stop.store(true, Ordering::SeqCst);
+                    // Unblock the accept loop with a throwaway connection.
+                    let _ = TcpStream::connect(addr);
+                    return;
+                }
+            }
+        }));
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    server.join();
+}
+
+// -- drill mode -------------------------------------------------------------
+
+/// Send one request line on a fresh connection, return the response line.
+fn request(addr: &str, line: &str) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut out = stream.try_clone().map_err(|e| e.to_string())?;
+    writeln!(out, "{line}").map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .map_err(|e| e.to_string())?;
+    Ok(reply.trim_end().to_string())
+}
+
+fn expect(cond: bool, what: &str) -> Result<(), String> {
+    if cond {
+        println!("drill: PASS {what}");
+        Ok(())
+    } else {
+        Err(format!("FAIL {what}"))
+    }
+}
+
+fn field_of(reply: &str, key: &str) -> Option<String> {
+    reply
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix(key).and_then(|w| w.strip_prefix('=')))
+        .map(|s| s.to_string())
+}
+
+fn tiny_deck() -> Deck {
+    let mut d = Deck::preset_quickstart();
+    d.time.n_steps = 4;
+    d.output.hist_interval = 0;
+    d
+}
+
+fn drill() -> Result<(), String> {
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?.to_string();
+    let server = server_from(&Opts {
+        listen: addr.clone(),
+        devices: 2,
+        workers: Some(2),
+        queue: 8,
+        quota: 8,
+        drill: true,
+    });
+    let srv = std::thread::spawn(move || serve(listener, server));
+    println!("drill: serving on {addr}");
+
+    // 1. A tiny deck runs to completion over the wire.
+    let spec = mas_serve::JobSpec::new(tiny_deck()).tenant("drill").seed(7);
+    let r = request(&addr, &wire::encode_submit(&spec))?;
+    expect(r == "ok id=1", &format!("submit accepted ({r})"))?;
+    let r = request(&addr, "wait id=1")?;
+    expect(
+        field_of(&r, "state").as_deref() == Some("done"),
+        &format!("job 1 done ({r})"),
+    )?;
+    let r = request(&addr, "stats")?;
+    let steps_after_first: u64 = field_of(&r, "total_steps")
+        .and_then(|s| s.parse().ok())
+        .ok_or(format!("no total_steps in '{r}'"))?;
+    expect(steps_after_first > 0, "first run executed steps")?;
+    let hashes1 = field_of(&request(&addr, "result id=1")?, "hashes");
+
+    // 2. Resubmission is a cache hit: done instantly, zero new steps,
+    //    identical result.
+    let r = request(&addr, &wire::encode_submit(&spec))?;
+    expect(r == "ok id=2", &format!("resubmit accepted ({r})"))?;
+    let r = request(&addr, "wait id=2")?;
+    expect(
+        field_of(&r, "cached").as_deref() == Some("true"),
+        &format!("resubmission served from cache ({r})"),
+    )?;
+    let r = request(&addr, "stats")?;
+    expect(
+        field_of(&r, "cache_hits").as_deref() == Some("1"),
+        &format!("cache hit counted ({r})"),
+    )?;
+    let steps_after_second: u64 = field_of(&r, "total_steps")
+        .and_then(|s| s.parse().ok())
+        .ok_or(format!("no total_steps in '{r}'"))?;
+    expect(
+        steps_after_second == steps_after_first,
+        "cache hit executed zero steps",
+    )?;
+    let hashes2 = field_of(&request(&addr, "result id=2")?, "hashes");
+    expect(
+        hashes1.is_some() && hashes1 == hashes2,
+        "cached result is bit-identical",
+    )?;
+
+    // 3. Kill a rank mid-job: the supervisor's respawn recovery must
+    //    work underneath the scheduler.
+    let dir = std::env::temp_dir().join("mas_serve_drill");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let mut deck = tiny_deck();
+    deck.checkpoint.interval = 2;
+    deck.checkpoint.dir = dir.to_string_lossy().into_owned();
+    deck.resilience.max_respawns = 1;
+    deck.resilience.heartbeat_ms = 10;
+    deck.resilience.miss_budget = 5;
+    deck.resilience.recv_deadline_ms = 500;
+    deck.fault.kind = mas_config::FaultKind::Panic;
+    // Step 3: past the step-2 checkpoint commit, so the respawned rank
+    // restores from disk rather than replaying from scratch.
+    deck.fault.step = 3;
+    deck.fault.rank = 1;
+    deck.fault.count = 1;
+    let spec = mas_serve::JobSpec::new(deck).tenant("drill").ranks(2).seed(7);
+    let r = request(&addr, &wire::encode_submit(&spec))?;
+    expect(r == "ok id=3", &format!("rank-death job accepted ({r})"))?;
+    let r = request(&addr, "wait id=3")?;
+    expect(
+        field_of(&r, "state").as_deref() == Some("done"),
+        &format!("rank-death job recovered to completion ({r})"),
+    )?;
+    let recoveries: usize = field_of(&r, "recovery")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    expect(recoveries > 0, "recovery events were streamed")?;
+
+    // 4. Clean shutdown over the wire.
+    let r = request(&addr, "shutdown")?;
+    expect(r == "ok shutting-down", &format!("shutdown accepted ({r})"))?;
+    srv.join().map_err(|_| "server thread panicked".to_string())?;
+    println!("drill: all checks passed");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mas_serve: {e}\n");
+            usage();
+        }
+    };
+    if opts.drill {
+        return match drill() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("drill: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let listener = match TcpListener::bind(&opts.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("mas_serve: cannot bind {}: {e}", opts.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = server_from(&opts);
+    println!(
+        "mas_serve: listening on {} | {} device(s), {} worker(s), queue {}, quota {}",
+        opts.listen,
+        opts.devices,
+        opts.workers.unwrap_or(opts.devices),
+        opts.queue,
+        opts.quota
+    );
+    serve(listener, server);
+    ExitCode::SUCCESS
+}
