@@ -14,7 +14,15 @@
 //! `&self` and thread-safe — workers lease and release concurrently.
 
 use crate::spec::DeviceSpec;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+
+/// Process-wide pool incarnation counter: every [`DevicePool`] gets a
+/// unique incarnation, so a lease can never be released into a pool it
+/// was not granted by — in particular not across a crash-recovery
+/// restart, where serial counters alone would collide (both pools start
+/// at serial 1).
+static NEXT_INCARNATION: AtomicU64 = AtomicU64::new(1);
 
 /// Identifier of one device slot within a pool (dense, `0..n_devices`).
 pub type DeviceId = usize;
@@ -29,6 +37,11 @@ pub struct DeviceLease {
     /// Monotonic lease serial (pairs grant/release in logs and guards
     /// against releasing a forged or stale lease).
     serial: u64,
+    /// Incarnation of the pool that granted this lease. A release into
+    /// any other pool — including the same server's pool after a
+    /// crash-recovery restart — is rejected (see
+    /// [`DevicePool::release`]).
+    incarnation: u64,
 }
 
 impl DeviceLease {
@@ -63,6 +76,10 @@ pub struct PoolStats {
     pub leases_released: u64,
     /// Peak number of simultaneously leased slots.
     pub peak_busy: usize,
+    /// Which incarnation of the pool this snapshot describes (unique per
+    /// [`DevicePool`] instance process-wide; restart accounting pairs
+    /// grants and releases within one incarnation).
+    pub incarnation: u64,
 }
 
 struct PoolState {
@@ -86,6 +103,7 @@ struct PoolState {
 /// the leasing contract.
 pub struct DevicePool {
     spec: DeviceSpec,
+    incarnation: u64,
     state: Mutex<PoolState>,
     freed: Condvar,
 }
@@ -97,6 +115,7 @@ impl DevicePool {
         assert!(n_devices > 0, "device pool must hold at least one device");
         Self {
             spec,
+            incarnation: NEXT_INCARNATION.fetch_add(1, Ordering::Relaxed),
             state: Mutex::new(PoolState {
                 free: vec![true; n_devices],
                 n_free: n_devices,
@@ -114,6 +133,11 @@ impl DevicePool {
     /// The spec shared by every slot.
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec
+    }
+
+    /// This pool instance's process-unique incarnation.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
     }
 
     /// Total slot count.
@@ -136,10 +160,11 @@ impl DevicePool {
             leases_granted: st.leases_granted,
             leases_released: st.leases_released,
             peak_busy: st.peak_busy,
+            incarnation: self.incarnation,
         }
     }
 
-    fn grant(st: &mut PoolState, n: usize) -> DeviceLease {
+    fn grant(&self, st: &mut PoolState, n: usize) -> DeviceLease {
         let mut ids = Vec::with_capacity(n);
         for (i, f) in st.free.iter_mut().enumerate() {
             if *f {
@@ -157,7 +182,11 @@ impl DevicePool {
         st.outstanding.push(serial);
         st.leases_granted += 1;
         st.peak_busy = st.peak_busy.max(st.free.len() - st.n_free);
-        DeviceLease { ids, serial }
+        DeviceLease {
+            ids,
+            serial,
+            incarnation: self.incarnation,
+        }
     }
 
     /// Try to lease `n` devices without blocking.
@@ -172,7 +201,7 @@ impl DevicePool {
         if st.n_free < n {
             return Ok(None);
         }
-        Ok(Some(Self::grant(&mut st, n)))
+        Ok(Some(self.grant(&mut st, n)))
     }
 
     /// Lease `n` devices, blocking until enough slots free up. Same
@@ -184,7 +213,7 @@ impl DevicePool {
             st = self.freed.wait(st).unwrap();
             self.check_feasible(&st, n)?;
         }
-        Ok(Self::grant(&mut st, n))
+        Ok(self.grant(&mut st, n))
     }
 
     fn check_feasible(&self, st: &PoolState, n: usize) -> Result<(), String> {
@@ -203,10 +232,18 @@ impl DevicePool {
         Ok(())
     }
 
-    /// Return a lease. Rejects forged or already-released leases so a
-    /// scheduler bug surfaces as an error instead of double-freeing a
-    /// device under another job.
+    /// Return a lease. Rejects forged or already-released leases — and
+    /// leases granted by *another pool incarnation* (e.g. held across a
+    /// crash-recovery restart) — so a scheduler bug surfaces as an error
+    /// instead of double-freeing a device under another job.
     pub fn release(&self, lease: DeviceLease) -> Result<(), String> {
+        if lease.incarnation != self.incarnation {
+            return Err(format!(
+                "lease #{} belongs to pool incarnation {}, not {} — release across a \
+                 restart boundary rejected",
+                lease.serial, lease.incarnation, self.incarnation
+            ));
+        }
         let mut st = self.state.lock().unwrap();
         let Some(pos) = st.outstanding.iter().position(|&s| s == lease.serial) else {
             return Err(format!(
@@ -278,10 +315,28 @@ mod tests {
         let forged = DeviceLease {
             ids: a.ids.clone(),
             serial: a.serial,
+            incarnation: a.incarnation,
         };
         p.release(a).unwrap();
         assert!(p.release(forged).is_err());
         assert_eq!(p.n_free(), 2, "slots stay consistent after the reject");
+    }
+
+    #[test]
+    fn release_across_pool_incarnations_is_rejected() {
+        // A lease that survives a server restart (new DevicePool, same
+        // shape) must not release into the new pool even if its serial
+        // happens to be outstanding there.
+        let old = pool(2);
+        let stale = old.try_lease(1).unwrap().unwrap();
+        let new = pool(2);
+        assert_ne!(old.incarnation(), new.incarnation());
+        let _current = new.try_lease(1).unwrap().unwrap(); // same serial number as `stale`
+        let err = new.release(stale).unwrap_err();
+        assert!(err.contains("restart boundary"), "{err}");
+        let s = new.stats();
+        assert_eq!((s.free, s.busy), (1, 1), "new pool ledger untouched");
+        assert_eq!(s.incarnation, new.incarnation());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Content-addressed result cache.
+//! Content-addressed result cache, bounded by entry count and TTL.
 //!
 //! A run is a pure function of its inputs: the deck (by content), the
 //! code version executed, the rank layout and the seed — the physics is
@@ -9,11 +9,20 @@
 //!
 //! The crate version is part of the key: a rebuilt server with changed
 //! code must never serve results computed by the old code.
+//!
+//! The cache is **bounded**: at most `max_entries` results, evicting the
+//! least-recently-used entry first, plus an optional TTL after which an
+//! entry expires regardless of use. Evictions are reported back to the
+//! caller (the server journals them as `Evicted` records so the
+//! persisted cache stays bounded too). Entries rehydrated from the
+//! journal at recovery get a fresh TTL clock — the journal stores no
+//! wall-clock times, by design (deterministic replay).
 
 use crate::job::JobSpec;
 use mas_mhd::MultiRankReport;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use stdpar::CodeVersion;
 
 /// What identifies a run's result. Two submissions with equal keys are
@@ -47,23 +56,64 @@ impl CacheKey {
     }
 }
 
-/// The cache itself: completed reports by key, plus hit/miss counters.
-/// Not internally synchronised — it lives inside the server's scheduler
-/// lock.
-#[derive(Default)]
+/// One cached result plus the bookkeeping eviction needs.
+struct Entry {
+    report: Arc<MultiRankReport>,
+    inserted: Instant,
+    /// Last lookup hit (or insertion time) — the LRU ordering key;
+    /// `seq` breaks ties deterministically when Instants collide.
+    last_used: Instant,
+    seq: u64,
+}
+
+/// The cache itself: completed reports by key, hit/miss/eviction
+/// counters, and the bounding policy. Not internally synchronised — it
+/// lives inside the server's scheduler lock.
 pub struct ResultCache {
-    map: HashMap<CacheKey, Arc<MultiRankReport>>,
+    map: HashMap<CacheKey, Entry>,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    max_entries: usize,
+    ttl: Option<Duration>,
+    next_seq: u64,
+}
+
+impl Default for ResultCache {
+    /// An effectively unbounded cache (no TTL) — the configuration the
+    /// pre-eviction tests and embedders without a policy get.
+    fn default() -> Self {
+        Self::new(usize::MAX, None)
+    }
 }
 
 impl ResultCache {
-    /// Look a key up, counting the hit or miss.
+    /// A cache bounded to `max_entries` results with an optional TTL.
+    /// `max_entries` is clamped to at least 1 (a zero-entry cache would
+    /// make every insert evict itself — meaningless).
+    pub fn new(max_entries: usize, ttl: Option<Duration>) -> Self {
+        Self {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            max_entries: max_entries.max(1),
+            ttl,
+            next_seq: 0,
+        }
+    }
+
+    /// Look a key up, counting the hit or miss and refreshing the LRU
+    /// position on a hit. Callers should [`ResultCache::sweep`] first so
+    /// an expired entry reads as a miss, not a stale hit.
     pub fn lookup(&mut self, key: &CacheKey) -> Option<Arc<MultiRankReport>> {
-        match self.map.get(key) {
-            Some(rep) => {
+        let seq = self.bump_seq();
+        match self.map.get_mut(key) {
+            Some(e) => {
                 self.hits += 1;
-                Some(rep.clone())
+                e.last_used = Instant::now();
+                e.seq = seq;
+                Some(e.report.clone())
             }
             None => {
                 self.misses += 1;
@@ -72,9 +122,87 @@ impl ResultCache {
         }
     }
 
-    /// Store a completed report.
-    pub fn insert(&mut self, key: CacheKey, report: Arc<MultiRankReport>) {
-        self.map.insert(key, report);
+    /// Lookup that counts a hit when present but **not** a miss when
+    /// absent — the claim-time probe workers use to collapse a recovered
+    /// duplicate submission into its already-cached result without
+    /// distorting the miss counter of every ordinary run.
+    pub fn claim_hit(&mut self, key: &CacheKey) -> Option<Arc<MultiRankReport>> {
+        let seq = self.bump_seq();
+        let e = self.map.get_mut(key)?;
+        self.hits += 1;
+        e.last_used = Instant::now();
+        e.seq = seq;
+        Some(e.report.clone())
+    }
+
+    /// Peek without touching any counter or the LRU order (recovery uses
+    /// this to rehydrate `Done` jobs' results).
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<MultiRankReport>> {
+        self.map.get(key).map(|e| e.report.clone())
+    }
+
+    /// Store a completed report, then enforce the entry bound. Returns
+    /// the keys evicted to make room (LRU-first) — the caller journals
+    /// them. The freshly inserted key is never its own victim.
+    pub fn insert(&mut self, key: CacheKey, report: Arc<MultiRankReport>) -> Vec<CacheKey> {
+        let now = Instant::now();
+        let seq = self.bump_seq();
+        self.map.insert(
+            key.clone(),
+            Entry {
+                report,
+                inserted: now,
+                last_used: now,
+                seq,
+            },
+        );
+        let mut evicted = Vec::new();
+        while self.map.len() > self.max_entries {
+            // LRU victim: oldest (last_used, seq), never the key that
+            // just went in (it has the newest seq by construction).
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| (e.last_used, e.seq))
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map over capacity");
+            self.map.remove(&victim);
+            self.evictions += 1;
+            evicted.push(victim);
+        }
+        evicted
+    }
+
+    /// Expire every entry older than the TTL (as of `now`), returning
+    /// the expired keys for journaling. No-op without a TTL.
+    pub fn sweep(&mut self, now: Instant) -> Vec<CacheKey> {
+        let Some(ttl) = self.ttl else {
+            return Vec::new();
+        };
+        let expired: Vec<CacheKey> = self
+            .map
+            .iter()
+            .filter(|(_, e)| now.duration_since(e.inserted) >= ttl)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &expired {
+            self.map.remove(k);
+            self.evictions += 1;
+        }
+        expired
+    }
+
+    /// Remove one entry without counting an eviction (journal replay of
+    /// an `Evicted` record — the eviction was already counted by the
+    /// incarnation that performed it). Returns whether it was present.
+    pub fn remove(&mut self, key: &CacheKey) -> bool {
+        self.map.remove(key).is_some()
+    }
+
+    /// Iterate the live entries (compaction snapshots the cache with
+    /// this).
+    pub fn entries(&self) -> impl Iterator<Item = (&CacheKey, &Arc<MultiRankReport>)> {
+        self.map.iter().map(|(k, e)| (k, &e.report))
     }
 
     /// Number of cached results.
@@ -96,6 +224,16 @@ impl ResultCache {
     pub fn misses(&self) -> u64 {
         self.misses
     }
+
+    /// Entries evicted (capacity or TTL) since this cache was built.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +243,10 @@ mod tests {
 
     fn spec() -> JobSpec {
         JobSpec::new(Deck::preset_quickstart()).ranks(2).seed(7)
+    }
+
+    fn empty_report() -> Arc<MultiRankReport> {
+        Arc::new(MultiRankReport { ranks: Vec::new() })
     }
 
     #[test]
@@ -136,13 +278,68 @@ mod tests {
         let mut c = ResultCache::default();
         let key = CacheKey::for_spec(&spec());
         assert!(c.lookup(&key).is_none());
-        c.insert(
-            key.clone(),
-            Arc::new(MultiRankReport { ranks: Vec::new() }),
-        );
+        let evicted = c.insert(key.clone(), empty_report());
+        assert!(evicted.is_empty(), "unbounded default never evicts");
         assert!(c.lookup(&key).is_some());
         assert_eq!((c.hits(), c.misses()), (1, 1));
         assert_eq!(c.len(), 1);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn claim_hit_never_counts_a_miss() {
+        let mut c = ResultCache::default();
+        let key = CacheKey::for_spec(&spec());
+        assert!(c.claim_hit(&key).is_none());
+        assert_eq!((c.hits(), c.misses()), (0, 0), "absent probe is free");
+        let _ = c.insert(key.clone(), empty_report());
+        assert!(c.claim_hit(&key).is_some());
+        assert_eq!((c.hits(), c.misses()), (1, 0));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2, None);
+        let k1 = CacheKey::for_spec(&spec().seed(1));
+        let k2 = CacheKey::for_spec(&spec().seed(2));
+        let k3 = CacheKey::for_spec(&spec().seed(3));
+        assert!(c.insert(k1.clone(), empty_report()).is_empty());
+        assert!(c.insert(k2.clone(), empty_report()).is_empty());
+        // Touch k1 so k2 becomes the LRU victim.
+        assert!(c.lookup(&k1).is_some());
+        let evicted = c.insert(k3.clone(), empty_report());
+        assert_eq!(evicted, vec![k2.clone()]);
+        assert_eq!(c.len(), 2);
+        assert!(c.peek(&k1).is_some());
+        assert!(c.peek(&k2).is_none());
+        assert!(c.peek(&k3).is_some());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn ttl_sweep_expires_old_entries() {
+        let mut c = ResultCache::new(8, Some(Duration::ZERO));
+        let key = CacheKey::for_spec(&spec());
+        let _ = c.insert(key.clone(), empty_report());
+        std::thread::sleep(Duration::from_millis(2));
+        let expired = c.sweep(Instant::now());
+        assert_eq!(expired, vec![key.clone()]);
+        assert!(c.is_empty());
+        assert_eq!(c.evictions(), 1);
+        // Without a TTL, sweep is a no-op.
+        let mut c = ResultCache::new(8, None);
+        let _ = c.insert(key, empty_report());
+        assert!(c.sweep(Instant::now()).is_empty());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_does_not_count_as_eviction() {
+        let mut c = ResultCache::default();
+        let key = CacheKey::for_spec(&spec());
+        let _ = c.insert(key.clone(), empty_report());
+        assert!(c.remove(&key));
+        assert!(!c.remove(&key));
+        assert_eq!(c.evictions(), 0);
     }
 }

@@ -1,14 +1,23 @@
-//! The in-process client: the job API (`submit` / `status` / `cancel` /
-//! `wait` / `result`) against a [`Server`] living in the same process.
+//! Clients: the in-process [`Client`] (the job API against a [`Server`]
+//! in the same process — what the integration tests exercise
+//! end-to-end) and the [`RemoteClient`] (the same verbs over the TCP
+//! wire protocol, with bounded retry-with-backoff).
 //!
-//! This is the interface the integration tests exercise end-to-end; the
-//! `mas_serve` binary speaks the same API over TCP (see [`crate::wire`]),
-//! so anything proven here holds for remote clients too.
+//! Retrying a submission is safe *because* submission is idempotent
+//! under the cache key: if the first attempt actually reached the
+//! server before the connection died, the retry either collapses to a
+//! cache hit (run already finished) or enqueues a duplicate that the
+//! claim-time cache probe collapses to zero steps. At-least-once
+//! delivery therefore costs nothing beyond a duplicate job id.
 
 use crate::job::{JobId, JobSpec, JobStatus};
 use crate::server::{Server, ServerStats, SubmitError};
+use crate::wire::{self, WireRead};
 use mas_mhd::MultiRankReport;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A handle onto a server. Cheap to clone; many clients may drive one
 /// server concurrently.
@@ -65,5 +74,169 @@ impl Client {
     pub fn run(&self, spec: JobSpec) -> Result<JobStatus, SubmitError> {
         let id = self.submit(spec)?;
         Ok(self.wait(id).expect("submitted job exists"))
+    }
+}
+
+/// How a [`RemoteClient`] survives transient failures: a bounded number
+/// of attempts with exponential backoff between them, plus an I/O
+/// deadline per request so a hung server can't pin the caller.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Read/write deadline per attempt. `None` waits indefinitely
+    /// (only sensible for `wait`, which blocks by design).
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(1),
+            io_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn delay(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.min(10);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+}
+
+/// A TCP client for the `mas_serve` wire protocol: one connection per
+/// request (the protocol is one line each way), transparent bounded
+/// retry on connect and I/O failures.
+#[derive(Clone, Debug)]
+pub struct RemoteClient {
+    addr: String,
+    policy: RetryPolicy,
+}
+
+impl RemoteClient {
+    /// A client for the server at `addr` (e.g. `127.0.0.1:7070`) with
+    /// the default retry policy.
+    pub fn connect(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    /// Override the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Send one request line, return the one response line. Retries
+    /// transient failures per the policy; a server-sent `err …` line is
+    /// returned as `Ok` (it is an answer, not a transport failure) —
+    /// callers split on the `ok `/`err ` prefix.
+    pub fn request(&self, line: &str) -> Result<String, String> {
+        self.request_with_timeout(line, self.policy.io_timeout)
+    }
+
+    /// [`RemoteClient::request`] with an explicit per-attempt deadline
+    /// (`None` = block indefinitely — what `wait` needs).
+    pub fn request_with_timeout(
+        &self,
+        line: &str,
+        timeout: Option<Duration>,
+    ) -> Result<String, String> {
+        let mut last_err = String::new();
+        for retry in 0..self.policy.max_attempts {
+            if retry > 0 {
+                std::thread::sleep(self.policy.delay(retry - 1));
+            }
+            match self.attempt(line, timeout) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(format!(
+            "request failed after {} attempt(s): {last_err}",
+            self.policy.max_attempts
+        ))
+    }
+
+    fn attempt(&self, line: &str, timeout: Option<Duration>) -> Result<String, String> {
+        let stream = TcpStream::connect(&self.addr)
+            .map_err(|e| format!("connect {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(timeout)
+            .and_then(|()| stream.set_write_timeout(timeout))
+            .map_err(|e| format!("set deadline: {e}"))?;
+        let mut w = &stream;
+        w.write_all(line.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reader = BufReader::new(&stream);
+        match wire::read_request_line(&mut reader).map_err(|e| format!("recv: {e}"))? {
+            WireRead::Line(reply) => Ok(reply),
+            WireRead::Eof => Err("server closed the connection before replying".into()),
+            WireRead::TooLong => Err("oversized reply line".into()),
+            WireRead::BadUtf8 => Err("non-UTF-8 reply line".into()),
+        }
+    }
+
+    /// Submit a spec; returns the job id the server assigned.
+    pub fn submit(&self, spec: &JobSpec) -> Result<u64, String> {
+        let reply = self.request(&wire::encode_submit(spec))?;
+        Self::field(&reply, "id")?.parse().map_err(|e| format!("bad id in '{reply}': {e}"))
+    }
+
+    /// One status snapshot line (`ok id=… state=… …`).
+    pub fn status(&self, id: u64) -> Result<String, String> {
+        self.request(&format!("status id={id}"))
+    }
+
+    /// Block until the job is terminal; returns its final status line.
+    /// No read deadline — waiting is the point.
+    pub fn wait(&self, id: u64) -> Result<String, String> {
+        self.request_with_timeout(&format!("wait id={id}"), None)
+    }
+
+    /// The result summary line for a finished job.
+    pub fn result(&self, id: u64) -> Result<String, String> {
+        self.request(&format!("result id={id}"))
+    }
+
+    /// Cancel a job.
+    pub fn cancel(&self, id: u64) -> Result<String, String> {
+        self.request(&format!("cancel id={id}"))
+    }
+
+    /// Server counters line.
+    pub fn stats(&self) -> Result<String, String> {
+        self.request("stats")
+    }
+
+    /// Drain the server: intake closes, every queued and running job
+    /// finishes, then the server exits. Blocks until the drain
+    /// completes (no deadline).
+    pub fn drain(&self) -> Result<String, String> {
+        self.request_with_timeout("drain", None)
+    }
+
+    /// Stop the server immediately (queued jobs are cancelled).
+    pub fn shutdown(&self) -> Result<String, String> {
+        self.request("shutdown")
+    }
+
+    /// Extract `key=value` from a reply line.
+    pub fn field(reply: &str, key: &str) -> Result<String, String> {
+        reply
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix(key).and_then(|w| w.strip_prefix('=')))
+            .map(str::to_string)
+            .ok_or_else(|| format!("no '{key}=' in reply '{reply}'"))
     }
 }

@@ -20,20 +20,26 @@
 //!   steps;
 //! * [`server`] — the scheduler itself: queue, worker pool, device
 //!   leasing, progress streaming and cooperative cancellation;
+//! * [`journal`] — the write-ahead journal that makes the server
+//!   crash-only: every state transition is a CRC32-framed, fsync'd
+//!   record, replayed by [`Server::recover`] after a crash or restart;
 //! * [`client`] — the in-process client (what the integration tests
-//!   drive end-to-end);
-//! * [`wire`] — the line protocol spoken by the `mas_serve` TCP binary.
+//!   drive end-to-end) and the retrying TCP [`RemoteClient`];
+//! * [`wire`] — the line protocol spoken by the `mas_serve` TCP binary,
+//!   including the bounded line reader the server's edge uses.
 //!
-//! Scheduling policy, quota semantics and the cache key are documented
-//! in `DESIGN.md` (§ mas-serve).
+//! Scheduling policy, quota semantics, the cache key and the journal
+//! format are documented in `DESIGN.md` (§ mas-serve, § durable
+//! serving).
 
 pub mod cache;
 pub mod client;
 pub mod job;
+pub mod journal;
 pub mod server;
 pub mod wire;
 
 pub use cache::CacheKey;
-pub use client::Client;
+pub use client::{Client, RemoteClient, RetryPolicy};
 pub use job::{JobId, JobSpec, JobState, JobStatus};
-pub use server::{Server, ServerConfig, ServerStats, SubmitError};
+pub use server::{RecoverySummary, Server, ServerConfig, ServerStats, SubmitError};

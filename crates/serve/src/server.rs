@@ -3,24 +3,36 @@
 //! fault-tolerant supervisor that actually executes each job.
 //!
 //! Concurrency shape: one `Mutex<Sched>` guards the queue, the job
-//! table and the cache; a single `Condvar` is notified on every event
-//! (submission, completion, cancellation, shutdown) and woken by both
-//! idle workers and blocked status-waiters. Per-job live counters
-//! (step progress, recovery count, the cancel flag) are atomics outside
-//! the lock, because every rank thread of a running job updates them on
-//! every step — they must not serialise the physics on the scheduler
-//! lock.
+//! table, the cache **and the journal** (so journal write order equals
+//! state-transition order by construction); a single `Condvar` is
+//! notified on every event (submission, completion, cancellation,
+//! drain, shutdown) and woken by both idle workers and blocked
+//! status-waiters. Per-job live counters (step progress, recovery
+//! count, the cancel flag) are atomics outside the lock, because every
+//! rank thread of a running job updates them on every step — they must
+//! not serialise the physics on the scheduler lock.
+//!
+//! Durability: a server booted with [`Server::recover`] appends every
+//! state transition to the write-ahead journal *before* releasing the
+//! scheduler lock, each record fsync'd — SIGKILL at any instant loses
+//! no acknowledged submission and no completed result (see
+//! [`crate::journal`]). A server booted with [`Server::start`] runs
+//! in-memory only, the pre-journal behaviour.
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::job::{JobId, JobSpec, JobState, JobStatus};
+use crate::journal::{self, Journal, Record};
 use gpusim::{DevicePool, DeviceSpec, PoolStats};
 use mas_config::DeckError;
 use mas_mhd::{progress_fn, MultiRankReport, ProgressEvent};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Sizing and policy knobs for a [`Server`].
 #[derive(Clone, Debug)]
@@ -37,11 +49,21 @@ pub struct ServerConfig {
     pub max_queue: usize,
     /// Per-tenant cap on live (queued + running) jobs.
     pub tenant_quota: usize,
+    /// Result-cache entry bound (LRU eviction beyond it; evictions are
+    /// journaled so the persisted cache stays bounded too).
+    pub cache_max_entries: usize,
+    /// Optional result TTL: entries older than this expire at the next
+    /// sweep regardless of use. `None` (the default) never expires.
+    pub cache_ttl: Option<Duration>,
+    /// Compact the journal after this many appended records (snapshot
+    /// of live state replaces the historical tail). Only meaningful for
+    /// journaled servers.
+    pub compact_every: usize,
 }
 
 impl ServerConfig {
     /// A config for `n_devices` slots of `device`, with one worker per
-    /// device and moderate queue/quota bounds.
+    /// device and moderate queue/quota/cache bounds.
     pub fn new(device: DeviceSpec, n_devices: usize) -> Self {
         Self {
             device,
@@ -49,6 +71,9 @@ impl ServerConfig {
             n_workers: n_devices,
             max_queue: 32,
             tenant_quota: 8,
+            cache_max_entries: 256,
+            cache_ttl: None,
+            compact_every: 512,
         }
     }
 }
@@ -81,7 +106,7 @@ pub enum SubmitError {
     /// The deck failed validation (same structured error the `mas` CLI
     /// reports).
     InvalidDeck(DeckError),
-    /// The server is shutting down.
+    /// The server is shutting down or draining.
     ShuttingDown,
 }
 
@@ -152,6 +177,15 @@ struct Sched {
     next_id: u64,
     running: usize,
     shutting_down: bool,
+    /// Intake closed; running and queued jobs finish (see
+    /// [`Server::drain`]).
+    draining: bool,
+    /// The write-ahead journal, when durability is on. Living inside
+    /// the scheduler lock makes journal order identical to transition
+    /// order with no extra synchronisation.
+    journal: Option<Journal>,
+    /// This boot's epoch stamp (max replayed epoch + 1; 0 in-memory).
+    epoch: u64,
 }
 
 /// Aggregate server counters (see [`Server::stats`]).
@@ -173,14 +207,73 @@ pub struct ServerStats {
     pub cache_hits: u64,
     /// Cache lookups missed.
     pub cache_misses: u64,
+    /// Results currently cached.
+    pub cache_entries: usize,
+    /// Cache entries evicted (capacity bound or TTL) since boot.
+    pub cache_evictions: u64,
     /// Simulation steps executed across all jobs since boot — the
     /// counter the cache-hit tests pin to zero growth.
     pub total_steps: u64,
 }
 
-/// The long-running scheduler. Create with [`Server::start`]; submit
-/// through it (or a [`crate::Client`]); stop with
-/// [`Server::shutdown`] + [`Server::join`].
+/// What [`Server::recover`] found in the journal — printed by the
+/// `mas_serve` binary as a single greppable `recovery:` line.
+#[derive(Clone, Debug, Default)]
+pub struct RecoverySummary {
+    /// This boot's epoch (previous max + 1).
+    pub epoch: u64,
+    /// Valid records replayed.
+    pub records: usize,
+    /// Interrupted (queued or running at crash) jobs re-enqueued.
+    pub requeued: usize,
+    /// Jobs restored in `Done` state.
+    pub done: usize,
+    /// Jobs restored in `Failed` state.
+    pub failed: usize,
+    /// Jobs restored in `Cancelled` state.
+    pub cancelled: usize,
+    /// Results rehydrated into the cache.
+    pub cache_entries: usize,
+    /// Persisted cache entries dropped because they were computed by a
+    /// different build (stale physics is never served).
+    pub dropped_stale_cache: usize,
+    /// Jobs dropped because their deck text no longer parses under this
+    /// build's config grammar.
+    pub dropped_unparseable: usize,
+    /// Torn-tail bytes truncated off the journal.
+    pub truncated_bytes: u64,
+    /// Why replay stopped early, when it did.
+    pub torn: Option<String>,
+}
+
+impl fmt::Display for RecoverySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epoch={} records={} requeued={} done={} failed={} cancelled={} \
+             cache={} stale_dropped={} unparseable={} truncated_bytes={}",
+            self.epoch,
+            self.records,
+            self.requeued,
+            self.done,
+            self.failed,
+            self.cancelled,
+            self.cache_entries,
+            self.dropped_stale_cache,
+            self.dropped_unparseable,
+            self.truncated_bytes,
+        )?;
+        if let Some(t) = &self.torn {
+            write!(f, " torn=\"{t}\"")?;
+        }
+        Ok(())
+    }
+}
+
+/// The long-running scheduler. Create with [`Server::start`] (in-memory)
+/// or [`Server::recover`] (journaled, crash-only); submit through it (or
+/// a [`crate::Client`]); stop with [`Server::shutdown`] +
+/// [`Server::join`], or gracefully with [`Server::drain`].
 pub struct Server {
     cfg: ServerConfig,
     pool: Arc<DevicePool>,
@@ -194,21 +287,270 @@ pub struct Server {
 }
 
 impl Server {
-    /// Boot a server: build the device pool and spawn the worker pool.
+    /// Boot an in-memory server: build the device pool and spawn the
+    /// worker pool. Nothing is persisted — a crash loses queue and
+    /// cache (use [`Server::recover`] for the crash-only variant).
     pub fn start(cfg: ServerConfig) -> Arc<Server> {
+        let cache = ResultCache::new(cfg.cache_max_entries, cfg.cache_ttl);
+        Self::spawn(
+            cfg,
+            Sched {
+                queue: Vec::new(),
+                jobs: HashMap::new(),
+                cache,
+                next_id: 1,
+                running: 0,
+                shutting_down: false,
+                draining: false,
+                journal: None,
+                epoch: 0,
+            },
+        )
+    }
+
+    /// Boot a journaled server over `dir`, replaying any journal found
+    /// there first: completed results rehydrate the cache, jobs that
+    /// were queued or running when the previous incarnation died are
+    /// re-enqueued at their original priority, and a torn journal tail
+    /// is truncated, not fatal. Every subsequent state transition is
+    /// journaled durably. Idempotent: recovering the same directory
+    /// twice in a row reconstructs identical state.
+    pub fn recover(
+        cfg: ServerConfig,
+        dir: impl AsRef<Path>,
+    ) -> io::Result<(Arc<Server>, RecoverySummary)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let (mut jrn, replayed) = Journal::open(dir.join("journal.log"))?;
+
+        // -- Fold the record stream into final job states + cache -----
+        struct RJob {
+            rec: Record,
+            state: JobState,
+            cached: bool,
+            message: Option<String>,
+        }
+        let mut epoch_max = 0u64;
+        let mut folded: BTreeMap<u64, RJob> = BTreeMap::new();
+        let mut cache = ResultCache::new(cfg.cache_max_entries, cfg.cache_ttl);
+        let mut overflow_evicted: Vec<CacheKey> = Vec::new();
+        let mut summary = RecoverySummary {
+            records: replayed.records.len(),
+            truncated_bytes: replayed.truncated_bytes,
+            torn: replayed.torn.clone(),
+            ..Default::default()
+        };
+        for (epoch, rec) in &replayed.records {
+            epoch_max = epoch_max.max(*epoch);
+            match rec {
+                Record::Boot => {}
+                Record::Submitted { id, .. } => {
+                    folded.insert(
+                        *id,
+                        RJob {
+                            rec: rec.clone(),
+                            state: JobState::Queued,
+                            cached: false,
+                            message: None,
+                        },
+                    );
+                }
+                Record::Started { id } => {
+                    if let Some(j) = folded.get_mut(id) {
+                        j.state = JobState::Running;
+                    }
+                }
+                Record::Done { id, cached } => {
+                    if let Some(j) = folded.get_mut(id) {
+                        j.state = JobState::Done;
+                        j.cached = *cached;
+                    }
+                }
+                Record::Failed { id, message } => {
+                    if let Some(j) = folded.get_mut(id) {
+                        j.state = JobState::Failed;
+                        j.message = Some(message.clone());
+                    }
+                }
+                Record::Cancelled { id, message } => {
+                    if let Some(j) = folded.get_mut(id) {
+                        j.state = JobState::Cancelled;
+                        j.message = Some(message.clone());
+                    }
+                }
+                Record::CacheInsert {
+                    deck_hash,
+                    version_tag,
+                    code_rev,
+                    n_ranks,
+                    seed,
+                    report,
+                } => {
+                    // A result computed by another build is stale
+                    // physics: drop it rather than serve it.
+                    if code_rev != journal::CODE_REV {
+                        summary.dropped_stale_cache += 1;
+                        continue;
+                    }
+                    let (Ok(version), Ok(full)) =
+                        (crate::wire::parse_version(version_tag), report.to_report())
+                    else {
+                        summary.dropped_stale_cache += 1;
+                        continue;
+                    };
+                    let key = CacheKey {
+                        deck_hash: *deck_hash,
+                        version,
+                        code_rev: journal::CODE_REV,
+                        n_ranks: *n_ranks as usize,
+                        seed: *seed,
+                    };
+                    overflow_evicted.extend(cache.insert(key, Arc::new(full)));
+                }
+                Record::Evicted {
+                    deck_hash,
+                    version_tag,
+                    n_ranks,
+                    seed,
+                    ..
+                } => {
+                    if let Ok(version) = crate::wire::parse_version(version_tag) {
+                        // Replaying an eviction the previous incarnation
+                        // already performed and counted.
+                        cache.remove(&CacheKey {
+                            deck_hash: *deck_hash,
+                            version,
+                            code_rev: journal::CODE_REV,
+                            n_ranks: *n_ranks as usize,
+                            seed: *seed,
+                        });
+                    }
+                }
+            }
+        }
+
+        // -- Rebuild the job table and queue --------------------------
+        let mut jobs = HashMap::new();
+        let mut queue = Vec::new();
+        let mut next_id = 1u64;
+        for (id, rj) in &folded {
+            next_id = next_id.max(id + 1);
+            let spec = match journal::spec_of_submitted(&rj.rec) {
+                Ok(s) => s,
+                Err(_) => {
+                    // The deck no longer parses under this build: the
+                    // job cannot be reconstructed, so it is dropped (and
+                    // counted). Replay stays idempotent — the next boot
+                    // reaches the same verdict.
+                    summary.dropped_unparseable += 1;
+                    continue;
+                }
+            };
+            let key = CacheKey::for_spec(&spec);
+            let progress = Arc::new(JobProgress::default());
+            let (state, result, error) = match rj.state {
+                // Interrupted jobs (queued or mid-run at crash time)
+                // re-enter the queue; their original priority lives in
+                // the spec, so scheduling order is preserved.
+                JobState::Queued | JobState::Running => {
+                    queue.push(*id);
+                    summary.requeued += 1;
+                    (JobState::Queued, None, None)
+                }
+                JobState::Done => {
+                    summary.done += 1;
+                    progress
+                        .steps_done
+                        .store(spec.deck.time.n_steps, Ordering::SeqCst);
+                    // The result comes back from the rehydrated cache;
+                    // if it was evicted before the crash the job stays
+                    // Done but its report is gone (result() reports
+                    // that, structurally).
+                    (JobState::Done, cache.peek(&key), None)
+                }
+                JobState::Failed => {
+                    summary.failed += 1;
+                    (
+                        JobState::Failed,
+                        None,
+                        Some(rj.message.clone().unwrap_or_else(|| "failed".into())),
+                    )
+                }
+                JobState::Cancelled => {
+                    summary.cancelled += 1;
+                    (
+                        JobState::Cancelled,
+                        None,
+                        Some(rj.message.clone().unwrap_or_else(|| "cancelled".into())),
+                    )
+                }
+            };
+            jobs.insert(
+                *id,
+                JobRecord {
+                    cached: rj.cached,
+                    spec,
+                    key,
+                    state,
+                    progress,
+                    result,
+                    error,
+                },
+            );
+        }
+        summary.cache_entries = cache.len();
+        summary.epoch = epoch_max + 1;
+
+        // -- Stamp the new epoch and journal recovery-time evictions --
+        if let Err(e) = jrn.append(summary.epoch, &Record::Boot) {
+            return Err(io::Error::new(
+                e.kind(),
+                format!("journal boot record: {e}"),
+            ));
+        }
+        for k in &overflow_evicted {
+            let _ = jrn.append(summary.epoch, &Record::evicted(k));
+        }
+
+        let epoch = summary.epoch;
+        let server = Self::spawn(
+            cfg,
+            Sched {
+                queue,
+                jobs,
+                cache,
+                next_id,
+                running: 0,
+                shutting_down: false,
+                draining: false,
+                journal: Some(jrn),
+                epoch,
+            },
+        );
+
+        // Lease-ledger invariant: the pool is a fresh incarnation, so
+        // every lease the dead server held is gone — nothing may be
+        // busy, and grant/release counters must balance at zero. The
+        // re-enqueued jobs will take *new* leases; a stale lease from
+        // the previous incarnation can never be released into this pool
+        // (gpusim rejects cross-incarnation releases).
+        let ps = server.pool.stats();
+        assert_eq!(
+            (ps.busy, ps.leases_granted - ps.leases_released),
+            (0, 0),
+            "recovered pool must start with a balanced, empty lease ledger"
+        );
+
+        Ok((server, summary))
+    }
+
+    fn spawn(cfg: ServerConfig, sched: Sched) -> Arc<Server> {
         assert!(cfg.n_workers > 0, "server needs at least one worker");
         let pool = Arc::new(DevicePool::new(cfg.device.clone(), cfg.n_devices));
         let server = Arc::new(Server {
             cfg,
             pool,
-            sched: Mutex::new(Sched {
-                queue: Vec::new(),
-                jobs: HashMap::new(),
-                cache: ResultCache::default(),
-                next_id: 1,
-                running: 0,
-                shutting_down: false,
-            }),
+            sched: Mutex::new(sched),
             event: Condvar::new(),
             total_steps: Arc::new(AtomicU64::new(0)),
             workers: Mutex::new(Vec::new()),
@@ -232,6 +574,71 @@ impl Server {
         &self.pool
     }
 
+    /// Append a record to the journal, if there is one. An append
+    /// failure is logged and survived: a full disk degrades durability,
+    /// it does not take the service down.
+    fn jappend(sched: &mut Sched, rec: &Record) {
+        let epoch = sched.epoch;
+        if let Some(j) = sched.journal.as_mut() {
+            if let Err(e) = j.append(epoch, rec) {
+                eprintln!("mas-serve: journal append failed: {e}");
+            }
+        }
+    }
+
+    /// Compact the journal into a snapshot of live state once enough
+    /// records have accumulated since the last compaction.
+    fn maybe_compact(&self, sched: &mut Sched) {
+        let due = sched
+            .journal
+            .as_ref()
+            .is_some_and(|j| j.appended_since_compaction() >= self.cfg.compact_every);
+        if !due {
+            return;
+        }
+        let recs = Self::snapshot_records(sched);
+        let epoch = sched.epoch;
+        if let Some(j) = sched.journal.as_mut() {
+            if let Err(e) = j.compact(epoch, &recs) {
+                eprintln!("mas-serve: journal compaction failed: {e}");
+            }
+        }
+    }
+
+    /// Serialise live state as a record stream — a compacted journal is
+    /// just a journal whose history happens to be minimal.
+    fn snapshot_records(sched: &Sched) -> Vec<Record> {
+        let mut recs = vec![Record::Boot];
+        for (key, report) in sched.cache.entries() {
+            recs.push(Record::cache_insert(key, report));
+        }
+        let mut ids: Vec<u64> = sched.jobs.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let job = &sched.jobs[&id];
+            recs.push(Record::submitted(id, &job.spec));
+            match job.state {
+                JobState::Queued => {}
+                // Replayed as interrupted → re-enqueued, which is
+                // exactly right for a job running at snapshot time.
+                JobState::Running => recs.push(Record::Started { id }),
+                JobState::Done => recs.push(Record::Done {
+                    id,
+                    cached: job.cached,
+                }),
+                JobState::Failed => recs.push(Record::Failed {
+                    id,
+                    message: job.error.clone().unwrap_or_default(),
+                }),
+                JobState::Cancelled => recs.push(Record::Cancelled {
+                    id,
+                    message: job.error.clone().unwrap_or_default(),
+                }),
+            }
+        }
+        recs
+    }
+
     /// Submit a job. Returns its id, or a structured rejection; a
     /// resubmission of an already-computed run completes instantly from
     /// the cache (status shows `cached`, zero steps execute).
@@ -249,8 +656,14 @@ impl Server {
 
         let key = CacheKey::for_spec(&spec);
         let mut sched = self.sched.lock().unwrap();
-        if sched.shutting_down {
+        if sched.shutting_down || sched.draining {
             return Err(SubmitError::ShuttingDown);
+        }
+        // Expire TTL-stale results before consulting the cache, so an
+        // expired entry reads as a miss (and its eviction is journaled).
+        let expired = sched.cache.sweep(Instant::now());
+        for k in &expired {
+            Self::jappend(&mut sched, &Record::evicted(k));
         }
         let id = sched.next_id;
 
@@ -259,6 +672,8 @@ impl Server {
         // free, so it is exempt from backpressure.
         if let Some(report) = sched.cache.lookup(&key) {
             sched.next_id += 1;
+            Self::jappend(&mut sched, &Record::submitted(id, &spec));
+            Self::jappend(&mut sched, &Record::Done { id, cached: true });
             let rec = JobRecord {
                 spec,
                 key,
@@ -272,6 +687,7 @@ impl Server {
                 .steps_done
                 .store(rec.spec.deck.time.n_steps, Ordering::SeqCst);
             sched.jobs.insert(id, rec);
+            self.maybe_compact(&mut sched);
             drop(sched);
             self.event.notify_all();
             return Ok(JobId(id));
@@ -295,6 +711,9 @@ impl Server {
         }
 
         sched.next_id += 1;
+        // Journal before acknowledging: once `Ok(id)` is returned the
+        // submission must survive SIGKILL.
+        Self::jappend(&mut sched, &Record::submitted(id, &spec));
         sched.jobs.insert(
             id,
             JobRecord {
@@ -308,6 +727,7 @@ impl Server {
             },
         );
         sched.queue.push(id);
+        self.maybe_compact(&mut sched);
         drop(sched);
         self.event.notify_all();
         Ok(JobId(id))
@@ -343,13 +763,23 @@ impl Server {
 
     /// Fetch a finished job's result: `Ok` with the report for `Done`,
     /// `Err` with the failure message otherwise. `None` while the job is
-    /// still queued/running, or for an unknown id.
+    /// still queued/running, or for an unknown id. A job restored as
+    /// `Done` whose result had been evicted from the cache before the
+    /// restart answers `Err` here — the completion survived, the report
+    /// did not, and the caller can resubmit (which recomputes).
     #[allow(clippy::type_complexity)]
     pub fn result(&self, id: JobId) -> Option<Result<Arc<MultiRankReport>, String>> {
         let sched = self.sched.lock().unwrap();
         let job = sched.jobs.get(&id.0)?;
         match job.state {
-            JobState::Done => Some(Ok(job.result.clone().expect("done job has a result"))),
+            JobState::Done => Some(match &job.result {
+                Some(r) => Ok(r.clone()),
+                None => Err(format!(
+                    "{} completed, but its result was evicted from the cache \
+                     before the last restart; resubmit to recompute",
+                    JobId(id.0)
+                )),
+            }),
             JobState::Failed | JobState::Cancelled => Some(Err(job
                 .error
                 .clone()
@@ -371,6 +801,13 @@ impl Server {
                 job.state = JobState::Cancelled;
                 job.error = Some("cancelled before start".into());
                 sched.queue.retain(|&q| q != id.0);
+                Self::jappend(
+                    &mut sched,
+                    &Record::Cancelled {
+                        id: id.0,
+                        message: "cancelled before start".into(),
+                    },
+                );
                 drop(sched);
                 self.event.notify_all();
                 Ok(())
@@ -406,6 +843,8 @@ impl Server {
             cancelled,
             cache_hits: sched.cache.hits(),
             cache_misses: sched.cache.misses(),
+            cache_entries: sched.cache.len(),
+            cache_evictions: sched.cache.evictions(),
             total_steps: self.total_steps.load(Ordering::SeqCst),
         }
     }
@@ -414,6 +853,25 @@ impl Server {
     /// a resubmission leaves this unchanged).
     pub fn total_steps(&self) -> u64 {
         self.total_steps.load(Ordering::SeqCst)
+    }
+
+    /// Graceful wind-down: close intake (submissions answer
+    /// [`SubmitError::ShuttingDown`]), let every queued and running job
+    /// finish and journal its terminal state, then shut down. Blocks
+    /// until the queue is empty and nothing is running; call
+    /// [`Server::join`] afterwards. The complement of the crash path:
+    /// drain loses nothing *without* needing recovery.
+    pub fn drain(&self) {
+        let mut sched = self.sched.lock().unwrap();
+        sched.draining = true;
+        drop(sched);
+        self.event.notify_all();
+        let mut sched = self.sched.lock().unwrap();
+        while !(sched.queue.is_empty() && sched.running == 0) {
+            sched = self.event.wait(sched).unwrap();
+        }
+        drop(sched);
+        self.shutdown();
     }
 
     /// Begin shutdown: reject new submissions, cancel every queued job,
@@ -427,6 +885,13 @@ impl Server {
                 job.state = JobState::Cancelled;
                 job.error = Some("server shutdown".into());
             }
+            Self::jappend(
+                &mut sched,
+                &Record::Cancelled {
+                    id,
+                    message: "server shutdown".into(),
+                },
+            );
         }
         for job in sched.jobs.values() {
             if job.state == JobState::Running {
@@ -482,24 +947,57 @@ impl Server {
                         return;
                     }
                     if let Some(pos) = self.pick(&sched) {
-                        let id = sched.queue.remove(pos);
+                        let id = sched.queue[pos];
+                        let key = sched.jobs[&id].key.clone();
+                        // Claim-time cache collapse: a queued job whose
+                        // result already exists (typically a recovered
+                        // duplicate of a job that completed in a prior
+                        // epoch) finishes here — zero steps, zero
+                        // leases. `claim_hit` counts the hit but never a
+                        // miss, so ordinary runs don't distort counters.
+                        if let Some(report) = sched.cache.claim_hit(&key) {
+                            sched.queue.remove(pos);
+                            let n_steps = {
+                                let job =
+                                    sched.jobs.get_mut(&id).expect("picked job exists");
+                                job.state = JobState::Done;
+                                job.cached = true;
+                                job.result = Some(report);
+                                job.spec.deck.time.n_steps
+                            };
+                            sched.jobs[&id]
+                                .progress
+                                .steps_done
+                                .store(n_steps, Ordering::SeqCst);
+                            Self::jappend(&mut sched, &Record::Done { id, cached: true });
+                            self.event.notify_all();
+                            continue;
+                        }
                         let n = sched.jobs[&id].spec.n_ranks;
                         match self.pool.try_lease(n) {
-                            Ok(Some(lease)) => break (id, lease),
-                            // Raced or closed: requeue and retry. With
-                            // leases granted only under this lock the
-                            // None arm is unreachable, but requeueing is
-                            // the safe answer if that ever changes.
-                            Ok(None) => sched.queue.insert(pos, id),
+                            Ok(Some(lease)) => {
+                                sched.queue.remove(pos);
+                                break (id, lease);
+                            }
+                            // Raced or closed: leave it queued and
+                            // retry. With leases granted only under this
+                            // lock the None arm is unreachable, but
+                            // waiting is the safe answer if that ever
+                            // changes.
+                            Ok(None) => {}
                             Err(_) => return, // pool closed: shutdown
                         }
                     }
                     sched = self.event.wait(sched).unwrap();
                 };
                 sched.running += 1;
-                let job = sched.jobs.get_mut(&id).expect("picked job exists");
-                job.state = JobState::Running;
-                (id, job.spec.clone(), job.progress.clone(), lease)
+                let (spec, progress) = {
+                    let job = sched.jobs.get_mut(&id).expect("picked job exists");
+                    job.state = JobState::Running;
+                    (job.spec.clone(), job.progress.clone())
+                };
+                Self::jappend(&mut sched, &Record::Started { id });
+                (id, spec, progress, lease)
             };
             self.event.notify_all(); // status waiters see Running
 
@@ -514,24 +1012,46 @@ impl Server {
             let mut sched = self.sched.lock().unwrap();
             sched.running -= 1;
             let cancelled = progress.cancel.load(Ordering::SeqCst);
-            let job = sched.jobs.get_mut(&id).expect("running job exists");
             match outcome {
                 Ok(report) => {
                     let report = Arc::new(report);
-                    job.state = JobState::Done;
-                    job.result = Some(report.clone());
-                    let key = job.key.clone();
-                    sched.cache.insert(key, report);
+                    let key = {
+                        let job = sched.jobs.get_mut(&id).expect("running job exists");
+                        job.state = JobState::Done;
+                        job.result = Some(report.clone());
+                        job.key.clone()
+                    };
+                    // Write order matters: the result must be durable
+                    // before the Done that references it, so a replay
+                    // never sees a completed job with no result through
+                    // any crash point.
+                    Self::jappend(&mut sched, &Record::cache_insert(&key, &report));
+                    let evicted = sched.cache.insert(key, report);
+                    for k in &evicted {
+                        Self::jappend(&mut sched, &Record::evicted(k));
+                    }
+                    Self::jappend(&mut sched, &Record::Done { id, cached: false });
                 }
                 Err(message) => {
-                    job.state = if cancelled {
+                    let state = if cancelled {
                         JobState::Cancelled
                     } else {
                         JobState::Failed
                     };
-                    job.error = Some(message);
+                    {
+                        let job = sched.jobs.get_mut(&id).expect("running job exists");
+                        job.state = state;
+                        job.error = Some(message.clone());
+                    }
+                    let rec = if cancelled {
+                        Record::Cancelled { id, message }
+                    } else {
+                        Record::Failed { id, message }
+                    };
+                    Self::jappend(&mut sched, &rec);
                 }
             }
+            self.maybe_compact(&mut sched);
             drop(sched);
             self.event.notify_all();
         }

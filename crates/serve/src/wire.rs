@@ -11,6 +11,7 @@
 //! cancel id=<n>
 //! result id=<n>
 //! stats
+//! drain
 //! shutdown
 //! ```
 //!
@@ -18,10 +19,23 @@
 //! with newlines and backslashes escaped by [`escape`]. Responses are
 //! `ok …` / `err <message>` lines built with the same `key=value`
 //! grammar (see the `mas_serve` binary).
+//!
+//! The server's edge reads request lines through [`read_request_line`],
+//! which bounds every line to [`MAX_LINE`] bytes and classifies
+//! oversized or non-UTF-8 input as structured [`WireRead`] outcomes —
+//! a hostile or broken peer gets an `err …` reply and a closed
+//! connection, never an unbounded buffer or a panicked thread.
 
 use crate::job::{JobSpec, JobStatus};
 use mas_config::Deck;
+use std::io::{self, BufRead};
 use stdpar::CodeVersion;
+
+/// Hard cap on one wire line (requests and responses). Generous — the
+/// longest legitimate line is a `submit` carrying one escaped deck,
+/// well under 64 KiB — while keeping a hostile peer from ballooning
+/// server memory one byte at a time.
+pub const MAX_LINE: usize = 1 << 20;
 
 /// Escape a multi-line text into a single protocol-safe line token.
 pub fn escape(text: &str) -> String {
@@ -72,8 +86,74 @@ pub enum Request {
     Result(u64),
     /// Server counters.
     Stats,
+    /// Stop intake, finish every queued and running job, then stop.
+    Drain,
     /// Stop the server.
     Shutdown,
+}
+
+/// One bounded read off a wire connection (see [`read_request_line`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireRead {
+    /// A complete line (terminator stripped).
+    Line(String),
+    /// The peer closed the connection cleanly.
+    Eof,
+    /// The line exceeded [`MAX_LINE`] before a newline arrived. The
+    /// excess has been consumed up to the cap; the connection should be
+    /// answered with an error and closed.
+    TooLong,
+    /// The line was not valid UTF-8.
+    BadUtf8,
+}
+
+/// Read one request line from `reader`, never buffering more than
+/// [`MAX_LINE`] bytes. Unlike `BufRead::read_line`, a peer that sends
+/// an endless line (or garbage bytes) costs bounded memory and gets a
+/// structured verdict instead of poisoning the stream.
+pub fn read_request_line(reader: &mut impl BufRead) -> io::Result<WireRead> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return if line.is_empty() {
+                Ok(WireRead::Eof)
+            } else {
+                // A final line without a terminator still counts.
+                Ok(finish_line(line))
+            };
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                if line.len() + nl > MAX_LINE {
+                    reader.consume(nl + 1);
+                    return Ok(WireRead::TooLong);
+                }
+                line.extend_from_slice(&buf[..nl]);
+                reader.consume(nl + 1);
+                return Ok(finish_line(line));
+            }
+            None => {
+                let n = buf.len();
+                if line.len() + n > MAX_LINE {
+                    reader.consume(n);
+                    return Ok(WireRead::TooLong);
+                }
+                line.extend_from_slice(buf);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+fn finish_line(mut line: Vec<u8>) -> WireRead {
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    match String::from_utf8(line) {
+        Ok(s) => WireRead::Line(s),
+        Err(_) => WireRead::BadUtf8,
+    }
 }
 
 /// Parse a code-version tag (`A`, `AD`, …, case-insensitive).
@@ -144,6 +224,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             &rest.split_whitespace().collect::<Vec<_>>(),
         )?)),
         "stats" => Ok(Request::Stats),
+        "drain" => Ok(Request::Drain),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown request '{other}'")),
     }
@@ -225,6 +306,7 @@ mod tests {
         assert_eq!(parse_request("cancel id=2").unwrap(), Request::Cancel(2));
         assert_eq!(parse_request("result id=3").unwrap(), Request::Result(3));
         assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("drain").unwrap(), Request::Drain);
         assert_eq!(parse_request("shutdown").unwrap(), Request::Shutdown);
         assert!(parse_request("status id=x").is_err());
         assert!(parse_request("explode").is_err());
@@ -236,6 +318,51 @@ mod tests {
         assert_eq!(parse_version("ad2xu").unwrap(), CodeVersion::Ad2xu);
         assert_eq!(parse_version("D2XAd").unwrap(), CodeVersion::D2xad);
         assert!(parse_version("openacc").is_err());
+    }
+
+    #[test]
+    fn bounded_reader_returns_lines_then_eof() {
+        let mut r = io::Cursor::new(b"stats\r\nwait id=3\nlast".to_vec());
+        assert_eq!(
+            read_request_line(&mut r).unwrap(),
+            WireRead::Line("stats".into())
+        );
+        assert_eq!(
+            read_request_line(&mut r).unwrap(),
+            WireRead::Line("wait id=3".into())
+        );
+        // Unterminated trailing line still delivers, then EOF.
+        assert_eq!(
+            read_request_line(&mut r).unwrap(),
+            WireRead::Line("last".into())
+        );
+        assert_eq!(read_request_line(&mut r).unwrap(), WireRead::Eof);
+    }
+
+    #[test]
+    fn bounded_reader_caps_oversized_lines() {
+        let mut huge = vec![b'a'; MAX_LINE + 10];
+        huge.push(b'\n');
+        huge.extend_from_slice(b"stats\n");
+        let mut r = io::Cursor::new(huge);
+        assert_eq!(read_request_line(&mut r).unwrap(), WireRead::TooLong);
+        // The stream stays usable for a well-behaved follow-up...
+        // (the server chooses to close instead, but the reader itself
+        // resynchronises at the newline).
+        assert_eq!(
+            read_request_line(&mut r).unwrap(),
+            WireRead::Line("stats".into())
+        );
+    }
+
+    #[test]
+    fn bounded_reader_rejects_invalid_utf8() {
+        let mut r = io::Cursor::new(b"\xff\xfe garbage\nstats\n".to_vec());
+        assert_eq!(read_request_line(&mut r).unwrap(), WireRead::BadUtf8);
+        assert_eq!(
+            read_request_line(&mut r).unwrap(),
+            WireRead::Line("stats".into())
+        );
     }
 
     #[test]

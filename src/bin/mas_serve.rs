@@ -4,41 +4,69 @@
 //!
 //! ```text
 //! mas_serve [--listen ADDR] [--devices N] [--workers N] [--queue N] [--quota N]
+//!           [--state-dir DIR] [--wire-deadline-ms MS] [--drain]
 //! mas_serve --drill
+//! mas_serve --restart-drill
 //! ```
 //!
 //! The default mode binds a TCP listener and speaks the `mas-serve` line
 //! protocol (one request line, one response line — see
 //! `mas_serve::wire`): `submit`, `status`, `wait`, `cancel`, `result`,
-//! `stats`, `shutdown`.
+//! `stats`, `drain`, `shutdown`.
+//!
+//! With `--state-dir DIR` the server is **crash-only**: every state
+//! transition is journaled durably under `DIR` and a restart with the
+//! same directory replays it — completed results survive as cache
+//! entries, interrupted jobs re-enter the queue, and a torn journal
+//! tail is truncated. The recovery outcome is printed as a single
+//! greppable `recovery:` line.
+//!
+//! `--drain` boots (recovering state if `--state-dir` is given), runs
+//! every queued and recovered job to completion without accepting new
+//! work, journals the terminal states, and exits 0 — the graceful
+//! counterpart of kill -9. The same wind-down is reachable over the
+//! wire with the `drain` request.
 //!
 //! `--drill` is the self-contained smoke sequence CI runs: boot a
 //! 2-device server on an ephemeral port, then over real TCP submit a
 //! tiny deck and wait for it, resubmit it and require a cache hit with
 //! zero additional steps executed, and run a rank-death job to require
-//! the supervisor's respawn recovery works under the scheduler. Exits
-//! non-zero on any violation.
+//! the supervisor's respawn recovery works under the scheduler.
+//!
+//! `--restart-drill` is the crash-recovery end-to-end check: spawn a
+//! journaled child server, submit jobs, SIGKILL it mid-run, restart
+//! over the same state directory, and require that nothing submitted
+//! was lost, completed results survive as zero-step cache hits, and
+//! jobs finished after the restart hash bit-identically to an
+//! uninterrupted run. Both drills exit non-zero on any violation.
 
 use mas_config::Deck;
-use mas_serve::wire::{self, Request};
-use mas_serve::{JobId, Server, ServerConfig};
+use mas_serve::wire::{self, Request, WireRead};
+use mas_serve::{JobId, RemoteClient, Server, ServerConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: mas_serve [--listen ADDR] [--devices N] [--workers N] [--queue N] [--quota N]\n\
-         \x20      mas_serve --drill\n\
+         \x20                [--state-dir DIR] [--wire-deadline-ms MS] [--drain]\n\
+         \x20      mas_serve --drill | --restart-drill\n\
          \n\
-         --listen ADDR    bind address               (default 127.0.0.1:4333)\n\
-         --devices N      virtual device pool size   (default 4)\n\
-         --workers N      concurrent jobs            (default = devices)\n\
-         --queue N        queued-job backpressure cap (default 32)\n\
-         --quota N        per-tenant live-job quota  (default 8)\n\
-         --drill          run the self-test smoke sequence and exit"
+         --listen ADDR         bind address               (default 127.0.0.1:4333)\n\
+         --devices N           virtual device pool size   (default 4)\n\
+         --workers N           concurrent jobs            (default = devices)\n\
+         --queue N             queued-job backpressure cap (default 32)\n\
+         --quota N             per-tenant live-job quota  (default 8)\n\
+         --state-dir DIR       journal state transitions under DIR and\n\
+         \x20                     recover them on restart (crash-only mode)\n\
+         --wire-deadline-ms MS idle-connection read deadline (default 30000; 0 = none)\n\
+         --drain               finish all queued/recovered jobs, journal, exit 0\n\
+         --drill               run the self-test smoke sequence and exit\n\
+         --restart-drill       run the kill -9 / recovery sequence and exit"
     );
     std::process::exit(2);
 }
@@ -49,18 +77,32 @@ struct Opts {
     workers: Option<usize>,
     queue: usize,
     quota: usize,
+    state_dir: Option<String>,
+    wire_deadline_ms: u64,
+    drain: bool,
     drill: bool,
+    restart_drill: bool,
+}
+
+impl Opts {
+    fn defaults() -> Self {
+        Opts {
+            listen: "127.0.0.1:4333".into(),
+            devices: 4,
+            workers: None,
+            queue: 32,
+            quota: 8,
+            state_dir: None,
+            wire_deadline_ms: 30_000,
+            drain: false,
+            drill: false,
+            restart_drill: false,
+        }
+    }
 }
 
 fn parse_opts() -> Result<Opts, String> {
-    let mut o = Opts {
-        listen: "127.0.0.1:4333".into(),
-        devices: 4,
-        workers: None,
-        queue: 32,
-        quota: 8,
-        drill: false,
-    };
+    let mut o = Opts::defaults();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut val = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
@@ -72,7 +114,15 @@ fn parse_opts() -> Result<Opts, String> {
             }
             "--queue" => o.queue = val("--queue")?.parse().map_err(|e| format!("{e}"))?,
             "--quota" => o.quota = val("--quota")?.parse().map_err(|e| format!("{e}"))?,
+            "--state-dir" => o.state_dir = Some(val("--state-dir")?),
+            "--wire-deadline-ms" => {
+                o.wire_deadline_ms = val("--wire-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--drain" => o.drain = true,
             "--drill" => o.drill = true,
+            "--restart-drill" => o.restart_drill = true,
             "--help" | "-h" => usage(),
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -80,15 +130,26 @@ fn parse_opts() -> Result<Opts, String> {
     Ok(o)
 }
 
-fn server_from(o: &Opts) -> Arc<Server> {
+/// Boot the server the options describe: journaled (with a recovery
+/// summary printed) when `--state-dir` is given, in-memory otherwise.
+fn server_from(o: &Opts) -> Result<Arc<Server>, String> {
     let mut cfg = ServerConfig::new(gpusim::DeviceSpec::a100_40gb(), o.devices);
     cfg.n_workers = o.workers.unwrap_or(o.devices);
     cfg.max_queue = o.queue;
     cfg.tenant_quota = o.quota;
-    Server::start(cfg)
+    match &o.state_dir {
+        Some(dir) => {
+            let (server, summary) = Server::recover(cfg, dir)
+                .map_err(|e| format!("cannot recover state dir '{dir}': {e}"))?;
+            println!("mas_serve: recovery: {summary}");
+            Ok(server)
+        }
+        None => Ok(Server::start(cfg)),
+    }
 }
 
-/// One response line for one request line.
+/// One response line for one request line (the blocking control verbs —
+/// `drain`, `shutdown` — are handled by the connection loop instead).
 fn respond(server: &Arc<Server>, req: Request) -> String {
     match req {
         Request::Submit(spec) => match server.submit(*spec) {
@@ -128,7 +189,8 @@ fn respond(server: &Arc<Server>, req: Request) -> String {
             let s = server.stats();
             format!(
                 "ok devices={} free={} busy={} queued={} running={} done={} failed={} \
-                 cancelled={} cache_hits={} cache_misses={} total_steps={}",
+                 cancelled={} cache_hits={} cache_misses={} cache_entries={} \
+                 cache_evictions={} total_steps={}",
                 s.pool.total,
                 s.pool.free,
                 s.pool.busy,
@@ -139,16 +201,19 @@ fn respond(server: &Arc<Server>, req: Request) -> String {
                 s.cancelled,
                 s.cache_hits,
                 s.cache_misses,
+                s.cache_entries,
+                s.cache_evictions,
                 s.total_steps
             )
         }
-        Request::Shutdown => "ok shutting-down".into(),
+        Request::Drain | Request::Shutdown => unreachable!("handled by the connection loop"),
     }
 }
 
 /// Accept loop: one thread per connection, one response line per
-/// request line. Returns when a `shutdown` request arrives.
-fn serve(listener: TcpListener, server: Arc<Server>) {
+/// request line, every read bounded in both size and time. Returns when
+/// a `shutdown` or `drain` request arrives (after honouring it).
+fn serve(listener: TcpListener, server: Arc<Server>, deadline: Option<Duration>) {
     let stop = Arc::new(AtomicBool::new(false));
     let addr = listener.local_addr().expect("listener address");
     let mut conns = Vec::new();
@@ -160,31 +225,73 @@ fn serve(listener: TcpListener, server: Arc<Server>) {
         let server = server.clone();
         let stop = stop.clone();
         conns.push(std::thread::spawn(move || {
+            // A silent peer may not pin this thread forever: reads time
+            // out after the wire deadline and the connection closes.
+            let _ = stream.set_read_timeout(deadline);
             let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
-            let mut line = String::new();
             let mut out = stream;
             loop {
-                line.clear();
-                match reader.read_line(&mut line) {
-                    Ok(0) | Err(_) => return,
-                    Ok(_) => {}
-                }
+                let line = match wire::read_request_line(&mut reader) {
+                    Ok(WireRead::Line(l)) => l,
+                    Ok(WireRead::Eof) => return,
+                    Ok(WireRead::TooLong) => {
+                        // The stream may be mid-line garbage: answer and
+                        // close rather than trying to resynchronise.
+                        let _ = writeln!(
+                            out,
+                            "err request line exceeds {} bytes",
+                            wire::MAX_LINE
+                        );
+                        return;
+                    }
+                    Ok(WireRead::BadUtf8) => {
+                        // The line boundary is intact; the connection
+                        // can continue.
+                        let _ = writeln!(out, "err request is not valid UTF-8");
+                        let _ = out.flush();
+                        continue;
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        let _ = writeln!(out, "err idle timeout; closing connection");
+                        return;
+                    }
+                    Err(_) => return,
+                };
                 if line.trim().is_empty() {
                     continue;
                 }
-                let (reply, is_shutdown) = match wire::parse_request(&line) {
-                    Ok(req) => {
-                        let is_shutdown = matches!(req, Request::Shutdown);
-                        (respond(&server, req), is_shutdown)
+                let req = match wire::parse_request(&line) {
+                    Ok(req) => req,
+                    Err(e) => {
+                        if writeln!(out, "err {}", wire::escape(&e)).is_err() {
+                            return;
+                        }
+                        let _ = out.flush();
+                        continue;
                     }
-                    Err(e) => (format!("err {}", wire::escape(&e)), false),
+                };
+                let (reply, stops) = match req {
+                    Request::Shutdown => {
+                        server.shutdown();
+                        ("ok shutting-down".to_string(), true)
+                    }
+                    Request::Drain => {
+                        // Blocks until every queued and running job has
+                        // finished and journaled; the reply is the
+                        // completion signal.
+                        server.drain();
+                        ("ok drained".to_string(), true)
+                    }
+                    req => (respond(&server, req), false),
                 };
                 if writeln!(out, "{reply}").is_err() {
                     return;
                 }
                 let _ = out.flush();
-                if is_shutdown {
-                    server.shutdown();
+                if stops {
                     stop.store(true, Ordering::SeqCst);
                     // Unblock the accept loop with a throwaway connection.
                     let _ = TcpStream::connect(addr);
@@ -203,15 +310,7 @@ fn serve(listener: TcpListener, server: Arc<Server>) {
 
 /// Send one request line on a fresh connection, return the response line.
 fn request(addr: &str, line: &str) -> Result<String, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut out = stream.try_clone().map_err(|e| e.to_string())?;
-    writeln!(out, "{line}").map_err(|e| e.to_string())?;
-    out.flush().map_err(|e| e.to_string())?;
-    let mut reply = String::new();
-    BufReader::new(stream)
-        .read_line(&mut reply)
-        .map_err(|e| e.to_string())?;
-    Ok(reply.trim_end().to_string())
+    RemoteClient::connect(addr).request(line)
 }
 
 fn expect(cond: bool, what: &str) -> Result<(), String> {
@@ -224,10 +323,7 @@ fn expect(cond: bool, what: &str) -> Result<(), String> {
 }
 
 fn field_of(reply: &str, key: &str) -> Option<String> {
-    reply
-        .split_whitespace()
-        .find_map(|w| w.strip_prefix(key).and_then(|w| w.strip_prefix('=')))
-        .map(|s| s.to_string())
+    RemoteClient::field(reply, key).ok()
 }
 
 fn tiny_deck() -> Deck {
@@ -245,10 +341,9 @@ fn drill() -> Result<(), String> {
         devices: 2,
         workers: Some(2),
         queue: 8,
-        quota: 8,
-        drill: true,
-    });
-    let srv = std::thread::spawn(move || serve(listener, server));
+        ..Opts::defaults()
+    })?;
+    let srv = std::thread::spawn(move || serve(listener, server, None));
     println!("drill: serving on {addr}");
 
     // 1. A tiny deck runs to completion over the wire.
@@ -294,7 +389,31 @@ fn drill() -> Result<(), String> {
         "cached result is bit-identical",
     )?;
 
-    // 3. Kill a rank mid-job: the supervisor's respawn recovery must
+    // 3. Hostile wire input answers structurally, never with a hang or
+    //    a dead thread.
+    let r = request(&addr, "explode please")?;
+    expect(r.starts_with("err "), &format!("unknown verb answered ({r})"))?;
+    {
+        let stream = TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+        let mut w = &stream;
+        w.write_all(b"\xff\xfe not utf8\nstats\n")
+            .map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(&stream);
+        let mut l1 = String::new();
+        reader.read_line(&mut l1).map_err(|e| e.to_string())?;
+        expect(
+            l1.starts_with("err "),
+            &format!("invalid UTF-8 answered structurally ({})", l1.trim_end()),
+        )?;
+        let mut l2 = String::new();
+        reader.read_line(&mut l2).map_err(|e| e.to_string())?;
+        expect(
+            l2.starts_with("ok "),
+            "connection survives a bad-UTF-8 line",
+        )?;
+    }
+
+    // 4. Kill a rank mid-job: the supervisor's respawn recovery must
     //    work underneath the scheduler.
     let dir = std::env::temp_dir().join("mas_serve_drill");
     let _ = std::fs::remove_dir_all(&dir);
@@ -325,11 +444,243 @@ fn drill() -> Result<(), String> {
         .unwrap_or(0);
     expect(recoveries > 0, "recovery events were streamed")?;
 
-    // 4. Clean shutdown over the wire.
+    // 5. Clean shutdown over the wire.
     let r = request(&addr, "shutdown")?;
     expect(r == "ok shutting-down", &format!("shutdown accepted ({r})"))?;
     srv.join().map_err(|_| "server thread panicked".to_string())?;
     println!("drill: all checks passed");
+    Ok(())
+}
+
+// -- restart drill (kill -9 / recovery) -------------------------------------
+
+/// A journaled child server process plus the address it bound.
+struct ChildServer {
+    child: std::process::Child,
+    addr: String,
+    recovery: Option<String>,
+}
+
+/// Spawn this same binary as a journaled server on an ephemeral port
+/// and parse its startup lines for the bound address (and the recovery
+/// summary, when a state dir is recovered).
+fn spawn_server(state_dir: &std::path::Path, workers: usize) -> Result<ChildServer, String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--devices",
+            "2",
+            "--workers",
+            &workers.to_string(),
+            "--state-dir",
+            &state_dir.to_string_lossy(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn server: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut addr = None;
+    let mut recovery = None;
+    let mut line = String::new();
+    while addr.is_none() {
+        line.clear();
+        if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            let _ = child.kill();
+            return Err("server exited before announcing its address".into());
+        }
+        print!("restart-drill: child: {line}");
+        if let Some(rest) = line.split("recovery: ").nth(1) {
+            recovery = Some(rest.trim_end().to_string());
+        }
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            addr = rest.split_whitespace().next().map(str::to_string);
+        }
+    }
+    // Keep draining child stdout in the background so it can't block on
+    // a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while let Ok(n) = reader.read_line(&mut sink) {
+            if n == 0 {
+                break;
+            }
+            print!("restart-drill: child: {sink}");
+            sink.clear();
+        }
+    });
+    Ok(ChildServer {
+        child,
+        addr: addr.expect("address parsed"),
+        recovery,
+    })
+}
+
+/// A deck big enough to give the kill a wide mid-run window.
+fn slow_deck(n_steps: usize) -> Deck {
+    let mut d = Deck::preset_quickstart();
+    d.time.n_steps = n_steps;
+    d.output.hist_interval = 0;
+    d
+}
+
+fn restart_drill() -> Result<(), String> {
+    let state = std::env::temp_dir().join("mas_serve_restart_drill");
+    let baseline = std::env::temp_dir().join("mas_serve_restart_drill_baseline");
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_dir_all(&baseline);
+
+    // -- Phase 1: a journaled server takes one fast and two slow jobs -
+    let a = spawn_server(&state, 1)?;
+    let addr = a.addr.clone();
+    let mut a_child = a.child;
+
+    let fast = mas_serve::JobSpec::new(tiny_deck()).tenant("drill").seed(7);
+    let slow1 = mas_serve::JobSpec::new(slow_deck(1500)).tenant("drill").seed(11);
+    let slow2 = mas_serve::JobSpec::new(slow_deck(1500)).tenant("drill").seed(12);
+
+    let r = request(&addr, &wire::encode_submit(&fast))?;
+    expect(r == "ok id=1", &format!("fast job accepted ({r})"))?;
+    let r = request(&addr, "wait id=1")?;
+    expect(
+        field_of(&r, "state").as_deref() == Some("done"),
+        &format!("fast job done before the crash ({r})"),
+    )?;
+    let hashes_fast = field_of(&request(&addr, "result id=1")?, "hashes")
+        .ok_or("no hashes for the fast job")?;
+
+    // With one worker, slow1 runs while slow2 is pinned in the queue.
+    let r = request(&addr, &wire::encode_submit(&slow1))?;
+    expect(r == "ok id=2", &format!("slow job accepted ({r})"))?;
+    let r = request(&addr, &wire::encode_submit(&slow2))?;
+    expect(r == "ok id=3", &format!("queued job accepted ({r})"))?;
+
+    // -- Phase 2: SIGKILL mid-run ---------------------------------
+    let mut mid_run = false;
+    for _ in 0..2000 {
+        let r = request(&addr, "status id=2")?;
+        let state_now = field_of(&r, "state").unwrap_or_default();
+        let steps: usize = field_of(&r, "steps")
+            .and_then(|s| s.split('/').next().map(str::to_string))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        if state_now == "running" && steps > 5 {
+            mid_run = true;
+            break;
+        }
+        if state_now == "done" {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    expect(mid_run, "caught the slow job mid-run")?;
+    a_child.kill().map_err(|e| format!("kill server: {e}"))?;
+    let _ = a_child.wait();
+    println!("restart-drill: server killed (SIGKILL) mid-job");
+
+    // -- Phase 3: restart over the same state dir -----------------
+    let b = spawn_server(&state, 1)?;
+    let addr = b.addr.clone();
+    let mut b_child = b.child;
+    let recovery = b.recovery.ok_or("no recovery summary line printed")?;
+    expect(
+        field_of(&recovery, "requeued").as_deref() == Some("2"),
+        &format!("both interrupted jobs requeued ({recovery})"),
+    )?;
+    expect(
+        field_of(&recovery, "done").as_deref() == Some("1"),
+        &format!("completed job restored ({recovery})"),
+    )?;
+
+    // Interrupted jobs finish after the restart — nothing was lost.
+    // (`wait` goes through the deadline-free path: it blocks by design.)
+    for id in [2u64, 3] {
+        let r = RemoteClient::connect(addr.clone()).wait(id)?;
+        expect(
+            field_of(&r, "state").as_deref() == Some("done"),
+            &format!("requeued job {id} completed after restart ({r})"),
+        )?;
+    }
+    let hashes_slow1 = field_of(&request(&addr, "result id=2")?, "hashes")
+        .ok_or("no hashes for requeued job 2")?;
+    let hashes_slow2 = field_of(&request(&addr, "result id=3")?, "hashes")
+        .ok_or("no hashes for requeued job 3")?;
+
+    // The pre-crash result survived: resubmitting the fast deck is a
+    // zero-step cache hit with the identical report.
+    let r = request(&addr, "stats")?;
+    let steps_before: u64 = field_of(&r, "total_steps")
+        .and_then(|s| s.parse().ok())
+        .ok_or(format!("no total_steps in '{r}'"))?;
+    let r = request(&addr, &wire::encode_submit(&fast))?;
+    let id4 = field_of(&r, "id").ok_or(format!("resubmit failed: {r}"))?;
+    let r = request(&addr, &format!("wait id={id4}"))?;
+    expect(
+        field_of(&r, "cached").as_deref() == Some("true"),
+        &format!("pre-crash result survived as a cache hit ({r})"),
+    )?;
+    let r = request(&addr, "stats")?;
+    let steps_after: u64 = field_of(&r, "total_steps")
+        .and_then(|s| s.parse().ok())
+        .ok_or(format!("no total_steps in '{r}'"))?;
+    expect(
+        steps_after == steps_before,
+        "cache hit after restart executed zero steps",
+    )?;
+    let hashes_fast_again = field_of(&request(&addr, &format!("result id={id4}"))?, "hashes")
+        .ok_or("no hashes for the resubmitted fast job")?;
+    expect(
+        hashes_fast_again == hashes_fast,
+        "recovered cache serves the bit-identical report",
+    )?;
+
+    // -- Phase 4: drain exits 0 -----------------------------------
+    let r = RemoteClient::connect(addr.clone()).drain()?;
+    expect(r == "ok drained", &format!("drain acknowledged ({r})"))?;
+    let status = b_child.wait().map_err(|e| e.to_string())?;
+    expect(status.success(), "drained server exited 0")?;
+
+    // -- Phase 5: bit-exactness vs a never-crashed server ---------
+    let c = spawn_server(&baseline, 1)?;
+    let addr = c.addr.clone();
+    let mut c_child = c.child;
+    let r = request(&addr, &wire::encode_submit(&slow1))?;
+    expect(r == "ok id=1", &format!("baseline slow job accepted ({r})"))?;
+    let r = request(&addr, &wire::encode_submit(&slow2))?;
+    expect(r == "ok id=2", &format!("baseline queued job accepted ({r})"))?;
+    RemoteClient::connect(addr.clone()).wait(1)?;
+    RemoteClient::connect(addr.clone()).wait(2)?;
+    let base1 = field_of(&request(&addr, "result id=1")?, "hashes")
+        .ok_or("no baseline hashes (job 1)")?;
+    let base2 = field_of(&request(&addr, "result id=2")?, "hashes")
+        .ok_or("no baseline hashes (job 2)")?;
+    expect(
+        hashes_slow1 == base1 && hashes_slow2 == base2,
+        "post-crash completions hash bit-exact vs the uninterrupted run",
+    )?;
+    let _ = RemoteClient::connect(addr).shutdown();
+    let _ = c_child.wait();
+
+    // -- Phase 6: --drain boots, recovers, finishes, exits 0 ------
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let status = std::process::Command::new(exe)
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--devices",
+            "2",
+            "--state-dir",
+            &state.to_string_lossy(),
+            "--drain",
+        ])
+        .status()
+        .map_err(|e| e.to_string())?;
+    expect(status.success(), "--drain boot over recovered state exits 0")?;
+
+    println!("restart-drill: all checks passed");
     Ok(())
 }
 
@@ -350,6 +701,34 @@ fn main() -> ExitCode {
             }
         };
     }
+    if opts.restart_drill {
+        return match restart_drill() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("restart-drill: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let server = match server_from(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mas_serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.drain {
+        // Headless wind-down: finish everything recovered/queued,
+        // journal the terminal states, exit 0. No listener.
+        server.drain();
+        server.join();
+        let s = server.stats();
+        println!(
+            "mas_serve: drained | done={} failed={} cancelled={}",
+            s.done, s.failed, s.cancelled
+        );
+        return ExitCode::SUCCESS;
+    }
     let listener = match TcpListener::bind(&opts.listen) {
         Ok(l) => l,
         Err(e) => {
@@ -357,15 +736,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let server = server_from(&opts);
+    let bound = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| opts.listen.clone());
     println!(
-        "mas_serve: listening on {} | {} device(s), {} worker(s), queue {}, quota {}",
-        opts.listen,
+        "mas_serve: listening on {bound} | {} device(s), {} worker(s), queue {}, quota {}{}",
         opts.devices,
         opts.workers.unwrap_or(opts.devices),
         opts.queue,
-        opts.quota
+        opts.quota,
+        match &opts.state_dir {
+            Some(d) => format!(", journal {d}/journal.log"),
+            None => ", in-memory (no --state-dir)".into(),
+        }
     );
-    serve(listener, server);
+    let deadline = match opts.wire_deadline_ms {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    serve(listener, server, deadline);
     ExitCode::SUCCESS
 }
