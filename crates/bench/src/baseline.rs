@@ -1,4 +1,5 @@
-//! Persisted performance baseline: the schema behind `BENCH_6.json`.
+//! Persisted performance baseline: the schema behind the repo-root
+//! `BENCH_*.json` trajectory.
 //!
 //! The `bench_baseline` binary sweeps all six code versions across host
 //! thread counts and rank counts, in both the **legacy** hot path (the
@@ -14,8 +15,8 @@
 
 use crate::json::Json;
 
-/// Bump when the layout of `BENCH_6.json` changes; `from_json` rejects
-/// any other value.
+/// Bump when the layout of the baseline files changes; `from_json`
+/// rejects any other value.
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// Machine fingerprint so a baseline is never compared across hosts.
@@ -107,6 +108,11 @@ pub struct BenchFile {
 }
 
 impl Machine {
+    /// One-line rendering for compare output and mismatch warnings.
+    pub fn describe(&self) -> String {
+        format!("{} x{} @ {}", self.cpu, self.ncpu, self.hostname)
+    }
+
     fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("cpu".into(), Json::Str(self.cpu.clone())),
@@ -373,6 +379,118 @@ impl BenchFile {
         }
         Ok(())
     }
+
+    /// Diff this (newer) sweep against an older baseline.
+    ///
+    /// Cases are matched on `(mode, version, threads, ranks)`. State
+    /// hashes are compared only when the two decks are identical — a
+    /// smoke sweep against a full baseline produces different physics,
+    /// so a hash comparison there would be noise, not signal. A machine
+    /// fingerprint mismatch downgrades the steps/sec deltas to a
+    /// warning (cross-host timings are indicative only) but never hides
+    /// a hash mismatch: bit-exactness is machine-independent.
+    pub fn compare(&self, old: &BenchFile) -> CompareReport {
+        let mut warnings = Vec::new();
+        let same_deck = self.deck == old.deck;
+        let same_machine = self.machine == old.machine;
+        if !same_machine {
+            warnings.push(format!(
+                "machine fingerprint differs (old: {}; new: {}) — \
+                 steps/sec deltas are indicative only",
+                old.machine.describe(),
+                self.machine.describe()
+            ));
+        }
+        if !same_deck {
+            warnings.push(format!(
+                "deck differs (old {:?} vs new {:?}) — state hashes not compared",
+                old.deck, self.deck
+            ));
+        }
+        let mut lines = Vec::new();
+        let mut hash_mismatches = Vec::new();
+        let mut lean_sum = 0.0;
+        let mut lean_n = 0usize;
+        for new_case in &self.cases {
+            let Some(old_case) = old.cases.iter().find(|c| {
+                c.mode == new_case.mode
+                    && c.version == new_case.version
+                    && c.threads == new_case.threads
+                    && c.ranks == new_case.ranks
+            }) else {
+                warnings.push(format!(
+                    "no old case for {} {} t={} r={}",
+                    new_case.mode, new_case.version, new_case.threads, new_case.ranks
+                ));
+                continue;
+            };
+            let delta_pct = 100.0 * (new_case.steps_per_sec - old_case.steps_per_sec)
+                / old_case.steps_per_sec;
+            lines.push(format!(
+                "{:<6} {:<5} t={} r={}  {:7.1} -> {:7.1} steps/s  ({:+.1}%)",
+                new_case.mode,
+                new_case.version,
+                new_case.threads,
+                new_case.ranks,
+                old_case.steps_per_sec,
+                new_case.steps_per_sec,
+                delta_pct
+            ));
+            if new_case.mode == "lean" {
+                lean_sum += delta_pct;
+                lean_n += 1;
+            }
+            if same_deck && new_case.state_hash != old_case.state_hash {
+                hash_mismatches.push(format!(
+                    "{} {} t={} r={}: {} != baseline {}",
+                    new_case.mode,
+                    new_case.version,
+                    new_case.threads,
+                    new_case.ranks,
+                    new_case.state_hash,
+                    old_case.state_hash
+                ));
+            }
+        }
+        let mean_lean_delta_pct = if lean_n == 0 {
+            0.0
+        } else {
+            lean_sum / lean_n as f64
+        };
+        CompareReport {
+            warnings,
+            lines,
+            mean_lean_delta_pct,
+            hash_mismatches,
+            same_deck,
+            same_machine,
+        }
+    }
+}
+
+/// Result of [`BenchFile::compare`]: a newer sweep diffed against an
+/// older baseline.
+#[derive(Clone, Debug)]
+pub struct CompareReport {
+    /// Human-readable caveats: fingerprint/deck mismatch, missing combos.
+    pub warnings: Vec<String>,
+    /// One formatted line per case present in both files.
+    pub lines: Vec<String>,
+    /// Mean steps/sec change across lean-mode cases, percent.
+    pub mean_lean_delta_pct: f64,
+    /// Cases whose state hash diverged (populated only when decks match).
+    pub hash_mismatches: Vec<String>,
+    /// The two decks were identical (hash comparison was meaningful).
+    pub same_deck: bool,
+    /// The two machine fingerprints were identical.
+    pub same_machine: bool,
+}
+
+impl CompareReport {
+    /// No state-hash divergence against the baseline.
+    pub fn is_bit_exact(&self) -> bool {
+        self.hash_mismatches.is_empty()
+    }
 }
 
 // --- strict-object plumbing ------------------------------------------------
@@ -432,9 +550,17 @@ pub fn peak_rss_kb() -> u64 {
 }
 
 /// Fingerprint the host: CPU model, logical CPU count, hostname.
+///
+/// The CPU count comes from counting `processor` entries in
+/// `/proc/cpuinfo` — `available_parallelism` reflects the affinity
+/// mask / cgroup quota of *this process*, which under a constrained
+/// runner reports 1 even on a many-core host (the `ncpu: 1` bug in
+/// the original `BENCH_6.json`). The affinity-mask value is kept only
+/// as a fallback when `/proc/cpuinfo` is unavailable.
 pub fn machine_fingerprint() -> Machine {
-    let cpu = std::fs::read_to_string("/proc/cpuinfo")
-        .ok()
+    let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").ok();
+    let cpu = cpuinfo
+        .as_deref()
         .and_then(|s| {
             s.lines()
                 .find(|l| l.starts_with("model name"))
@@ -442,9 +568,24 @@ pub fn machine_fingerprint() -> Machine {
                 .map(|m| m.trim().to_owned())
         })
         .unwrap_or_else(|| "unknown".into());
-    let ncpu = std::thread::available_parallelism()
-        .map(|n| n.get() as u64)
-        .unwrap_or(1);
+    let ncpu_cpuinfo = cpuinfo
+        .as_deref()
+        .map(|s| {
+            s.lines()
+                .filter(|l| {
+                    l.strip_prefix("processor")
+                        .is_some_and(|rest| rest.trim_start().starts_with(':'))
+                })
+                .count() as u64
+        })
+        .unwrap_or(0);
+    let ncpu = if ncpu_cpuinfo > 0 {
+        ncpu_cpuinfo
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1)
+    };
     let hostname = std::fs::read_to_string("/proc/sys/kernel/hostname")
         .map(|s| s.trim().to_owned())
         .unwrap_or_else(|_| "unknown".into());
@@ -578,6 +719,76 @@ mod tests {
         assert_eq!(d.version, "A");
         assert!((d.improvement_pct - 25.0).abs() < 1e-12);
         assert!((file.host_engine_improvement_pct - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compare_same_deck_flags_hash_divergence() {
+        let old = sample();
+        let mut new = sample();
+        new.cases[1].steps_per_sec = 750.0;
+        new.cases[1].state_hash = "0123456789abcdef".into();
+        let rep = new.compare(&old);
+        assert!(rep.same_deck && rep.same_machine);
+        assert!(!rep.is_bit_exact());
+        assert_eq!(rep.hash_mismatches.len(), 1);
+        assert!(rep.hash_mismatches[0].contains("0123456789abcdef"), "{:?}", rep.hash_mismatches);
+        // Only the lean case moved: +20% on 625 -> 750.
+        assert!((rep.mean_lean_delta_pct - 20.0).abs() < 1e-9, "{}", rep.mean_lean_delta_pct);
+        assert_eq!(rep.lines.len(), 2);
+    }
+
+    #[test]
+    fn compare_different_deck_warns_and_skips_hashes() {
+        let old = sample();
+        let mut new = sample();
+        new.deck.nr = 32;
+        new.cases[0].state_hash = "ffffffffffffffff".into();
+        let rep = new.compare(&old);
+        assert!(!rep.same_deck);
+        assert!(rep.is_bit_exact(), "deck mismatch must disable hash comparison");
+        assert!(rep.warnings.iter().any(|w| w.contains("deck differs")), "{:?}", rep.warnings);
+    }
+
+    #[test]
+    fn compare_different_machine_warns_but_still_checks_hashes() {
+        let old = sample();
+        let mut new = sample();
+        new.machine.ncpu = 8;
+        new.cases[0].state_hash = "ffffffffffffffff".into();
+        let rep = new.compare(&old);
+        assert!(!rep.same_machine);
+        assert!(rep.warnings.iter().any(|w| w.contains("fingerprint differs")), "{:?}", rep.warnings);
+        assert!(!rep.is_bit_exact(), "hashes are machine-independent");
+    }
+
+    #[test]
+    fn compare_reports_missing_combinations() {
+        let old = sample();
+        let mut new = sample();
+        new.cases[1].threads = 2;
+        let rep = new.compare(&old);
+        assert!(rep.warnings.iter().any(|w| w.contains("no old case")), "{:?}", rep.warnings);
+        assert_eq!(rep.lines.len(), 1);
+    }
+
+    #[test]
+    fn ncpu_fingerprint_counts_processors() {
+        let m = machine_fingerprint();
+        // On any Linux host /proc/cpuinfo lists every logical CPU; the
+        // affinity-mask fallback also guarantees >= 1.
+        assert!(m.ncpu >= 1);
+        if let Ok(s) = std::fs::read_to_string("/proc/cpuinfo") {
+            let n = s
+                .lines()
+                .filter(|l| {
+                    l.strip_prefix("processor")
+                        .is_some_and(|rest| rest.trim_start().starts_with(':'))
+                })
+                .count() as u64;
+            if n > 0 {
+                assert_eq!(m.ncpu, n);
+            }
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! `bench_baseline` — persist the host-performance baseline (`BENCH_6.json`).
+//! `bench_baseline` — persist the host-performance baseline (`BENCH_7.json`).
 //!
 //! Runs one fixed deck across **all six code versions × {1,2,4} host
 //! threads × {1,2} ranks**, each in both hot-path modes:
@@ -16,12 +16,18 @@
 //! counts and modes (per rank count); the binary aborts otherwise.
 //!
 //! ```text
-//! bench_baseline [--smoke] [--out PATH]     # run the sweep, write JSON
+//! bench_baseline [--smoke] [--out PATH] [--compare OLD.json]
 //! bench_baseline --validate PATH            # strict schema + consistency check
 //! ```
 //!
 //! `--smoke` shrinks the deck and reps for CI; the committed
-//! `BENCH_6.json` at the repo root comes from the full sweep.
+//! `BENCH_*.json` files at the repo root come from full sweeps.
+//! `--compare OLD.json` diffs the fresh sweep against an older
+//! baseline: per-case steps/sec deltas, the mean lean-mode change, and
+//! — when the decks are identical — strict state-hash equality (any
+//! divergence exits nonzero). A machine-fingerprint mismatch is
+//! reported as a warning so cross-host timing diffs are never read as
+//! regressions.
 
 use std::time::Instant;
 
@@ -169,10 +175,58 @@ fn validate(path: &str) -> ! {
     std::process::exit(0);
 }
 
+fn compare_against(file: &BenchFile, old_path: &str) -> i32 {
+    let text = match std::fs::read_to_string(old_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {old_path}: {e}");
+            return 1;
+        }
+    };
+    let old = match BenchFile::from_json_string(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("FAIL: {old_path}: {e}");
+            return 1;
+        }
+    };
+    let rep = file.compare(&old);
+    eprintln!("compare vs {old_path} ({}):", old.bench_id);
+    eprintln!("  old machine: {}", old.machine.describe());
+    eprintln!("  new machine: {}", file.machine.describe());
+    for w in &rep.warnings {
+        eprintln!("  WARN: {w}");
+    }
+    for l in &rep.lines {
+        eprintln!("  {l}");
+    }
+    println!(
+        "compare vs {old_path}: mean lean steps/sec change {:+.1}%{}",
+        rep.mean_lean_delta_pct,
+        if rep.same_deck {
+            if rep.is_bit_exact() {
+                ", state hashes bit-exact"
+            } else {
+                ", STATE HASHES DIVERGED"
+            }
+        } else {
+            " (different deck; hashes not compared)"
+        }
+    );
+    if !rep.is_bit_exact() {
+        for m in &rep.hash_mismatches {
+            eprintln!("  HASH MISMATCH: {m}");
+        }
+        return 1;
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
-    let mut out = String::from("BENCH_6.json");
+    let mut out = String::from("BENCH_7.json");
+    let mut compare: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -181,13 +235,20 @@ fn main() {
                 i += 1;
                 out = args.get(i).expect("--out needs a path").clone();
             }
+            "--compare" => {
+                i += 1;
+                compare = Some(args.get(i).expect("--compare needs a path").clone());
+            }
             "--validate" => {
                 i += 1;
                 validate(args.get(i).expect("--validate needs a path"));
             }
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: bench_baseline [--smoke] [--out PATH] | --validate PATH");
+                eprintln!(
+                    "usage: bench_baseline [--smoke] [--out PATH] [--compare OLD.json] \
+                     | --validate PATH"
+                );
                 std::process::exit(2);
             }
         }
@@ -207,5 +268,8 @@ fn main() {
             d.version, d.threads, d.ranks, d.legacy_steps_per_sec, d.lean_steps_per_sec,
             d.improvement_pct
         );
+    }
+    if let Some(old_path) = compare {
+        std::process::exit(compare_against(&file, &old_path));
     }
 }

@@ -1,53 +1,67 @@
-//! The committed `BENCH_6.json` at the repo root must stay parseable,
-//! internally consistent, and above the hot-path improvement gate.
+//! The committed `BENCH_*.json` baselines at the repo root must stay
+//! parseable, internally consistent, and above the hot-path improvement
+//! gate.
 //!
-//! This is the regression tripwire for the persisted baseline: if a
-//! future change edits the file by hand, regenerates it with a schema
+//! This is the regression tripwire for the persisted baselines: if a
+//! future change edits a file by hand, regenerates it with a schema
 //! drift, or lands a hot-path regression big enough to drop the measured
 //! legacy→lean improvement below the gate, this test fails in CI.
+//! (Cross-baseline trend checks live in `trajectory.rs`.)
 
 use mas_bench::baseline::BenchFile;
 
 const GATE_PCT: f64 = 15.0;
+const COMMITTED: [&str; 2] = ["BENCH_6.json", "BENCH_7.json"];
 
-fn committed_file() -> BenchFile {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("read {path}: {e} (BENCH_6.json must live at the repo root)"));
-    BenchFile::from_json_string(&text).expect("committed BENCH_6.json parses as schema v1")
+fn committed_file(name: &str) -> BenchFile {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {path}: {e} ({name} must live at the repo root)"));
+    BenchFile::from_json_string(&text)
+        .unwrap_or_else(|e| panic!("committed {name} parses as schema v1: {e}"))
 }
 
 #[test]
-fn committed_baseline_is_consistent() {
-    let file = committed_file();
-    file.check_consistency()
-        .expect("committed BENCH_6.json is internally consistent");
+fn committed_baselines_are_consistent() {
+    for name in COMMITTED {
+        committed_file(name)
+            .check_consistency()
+            .unwrap_or_else(|e| panic!("committed {name} is internally consistent: {e}"));
+    }
 }
 
 #[test]
-fn committed_baseline_clears_the_improvement_gate() {
-    let file = committed_file();
-    assert!(
-        file.host_engine_improvement_pct >= GATE_PCT,
-        "host-engine improvement {:.1}% is below the {GATE_PCT}% gate",
-        file.host_engine_improvement_pct
-    );
-}
-
-#[test]
-fn committed_baseline_covers_the_full_matrix() {
-    let file = committed_file();
-    // 6 versions × {1,2,4} threads × {1,2} ranks × {legacy,lean}.
-    assert_eq!(file.cases.len(), 72, "expected the full 72-case sweep");
-    assert_eq!(file.deltas.len(), 36, "expected one delta per (version, threads, ranks)");
-    for d in &file.deltas {
+fn committed_baselines_clear_the_improvement_gate() {
+    for name in COMMITTED {
+        let file = committed_file(name);
         assert!(
-            d.improvement_pct > 0.0,
-            "regressed combo {} t{} r{}: {:.1}%",
-            d.version,
-            d.threads,
-            d.ranks,
-            d.improvement_pct
+            file.host_engine_improvement_pct >= GATE_PCT,
+            "{name}: host-engine improvement {:.1}% is below the {GATE_PCT}% gate",
+            file.host_engine_improvement_pct
         );
+    }
+}
+
+#[test]
+fn committed_baselines_cover_the_full_matrix() {
+    for name in COMMITTED {
+        let file = committed_file(name);
+        // 6 versions × {1,2,4} threads × {1,2} ranks × {legacy,lean}.
+        assert_eq!(file.cases.len(), 72, "{name}: expected the full 72-case sweep");
+        assert_eq!(
+            file.deltas.len(),
+            36,
+            "{name}: expected one delta per (version, threads, ranks)"
+        );
+        for d in &file.deltas {
+            assert!(
+                d.improvement_pct > 0.0,
+                "{name}: regressed combo {} t{} r{}: {:.1}%",
+                d.version,
+                d.threads,
+                d.ranks,
+                d.improvement_pct
+            );
+        }
     }
 }

@@ -1,0 +1,137 @@
+//! The multi-baseline performance trajectory: every `BENCH_*.json` at
+//! the repo root must parse, be internally consistent, and form an
+//! unbroken trend line.
+//!
+//! "Unbroken" means two things for each consecutive pair of baselines
+//! (ordered by their number):
+//!
+//! * **bit-exactness** — when the decks are identical, the folded state
+//!   hashes must agree case-for-case. A hash break between baselines is
+//!   a physics change smuggled in as a perf PR.
+//! * **no large regression** — when the baselines come from the same
+//!   host (CPU model + hostname; `ncpu` is excluded because its
+//!   detection was fixed between baselines), the mean lean-mode
+//!   steps/sec must not drop by more than 10%.
+
+use mas_bench::baseline::BenchFile;
+
+const REGRESSION_GATE_PCT: f64 = -10.0;
+
+/// All repo-root baselines, ordered by their trailing number.
+fn baselines() -> Vec<(String, BenchFile)> {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let mut numbered: Vec<(u64, String)> = std::fs::read_dir(root)
+        .expect("read repo root")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter_map(|name| {
+            let n = name
+                .strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse::<u64>()
+                .ok()?;
+            Some((n, name))
+        })
+        .collect();
+    numbered.sort();
+    assert!(
+        !numbered.is_empty(),
+        "no BENCH_*.json baselines found at the repo root"
+    );
+    numbered
+        .into_iter()
+        .map(|(_, name)| {
+            let text = std::fs::read_to_string(format!("{root}/{name}"))
+                .unwrap_or_else(|e| panic!("read {name}: {e}"));
+            let file = BenchFile::from_json_string(&text)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            file.check_consistency()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            (name, file)
+        })
+        .collect()
+}
+
+fn mean_lean_steps_per_sec(file: &BenchFile) -> f64 {
+    let lean: Vec<f64> = file
+        .cases
+        .iter()
+        .filter(|c| c.mode == "lean")
+        .map(|c| c.steps_per_sec)
+        .collect();
+    assert!(!lean.is_empty(), "baseline has no lean cases");
+    lean.iter().sum::<f64>() / lean.len() as f64
+}
+
+#[test]
+fn every_committed_baseline_parses_and_is_consistent() {
+    let files = baselines();
+    assert!(
+        files.len() >= 2,
+        "expected at least BENCH_6.json and BENCH_7.json, found {:?}",
+        files.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn consecutive_same_deck_baselines_are_bit_exact() {
+    let files = baselines();
+    for pair in files.windows(2) {
+        let (old_name, old) = &pair[0];
+        let (new_name, new) = &pair[1];
+        if old.deck != new.deck {
+            continue;
+        }
+        let rep = new.compare(old);
+        assert!(
+            rep.is_bit_exact(),
+            "{new_name} diverges from {old_name}: {:?}",
+            rep.hash_mismatches
+        );
+    }
+}
+
+#[test]
+fn trend_line_has_no_large_regression() {
+    let files = baselines();
+    for pair in files.windows(2) {
+        let (old_name, old) = &pair[0];
+        let (new_name, new) = &pair[1];
+        // Timings are only comparable on the same host. `ncpu` is left
+        // out of the identity on purpose: BENCH_6 recorded the affinity
+        // mask (1), later baselines the real processor count.
+        let same_host = old.machine.cpu == new.machine.cpu
+            && old.machine.hostname == new.machine.hostname;
+        if old.deck != new.deck || !same_host {
+            continue;
+        }
+        let old_mean = mean_lean_steps_per_sec(old);
+        let new_mean = mean_lean_steps_per_sec(new);
+        let delta_pct = 100.0 * (new_mean - old_mean) / old_mean;
+        assert!(
+            delta_pct >= REGRESSION_GATE_PCT,
+            "{new_name} regresses mean lean steps/sec by {delta_pct:.1}% vs {old_name} \
+             ({old_mean:.1} -> {new_mean:.1})"
+        );
+    }
+}
+
+#[test]
+fn latest_baseline_improves_on_its_predecessor() {
+    let files = baselines();
+    let Some(pair) = files.windows(2).last() else {
+        return;
+    };
+    let (old_name, old) = &pair[0];
+    let (new_name, new) = &pair[1];
+    if old.deck != new.deck {
+        return;
+    }
+    let old_mean = mean_lean_steps_per_sec(old);
+    let new_mean = mean_lean_steps_per_sec(new);
+    let delta_pct = 100.0 * (new_mean - old_mean) / old_mean;
+    assert!(
+        delta_pct >= 10.0,
+        "{new_name} should show >= 10% mean lean steps/sec over {old_name}, got {delta_pct:.1}%"
+    );
+}

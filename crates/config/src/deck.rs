@@ -264,6 +264,12 @@ pub struct Deck {
     /// way; default off. The `MAS_PAR_AUDIT=1` environment variable also
     /// enables it when this key is false.
     pub par_audit: bool,
+    /// Host-engine tile width: k-planes grouped per dispatch chunk.
+    /// 0 = auto-tune from (iteration-space shape, thread count) per kernel
+    /// site. Any value produces bit-identical physics — only the dispatch
+    /// granularity (and thus wall clock) changes. The `MAS_TILE_K`
+    /// environment variable overrides this key.
+    pub tile_k: usize,
     /// Grid section.
     pub grid: GridCfg,
     /// Physics section.
@@ -289,6 +295,7 @@ impl Default for Deck {
             paper_cells: 0,
             host_threads: 0,
             par_audit: false,
+            tile_k: 0,
             grid: GridCfg {
                 nr: 48,
                 nt: 40,
@@ -366,6 +373,7 @@ impl Deck {
             ("run", "paper_cells") => self.paper_cells = v.as_usize()?,
             ("run", "host_threads") => self.host_threads = v.as_usize()?,
             ("run", "par_audit") => self.par_audit = v.as_bool()?,
+            ("run", "tile_k") => self.tile_k = v.as_usize()?,
             ("grid", "nr") => self.grid.nr = v.as_usize()?,
             ("grid", "nt") => self.grid.nt = v.as_usize()?,
             ("grid", "np") => self.grid.np = v.as_usize()?,
@@ -436,7 +444,7 @@ impl Deck {
     pub fn to_deck_string(&self) -> String {
         let b = |x: bool| if x { ".true." } else { ".false." };
         format!(
-            "&run\n  problem = '{}'\n  paper_cells = {}\n  host_threads = {}\n  par_audit = {}\n/\n\
+            "&run\n  problem = '{}'\n  paper_cells = {}\n  host_threads = {}\n  par_audit = {}\n  tile_k = {}\n/\n\
              &grid\n  nr = {}\n  nt = {}\n  np = {}\n  rmax = {}\n/\n\
              &physics\n  gamma = {}\n  visc = {}\n  eta = {}\n  kappa0 = {}\n  \
              radiation = {}\n  heating = {}\n  gravity = {}\n  rho0 = {}\n  \
@@ -454,6 +462,7 @@ impl Deck {
             self.paper_cells,
             self.host_threads,
             b(self.par_audit),
+            self.tile_k,
             self.grid.nr,
             self.grid.nt,
             self.grid.np,

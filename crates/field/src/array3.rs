@@ -202,6 +202,19 @@ impl Array3 {
     pub fn k_plane_len(&self) -> usize {
         self.s1 * self.s2
     }
+
+    /// Borrow the contiguous innermost-axis (i) window `i0..i1` of the
+    /// row at `(j, k)` — the row-sliced read path for SIMD-friendly
+    /// kernel bodies. Rows are contiguous in storage (i is the fastest
+    /// axis), so the optimizer sees a plain `&[f64]` it can vectorize
+    /// over; shifted windows (e.g. `row(i0+1, i1+1, j, k)`) express
+    /// stencil neighbour reads without per-element index arithmetic.
+    #[inline]
+    pub fn row(&self, i0: usize, i1: usize, j: usize, k: usize) -> &[f64] {
+        debug_assert!(i0 <= i1 && i1 <= self.s1 && j < self.s2 && k < self.s3);
+        let start = i0 + self.s1 * (j + self.s2 * k);
+        &self.data[start..start + (i1 - i0)]
+    }
 }
 
 #[cfg(test)]

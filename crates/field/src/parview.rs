@@ -273,6 +273,56 @@ impl<'a, const REC: bool> ParView3<'a, REC> {
         // touches (contract above).
         unsafe { *self.ptr.add(ix) += v }
     }
+
+    /// Borrow the contiguous innermost-axis (i) window `i0..i1` of the
+    /// row at `(j, k)` for reading — the row-sliced kernel path.
+    ///
+    /// Instrumented views (`REC = true`) record one read per element of
+    /// the window at call time, so the race auditor sees the same
+    /// element-granular footprint the scalar path produces.
+    #[inline]
+    pub fn row(&self, i0: usize, i1: usize, j: usize, k: usize) -> &'a [f64] {
+        debug_assert!(i0 <= i1 && i1 <= self.s1 && j < self.s2 && k < self.s3);
+        if REC {
+            for i in i0..i1 {
+                maybe_record(self.ptr as usize, i, j, k, false);
+            }
+        }
+        let start = i0 + self.s1 * (j + self.s2 * k);
+        debug_assert!(start + (i1 - i0) <= self.len);
+        // SAFETY: in-bounds (asserted in debug); the caller upholds the
+        // iteration-independence contract (no concurrent writer of these
+        // elements), so the shared borrow is valid for 'a.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(start), i1 - i0) }
+    }
+
+    /// Borrow the contiguous innermost-axis (i) window `i0..i1` of the
+    /// row at `(j, k)` for writing — the row-sliced kernel path. Each
+    /// iteration of a tiled site must take only rows it owns (its own
+    /// `(j, k)`), exactly as `set`/`add` allow only own-point writes;
+    /// two live `row_mut` windows must never overlap.
+    ///
+    /// Instrumented views record a read *and* a write per element
+    /// (callers may read-modify-write through the slice, so the
+    /// conservative footprint is both), matching what a scalar `add`
+    /// records.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // shared-write view; see the contract above
+    pub fn row_mut(&self, i0: usize, i1: usize, j: usize, k: usize) -> &'a mut [f64] {
+        debug_assert!(i0 <= i1 && i1 <= self.s1 && j < self.s2 && k < self.s3);
+        if REC {
+            for i in i0..i1 {
+                maybe_record(self.ptr as usize, i, j, k, false);
+                maybe_record(self.ptr as usize, i, j, k, true);
+            }
+        }
+        let start = i0 + self.s1 * (j + self.s2 * k);
+        debug_assert!(start + (i1 - i0) <= self.len);
+        // SAFETY: in-bounds (asserted in debug); exclusivity over the
+        // window is the caller's contract (own rows only, no overlap),
+        // the same discipline `set` imposes per element.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), i1 - i0) }
+    }
 }
 
 impl Array3 {
@@ -391,6 +441,43 @@ mod tests {
         }
         // The accesses themselves still happen.
         assert_eq!(a.get(0, 0, 0), 1.5);
+    }
+
+    #[test]
+    fn rows_alias_the_same_storage_as_point_access() {
+        let mut a = Array3::zeros(4, 3, 3);
+        let s1 = a.s1;
+        {
+            let v = a.par_view_as::<false>();
+            let w = v.row_mut(1, s1 - 1, 2, 3);
+            for (t, x) in w.iter_mut().enumerate() {
+                *x = 10.0 + t as f64;
+            }
+            let r = v.row(1, s1 - 1, 2, 3);
+            assert_eq!(r[0], 10.0);
+            // Shifted window: the stencil neighbour view of the same row.
+            let shifted = v.row(2, s1, 2, 3);
+            assert_eq!(shifted[0], 11.0);
+        }
+        assert_eq!(a.get(1, 2, 3), 10.0);
+        assert_eq!(a.get(2, 2, 3), 11.0);
+        assert_eq!(a.row(1, 3, 2, 3), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn instrumented_rows_record_per_element_footprints() {
+        let mut a = Array3::zeros(2, 2, 2);
+        capture_begin();
+        let v = a.par_view();
+        let _ = v.row(1, 3, 0, 1);
+        let _ = v.row_mut(0, 2, 1, 0);
+        let log = capture_end();
+        // row -> 2 reads; row_mut -> (read + write) per element.
+        assert_eq!(log.len(), 6);
+        assert!(log[..2].iter().all(|r| !r.write && r.j == 0 && r.k == 1));
+        assert_eq!((log[0].i, log[1].i), (1, 2));
+        assert_eq!(log[2..].iter().filter(|r| r.write).count(), 2);
+        assert!(log[2..].iter().all(|r| r.j == 1 && r.k == 0));
     }
 
     #[test]

@@ -70,6 +70,46 @@ impl DivGeom {
             * self.dpc_inv[k];
         term_r + term_t + term_p
     }
+
+    /// Row form of [`Self::div`]: evaluate the divergence over the
+    /// contiguous i-window `i0..i1` at `(j, k)` and hand each value to
+    /// `emit(n, div)` with `n = i - i0`. The per-point expression is the
+    /// same, term for term, as `div` — row and scalar paths must stay
+    /// bit-identical — but the operands come from contiguous row slices,
+    /// so the loop autovectorizes.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn div_row(
+        &self,
+        fr: &Array3,
+        ft: &Array3,
+        fp: &Array3,
+        i0: usize,
+        i1: usize,
+        j: usize,
+        k: usize,
+        mut emit: impl FnMut(usize, f64),
+    ) {
+        let w = i1 - i0;
+        let fr_c = fr.row(i0, i1, j, k);
+        let fr_p = fr.row(i0 + 1, i1 + 1, j, k);
+        let ft_c = ft.row(i0, i1, j, k);
+        let ft_p = ft.row(i0, i1, j + 1, k);
+        let fp_c = fp.row(i0, i1, j, k);
+        let fp_p = fp.row(i0, i1, j, k + 1);
+        let rf2 = &self.rf2[i0..i1 + 1];
+        let dr3_inv = &self.dr3_inv[i0..i1];
+        let drr2 = &self.drr2[i0..i1];
+        let (st_lo, st_hi) = (self.st_f[j], self.st_f[j + 1]);
+        let (dcos_inv_j, dtc_j, dpc_inv_k) = (self.dcos_inv[j], self.dtc[j], self.dpc_inv[k]);
+        for n in 0..w {
+            let term_r = (rf2[n + 1] * fr_p[n] - rf2[n] * fr_c[n]) * dr3_inv[n];
+            let term_t = (st_hi * ft_p[n] - st_lo * ft_c[n]) * drr2[n] * dr3_inv[n] * dcos_inv_j;
+            let term_p =
+                (fp_p[n] - fp_c[n]) * drr2[n] * dtc_j * dr3_inv[n] * dcos_inv_j * dpc_inv_k;
+            emit(n, term_r + term_t + term_p);
+        }
+    }
 }
 
 /// Constrained-transport geometry: edge lengths, face areas, circulation
@@ -172,6 +212,91 @@ impl CtGeom {
     pub fn circ_p(&self, er: &Array3, et: &Array3, i: usize, j: usize, k: usize) -> f64 {
         self.len_et(i + 1, j) * et.get(i + 1, j, k) - self.len_et(i, j) * et.get(i, j, k)
             - self.len_er(i) * (er.get(i, j + 1, k) - er.get(i, j, k))
+    }
+
+    /// Row form of [`Self::circ_r`]: circulations over the i-window
+    /// `i0..i1` at `(j, k)`, emitted as `emit(n, circ)`. Expression order
+    /// matches the scalar form exactly (bit-identical results).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn circ_r_row(
+        &self,
+        et: &Array3,
+        ep: &Array3,
+        i0: usize,
+        i1: usize,
+        j: usize,
+        k: usize,
+        mut emit: impl FnMut(usize, f64),
+    ) {
+        let w = i1 - i0;
+        let ep_hi = ep.row(i0, i1, j + 1, k);
+        let ep_lo = ep.row(i0, i1, j, k);
+        let et_hi = et.row(i0, i1, j, k + 1);
+        let et_lo = et.row(i0, i1, j, k);
+        let rf = &self.rf[i0..i1];
+        let (st_hi, st_lo, dpc_k, dtc_j) = (self.st_f[j + 1], self.st_f[j], self.dpc[k], self.dtc[j]);
+        for n in 0..w {
+            let c = rf[n] * st_hi * dpc_k * ep_hi[n] - rf[n] * st_lo * dpc_k * ep_lo[n]
+                - rf[n] * dtc_j * (et_hi[n] - et_lo[n]);
+            emit(n, c);
+        }
+    }
+
+    /// Row form of [`Self::circ_t`] (bit-identical to the scalar form).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn circ_t_row(
+        &self,
+        er: &Array3,
+        ep: &Array3,
+        i0: usize,
+        i1: usize,
+        j: usize,
+        k: usize,
+        mut emit: impl FnMut(usize, f64),
+    ) {
+        let w = i1 - i0;
+        let er_hi = er.row(i0, i1, j, k + 1);
+        let er_lo = er.row(i0, i1, j, k);
+        let ep_hi = ep.row(i0 + 1, i1 + 1, j, k);
+        let ep_lo = ep.row(i0, i1, j, k);
+        let l_er = &self.l_er[i0..i1];
+        let rf = &self.rf[i0..i1 + 1];
+        let (st_j, dpc_k) = (self.st_f[j], self.dpc[k]);
+        for n in 0..w {
+            let c = l_er[n] * (er_hi[n] - er_lo[n])
+                - (rf[n + 1] * st_j * dpc_k * ep_hi[n] - rf[n] * st_j * dpc_k * ep_lo[n]);
+            emit(n, c);
+        }
+    }
+
+    /// Row form of [`Self::circ_p`] (bit-identical to the scalar form).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn circ_p_row(
+        &self,
+        er: &Array3,
+        et: &Array3,
+        i0: usize,
+        i1: usize,
+        j: usize,
+        k: usize,
+        mut emit: impl FnMut(usize, f64),
+    ) {
+        let w = i1 - i0;
+        let et_hi = et.row(i0 + 1, i1 + 1, j, k);
+        let et_lo = et.row(i0, i1, j, k);
+        let er_hi = er.row(i0, i1, j + 1, k);
+        let er_lo = er.row(i0, i1, j, k);
+        let l_er = &self.l_er[i0..i1];
+        let rf = &self.rf[i0..i1 + 1];
+        let dtc_j = self.dtc[j];
+        for n in 0..w {
+            let c = rf[n + 1] * dtc_j * et_hi[n] - rf[n] * dtc_j * et_lo[n]
+                - l_er[n] * (er_hi[n] - er_lo[n]);
+            emit(n, c);
+        }
     }
 
     /// `∇·B` at cell `(i, j, k)` from face fields, in the exact flux form
@@ -325,6 +450,102 @@ impl LapStencil {
         let lp = self.r_pt2_inv[i] * self.st_pt2_inv[j] * (flux_p_hi - flux_p_lo) / self.w_p_pt[k];
 
         lr + lt + lp
+    }
+
+    /// Row form of [`Self::apply`]: Laplacian of `f` over the i-window
+    /// `i0..i1` at `(j, k)`, emitted as `emit(n, lap)`. Same expression,
+    /// same order as the scalar form — bit-identical results — over
+    /// contiguous row slices.
+    #[inline]
+    pub fn apply_row(
+        &self,
+        f: &Array3,
+        i0: usize,
+        i1: usize,
+        j: usize,
+        k: usize,
+        mut emit: impl FnMut(usize, f64),
+    ) {
+        let w = i1 - i0;
+        let c = f.row(i0, i1, j, k);
+        let r_lo = f.row(i0 - 1, i1 - 1, j, k);
+        let r_hi = f.row(i0 + 1, i1 + 1, j, k);
+        let t_lo = f.row(i0, i1, j - 1, k);
+        let t_hi = f.row(i0, i1, j + 1, k);
+        let p_lo = f.row(i0, i1, j, k - 1);
+        let p_hi = f.row(i0, i1, j, k + 1);
+
+        let half_r = self.stagger.on_half_mesh(0);
+        // mid_indices(half_r, i): (i-1, i) on the half mesh, (i, i+1) on
+        // the main mesh — both are i-contiguous, so slice with an offset.
+        let m_off = if half_r { i0 - 1 } else { i0 };
+        let r_mid2 = &self.r_mid2[m_off..m_off + w + 1];
+        let w_r_mid = &self.w_r_mid[m_off..m_off + w + 1];
+        let r_pt2_inv = &self.r_pt2_inv[i0..i1];
+        let w_r_pt = &self.w_r_pt[i0..i1];
+
+        let half_t = self.stagger.on_half_mesh(1);
+        let (mt_lo, mt_hi) = mid_indices(half_t, j);
+        let (st_mid_hi, w_t_mid_hi) = (self.st_mid[mt_hi], self.w_t_mid[mt_hi]);
+        let (st_mid_lo, w_t_mid_lo) = (self.st_mid[mt_lo], self.w_t_mid[mt_lo]);
+        let (st_pt_inv_j, w_t_pt_j) = (self.st_pt_inv[j], self.w_t_pt[j]);
+
+        let half_p = self.stagger.on_half_mesh(2);
+        let (mp_lo, mp_hi) = mid_indices(half_p, k);
+        let (w_p_mid_hi, w_p_mid_lo) = (self.w_p_mid[mp_hi], self.w_p_mid[mp_lo]);
+        let (st_pt2_inv_j, w_p_pt_k) = (self.st_pt2_inv[j], self.w_p_pt[k]);
+
+        for n in 0..w {
+            let flux_r_hi = r_mid2[n + 1] * (r_hi[n] - c[n]) / w_r_mid[n + 1];
+            let flux_r_lo = r_mid2[n] * (c[n] - r_lo[n]) / w_r_mid[n];
+            let lr = r_pt2_inv[n] * (flux_r_hi - flux_r_lo) / w_r_pt[n];
+
+            let flux_t_hi = st_mid_hi * (t_hi[n] - c[n]) / w_t_mid_hi;
+            let flux_t_lo = st_mid_lo * (c[n] - t_lo[n]) / w_t_mid_lo;
+            let lt = r_pt2_inv[n] * st_pt_inv_j * (flux_t_hi - flux_t_lo) / w_t_pt_j;
+
+            let flux_p_hi = (p_hi[n] - c[n]) / w_p_mid_hi;
+            let flux_p_lo = (c[n] - p_lo[n]) / w_p_mid_lo;
+            let lp = r_pt2_inv[n] * st_pt2_inv_j * (flux_p_hi - flux_p_lo) / w_p_pt_k;
+
+            emit(n, lr + lt + lp);
+        }
+    }
+
+    /// Row form of [`Self::diagonal`] (bit-identical to the scalar form).
+    #[inline]
+    pub fn diagonal_row(
+        &self,
+        i0: usize,
+        i1: usize,
+        j: usize,
+        k: usize,
+        mut emit: impl FnMut(usize, f64),
+    ) {
+        let w = i1 - i0;
+        let half_r = self.stagger.on_half_mesh(0);
+        let m_off = if half_r { i0 - 1 } else { i0 };
+        let r_mid2 = &self.r_mid2[m_off..m_off + w + 1];
+        let w_r_mid = &self.w_r_mid[m_off..m_off + w + 1];
+        let r_pt2_inv = &self.r_pt2_inv[i0..i1];
+        let w_r_pt = &self.w_r_pt[i0..i1];
+
+        let half_t = self.stagger.on_half_mesh(1);
+        let (mt_lo, mt_hi) = mid_indices(half_t, j);
+        let half_p = self.stagger.on_half_mesh(2);
+        let (mp_lo, mp_hi) = mid_indices(half_p, k);
+        let t_sum = self.st_mid[mt_hi] / self.w_t_mid[mt_hi] + self.st_mid[mt_lo] / self.w_t_mid[mt_lo];
+        let p_sum = 1.0 / self.w_p_mid[mp_hi] + 1.0 / self.w_p_mid[mp_lo];
+        let (st_pt_inv_j, w_t_pt_j) = (self.st_pt_inv[j], self.w_t_pt[j]);
+        let (st_pt2_inv_j, w_p_pt_k) = (self.st_pt2_inv[j], self.w_p_pt[k]);
+
+        for n in 0..w {
+            let dr = -r_pt2_inv[n] * (r_mid2[n + 1] / w_r_mid[n + 1] + r_mid2[n] / w_r_mid[n])
+                / w_r_pt[n];
+            let dt = -r_pt2_inv[n] * st_pt_inv_j * t_sum / w_t_pt_j;
+            let dp = -r_pt2_inv[n] * st_pt2_inv_j * p_sum / w_p_pt_k;
+            emit(n, dr + dt + dp);
+        }
     }
 }
 

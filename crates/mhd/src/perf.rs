@@ -11,6 +11,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static LEGACY_HOT_PATH: AtomicBool = AtomicBool::new(false);
+static ROW_PATH: AtomicBool = AtomicBool::new(true);
 
 /// Toggle the legacy (pre-reuse) hot path across the whole stack:
 /// solver-side per-step allocations, executor scratch reuse, and the
@@ -27,4 +28,19 @@ pub fn set_legacy_hot_path(on: bool) {
 /// Whether the solver-side legacy hot path is active.
 pub fn legacy_hot_path() -> bool {
     LEGACY_HOT_PATH.load(Ordering::Relaxed)
+}
+
+/// Toggle the row-sliced kernel path (default on). Kernels that have a
+/// row-sliced variant pick it when this is set; the scalar per-point
+/// bodies remain the reference implementation and the two must stay
+/// bit-identical — the cross-version determinism matrix runs both.
+pub fn set_row_path(on: bool) {
+    ROW_PATH.store(on, Ordering::SeqCst);
+}
+
+/// Whether migrated kernels should take the row-sliced path. Legacy mode
+/// pins the historical scalar bodies so `bench_baseline`'s "legacy" lane
+/// measures the pre-optimization code, not a hybrid.
+pub fn row_path() -> bool {
+    ROW_PATH.load(Ordering::Relaxed) && !legacy_hot_path()
 }

@@ -53,6 +53,12 @@ pub struct RunReport {
     /// What the fault-tolerant supervisor did (checkpoints, faults,
     /// detections, rollbacks); `supervised: false` for plain runs.
     pub recovery: RecoveryLog,
+    /// Learned tile plan per kernel site: `(site name, nk, tile_k)` for
+    /// every site whose iteration space spans more than one k-plane.
+    /// `tile_k` is the number of k-planes grouped per host-engine
+    /// dispatch chunk — auto-tuned from (shape, thread count) unless
+    /// overridden via the deck's `tile_k` or `MAS_TILE_K`.
+    pub tile_plans: Vec<(&'static str, usize, usize)>,
 }
 
 impl RunReport {
@@ -137,6 +143,7 @@ pub(crate) fn report_from(sim: Simulation, n_ranks: usize, recovery: RecoveryLog
         spans: prof.spans().to_vec(),
         cat_us,
         recovery,
+        tile_plans: sim.par.tile_plans(),
     }
 }
 

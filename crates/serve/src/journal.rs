@@ -180,6 +180,7 @@ impl PersistedReport {
                     spans: Vec::new(),
                     cat_us: Vec::new(),
                     recovery: Default::default(),
+                    tile_plans: Vec::new(),
                 })
                 .collect(),
         })

@@ -38,6 +38,58 @@ fn audit_env_default() -> bool {
         .unwrap_or(false)
 }
 
+/// Environment variable forcing the engine tile size in k-planes
+/// (`0` = adaptive). Overrides [`ParBuilder::tile_k`] (the deck's
+/// `tile_k` key). Garbage values abort loudly at build time.
+pub const TILE_K_ENV: &str = "MAS_TILE_K";
+
+/// Strict parse of the [`TILE_K_ENV`] override (same idiom as the
+/// engine's `MAS_PAR_MIN_POINTS`): unset means "no override", anything
+/// set must be a whole non-negative integer (`0` = adaptive).
+fn parse_tile_k(raw: Result<String, std::env::VarError>) -> Result<Option<usize>, String> {
+    match raw {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!(
+            "{TILE_K_ENV} is set but not valid unicode; expected a \
+             non-negative integer k-plane count"
+        )),
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(format!(
+                "{TILE_K_ENV}={s:?} is not a non-negative integer k-plane \
+                 count (0 = adaptive)"
+            )),
+        },
+    }
+}
+
+/// Points a dispatch chunk should carry before per-chunk overhead
+/// (claim-counter hop + closure call) stops mattering. Drives the
+/// adaptive [`auto_tile_k`] grouping.
+const TILE_TARGET_POINTS: usize = 2048;
+
+/// The adaptive tile size in k-planes for `space` on an engine of width
+/// `threads`: group planes until a chunk carries [`TILE_TARGET_POINTS`]
+/// points (small planes starve per-plane dispatch), and coarsen further
+/// when there are many more planes than threads (fewer claim hops).
+/// **Execution-side only** — chunking groups whole k-planes, executed in
+/// ascending plane order within each chunk, and reductions keep one
+/// partial per *plane* combined in plane order, so results are
+/// bit-identical for every tile size and thread count.
+fn auto_tile_k(space: IndexSpace3, threads: usize, override_k: usize) -> usize {
+    let nk = space.k1.saturating_sub(space.k0);
+    if nk <= 1 {
+        return 1;
+    }
+    if override_k > 0 {
+        return override_k.min(nk);
+    }
+    let plane = (space.i1.saturating_sub(space.i0) * space.j1.saturating_sub(space.j0)).max(1);
+    let by_work = TILE_TARGET_POINTS.div_ceil(plane);
+    let by_balance = (nk / (4 * threads.max(1))).max(1);
+    by_work.max(by_balance).clamp(1, nk)
+}
+
 /// Execution-time penalty of the loop-flip array reduction (Listing 5):
 /// the compiler serializes the inner `reduce` loop, which costs a little
 /// parallel efficiency on the affected kernels (paper §IV-E; the global
@@ -120,6 +172,7 @@ pub struct ParBuilder {
     threads: Option<usize>,
     scales: CostScales,
     audit: Option<bool>,
+    tile_k: usize,
 }
 
 impl ParBuilder {
@@ -166,12 +219,26 @@ impl ParBuilder {
         self
     }
 
+    /// Force the engine tile size to `n` k-planes per dispatch chunk
+    /// (`0`, the default, keeps the adaptive per-site choice). The
+    /// [`TILE_K_ENV`] environment variable overrides this. Purely an
+    /// execution knob: results are bit-identical for every value.
+    pub fn tile_k(mut self, n: usize) -> Self {
+        self.tile_k = n;
+        self
+    }
+
     /// Construct the executor.
     pub fn build(self) -> Par {
         let policy = self.version.policy();
         let ctx = DeviceContext::new(self.spec, policy.data_mode, self.rank, self.seed);
         let threads = self.threads.unwrap_or_else(default_host_threads);
         let audit_on = self.audit.unwrap_or_else(audit_env_default);
+        let tile_k = match parse_tile_k(std::env::var(TILE_K_ENV)) {
+            Ok(Some(n)) => n,
+            Ok(None) => self.tile_k,
+            Err(e) => panic!("{e}"),
+        };
         Par {
             ctx,
             policy,
@@ -179,6 +246,7 @@ impl ParBuilder {
             engine: Engine::new(threads),
             point_scale: self.scales.volume,
             scales: self.scales,
+            tile_k_override: tile_k,
             plans: HashMap::new(),
             audit: RaceAuditor::new(audit_on),
             scratch: Vec::new(),
@@ -193,9 +261,13 @@ impl ParBuilder {
 #[derive(Clone, Copy, Debug)]
 struct Plan {
     slot: usize,
+    /// The site's interned name (for surfacing the plan in run reports).
+    name: &'static str,
     space: IndexSpace3,
     point_scale: f64,
     scaled: usize,
+    /// Learned engine tile size in k-planes (see [`auto_tile_k`]).
+    tile_k: usize,
 }
 
 /// Plan-cache key: the site name's address + length. Site names are
@@ -226,6 +298,8 @@ pub struct Par {
     point_scale: f64,
     /// The configured scale pair.
     scales: CostScales,
+    /// Forced engine tile size in k-planes (0 = adaptive per site).
+    tile_k_override: usize,
     /// Per-site plan cache (see [`Plan`]).
     plans: HashMap<PlanKey, Plan>,
     /// Dynamic race auditor (no-op unless audit mode is on).
@@ -247,6 +321,7 @@ impl Par {
             threads: None,
             scales: CostScales::IDENTITY,
             audit: None,
+            tile_k: 0,
         }
     }
 
@@ -305,28 +380,46 @@ impl Par {
     }
 
     /// Look up (or build) the execution plan for `site` over `space`:
-    /// the interned registry slot plus the cached scaled launch cost.
-    fn plan(&mut self, site: &Site, space: IndexSpace3) -> (usize, usize) {
+    /// the interned registry slot, the cached scaled launch cost, and
+    /// the learned engine tile size for this (shape, thread count).
+    fn plan(&mut self, site: &Site, space: IndexSpace3) -> (usize, usize, usize) {
         let key = plan_key(site);
         if let Some(p) = self.plans.get(&key) {
             if p.space == space && p.point_scale == self.point_scale {
-                return (p.slot, p.scaled);
+                return (p.slot, p.scaled, p.tile_k);
             }
             let slot = p.slot;
             let scaled = self.scaled(space.len());
+            let tile_k = auto_tile_k(space, self.engine.threads(), self.tile_k_override);
             self.plans.insert(
                 key,
-                Plan { slot, space, point_scale: self.point_scale, scaled },
+                Plan { slot, name: site.name, space, point_scale: self.point_scale, scaled, tile_k },
             );
-            return (slot, scaled);
+            return (slot, scaled, tile_k);
         }
         let slot = self.registry.slot_of(site);
         let scaled = self.scaled(space.len());
+        let tile_k = auto_tile_k(space, self.engine.threads(), self.tile_k_override);
         self.plans.insert(
             key,
-            Plan { slot, space, point_scale: self.point_scale, scaled },
+            Plan { slot, name: site.name, space, point_scale: self.point_scale, scaled, tile_k },
         );
-        (slot, scaled)
+        (slot, scaled, tile_k)
+    }
+
+    /// The cached tile plans, one `(site, nk, tile_k)` entry per tiled
+    /// site (single-plane spaces never dispatch and are omitted), sorted
+    /// by site name. Surfaced in `mas-mhd`'s `RunReport` so the chosen
+    /// plan is visible alongside the perf numbers.
+    pub fn tile_plans(&self) -> Vec<(&'static str, usize, usize)> {
+        let mut v: Vec<_> = self
+            .plans
+            .values()
+            .filter(|p| p.space.k1.saturating_sub(p.space.k0) > 1)
+            .map(|p| (p.name, p.space.k1 - p.space.k0, p.tile_k))
+            .collect();
+        v.sort_unstable();
+        v
     }
 
     /// Apply the launch mode for `site` and return whether it is DC-style.
@@ -379,7 +472,7 @@ impl Par {
     /// Instantiating with `F = dyn Fn(..)` reproduces the historical
     /// per-point indirect dispatch; `loop3` does exactly that under the
     /// legacy-hot-path toggle so the benchmark can measure it.
-    fn execute_tiles<F>(&mut self, site: &Site, space: IndexSpace3, body: &F)
+    fn execute_tiles<F>(&mut self, site: &Site, space: IndexSpace3, tile_k: usize, body: &F)
     where
         F: Fn(usize, usize, usize) + Sync + ?Sized,
     {
@@ -390,7 +483,7 @@ impl Par {
         }
         self.ctx.prof.note_host_tiles(nk as u64);
         let k0 = space.k0;
-        let tile = |t: usize| {
+        let plane = |t: usize| {
             let k = k0 + t;
             for j in space.j0..space.j1 {
                 for i in space.i0..space.i1 {
@@ -399,9 +492,11 @@ impl Par {
             }
         };
         if self.audit.wants(site, space, nk) {
-            self.audit.run_audited_tiles(site.name, k0, nk, &tile);
+            // The audit always observes per-plane footprints; the engine
+            // chunking below is invisible to it (and to the census).
+            self.audit.run_audited_tiles(site.name, k0, nk, &plane);
         } else {
-            self.engine.run_tiles(nk, space.len(), &tile);
+            dispatch_chunked(&mut self.engine, nk, tile_k, space.len(), &plane);
         }
     }
 
@@ -432,15 +527,78 @@ impl Par {
             LoopClass::Parallel | LoopClass::CallsRoutine | LoopClass::AtomicUpdate
         ));
         self.prepare_launch(site);
-        let (slot, scaled) = self.plan(site, space);
+        let (slot, scaled, tile_k) = self.plan(site, space);
         let exec = self.ctx.launch(site.name, scaled, traffic, reads, writes);
         if crate::perf::legacy_alloc() {
             // Historical dispatch: body erased to `dyn Fn`, one indirect
             // call per grid point (identical iteration order and FP
-            // results — only the call overhead differs).
-            self.execute_tiles(site, space, &body as &(dyn Fn(usize, usize, usize) + Sync));
+            // results — only the call overhead differs). Chunking is
+            // disabled too: the historical engine dispatched per plane.
+            self.execute_tiles(site, space, 1, &body as &(dyn Fn(usize, usize, usize) + Sync));
         } else {
-            self.execute_tiles(site, space, &body);
+            self.execute_tiles(site, space, tile_k, &body);
+        }
+        self.registry.note_slot(slot, space.len(), exec);
+    }
+
+    /// The row-sliced form of [`Par::loop3`]: `body(j, k)` is invoked
+    /// once per innermost-axis **row** of `space` instead of once per
+    /// point, and is expected to process the full `space.i0..space.i1`
+    /// window of that row through the row accessors
+    /// (`ParView3::row_mut` / `Array3::row`), so the compiler sees
+    /// contiguous `&[f64]` slices it can autovectorize — the host
+    /// analogue of the paper's requirement that `do concurrent` bodies
+    /// expose contiguous innermost access to the optimizer.
+    ///
+    /// Everything else is identical to `loop3`: same launch charge, same
+    /// site census, same host-tile census, same per-k-plane tiling (row
+    /// bodies that evaluate the same per-point expressions produce
+    /// bit-identical state), and the same iteration-independence
+    /// contract — on a [`Tiling::Outer`] site each `(j, k)` row must
+    /// write only rows it owns and read no row another k-plane writes.
+    /// The race auditor observes the row path at element granularity
+    /// (row accessors record per-element footprints).
+    pub fn loop3_rows<F>(
+        &mut self,
+        site: &Site,
+        space: IndexSpace3,
+        traffic: Traffic,
+        reads: &[BufferId],
+        writes: &[BufferId],
+        body: F,
+    ) where
+        F: Fn(usize, usize) + Sync,
+    {
+        debug_assert!(matches!(
+            site.class,
+            LoopClass::Parallel | LoopClass::CallsRoutine | LoopClass::AtomicUpdate
+        ));
+        self.prepare_launch(site);
+        let (slot, scaled, tile_k) = self.plan(site, space);
+        let exec = self.ctx.launch(site.name, scaled, traffic, reads, writes);
+        let nk = space.k1.saturating_sub(space.k0);
+        if site.tiling == Tiling::Serial || nk <= 1 {
+            // Unified serial fast path: rows in Fortran order (k outer,
+            // j inner), matching `for_each`'s plane/row order.
+            for k in space.k0..space.k1 {
+                for j in space.j0..space.j1 {
+                    body(j, k);
+                }
+            }
+        } else {
+            self.ctx.prof.note_host_tiles(nk as u64);
+            let k0 = space.k0;
+            let plane = |t: usize| {
+                let k = k0 + t;
+                for j in space.j0..space.j1 {
+                    body(j, k);
+                }
+            };
+            if self.audit.wants(site, space, nk) {
+                self.audit.run_audited_tiles(site.name, k0, nk, &plane);
+            } else {
+                dispatch_chunked(&mut self.engine, nk, tile_k, space.len(), &plane);
+            }
         }
         self.registry.note_slot(slot, space.len(), exec);
     }
@@ -453,6 +611,7 @@ impl Par {
         &mut self,
         site: &Site,
         space: IndexSpace3,
+        tile_k: usize,
         op: ReduceOp,
         init: f64,
         body: &F,
@@ -487,6 +646,8 @@ impl Par {
             let ps = SyncSlice::new(&mut partials);
             self.ctx.prof.note_host_tiles(nk as u64);
             let k0 = space.k0;
+            // One partial per *plane* regardless of engine chunking, so
+            // the combine order below is fixed by the space alone.
             let tile = |t: usize| {
                 let k = k0 + t;
                 let mut acc = ident;
@@ -503,7 +664,74 @@ impl Par {
                 // the combine below keeps the engine's exact FP order.
                 self.audit.run_audited_tiles(site.name, k0, nk, &tile);
             } else {
-                self.engine.run_tiles(nk, space.len(), &tile);
+                dispatch_chunked(&mut self.engine, nk, tile_k, space.len(), &tile);
+            }
+        }
+        let mut acc = init;
+        for &p in partials.iter() {
+            acc = op_apply(op, acc, p);
+        }
+        if !legacy {
+            self.scratch = partials;
+        }
+        acc
+    }
+
+    /// Row-sliced fold (see [`Par::reduce_scalar_rows`]): `body(acc, j, k)`
+    /// folds the row's `space.i0..space.i1` window into `acc` itself —
+    /// applying the op per element in ascending `i` — and returns the
+    /// updated accumulator. The per-plane partial and plane-order combine
+    /// are identical to [`Par::fold_tiled`], so a row body that applies
+    /// the same per-point expressions reduces bit-identically to the
+    /// scalar path.
+    fn fold_tiled_rows<F>(
+        &mut self,
+        site: &Site,
+        space: IndexSpace3,
+        tile_k: usize,
+        op: ReduceOp,
+        init: f64,
+        body: &F,
+    ) -> f64
+    where
+        F: Fn(f64, usize, usize) -> f64 + Sync,
+    {
+        let nk = space.k1.saturating_sub(space.k0);
+        if site.tiling == Tiling::Serial || nk <= 1 {
+            let mut acc = init;
+            for k in space.k0..space.k1 {
+                for j in space.j0..space.j1 {
+                    acc = body(acc, j, k);
+                }
+            }
+            return acc;
+        }
+        let ident = op_identity(op);
+        let legacy = crate::perf::legacy_alloc();
+        let mut partials;
+        if legacy {
+            partials = vec![ident; nk];
+        } else {
+            partials = std::mem::take(&mut self.scratch);
+            partials.clear();
+            partials.resize(nk, ident);
+        }
+        {
+            let ps = SyncSlice::new(&mut partials);
+            self.ctx.prof.note_host_tiles(nk as u64);
+            let k0 = space.k0;
+            let tile = |t: usize| {
+                let k = k0 + t;
+                let mut acc = ident;
+                for j in space.j0..space.j1 {
+                    acc = body(acc, j, k);
+                }
+                ps.set(t, acc);
+            };
+            if self.audit.wants(site, space, nk) {
+                self.audit.run_audited_tiles(site.name, k0, nk, &tile);
+            } else {
+                dispatch_chunked(&mut self.engine, nk, tile_k, space.len(), &tile);
             }
         }
         let mut acc = init;
@@ -543,6 +771,41 @@ impl Par {
         self.reduce_scalar_unchecked(site, space, traffic, reads, op, init, body)
     }
 
+    /// The row-sliced form of [`Par::reduce_scalar`]: `body(acc, j, k)`
+    /// folds the `space.i0..space.i1` window of row `(j, k)` into `acc`
+    /// — applying `op` per element **in ascending `i`**, e.g.
+    /// `row.iter().fold(acc, |a, &v| a + term(v))` for a sum — and
+    /// returns the updated accumulator. Because the fold order within a
+    /// row and the per-plane/plane-order combine are exactly the scalar
+    /// path's, a row body evaluating the same per-point expressions
+    /// reduces bit-identically. Launch charge, census, and traffic are
+    /// identical to `reduce_scalar`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce_scalar_rows<F>(
+        &mut self,
+        site: &Site,
+        space: IndexSpace3,
+        traffic: Traffic,
+        reads: &[BufferId],
+        op: ReduceOp,
+        init: f64,
+        body: F,
+    ) -> f64
+    where
+        F: Fn(f64, usize, usize) -> f64 + Sync,
+    {
+        debug_assert!(matches!(
+            site.class,
+            LoopClass::ScalarReduction | LoopClass::KernelsIntrinsic
+        ));
+        self.prepare_launch(site);
+        let (slot, scaled, tile_k) = self.plan(site, space);
+        let exec = self.ctx.launch(site.name, scaled, traffic, reads, &[]);
+        let acc = self.fold_tiled_rows(site, space, tile_k, op, init, &body);
+        self.registry.note_slot(slot, space.len(), exec);
+        acc
+    }
+
     /// Array reduction: each point contributes `(target, value)` and the
     /// contributions accumulate into `out[target]`.
     ///
@@ -577,7 +840,7 @@ impl Par {
             writes: traffic.writes,
             flops: traffic.flops,
         };
-        let (slot, scaled) = self.plan(site, space);
+        let (slot, scaled, tile_k) = self.plan(site, space);
         let exec = self.ctx.launch(site.name, scaled, eff, reads, writes);
 
         let nk = space.k1.saturating_sub(space.k0);
@@ -591,9 +854,11 @@ impl Par {
         } else {
             // One dense partial row per tile, accumulated in-tile in
             // Fortran order, then combined row-by-row in tile order.
-            // Scratch reuse / legacy churn as in `fold_tiled`.
+            // Scratch reuse / legacy churn as in `fold_tiled`; legacy
+            // mode also keeps the historical per-plane dispatch.
             let width = out.len();
             let legacy = crate::perf::legacy_alloc();
+            let tile_k = if legacy { 1 } else { tile_k };
             let mut partials;
             if legacy {
                 partials = vec![0.0; nk * width];
@@ -620,7 +885,7 @@ impl Par {
                 if self.audit.wants(site, space, nk) {
                     self.audit.run_audited_tiles(site.name, k0, nk, &tile);
                 } else {
-                    self.engine.run_tiles(nk, space.len(), &tile);
+                    dispatch_chunked(&mut self.engine, nk, tile_k, space.len(), &tile);
                 }
             }
             for t in 0..nk {
@@ -672,19 +937,21 @@ impl Par {
         F: Fn(usize, usize, usize) -> f64 + Sync,
     {
         self.prepare_launch(site);
-        let (slot, scaled) = self.plan(site, space);
+        let (slot, scaled, tile_k) = self.plan(site, space);
         let exec = self.ctx.launch(site.name, scaled, traffic, reads, &[]);
         let acc = if crate::perf::legacy_alloc() {
-            // Historical dispatch (see `loop3`): per-point `dyn` calls.
+            // Historical dispatch (see `loop3`): per-point `dyn` calls,
+            // per-plane engine dispatch.
             self.fold_tiled(
                 site,
                 space,
+                1,
                 op,
                 init,
                 &body as &(dyn Fn(usize, usize, usize) -> f64 + Sync),
             )
         } else {
-            self.fold_tiled(site, space, op, init, &body)
+            self.fold_tiled(site, space, tile_k, op, init, &body)
         };
         self.registry.note_slot(slot, space.len(), exec);
         acc
@@ -776,6 +1043,33 @@ impl Par {
     pub fn host_data_site(&mut self, label: &'static str) {
         self.registry.note_host_data(label);
     }
+}
+
+/// Dispatch `nk` per-plane tasks to the engine, grouped into chunks of
+/// `tile_k` consecutive planes (the adaptive tile plan). Each chunk
+/// executes its planes in ascending order, so for any `tile_k` every
+/// plane-level task runs exactly once with the same per-plane effect —
+/// chunking changes scheduling granularity, never results.
+fn dispatch_chunked(
+    engine: &mut Engine,
+    nk: usize,
+    tile_k: usize,
+    n_points: usize,
+    plane: &(dyn Fn(usize) + Sync),
+) {
+    if tile_k <= 1 {
+        engine.run_tiles(nk, n_points, plane);
+        return;
+    }
+    let n_chunks = nk.div_ceil(tile_k);
+    let chunk = |c: usize| {
+        let t0 = c * tile_k;
+        let t1 = (t0 + tile_k).min(nk);
+        for t in t0..t1 {
+            plane(t);
+        }
+    };
+    engine.run_tiles(n_chunks, n_points, &chunk);
 }
 
 #[inline(always)]
@@ -1146,6 +1440,166 @@ mod tests {
         let mut out4 = vec![0.0; 4];
         p.reduce_array(&ARED, space(4), Traffic::new(2, 1, 2), &[b], &[o], &mut out4, |i, _, _| (i, 1.0));
         assert_eq!(p.ctx.prof.host_tiles, 12);
+    }
+
+    /// The tentpole bit-exactness claim at unit scope: a row-sliced body
+    /// computing the same per-point expressions as a scalar body yields
+    /// bit-identical arrays and reductions, for any thread count and any
+    /// forced tile size.
+    #[test]
+    fn row_path_matches_scalar_path_bitwise() {
+        use mas_field::Array3;
+        static FILL_S: Site = Site::par3("row_vs_scalar_fill_s");
+        static FILL_R: Site = Site::par3("row_vs_scalar_fill_r");
+        static RED_S: Site = Site::new("row_vs_scalar_red_s", LoopClass::ScalarReduction, 3);
+        static RED_R: Site = Site::new("row_vs_scalar_red_r", LoopClass::ScalarReduction, 3);
+
+        let run = |threads: usize, tile_k: usize, rows: bool| {
+            let mut spec = DeviceSpec::a100_40gb();
+            spec.jitter_sigma = 0.0;
+            let mut p = Par::builder(spec)
+                .version(CodeVersion::D2xu)
+                .threads(threads)
+                .tile_k(tile_k)
+                .build();
+            p.ctx.set_phase(gpusim::Phase::Compute);
+            let b = p.ctx.mem.register(8 * 8192, "x");
+            p.ctx.enter_data(b);
+            let mut a = Array3::zeros(12, 10, 14);
+            let sp = IndexSpace3 {
+                i0: 1,
+                i1: a.s1 - 1,
+                j0: 1,
+                j1: a.s2 - 1,
+                k0: 1,
+                k1: a.s3 - 1,
+            };
+            let point = |i: usize, j: usize, k: usize| {
+                (1.0 + (i + 3 * j + 7 * k) as f64).sqrt().sin()
+            };
+            let (sum, tiles) = {
+                let v = a.par_view_as::<false>();
+                if rows {
+                    p.loop3_rows(&FILL_R, sp, Traffic::new(1, 1, 2), &[b], &[b], |j, k| {
+                        let row = v.row_mut(sp.i0, sp.i1, j, k);
+                        for (t, x) in row.iter_mut().enumerate() {
+                            *x = point(sp.i0 + t, j, k);
+                        }
+                    });
+                    let s = p.reduce_scalar_rows(
+                        &RED_R,
+                        sp,
+                        Traffic::new(1, 0, 1),
+                        &[b],
+                        ReduceOp::Sum,
+                        0.25,
+                        |acc, j, k| {
+                            v.row(sp.i0, sp.i1, j, k)
+                                .iter()
+                                .fold(acc, |a, &x| a + x * x)
+                        },
+                    );
+                    (s, p.ctx.prof.host_tiles)
+                } else {
+                    p.loop3(&FILL_S, sp, Traffic::new(1, 1, 2), &[b], &[b], |i, j, k| {
+                        v.set(i, j, k, point(i, j, k));
+                    });
+                    let s = p.reduce_scalar(
+                        &RED_S,
+                        sp,
+                        Traffic::new(1, 0, 1),
+                        &[b],
+                        ReduceOp::Sum,
+                        0.25,
+                        |i, j, k| {
+                            let x = v.get(i, j, k);
+                            x * x
+                        },
+                    );
+                    (s, p.ctx.prof.host_tiles)
+                }
+            };
+            let hash = a
+                .as_slice()
+                .iter()
+                .fold(0u64, |h, x| h.rotate_left(7) ^ x.to_bits());
+            (hash, sum.to_bits(), tiles)
+        };
+
+        let reference = run(1, 0, false);
+        for threads in [1usize, 2, 4, 7] {
+            for tile_k in [0usize, 1, 3, 64] {
+                assert_eq!(
+                    run(threads, tile_k, false),
+                    reference,
+                    "scalar path t={threads} tile_k={tile_k}"
+                );
+                assert_eq!(
+                    run(threads, tile_k, true),
+                    reference,
+                    "row path t={threads} tile_k={tile_k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tile_plans_are_learned_cached_and_overridable() {
+        let mut p = par_threads(CodeVersion::D2xu, 4);
+        let b = p.ctx.mem.register(8 * 8192, "x");
+        p.ctx.enter_data(b);
+        p.loop3(&PLAIN, space(8), Traffic::new(1, 1, 0), &[b], &[b], |_, _, _| {});
+        let plans = p.tile_plans();
+        assert_eq!(plans.len(), 1);
+        let (name, nk, tile_k) = plans[0];
+        assert_eq!(name, "plain");
+        assert_eq!(nk, 8);
+        // 8x8 planes = 64 points; the adaptive plan groups planes toward
+        // TILE_TARGET_POINTS, clamped to nk.
+        assert_eq!(tile_k, auto_tile_k(space(8), 4, 0));
+        assert!(tile_k > 1, "small planes must be grouped");
+
+        // The builder override (deck `tile_k`) wins over the heuristic.
+        let mut spec = DeviceSpec::a100_40gb();
+        spec.jitter_sigma = 0.0;
+        let mut p2 = Par::builder(spec)
+            .version(CodeVersion::D2xu)
+            .threads(4)
+            .tile_k(3)
+            .build();
+        p2.ctx.set_phase(gpusim::Phase::Compute);
+        let b2 = p2.ctx.mem.register(8 * 8192, "x");
+        p2.ctx.enter_data(b2);
+        p2.loop3(&PLAIN2, space(8), Traffic::new(1, 1, 0), &[b2], &[b2], |_, _, _| {});
+        assert_eq!(p2.tile_plans(), vec![("plain2", 8, 3)]);
+        // Single-plane spaces never dispatch and are not reported.
+        let thin = IndexSpace3 { i0: 0, i1: 8, j0: 0, j1: 8, k0: 0, k1: 1 };
+        p2.loop3(&RED0, thin, Traffic::new(1, 1, 0), &[b2], &[b2], |_, _, _| {});
+        assert_eq!(p2.tile_plans().len(), 1);
+        static RED0: Site = Site::par3("thin_site");
+    }
+
+    #[test]
+    fn auto_tile_k_scales_with_plane_size_and_width() {
+        let sp = |ni: usize, nk: usize| IndexSpace3 {
+            i0: 0,
+            i1: ni,
+            j0: 0,
+            j1: ni,
+            k0: 0,
+            k1: nk,
+        };
+        // Tiny planes: group many planes per chunk.
+        assert!(auto_tile_k(sp(8, 64), 4, 0) >= 16);
+        // Huge planes: one plane is already plenty of work.
+        assert_eq!(auto_tile_k(sp(128, 64), 64, 0), 1);
+        // Deep k on a narrow engine coarsens for fewer claim hops.
+        assert!(auto_tile_k(sp(128, 512), 2, 0) >= 64);
+        // Override wins, clamped to nk.
+        assert_eq!(auto_tile_k(sp(8, 64), 4, 7), 7);
+        assert_eq!(auto_tile_k(sp(8, 4), 4, 100), 4);
+        // Degenerate spaces stay serial.
+        assert_eq!(auto_tile_k(sp(8, 1), 4, 0), 1);
     }
 
     #[test]

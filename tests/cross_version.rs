@@ -72,6 +72,51 @@ fn determinism_matrix_across_thread_counts() {
     }
 }
 
+/// The row-sliced kernel path is a pure execution-strategy change: for
+/// every code version, runs through the scalar `loop3` bodies and the
+/// row-sliced `loop3_rows` bodies must agree *bitwise* — same final-state
+/// hash, model wall clock, kernel census, host-tile census, directive
+/// census, and diagnostics — at every host-engine width. Row bodies
+/// evaluate the same per-point expressions in the same order; only the
+/// shape the optimizer sees (contiguous `&[f64]` rows) differs.
+#[test]
+fn determinism_matrix_across_row_paths() {
+    let mut deck = Deck::preset_quickstart();
+    deck.time.n_steps = 3;
+    deck.output.hist_interval = 3;
+    for &v in CodeVersion::ALL.iter() {
+        let mut reference = None;
+        for rows in [false, true] {
+            for threads in [1usize, 2, 4] {
+                let mut d = deck.clone();
+                d.host_threads = threads;
+                mas::mhd::perf::set_row_path(rows);
+                let r = mas::mhd::run_single_rank(&d, v);
+                mas::mhd::perf::set_row_path(true);
+                let audit = mas::stdpar::DirectiveAudit::new(&r.registry);
+                let census = audit.census(v).total();
+                let key = (
+                    r.state_hash,
+                    r.wall_us.to_bits(),
+                    r.kernel_launches,
+                    r.host_tiles,
+                    census,
+                    r.hist.last().map(|h| {
+                        (h.diag.mass.to_bits(), h.diag.etherm.to_bits(), h.diag.emag.to_bits())
+                    }),
+                );
+                match &reference {
+                    None => reference = Some(key),
+                    Some(base) => assert_eq!(
+                        &key, base,
+                        "{v:?} rows={rows} t={threads} diverged from the scalar 1-thread run"
+                    ),
+                }
+            }
+        }
+    }
+}
+
 /// The host engine actually tiles: a multi-thread run dispatches the same
 /// tile census as a serial run (tiles are per-k-plane, not per-thread).
 #[test]

@@ -137,6 +137,68 @@ fn mutant_body_matches_production_body_under_audit() {
     );
 }
 
+/// The row-sliced path is auditable at the same element granularity as
+/// the scalar path: a `loop3_rows` kernel whose `(j, k)` iteration
+/// writes its own row window but *reads* the same buffer's row in the
+/// next k-plane violates the iteration-independence contract across k
+/// tiles, and the auditor must flag it just as it flags the scalar
+/// `temp_advect` mutant.
+#[test]
+fn auditor_flags_overlapping_row_windows() {
+    use mas::field::Array3;
+    use mas::gpusim::Traffic;
+    use mas::grid::IndexSpace3;
+
+    static ROW_OVERLAP_MUTANT: Site =
+        Site::new("row_overlap_mutant", LoopClass::Parallel, 3).heavy();
+
+    let mut spec = DeviceSpec::a100_40gb();
+    spec.jitter_sigma = 0.0;
+    let mut par = Par::builder(spec)
+        .version(CodeVersion::D2xu)
+        .threads(2)
+        .audit(true)
+        .build();
+    par.ctx.set_phase(mas::gpusim::Phase::Compute);
+    let mut a = Array3::zeros(8, 6, 8);
+    let b = par.ctx.mem.register(a.bytes(), "rowbuf");
+    par.ctx.enter_data(b);
+    let sp = IndexSpace3 { i0: 1, i1: 7, j0: 1, j1: 5, k0: 1, k1: 7 };
+    let v = a.par_view_as::<true>();
+    par.loop3_rows(&ROW_OVERLAP_MUTANT, sp, Traffic::new(1, 1, 1), &[b], &[b], |j, k| {
+        // Deliberate contract violation: read the row another k-plane
+        // owns (k+1, or k-1 at the top edge) while writing our own.
+        let k_src = if k + 1 < sp.k1 { k + 1 } else { k - 1 };
+        let src: Vec<f64> = v.row(sp.i0, sp.i1, j, k_src).to_vec();
+        let out = v.row_mut(sp.i0, sp.i1, j, k);
+        for n in 0..out.len() {
+            out[n] += 0.5 * src[n] + 1.0;
+        }
+    });
+    let audit = par.race_audit();
+    assert!(audit.enabled);
+    assert_eq!(audit.launches_audited, 1);
+    assert!(
+        !audit.is_clean(),
+        "the cross-plane row read must be flagged:\n{}",
+        audit.report()
+    );
+    assert!(
+        audit.violations.iter().all(|vi| vi.site == "row_overlap_mutant"),
+        "only the mutant site may appear: {:?}",
+        audit.violations
+    );
+    for vi in &audit.violations {
+        assert_eq!(vi.kind, RaceKind::ReadWrite, "{vi:?}");
+        assert_eq!(
+            vi.k_a.abs_diff(vi.k_b),
+            1,
+            "the overlap is nearest-neighbour in k: {vi:?}"
+        );
+    }
+    assert!(audit.report().contains("row_overlap_mutant"));
+}
+
 /// Claim 2: the clean pass. Every shipped kernel in a full solver run —
 /// advection, momentum, induction, conduction (STS), viscosity (PCG),
 /// boundary conditions, polar fixes, halo pack/unpack — satisfies the
