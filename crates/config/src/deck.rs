@@ -223,6 +223,23 @@ pub struct FaultCfg {
     pub count: u32,
 }
 
+/// Serving policy carried with the deck when it is submitted to
+/// `mas-serve` (ignored by direct CLI runs). Defaults keep the PR-8
+/// behaviour: no deadline, a single attempt, no quarantine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeCfg {
+    /// Wall-clock deadline in milliseconds, measured from submission.
+    /// A job past its deadline is cancelled cooperatively at the next
+    /// step boundary (or failed at claim time if it never started).
+    /// 0 disables the deadline.
+    pub deadline_ms: u64,
+    /// How many times the scheduler will run the job before giving up.
+    /// Attempts that end in a worker panic count toward the budget; the
+    /// final panicking attempt quarantines the job's cache key under
+    /// the crash-loop circuit breaker. Must be >= 1.
+    pub max_attempts: u32,
+}
+
 /// A deck that failed validation: every problem found, as one structured
 /// error. This is the canonical "bad deck" error for **every** entry
 /// point — `Simulation::builder(..).try_build()`, the `mas` CLI, and a
@@ -286,6 +303,8 @@ pub struct Deck {
     pub resilience: ResilienceCfg,
     /// Fault-injection section (inert unless armed).
     pub fault: FaultCfg,
+    /// Serving policy section (`mas-serve` deadlines / retry budget).
+    pub serve: ServeCfg,
 }
 
 impl Default for Deck {
@@ -347,6 +366,10 @@ impl Default for Deck {
                 rank: 0,
                 io_error: "other".into(),
                 count: 1,
+            },
+            serve: ServeCfg {
+                deadline_ms: 0,
+                max_attempts: 1,
             },
         }
     }
@@ -435,6 +458,10 @@ impl Deck {
             ("resilience", "recv_deadline_ms") => {
                 self.resilience.recv_deadline_ms = v.as_usize()? as u64
             }
+            ("serve", "deadline_ms") => self.serve.deadline_ms = v.as_usize()? as u64,
+            ("serve", "max_attempts") => {
+                self.serve.max_attempts = v.as_usize()? as u32
+            }
             _ => return Err("unknown key".into()),
         }
         Ok(())
@@ -442,6 +469,20 @@ impl Deck {
 
     /// Serialize back to deck text (round-trips through [`Deck::parse`]).
     pub fn to_deck_string(&self) -> String {
+        format!(
+            "{}&serve\n  deadline_ms = {}\n  max_attempts = {}\n/\n",
+            self.identity_text(),
+            self.serve.deadline_ms,
+            self.serve.max_attempts,
+        )
+    }
+
+    /// Canonical text of everything that determines the run's *result*:
+    /// every section except `&serve`. Deadlines and retry budgets are
+    /// scheduling policy — two decks differing only there produce
+    /// bit-identical physics, so this (not [`Deck::to_deck_string`]) is
+    /// what [`Deck::content_hash`] digests.
+    fn identity_text(&self) -> String {
         let b = |x: bool| if x { ".true." } else { ".false." };
         format!(
             "&run\n  problem = '{}'\n  paper_cells = {}\n  host_threads = {}\n  par_audit = {}\n  tile_k = {}\n/\n\
@@ -620,6 +661,9 @@ impl Deck {
         if self.fault.count == 0 {
             errs.push("fault count must be >= 1 (set kind = 'none' to disarm)".into());
         }
+        if self.serve.max_attempts == 0 {
+            errs.push("serve max_attempts must be >= 1".into());
+        }
         if self.resilience.max_respawns > 0 {
             if self.resilience.heartbeat_ms == 0 {
                 errs.push("resilience heartbeat_ms must be > 0 when max_respawns > 0".into());
@@ -643,16 +687,17 @@ impl Deck {
         }
     }
 
-    /// Content hash of the deck: FNV-1a 64 over the canonical text form
-    /// ([`Deck::to_deck_string`]), so two decks hash equal exactly when
-    /// every effective key matches — regardless of comment/ordering
-    /// differences in the original files. This is the deck component of
-    /// the `mas-serve` result-cache key.
+    /// Content hash of the deck: FNV-1a 64 over the canonical text of
+    /// every result-determining section, so two decks hash equal exactly
+    /// when every effective key matches — regardless of comment/ordering
+    /// differences in the original files. The `&serve` section (deadline
+    /// / retry policy) is deliberately excluded: it cannot change the
+    /// physics, so it must not fragment the `mas-serve` result cache.
     pub fn content_hash(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf29ce484222325;
         const FNV_PRIME: u64 = 0x100000001b3;
         let mut h = FNV_OFFSET;
-        for b in self.to_deck_string().bytes() {
+        for b in self.identity_text().bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(FNV_PRIME);
         }
@@ -813,6 +858,35 @@ mod tests {
         // Any effective change does.
         b.time.n_steps += 1;
         assert_ne!(a.content_hash(), b.content_hash());
+        // Serving policy is not part of the result identity: decks
+        // differing only in &serve hash equal (same cache entry).
+        let mut c = Deck::preset_quickstart();
+        c.serve.deadline_ms = 5000;
+        c.serve.max_attempts = 3;
+        assert_eq!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn serve_section_parses_and_defaults_off() {
+        let d = Deck::default();
+        assert_eq!(d.serve.deadline_ms, 0, "deadline must default off");
+        assert_eq!(d.serve.max_attempts, 1, "single attempt by default");
+        let text = "&serve\n deadline_ms = 2500\n max_attempts = 3\n/\n";
+        let d = Deck::parse(text).unwrap();
+        assert_eq!(d.serve.deadline_ms, 2500);
+        assert_eq!(d.serve.max_attempts, 3);
+        assert!(d.validate().is_empty(), "{:?}", d.validate());
+        // Round-trips through the canonical text form.
+        assert_eq!(Deck::parse(&d.to_deck_string()).unwrap(), d);
+    }
+
+    #[test]
+    fn validate_rejects_zero_max_attempts() {
+        let mut d = Deck::default();
+        d.serve.max_attempts = 0;
+        let errs = d.validate();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("max_attempts"));
     }
 
     #[test]

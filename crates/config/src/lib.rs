@@ -30,6 +30,6 @@ pub mod parse;
 
 pub use deck::{
     CheckpointCfg, Deck, DeckError, FaultCfg, FaultKind, GridCfg, OutputCfg, PhysicsCfg,
-    SolverCfg, TimeCfg, ViscSolver,
+    ResilienceCfg, ServeCfg, SolverCfg, TimeCfg, ViscSolver,
 };
 pub use parse::ParseError;

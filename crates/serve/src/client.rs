@@ -68,6 +68,17 @@ impl Client {
         self.server.stats()
     }
 
+    /// Quarantined run keys with their final failure messages.
+    pub fn quarantine_list(&self) -> Vec<(crate::cache::CacheKey, String)> {
+        self.server.quarantine_list()
+    }
+
+    /// Clear the quarantine (all keys, or one deck hash); returns how
+    /// many keys were cleared.
+    pub fn quarantine_clear(&self, deck_hash: Option<u64>) -> usize {
+        self.server.quarantine_clear(deck_hash)
+    }
+
     /// Submit and block to completion: the one-call convenience path.
     /// Returns the final status; inspect/fetch the report via
     /// [`Client::result`].
@@ -79,18 +90,27 @@ impl Client {
 
 /// How a [`RemoteClient`] survives transient failures: a bounded number
 /// of attempts with exponential backoff between them, plus an I/O
-/// deadline per request so a hung server can't pin the caller.
+/// deadline per request so a hung server can't pin the caller. Each
+/// backoff carries bounded *seeded* jitter (±25%, derived
+/// deterministically from `jitter_seed` and the retry index), so a
+/// fleet of clients knocked back by the same overload don't re-arrive
+/// in lockstep — yet a drill that fixes the seed replays the exact same
+/// delays.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// Total attempts per request (first try included).
     pub max_attempts: u32,
     /// Backoff before the second attempt; doubles per retry.
     pub base_delay: Duration,
-    /// Backoff ceiling.
+    /// Backoff ceiling (jitter is applied after the cap, so the
+    /// effective worst case is `max_delay * 1.25`).
     pub max_delay: Duration,
     /// Read/write deadline per attempt. `None` waits indefinitely
     /// (only sensible for `wait`, which blocks by design).
     pub io_timeout: Option<Duration>,
+    /// Seed for the deterministic backoff jitter. Two clients with
+    /// different seeds spread out; the same seed replays identically.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -100,14 +120,31 @@ impl Default for RetryPolicy {
             base_delay: Duration::from_millis(25),
             max_delay: Duration::from_secs(1),
             io_timeout: Some(Duration::from_secs(10)),
+            jitter_seed: 0,
         }
     }
+}
+
+/// One round of the xorshift64 generator (Marsaglia) — enough
+/// statistical spread for backoff jitter without any dependency.
+fn xorshift64(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
 }
 
 impl RetryPolicy {
     fn delay(&self, retry: u32) -> Duration {
         let factor = 1u32 << retry.min(10);
-        self.base_delay.saturating_mul(factor).min(self.max_delay)
+        let base = self.base_delay.saturating_mul(factor).min(self.max_delay);
+        // Scale by a deterministic factor in [0.75, 1.25): seeded, so a
+        // chaos drill that pins the seed reproduces every sleep.
+        let r = xorshift64(
+            self.jitter_seed ^ (u64::from(retry) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let scale = 0.75 + (r % 1000) as f64 / 2000.0;
+        base.mul_f64(scale)
     }
 }
 
@@ -152,12 +189,26 @@ impl RemoteClient {
         timeout: Option<Duration>,
     ) -> Result<String, String> {
         let mut last_err = String::new();
+        let mut retry_after: Option<Duration> = None;
         for retry in 0..self.policy.max_attempts {
             if retry > 0 {
-                std::thread::sleep(self.policy.delay(retry - 1));
+                // An overloaded server named its own comeback time;
+                // honor it (still jittered by the policy's backoff, so
+                // shed clients don't stampede back as one).
+                let backoff = self.policy.delay(retry - 1);
+                std::thread::sleep(retry_after.take().map_or(backoff, |ra| ra.max(backoff)));
             }
             match self.attempt(line, timeout) {
-                Ok(reply) => return Ok(reply),
+                Ok(reply) => {
+                    match Self::retry_after_of(&reply) {
+                        Some(ra) => {
+                            retry_after = Some(ra);
+                            last_err = reply;
+                        }
+                        // Any other server answer — ok or err — is final.
+                        None => return Ok(reply),
+                    }
+                }
                 Err(e) => last_err = e,
             }
         }
@@ -165,6 +216,16 @@ impl RemoteClient {
             "request failed after {} attempt(s): {last_err}",
             self.policy.max_attempts
         ))
+    }
+
+    /// The retry-after hint in an overload rejection (`err … retry_after_ms=N`),
+    /// if this reply carries one.
+    fn retry_after_of(reply: &str) -> Option<Duration> {
+        if !reply.starts_with("err ") {
+            return None;
+        }
+        let ms: u64 = Self::field(reply, "retry_after_ms").ok()?.parse().ok()?;
+        Some(Duration::from_millis(ms))
     }
 
     fn attempt(&self, line: &str, timeout: Option<Duration>) -> Result<String, String> {
@@ -219,6 +280,24 @@ impl RemoteClient {
         self.request("stats")
     }
 
+    /// List quarantined run keys.
+    pub fn quarantine_list(&self) -> Result<String, String> {
+        self.request("quarantine list")
+    }
+
+    /// Clear the quarantine (all keys, or one deck hash).
+    pub fn quarantine_clear(&self, deck_hash: Option<u64>) -> Result<String, String> {
+        match deck_hash {
+            Some(h) => self.request(&format!("quarantine clear hash={h}")),
+            None => self.request("quarantine clear"),
+        }
+    }
+
+    /// Arm `count` injected faults on a pool device (chaos drills).
+    pub fn inject(&self, device: usize, count: u32) -> Result<String, String> {
+        self.request(&format!("inject device={device} count={count}"))
+    }
+
     /// Drain the server: intake closes, every queued and running job
     /// finishes, then the server exits. Blocks until the drain
     /// completes (no deadline).
@@ -238,5 +317,56 @@ impl RemoteClient {
             .find_map(|w| w.strip_prefix(key).and_then(|w| w.strip_prefix('=')))
             .map(str::to_string)
             .ok_or_else(|| format!("no '{key}=' in reply '{reply}'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_jitter_is_bounded_and_seed_deterministic() {
+        let a = RetryPolicy {
+            jitter_seed: 7,
+            ..RetryPolicy::default()
+        };
+        let b = RetryPolicy {
+            jitter_seed: 7,
+            ..RetryPolicy::default()
+        };
+        let c = RetryPolicy {
+            jitter_seed: 8,
+            ..RetryPolicy::default()
+        };
+        for retry in 0..6 {
+            // Same seed → identical delays (a chaos drill replays them).
+            assert_eq!(a.delay(retry), b.delay(retry));
+            // Jitter stays inside ±25% of the un-jittered schedule.
+            let base = a
+                .base_delay
+                .saturating_mul(1 << retry.min(10))
+                .min(a.max_delay);
+            let d = a.delay(retry);
+            assert!(d >= base.mul_f64(0.75) && d < base.mul_f64(1.25), "{d:?}");
+        }
+        // Different seeds actually spread (at least one retry differs).
+        assert!((0..6).any(|r| a.delay(r) != c.delay(r)));
+    }
+
+    #[test]
+    fn retry_after_hint_is_parsed_from_err_lines_only() {
+        assert_eq!(
+            RemoteClient::retry_after_of("err server overloaded retry_after_ms=250"),
+            Some(Duration::from_millis(250))
+        );
+        assert_eq!(
+            RemoteClient::retry_after_of("ok id=1 retry_after_ms=250"),
+            None
+        );
+        assert_eq!(RemoteClient::retry_after_of("err queue full"), None);
+        assert_eq!(
+            RemoteClient::retry_after_of("err bad retry_after_ms=abc"),
+            None
+        );
     }
 }

@@ -22,17 +22,41 @@
 use crate::cache::{CacheKey, ResultCache};
 use crate::job::{JobId, JobSpec, JobState, JobStatus};
 use crate::journal::{self, Journal, Record};
-use gpusim::{DevicePool, DeviceSpec, PoolStats};
+use gpusim::{DeviceHealth, DevicePool, DeviceSpec, PoolStats};
 use mas_config::DeckError;
 use mas_mhd::{progress_fn, MultiRankReport, ProgressEvent};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Lock a mutex, recovering the guard if a panicking thread poisoned
+/// it. Scheduler state is transitioned only in complete units (journal
+/// append + in-memory mutation happen before anything that can panic),
+/// so the data under a poisoned lock is consistent — recovering it
+/// contains the panic to the job that caused it instead of cascading
+/// `PoisonError` panics through every worker and the accept loop (the
+/// poisoned-mutex death spiral).
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Render a `catch_unwind` payload as the failure message a panicking
+/// job reports (panics almost always carry a `&str` or `String`).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked".into()
+    }
+}
 
 /// Sizing and policy knobs for a [`Server`].
 #[derive(Clone, Debug)]
@@ -59,6 +83,21 @@ pub struct ServerConfig {
     /// of live state replaces the historical tail). Only meaningful for
     /// journaled servers.
     pub compact_every: usize,
+    /// Load-shedding watermark on queue depth: while more than this many
+    /// jobs are queued, the lowest-priority queued work is shed (or the
+    /// newcomer rejected with a retry-after hint). 0 disables.
+    pub shed_queue_depth: usize,
+    /// Load-shedding watermark on the oldest queued job's age in
+    /// milliseconds. 0 disables.
+    pub shed_oldest_ms: u64,
+    /// The retry-after hint (milliseconds) carried by overload
+    /// rejections and shed notices.
+    pub retry_after_ms: u64,
+    /// How often the canary thread probes suspect devices. Each probe
+    /// leases the suspect slot by name, runs a one-step micro-deck
+    /// through the supervisor, and reinstates the device on success.
+    /// `Duration::ZERO` disables probing.
+    pub canary_every: Duration,
 }
 
 impl ServerConfig {
@@ -74,6 +113,10 @@ impl ServerConfig {
             cache_max_entries: 256,
             cache_ttl: None,
             compact_every: 512,
+            shed_queue_depth: 0,
+            shed_oldest_ms: 0,
+            retry_after_ms: 500,
+            canary_every: Duration::from_millis(100),
         }
     }
 }
@@ -95,17 +138,35 @@ pub enum SubmitError {
         /// The configured per-tenant cap.
         quota: usize,
     },
-    /// The job can never run on this pool (zero ranks, or more ranks
-    /// than the fleet has devices).
+    /// The job cannot run on this pool right now: zero ranks, more ranks
+    /// than the fleet has devices — or more than are currently *healthy*
+    /// (suspect devices are out of rotation until a canary probe passes,
+    /// so `healthy < pool` names the degraded capacity).
     Infeasible {
         /// Devices the job would need.
         needed: usize,
         /// Devices the pool has.
         pool: usize,
+        /// Devices currently in the lease rotation.
+        healthy: usize,
     },
     /// The deck failed validation (same structured error the `mas` CLI
     /// reports).
     InvalidDeck(DeckError),
+    /// The server is shedding load (queue depth or queue age over its
+    /// watermark) and this submission lost the priority comparison.
+    Overloaded {
+        /// Client-honored hint: retry no sooner than this many ms.
+        retry_after_ms: u64,
+    },
+    /// This exact run (deck + version + ranks + seed) is quarantined
+    /// under the crash-loop circuit breaker: every attempt in its budget
+    /// died by worker panic. Resubmissions are rejected until an
+    /// operator clears the key (`quarantine clear` on the wire).
+    Quarantined {
+        /// The final attempt's failure message.
+        message: String,
+    },
     /// The server is shutting down or draining.
     ShuttingDown,
 }
@@ -119,10 +180,28 @@ impl fmt::Display for SubmitError {
             SubmitError::QuotaExceeded { tenant, quota } => {
                 write!(f, "tenant '{tenant}' is at its quota of {quota} live jobs")
             }
-            SubmitError::Infeasible { needed, pool } => {
-                write!(f, "job needs {needed} device(s) but the pool holds {pool}")
+            SubmitError::Infeasible {
+                needed,
+                pool,
+                healthy,
+            } => {
+                if healthy < pool {
+                    write!(
+                        f,
+                        "job needs {needed} device(s) but only {healthy} of the pool's \
+                         {pool} are healthy"
+                    )
+                } else {
+                    write!(f, "job needs {needed} device(s) but the pool holds {pool}")
+                }
             }
             SubmitError::InvalidDeck(e) => write!(f, "{e}"),
+            SubmitError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms}ms")
+            }
+            SubmitError::Quarantined { message } => {
+                write!(f, "run is quarantined after repeated worker crashes: {message}")
+            }
             SubmitError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
@@ -142,6 +221,16 @@ struct JobProgress {
     recovery_log: Mutex<Vec<String>>,
     /// Cooperative cancel: the progress sink returns `false` once set.
     cancel: AtomicBool,
+    /// The deadline fired mid-run: the sink stops the job at the next
+    /// step boundary, and the outcome is classified `Failed` (deadline
+    /// exceeded), not `Cancelled` — distinct from a user cancel.
+    deadline_hit: AtomicBool,
+}
+
+impl JobProgress {
+    fn log(&self, line: String) {
+        relock(&self.recovery_log).push(line);
+    }
 }
 
 struct JobRecord {
@@ -152,6 +241,20 @@ struct JobRecord {
     progress: Arc<JobProgress>,
     result: Option<Arc<MultiRankReport>>,
     error: Option<String>,
+    /// When the job was accepted — deadlines are measured from here.
+    /// Reset to boot time for jobs re-enqueued by recovery (the clock
+    /// that anchored the original deadline died with the old process).
+    submitted_at: Instant,
+    /// Execution attempts started so far (claims, not completions).
+    attempts: u32,
+}
+
+impl JobRecord {
+    /// The instant this job's deadline expires, if it has one.
+    fn deadline(&self) -> Option<Instant> {
+        (self.spec.deadline_ms > 0)
+            .then(|| self.submitted_at + Duration::from_millis(self.spec.deadline_ms))
+    }
 }
 
 impl JobRecord {
@@ -186,10 +289,20 @@ struct Sched {
     journal: Option<Journal>,
     /// This boot's epoch stamp (max replayed epoch + 1; 0 in-memory).
     epoch: u64,
+    /// Crash-loop circuit breaker: cache keys whose jobs panicked out
+    /// their whole attempt budget, with the final failure message.
+    /// Submissions matching a key here are rejected until cleared.
+    quarantine: HashMap<CacheKey, String>,
+    /// Queued jobs shed under overload since boot.
+    shed_total: u64,
+    /// Jobs failed by their deadline since boot.
+    deadline_exceeded: u64,
+    /// Worker-body panics contained by `catch_unwind` since boot.
+    worker_panics: u64,
 }
 
 /// Aggregate server counters (see [`Server::stats`]).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerStats {
     /// Device-pool ledger snapshot.
     pub pool: PoolStats,
@@ -203,6 +316,8 @@ pub struct ServerStats {
     pub failed: usize,
     /// Jobs cancelled.
     pub cancelled: usize,
+    /// Jobs parked under the crash-loop circuit breaker.
+    pub quarantined: usize,
     /// Cache lookups served.
     pub cache_hits: u64,
     /// Cache lookups missed.
@@ -214,6 +329,22 @@ pub struct ServerStats {
     /// Simulation steps executed across all jobs since boot — the
     /// counter the cache-hit tests pin to zero growth.
     pub total_steps: u64,
+    /// Age of the oldest queued job, milliseconds (0 when idle) — one of
+    /// the two shedding watermarks, surfaced so operators see pressure
+    /// building before the shed fires.
+    pub oldest_queued_ms: u64,
+    /// Queued-job count per tenant, tenant-sorted.
+    pub tenants_queued: Vec<(String, usize)>,
+    /// Queued jobs shed under overload since boot.
+    pub shed_total: u64,
+    /// Jobs failed by their deadline since boot.
+    pub deadline_exceeded: u64,
+    /// Worker-body panics contained since boot.
+    pub worker_panics: u64,
+    /// Cache keys currently quarantined.
+    pub quarantine_keys: usize,
+    /// Per-device health, id order.
+    pub devices: Vec<DeviceHealth>,
 }
 
 /// What [`Server::recover`] found in the journal — printed by the
@@ -232,6 +363,11 @@ pub struct RecoverySummary {
     pub failed: usize,
     /// Jobs restored in `Cancelled` state.
     pub cancelled: usize,
+    /// Jobs restored in `Quarantined` state.
+    pub quarantined: usize,
+    /// Quarantined cache keys active after replay (quarantines minus
+    /// reinstatements, this build only).
+    pub quarantine_keys: usize,
     /// Results rehydrated into the cache.
     pub cache_entries: usize,
     /// Persisted cache entries dropped because they were computed by a
@@ -251,6 +387,7 @@ impl fmt::Display for RecoverySummary {
         write!(
             f,
             "epoch={} records={} requeued={} done={} failed={} cancelled={} \
+             quarantined={} quarantine_keys={} \
              cache={} stale_dropped={} unparseable={} truncated_bytes={}",
             self.epoch,
             self.records,
@@ -258,6 +395,8 @@ impl fmt::Display for RecoverySummary {
             self.done,
             self.failed,
             self.cancelled,
+            self.quarantined,
+            self.quarantine_keys,
             self.cache_entries,
             self.dropped_stale_cache,
             self.dropped_unparseable,
@@ -304,6 +443,10 @@ impl Server {
                 draining: false,
                 journal: None,
                 epoch: 0,
+                quarantine: HashMap::new(),
+                shed_total: 0,
+                deadline_exceeded: 0,
+                worker_panics: 0,
             },
         )
     }
@@ -334,6 +477,7 @@ impl Server {
         let mut folded: BTreeMap<u64, RJob> = BTreeMap::new();
         let mut cache = ResultCache::new(cfg.cache_max_entries, cfg.cache_ttl);
         let mut overflow_evicted: Vec<CacheKey> = Vec::new();
+        let mut quarantine: HashMap<CacheKey, String> = HashMap::new();
         let mut summary = RecoverySummary {
             records: replayed.records.len(),
             truncated_bytes: replayed.truncated_bytes,
@@ -426,6 +570,56 @@ impl Server {
                         });
                     }
                 }
+                Record::Quarantined {
+                    id,
+                    deck_hash,
+                    version_tag,
+                    code_rev,
+                    n_ranks,
+                    seed,
+                    message,
+                } => {
+                    if let Some(j) = folded.get_mut(id) {
+                        j.state = JobState::Quarantined;
+                        j.message = Some(message.clone());
+                    }
+                    // Quarantine is per-build, like cache entries: a new
+                    // build may have fixed the crash, so keys stamped by
+                    // another build lapse at recovery.
+                    if code_rev == journal::CODE_REV {
+                        if let Ok(version) = crate::wire::parse_version(version_tag) {
+                            quarantine.insert(
+                                CacheKey {
+                                    deck_hash: *deck_hash,
+                                    version,
+                                    code_rev: journal::CODE_REV,
+                                    n_ranks: *n_ranks as usize,
+                                    seed: *seed,
+                                },
+                                message.clone(),
+                            );
+                        }
+                    }
+                }
+                Record::Reinstated {
+                    deck_hash,
+                    version_tag,
+                    code_rev,
+                    n_ranks,
+                    seed,
+                } => {
+                    if code_rev == journal::CODE_REV {
+                        if let Ok(version) = crate::wire::parse_version(version_tag) {
+                            quarantine.remove(&CacheKey {
+                                deck_hash: *deck_hash,
+                                version,
+                                code_rev: journal::CODE_REV,
+                                n_ranks: *n_ranks as usize,
+                                seed: *seed,
+                            });
+                        }
+                    }
+                }
             }
         }
 
@@ -484,6 +678,14 @@ impl Server {
                         Some(rj.message.clone().unwrap_or_else(|| "cancelled".into())),
                     )
                 }
+                JobState::Quarantined => {
+                    summary.quarantined += 1;
+                    (
+                        JobState::Quarantined,
+                        None,
+                        Some(rj.message.clone().unwrap_or_else(|| "quarantined".into())),
+                    )
+                }
             };
             jobs.insert(
                 *id,
@@ -495,10 +697,13 @@ impl Server {
                     progress,
                     result,
                     error,
+                    submitted_at: Instant::now(),
+                    attempts: 0,
                 },
             );
         }
         summary.cache_entries = cache.len();
+        summary.quarantine_keys = quarantine.len();
         summary.epoch = epoch_max + 1;
 
         // -- Stamp the new epoch and journal recovery-time evictions --
@@ -525,6 +730,10 @@ impl Server {
                 draining: false,
                 journal: Some(jrn),
                 epoch,
+                quarantine,
+                shed_total: 0,
+                deadline_exceeded: 0,
+                worker_panics: 0,
             },
         );
 
@@ -555,7 +764,7 @@ impl Server {
             total_steps: Arc::new(AtomicU64::new(0)),
             workers: Mutex::new(Vec::new()),
         });
-        let mut workers = server.workers.lock().unwrap();
+        let mut workers = relock(&server.workers);
         for i in 0..server.cfg.n_workers {
             let s = server.clone();
             workers.push(
@@ -563,6 +772,15 @@ impl Server {
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || s.worker_loop())
                     .expect("spawn worker"),
+            );
+        }
+        if server.cfg.canary_every > Duration::ZERO {
+            let s = server.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name("serve-canary".into())
+                    .spawn(move || s.canary_loop())
+                    .expect("spawn canary"),
             );
         }
         drop(workers);
@@ -614,6 +832,7 @@ impl Server {
         }
         let mut ids: Vec<u64> = sched.jobs.keys().copied().collect();
         ids.sort_unstable();
+        let mut quarantined_keys: Vec<CacheKey> = Vec::new();
         for id in ids {
             let job = &sched.jobs[&id];
             recs.push(Record::submitted(id, &job.spec));
@@ -634,6 +853,24 @@ impl Server {
                     id,
                     message: job.error.clone().unwrap_or_default(),
                 }),
+                JobState::Quarantined => {
+                    recs.push(Record::quarantined(
+                        id,
+                        &job.key,
+                        job.error.as_deref().unwrap_or("quarantined"),
+                    ));
+                    quarantined_keys.push(job.key.clone());
+                }
+            }
+        }
+        // A quarantined job whose key an operator has since cleared must
+        // replay as cleared: the snapshot keeps the job's terminal state
+        // above but follows it with the reinstatement.
+        quarantined_keys.sort_by_key(|k| (k.deck_hash, k.n_ranks, k.seed));
+        quarantined_keys.dedup();
+        for key in quarantined_keys {
+            if !sched.quarantine.contains_key(&key) {
+                recs.push(Record::reinstated(&key));
             }
         }
         recs
@@ -644,20 +881,31 @@ impl Server {
     /// the cache (status shows `cached`, zero steps execute).
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
         // Feasibility and deck validity are answered before touching the
-        // scheduler at all.
+        // scheduler at all. Feasibility is measured against *healthy*
+        // capacity: a pool of 4 with 2 suspect devices can only promise
+        // 2-rank jobs, and the error names both numbers.
         let pool_size = self.cfg.n_devices;
-        if spec.n_ranks == 0 || spec.n_ranks > pool_size {
+        let healthy = self.pool.n_healthy();
+        if spec.n_ranks == 0 || spec.n_ranks > pool_size || spec.n_ranks > healthy {
             return Err(SubmitError::Infeasible {
                 needed: spec.n_ranks,
                 pool: pool_size,
+                healthy,
             });
         }
         spec.deck.validated().map_err(SubmitError::InvalidDeck)?;
 
         let key = CacheKey::for_spec(&spec);
-        let mut sched = self.sched.lock().unwrap();
+        let mut sched = relock(&self.sched);
         if sched.shutting_down || sched.draining {
             return Err(SubmitError::ShuttingDown);
+        }
+        // Crash-loop circuit breaker: this exact run already panicked out
+        // its whole attempt budget, so don't burn devices re-crashing it.
+        if let Some(message) = sched.quarantine.get(&key) {
+            return Err(SubmitError::Quarantined {
+                message: message.clone(),
+            });
         }
         // Expire TTL-stale results before consulting the cache, so an
         // expired entry reads as a miss (and its eviction is journaled).
@@ -682,6 +930,8 @@ impl Server {
                 progress: Arc::new(JobProgress::default()),
                 result: Some(report),
                 error: None,
+                submitted_at: Instant::now(),
+                attempts: 0,
             };
             rec.progress
                 .steps_done
@@ -704,6 +954,57 @@ impl Server {
                 quota: self.cfg.tenant_quota,
             });
         }
+        // Priority-aware load shedding: past either watermark the queue
+        // only accepts work that outranks something already waiting — and
+        // makes room by shedding the lowest-priority queued job with a
+        // retry-after notice. Equal-or-lower-priority newcomers are the
+        // ones turned away, so high-priority work still lands under
+        // overload.
+        let depth_over = self.cfg.shed_queue_depth > 0
+            && sched.queue.len() >= self.cfg.shed_queue_depth;
+        let now = Instant::now();
+        let age_over = self.cfg.shed_oldest_ms > 0
+            && sched
+                .queue
+                .iter()
+                .filter_map(|qid| sched.jobs.get(qid))
+                .map(|j| now.saturating_duration_since(j.submitted_at).as_millis() as u64)
+                .max()
+                .unwrap_or(0)
+                >= self.cfg.shed_oldest_ms;
+        if (depth_over || age_over) && !sched.queue.is_empty() {
+            // Victim: lowest priority; newest submission breaks ties (it
+            // has waited least).
+            let &victim = sched
+                .queue
+                .iter()
+                .min_by_key(|qid| (sched.jobs[qid].spec.priority, std::cmp::Reverse(**qid)))
+                .expect("queue non-empty");
+            let victim_priority = sched.jobs[&victim].spec.priority;
+            if spec.priority <= victim_priority {
+                return Err(SubmitError::Overloaded {
+                    retry_after_ms: self.cfg.retry_after_ms,
+                });
+            }
+            let message = format!(
+                "shed under overload (priority {victim_priority}); retry after {}ms",
+                self.cfg.retry_after_ms
+            );
+            sched.queue.retain(|&q| q != victim);
+            sched.shed_total += 1;
+            if let Some(job) = sched.jobs.get_mut(&victim) {
+                job.state = JobState::Cancelled;
+                job.error = Some(message.clone());
+            }
+            Self::jappend(
+                &mut sched,
+                &Record::Cancelled {
+                    id: victim,
+                    message,
+                },
+            );
+        }
+
         if sched.queue.len() >= self.cfg.max_queue {
             return Err(SubmitError::QueueFull {
                 capacity: self.cfg.max_queue,
@@ -724,6 +1025,8 @@ impl Server {
                 progress: Arc::new(JobProgress::default()),
                 result: None,
                 error: None,
+                submitted_at: Instant::now(),
+                attempts: 0,
             },
         );
         sched.queue.push(id);
@@ -735,29 +1038,29 @@ impl Server {
 
     /// Status snapshot of a job (`None` for an unknown id).
     pub fn status(&self, id: JobId) -> Option<JobStatus> {
-        let sched = self.sched.lock().unwrap();
+        let sched = relock(&self.sched);
         sched.jobs.get(&id.0).map(|j| j.status(id))
     }
 
     /// The recovery event log streamed so far (`None` for unknown id).
     pub fn recovery_log(&self, id: JobId) -> Option<Vec<String>> {
-        let sched = self.sched.lock().unwrap();
+        let sched = relock(&self.sched);
         sched
             .jobs
             .get(&id.0)
-            .map(|j| j.progress.recovery_log.lock().unwrap().clone())
+            .map(|j| relock(&j.progress.recovery_log).clone())
     }
 
     /// Block until the job reaches a terminal state; returns the final
     /// status (`None` for an unknown id).
     pub fn wait(&self, id: JobId) -> Option<JobStatus> {
-        let mut sched = self.sched.lock().unwrap();
+        let mut sched = relock(&self.sched);
         loop {
             let status = sched.jobs.get(&id.0)?.status(id);
             if status.state.is_terminal() {
                 return Some(status);
             }
-            sched = self.event.wait(sched).unwrap();
+            sched = self.event.wait(sched).unwrap_or_else(|p| p.into_inner());
         }
     }
 
@@ -769,7 +1072,7 @@ impl Server {
     /// did not, and the caller can resubmit (which recomputes).
     #[allow(clippy::type_complexity)]
     pub fn result(&self, id: JobId) -> Option<Result<Arc<MultiRankReport>, String>> {
-        let sched = self.sched.lock().unwrap();
+        let sched = relock(&self.sched);
         let job = sched.jobs.get(&id.0)?;
         match job.state {
             JobState::Done => Some(match &job.result {
@@ -780,7 +1083,7 @@ impl Server {
                     JobId(id.0)
                 )),
             }),
-            JobState::Failed | JobState::Cancelled => Some(Err(job
+            JobState::Failed | JobState::Cancelled | JobState::Quarantined => Some(Err(job
                 .error
                 .clone()
                 .unwrap_or_else(|| job.state.name().into()))),
@@ -792,7 +1095,7 @@ impl Server {
     /// asked to stop cooperatively at the next step boundary. Terminal
     /// jobs and unknown ids are an error.
     pub fn cancel(&self, id: JobId) -> Result<(), String> {
-        let mut sched = self.sched.lock().unwrap();
+        let mut sched = relock(&self.sched);
         let Some(job) = sched.jobs.get_mut(&id.0) else {
             return Err(format!("unknown job id {}", id.0));
         };
@@ -822,17 +1125,30 @@ impl Server {
 
     /// Aggregate counters.
     pub fn stats(&self) -> ServerStats {
-        let sched = self.sched.lock().unwrap();
+        let sched = relock(&self.sched);
         let mut done = 0;
         let mut failed = 0;
         let mut cancelled = 0;
+        let mut quarantined = 0;
         for j in sched.jobs.values() {
             match j.state {
                 JobState::Done => done += 1,
                 JobState::Failed => failed += 1,
                 JobState::Cancelled => cancelled += 1,
+                JobState::Quarantined => quarantined += 1,
                 _ => {}
             }
+        }
+        let now = Instant::now();
+        let mut oldest_queued_ms = 0u64;
+        let mut tenants: BTreeMap<String, usize> = BTreeMap::new();
+        for qid in &sched.queue {
+            let Some(job) = sched.jobs.get(qid) else {
+                continue;
+            };
+            oldest_queued_ms = oldest_queued_ms
+                .max(now.saturating_duration_since(job.submitted_at).as_millis() as u64);
+            *tenants.entry(job.spec.tenant.clone()).or_insert(0) += 1;
         }
         ServerStats {
             pool: self.pool.stats(),
@@ -841,12 +1157,52 @@ impl Server {
             done,
             failed,
             cancelled,
+            quarantined,
             cache_hits: sched.cache.hits(),
             cache_misses: sched.cache.misses(),
             cache_entries: sched.cache.len(),
             cache_evictions: sched.cache.evictions(),
             total_steps: self.total_steps.load(Ordering::SeqCst),
+            oldest_queued_ms,
+            tenants_queued: tenants.into_iter().collect(),
+            shed_total: sched.shed_total,
+            deadline_exceeded: sched.deadline_exceeded,
+            worker_panics: sched.worker_panics,
+            quarantine_keys: sched.quarantine.len(),
+            devices: self.pool.device_health(),
         }
+    }
+
+    /// The quarantined run keys with their final failure messages,
+    /// deck-hash ordered for stable listings.
+    pub fn quarantine_list(&self) -> Vec<(CacheKey, String)> {
+        let sched = relock(&self.sched);
+        let mut v: Vec<(CacheKey, String)> = sched
+            .quarantine
+            .iter()
+            .map(|(k, m)| (k.clone(), m.clone()))
+            .collect();
+        v.sort_by_key(|(k, _)| (k.deck_hash, k.n_ranks, k.seed));
+        v
+    }
+
+    /// Lift the crash-loop quarantine — every key, or just those for one
+    /// deck hash. Returns the number of keys cleared. Each clearance is
+    /// journaled as a `Reinstated` record, so the decision survives
+    /// restart like the quarantine itself did.
+    pub fn quarantine_clear(&self, deck_hash: Option<u64>) -> usize {
+        let mut sched = relock(&self.sched);
+        let keys: Vec<CacheKey> = sched
+            .quarantine
+            .keys()
+            .filter(|k| deck_hash.is_none_or(|h| k.deck_hash == h))
+            .cloned()
+            .collect();
+        for k in &keys {
+            sched.quarantine.remove(k);
+            Self::jappend(&mut sched, &Record::reinstated(k));
+        }
+        keys.len()
     }
 
     /// Steps executed server-wide since boot (the cache-hit invariant:
@@ -862,13 +1218,13 @@ impl Server {
     /// [`Server::join`] afterwards. The complement of the crash path:
     /// drain loses nothing *without* needing recovery.
     pub fn drain(&self) {
-        let mut sched = self.sched.lock().unwrap();
+        let mut sched = relock(&self.sched);
         sched.draining = true;
         drop(sched);
         self.event.notify_all();
-        let mut sched = self.sched.lock().unwrap();
+        let mut sched = relock(&self.sched);
         while !(sched.queue.is_empty() && sched.running == 0) {
-            sched = self.event.wait(sched).unwrap();
+            sched = self.event.wait(sched).unwrap_or_else(|p| p.into_inner());
         }
         drop(sched);
         self.shutdown();
@@ -877,7 +1233,7 @@ impl Server {
     /// Begin shutdown: reject new submissions, cancel every queued job,
     /// ask running jobs to stop cooperatively, and wake everyone.
     pub fn shutdown(&self) {
-        let mut sched = self.sched.lock().unwrap();
+        let mut sched = relock(&self.sched);
         sched.shutting_down = true;
         let queued: Vec<u64> = sched.queue.drain(..).collect();
         for id in queued {
@@ -905,7 +1261,7 @@ impl Server {
 
     /// Wait for every worker to exit (call after [`Server::shutdown`]).
     pub fn join(&self) {
-        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        let handles: Vec<_> = relock(&self.workers).drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
@@ -914,10 +1270,12 @@ impl Server {
     // -- scheduling internals ------------------------------------------------
 
     /// Pick the best runnable queued job: among jobs whose rank count
-    /// fits the currently free devices, the highest priority wins and
-    /// submission order breaks ties. Returns its queue position.
+    /// fits the currently *grantable* devices (free and not suspect —
+    /// sizing against raw free slots would deadlock workers on leases
+    /// the health layer will never grant), the highest priority wins
+    /// and submission order breaks ties. Returns its queue position.
     fn pick(&self, sched: &Sched) -> Option<usize> {
-        let free = self.pool.n_free();
+        let free = self.pool.n_grantable();
         let mut best: Option<(usize, i32, u64)> = None;
         for (pos, &id) in sched.queue.iter().enumerate() {
             let job = &sched.jobs[&id];
@@ -935,17 +1293,46 @@ impl Server {
         best.map(|(pos, _, _)| pos)
     }
 
+    /// Fail every queued job whose deadline has already passed — it will
+    /// never run, so it should not hold a queue slot or ever lease a
+    /// device. Called from the worker claim loop under the lock.
+    fn expire_queued(&self, sched: &mut Sched, now: Instant) {
+        let expired: Vec<u64> = sched
+            .queue
+            .iter()
+            .copied()
+            .filter(|qid| sched.jobs[qid].deadline().is_some_and(|d| now >= d))
+            .collect();
+        for id in expired {
+            sched.queue.retain(|&q| q != id);
+            sched.deadline_exceeded += 1;
+            let message = {
+                let job = sched.jobs.get_mut(&id).expect("queued job exists");
+                job.state = JobState::Failed;
+                let m = format!(
+                    "deadline exceeded ({}ms) before the job could start",
+                    job.spec.deadline_ms
+                );
+                job.error = Some(m.clone());
+                m
+            };
+            Self::jappend(&mut *sched, &Record::Failed { id, message });
+            self.event.notify_all();
+        }
+    }
+
     fn worker_loop(self: Arc<Self>) {
         loop {
             // Claim a job and its devices atomically under the scheduler
             // lock: the feasibility check and the lease cannot race
             // another worker.
-            let (id, spec, progress, lease) = {
-                let mut sched = self.sched.lock().unwrap();
+            let (id, spec, progress, deadline, lease) = {
+                let mut sched = relock(&self.sched);
                 let (id, lease) = loop {
                     if sched.shutting_down {
                         return;
                     }
+                    self.expire_queued(&mut sched, Instant::now());
                     if let Some(pos) = self.pick(&sched) {
                         let id = sched.queue[pos];
                         let key = sched.jobs[&id].key.clone();
@@ -988,20 +1375,58 @@ impl Server {
                             Err(_) => return, // pool closed: shutdown
                         }
                     }
-                    sched = self.event.wait(sched).unwrap();
+                    // Sleep — with a timeout while any queued job has a
+                    // deadline, so expiry fires even on an idle server.
+                    let deadline_pending = sched
+                        .queue
+                        .iter()
+                        .any(|qid| sched.jobs[qid].deadline().is_some());
+                    sched = if deadline_pending {
+                        self.event
+                            .wait_timeout(sched, Duration::from_millis(20))
+                            .unwrap_or_else(|p| p.into_inner())
+                            .0
+                    } else {
+                        self.event.wait(sched).unwrap_or_else(|p| p.into_inner())
+                    };
                 };
                 sched.running += 1;
-                let (spec, progress) = {
+                let (spec, progress, deadline) = {
                     let job = sched.jobs.get_mut(&id).expect("picked job exists");
                     job.state = JobState::Running;
-                    (job.spec.clone(), job.progress.clone())
+                    job.attempts += 1;
+                    (job.spec.clone(), job.progress.clone(), job.deadline())
                 };
                 Self::jappend(&mut sched, &Record::Started { id });
-                (id, spec, progress, lease)
+                (id, spec, progress, deadline, lease)
             };
             self.event.notify_all(); // status waiters see Running
 
-            let outcome = self.execute(&spec, &progress);
+            // A deterministic injected device fault (chaos drills, tests)
+            // fails the attempt before any physics runs, attributed to
+            // the named device. Otherwise the job body runs under
+            // `catch_unwind`: a panicking deck becomes a classified
+            // failure of *this job*, never a dead worker thread and a
+            // poisoned scheduler.
+            enum Outcome {
+                Done(Box<MultiRankReport>),
+                Fault(gpusim::DeviceId, String),
+                Error(String),
+                Panicked(String),
+            }
+            let devices: Vec<gpusim::DeviceId> = lease.devices().to_vec();
+            let outcome = match self.pool.consume_injected_fault(&devices) {
+                Some(dev) => Outcome::Fault(dev, format!("injected fault on device {dev}")),
+                None => {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        self.execute(&spec, &progress, deadline)
+                    })) {
+                        Ok(Ok(report)) => Outcome::Done(Box::new(report)),
+                        Ok(Err(message)) => Outcome::Error(message),
+                        Err(payload) => Outcome::Panicked(panic_message(payload)),
+                    }
+                }
+            };
 
             if let Err(e) = self.pool.release(lease) {
                 // A ledger bug must surface in stats/logs, not corrupt
@@ -1009,12 +1434,32 @@ impl Server {
                 eprintln!("mas-serve: lease release failed for {}: {e}", JobId(id));
             }
 
-            let mut sched = self.sched.lock().unwrap();
-            sched.running -= 1;
             let cancelled = progress.cancel.load(Ordering::SeqCst);
+            let deadline_hit = progress.deadline_hit.load(Ordering::SeqCst);
+
+            // Device attribution, outside the scheduler lock: success
+            // clears failure streaks; an injected fault blames exactly
+            // the faulted device; a plain run error blames the leased
+            // devices. Panics and cooperative stops (cancel, deadline)
+            // say nothing about the hardware.
+            match &outcome {
+                Outcome::Done(_) => {
+                    self.pool.report_result(&devices, true);
+                }
+                Outcome::Fault(dev, _) => {
+                    self.pool.report_result(&[*dev], false);
+                }
+                Outcome::Error(_) if !cancelled && !deadline_hit => {
+                    self.pool.report_result(&devices, false);
+                }
+                _ => {}
+            }
+
+            let mut sched = relock(&self.sched);
+            sched.running -= 1;
             match outcome {
-                Ok(report) => {
-                    let report = Arc::new(report);
+                Outcome::Done(report) => {
+                    let report = Arc::new(*report);
                     let key = {
                         let job = sched.jobs.get_mut(&id).expect("running job exists");
                         job.state = JobState::Done;
@@ -1032,23 +1477,65 @@ impl Server {
                     }
                     Self::jappend(&mut sched, &Record::Done { id, cached: false });
                 }
-                Err(message) => {
-                    let state = if cancelled {
-                        JobState::Cancelled
-                    } else {
-                        JobState::Failed
+                other => {
+                    let (message, panicked) = match other {
+                        Outcome::Fault(_, m) => (m, false),
+                        Outcome::Error(m) => (m, false),
+                        Outcome::Panicked(m) => {
+                            sched.worker_panics += 1;
+                            (m, true)
+                        }
+                        Outcome::Done(_) => unreachable!("handled above"),
                     };
-                    {
+                    let (attempts, max_attempts, key) = {
                         let job = sched.jobs.get_mut(&id).expect("running job exists");
-                        job.state = state;
-                        job.error = Some(message.clone());
-                    }
-                    let rec = if cancelled {
-                        Record::Cancelled { id, message }
-                    } else {
-                        Record::Failed { id, message }
+                        (job.attempts, job.spec.max_attempts, job.key.clone())
                     };
-                    Self::jappend(&mut sched, &rec);
+                    if deadline_hit && !cancelled {
+                        // Deadline expiry is terminal — more attempts
+                        // would only blow further past it.
+                        sched.deadline_exceeded += 1;
+                        let message =
+                            format!("deadline exceeded after {}ms", spec.deadline_ms);
+                        let job = sched.jobs.get_mut(&id).expect("running job exists");
+                        job.state = JobState::Failed;
+                        job.error = Some(message.clone());
+                        Self::jappend(&mut sched, &Record::Failed { id, message });
+                    } else if cancelled {
+                        let job = sched.jobs.get_mut(&id).expect("running job exists");
+                        job.state = JobState::Cancelled;
+                        job.error = Some(message.clone());
+                        Self::jappend(&mut sched, &Record::Cancelled { id, message });
+                    } else if attempts < max_attempts
+                        && !sched.shutting_down
+                        && !sched.draining
+                    {
+                        // Budget left: back on the queue. No journal
+                        // record — a crash replays the job as interrupted
+                        // and re-enqueues it anyway, which is the same
+                        // thing.
+                        progress.log(format!(
+                            "attempt {attempts}/{max_attempts} failed: {message}; retrying"
+                        ));
+                        let job = sched.jobs.get_mut(&id).expect("running job exists");
+                        job.state = JobState::Queued;
+                        sched.queue.push(id);
+                    } else if panicked {
+                        // Every attempt in the budget died by panic: trip
+                        // the circuit breaker so resubmissions of this
+                        // exact run are refused until an operator clears
+                        // it.
+                        let job = sched.jobs.get_mut(&id).expect("running job exists");
+                        job.state = JobState::Quarantined;
+                        job.error = Some(message.clone());
+                        sched.quarantine.insert(key.clone(), message.clone());
+                        Self::jappend(&mut sched, &Record::quarantined(id, &key, &message));
+                    } else {
+                        let job = sched.jobs.get_mut(&id).expect("running job exists");
+                        job.state = JobState::Failed;
+                        job.error = Some(message.clone());
+                        Self::jappend(&mut sched, &Record::Failed { id, message });
+                    }
                 }
             }
             self.maybe_compact(&mut sched);
@@ -1057,10 +1544,88 @@ impl Server {
         }
     }
 
+    /// Probe loop for suspect devices: every `canary_every`, lease each
+    /// suspect slot by name, run a one-step micro-deck through the full
+    /// supervisor on it, and reinstate the device if the probe passes.
+    /// An injected fault still pending on the device fails the probe
+    /// (and is consumed), so a device scripted to stay sick stays out
+    /// of rotation.
+    fn canary_loop(self: Arc<Self>) {
+        let micro = {
+            let mut d = mas_config::Deck::preset_quickstart();
+            d.grid.nr = 4;
+            d.grid.nt = 4;
+            d.grid.np = 4;
+            d.time.n_steps = 1;
+            d
+        };
+        loop {
+            {
+                let sched = relock(&self.sched);
+                if sched.shutting_down {
+                    return;
+                }
+            }
+            for id in self.pool.suspects() {
+                let Ok(Some(lease)) = self.pool.lease_specific(id) else {
+                    continue; // busy or closed: probe next round
+                };
+                let devices: Vec<gpusim::DeviceId> = lease.devices().to_vec();
+                let passed = self.pool.consume_injected_fault(&devices).is_none()
+                    && catch_unwind(AssertUnwindSafe(|| {
+                        // No progress sink: the canary must not perturb
+                        // `total_steps` (the cache-hit invariant) or any
+                        // job's counters.
+                        mas_mhd::run_supervised_with_progress(
+                            &micro,
+                            stdpar::CodeVersion::A,
+                            self.pool.spec().clone(),
+                            1,
+                            0,
+                            false,
+                            None,
+                        )
+                    }))
+                    .map(|r| r.is_ok())
+                    .unwrap_or(false);
+                if let Err(e) = self.pool.release(lease) {
+                    eprintln!("mas-serve: canary lease release failed: {e}");
+                }
+                if passed {
+                    if self.pool.reinstate(id) {
+                        // Healthy capacity grew: blocked pickers may now
+                        // have enough grantable devices.
+                        self.event.notify_all();
+                    }
+                } else {
+                    self.pool.report_result(&[id], false);
+                }
+            }
+            std::thread::sleep(self.cfg.canary_every);
+        }
+    }
+
     /// Run one job under the supervisor, streaming progress into its
     /// live counters. Inherits checkpointing, rollback and rank-respawn
-    /// recovery wholesale — this is just the observation plumbing.
-    fn execute(&self, spec: &JobSpec, progress: &Arc<JobProgress>) -> Result<MultiRankReport, String> {
+    /// recovery wholesale — this is just the observation plumbing. The
+    /// deadline rides the same cooperative channel as cancellation: the
+    /// sink answers `false` at the first step boundary past it.
+    fn execute(
+        &self,
+        spec: &JobSpec,
+        progress: &Arc<JobProgress>,
+        deadline: Option<Instant>,
+    ) -> Result<MultiRankReport, String> {
+        // Deliberate failpoint: a deck whose problem is named
+        // `chaos-panic` panics the worker body on purpose. The panic is
+        // contained by the worker's `catch_unwind` and classified like
+        // any organically panicking deck — the deterministic way to
+        // drive the panic → retry → quarantine path end-to-end (over
+        // the wire, through journal replay, in the chaos soak) without
+        // depending on a real crash bug to exist.
+        if spec.deck.problem == "chaos-panic" {
+            panic!("injected worker panic (problem = 'chaos-panic')");
+        }
         let sink = {
             let progress = progress.clone();
             // The sink must be 'static (it crosses into rank threads),
@@ -1074,21 +1639,17 @@ impl Server {
                     }
                     ProgressEvent::Rollback { rank, to_step } => {
                         progress.recovery_count.fetch_add(1, Ordering::SeqCst);
-                        progress
-                            .recovery_log
-                            .lock()
-                            .unwrap()
-                            .push(format!("rank {rank}: rollback to step {to_step}"));
+                        progress.log(format!("rank {rank}: rollback to step {to_step}"));
                     }
                     ProgressEvent::Restored { rank, step } => {
                         progress.recovery_count.fetch_add(1, Ordering::SeqCst);
-                        progress
-                            .recovery_log
-                            .lock()
-                            .unwrap()
-                            .push(format!("rank {rank}: restored at step {step}"));
+                        progress.log(format!("rank {rank}: restored at step {step}"));
                     }
                     ProgressEvent::CheckpointCommitted { .. } => {}
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    progress.deadline_hit.store(true, Ordering::SeqCst);
+                    return false;
                 }
                 !progress.cancel.load(Ordering::SeqCst)
             })

@@ -5,12 +5,15 @@
 //! Requests:
 //!
 //! ```text
-//! submit tenant=<t> version=<TAG> ranks=<n> seed=<u64> priority=<i32> deck=<escaped deck text>
+//! submit tenant=<t> version=<TAG> ranks=<n> seed=<u64> priority=<i32> [deadline=<ms>] [attempts=<n>] deck=<escaped deck text>
 //! status id=<n>
 //! wait id=<n>
 //! cancel id=<n>
 //! result id=<n>
 //! stats
+//! quarantine list
+//! quarantine clear [hash=<u64>]
+//! inject device=<n> [count=<k>]
 //! drain
 //! shutdown
 //! ```
@@ -86,6 +89,18 @@ pub enum Request {
     Result(u64),
     /// Server counters.
     Stats,
+    /// List quarantined run keys (crash-loop circuit breaker).
+    QuarantineList,
+    /// Clear the quarantine: every key, or those matching one deck hash.
+    QuarantineClear(Option<u64>),
+    /// Inject `count` deterministic faults into one pool device (chaos
+    /// drills and tests; each fault fails one attempt scheduled there).
+    Inject {
+        /// Target device slot.
+        device: usize,
+        /// Faults to arm.
+        count: u32,
+    },
     /// Stop intake, finish every queued and running job, then stop.
     Drain,
     /// Stop the server.
@@ -171,6 +186,12 @@ fn field<'a>(words: &'a [&str], key: &str) -> Result<&'a str, String> {
         .ok_or_else(|| format!("missing field '{key}='"))
 }
 
+fn opt_field<'a>(words: &'a [&str], key: &str) -> Option<&'a str> {
+    words
+        .iter()
+        .find_map(|w| w.strip_prefix(key).and_then(|w| w.strip_prefix('=')))
+}
+
 fn id_of(words: &[&str]) -> Result<u64, String> {
     field(words, "id")?
         .parse()
@@ -209,6 +230,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                         .parse()
                         .map_err(|e| format!("bad priority: {e}"))?,
                 );
+            // Optional serving-policy overrides; absent, the deck's
+            // `&serve` section (already parsed above) stands.
+            let spec = match opt_field(&words, "deadline") {
+                Some(v) => spec
+                    .deadline_ms(v.parse().map_err(|e| format!("bad deadline: {e}"))?),
+                None => spec,
+            };
+            let spec = match opt_field(&words, "attempts") {
+                Some(v) => spec
+                    .max_attempts(v.parse().map_err(|e| format!("bad attempts: {e}"))?),
+                None => spec,
+            };
             Ok(Request::Submit(Box::new(spec)))
         }
         "status" => Ok(Request::Status(id_of(
@@ -224,6 +257,33 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             &rest.split_whitespace().collect::<Vec<_>>(),
         )?)),
         "stats" => Ok(Request::Stats),
+        "quarantine" => {
+            let words: Vec<&str> = rest.split_whitespace().collect();
+            match words.first().copied() {
+                Some("list") => Ok(Request::QuarantineList),
+                Some("clear") => {
+                    let hash = match opt_field(&words, "hash") {
+                        Some(v) => {
+                            Some(v.parse().map_err(|e| format!("bad hash: {e}"))?)
+                        }
+                        None => None,
+                    };
+                    Ok(Request::QuarantineClear(hash))
+                }
+                _ => Err("quarantine needs 'list' or 'clear'".into()),
+            }
+        }
+        "inject" => {
+            let words: Vec<&str> = rest.split_whitespace().collect();
+            let device = field(&words, "device")?
+                .parse()
+                .map_err(|e| format!("bad device: {e}"))?;
+            let count = match opt_field(&words, "count") {
+                Some(v) => v.parse().map_err(|e| format!("bad count: {e}"))?,
+                None => 1,
+            };
+            Ok(Request::Inject { device, count })
+        }
         "drain" => Ok(Request::Drain),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown request '{other}'")),
@@ -233,12 +293,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 /// Format a submit line for a spec (what a remote client sends).
 pub fn encode_submit(spec: &JobSpec) -> String {
     format!(
-        "submit tenant={} version={} ranks={} seed={} priority={} deck={}",
+        "submit tenant={} version={} ranks={} seed={} priority={} deadline={} attempts={} deck={}",
         spec.tenant,
         spec.version.tag(),
         spec.n_ranks,
         spec.seed,
         spec.priority,
+        spec.deadline_ms,
+        spec.max_attempts,
         escape(&spec.deck.to_deck_string()),
     )
 }
@@ -297,6 +359,64 @@ mod tests {
             spec.deck.content_hash(),
             "deck survives the wire by content"
         );
+    }
+
+    #[test]
+    fn submit_line_roundtrips_serving_policy() {
+        let spec = JobSpec::new(Deck::preset_quickstart())
+            .deadline_ms(750)
+            .max_attempts(3);
+        let Request::Submit(back) = parse_request(&wire_line(&spec)).unwrap() else {
+            panic!("not a submit");
+        };
+        assert_eq!(back.deadline_ms, 750);
+        assert_eq!(back.max_attempts, 3);
+        // Explicit fields beat the deck's &serve section.
+        let line = wire_line(&spec).replace("deadline=750", "deadline=123");
+        let Request::Submit(back) = parse_request(&line).unwrap() else {
+            panic!("not a submit");
+        };
+        assert_eq!(back.deadline_ms, 123);
+        // Without the fields, the &serve section in the deck text stands.
+        let bare = format!(
+            "submit tenant=t version=A ranks=1 seed=0 priority=0 deck={}",
+            escape(&spec.deck.to_deck_string())
+        );
+        let Request::Submit(back) = parse_request(&bare).unwrap() else {
+            panic!("not a submit");
+        };
+        assert_eq!((back.deadline_ms, back.max_attempts), (750, 3));
+    }
+
+    fn wire_line(spec: &JobSpec) -> String {
+        encode_submit(spec)
+    }
+
+    #[test]
+    fn quarantine_and_inject_requests_parse() {
+        assert_eq!(
+            parse_request("quarantine list").unwrap(),
+            Request::QuarantineList
+        );
+        assert_eq!(
+            parse_request("quarantine clear").unwrap(),
+            Request::QuarantineClear(None)
+        );
+        assert_eq!(
+            parse_request("quarantine clear hash=99").unwrap(),
+            Request::QuarantineClear(Some(99))
+        );
+        assert!(parse_request("quarantine").is_err());
+        assert!(parse_request("quarantine clear hash=x").is_err());
+        assert_eq!(
+            parse_request("inject device=2").unwrap(),
+            Request::Inject { device: 2, count: 1 }
+        );
+        assert_eq!(
+            parse_request("inject device=0 count=3").unwrap(),
+            Request::Inject { device: 0, count: 3 }
+        );
+        assert!(parse_request("inject count=3").is_err());
     }
 
     #[test]

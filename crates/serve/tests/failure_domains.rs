@@ -1,0 +1,252 @@
+//! Failure-domain isolation integration tests: crash-loop quarantine,
+//! device health (suspect → canary → reinstate), priority load shedding,
+//! and job deadlines — each failure contained to its own domain while
+//! the rest of the server keeps serving.
+//!
+//! The process-level soak of the same machinery (SIGKILL restarts,
+//! connection chaos, bit-exactness vs an undisturbed baseline) lives in
+//! `mas_serve --chaos-drill`, run by CI; these tests pin the semantics
+//! deterministically in-process.
+
+use gpusim::DeviceSpec;
+use mas_config::Deck;
+use mas_serve::{Client, JobSpec, JobState, Server, ServerConfig, SubmitError};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_deck(n_steps: usize) -> Deck {
+    let mut d = Deck::preset_quickstart();
+    d.time.n_steps = n_steps;
+    d.output.hist_interval = 0;
+    d
+}
+
+/// A deck that trips the documented worker-panic failpoint.
+fn panic_deck() -> Deck {
+    let mut d = tiny_deck(4);
+    d.problem = "chaos-panic".into();
+    d
+}
+
+fn boot_with(f: impl FnOnce(&mut ServerConfig)) -> (Arc<Server>, Client) {
+    let mut cfg = ServerConfig::new(DeviceSpec::a100_40gb(), 2);
+    cfg.n_workers = 2;
+    f(&mut cfg);
+    let server = Server::start(cfg);
+    let client = Client::connect(server.clone());
+    (server, client)
+}
+
+#[test]
+fn panicking_deck_is_quarantined_after_max_attempts_and_others_keep_running() {
+    let (server, client) = boot_with(|_| {});
+
+    let id = client
+        .submit(JobSpec::new(panic_deck()).seed(7).max_attempts(2))
+        .expect("submit accepted");
+    let status = client.wait(id).expect("job exists");
+    assert_eq!(status.state, JobState::Quarantined);
+    assert!(
+        status.error.as_deref().unwrap_or("").contains("worker panicked"),
+        "quarantine names the panic: {:?}",
+        status.error
+    );
+    let stats = server.stats();
+    assert_eq!(stats.worker_panics, 2, "both attempts panicked and were contained");
+    assert_eq!(stats.quarantined, 1);
+    assert_eq!(stats.quarantine_keys, 1);
+
+    // The same run is refused at submit time now — no third crash.
+    match client.submit(JobSpec::new(panic_deck()).seed(7)) {
+        Err(SubmitError::Quarantined { message }) => {
+            assert!(message.contains("worker panicked"), "refusal carries the cause")
+        }
+        other => panic!("expected Quarantined, got {other:?}"),
+    }
+    // A different seed is a different run — not collateral damage.
+    let ok = client
+        .submit(JobSpec::new(panic_deck()).seed(8).max_attempts(1))
+        .expect("different key accepted");
+    assert_eq!(client.wait(ok).unwrap().state, JobState::Quarantined);
+
+    // The worker pool survived both crash loops: normal work still runs.
+    let normal = client
+        .submit(JobSpec::new(tiny_deck(4)).seed(9))
+        .expect("normal submit");
+    assert_eq!(client.wait(normal).unwrap().state, JobState::Done);
+
+    // Operator clears the quarantine; the key submits again.
+    assert_eq!(client.quarantine_list().len(), 2);
+    assert_eq!(client.quarantine_clear(None), 2);
+    assert!(client.quarantine_list().is_empty());
+    client
+        .submit(JobSpec::new(panic_deck()).seed(7).max_attempts(1))
+        .expect("cleared key accepted again");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn sick_device_goes_suspect_and_the_canary_reinstates_it() {
+    let (server, client) = boot_with(|cfg| {
+        cfg.n_workers = 1;
+        cfg.canary_every = Duration::from_millis(10);
+    });
+
+    // Three scripted faults on device 0: each failed lease is blamed on
+    // it, the third consecutive failure pulls it from rotation.
+    server.pool().inject_fault(0, 3).expect("inject");
+    let id = client
+        .submit(JobSpec::new(tiny_deck(4)).seed(7).max_attempts(6))
+        .expect("submit");
+    let status = client.wait(id).expect("job exists");
+    assert_eq!(
+        status.state,
+        JobState::Done,
+        "retries rode over the sick device: {:?}",
+        status.error
+    );
+
+    // The canary probes the suspect once its faults are exhausted and
+    // puts it back in rotation.
+    let mut healthy = false;
+    for _ in 0..500 {
+        let p = server.stats().pool;
+        if p.suspect == 0 && p.reinstated >= 1 {
+            healthy = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let p = server.stats().pool;
+    assert!(healthy, "device reinstated by the canary: {p:?}");
+    assert!(p.device_failures >= 3, "failures were counted: {p:?}");
+    assert!(server.pool().suspects().is_empty());
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn overload_sheds_lowest_priority_and_high_priority_still_completes() {
+    let (server, client) = boot_with(|cfg| {
+        cfg.n_devices = 1;
+        cfg.n_workers = 1;
+        cfg.max_queue = 8;
+        cfg.shed_queue_depth = 2;
+        cfg.retry_after_ms = 750;
+    });
+
+    // Fill the single worker, then the queue up to the watermark. The
+    // blocker must be *claimed* before anything else queues, or the
+    // watermark counts it and sheds the wrong job.
+    let blocker = client
+        .submit(JobSpec::new(tiny_deck(1000)).seed(1).priority(9))
+        .expect("blocker");
+    for _ in 0..2000 {
+        if client.status(blocker).expect("blocker exists").state != JobState::Queued {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_ne!(client.status(blocker).unwrap().state, JobState::Queued);
+    let victim = client
+        .submit(JobSpec::new(tiny_deck(4)).seed(2).priority(1))
+        .expect("victim queued");
+    let keeper = client
+        .submit(JobSpec::new(tiny_deck(4)).seed(3).priority(3))
+        .expect("keeper queued");
+
+    // A higher-priority newcomer displaces the lowest-priority queued
+    // job instead of being turned away.
+    let high = client
+        .submit(JobSpec::new(tiny_deck(4)).seed(4).priority(5))
+        .expect("high-priority newcomer accepted under overload");
+    let shed = client.status(victim).expect("victim exists");
+    assert_eq!(shed.state, JobState::Cancelled);
+    let msg = shed.error.as_deref().unwrap_or("");
+    assert!(
+        msg.contains("shed under overload") && msg.contains("retry after"),
+        "victim told why and when: {msg:?}"
+    );
+
+    // A lower-priority newcomer is turned away with the retry hint.
+    match client.submit(JobSpec::new(tiny_deck(4)).seed(5).priority(0)) {
+        Err(SubmitError::Overloaded { retry_after_ms }) => assert_eq!(retry_after_ms, 750),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    for id in [blocker, keeper, high] {
+        assert_eq!(
+            client.wait(id).unwrap().state,
+            JobState::Done,
+            "{id} completes despite the overload"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.shed_total, 1);
+    assert_eq!(stats.cancelled, 1);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn deadline_fails_a_running_job_cooperatively() {
+    let (server, client) = boot_with(|_| {});
+
+    let id = client
+        .submit(JobSpec::new(tiny_deck(200_000)).seed(7).deadline_ms(150))
+        .expect("submit");
+    let status = client.wait(id).expect("job exists");
+    assert_eq!(status.state, JobState::Failed);
+    assert!(
+        status.error.as_deref().unwrap_or("").contains("deadline exceeded"),
+        "failure names the deadline: {:?}",
+        status.error
+    );
+    assert!(
+        status.steps_done < 200_000,
+        "the run was cut short, not completed"
+    );
+    assert_eq!(server.stats().deadline_exceeded, 1);
+
+    // Deadlines come from the deck's &serve section too.
+    let mut deck = tiny_deck(200_000);
+    deck.serve.deadline_ms = 150;
+    let id = client.submit(JobSpec::new(deck).seed(8)).expect("submit");
+    let status = client.wait(id).expect("job exists");
+    assert_eq!(status.state, JobState::Failed);
+
+    // The devices the deadlined jobs held are all back.
+    let p = server.stats().pool;
+    assert_eq!(p.busy, 0, "no leaked leases after deadline failures: {p:?}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn expired_deadline_fails_a_queued_job_without_running_it() {
+    let (server, client) = boot_with(|cfg| {
+        cfg.n_devices = 1;
+        cfg.n_workers = 1;
+    });
+
+    // The blocker holds the only worker well past the queued job's
+    // deadline; the queued job must die in the queue, zero steps run.
+    let blocker = client
+        .submit(JobSpec::new(tiny_deck(600)).seed(1))
+        .expect("blocker");
+    let doomed = client
+        .submit(JobSpec::new(tiny_deck(4)).seed(2).deadline_ms(40))
+        .expect("queued");
+    let status = client.wait(doomed).expect("job exists");
+    assert_eq!(status.state, JobState::Failed);
+    assert_eq!(status.steps_done, 0, "never claimed a device");
+    assert_eq!(client.wait(blocker).unwrap().state, JobState::Done);
+
+    server.shutdown();
+    server.join();
+}

@@ -393,3 +393,47 @@ fn pool_ledger_is_balanced_after_recovery_while_jobs_rerun() {
     server.shutdown();
     server.join();
 }
+
+#[test]
+fn quarantine_survives_restart_and_clear_is_journaled() {
+    let dir = state_dir("quarantine_survives");
+    let mut deck = tiny_deck(4);
+    deck.problem = "chaos-panic".into();
+    let spec = JobSpec::new(deck).seed(7).max_attempts(1);
+
+    // Life 1: the crash-looping run is quarantined, then the server dies
+    // without grace.
+    {
+        let (server, _) = Server::recover(cfg(2, 2), &dir).expect("first boot");
+        let client = Client::connect(server.clone());
+        let id = client.submit(spec.clone()).expect("submit");
+        assert_eq!(client.wait(id).unwrap().state, JobState::Quarantined);
+    }
+
+    // Life 2: the quarantine replays from the journal and still refuses
+    // the run — the crash loop cannot restart by restarting the server.
+    {
+        let (server, summary) = Server::recover(cfg(2, 2), &dir).expect("second boot");
+        assert_eq!(summary.quarantined, 1, "job restored in Quarantined state");
+        assert_eq!(summary.quarantine_keys, 1, "key still embargoed");
+        assert_eq!(summary.requeued, 0, "a quarantined job is terminal, not interrupted");
+        let client = Client::connect(server.clone());
+        assert!(
+            matches!(
+                client.submit(spec.clone()),
+                Err(mas_serve::SubmitError::Quarantined { .. })
+            ),
+            "resubmission refused after restart"
+        );
+        // Operator lifts it; the clear is itself journaled.
+        assert_eq!(client.quarantine_clear(None), 1);
+    }
+
+    // Life 3: the clear survives too — the key submits again.
+    let (server, summary) = Server::recover(cfg(2, 2), &dir).expect("third boot");
+    assert_eq!(summary.quarantine_keys, 0, "cleared quarantine stays cleared");
+    let client = Client::connect(server.clone());
+    client.submit(spec).expect("cleared key accepted after restart");
+    server.shutdown();
+    server.join();
+}

@@ -207,11 +207,19 @@ fn invalid_deck_and_infeasible_jobs_are_rejected_at_submit() {
 
     assert_eq!(
         client.submit(JobSpec::new(tiny_deck(4)).ranks(3)),
-        Err(SubmitError::Infeasible { needed: 3, pool: 2 })
+        Err(SubmitError::Infeasible {
+            needed: 3,
+            pool: 2,
+            healthy: 2
+        })
     );
     assert_eq!(
         client.submit(JobSpec::new(tiny_deck(4)).ranks(0)),
-        Err(SubmitError::Infeasible { needed: 0, pool: 2 })
+        Err(SubmitError::Infeasible {
+            needed: 0,
+            pool: 2,
+            healthy: 2
+        })
     );
 
     // Nothing was admitted.

@@ -53,8 +53,9 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: mas_serve [--listen ADDR] [--devices N] [--workers N] [--queue N] [--quota N]\n\
-         \x20                [--state-dir DIR] [--wire-deadline-ms MS] [--drain]\n\
-         \x20      mas_serve --drill | --restart-drill\n\
+         \x20                [--state-dir DIR] [--wire-deadline-ms MS]\n\
+         \x20                [--shed-depth N] [--shed-age-ms MS] [--drain]\n\
+         \x20      mas_serve --drill | --restart-drill | --chaos-drill [--chaos-seed N]\n\
          \n\
          --listen ADDR         bind address               (default 127.0.0.1:4333)\n\
          --devices N           virtual device pool size   (default 4)\n\
@@ -64,9 +65,13 @@ fn usage() -> ! {
          --state-dir DIR       journal state transitions under DIR and\n\
          \x20                     recover them on restart (crash-only mode)\n\
          --wire-deadline-ms MS idle-connection read deadline (default 30000; 0 = none)\n\
+         --shed-depth N        shed low-priority queued work past this queue depth (0 = off)\n\
+         --shed-age-ms MS      shed when the oldest queued job is older than MS (0 = off)\n\
          --drain               finish all queued/recovered jobs, journal, exit 0\n\
          --drill               run the self-test smoke sequence and exit\n\
-         --restart-drill       run the kill -9 / recovery sequence and exit"
+         --restart-drill       run the kill -9 / recovery sequence and exit\n\
+         --chaos-drill         run the seeded chaos soak and exit\n\
+         --chaos-seed N        schedule seed for --chaos-drill (default 42)"
     );
     std::process::exit(2);
 }
@@ -79,9 +84,13 @@ struct Opts {
     quota: usize,
     state_dir: Option<String>,
     wire_deadline_ms: u64,
+    shed_depth: usize,
+    shed_age_ms: u64,
     drain: bool,
     drill: bool,
     restart_drill: bool,
+    chaos_drill: bool,
+    chaos_seed: u64,
 }
 
 impl Opts {
@@ -94,9 +103,13 @@ impl Opts {
             quota: 8,
             state_dir: None,
             wire_deadline_ms: 30_000,
+            shed_depth: 0,
+            shed_age_ms: 0,
             drain: false,
             drill: false,
             restart_drill: false,
+            chaos_drill: false,
+            chaos_seed: 42,
         }
     }
 }
@@ -120,9 +133,19 @@ fn parse_opts() -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
+            "--shed-depth" => {
+                o.shed_depth = val("--shed-depth")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--shed-age-ms" => {
+                o.shed_age_ms = val("--shed-age-ms")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--drain" => o.drain = true,
             "--drill" => o.drill = true,
             "--restart-drill" => o.restart_drill = true,
+            "--chaos-drill" => o.chaos_drill = true,
+            "--chaos-seed" => {
+                o.chaos_seed = val("--chaos-seed")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--help" | "-h" => usage(),
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -137,6 +160,8 @@ fn server_from(o: &Opts) -> Result<Arc<Server>, String> {
     cfg.n_workers = o.workers.unwrap_or(o.devices);
     cfg.max_queue = o.queue;
     cfg.tenant_quota = o.quota;
+    cfg.shed_queue_depth = o.shed_depth;
+    cfg.shed_oldest_ms = o.shed_age_ms;
     match &o.state_dir {
         Some(dir) => {
             let (server, summary) = Server::recover(cfg, dir)
@@ -154,6 +179,12 @@ fn respond(server: &Arc<Server>, req: Request) -> String {
     match req {
         Request::Submit(spec) => match server.submit(*spec) {
             Ok(id) => format!("ok id={}", id.0),
+            // The overload rejection carries a machine-readable hint the
+            // RemoteClient's retry loop honors.
+            Err(e @ mas_serve::SubmitError::Overloaded { retry_after_ms }) => format!(
+                "err {} retry_after_ms={retry_after_ms}",
+                wire::escape(&e.to_string())
+            ),
             Err(e) => format!("err {}", wire::escape(&e.to_string())),
         },
         Request::Status(id) => match server.status(JobId(id)) {
@@ -187,25 +218,81 @@ fn respond(server: &Arc<Server>, req: Request) -> String {
         },
         Request::Stats => {
             let s = server.stats();
+            let tenants = if s.tenants_queued.is_empty() {
+                "-".to_string()
+            } else {
+                s.tenants_queued
+                    .iter()
+                    .map(|(t, n)| format!("{t}:{n}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let health = s
+                .devices
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{}:{}:{}:{}",
+                        d.id,
+                        if d.suspect { "suspect" } else { "ok" },
+                        d.consecutive_failures,
+                        d.total_failures
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
             format!(
-                "ok devices={} free={} busy={} queued={} running={} done={} failed={} \
-                 cancelled={} cache_hits={} cache_misses={} cache_entries={} \
-                 cache_evictions={} total_steps={}",
+                "ok devices={} free={} busy={} suspect={} queued={} running={} done={} \
+                 failed={} cancelled={} quarantined={} cache_hits={} cache_misses={} \
+                 cache_entries={} cache_evictions={} total_steps={} oldest_queued_ms={} \
+                 shed_total={} deadline_exceeded={} worker_panics={} quarantine_keys={} \
+                 reinstated={} tenants={} health={}",
                 s.pool.total,
                 s.pool.free,
                 s.pool.busy,
+                s.pool.suspect,
                 s.queued,
                 s.running,
                 s.done,
                 s.failed,
                 s.cancelled,
+                s.quarantined,
                 s.cache_hits,
                 s.cache_misses,
                 s.cache_entries,
                 s.cache_evictions,
-                s.total_steps
+                s.total_steps,
+                s.oldest_queued_ms,
+                s.shed_total,
+                s.deadline_exceeded,
+                s.worker_panics,
+                s.quarantine_keys,
+                s.pool.reinstated,
+                tenants,
+                health
             )
         }
+        Request::QuarantineList => {
+            let list = server.quarantine_list();
+            let keys = if list.is_empty() {
+                "-".to_string()
+            } else {
+                list.iter()
+                    .map(|(k, _)| {
+                        format!("{}:{}:{}:{}", k.deck_hash, k.version.tag(), k.n_ranks, k.seed)
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            format!("ok n={} keys={keys}", list.len())
+        }
+        Request::QuarantineClear(hash) => {
+            format!("ok cleared={}", server.quarantine_clear(hash))
+        }
+        Request::Inject { device, count } => match server.pool().inject_fault(device, count) {
+            Ok(()) => format!("ok device={device} injected={count}"),
+            Err(e) => format!("err {}", wire::escape(&e)),
+        },
         Request::Drain | Request::Shutdown => unreachable!("handled by the connection loop"),
     }
 }
@@ -684,6 +771,425 @@ fn restart_drill() -> Result<(), String> {
     Ok(())
 }
 
+// -- chaos drill (seeded failure soak) --------------------------------------
+
+/// xorshift64 (Marsaglia): the drill's only randomness source, fully
+/// determined by `--chaos-seed` — the same seed replays the exact same
+/// schedule, byte for byte (what the CI reproducibility check pins).
+struct ChaosRng(u64);
+
+impl ChaosRng {
+    fn new(seed: u64) -> Self {
+        ChaosRng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    /// Uniform-ish draw in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum ChaosKind {
+    /// An undisturbed run.
+    Clean,
+    /// Rank 1 panics mid-step; the supervisor respawns and restores it.
+    RankKill,
+    /// Rank 1 drops a halo message; the peer diagnoses the timeout and
+    /// the supervisor rolls back.
+    HaloDrop,
+}
+
+struct ChaosJob {
+    kind: ChaosKind,
+    seed: u64,
+    n_steps: usize,
+    /// Drop a half-written connection on the server right before this
+    /// submission (the wire edge must shrug it off).
+    drop_before: bool,
+}
+
+/// Everything random about the drill, drawn up front so the schedule
+/// can be fingerprinted (and compared across runs) before anything
+/// executes.
+struct ChaosSchedule {
+    jobs: Vec<ChaosJob>,
+    panic_seed: u64,
+    fault_seed: u64,
+    deadline_seed: u64,
+    slow_seeds: [u64; 2],
+    fingerprint: u64,
+}
+
+impl ChaosSchedule {
+    fn draw(seed: u64) -> Self {
+        let mut rng = ChaosRng::new(seed);
+        let mut fp = ChaosRng::new(seed ^ 0xC4A5);
+        let mut note = |v: u64| {
+            fp.0 ^= v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            fp.next();
+        };
+        let mut jobs = Vec::new();
+        for _ in 0..4 {
+            let kind = match rng.range(0, 3) {
+                0 => ChaosKind::Clean,
+                1 => ChaosKind::RankKill,
+                _ => ChaosKind::HaloDrop,
+            };
+            let job = ChaosJob {
+                kind,
+                seed: rng.range(1, 1000),
+                n_steps: rng.range(6, 12) as usize,
+                drop_before: rng.next() & 1 == 1,
+            };
+            note(match kind {
+                ChaosKind::Clean => 0,
+                ChaosKind::RankKill => 1,
+                ChaosKind::HaloDrop => 2,
+            });
+            note(job.seed);
+            note(job.n_steps as u64);
+            note(u64::from(job.drop_before));
+            jobs.push(job);
+        }
+        let panic_seed = rng.range(1, 1000);
+        let fault_seed = rng.range(1, 1000);
+        let deadline_seed = rng.range(1, 1000);
+        let slow_seeds = [rng.range(1, 1000), rng.range(1, 1000)];
+        note(panic_seed);
+        note(fault_seed);
+        note(deadline_seed);
+        note(slow_seeds[0]);
+        note(slow_seeds[1]);
+        let fingerprint = fp.next();
+        ChaosSchedule {
+            jobs,
+            panic_seed,
+            fault_seed,
+            deadline_seed,
+            slow_seeds,
+            fingerprint,
+        }
+    }
+}
+
+/// Open a connection, write a partial or garbage request, and drop it
+/// without ever finishing the line — the modelled flaky client.
+fn drop_connection(addr: &str, garbage: bool) {
+    if let Ok(mut s) = TcpStream::connect(addr) {
+        let _ = if garbage {
+            s.write_all(b"\x00\xff\xfe half a request that never ends")
+        } else {
+            s.write_all(b"submit tenant=chaos version=A ranks=1")
+        };
+        // Dropped here: no newline, no read.
+    }
+}
+
+/// The deck for one scheduled chaos job (plus its rank count).
+fn chaos_deck(job: &ChaosJob, ckpt_root: &std::path::Path, i: usize) -> (Deck, usize) {
+    let mut d = tiny_deck();
+    d.time.n_steps = job.n_steps;
+    if job.kind == ChaosKind::Clean {
+        return (d, 1);
+    }
+    let dir = ckpt_root.join(format!("job{i}"));
+    let _ = std::fs::create_dir_all(&dir);
+    d.checkpoint.interval = 2;
+    d.checkpoint.dir = dir.to_string_lossy().into_owned();
+    d.resilience.max_respawns = 1;
+    d.resilience.heartbeat_ms = 10;
+    d.resilience.miss_budget = 5;
+    d.resilience.recv_deadline_ms = 500;
+    d.fault.kind = match job.kind {
+        ChaosKind::RankKill => mas_config::FaultKind::Panic,
+        ChaosKind::HaloDrop => mas_config::FaultKind::HaloDrop,
+        ChaosKind::Clean => unreachable!(),
+    };
+    d.fault.step = 3;
+    d.fault.rank = 1;
+    d.fault.count = 1;
+    (d, 2)
+}
+
+/// The same physics with the disturbance removed — what the baseline
+/// server runs to pin bit-exactness.
+fn undisturbed(deck: &Deck) -> Deck {
+    let mut d = deck.clone();
+    d.fault.kind = mas_config::FaultKind::None;
+    d
+}
+
+fn chaos_drill(seed: u64) -> Result<(), String> {
+    let sched = ChaosSchedule::draw(seed);
+    println!("chaos-drill: seed={seed} fingerprint={:016x}", sched.fingerprint);
+    for (i, j) in sched.jobs.iter().enumerate() {
+        println!(
+            "chaos-drill: schedule[{i}] kind={:?} seed={} steps={} drop_before={}",
+            j.kind, j.seed, j.n_steps, j.drop_before
+        );
+    }
+    println!(
+        "chaos-drill: schedule[panic] seed={} | schedule[device-fault] seed={} | \
+         schedule[deadline] seed={} | schedule[sigkill] seeds={},{}",
+        sched.panic_seed,
+        sched.fault_seed,
+        sched.deadline_seed,
+        sched.slow_seeds[0],
+        sched.slow_seeds[1]
+    );
+
+    let state = std::env::temp_dir().join(format!("mas_serve_chaos_{seed}"));
+    let baseline_state = std::env::temp_dir().join(format!("mas_serve_chaos_base_{seed}"));
+    let ckpt_root = std::env::temp_dir().join(format!("mas_serve_chaos_ckpt_{seed}"));
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_dir_all(&baseline_state);
+    let _ = std::fs::remove_dir_all(&ckpt_root);
+
+    let a = spawn_server(&state, 2)?;
+    let addr = a.addr.clone();
+    let mut a_child = a.child;
+    // Every id the server ever acknowledged; the no-lost-jobs invariant
+    // checks each one resolves to a terminal state at the end.
+    let mut acked: Vec<u64> = Vec::new();
+    let submit = |spec: &mas_serve::JobSpec, acked: &mut Vec<u64>| -> Result<u64, String> {
+        let r = request(&addr, &wire::encode_submit(spec))?;
+        let id: u64 = field_of(&r, "id")
+            .and_then(|s| s.parse().ok())
+            .ok_or(format!("submit rejected: {r}"))?;
+        acked.push(id);
+        Ok(id)
+    };
+
+    // -- Scene A: disturbed physics under connection chaos ------------
+    let mut physics: Vec<(u64, Deck, usize, u64)> = Vec::new(); // (id, clean deck, ranks, seed)
+    for (i, job) in sched.jobs.iter().enumerate() {
+        if job.drop_before {
+            drop_connection(&addr, i % 2 == 0);
+        }
+        let (deck, ranks) = chaos_deck(job, &ckpt_root, i);
+        let spec = mas_serve::JobSpec::new(deck.clone())
+            .tenant("chaos")
+            .ranks(ranks)
+            .seed(job.seed)
+            .max_attempts(3);
+        let id = submit(&spec, &mut acked)?;
+        physics.push((id, undisturbed(&deck), ranks, job.seed));
+    }
+    let mut result_hashes: Vec<(u64, String)> = Vec::new();
+    for &(id, ..) in &physics {
+        let r = RemoteClient::connect(addr.clone()).wait(id)?;
+        expect(
+            field_of(&r, "state").as_deref() == Some("done"),
+            &format!("chaos job {id} completed ({r})"),
+        )?;
+        let h = field_of(&request(&addr, &format!("result id={id}"))?, "hashes")
+            .ok_or(format!("no hashes for job {id}"))?;
+        result_hashes.push((id, h));
+    }
+
+    // -- Scene B: a crash-looping deck is quarantined ------------------
+    let mut panic_deck = tiny_deck();
+    panic_deck.problem = "chaos-panic".into();
+    let panic_spec = mas_serve::JobSpec::new(panic_deck.clone())
+        .tenant("chaos")
+        .seed(sched.panic_seed)
+        .max_attempts(2);
+    let pid = submit(&panic_spec, &mut acked)?;
+    let r = RemoteClient::connect(addr.clone()).wait(pid)?;
+    expect(
+        field_of(&r, "state").as_deref() == Some("quarantined"),
+        &format!("panicking deck quarantined after its attempt budget ({r})"),
+    )?;
+    let r = request(&addr, &wire::encode_submit(&panic_spec))?;
+    expect(
+        r.starts_with("err ") && r.contains("quarantined"),
+        &format!("quarantined resubmission refused ({r})"),
+    )?;
+    let r = request(&addr, "quarantine list")?;
+    expect(
+        field_of(&r, "n").as_deref() == Some("1"),
+        &format!("quarantine lists one key ({r})"),
+    )?;
+    // The server is still serving everyone else.
+    let r = request(&addr, "stats")?;
+    expect(
+        field_of(&r, "worker_panics").and_then(|s| s.parse::<u64>().ok()) >= Some(2),
+        &format!("both panicking attempts were contained ({r})"),
+    )?;
+
+    // -- Scene B2: a deadline fails a job cooperatively ----------------
+    let deadline_spec = mas_serve::JobSpec::new(slow_deck(3000))
+        .tenant("chaos")
+        .seed(sched.deadline_seed)
+        .deadline_ms(250);
+    let did = submit(&deadline_spec, &mut acked)?;
+    let r = RemoteClient::connect(addr.clone()).wait(did)?;
+    expect(
+        field_of(&r, "state").as_deref() == Some("failed")
+            && field_of(&r, "error").is_some_and(|e| e.contains("deadline")),
+        &format!("over-deadline job failed with a deadline error ({r})"),
+    )?;
+
+    // -- Scene C: a sick device is pulled, probed, reinstated ----------
+    let r = request(&addr, "inject device=0 count=3")?;
+    expect(r.starts_with("ok "), &format!("fault injection accepted ({r})"))?;
+    let fault_spec = mas_serve::JobSpec::new(tiny_deck())
+        .tenant("chaos")
+        .seed(sched.fault_seed)
+        .max_attempts(6);
+    let fid = submit(&fault_spec, &mut acked)?;
+    let r = RemoteClient::connect(addr.clone()).wait(fid)?;
+    expect(
+        field_of(&r, "state").as_deref() == Some("done"),
+        &format!("job survived the sick device via retries ({r})"),
+    )?;
+    let fh = field_of(&request(&addr, &format!("result id={fid}"))?, "hashes")
+        .ok_or("no hashes for the device-fault job")?;
+    result_hashes.push((fid, fh));
+    physics.push((fid, tiny_deck(), 1, sched.fault_seed));
+    // The canary must reinstate device 0 once its faults are exhausted.
+    let mut reinstated = false;
+    for _ in 0..400 {
+        let r = request(&addr, "stats")?;
+        let suspect: usize = field_of(&r, "suspect").and_then(|s| s.parse().ok()).unwrap_or(9);
+        let reins: u64 = field_of(&r, "reinstated").and_then(|s| s.parse().ok()).unwrap_or(0);
+        if suspect == 0 && reins >= 1 {
+            reinstated = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    expect(reinstated, "suspect device probed by canary and reinstated")?;
+
+    // -- Scene D: SIGKILL mid-run, recover, verify ---------------------
+    let slow1 = mas_serve::JobSpec::new(slow_deck(1500))
+        .tenant("chaos")
+        .seed(sched.slow_seeds[0]);
+    let slow2 = mas_serve::JobSpec::new(slow_deck(1500))
+        .tenant("chaos")
+        .seed(sched.slow_seeds[1]);
+    let s1 = submit(&slow1, &mut acked)?;
+    let s2 = submit(&slow2, &mut acked)?;
+    let mut mid_run = false;
+    for _ in 0..2000 {
+        let r = request(&addr, &format!("status id={s1}"))?;
+        let state_now = field_of(&r, "state").unwrap_or_default();
+        let steps: usize = field_of(&r, "steps")
+            .and_then(|s| s.split('/').next().map(str::to_string))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        if state_now == "running" && steps > 5 {
+            mid_run = true;
+            break;
+        }
+        if state_now == "done" {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    expect(mid_run, "caught a slow job mid-run")?;
+    a_child.kill().map_err(|e| format!("kill server: {e}"))?;
+    let _ = a_child.wait();
+    println!("chaos-drill: server killed (SIGKILL) mid-job");
+
+    let b = spawn_server(&state, 2)?;
+    let addr = b.addr.clone();
+    let mut b_child = b.child;
+    let recovery = b.recovery.ok_or("no recovery summary line printed")?;
+    // The quarantine survived the kill (journaled), and the pool-ledger
+    // invariant held (the recovering server asserts it or dies).
+    expect(
+        field_of(&recovery, "quarantine_keys").as_deref() == Some("1"),
+        &format!("quarantine survived SIGKILL ({recovery})"),
+    )?;
+    expect(
+        field_of(&recovery, "requeued").as_deref() == Some("2"),
+        &format!("both interrupted jobs requeued ({recovery})"),
+    )?;
+    for id in [s1, s2] {
+        let r = RemoteClient::connect(addr.clone()).wait(id)?;
+        expect(
+            field_of(&r, "state").as_deref() == Some("done"),
+            &format!("requeued job {id} completed after restart ({r})"),
+        )?;
+    }
+    // Quarantine still enforced post-restart, then cleared.
+    let r = request(&addr, &wire::encode_submit(&panic_spec))?;
+    expect(
+        r.starts_with("err ") && r.contains("quarantined"),
+        &format!("quarantine enforced after recovery ({r})"),
+    )?;
+    let r = request(&addr, "quarantine clear")?;
+    expect(
+        field_of(&r, "cleared").as_deref() == Some("1"),
+        &format!("quarantine cleared ({r})"),
+    )?;
+    let r = request(&addr, "quarantine list")?;
+    expect(
+        field_of(&r, "n").as_deref() == Some("0"),
+        &format!("quarantine empty after clear ({r})"),
+    )?;
+
+    // No acknowledged job was lost: every id the first incarnation
+    // acknowledged resolves to a state here, and none is stuck.
+    for &id in &acked {
+        let r = request(&addr, &format!("status id={id}"))?;
+        let state_now = field_of(&r, "state").unwrap_or_default();
+        expect(
+            ["done", "failed", "cancelled", "quarantined"].contains(&state_now.as_str()),
+            &format!("acknowledged job {id} is terminal after recovery ({r})"),
+        )?;
+    }
+    // Ledger balanced, nothing leaked.
+    let r = request(&addr, "stats")?;
+    expect(
+        field_of(&r, "busy").as_deref() == Some("0")
+            && field_of(&r, "running").as_deref() == Some("0")
+            && field_of(&r, "queued").as_deref() == Some("0"),
+        &format!("pool idle and ledger balanced after the soak ({r})"),
+    )?;
+    let r = RemoteClient::connect(addr.clone()).drain()?;
+    expect(r == "ok drained", &format!("drain acknowledged ({r})"))?;
+    let status = b_child.wait().map_err(|e| e.to_string())?;
+    expect(status.success(), "drained server exited 0")?;
+
+    // -- Scene E: bit-exactness vs an undisturbed baseline -------------
+    let c = spawn_server(&baseline_state, 2)?;
+    let addr = c.addr.clone();
+    let mut c_child = c.child;
+    for (chaos_id, clean_deck, ranks, job_seed) in &physics {
+        let spec = mas_serve::JobSpec::new(clean_deck.clone())
+            .tenant("baseline")
+            .ranks(*ranks)
+            .seed(*job_seed);
+        let r = request(&addr, &wire::encode_submit(&spec))?;
+        let bid = field_of(&r, "id").ok_or(format!("baseline submit rejected: {r}"))?;
+        RemoteClient::connect(addr.clone()).wait(bid.parse().map_err(|e| format!("{e}"))?)?;
+        let bh = field_of(&request(&addr, &format!("result id={bid}"))?, "hashes")
+            .ok_or(format!("no baseline hashes for job {bid}"))?;
+        let ch = &result_hashes
+            .iter()
+            .find(|(id, _)| id == chaos_id)
+            .ok_or(format!("missing chaos hashes for job {chaos_id}"))?
+            .1;
+        expect(
+            ch == &bh,
+            &format!("chaos job {chaos_id} hashes bit-exact vs undisturbed baseline"),
+        )?;
+    }
+    let _ = RemoteClient::connect(addr).shutdown();
+    let _ = c_child.wait();
+
+    println!("chaos-drill: all checks passed (seed={seed} fingerprint={:016x})", sched.fingerprint);
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let opts = match parse_opts() {
         Ok(o) => o,
@@ -706,6 +1212,15 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("restart-drill: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if opts.chaos_drill {
+        return match chaos_drill(opts.chaos_seed) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("chaos-drill: {e}");
                 ExitCode::FAILURE
             }
         };
